@@ -1,0 +1,73 @@
+// Figure 6 — policy compliance checks per query.
+//
+// Experiment 1 of the paper (§6.3): 1,000 patients, N samples each; for
+// policy selectivities {0, 0.2, 0.4, 0.6} run the rewritten versions of
+// q1-q8 and r1-r20 and count how many times complies_with is invoked. The
+// static §5.6 upper bound (Eq. 1) is printed alongside for comparison.
+//
+// Default N = 100 samples/patient (10^5 sensed_data rows); export
+// AAPAC_SAMPLES=1000 for the paper's 10^6.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/scenario.h"
+#include "core/complexity.h"
+
+namespace aapac::bench {
+namespace {
+
+int Run() {
+  const size_t patients = EnvSize("AAPAC_PATIENTS", 1000);
+  const size_t samples = EnvSize("AAPAC_SAMPLES", 100);
+  const std::vector<double> selectivities = {0.0, 0.2, 0.4, 0.6};
+
+  std::printf("# Figure 6: policy compliance checks per query\n");
+  std::printf("# patients=%zu samples/patient=%zu sensed_rows=%zu\n", patients,
+              samples, patients * samples);
+  Scenario s = BuildScenario(patients, samples);
+  const std::vector<workload::BenchQuery> queries = AllQueries();
+
+  std::printf("%-5s %12s", "query", "cub(q)");
+  for (double sel : selectivities) std::printf("   checks@s=%.1f", sel);
+  std::printf("\n");
+
+  // The static bound does not depend on selectivity.
+  std::vector<uint64_t> bounds;
+  for (const auto& q : queries) {
+    auto est = core::ComplexityUpperBoundSql(*s.catalog, q.sql, "p3");
+    bounds.push_back(est.ok() ? est->upper_bound : 0);
+  }
+
+  std::vector<std::vector<uint64_t>> checks(
+      queries.size(), std::vector<uint64_t>(selectivities.size(), 0));
+  for (size_t si = 0; si < selectivities.size(); ++si) {
+    ApplySelectivity(&s, selectivities[si]);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      s.monitor->ResetComplianceChecks();
+      auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
+      if (!rs.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", queries[qi].name.c_str(),
+                     rs.status().ToString().c_str());
+        return 1;
+      }
+      checks[qi][si] = s.monitor->compliance_checks();
+    }
+  }
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::printf("%-5s %12" PRIu64, queries[qi].name.c_str(), bounds[qi]);
+    for (size_t si = 0; si < selectivities.size(); ++si) {
+      std::printf(" %14" PRIu64, checks[qi][si]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aapac::bench
+
+int main() { return aapac::bench::Run(); }

@@ -1,0 +1,68 @@
+// Figure 7 — query execution time vs. policy selectivity.
+//
+// Experiment 1 of the paper (§6.3): for each of q1-q8 and r1-r20, compare
+// the execution time of the original query with the rewritten query under
+// scattered policies of selectivity {0, 0.2, 0.4, 0.6} (we additionally
+// report 1.0, where no tuple complies). Expected shape (paper Fig. 7): the
+// largest overhead at selectivity 0; rewritten times decrease as selectivity
+// grows, dropping below the original for filtered/joined queries.
+//
+// Default 1,000 patients x 100 samples; AAPAC_SAMPLES=1000 for paper scale.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenario.h"
+
+namespace aapac::bench {
+namespace {
+
+int Run() {
+  const size_t patients = EnvSize("AAPAC_PATIENTS", 1000);
+  const size_t samples = EnvSize("AAPAC_SAMPLES", 100);
+  const std::vector<double> selectivities = {0.0, 0.2, 0.4, 0.6, 1.0};
+
+  std::printf("# Figure 7: execution time (ms) vs policy selectivity\n");
+  std::printf("# patients=%zu samples/patient=%zu sensed_rows=%zu\n", patients,
+              samples, patients * samples);
+  Scenario s = BuildScenario(patients, samples);
+  const std::vector<workload::BenchQuery> queries = AllQueries();
+
+  std::printf("%-5s %12s", "query", "original");
+  for (double sel : selectivities) std::printf("  rewritten@%.1f", sel);
+  std::printf("\n");
+
+  std::vector<double> original(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    original[qi] = TimeMs([&] {
+      auto rs = s.monitor->ExecuteUnrestricted(queries[qi].sql);
+      if (!rs.ok()) std::abort();
+    });
+  }
+
+  std::vector<std::vector<double>> rewritten(
+      queries.size(), std::vector<double>(selectivities.size(), 0));
+  for (size_t si = 0; si < selectivities.size(); ++si) {
+    ApplySelectivity(&s, selectivities[si]);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      rewritten[qi][si] = TimeMs([&] {
+        auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
+        if (!rs.ok()) std::abort();
+      });
+    }
+  }
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::printf("%-5s %12.3f", queries[qi].name.c_str(), original[qi]);
+    for (size_t si = 0; si < selectivities.size(); ++si) {
+      std::printf(" %14.3f", rewritten[qi][si]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aapac::bench
+
+int main() { return aapac::bench::Run(); }

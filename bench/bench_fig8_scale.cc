@@ -1,0 +1,87 @@
+// Figure 8 — query execution time vs. dataset size.
+//
+// Experiment 2 of the paper (§6.3): four scenarios that scale sensed_data
+// from 10^4 to 10^7 rows (users and nutritional_profiles stay at 1,000),
+// with policy selectivity fixed at 0.4 and 1-3 rules per policy. For every
+// query we report the execution time of the original and rewritten
+// versions. Expected shape (paper Fig. 8): similar trends in all scenarios,
+// with the absolute gap growing with the dataset but the relative overhead
+// stable — the paper's scalability claim.
+//
+// Scenario 4 (10^7 rows) is expensive in an in-memory engine and is opt-in:
+// export AAPAC_SCN4=1 to include it.
+
+#include <cstdio>
+#include <vector>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <malloc.h>
+#endif
+
+#include "bench/scenario.h"
+
+namespace aapac::bench {
+namespace {
+
+int Run() {
+  const size_t patients = 1000;
+  std::vector<size_t> samples_per_patient = {10, 100, 1000};  // Scn 1-3.
+  if (EnvSize("AAPAC_SCN4", 0) == 1) {
+    samples_per_patient.push_back(10000);  // Scn 4: 10^7 rows.
+  }
+  const double selectivity = 0.4;
+  const std::vector<workload::BenchQuery> queries = AllQueries();
+
+  std::printf("# Figure 8: execution time (ms) vs dataset size\n");
+  std::printf("# users=nutritional_profiles=1000, selectivity=0.4\n");
+  std::printf("%-5s", "query");
+  for (size_t sp : samples_per_patient) {
+    std::printf("  orig@%-8zu  rewr@%-8zu", patients * sp, patients * sp);
+  }
+  std::printf("\n");
+
+  std::vector<std::vector<double>> original(
+      queries.size(), std::vector<double>(samples_per_patient.size()));
+  std::vector<std::vector<double>> rewritten(
+      queries.size(), std::vector<double>(samples_per_patient.size()));
+
+  for (size_t sc = 0; sc < samples_per_patient.size(); ++sc) {
+#if defined(__GLIBC__) || defined(__linux__)
+    // Return the previous scenario's freed memory to the OS; without this,
+    // allocator fragmentation across scenario sizes distorts the timings of
+    // the largest scenario by orders of magnitude on glibc.
+    malloc_trim(0);
+#endif
+    Scenario s = BuildScenario(patients, samples_per_patient[sc]);
+    ApplySelectivity(&s, selectivity);
+    const int reps = samples_per_patient[sc] >= 1000 ? 1 : 3;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      original[qi][sc] = TimeMs(
+          [&] {
+            auto rs = s.monitor->ExecuteUnrestricted(queries[qi].sql);
+            if (!rs.ok()) std::abort();
+          },
+          reps);
+      rewritten[qi][sc] = TimeMs(
+          [&] {
+            auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
+            if (!rs.ok()) std::abort();
+          },
+          reps);
+    }
+  }
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::printf("%-5s", queries[qi].name.c_str());
+    for (size_t sc = 0; sc < samples_per_patient.size(); ++sc) {
+      std::printf("  %13.3f  %13.3f", original[qi][sc], rewritten[qi][sc]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aapac::bench
+
+int main() { return aapac::bench::Run(); }

@@ -1,0 +1,105 @@
+// Micro-benchmarks of the enforcement pipeline stages (§5): SQL parsing,
+// query-signature derivation, query rewriting and the complies_with check
+// itself. These measure the per-query overhead the monitor adds *before*
+// execution — the paper argues it is negligible next to execution time.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/scenario.h"
+#include "core/compliance.h"
+#include "core/masks.h"
+#include "core/signature_builder.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace aapac::bench {
+namespace {
+
+const Scenario& SharedScenario() {
+  static Scenario* s = new Scenario(BuildScenario(10, 5));
+  return *s;
+}
+
+const std::vector<workload::BenchQuery>& Queries() {
+  static auto* qs = new std::vector<workload::BenchQuery>(
+      workload::PaperQueries());
+  return *qs;
+}
+
+void BM_ParseQuery(benchmark::State& state) {
+  const auto& q = Queries()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto stmt = sql::ParseSelect(q.sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetLabel(q.name);
+}
+BENCHMARK(BM_ParseQuery)->DenseRange(0, 7);
+
+void BM_DeriveSignature(benchmark::State& state) {
+  const Scenario& s = SharedScenario();
+  const auto& q = Queries()[static_cast<size_t>(state.range(0))];
+  auto stmt = sql::ParseSelect(q.sql);
+  core::SignatureBuilder builder(s.catalog.get());
+  for (auto _ : state) {
+    auto qs = builder.Derive(**stmt, "p3");
+    benchmark::DoNotOptimize(qs);
+  }
+  state.SetLabel(q.name);
+}
+BENCHMARK(BM_DeriveSignature)->DenseRange(0, 7);
+
+void BM_RewriteQuery(benchmark::State& state) {
+  const Scenario& s = SharedScenario();
+  const auto& q = Queries()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto rewritten = s.monitor->Rewrite(q.sql, "p3");
+    benchmark::DoNotOptimize(rewritten);
+  }
+  state.SetLabel(q.name);
+}
+BENCHMARK(BM_RewriteQuery)->DenseRange(0, 7);
+
+/// complies_with over a policy of N rules where only the last rule matches
+/// — the worst case for one tuple check.
+void BM_CompliesWithPacked(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  core::MaskLayout layout({"a", "b", "c", "d", "e"},
+                          {"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"});
+  core::ActionSignature sig;
+  sig.columns = {"c"};
+  sig.action_type = core::ActionType::Direct(
+      core::Multiplicity::kSingle, core::Aggregation::kAggregation,
+      core::JointAccess{true, true, false, false});
+  const std::string asm_bytes =
+      layout.EncodeActionSignature(sig, "p3")->ToBytes();
+  BitString policy;
+  for (int r = 0; r < rules - 1; ++r) policy.Append(layout.PassNoneRuleMask());
+  policy.Append(layout.PassAllRuleMask());
+  const std::string policy_bytes = policy.ToBytes();
+  for (auto _ : state) {
+    bool ok = core::CompliesWithPacked(asm_bytes, policy_bytes);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompliesWithPacked)->RangeMultiplier(2)->Range(1, 64);
+
+void BM_EndToEndRewriteExecuteSmall(benchmark::State& state) {
+  Scenario s = BuildScenario(100, 10);
+  ApplySelectivity(&s, 0.4);
+  const auto& q = Queries()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetLabel(q.name);
+}
+BENCHMARK(BM_EndToEndRewriteExecuteSmall)->DenseRange(0, 7);
+
+}  // namespace
+}  // namespace aapac::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+#ifndef AAPAC_BENCH_SCENARIO_H_
+#define AAPAC_BENCH_SCENARIO_H_
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "core/policy_manager.h"
+#include "engine/database.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/queries.h"
+
+namespace aapac::bench {
+
+/// A fully configured patients scenario: database + catalog + monitor.
+struct Scenario {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<core::AccessControlCatalog> catalog;
+  std::unique_ptr<core::EnforcementMonitor> monitor;
+};
+
+/// Builds the §6 evaluation scenario: `patients` users/profiles rows and
+/// patients × samples sensed_data rows, configured per Fig. 2 and protected.
+inline Scenario BuildScenario(size_t patients, size_t samples) {
+  Scenario s;
+  s.db = std::make_unique<engine::Database>();
+  workload::PatientsConfig config;
+  config.num_patients = patients;
+  config.samples_per_patient = samples;
+  Status st = workload::BuildPatientsDatabase(s.db.get(), config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "scenario build failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  s.catalog = std::make_unique<core::AccessControlCatalog>(s.db.get());
+  st = s.catalog->Initialize();
+  if (st.ok()) st = workload::ConfigurePatientsAccessControl(s.catalog.get());
+  if (!st.ok()) {
+    std::fprintf(stderr, "scenario config failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  s.monitor =
+      std::make_unique<core::EnforcementMonitor>(s.db.get(), s.catalog.get());
+  return s;
+}
+
+/// Applies §6.1 scattered policies with the given selectivity (1-3 rules).
+inline void ApplySelectivity(Scenario* s, double selectivity) {
+  workload::ScatteredPolicyConfig config;
+  config.selectivity = selectivity;
+  Status st = workload::ApplyScatteredPolicies(s->catalog.get(), config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "policy generation failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Environment-tunable size knob. The paper's Experiment 1 uses
+/// 1,000 patients x 1,000 samples; the default here is 1,000 x 100 so every
+/// bench binary finishes in seconds. Export AAPAC_SAMPLES=1000 for paper
+/// scale (and AAPAC_SCN4=1 to enable the 10^7-row scenario in fig8).
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+/// Wall-clock milliseconds of `fn()`, best of `reps` runs.
+template <typename Fn>
+double TimeMs(Fn&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// All 28 evaluation queries: q1-q8 then r1-r20 (fixed seed so the random
+/// set is stable across runs and machines).
+inline std::vector<workload::BenchQuery> AllQueries() {
+  std::vector<workload::BenchQuery> out = workload::PaperQueries();
+  for (auto& q : workload::RandomQueries(/*seed=*/20160501)) {
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace aapac::bench
+
+#endif  // AAPAC_BENCH_SCENARIO_H_

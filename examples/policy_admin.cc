@@ -1,0 +1,132 @@
+// Administration walkthrough: the Access Control Management and Policy
+// Management modules (paper Fig. 1). Shows purpose definition, data
+// categorization, user authorizations, policy attachment, and — the part
+// that is easy to get wrong — keeping encoded masks valid while the purpose
+// set and table schemas evolve (PolicyManager::ReapplyAll).
+
+#include <cstdio>
+
+#include "core/catalog.h"
+#include "core/complexity.h"
+#include "core/coverage.h"
+#include "core/monitor.h"
+#include "core/policy_manager.h"
+#include "engine/database.h"
+#include "workload/patients.h"
+
+using namespace aapac;  // Example code; keep it short.
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  std::printf("%-55s %s\n", what, st.ok() ? "ok" : st.ToString().c_str());
+}
+
+size_t CountRows(core::EnforcementMonitor* monitor, const char* sql,
+                 const char* purpose) {
+  auto rs = monitor->ExecuteQuery(sql, purpose);
+  return rs.ok() ? rs->rows.size() : 0;
+}
+
+}  // namespace
+
+int main() {
+  engine::Database db;
+  workload::PatientsConfig config;
+  config.num_patients = 10;
+  config.samples_per_patient = 10;
+  (void)workload::BuildPatientsDatabase(&db, config);
+
+  core::AccessControlCatalog catalog(&db);
+  Check(catalog.Initialize(), "create Pr/Pm/Pa metadata tables");
+  Check(workload::ConfigurePatientsAccessControl(&catalog),
+        "define purposes p1-p8, categorize, protect tables");
+
+  // The metadata is plain SQL-visible state.
+  core::EnforcementMonitor monitor(&db, &catalog);
+  auto purposes = monitor.ExecuteUnrestricted("select id, ds from pr");
+  std::printf("\npurpose table Pr has %zu rows; first: %s = %s\n",
+              purposes->rows.size(), purposes->rows[0][0].ToString().c_str(),
+              purposes->rows[0][1].ToString().c_str());
+  auto categories = monitor.ExecuteUnrestricted(
+      "select count(at) from pm where ct like 'sensitive'");
+  std::printf("sensitive columns catalogued in Pm: %s\n\n",
+              categories->rows[0][0].ToString().c_str());
+
+  // User purpose authorizations (table Pa).
+  Check(catalog.AuthorizeUser("dr_house", "p1"), "authorize dr_house for p1");
+  Check(catalog.AuthorizeUser("dr_house", "p6"), "authorize dr_house for p6");
+  Check(catalog.RevokeUser("dr_house", "p6"), "revoke p6 again");
+
+  // Attach a policy to every users tuple.
+  core::PolicyManager manager(&catalog);
+  core::Policy policy;
+  policy.table = "users";
+  core::PolicyRule rule;
+  rule.columns = {"user_id", "watch_id", "nutritional_profile_id"};
+  rule.purposes = {"p1"};
+  rule.action_type = core::ActionType::Direct(
+      core::Multiplicity::kSingle, core::Aggregation::kNoAggregation,
+      core::JointAccess::All());
+  core::PolicyRule indirect = rule;
+  indirect.action_type = core::ActionType::Indirect(core::JointAccess::All());
+  policy.rules = {rule, indirect};
+  Check(manager.AttachToTable(policy), "attach treatment-only policy to users");
+
+  std::printf("\nrows visible under p1: %zu, under p6: %zu\n",
+              CountRows(&monitor, "select user_id from users", "p1"),
+              CountRows(&monitor, "select user_id from users", "p6"));
+
+  // --- Purpose-set evolution -------------------------------------------------
+  // Adding a purpose changes every mask layout: previously encoded policies
+  // are invalid until re-encoded. The manager replays its attachments.
+  Check(catalog.DefinePurpose("p9", "quality-audit"), "add purpose p9");
+  std::printf("rows visible under p1 before re-encode: %zu (stale masks!)\n",
+              CountRows(&monitor, "select user_id from users", "p1"));
+  Check(manager.ReapplyAll(), "re-encode all registered policies");
+  std::printf("rows visible under p1 after re-encode:  %zu\n\n",
+              CountRows(&monitor, "select user_id from users", "p1"));
+
+  // --- Schema evolution --------------------------------------------------------
+  engine::Table* users = db.FindTable("users");
+  Check(users->AddColumn({"room", engine::ValueType::kString},
+                         engine::Value::String("unassigned")),
+        "alter table users add column room");
+  Check(catalog.Categorize("users", "room", core::DataCategory::kGeneric),
+        "categorize the new column");
+  Check(manager.ReapplyAll(), "re-encode after schema change");
+  std::printf("rows visible under p1 after schema change: %zu\n\n",
+              CountRows(&monitor, "select user_id from users", "p1"));
+
+  // --- Coverage audit: what does a tuple's stored mask actually allow? --------
+  std::printf("coverage of users tuple 0 (decoded from its mask):\n");
+  {
+    engine::Table* t = db.FindTable("users");
+    auto col = t->schema().FindColumn("policy");
+    auto layout = catalog.LayoutFor("users");
+    auto mask = BitString::FromBytes(t->row(0)[*col].AsBytes());
+    auto rule_masks = layout->SplitPolicyMask(*mask);
+    core::Policy decoded;
+    decoded.table = "users";
+    for (const auto& rm : *rule_masks) {
+      decoded.rules.push_back(*layout->DecodeRule(rm));
+    }
+    std::printf("%s\n\n",
+                core::CoverageToText(core::FlattenPolicy(decoded)).c_str());
+  }
+
+  // --- Static complexity analysis (§5.6) ---------------------------------------
+  auto estimate = core::ComplexityUpperBoundSql(
+      catalog,
+      "select user_id, avg(beats) from users join sensed_data on "
+      "users.watch_id=sensed_data.watch_id group by user_id",
+      "p1");
+  std::printf("complexity upper bound of the Fig. 3 query: %llu checks\n",
+              static_cast<unsigned long long>(estimate->upper_bound));
+  for (const auto& term : estimate->terms) {
+    std::printf("  %s: %llu tuples x %llu signatures\n", term.table.c_str(),
+                static_cast<unsigned long long>(term.tuples),
+                static_cast<unsigned long long>(term.action_signatures));
+  }
+  return 0;
+}

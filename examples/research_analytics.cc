@@ -1,0 +1,124 @@
+// Research analytics scenario: the same analyst workload evaluated under
+// (a) action-aware purpose-based control (this paper) and (b) the
+// purpose-only Byun-Li baseline. Purpose-only control must either expose
+// raw vitals to researchers or block research entirely; the action-aware
+// model threads the needle — aggregate statistics flow, raw records don't.
+
+#include <cstdio>
+
+#include "core/baseline/byun_li.h"
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "core/policy_manager.h"
+#include "engine/database.h"
+#include "workload/patients.h"
+
+using namespace aapac;  // Example code; keep it short.
+
+namespace {
+
+void Report(const char* system, const char* what,
+            const Result<engine::ResultSet>& rs) {
+  if (!rs.ok()) {
+    std::printf("  %-12s %-40s error: %s\n", system, what,
+                rs.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-12s %-40s %zu row(s)", system, what, rs->rows.size());
+  if (!rs->rows.empty()) {
+    std::printf("  first:");
+    for (const engine::Value& v : rs->rows[0]) {
+      std::printf(" %s", v.ToString().c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  engine::Database db;
+  workload::PatientsConfig config;
+  config.num_patients = 100;
+  config.samples_per_patient = 50;
+  (void)workload::BuildPatientsDatabase(&db, config);
+
+  core::AccessControlCatalog catalog(&db);
+  (void)catalog.Initialize();
+  (void)workload::ConfigurePatientsAccessControl(&catalog);
+
+  // Byun-Li baseline: tuples intended for treatment and research alike —
+  // the finest statement purpose-only policies can make here. Protected
+  // first: its intended_purposes column becomes part of the table schema
+  // and therefore of the action-aware mask layout.
+  core::baseline::ByunLiMonitor byunli(&db, &catalog);
+  (void)byunli.ProtectTable("sensed_data");
+  (void)byunli.SetIntendedPurposes("sensed_data", {"p1", "p6"});
+
+  // Action-aware policy on sensed_data: research (p6) may aggregate vitals
+  // from single columns and use anything for filtering, but may not read
+  // raw values, and aggregates must not sit next to identifiers.
+  core::PolicyManager manager(&catalog);
+  core::Policy policy;
+  policy.table = "sensed_data";
+  {
+    core::PolicyRule aggregate_only;
+    aggregate_only.columns = {"temperature", "beats"};
+    aggregate_only.purposes = {"p6"};
+    aggregate_only.action_type = core::ActionType::Direct(
+        core::Multiplicity::kSingle, core::Aggregation::kAggregation,
+        core::JointAccess{false, true, true, true});
+    core::PolicyRule position_direct;
+    position_direct.columns = {"position"};
+    position_direct.purposes = {"p6"};
+    position_direct.action_type = core::ActionType::Direct(
+        core::Multiplicity::kSingle, core::Aggregation::kNoAggregation,
+        core::JointAccess{false, true, true, true});
+    core::PolicyRule filter_any;
+    filter_any.columns = {"watch_id", "timestamp", "temperature", "position",
+                          "beats"};
+    filter_any.purposes = {"p6"};
+    filter_any.action_type =
+        core::ActionType::Indirect(core::JointAccess::All());
+    core::PolicyRule treatment_full;
+    treatment_full.columns = {"watch_id", "timestamp", "temperature",
+                              "position", "beats"};
+    treatment_full.purposes = {"p1"};
+    treatment_full.action_type = core::ActionType::Direct(
+        core::Multiplicity::kSingle, core::Aggregation::kNoAggregation,
+        core::JointAccess::All());
+    policy.rules = {aggregate_only, position_direct, filter_any,
+                    treatment_full};
+  }
+  (void)manager.AttachToTable(policy);
+  core::EnforcementMonitor aware(&db, &catalog);
+
+  const char* kAggregate =
+      "select avg(temperature), avg(beats) from sensed_data "
+      "where timestamp > 10";
+  const char* kRawDump =
+      "select watch_id, temperature, beats from sensed_data limit 5";
+  const char* kGroupedStats =
+      "select position, avg(beats) from sensed_data group by position";
+
+  std::printf("research purpose (p6):\n");
+  Report("action-aware", "aggregate vitals", aware.ExecuteQuery(kAggregate, "p6"));
+  Report("byun-li", "aggregate vitals", byunli.ExecuteQuery(kAggregate, "p6"));
+  Report("action-aware", "raw vitals dump", aware.ExecuteQuery(kRawDump, "p6"));
+  Report("byun-li", "raw vitals dump  (leak!)",
+         byunli.ExecuteQuery(kRawDump, "p6"));
+  Report("action-aware", "beats per position",
+         aware.ExecuteQuery(kGroupedStats, "p6"));
+
+  std::printf("\ntreatment purpose (p1):\n");
+  Report("action-aware", "raw vitals dump", aware.ExecuteQuery(kRawDump, "p1"));
+
+  std::printf("\nmarketing purpose (p7):\n");
+  Report("action-aware", "aggregate vitals", aware.ExecuteQuery(kAggregate, "p7"));
+  Report("byun-li", "aggregate vitals", byunli.ExecuteQuery(kAggregate, "p7"));
+
+  std::printf(
+      "\nTakeaway: purpose-only control cannot distinguish avg(temperature)\n"
+      "from a raw dump — action-aware policies can (paper's q_a vs q_b).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "core/action_type.h"
+
+namespace aapac::core {
+
+bool JointAccess::Allows(DataCategory category) const {
+  switch (category) {
+    case DataCategory::kIdentifier:
+      return identifier;
+    case DataCategory::kQuasiIdentifier:
+      return quasi_identifier;
+    case DataCategory::kSensitive:
+      return sensitive;
+    case DataCategory::kGeneric:
+      return generic;
+  }
+  return false;
+}
+
+void JointAccess::Set(DataCategory category, bool allowed) {
+  switch (category) {
+    case DataCategory::kIdentifier:
+      identifier = allowed;
+      return;
+    case DataCategory::kQuasiIdentifier:
+      quasi_identifier = allowed;
+      return;
+    case DataCategory::kSensitive:
+      sensitive = allowed;
+      return;
+    case DataCategory::kGeneric:
+      generic = allowed;
+      return;
+  }
+}
+
+std::string JointAccess::ToString() const {
+  std::string out = "<";
+  out += identifier ? 'a' : 'n';
+  out += ',';
+  out += quasi_identifier ? 'a' : 'n';
+  out += ',';
+  out += sensitive ? 'a' : 'n';
+  out += ',';
+  out += generic ? 'a' : 'n';
+  out += '>';
+  return out;
+}
+
+std::string ActionType::ToString() const {
+  std::string out = "<";
+  out += indirection == Indirection::kDirect ? 'd' : 'i';
+  out += ',';
+  if (multiplicity.has_value()) {
+    out += *multiplicity == Multiplicity::kSingle ? 's' : 'm';
+  } else {
+    out += '_';
+  }
+  out += ',';
+  if (aggregation.has_value()) {
+    out += *aggregation == Aggregation::kAggregation ? 'a' : 'n';
+  } else {
+    out += '_';
+  }
+  out += ',';
+  out += joint_access.ToString();
+  out += '>';
+  return out;
+}
+
+bool ActionTypeComplies(const ActionType& sig, const ActionType& rule) {
+  if (sig.indirection != rule.indirection) return false;
+  // ⊥ dimensions on the signature side (indirect accesses) match anything.
+  if (sig.multiplicity.has_value() && rule.multiplicity.has_value() &&
+      *sig.multiplicity != *rule.multiplicity) {
+    return false;
+  }
+  if (sig.multiplicity.has_value() && !rule.multiplicity.has_value()) {
+    return false;  // Rule constrains nothing the signature asserts.
+  }
+  if (sig.aggregation.has_value() && rule.aggregation.has_value() &&
+      *sig.aggregation != *rule.aggregation) {
+    return false;
+  }
+  if (sig.aggregation.has_value() && !rule.aggregation.has_value()) {
+    return false;
+  }
+  return sig.joint_access.IsSubsetOf(rule.joint_access);
+}
+
+}  // namespace aapac::core

@@ -1,0 +1,91 @@
+#ifndef AAPAC_CORE_ACTION_TYPE_H_
+#define AAPAC_CORE_ACTION_TYPE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/category.h"
+
+namespace aapac::core {
+
+/// Ia dimension of Def. 1: does the query *show* (derive result values from)
+/// the data, or only use it for filtering/grouping/ordering?
+enum class Indirection {
+  kDirect,
+  kIndirect,
+};
+
+/// Ms dimension: is the shown value derived from one data field or from the
+/// combination of several?
+enum class Multiplicity {
+  kSingle,
+  kMultiple,
+};
+
+/// Ag dimension: is the field folded through an aggregate function with the
+/// homonymous fields of other tuples?
+enum class Aggregation {
+  kAggregation,
+  kNoAggregation,
+};
+
+/// Ja component of Def. 1: with which data categories may (policy side) or
+/// does (signature side) the constrained attribute get jointly accessed.
+struct JointAccess {
+  bool identifier = false;
+  bool quasi_identifier = false;
+  bool sensitive = false;
+  bool generic = false;
+
+  static JointAccess None() { return JointAccess{}; }
+  static JointAccess All() { return JointAccess{true, true, true, true}; }
+
+  bool Allows(DataCategory category) const;
+  void Set(DataCategory category, bool allowed);
+
+  /// True iff every category allowed here is also allowed in `other` —
+  /// the Ja half of Def. 5 (signature ⊆ rule).
+  bool IsSubsetOf(const JointAccess& other) const {
+    return (!identifier || other.identifier) &&
+           (!quasi_identifier || other.quasi_identifier) &&
+           (!sensitive || other.sensitive) && (!generic || other.generic);
+  }
+
+  /// "⟨a,a,n,n⟩" in the paper's i,q,s,g order.
+  std::string ToString() const;
+
+  bool operator==(const JointAccess&) const = default;
+};
+
+/// Action type (Def. 1). On the policy side all dimensions are set; on the
+/// query-signature side `multiplicity` and `aggregation` are ⊥ (nullopt)
+/// for indirect accesses, exactly as in the paper's info tuples (Fig. 3).
+struct ActionType {
+  Indirection indirection = Indirection::kDirect;
+  std::optional<Multiplicity> multiplicity;
+  std::optional<Aggregation> aggregation;
+  JointAccess joint_access;
+
+  /// Convenience factories for the common shapes.
+  static ActionType Direct(Multiplicity ms, Aggregation ag, JointAccess ja) {
+    return ActionType{Indirection::kDirect, ms, ag, ja};
+  }
+  static ActionType Indirect(JointAccess ja) {
+    return ActionType{Indirection::kIndirect, std::nullopt, std::nullopt, ja};
+  }
+
+  /// "⟨d,s,a,⟨a,a,n,n⟩⟩" notation of the paper; ⊥ printed for unset dims.
+  std::string ToString() const;
+
+  bool operator==(const ActionType&) const = default;
+};
+
+/// Def. 5 — action type compliance of a query-signature action type `sig`
+/// with a policy-rule action type `rule`: the operation dimensions must
+/// agree (a ⊥ dimension on the signature side matches anything) and the
+/// signature's joint access must be a subset of the rule's.
+bool ActionTypeComplies(const ActionType& sig, const ActionType& rule);
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_ACTION_TYPE_H_

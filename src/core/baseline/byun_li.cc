@@ -1,0 +1,259 @@
+#include "core/baseline/byun_li.h"
+
+#include <functional>
+#include <vector>
+
+#include "core/compliance.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/bitstring.h"
+#include "util/strings.h"
+
+namespace aapac::core::baseline {
+
+using engine::Value;
+using engine::ValueType;
+
+ByunLiMonitor::ByunLiMonitor(engine::Database* db,
+                             AccessControlCatalog* catalog)
+    : db_(db),
+      catalog_(catalog),
+      executor_(db),
+      check_count_(std::make_shared<uint64_t>(0)) {
+  auto counter = check_count_;
+  db_->functions().Register(engine::ScalarFunction{
+      kPurposeAllowsFunction, 2,
+      [counter](const std::vector<Value>& args) -> Result<Value> {
+        ++*counter;
+        if (args[1].is_null()) return Value::Bool(false);
+        if (args[0].type() != ValueType::kBytes ||
+            args[1].type() != ValueType::kBytes) {
+          return Status::ExecutionError(
+              "purpose_allows expects two bit-string arguments");
+        }
+        // The query purpose mask is a singleton; the tuple's intended
+        // purposes allow it iff the singleton is a subset. Both masks share
+        // one layout, so this is the single-rule case of complies_with.
+        return Value::Bool(
+            CompliesWithPacked(args[0].AsBytes(), args[1].AsBytes()));
+      }});
+}
+
+Result<std::string> ByunLiMonitor::EncodePurposeMask(
+    const std::set<std::string>& purpose_ids) const {
+  BitString mask;
+  for (const Purpose& p : catalog_->purposes().ordered()) {
+    mask.PushBack(purpose_ids.count(p.id) > 0);
+  }
+  // Pad to a byte boundary so the packed fast path applies.
+  while (mask.size() % 8 != 0) mask.PushBack(false);
+  for (const std::string& p : purpose_ids) {
+    if (!catalog_->purposes().Contains(p)) {
+      return Status::NotFound("purpose '" + p + "' not defined");
+    }
+  }
+  return mask.ToBytes();
+}
+
+Status ByunLiMonitor::ProtectTable(const std::string& table) {
+  const std::string t = ToLower(table);
+  AAPAC_ASSIGN_OR_RETURN(engine::Table * tbl, db_->GetTable(t));
+  if (protected_tables_.count(t) > 0) {
+    return Status::AlreadyExists("table '" + t +
+                                 "' already has intended purposes");
+  }
+  AAPAC_RETURN_NOT_OK(tbl->AddColumn(
+      engine::Column{kIntendedPurposesColumn, ValueType::kBytes},
+      Value::Null()));
+  protected_tables_.insert(t);
+  return Status::OK();
+}
+
+Status ByunLiMonitor::SetIntendedPurposes(
+    const std::string& table, const std::set<std::string>& purpose_ids) {
+  AAPAC_ASSIGN_OR_RETURN(std::string mask, EncodePurposeMask(purpose_ids));
+  AAPAC_ASSIGN_OR_RETURN(engine::Table * tbl, db_->GetTable(ToLower(table)));
+  auto col = tbl->schema().FindColumn(kIntendedPurposesColumn);
+  if (!col.has_value()) {
+    return Status::InvalidArgument("table '" + table +
+                                   "' has no intended_purposes column");
+  }
+  const Value encoded = Value::Bytes(mask);
+  for (size_t i = 0; i < tbl->num_rows(); ++i) {
+    tbl->mutable_row(i)[*col] = encoded;
+  }
+  return Status::OK();
+}
+
+Status ByunLiMonitor::SetIntendedPurposesWhere(
+    const std::string& table, const std::string& column,
+    const engine::Value& value, const std::set<std::string>& purpose_ids) {
+  AAPAC_ASSIGN_OR_RETURN(std::string mask, EncodePurposeMask(purpose_ids));
+  AAPAC_ASSIGN_OR_RETURN(engine::Table * tbl, db_->GetTable(ToLower(table)));
+  auto pcol = tbl->schema().FindColumn(kIntendedPurposesColumn);
+  auto scol = tbl->schema().FindColumn(ToLower(column));
+  if (!pcol.has_value()) {
+    return Status::InvalidArgument("table '" + table +
+                                   "' has no intended_purposes column");
+  }
+  if (!scol.has_value()) {
+    return Status::NotFound("selector column '" + column + "' not found");
+  }
+  const Value encoded = Value::Bytes(mask);
+  for (size_t i = 0; i < tbl->num_rows(); ++i) {
+    const Value& v = tbl->row(i)[*scol];
+    if (!v.is_null() && v.Equals(value)) {
+      tbl->mutable_row(i)[*pcol] = encoded;
+    }
+  }
+  return Status::OK();
+}
+
+Status ByunLiMonitor::RewriteSubqueriesInExpr(sql::Expr* expr,
+                                              const std::string& purpose) const {
+  if (expr == nullptr) return Status::OK();
+  switch (expr->kind()) {
+    case sql::Expr::Kind::kBinary: {
+      auto& e = static_cast<sql::BinaryExpr&>(*expr);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.lhs.get(), purpose));
+      return RewriteSubqueriesInExpr(e.rhs.get(), purpose);
+    }
+    case sql::Expr::Kind::kUnary:
+      return RewriteSubqueriesInExpr(
+          static_cast<sql::UnaryExpr&>(*expr).operand.get(), purpose);
+    case sql::Expr::Kind::kFuncCall: {
+      auto& e = static_cast<sql::FuncCallExpr&>(*expr);
+      for (auto& a : e.args) {
+        AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(a.get(), purpose));
+      }
+      return Status::OK();
+    }
+    case sql::Expr::Kind::kIn: {
+      auto& e = static_cast<sql::InExpr&>(*expr);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.operand.get(), purpose));
+      for (auto& item : e.list) {
+        AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(item.get(), purpose));
+      }
+      if (e.subquery != nullptr) return RewriteLevel(e.subquery.get(), purpose);
+      return Status::OK();
+    }
+    case sql::Expr::Kind::kIsNull:
+      return RewriteSubqueriesInExpr(
+          static_cast<sql::IsNullExpr&>(*expr).operand.get(), purpose);
+    case sql::Expr::Kind::kBetween: {
+      auto& e = static_cast<sql::BetweenExpr&>(*expr);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.operand.get(), purpose));
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.lo.get(), purpose));
+      return RewriteSubqueriesInExpr(e.hi.get(), purpose);
+    }
+    case sql::Expr::Kind::kCase: {
+      auto& e = static_cast<sql::CaseExpr&>(*expr);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.operand.get(), purpose));
+      for (auto& w : e.whens) {
+        AAPAC_RETURN_NOT_OK(
+            RewriteSubqueriesInExpr(w.condition.get(), purpose));
+        AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(w.result.get(), purpose));
+      }
+      return RewriteSubqueriesInExpr(e.else_result.get(), purpose);
+    }
+    case sql::Expr::Kind::kScalarSubquery:
+      return RewriteLevel(
+          static_cast<sql::ScalarSubqueryExpr&>(*expr).subquery.get(),
+          purpose);
+    default:
+      return Status::OK();
+  }
+}
+
+Status ByunLiMonitor::RewriteLevel(sql::SelectStmt* stmt,
+                                   const std::string& purpose) const {
+  // Collect this level's protected base bindings and recurse into derived
+  // tables and ON conditions.
+  struct Binding {
+    std::string name;
+    std::string table;
+  };
+  std::vector<Binding> bindings;
+  std::function<Status(sql::TableRef*)> walk =
+      [&](sql::TableRef* ref) -> Status {
+    switch (ref->kind()) {
+      case sql::TableRef::Kind::kBaseTable: {
+        auto& base = static_cast<sql::BaseTableRef&>(*ref);
+        const std::string table = ToLower(base.table_name);
+        if (protected_tables_.count(table) > 0) {
+          bindings.push_back(Binding{ToLower(base.BindingName()), table});
+        }
+        return Status::OK();
+      }
+      case sql::TableRef::Kind::kSubquery:
+        return RewriteLevel(
+            static_cast<sql::SubqueryTableRef&>(*ref).subquery.get(), purpose);
+      case sql::TableRef::Kind::kJoin: {
+        auto& join = static_cast<sql::JoinRef&>(*ref);
+        AAPAC_RETURN_NOT_OK(walk(join.left.get()));
+        AAPAC_RETURN_NOT_OK(walk(join.right.get()));
+        return RewriteSubqueriesInExpr(join.on.get(), purpose);
+      }
+    }
+    return Status::Internal("unhandled table ref kind");
+  };
+  for (auto& ref : stmt->from) {
+    AAPAC_RETURN_NOT_OK(walk(ref.get()));
+  }
+  for (auto& item : stmt->items) {
+    AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(item.expr.get(), purpose));
+  }
+  AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(stmt->where.get(), purpose));
+  AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(stmt->having.get(), purpose));
+
+  // One purpose check per protected binding, after the original WHERE.
+  BitString query_mask;
+  for (const Purpose& p : catalog_->purposes().ordered()) {
+    query_mask.PushBack(p.id == purpose);
+  }
+  while (query_mask.size() % 8 != 0) query_mask.PushBack(false);
+  sql::ExprPtr checks;
+  for (const Binding& b : bindings) {
+    std::vector<sql::ExprPtr> args;
+    args.push_back(std::make_unique<sql::LiteralExpr>(
+        sql::LiteralValue(sql::BitLiteral{query_mask.ToBinary()})));
+    args.push_back(std::make_unique<sql::ColumnRefExpr>(
+        b.name, kIntendedPurposesColumn));
+    sql::ExprPtr call = std::make_unique<sql::FuncCallExpr>(
+        kPurposeAllowsFunction, std::move(args), /*distinct=*/false);
+    checks = checks == nullptr ? std::move(call)
+                               : std::make_unique<sql::BinaryExpr>(
+                                     sql::BinaryOp::kAnd, std::move(checks),
+                                     std::move(call));
+  }
+  if (checks != nullptr) {
+    stmt->where = stmt->where == nullptr
+                      ? std::move(checks)
+                      : std::make_unique<sql::BinaryExpr>(
+                            sql::BinaryOp::kAnd, std::move(stmt->where),
+                            std::move(checks));
+  }
+  return Status::OK();
+}
+
+Result<engine::ResultSet> ByunLiMonitor::ExecuteQuery(
+    const std::string& sql, const std::string& purpose) {
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         catalog_->purposes().Resolve(purpose));
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  AAPAC_RETURN_NOT_OK(RewriteLevel(stmt.get(), purpose_id));
+  return executor_.Execute(*stmt);
+}
+
+Result<std::string> ByunLiMonitor::Rewrite(const std::string& sql,
+                                           const std::string& purpose) const {
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         catalog_->purposes().Resolve(purpose));
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  AAPAC_RETURN_NOT_OK(RewriteLevel(stmt.get(), purpose_id));
+  return sql::ToSql(*stmt);
+}
+
+}  // namespace aapac::core::baseline

@@ -1,0 +1,84 @@
+#ifndef AAPAC_CORE_BASELINE_BYUN_LI_H_
+#define AAPAC_CORE_BASELINE_BYUN_LI_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/catalog.h"
+#include "engine/exec.h"
+#include "util/result.h"
+
+namespace aapac::core::baseline {
+
+/// Purpose-only enforcement in the style of Byun & Li's reference model
+/// [3 in the paper]: each tuple carries a set of *intended purposes* and a
+/// query with access purpose Ap may use a tuple iff Ap is among them. There
+/// is no action awareness — any action (direct/indirect, aggregated or not,
+/// any joint access) is allowed once the purpose matches.
+///
+/// Implementation mirrors the main framework: intended purposes are encoded
+/// as a purpose mask (over the catalog's purpose set, Oc order) in a BYTES
+/// column `intended_purposes`, and enforcement rewrites queries to conjoin
+///
+///     purpose_allows(b'<query purpose mask>', <binding>.intended_purposes)
+///
+/// per protected table at every nesting level. Used by the ablation
+/// benchmarks to compare the expressiveness/overhead of action-aware
+/// enforcement against the model the paper extends.
+class ByunLiMonitor {
+ public:
+  static constexpr const char* kIntendedPurposesColumn = "intended_purposes";
+  static constexpr const char* kPurposeAllowsFunction = "purpose_allows";
+
+  ByunLiMonitor(engine::Database* db, AccessControlCatalog* catalog);
+
+  ByunLiMonitor(const ByunLiMonitor&) = delete;
+  ByunLiMonitor& operator=(const ByunLiMonitor&) = delete;
+
+  /// Adds the intended_purposes column to `table`.
+  Status ProtectTable(const std::string& table);
+
+  bool IsProtected(const std::string& table) const {
+    return protected_tables_.count(table) > 0;
+  }
+
+  /// Sets the intended purposes of every tuple of `table`.
+  Status SetIntendedPurposes(const std::string& table,
+                             const std::set<std::string>& purpose_ids);
+
+  /// Sets the intended purposes of the tuples where `column == value`.
+  Status SetIntendedPurposesWhere(const std::string& table,
+                                  const std::string& column,
+                                  const engine::Value& value,
+                                  const std::set<std::string>& purpose_ids);
+
+  /// Rewrites and executes; analogous to EnforcementMonitor::ExecuteQuery.
+  Result<engine::ResultSet> ExecuteQuery(const std::string& sql,
+                                         const std::string& purpose);
+
+  Result<std::string> Rewrite(const std::string& sql,
+                              const std::string& purpose) const;
+
+  uint64_t purpose_checks() const { return *check_count_; }
+  void ResetPurposeChecks() { *check_count_ = 0; }
+
+  engine::ExecStats& exec_stats() { return executor_.stats(); }
+
+ private:
+  Status RewriteLevel(sql::SelectStmt* stmt, const std::string& purpose) const;
+  Status RewriteSubqueriesInExpr(sql::Expr* expr,
+                                 const std::string& purpose) const;
+  Result<std::string> EncodePurposeMask(
+      const std::set<std::string>& purpose_ids) const;
+
+  engine::Database* db_;
+  AccessControlCatalog* catalog_;
+  engine::Executor executor_;
+  std::set<std::string> protected_tables_;
+  std::shared_ptr<uint64_t> check_count_;
+};
+
+}  // namespace aapac::core::baseline
+
+#endif  // AAPAC_CORE_BASELINE_BYUN_LI_H_

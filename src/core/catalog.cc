@@ -1,0 +1,197 @@
+#include "core/catalog.h"
+
+#include "util/strings.h"
+
+namespace aapac::core {
+
+using engine::Column;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+using engine::ValueType;
+
+Status AccessControlCatalog::Initialize() {
+  {
+    Schema schema;
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"id", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"ds", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(db_->CreateTable(kPurposeTable, schema).status());
+  }
+  {
+    Schema schema;
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"at", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"tb", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"ct", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(db_->CreateTable(kCategoryTable, schema).status());
+  }
+  {
+    Schema schema;
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"ui", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"pi", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(db_->CreateTable(kAuthorizationTable, schema).status());
+  }
+  return Status::OK();
+}
+
+Status AccessControlCatalog::LoadFromMetadataTables() {
+  const Table* pr = db_->FindTable(kPurposeTable);
+  const Table* pm = db_->FindTable(kCategoryTable);
+  const Table* pa = db_->FindTable(kAuthorizationTable);
+  if (pr == nullptr || pm == nullptr || pa == nullptr) {
+    return Status::NotFound(
+        "metadata tables (pr/pm/pa) missing; was the database initialized?");
+  }
+  PurposeSet purposes;
+  for (const auto& row : pr->rows()) {
+    if (row.size() < 2 || row[0].type() != ValueType::kString) {
+      return Status::InvalidArgument("malformed row in table pr");
+    }
+    AAPAC_RETURN_NOT_OK(purposes.Add(Purpose{
+        row[0].AsString(),
+        row[1].is_null() ? std::string() : row[1].AsString()}));
+  }
+  decltype(categories_) categories;
+  for (const auto& row : pm->rows()) {
+    if (row.size() < 3 || row[0].type() != ValueType::kString ||
+        row[1].type() != ValueType::kString ||
+        row[2].type() != ValueType::kString) {
+      return Status::InvalidArgument("malformed row in table pm");
+    }
+    AAPAC_ASSIGN_OR_RETURN(DataCategory category,
+                           DataCategoryFromString(row[2].AsString()));
+    categories[{row[1].AsString(), row[0].AsString()}] = category;
+  }
+  decltype(authorizations_) authorizations;
+  for (const auto& row : pa->rows()) {
+    if (row.size() < 2 || row[0].type() != ValueType::kString ||
+        row[1].type() != ValueType::kString) {
+      return Status::InvalidArgument("malformed row in table pa");
+    }
+    authorizations.insert({row[0].AsString(), row[1].AsString()});
+  }
+  decltype(protected_tables_) protected_tables;
+  for (const std::string& name : db_->TableNames()) {
+    const Table* t = db_->FindTable(name);
+    if (t->schema().HasColumn(kPolicyColumn)) protected_tables.insert(name);
+  }
+  purposes_ = std::move(purposes);
+  categories_ = std::move(categories);
+  authorizations_ = std::move(authorizations);
+  protected_tables_ = std::move(protected_tables);
+  return Status::OK();
+}
+
+Status AccessControlCatalog::SyncPurposeTable() {
+  AAPAC_ASSIGN_OR_RETURN(Table * t, db_->GetTable(kPurposeTable));
+  t->Clear();
+  for (const Purpose& p : purposes_.ordered()) {
+    AAPAC_RETURN_NOT_OK(
+        t->Insert({Value::String(p.id), Value::String(p.description)}));
+  }
+  return Status::OK();
+}
+
+Status AccessControlCatalog::SyncCategoryTable() {
+  AAPAC_ASSIGN_OR_RETURN(Table * t, db_->GetTable(kCategoryTable));
+  t->Clear();
+  for (const auto& [key, category] : categories_) {
+    AAPAC_RETURN_NOT_OK(t->Insert({Value::String(key.second),
+                                   Value::String(key.first),
+                                   Value::String(DataCategoryToString(category))}));
+  }
+  return Status::OK();
+}
+
+Status AccessControlCatalog::SyncAuthorizationTable() {
+  AAPAC_ASSIGN_OR_RETURN(Table * t, db_->GetTable(kAuthorizationTable));
+  t->Clear();
+  for (const auto& [user, purpose] : authorizations_) {
+    AAPAC_RETURN_NOT_OK(t->Insert({Value::String(user), Value::String(purpose)}));
+  }
+  return Status::OK();
+}
+
+Status AccessControlCatalog::DefinePurpose(const std::string& id,
+                                           const std::string& description) {
+  AAPAC_RETURN_NOT_OK(purposes_.Add(Purpose{id, description}));
+  return SyncPurposeTable();
+}
+
+Status AccessControlCatalog::RemovePurpose(const std::string& id) {
+  AAPAC_RETURN_NOT_OK(purposes_.Remove(id));
+  return SyncPurposeTable();
+}
+
+Status AccessControlCatalog::Categorize(const std::string& table,
+                                        const std::string& column,
+                                        DataCategory category) {
+  const std::string t = ToLower(table);
+  const std::string c = ToLower(column);
+  AAPAC_ASSIGN_OR_RETURN(Table * tbl, db_->GetTable(t));
+  if (!tbl->schema().HasColumn(c)) {
+    return Status::NotFound("column '" + c + "' not found in table '" + t +
+                            "'");
+  }
+  categories_[{t, c}] = category;
+  return SyncCategoryTable();
+}
+
+DataCategory AccessControlCatalog::CategoryOf(const std::string& table,
+                                              const std::string& column) const {
+  auto it = categories_.find({ToLower(table), ToLower(column)});
+  return it == categories_.end() ? DataCategory::kGeneric : it->second;
+}
+
+Status AccessControlCatalog::AuthorizeUser(const std::string& user,
+                                           const std::string& purpose_id) {
+  if (!purposes_.Contains(purpose_id)) {
+    return Status::NotFound("purpose '" + purpose_id + "' not defined");
+  }
+  authorizations_.insert({user, purpose_id});
+  return SyncAuthorizationTable();
+}
+
+Status AccessControlCatalog::RevokeUser(const std::string& user,
+                                        const std::string& purpose_id) {
+  if (authorizations_.erase({user, purpose_id}) == 0) {
+    return Status::NotFound("no authorization for user '" + user +
+                            "' and purpose '" + purpose_id + "'");
+  }
+  return SyncAuthorizationTable();
+}
+
+bool AccessControlCatalog::IsUserAuthorized(
+    const std::string& user, const std::string& purpose_id) const {
+  return authorizations_.count({user, purpose_id}) > 0;
+}
+
+Status AccessControlCatalog::ProtectTable(const std::string& table) {
+  const std::string t = ToLower(table);
+  AAPAC_ASSIGN_OR_RETURN(Table * tbl, db_->GetTable(t));
+  if (protected_tables_.count(t) > 0) {
+    return Status::AlreadyExists("table '" + t + "' is already protected");
+  }
+  AAPAC_RETURN_NOT_OK(
+      tbl->AddColumn(Column{kPolicyColumn, ValueType::kBytes}, Value::Null()));
+  protected_tables_.insert(t);
+  return Status::OK();
+}
+
+Result<MaskLayout> AccessControlCatalog::LayoutFor(
+    const std::string& table) const {
+  const Table* tbl = db_->FindTable(ToLower(table));
+  if (tbl == nullptr) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  std::vector<std::string> columns;
+  for (const Column& col : tbl->schema().columns()) {
+    if (col.name == kPolicyColumn) continue;
+    columns.push_back(col.name);
+  }
+  std::vector<std::string> purposes;
+  purposes.reserve(purposes_.size());
+  for (const Purpose& p : purposes_.ordered()) purposes.push_back(p.id);
+  return MaskLayout(std::move(columns), std::move(purposes));
+}
+
+}  // namespace aapac::core

@@ -1,0 +1,108 @@
+#ifndef AAPAC_CORE_CATALOG_H_
+#define AAPAC_CORE_CATALOG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/category.h"
+#include "core/masks.h"
+#include "core/purpose.h"
+#include "engine/database.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Access Control Management module (§2, §5.1): purpose definitions, data
+/// categorization, user purpose authorizations, and the `policy` column of
+/// protected tables.
+///
+/// All security metadata is kept both in memory (for fast lookups during
+/// signature derivation) and in regular tables of the target database —
+/// Pr(id, ds), Pm(at, tb, ct) and Pa(ui, pi) — exactly as the paper
+/// prescribes, so administrators can inspect them with plain SQL.
+class AccessControlCatalog {
+ public:
+  /// Name of the per-tuple policy-mask column added to protected tables.
+  static constexpr const char* kPolicyColumn = "policy";
+  static constexpr const char* kPurposeTable = "pr";
+  static constexpr const char* kCategoryTable = "pm";
+  static constexpr const char* kAuthorizationTable = "pa";
+
+  explicit AccessControlCatalog(engine::Database* db) : db_(db) {}
+
+  AccessControlCatalog(const AccessControlCatalog&) = delete;
+  AccessControlCatalog& operator=(const AccessControlCatalog&) = delete;
+
+  /// Creates the Pr/Pm/Pa metadata tables in the target database.
+  Status Initialize();
+
+  /// Rebuilds the in-memory state from the Pr/Pm/Pa tables of an existing
+  /// database (e.g. after engine::LoadSnapshot): purposes, categorization,
+  /// authorizations, and the protected-table set (any table that carries a
+  /// `policy` column). Replaces whatever was held in memory before.
+  Status LoadFromMetadataTables();
+
+  // --- Purposes (table Pr). -------------------------------------------------
+
+  Status DefinePurpose(const std::string& id, const std::string& description);
+  Status RemovePurpose(const std::string& id);
+  const PurposeSet& purposes() const { return purposes_; }
+
+  // --- Data categorization (table Pm). ---------------------------------------
+
+  /// Classifies `table.column`; both must exist. Re-categorizing overwrites.
+  Status Categorize(const std::string& table, const std::string& column,
+                    DataCategory category);
+
+  /// Category of a column; uncategorized data is implicitly generic (§4.1).
+  DataCategory CategoryOf(const std::string& table,
+                          const std::string& column) const;
+
+  // --- User purpose authorizations (table Pa). --------------------------------
+
+  Status AuthorizeUser(const std::string& user, const std::string& purpose_id);
+  Status RevokeUser(const std::string& user, const std::string& purpose_id);
+  bool IsUserAuthorized(const std::string& user,
+                        const std::string& purpose_id) const;
+
+  // --- Protected tables. -------------------------------------------------------
+
+  /// Adds the binary `policy` column to `table` (schema alteration of §5.1).
+  /// Existing rows get an empty policy, which complies with nothing — the
+  /// safe default until the PolicyManager attaches real policies.
+  Status ProtectTable(const std::string& table);
+
+  bool IsProtected(const std::string& table) const {
+    return protected_tables_.count(table) > 0;
+  }
+  const std::set<std::string>& protected_tables() const {
+    return protected_tables_;
+  }
+
+  /// Mask layout for `table`: its attributes in schema order (excluding the
+  /// policy column) and the purpose set in Oc order.
+  Result<MaskLayout> LayoutFor(const std::string& table) const;
+
+  engine::Database* db() { return db_; }
+  const engine::Database* db() const { return db_; }
+
+ private:
+  Status SyncPurposeTable();
+  Status SyncCategoryTable();
+  Status SyncAuthorizationTable();
+
+  engine::Database* db_;
+  PurposeSet purposes_;
+  // (table, column) -> category; keys lowercase.
+  std::map<std::pair<std::string, std::string>, DataCategory> categories_;
+  // (user, purpose id).
+  std::set<std::pair<std::string, std::string>> authorizations_;
+  std::set<std::string> protected_tables_;  // Lowercase names.
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_CATALOG_H_

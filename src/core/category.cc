@@ -1,0 +1,46 @@
+#include "core/category.h"
+
+#include "util/strings.h"
+
+namespace aapac::core {
+
+const char* DataCategoryToString(DataCategory category) {
+  switch (category) {
+    case DataCategory::kIdentifier:
+      return "identifier";
+    case DataCategory::kQuasiIdentifier:
+      return "quasi_identifier";
+    case DataCategory::kSensitive:
+      return "sensitive";
+    case DataCategory::kGeneric:
+      return "generic";
+  }
+  return "?";
+}
+
+char DataCategoryCode(DataCategory category) {
+  switch (category) {
+    case DataCategory::kIdentifier:
+      return 'i';
+    case DataCategory::kQuasiIdentifier:
+      return 'q';
+    case DataCategory::kSensitive:
+      return 's';
+    case DataCategory::kGeneric:
+      return 'g';
+  }
+  return '?';
+}
+
+Result<DataCategory> DataCategoryFromString(const std::string& text) {
+  const std::string t = ToLower(text);
+  if (t == "identifier" || t == "i") return DataCategory::kIdentifier;
+  if (t == "quasi_identifier" || t == "quasi identifier" || t == "q") {
+    return DataCategory::kQuasiIdentifier;
+  }
+  if (t == "sensitive" || t == "s") return DataCategory::kSensitive;
+  if (t == "generic" || t == "g") return DataCategory::kGeneric;
+  return Status::InvalidArgument("unknown data category '" + text + "'");
+}
+
+}  // namespace aapac::core

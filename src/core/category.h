@@ -1,0 +1,31 @@
+#ifndef AAPAC_CORE_CATEGORY_H_
+#define AAPAC_CORE_CATEGORY_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Data categories of §4.1 — the privacy-legislation-derived classes that
+/// security administrators assign to every table column. `generic` is the
+/// implicit default for uncategorized data.
+enum class DataCategory {
+  kIdentifier,       // Directly identifies a data subject.
+  kQuasiIdentifier,  // Identifying in combination with external data.
+  kSensitive,        // Medical / financial / ... information.
+  kGeneric,          // Everything else.
+};
+
+/// Stable display name: "identifier", "quasi_identifier", ...
+const char* DataCategoryToString(DataCategory category);
+
+/// Single-letter code used in masks and the paper's tuples: i, q, s, g.
+char DataCategoryCode(DataCategory category);
+
+/// Parses either the full name or the single-letter code.
+Result<DataCategory> DataCategoryFromString(const std::string& text);
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_CATEGORY_H_

@@ -1,0 +1,51 @@
+#include "core/complexity.h"
+
+#include <memory>
+
+#include "core/signature_builder.h"
+#include "sql/parser.h"
+
+namespace aapac::core {
+
+namespace {
+
+void Accumulate(const AccessControlCatalog& catalog, const QuerySignature& qs,
+                ComplexityEstimate* out) {
+  for (const TableSignature& ts : qs.tables) {
+    if (!catalog.IsProtected(ts.table)) continue;
+    const engine::Table* table = catalog.db()->FindTable(ts.table);
+    if (table == nullptr) continue;
+    TableComplexity term;
+    term.table = ts.table;
+    term.tuples = table->num_rows();
+    term.action_signatures = ts.actions.size();
+    out->upper_bound += term.tuples * term.action_signatures;
+    out->terms.push_back(std::move(term));
+  }
+  for (const auto& sub : qs.subqueries) {
+    Accumulate(catalog, *sub, out);
+  }
+}
+
+}  // namespace
+
+Result<ComplexityEstimate> ComplexityUpperBound(
+    const AccessControlCatalog& catalog, const sql::SelectStmt& stmt,
+    const std::string& purpose) {
+  SignatureBuilder builder(&catalog);
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<QuerySignature> qs,
+                         builder.Derive(stmt, purpose));
+  ComplexityEstimate out;
+  Accumulate(catalog, *qs, &out);
+  return out;
+}
+
+Result<ComplexityEstimate> ComplexityUpperBoundSql(
+    const AccessControlCatalog& catalog, const std::string& sql,
+    const std::string& purpose) {
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  return ComplexityUpperBound(catalog, *stmt, purpose);
+}
+
+}  // namespace aapac::core

@@ -1,0 +1,45 @@
+#ifndef AAPAC_CORE_COMPLEXITY_H_
+#define AAPAC_CORE_COMPLEXITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/signature.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Per-table term of the §5.6 complexity bound.
+struct TableComplexity {
+  std::string table;
+  uint64_t tuples = 0;             // n_i.
+  uint64_t action_signatures = 0;  // j_i.
+};
+
+/// Static complexity estimate of a rewritten query (§5.6 Eq. 1): the upper
+/// bound on policy-compliance checks, with the per-table breakdown.
+struct ComplexityEstimate {
+  uint64_t upper_bound = 0;  // cub(q) = Σ n_i · j_i, recursively.
+  std::vector<TableComplexity> terms;  // Flattened over all nesting levels.
+};
+
+/// Computes Eq. 1 for a query executed with `purpose`. Only protected tables
+/// contribute (unprotected tables receive no checks). The actual number of
+/// checks at run time is available from
+/// EnforcementMonitor::compliance_checks() and is typically far below this
+/// bound, as the paper's Fig. 6 discussion explains.
+Result<ComplexityEstimate> ComplexityUpperBound(
+    const AccessControlCatalog& catalog, const sql::SelectStmt& stmt,
+    const std::string& purpose);
+
+/// Same, from SQL text.
+Result<ComplexityEstimate> ComplexityUpperBoundSql(
+    const AccessControlCatalog& catalog, const std::string& sql,
+    const std::string& purpose);
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_COMPLEXITY_H_

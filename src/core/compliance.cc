@@ -1,0 +1,97 @@
+#include "core/compliance.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace aapac::core {
+
+bool SignatureRuleComplies(const ActionSignature& signature,
+                           const std::string& purpose,
+                           const PolicyRule& rule) {
+  // 1) Cs ⊆ Cl.
+  if (!std::includes(rule.columns.begin(), rule.columns.end(),
+                     signature.columns.begin(), signature.columns.end())) {
+    return false;
+  }
+  // 2) Action type compliance (Def. 5).
+  if (!ActionTypeComplies(signature.action_type, rule.action_type)) {
+    return false;
+  }
+  // 3) Ap ∈ Pu.
+  return rule.purposes.count(purpose) > 0;
+}
+
+bool SignaturePolicyComplies(const ActionSignature& signature,
+                             const std::string& purpose,
+                             const Policy& policy) {
+  for (const PolicyRule& rule : policy.rules) {
+    if (SignatureRuleComplies(signature, purpose, rule)) return true;
+  }
+  return false;
+}
+
+bool QuerySignaturePolicyComplies(const QuerySignature& qs,
+                                  const Policy& policy) {
+  for (const TableSignature& ts : qs.tables) {
+    if (ts.table != policy.table) continue;
+    for (const ActionSignature& as : ts.actions) {
+      if (!SignaturePolicyComplies(as, qs.purpose, policy)) return false;
+    }
+  }
+  for (const auto& sub : qs.subqueries) {
+    if (!QuerySignaturePolicyComplies(*sub, policy)) return false;
+  }
+  return true;
+}
+
+bool CompliesWith(const BitString& signature_mask,
+                  const BitString& policy_mask) {
+  const size_t rml = signature_mask.size();
+  if (rml == 0 || policy_mask.size() % rml != 0) return false;
+  const size_t rule_count = policy_mask.size() / rml;
+  for (size_t r = 0; r < rule_count; ++r) {
+    auto rm = policy_mask.Substring(r * rml, rml);
+    if (!rm.ok()) return false;
+    if (signature_mask.IsSubsetOf(*rm)) return true;
+  }
+  return false;
+}
+
+bool CompliesWithPacked(const std::string& signature_bytes,
+                        const std::string& policy_bytes) {
+  if (signature_bytes.size() < 4 || policy_bytes.size() < 4) return false;
+  uint32_t sig_bits = 0;
+  uint32_t pol_bits = 0;
+  std::memcpy(&sig_bits, signature_bytes.data(), 4);
+  std::memcpy(&pol_bits, policy_bytes.data(), 4);
+  if (sig_bits == 0 || pol_bits % sig_bits != 0) return false;
+  if (sig_bits % 8 != 0) {
+    // Unaligned layouts take the slow, always-correct path.
+    auto sig = BitString::FromBytes(signature_bytes);
+    auto pol = BitString::FromBytes(policy_bytes);
+    if (!sig.ok() || !pol.ok()) return false;
+    return CompliesWith(*sig, *pol);
+  }
+  const size_t rule_bytes = sig_bits / 8;
+  if (signature_bytes.size() != 4 + rule_bytes) return false;
+  const size_t rule_count = pol_bits / sig_bits;
+  if (policy_bytes.size() != 4 + rule_count * rule_bytes) return false;
+  const unsigned char* sig =
+      reinterpret_cast<const unsigned char*>(signature_bytes.data()) + 4;
+  const unsigned char* pol =
+      reinterpret_cast<const unsigned char*>(policy_bytes.data()) + 4;
+  for (size_t r = 0; r < rule_count; ++r) {
+    const unsigned char* rm = pol + r * rule_bytes;
+    bool subset = true;
+    for (size_t b = 0; b < rule_bytes; ++b) {
+      if ((sig[b] & rm[b]) != sig[b]) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) return true;
+  }
+  return false;
+}
+
+}  // namespace aapac::core

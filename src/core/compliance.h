@@ -1,0 +1,57 @@
+#ifndef AAPAC_CORE_COMPLIANCE_H_
+#define AAPAC_CORE_COMPLIANCE_H_
+
+#include <string>
+
+#include "core/policy.h"
+#include "core/signature.h"
+#include "util/bitstring.h"
+
+namespace aapac::core {
+
+// ---------------------------------------------------------------------------
+// Semantic compliance — the model-level definitions of §4.4. These are the
+// specification; the bitwise functions below are the efficient
+// implementation the enforcement monitor actually runs, and the test suite
+// checks the two agree on random inputs.
+// ---------------------------------------------------------------------------
+
+/// Def. 5 + Def. 6 rule clause: the signature's columns are a subset of the
+/// rule's, the action types comply, and `purpose` is among the rule's.
+bool SignatureRuleComplies(const ActionSignature& signature,
+                           const std::string& purpose, const PolicyRule& rule);
+
+/// Def. 6, one action signature against a whole policy: some rule complies.
+bool SignaturePolicyComplies(const ActionSignature& signature,
+                             const std::string& purpose, const Policy& policy);
+
+/// Def. 6, full query signature against a policy specified for
+/// `policy.table`: every action signature of every table signature that
+/// refers to that table must comply. Sub-query signatures are checked
+/// recursively (enforcement applies the same constraint per nesting level,
+/// §5.5).
+bool QuerySignaturePolicyComplies(const QuerySignature& qs,
+                                  const Policy& policy);
+
+// ---------------------------------------------------------------------------
+// Bitwise compliance — Defs. 15-17 / Listing 1.
+// ---------------------------------------------------------------------------
+
+/// Listing 1 `compliesWith`: true iff the policy mask splits into rule masks
+/// of the action-signature mask's length and some rule mask `rm` satisfies
+/// `asm & rm == asm`. Returns false on length mismatch (as the pseudocode
+/// does).
+bool CompliesWith(const BitString& signature_mask, const BitString& policy_mask);
+
+/// Hot-path variant over the serialized BitString wire format (4-byte
+/// little-endian bit count + packed payload) — the shape stored in the
+/// `policy` column and passed to the SQL UDF. When the signature mask is
+/// byte-aligned (MaskLayout guarantees this via padding) the check runs as
+/// a straight byte sweep with no allocation; otherwise it falls back to the
+/// BitString implementation.
+bool CompliesWithPacked(const std::string& signature_bytes,
+                        const std::string& policy_bytes);
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_COMPLIANCE_H_

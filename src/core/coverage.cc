@@ -1,0 +1,119 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/compliance.h"
+
+namespace aapac::core {
+
+namespace {
+
+/// True iff `a` subsumes `b`: same purpose/column/operation dimensions and
+/// a joint access at least as wide.
+bool Subsumes(const Grant& a, const Grant& b) {
+  return a.purpose == b.purpose && a.column == b.column &&
+         a.action.indirection == b.action.indirection &&
+         a.action.multiplicity == b.action.multiplicity &&
+         a.action.aggregation == b.action.aggregation &&
+         b.action.joint_access.IsSubsetOf(a.action.joint_access);
+}
+
+std::string ActionShapeToText(const ActionType& at) {
+  std::string out;
+  if (at.indirection == Indirection::kIndirect) {
+    out = "indirect";
+  } else {
+    out = "direct ";
+    out += (at.multiplicity.has_value() &&
+            *at.multiplicity == Multiplicity::kMultiple)
+               ? "multiple"
+               : "single";
+    out += (at.aggregation.has_value() &&
+            *at.aggregation == Aggregation::kAggregation)
+               ? " aggregate"
+               : " raw";
+  }
+  out += " joint(";
+  const JointAccess& ja = at.joint_access;
+  if (ja == JointAccess::All()) {
+    out += "all";
+  } else if (ja == JointAccess::None()) {
+    out += "none";
+  } else {
+    bool first = true;
+    auto add = [&](bool set, const char* code) {
+      if (!set) return;
+      if (!first) out += ",";
+      out += code;
+      first = false;
+    };
+    add(ja.identifier, "i");
+    add(ja.quasi_identifier, "q");
+    add(ja.sensitive, "s");
+    add(ja.generic, "g");
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::vector<Grant> FlattenPolicy(const Policy& policy) {
+  std::vector<Grant> grants;
+  for (const PolicyRule& rule : policy.rules) {
+    for (const std::string& purpose : rule.purposes) {
+      for (const std::string& column : rule.columns) {
+        grants.push_back(Grant{purpose, column, rule.action_type});
+      }
+    }
+  }
+  // Drop grants subsumed by another (keep the first of exact duplicates).
+  std::vector<Grant> kept;
+  for (size_t i = 0; i < grants.size(); ++i) {
+    bool drop = false;
+    for (size_t j = 0; j < grants.size(); ++j) {
+      if (i == j) continue;
+      if (Subsumes(grants[j], grants[i])) {
+        // Exact mutual subsumption: keep only the earliest occurrence.
+        if (Subsumes(grants[i], grants[j]) && i < j) continue;
+        drop = true;
+        break;
+      }
+    }
+    if (!drop) kept.push_back(grants[i]);
+  }
+  return kept;
+}
+
+bool IsGranted(const Policy& policy, const std::string& purpose,
+               const std::string& column, const ActionType& action) {
+  ActionSignature signature;
+  signature.columns = {column};
+  signature.action_type = action;
+  return SignaturePolicyComplies(signature, purpose, policy);
+}
+
+std::string CoverageToText(const std::vector<Grant>& grants) {
+  // purpose -> column -> shape texts (insertion-ordered within).
+  std::map<std::string, std::map<std::string, std::vector<std::string>>> tree;
+  for (const Grant& g : grants) {
+    tree[g.purpose][g.column].push_back(ActionShapeToText(g.action));
+  }
+  std::string out;
+  for (const auto& [purpose, columns] : tree) {
+    out += purpose + ":\n";
+    for (const auto& [column, shapes] : columns) {
+      out += "  " + column + ": ";
+      for (size_t i = 0; i < shapes.size(); ++i) {
+        if (i > 0) out += "; ";
+        out += shapes[i];
+      }
+      out += "\n";
+    }
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace aapac::core

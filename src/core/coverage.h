@@ -1,0 +1,47 @@
+#ifndef AAPAC_CORE_COVERAGE_H_
+#define AAPAC_CORE_COVERAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace aapac::core {
+
+/// One atomic permission a policy grants: queries with `purpose` may
+/// perform `action` on `column` (the action's joint-access component bounds
+/// what categories the column may be combined with under this grant).
+struct Grant {
+  std::string purpose;
+  std::string column;
+  ActionType action;
+
+  bool operator==(const Grant&) const = default;
+};
+
+/// Flattens a policy's rules into per-(purpose, column) grants, dropping
+/// exact duplicates and grants subsumed by a wider one (same purpose,
+/// column and operation dimensions, joint access a superset).
+///
+/// Note the flattening is deliberately lossless about joint access:
+/// alternatives stay separate entries because a query jointly accessing
+/// {identifier, sensitive} needs ONE rule covering both — two rules each
+/// covering one category do not compose (Def. 5).
+std::vector<Grant> FlattenPolicy(const Policy& policy);
+
+/// True iff the policy grants `action` on `column` for `purpose` — the
+/// single-cell coverage question (equivalent to the compliance of a
+/// singleton action signature).
+bool IsGranted(const Policy& policy, const std::string& purpose,
+               const std::string& column, const ActionType& action);
+
+/// Human-readable coverage report, grouped by purpose:
+///
+///   p1:
+///     temperature: direct single aggregate joint(s); indirect joint(all)
+///     beats:       ...
+std::string CoverageToText(const std::vector<Grant>& grants);
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_COVERAGE_H_

@@ -1,0 +1,162 @@
+#include "core/masks.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace aapac::core {
+
+namespace {
+
+size_t PadToByte(size_t bits) { return (bits + 7) / 8 * 8; }
+
+/// Appends the 10 action-type bits "i d s m a n | i q s g".
+void AppendActionTypeBits(const ActionType& at, BitString* out) {
+  out->PushBack(at.indirection == Indirection::kIndirect);
+  out->PushBack(at.indirection == Indirection::kDirect);
+  out->PushBack(at.multiplicity.has_value() &&
+                *at.multiplicity == Multiplicity::kSingle);
+  out->PushBack(at.multiplicity.has_value() &&
+                *at.multiplicity == Multiplicity::kMultiple);
+  out->PushBack(at.aggregation.has_value() &&
+                *at.aggregation == Aggregation::kAggregation);
+  out->PushBack(at.aggregation.has_value() &&
+                *at.aggregation == Aggregation::kNoAggregation);
+  out->PushBack(at.joint_access.identifier);
+  out->PushBack(at.joint_access.quasi_identifier);
+  out->PushBack(at.joint_access.sensitive);
+  out->PushBack(at.joint_access.generic);
+}
+
+}  // namespace
+
+MaskLayout::MaskLayout(std::vector<std::string> columns,
+                       std::vector<std::string> purposes)
+    : columns_(std::move(columns)), purposes_(std::move(purposes)) {
+  for (auto& c : columns_) c = ToLower(c);
+  padded_bits_ = PadToByte(unpadded_bits());
+}
+
+Result<BitString> MaskLayout::EncodeRule(const PolicyRule& rule) const {
+  BitString out;
+  // Column mask (Def. 10).
+  for (const std::string& col : rule.columns) {
+    if (std::find(columns_.begin(), columns_.end(), ToLower(col)) ==
+        columns_.end()) {
+      return Status::InvalidArgument("rule references unknown column '" + col +
+                                     "'");
+    }
+  }
+  for (const std::string& col : columns_) {
+    out.PushBack(rule.columns.count(col) > 0);
+  }
+  // Purpose mask (Def. 9).
+  for (const std::string& p : rule.purposes) {
+    if (std::find(purposes_.begin(), purposes_.end(), p) == purposes_.end()) {
+      return Status::InvalidArgument("rule references unknown purpose '" + p +
+                                     "'");
+    }
+  }
+  for (const std::string& p : purposes_) {
+    out.PushBack(rule.purposes.count(p) > 0);
+  }
+  // Action type mask (Def. 11).
+  AppendActionTypeBits(rule.action_type, &out);
+  // Zero padding to the byte boundary.
+  while (out.size() < padded_bits_) out.PushBack(false);
+  return out;
+}
+
+Result<BitString> MaskLayout::EncodePolicy(const Policy& policy) const {
+  if (policy.rules.empty()) {
+    return Status::InvalidArgument("policy has no rules");
+  }
+  BitString out;
+  for (const PolicyRule& rule : policy.rules) {
+    AAPAC_ASSIGN_OR_RETURN(BitString rm, EncodeRule(rule));
+    out.Append(rm);
+  }
+  return out;
+}
+
+Result<BitString> MaskLayout::EncodeActionSignature(
+    const ActionSignature& signature, const std::string& purpose) const {
+  PolicyRule as_rule;
+  as_rule.columns = signature.columns;
+  as_rule.purposes = {purpose};
+  as_rule.action_type = signature.action_type;
+  return EncodeRule(as_rule);
+}
+
+Result<PolicyRule> MaskLayout::DecodeRule(const BitString& mask) const {
+  if (mask.size() != padded_bits_) {
+    return Status::InvalidArgument(
+        "rule mask has " + std::to_string(mask.size()) + " bits, layout has " +
+        std::to_string(padded_bits_));
+  }
+  PolicyRule rule;
+  size_t pos = 0;
+  for (const std::string& col : columns_) {
+    if (mask.Get(pos++)) rule.columns.insert(col);
+  }
+  for (const std::string& p : purposes_) {
+    if (mask.Get(pos++)) rule.purposes.insert(p);
+  }
+  const bool i = mask.Get(pos++);
+  const bool d = mask.Get(pos++);
+  const bool s = mask.Get(pos++);
+  const bool m = mask.Get(pos++);
+  const bool a = mask.Get(pos++);
+  const bool n = mask.Get(pos++);
+  ActionType& at = rule.action_type;
+  // Both-bits-set masks (pass-all) collapse to the canonical direct form.
+  at.indirection = d || !i ? Indirection::kDirect : Indirection::kIndirect;
+  if (s && !m) {
+    at.multiplicity = Multiplicity::kSingle;
+  } else if (m && !s) {
+    at.multiplicity = Multiplicity::kMultiple;
+  } else if (s && m) {
+    at.multiplicity = Multiplicity::kSingle;
+  }
+  if (a && !n) {
+    at.aggregation = Aggregation::kAggregation;
+  } else if (n && !a) {
+    at.aggregation = Aggregation::kNoAggregation;
+  } else if (a && n) {
+    at.aggregation = Aggregation::kAggregation;
+  }
+  at.joint_access.identifier = mask.Get(pos++);
+  at.joint_access.quasi_identifier = mask.Get(pos++);
+  at.joint_access.sensitive = mask.Get(pos++);
+  at.joint_access.generic = mask.Get(pos++);
+  return rule;
+}
+
+Result<std::vector<BitString>> MaskLayout::SplitPolicyMask(
+    const BitString& mask) const {
+  if (padded_bits_ == 0 || mask.size() % padded_bits_ != 0) {
+    return Status::InvalidArgument("policy mask length " +
+                                   std::to_string(mask.size()) +
+                                   " is not a multiple of the rule length " +
+                                   std::to_string(padded_bits_));
+  }
+  std::vector<BitString> rules;
+  rules.reserve(mask.size() / padded_bits_);
+  for (size_t pos = 0; pos < mask.size(); pos += padded_bits_) {
+    AAPAC_ASSIGN_OR_RETURN(BitString rm, mask.Substring(pos, padded_bits_));
+    rules.push_back(std::move(rm));
+  }
+  return rules;
+}
+
+BitString MaskLayout::PassAllRuleMask() const {
+  BitString out(padded_bits_);
+  for (size_t i = 0; i < padded_bits_; ++i) out.Set(i, true);
+  return out;
+}
+
+BitString MaskLayout::PassNoneRuleMask() const {
+  return BitString(padded_bits_);
+}
+
+}  // namespace aapac::core

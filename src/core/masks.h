@@ -1,0 +1,76 @@
+#ifndef AAPAC_CORE_MASKS_H_
+#define AAPAC_CORE_MASKS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/signature.h"
+#include "util/bitstring.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Number of bits in an action type mask: "i d s m a n" plus the four joint
+/// access bits "i q s g" (Def. 11).
+inline constexpr size_t kActionTypeMaskBits = 10;
+
+/// Binary encoding of policies and action signatures for one table (§5.3).
+///
+/// A rule mask is Cm + Pm + Am (Def. 12): one bit per table attribute in
+/// schema order, one bit per purpose in the ordering criterion Oc
+/// (alphabetical by id), and the 10 action type bits — padded with zero bits
+/// to the next byte boundary so that rule extraction from a policy mask is
+/// byte aligned (the paper pads its 23-bit rules to 24 for the same reason,
+/// §6.3). Action signature masks share the exact same layout (Def. 14),
+/// which is what makes the Listing-1 subset test a single AND sweep.
+class MaskLayout {
+ public:
+  /// `columns` is A_T in table-schema order (excluding the `policy` column);
+  /// `purposes` is Ps in Oc order.
+  MaskLayout(std::vector<std::string> columns,
+             std::vector<std::string> purposes);
+
+  /// Rule / action-signature mask length in bits, including padding.
+  size_t rule_mask_bits() const { return padded_bits_; }
+  size_t unpadded_bits() const {
+    return columns_.size() + purposes_.size() + kActionTypeMaskBits;
+  }
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::string>& purposes() const { return purposes_; }
+
+  /// Def. 12. Fails on a column/purpose not present in the layout.
+  Result<BitString> EncodeRule(const PolicyRule& rule) const;
+
+  /// Def. 13 — concatenation of the policy's rule masks.
+  Result<BitString> EncodePolicy(const Policy& policy) const;
+
+  /// Def. 14 — Cm + Pm(singleton purpose) + Am of an action signature.
+  Result<BitString> EncodeActionSignature(const ActionSignature& signature,
+                                          const std::string& purpose) const;
+
+  /// Inverse of EncodeRule, for tooling, auditing and property tests. The
+  /// decoded rule of a *pass-all* mask reports every column/purpose allowed
+  /// and an action type with both alternatives set collapsed to canonical
+  /// values, so round-tripping is exact only for well-formed rules.
+  Result<PolicyRule> DecodeRule(const BitString& mask) const;
+
+  /// Splits a policy mask into its rule masks (the paper's `split`).
+  Result<std::vector<BitString>> SplitPolicyMask(const BitString& mask) const;
+
+  /// §6.1 testing constructs: a pass-all rule mask (all ones — complies
+  /// with every action signature) and a pass-none rule mask (all zeros —
+  /// complies with none).
+  BitString PassAllRuleMask() const;
+  BitString PassNoneRuleMask() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::string> purposes_;
+  size_t padded_bits_;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_MASKS_H_

@@ -1,0 +1,301 @@
+#include "core/monitor.h"
+
+#include "core/compliance.h"
+#include "core/complexity.h"
+#include "core/policy_manager.h"
+#include "core/rbac.h"
+#include "core/signature_builder.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace aapac::core {
+
+using engine::Value;
+using engine::ValueType;
+
+EnforcementMonitor::EnforcementMonitor(engine::Database* db,
+                                       AccessControlCatalog* catalog)
+    : db_(db),
+      catalog_(catalog),
+      rewriter_(catalog),
+      executor_(db),
+      check_count_(std::make_shared<uint64_t>(0)) {
+  auto counter = check_count_;
+  db_->functions().Register(engine::ScalarFunction{
+      QueryRewriter::kCompliesWithFunction, 2,
+      [counter](const std::vector<Value>& args) -> Result<Value> {
+        ++*counter;
+        // A tuple without a policy complies with nothing: deny by default.
+        if (args[1].is_null()) return Value::Bool(false);
+        if (args[0].type() != ValueType::kBytes ||
+            args[1].type() != ValueType::kBytes) {
+          return Status::ExecutionError(
+              "complies_with expects two bit-string arguments");
+        }
+        return Value::Bool(CompliesWithPacked(args[0].AsBytes(),
+                                              args[1].AsBytes()));
+      }});
+}
+
+bool EnforcementMonitor::IsAuthorized(const std::string& user,
+                                      const std::string& purpose_id) const {
+  if (catalog_->IsUserAuthorized(user, purpose_id)) return true;
+  return roles_ != nullptr && roles_->IsAuthorizedViaRoles(user, purpose_id);
+}
+
+Status EnforcementMonitor::EnableAuditLog() {
+  if (audit_enabled_) return Status::OK();
+  if (db_->FindTable(kAuditTable) == nullptr) {
+    engine::Schema schema;
+    AAPAC_RETURN_NOT_OK(
+        schema.AddColumn({"seq", ValueType::kInt64}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn({"ui", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn({"ap", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn({"qy", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn({"outcome", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn({"checks", ValueType::kInt64}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn({"rows", ValueType::kInt64}));
+    AAPAC_RETURN_NOT_OK(db_->CreateTable(kAuditTable, schema).status());
+  }
+  audit_enabled_ = true;
+  return Status::OK();
+}
+
+void EnforcementMonitor::AppendAudit(const std::string& user,
+                                     const std::string& purpose,
+                                     const std::string& sql,
+                                     const char* outcome, uint64_t checks,
+                                     int64_t rows) {
+  if (!audit_enabled_) return;
+  engine::Table* t = db_->FindTable(kAuditTable);
+  if (t == nullptr) return;
+  (void)t->Insert({Value::Int(static_cast<int64_t>(++audit_seq_)),
+                   Value::String(user), Value::String(purpose),
+                   Value::String(sql), Value::String(outcome),
+                   Value::Int(static_cast<int64_t>(checks)),
+                   Value::Int(rows)});
+}
+
+Result<engine::ResultSet> EnforcementMonitor::ExecuteQuery(
+    const std::string& sql, const std::string& purpose,
+    const std::string& user) {
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         catalog_->purposes().Resolve(purpose));
+  if (!user.empty() && !IsAuthorized(user, purpose_id)) {
+    AppendAudit(user, purpose_id, sql, "denied", 0, 0);
+    return Status::PermissionDenied("user '" + user +
+                                    "' holds no authorization for purpose '" +
+                                    purpose_id + "'");
+  }
+  const uint64_t checks_before = *check_count_;
+  auto run = [&]() -> Result<engine::ResultSet> {
+    AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                           sql::ParseSelect(sql));
+    AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt.get(), purpose_id));
+    return executor_.Execute(*stmt);
+  };
+  Result<engine::ResultSet> result = run();
+  AppendAudit(user, purpose_id, sql, result.ok() ? "ok" : "error",
+              *check_count_ - checks_before,
+              result.ok() ? static_cast<int64_t>(result->rows.size()) : 0);
+  return result;
+}
+
+Result<engine::ResultSet> EnforcementMonitor::ExecuteUnrestricted(
+    const std::string& sql) {
+  return executor_.ExecuteSql(sql);
+}
+
+namespace {
+
+void DescribeSignature(const AccessControlCatalog& catalog,
+                       const QuerySignature& qs, int depth,
+                       std::string* out) {
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  *out += indent + "query " + qs.id + " purpose=" + qs.purpose + "\n";
+  for (const TableSignature& ts : qs.tables) {
+    *out += indent + "  table " + ts.table;
+    if (ts.binding != ts.table) *out += " as " + ts.binding;
+    if (!catalog.IsProtected(ts.table)) *out += " (unprotected)";
+    *out += "\n";
+    auto layout = catalog.LayoutFor(ts.table);
+    for (const ActionSignature& as : ts.actions) {
+      *out += indent + "    " + as.ToString();
+      if (layout.ok() && catalog.IsProtected(ts.table)) {
+        auto mask = layout->EncodeActionSignature(as, qs.purpose);
+        if (mask.ok()) *out += "  mask=b'" + mask->ToBinary() + "'";
+      }
+      *out += "\n";
+    }
+  }
+  for (const auto& sub : qs.subqueries) {
+    DescribeSignature(catalog, *sub, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<std::string> EnforcementMonitor::ExplainQuery(
+    const std::string& sql, const std::string& purpose) const {
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         catalog_->purposes().Resolve(purpose));
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  SignatureBuilder builder(catalog_);
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<QuerySignature> qs,
+                         builder.Derive(*stmt, purpose_id, sql));
+  AAPAC_ASSIGN_OR_RETURN(ComplexityEstimate estimate,
+                         ComplexityUpperBound(*catalog_, *stmt, purpose_id));
+  AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt.get(), purpose_id));
+
+  std::string out = "== query signature ==\n";
+  DescribeSignature(*catalog_, *qs, 0, &out);
+  out += "== complexity upper bound (Eq. 1) ==\n";
+  out += std::to_string(estimate.upper_bound) + " checks";
+  for (const TableComplexity& term : estimate.terms) {
+    out += "\n  " + term.table + ": " + std::to_string(term.tuples) +
+           " tuples x " + std::to_string(term.action_signatures) +
+           " signatures";
+  }
+  out += "\n== rewritten query ==\n";
+  out += sql::ToSql(*stmt);
+  return out;
+}
+
+Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
+                                                 const std::string& purpose,
+                                                 const Policy* policy,
+                                                 const std::string& user) {
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         catalog_->purposes().Resolve(purpose));
+  if (!user.empty() && !IsAuthorized(user, purpose_id)) {
+    return Status::PermissionDenied("user '" + user +
+                                    "' holds no authorization for purpose '" +
+                                    purpose_id + "'");
+  }
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::InsertStmt> stmt,
+                         sql::ParseInsert(sql));
+
+  std::optional<std::pair<std::string, Value>> forced;
+  if (catalog_->IsProtected(stmt->table)) {
+    if (policy == nullptr) {
+      return Status::PermissionDenied(
+          "inserts into protected table '" + stmt->table +
+          "' must carry a policy");
+    }
+    if (policy->table != stmt->table) {
+      return Status::InvalidArgument("policy targets table '" +
+                                     policy->table + "', INSERT targets '" +
+                                     stmt->table + "'");
+    }
+    PolicyManager validator(catalog_);
+    AAPAC_RETURN_NOT_OK(validator.ValidatePolicy(*policy));
+    AAPAC_ASSIGN_OR_RETURN(MaskLayout layout,
+                           catalog_->LayoutFor(stmt->table));
+    AAPAC_ASSIGN_OR_RETURN(BitString mask, layout.EncodePolicy(*policy));
+    forced = std::make_pair(std::string(AccessControlCatalog::kPolicyColumn),
+                            Value::Bytes(mask.ToBytes()));
+  }
+
+  // INSERT ... SELECT reads are themselves subject to enforcement.
+  if (stmt->select != nullptr) {
+    AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt->select.get(), purpose_id));
+  }
+  const uint64_t checks_before = *check_count_;
+  Result<size_t> inserted = executor_.ExecuteInsert(*stmt, forced);
+  AppendAudit(user, purpose_id, sql, inserted.ok() ? "ok" : "error",
+              *check_count_ - checks_before,
+              inserted.ok() ? static_cast<int64_t>(*inserted) : 0);
+  return inserted;
+}
+
+Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
+                                                 const std::string& purpose,
+                                                 const std::string& user) {
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         catalog_->purposes().Resolve(purpose));
+  if (!user.empty() && !IsAuthorized(user, purpose_id)) {
+    AppendAudit(user, purpose_id, sql, "denied", 0, 0);
+    return Status::PermissionDenied("user '" + user +
+                                    "' holds no authorization for purpose '" +
+                                    purpose_id + "'");
+  }
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::UpdateStmt> stmt,
+                         sql::ParseUpdate(sql));
+  for (const auto& assignment : stmt->assignments) {
+    if (assignment.column == AccessControlCatalog::kPolicyColumn &&
+        catalog_->IsProtected(stmt->table)) {
+      return Status::PermissionDenied(
+          "the policy column can only be changed through the policy "
+          "manager");
+    }
+  }
+
+  // Enforcement piggybacks on the SELECT pipeline: build the equivalent
+  // read — every RHS expression and every assigned column, filtered by the
+  // UPDATE's WHERE — rewrite it, and transplant the rewritten WHERE (and
+  // RHS expressions, whose sub-queries are now enforced) back.
+  auto synthetic = std::make_unique<sql::SelectStmt>();
+  for (const auto& assignment : stmt->assignments) {
+    sql::SelectItem item;
+    item.expr = assignment.value->Clone();
+    synthetic->items.push_back(std::move(item));
+  }
+  for (const auto& assignment : stmt->assignments) {
+    sql::SelectItem item;
+    item.expr = std::make_unique<sql::ColumnRefExpr>("", assignment.column);
+    synthetic->items.push_back(std::move(item));
+  }
+  synthetic->from.push_back(
+      std::make_unique<sql::BaseTableRef>(stmt->table, ""));
+  synthetic->where = stmt->where ? stmt->where->Clone() : nullptr;
+  AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(synthetic.get(), purpose_id));
+  stmt->where = std::move(synthetic->where);
+  for (size_t i = 0; i < stmt->assignments.size(); ++i) {
+    stmt->assignments[i].value = std::move(synthetic->items[i].expr);
+  }
+
+  const uint64_t checks_before = *check_count_;
+  Result<size_t> updated = executor_.ExecuteUpdate(*stmt);
+  AppendAudit(user, purpose_id, sql, updated.ok() ? "ok" : "error",
+              *check_count_ - checks_before,
+              updated.ok() ? static_cast<int64_t>(*updated) : 0);
+  return updated;
+}
+
+Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
+                                                 const std::string& purpose,
+                                                 const std::string& user) {
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         catalog_->purposes().Resolve(purpose));
+  if (!user.empty() && !IsAuthorized(user, purpose_id)) {
+    AppendAudit(user, purpose_id, sql, "denied", 0, 0);
+    return Status::PermissionDenied("user '" + user +
+                                    "' holds no authorization for purpose '" +
+                                    purpose_id + "'");
+  }
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::DeleteStmt> stmt,
+                         sql::ParseDelete(sql));
+
+  // SELECT-*-equivalent enforcement: rewrite `select * from t where w`,
+  // then reuse its WHERE (the star expands to every non-policy column,
+  // requiring full direct read access per deleted tuple).
+  auto synthetic = std::make_unique<sql::SelectStmt>();
+  sql::SelectItem star;
+  star.expr = std::make_unique<sql::StarExpr>();
+  synthetic->items.push_back(std::move(star));
+  synthetic->from.push_back(
+      std::make_unique<sql::BaseTableRef>(stmt->table, ""));
+  synthetic->where = stmt->where ? stmt->where->Clone() : nullptr;
+  AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(synthetic.get(), purpose_id));
+  stmt->where = std::move(synthetic->where);
+
+  const uint64_t checks_before = *check_count_;
+  Result<size_t> removed = executor_.ExecuteDelete(*stmt);
+  AppendAudit(user, purpose_id, sql, removed.ok() ? "ok" : "error",
+              *check_count_ - checks_before,
+              removed.ok() ? static_cast<int64_t>(*removed) : 0);
+  return removed;
+}
+
+}  // namespace aapac::core

@@ -1,0 +1,138 @@
+#ifndef AAPAC_CORE_MONITOR_H_
+#define AAPAC_CORE_MONITOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/catalog.h"
+#include "core/rewriter.h"
+#include "engine/exec.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+class RoleManager;
+
+/// The Enforcement Monitor of the paper's architecture (Fig. 1): it accepts
+/// a SQL query together with its declared access purpose (and optionally the
+/// issuing user), enforces access control by rewriting the query (§5.5) and
+/// runs the rewritten query against the secured database.
+///
+/// Construction registers the `complies_with` UDF — the C++ analogue of the
+/// paper's PostgreSQL user-defined C function — into the database's function
+/// registry; the UDF counts its invocations, which is exactly the complexity
+/// metric of the paper's Figure 6.
+class EnforcementMonitor {
+ public:
+  EnforcementMonitor(engine::Database* db, AccessControlCatalog* catalog);
+
+  EnforcementMonitor(const EnforcementMonitor&) = delete;
+  EnforcementMonitor& operator=(const EnforcementMonitor&) = delete;
+
+  /// Parses, access-checks, rewrites and executes `sql` with `purpose`.
+  /// When `user` is non-empty, the user must hold a purpose authorization
+  /// (table Pa) for `purpose`, else kPermissionDenied.
+  Result<engine::ResultSet> ExecuteQuery(const std::string& sql,
+                                         const std::string& purpose,
+                                         const std::string& user = "");
+
+  /// Executes `sql` without enforcement (the "original query" runs of the
+  /// paper's experiments).
+  Result<engine::ResultSet> ExecuteUnrestricted(const std::string& sql);
+
+  /// Executes an INSERT statement (§5.3: users "insert new records (which
+  /// already include the policies)"). For a protected target table a
+  /// `policy` must be supplied; it is validated, encoded under the table's
+  /// current mask layout and stamped into the policy column of every new
+  /// tuple. For INSERT ... SELECT the source query is rewritten first, so
+  /// reads stay purpose-enforced. Returns the number of rows inserted.
+  Result<size_t> ExecuteInsert(const std::string& sql,
+                               const std::string& purpose,
+                               const Policy* policy = nullptr,
+                               const std::string& user = "");
+
+  /// Executes an UPDATE under enforcement (a write-side extension of the
+  /// paper's read-only model, with select-equivalent semantics): a tuple may
+  /// be updated iff its policy would admit a SELECT, under the same purpose,
+  /// that reads every assignment right-hand side and names every assigned
+  /// column directly, filtered by the UPDATE's WHERE clause. Sub-queries in
+  /// the WHERE/right-hand sides are rewritten as usual. Returns the number
+  /// of rows updated.
+  Result<size_t> ExecuteUpdate(const std::string& sql,
+                               const std::string& purpose,
+                               const std::string& user = "");
+
+  /// Executes a DELETE under enforcement, with SELECT-*-equivalent
+  /// semantics: a tuple may be deleted iff its policy would admit reading
+  /// the full tuple (direct access to every column) under the purpose,
+  /// filtered by the DELETE's WHERE clause. Returns rows removed.
+  Result<size_t> ExecuteDelete(const std::string& sql,
+                               const std::string& purpose,
+                               const std::string& user = "");
+
+  /// Returns the rewritten SQL text without executing it.
+  Result<std::string> Rewrite(const std::string& sql,
+                              const std::string& purpose) const {
+    return rewriter_.RewriteSql(sql, purpose);
+  }
+
+  /// Human-readable enforcement report for a query, without executing it:
+  /// the derived query signature tree, the encoded action-signature masks,
+  /// the §5.6 complexity upper bound and the rewritten SQL.
+  Result<std::string> ExplainQuery(const std::string& sql,
+                                   const std::string& purpose) const;
+
+  /// Number of complies_with invocations since the last reset — the Fig. 6
+  /// "policy compliance checks" measure.
+  uint64_t compliance_checks() const { return *check_count_; }
+  void ResetComplianceChecks() { *check_count_ = 0; }
+
+  engine::ExecStats& exec_stats() { return executor_.stats(); }
+  const QueryRewriter& rewriter() const { return rewriter_; }
+  AccessControlCatalog* catalog() { return catalog_; }
+
+  /// Forwarded to the executor; see engine::Executor::set_pushdown_enabled.
+  void SetPushdownEnabled(bool enabled) {
+    executor_.set_pushdown_enabled(enabled);
+  }
+
+  /// Enables role-based purpose authorization: users may then hold a
+  /// purpose either directly (table Pa) or through a role (tables Rr/Ur).
+  /// Pass nullptr to disable again. The manager must outlive the monitor.
+  void SetRoleManager(const RoleManager* roles) { roles_ = roles; }
+
+  /// Name of the audit trail table created by EnableAuditLog.
+  static constexpr const char* kAuditTable = "audit_log";
+
+  /// Enables the audit trail, in the spirit of the Hippocratic-database
+  /// lineage the paper builds on: every enforced statement appends a row to
+  /// audit_log(seq, ui, ap, qy, outcome, checks, rows) — sequence number,
+  /// user, purpose id, SQL text, "ok"/"denied"/"error", compliance checks
+  /// spent on the statement and result/inserted row count. The audit table
+  /// is ordinary SQL-queryable state.
+  Status EnableAuditLog();
+  bool audit_enabled() const { return audit_enabled_; }
+
+ private:
+  bool IsAuthorized(const std::string& user,
+                    const std::string& purpose_id) const;
+
+  /// Appends one audit row; best effort (audit failures do not mask the
+  /// query's own status).
+  void AppendAudit(const std::string& user, const std::string& purpose,
+                   const std::string& sql, const char* outcome,
+                   uint64_t checks, int64_t rows);
+
+  engine::Database* db_;
+  AccessControlCatalog* catalog_;
+  QueryRewriter rewriter_;
+  engine::Executor executor_;
+  std::shared_ptr<uint64_t> check_count_;
+  const RoleManager* roles_ = nullptr;
+  bool audit_enabled_ = false;
+  uint64_t audit_seq_ = 0;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_MONITOR_H_

@@ -1,0 +1,28 @@
+#include "core/policy.h"
+
+#include "util/strings.h"
+
+namespace aapac::core {
+
+std::string PolicyRule::ToString() const {
+  std::string out = "<{";
+  out += Join(std::vector<std::string>(columns.begin(), columns.end()), ",");
+  out += "},{";
+  out += Join(std::vector<std::string>(purposes.begin(), purposes.end()), ",");
+  out += "},";
+  out += action_type.ToString();
+  out += ">";
+  return out;
+}
+
+std::string Policy::ToString() const {
+  std::string out = "policy on " + table + " [";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += rules[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace aapac::core

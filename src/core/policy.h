@@ -1,0 +1,35 @@
+#ifndef AAPAC_CORE_POLICY_H_
+#define AAPAC_CORE_POLICY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/action_type.h"
+
+namespace aapac::core {
+
+/// Policy rule R = ⟨Cl, Pu, At⟩ (Def. 2): the purposes for which actions of
+/// type `action_type` may be executed on the listed columns.
+struct PolicyRule {
+  std::set<std::string> columns;   // Cl — lowercase column names of the table.
+  std::set<std::string> purposes;  // Pu — purpose ids.
+  ActionType action_type;          // At.
+
+  std::string ToString() const;
+};
+
+/// Data policy PP = ⟨Rs, Tb, tp⟩ (Def. 2). The tuple component tp is not
+/// part of this object: attaching a policy to a specific tuple, a tuple
+/// subset, or a whole table is the PolicyManager's job (the encoded mask
+/// lives in each tuple's `policy` column).
+struct Policy {
+  std::string table;             // Tb.
+  std::vector<PolicyRule> rules; // Rs.
+
+  std::string ToString() const;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_POLICY_H_

@@ -1,0 +1,130 @@
+#include "core/policy_manager.h"
+
+#include "core/masks.h"
+#include "util/strings.h"
+
+namespace aapac::core {
+
+using engine::Table;
+using engine::Value;
+
+Status PolicyManager::ValidatePolicy(const Policy& policy) const {
+  const std::string table = ToLower(policy.table);
+  if (!catalog_->IsProtected(table)) {
+    return Status::InvalidArgument("table '" + table +
+                                   "' is not protected (no policy column)");
+  }
+  if (policy.rules.empty()) {
+    return Status::InvalidArgument("policy on '" + table + "' has no rules");
+  }
+  const Table* tbl = catalog_->db()->FindTable(table);
+  for (const PolicyRule& rule : policy.rules) {
+    if (rule.columns.empty()) {
+      return Status::InvalidArgument("policy rule with empty column set");
+    }
+    if (rule.purposes.empty()) {
+      return Status::InvalidArgument("policy rule with empty purpose set");
+    }
+    for (const std::string& col : rule.columns) {
+      if (!tbl->schema().HasColumn(ToLower(col))) {
+        return Status::NotFound("policy rule references unknown column '" +
+                                col + "' of table '" + table + "'");
+      }
+      if (ToLower(col) == AccessControlCatalog::kPolicyColumn) {
+        return Status::InvalidArgument(
+            "policy rules cannot constrain the policy column itself");
+      }
+    }
+    for (const std::string& p : rule.purposes) {
+      if (!catalog_->purposes().Contains(p)) {
+        return Status::NotFound("policy rule references unknown purpose '" +
+                                p + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PolicyManager::Apply(const Attachment& attachment) {
+  const std::string table = ToLower(attachment.policy.table);
+  AAPAC_ASSIGN_OR_RETURN(MaskLayout layout, catalog_->LayoutFor(table));
+  AAPAC_ASSIGN_OR_RETURN(BitString mask,
+                         layout.EncodePolicy(attachment.policy));
+  AAPAC_ASSIGN_OR_RETURN(Table * tbl, catalog_->db()->GetTable(table));
+  auto policy_col = tbl->schema().FindColumn(AccessControlCatalog::kPolicyColumn);
+  if (!policy_col.has_value()) {
+    return Status::Internal("protected table '" + table +
+                            "' lacks the policy column");
+  }
+  const Value encoded = Value::Bytes(mask.ToBytes());
+
+  std::optional<size_t> sel_col;
+  if (attachment.selector.has_value()) {
+    sel_col = tbl->schema().FindColumn(ToLower(attachment.selector->first));
+    if (!sel_col.has_value()) {
+      return Status::NotFound("selector column '" +
+                              attachment.selector->first + "' not found");
+    }
+  }
+  for (size_t i = 0; i < tbl->num_rows(); ++i) {
+    if (sel_col.has_value()) {
+      const Value& v = tbl->row(i)[*sel_col];
+      if (v.is_null() || !v.Equals(attachment.selector->second)) continue;
+    }
+    tbl->mutable_row(i)[*policy_col] = encoded;
+  }
+  return Status::OK();
+}
+
+Status PolicyManager::AttachToTable(const Policy& policy) {
+  AAPAC_RETURN_NOT_OK(ValidatePolicy(policy));
+  Attachment attachment{policy, std::nullopt};
+  AAPAC_RETURN_NOT_OK(Apply(attachment));
+  attachments_.push_back(std::move(attachment));
+  return Status::OK();
+}
+
+Status PolicyManager::AttachWhere(const Policy& policy,
+                                  const std::string& column,
+                                  const engine::Value& value) {
+  AAPAC_RETURN_NOT_OK(ValidatePolicy(policy));
+  Attachment attachment{policy, std::make_pair(ToLower(column), value)};
+  AAPAC_RETURN_NOT_OK(Apply(attachment));
+  attachments_.push_back(std::move(attachment));
+  return Status::OK();
+}
+
+Status PolicyManager::WriteMaskToRow(const std::string& table,
+                                     size_t row_index,
+                                     const std::string& mask_bytes) {
+  AAPAC_ASSIGN_OR_RETURN(Table * tbl, catalog_->db()->GetTable(ToLower(table)));
+  auto policy_col =
+      tbl->schema().FindColumn(AccessControlCatalog::kPolicyColumn);
+  if (!policy_col.has_value()) {
+    return Status::InvalidArgument("table '" + table + "' is not protected");
+  }
+  if (row_index >= tbl->num_rows()) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  tbl->mutable_row(row_index)[*policy_col] = Value::Bytes(mask_bytes);
+  return Status::OK();
+}
+
+Status PolicyManager::ReapplyAll() {
+  for (const Attachment& attachment : attachments_) {
+    AAPAC_RETURN_NOT_OK(ValidatePolicy(attachment.policy));
+    AAPAC_RETURN_NOT_OK(Apply(attachment));
+  }
+  return Status::OK();
+}
+
+void PolicyManager::ClearAttachments(const std::string& table) {
+  const std::string t = ToLower(table);
+  std::vector<Attachment> kept;
+  for (auto& a : attachments_) {
+    if (ToLower(a.policy.table) != t) kept.push_back(std::move(a));
+  }
+  attachments_ = std::move(kept);
+}
+
+}  // namespace aapac::core

@@ -1,0 +1,74 @@
+#ifndef AAPAC_CORE_POLICY_MANAGER_H_
+#define AAPAC_CORE_POLICY_MANAGER_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/policy.h"
+#include "engine/value.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Policy Management module (§2): validates policies, encodes them into
+/// per-tuple masks in the `policy` column, and keeps enough provenance to
+/// re-encode everything when the purpose set or a table schema changes
+/// (policy update management — item 4 of the paper's future-work list).
+class PolicyManager {
+ public:
+  /// One registered policy application: a policy plus the tuple selector
+  /// (Def. 2's tp component generalized to a column = value predicate).
+  struct Attachment {
+    Policy policy;
+    /// nullopt → whole table (tp = ⊥); else tuples where column == value.
+    std::optional<std::pair<std::string, engine::Value>> selector;
+  };
+
+  explicit PolicyManager(AccessControlCatalog* catalog) : catalog_(catalog) {}
+
+  PolicyManager(const PolicyManager&) = delete;
+  PolicyManager& operator=(const PolicyManager&) = delete;
+
+  /// Checks that the policy's table is protected, every rule references
+  /// existing columns and defined purposes, and no rule is empty.
+  Status ValidatePolicy(const Policy& policy) const;
+
+  /// Attaches `policy` to every tuple of its table (tp = ⊥). Registered for
+  /// re-encoding.
+  Status AttachToTable(const Policy& policy);
+
+  /// Attaches `policy` to the tuples whose `column` equals `value` — e.g.
+  /// all sensed_data rows of one smart watch, as in the paper's experiments.
+  Status AttachWhere(const Policy& policy, const std::string& column,
+                     const engine::Value& value);
+
+  /// Low-level: writes an already-encoded policy mask to one row. Not
+  /// registered for re-encoding; used by workload generators that manage
+  /// masks wholesale.
+  Status WriteMaskToRow(const std::string& table, size_t row_index,
+                        const std::string& mask_bytes);
+
+  /// Re-encodes and re-applies every registered attachment in order —
+  /// required after purpose-set or table-schema changes invalidate mask
+  /// layouts.
+  Status ReapplyAll();
+
+  /// Drops registered attachments for `table` (does not clear masks already
+  /// written; attach a replacement or clear the column explicitly).
+  void ClearAttachments(const std::string& table);
+
+  const std::vector<Attachment>& attachments() const { return attachments_; }
+
+ private:
+  Status Apply(const Attachment& attachment);
+
+  AccessControlCatalog* catalog_;
+  std::vector<Attachment> attachments_;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_POLICY_MANAGER_H_

@@ -1,0 +1,226 @@
+#include "core/policy_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace aapac::core {
+
+namespace {
+
+/// Minimal word/punctuation tokenizer for the policy language.
+class PolicyLexer {
+ public:
+  explicit PolicyLexer(const std::string& text) : text_(text) {}
+
+  /// Next token: a word, one of ,;()* or "" at end of input.
+  std::string Next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return "";
+    const char c = text_[pos_];
+    if (c == ',' || c == ';' || c == '(' || c == ')' || c == '*') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           std::string(",;()*").find(text_[pos_]) == std::string::npos) {
+      ++pos_;
+    }
+    return ToLower(text_.substr(start, pos_ - start));
+  }
+
+  std::string Peek() {
+    const size_t saved = pos_;
+    std::string token = Next();
+    pos_ = saved;
+    return token;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Status Unexpected(const std::string& token, const std::string& wanted) {
+  return Status::ParseError("policy text: expected " + wanted + ", got '" +
+                            token + "'");
+}
+
+Result<JointAccess> ParseJointList(PolicyLexer* lexer) {
+  JointAccess ja;
+  std::string token = lexer->Next();
+  if (token != "(") return Unexpected(token, "'(' after joint");
+  token = lexer->Next();
+  if (token == "all") {
+    ja = JointAccess::All();
+    token = lexer->Next();
+  } else if (token == "none") {
+    token = lexer->Next();
+  } else {
+    while (true) {
+      AAPAC_ASSIGN_OR_RETURN(DataCategory category,
+                             DataCategoryFromString(token));
+      ja.Set(category, true);
+      token = lexer->Next();
+      if (token != ",") break;
+      token = lexer->Next();
+    }
+  }
+  if (token != ")") return Unexpected(token, "')' closing joint(...)");
+  return ja;
+}
+
+Result<PolicyRule> ParseRule(const AccessControlCatalog& catalog,
+                             const std::string& table, PolicyLexer* lexer) {
+  PolicyRule rule;
+  std::string token = lexer->Next();
+  if (token != "allow") return Unexpected(token, "'allow'");
+
+  // Purposes (ids or descriptions), up to the action keyword.
+  while (true) {
+    token = lexer->Next();
+    AAPAC_ASSIGN_OR_RETURN(std::string id, catalog.purposes().Resolve(token));
+    rule.purposes.insert(id);
+    token = lexer->Peek();
+    if (token != ",") break;
+    lexer->Next();  // Consume the comma.
+  }
+
+  // Action.
+  token = lexer->Next();
+  if (token == "indirect") {
+    rule.action_type = ActionType::Indirect(JointAccess::All());
+  } else if (token == "direct") {
+    token = lexer->Next();
+    Multiplicity ms;
+    if (token == "single") {
+      ms = Multiplicity::kSingle;
+    } else if (token == "multiple") {
+      ms = Multiplicity::kMultiple;
+    } else {
+      return Unexpected(token, "'single' or 'multiple'");
+    }
+    token = lexer->Next();
+    Aggregation ag;
+    if (token == "aggregate") {
+      ag = Aggregation::kAggregation;
+    } else if (token == "raw") {
+      ag = Aggregation::kNoAggregation;
+    } else {
+      return Unexpected(token, "'aggregate' or 'raw'");
+    }
+    rule.action_type = ActionType::Direct(ms, ag, JointAccess::All());
+  } else {
+    return Unexpected(token, "'indirect' or 'direct'");
+  }
+
+  // Columns.
+  token = lexer->Next();
+  if (token != "on") return Unexpected(token, "'on'");
+  token = lexer->Next();
+  const engine::Table* tbl = catalog.db()->FindTable(table);
+  if (tbl == nullptr) return Status::NotFound("table '" + table + "'");
+  if (token == "*") {
+    for (const auto& col : tbl->schema().columns()) {
+      if (col.name != AccessControlCatalog::kPolicyColumn) {
+        rule.columns.insert(col.name);
+      }
+    }
+  } else {
+    while (true) {
+      if (!tbl->schema().HasColumn(token)) {
+        return Status::NotFound("column '" + token + "' not found in '" +
+                                table + "'");
+      }
+      rule.columns.insert(token);
+      if (lexer->Peek() != ",") break;
+      lexer->Next();
+      token = lexer->Next();
+    }
+  }
+
+  // Optional joint clause.
+  if (lexer->Peek() == "joint") {
+    lexer->Next();
+    AAPAC_ASSIGN_OR_RETURN(rule.action_type.joint_access,
+                           ParseJointList(lexer));
+  }
+  return rule;
+}
+
+}  // namespace
+
+Result<Policy> ParsePolicyText(const AccessControlCatalog& catalog,
+                               const std::string& table,
+                               const std::string& text) {
+  Policy policy;
+  policy.table = ToLower(table);
+  PolicyLexer lexer(text);
+  while (true) {
+    AAPAC_ASSIGN_OR_RETURN(PolicyRule rule,
+                           ParseRule(catalog, policy.table, &lexer));
+    policy.rules.push_back(std::move(rule));
+    const std::string token = lexer.Next();
+    if (token.empty()) break;
+    if (token != ";") return Unexpected(token, "';' or end of input");
+    if (lexer.Peek().empty()) break;  // Trailing semicolon.
+  }
+  if (policy.rules.empty()) {
+    return Status::ParseError("policy text contains no rules");
+  }
+  return policy;
+}
+
+std::string PolicyToText(const Policy& policy) {
+  std::string out;
+  for (size_t i = 0; i < policy.rules.size(); ++i) {
+    const PolicyRule& rule = policy.rules[i];
+    if (i > 0) out += ";\n";
+    out += "allow ";
+    out += Join(std::vector<std::string>(rule.purposes.begin(),
+                                         rule.purposes.end()),
+                ", ");
+    const ActionType& at = rule.action_type;
+    if (at.indirection == Indirection::kIndirect) {
+      out += " indirect";
+    } else {
+      out += " direct ";
+      out += (at.multiplicity.has_value() &&
+              *at.multiplicity == Multiplicity::kMultiple)
+                 ? "multiple"
+                 : "single";
+      out += (at.aggregation.has_value() &&
+              *at.aggregation == Aggregation::kAggregation)
+                 ? " aggregate"
+                 : " raw";
+    }
+    out += " on ";
+    out += Join(std::vector<std::string>(rule.columns.begin(),
+                                         rule.columns.end()),
+                ", ");
+    out += " joint(";
+    const JointAccess& ja = at.joint_access;
+    if (ja == JointAccess::All()) {
+      out += "all";
+    } else if (ja == JointAccess::None()) {
+      out += "none";
+    } else {
+      std::vector<std::string> cats;
+      if (ja.identifier) cats.push_back("identifier");
+      if (ja.quasi_identifier) cats.push_back("quasi_identifier");
+      if (ja.sensitive) cats.push_back("sensitive");
+      if (ja.generic) cats.push_back("generic");
+      out += Join(cats, ", ");
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace aapac::core

@@ -1,0 +1,41 @@
+#ifndef AAPAC_CORE_POLICY_PARSER_H_
+#define AAPAC_CORE_POLICY_PARSER_H_
+
+#include <string>
+
+#include "core/catalog.h"
+#include "core/policy.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Parses the compact textual policy language used by administration tools
+/// (the shell's \attach command) into a Policy:
+///
+///   rule (';' rule)*
+///   rule   := 'allow' purposes action 'on' columns ['joint' '(' joint ')']
+///   action := 'indirect'
+///           | 'direct' ('single'|'multiple') ('aggregate'|'raw')
+///   purposes := purpose_id (',' purpose_id)*      -- ids or descriptions
+///   columns  := '*' | column (',' column)*        -- '*' = all non-policy
+///   joint    := 'all' | 'none' | category (',' category)*
+///              with category in {identifier|i, quasi_identifier|q,
+///                                sensitive|s, generic|g}
+///
+/// Example (the quickstart policy):
+///
+///   allow payroll direct single raw on name, role, salary joint(all);
+///   allow analytics direct single aggregate on salary joint(s, g)
+///
+/// The default joint access, when the clause is omitted, is `all`.
+/// Columns and purposes are validated against the catalog and `table`.
+Result<Policy> ParsePolicyText(const AccessControlCatalog& catalog,
+                               const std::string& table,
+                               const std::string& text);
+
+/// Renders a Policy back to the textual language (purposes by id).
+std::string PolicyToText(const Policy& policy);
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_POLICY_PARSER_H_

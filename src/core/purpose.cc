@@ -1,0 +1,47 @@
+#include "core/purpose.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace aapac::core {
+
+Status PurposeSet::Add(Purpose purpose) {
+  if (Contains(purpose.id)) {
+    return Status::AlreadyExists("purpose '" + purpose.id +
+                                 "' already defined");
+  }
+  auto pos = std::lower_bound(
+      purposes_.begin(), purposes_.end(), purpose,
+      [](const Purpose& a, const Purpose& b) { return a.id < b.id; });
+  purposes_.insert(pos, std::move(purpose));
+  return Status::OK();
+}
+
+Status PurposeSet::Remove(const std::string& id) {
+  for (auto it = purposes_.begin(); it != purposes_.end(); ++it) {
+    if (it->id == id) {
+      purposes_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("purpose '" + id + "' not defined");
+}
+
+std::optional<size_t> PurposeSet::IndexOf(const std::string& id) const {
+  for (size_t i = 0; i < purposes_.size(); ++i) {
+    if (purposes_[i].id == id) return i;
+  }
+  return std::nullopt;
+}
+
+Result<std::string> PurposeSet::Resolve(
+    const std::string& id_or_description) const {
+  if (Contains(id_or_description)) return id_or_description;
+  for (const Purpose& p : purposes_) {
+    if (EqualsIgnoreCase(p.description, id_or_description)) return p.id;
+  }
+  return Status::NotFound("purpose '" + id_or_description + "' not defined");
+}
+
+}  // namespace aapac::core

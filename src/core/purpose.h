@@ -1,0 +1,56 @@
+#ifndef AAPAC_CORE_PURPOSE_H_
+#define AAPAC_CORE_PURPOSE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// One access purpose from the scenario's purpose set Ps (stored in the
+/// target database's Pr(Id, Ds) table per §5.1).
+struct Purpose {
+  std::string id;           // e.g. "p1"
+  std::string description;  // e.g. "treatment"
+};
+
+/// The ordered purpose set. Mask encoding (Def. 9) requires a stable
+/// ordering criterion Oc over Pr; like the paper's examples we order
+/// purposes alphabetically by identifier.
+class PurposeSet {
+ public:
+  PurposeSet() = default;
+
+  /// Adds a purpose; fails on duplicate id.
+  Status Add(Purpose purpose);
+
+  /// Removes a purpose; fails if absent. Callers owning encoded masks must
+  /// re-encode afterwards (PolicyManager handles this).
+  Status Remove(const std::string& id);
+
+  /// Position of `id` under the ordering criterion, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& id) const;
+
+  bool Contains(const std::string& id) const {
+    return IndexOf(id).has_value();
+  }
+
+  /// Resolves a purpose id or description to the purpose id (descriptions
+  /// like "research" are friendlier in APIs; ids win on conflicts).
+  Result<std::string> Resolve(const std::string& id_or_description) const;
+
+  size_t size() const { return purposes_.size(); }
+  bool empty() const { return purposes_.empty(); }
+
+  /// Purposes in Oc order.
+  const std::vector<Purpose>& ordered() const { return purposes_; }
+
+ private:
+  std::vector<Purpose> purposes_;  // Kept sorted by id.
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_PURPOSE_H_

@@ -1,0 +1,160 @@
+#include "core/rbac.h"
+
+namespace aapac::core {
+
+using engine::Column;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+using engine::ValueType;
+
+Status RoleManager::Initialize() {
+  {
+    Schema schema;
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"rn", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"pi", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(
+        catalog_->db()->CreateTable(kRolePurposeTable, schema).status());
+  }
+  {
+    Schema schema;
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"ui", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"rn", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(
+        catalog_->db()->CreateTable(kUserRoleTable, schema).status());
+  }
+  return Status::OK();
+}
+
+Status RoleManager::SyncRolePurposeTable() {
+  AAPAC_ASSIGN_OR_RETURN(Table * t,
+                         catalog_->db()->GetTable(kRolePurposeTable));
+  t->Clear();
+  for (const auto& [role, purposes] : role_purposes_) {
+    if (purposes.empty()) {
+      // A defined role with no grants still shows up, with a NULL purpose.
+      AAPAC_RETURN_NOT_OK(t->Insert({Value::String(role), Value::Null()}));
+      continue;
+    }
+    for (const std::string& p : purposes) {
+      AAPAC_RETURN_NOT_OK(t->Insert({Value::String(role), Value::String(p)}));
+    }
+  }
+  return Status::OK();
+}
+
+Status RoleManager::SyncUserRoleTable() {
+  AAPAC_ASSIGN_OR_RETURN(Table * t, catalog_->db()->GetTable(kUserRoleTable));
+  t->Clear();
+  for (const auto& [user, roles] : user_roles_) {
+    for (const std::string& role : roles) {
+      AAPAC_RETURN_NOT_OK(
+          t->Insert({Value::String(user), Value::String(role)}));
+    }
+  }
+  return Status::OK();
+}
+
+Status RoleManager::DefineRole(const std::string& role) {
+  if (RoleExists(role)) {
+    return Status::AlreadyExists("role '" + role + "' already defined");
+  }
+  role_purposes_[role] = {};
+  return SyncRolePurposeTable();
+}
+
+Status RoleManager::DropRole(const std::string& role) {
+  if (role_purposes_.erase(role) == 0) {
+    return Status::NotFound("role '" + role + "' not defined");
+  }
+  for (auto& [user, roles] : user_roles_) roles.erase(role);
+  AAPAC_RETURN_NOT_OK(SyncRolePurposeTable());
+  return SyncUserRoleTable();
+}
+
+Status RoleManager::GrantPurposeToRole(const std::string& role,
+                                       const std::string& purpose_id) {
+  auto it = role_purposes_.find(role);
+  if (it == role_purposes_.end()) {
+    return Status::NotFound("role '" + role + "' not defined");
+  }
+  if (!catalog_->purposes().Contains(purpose_id)) {
+    return Status::NotFound("purpose '" + purpose_id + "' not defined");
+  }
+  it->second.insert(purpose_id);
+  return SyncRolePurposeTable();
+}
+
+Status RoleManager::RevokePurposeFromRole(const std::string& role,
+                                          const std::string& purpose_id) {
+  auto it = role_purposes_.find(role);
+  if (it == role_purposes_.end()) {
+    return Status::NotFound("role '" + role + "' not defined");
+  }
+  if (it->second.erase(purpose_id) == 0) {
+    return Status::NotFound("role '" + role + "' does not grant '" +
+                            purpose_id + "'");
+  }
+  return SyncRolePurposeTable();
+}
+
+Status RoleManager::AssignUserToRole(const std::string& user,
+                                     const std::string& role) {
+  if (!RoleExists(role)) {
+    return Status::NotFound("role '" + role + "' not defined");
+  }
+  user_roles_[user].insert(role);
+  return SyncUserRoleTable();
+}
+
+Status RoleManager::RemoveUserFromRole(const std::string& user,
+                                       const std::string& role) {
+  auto it = user_roles_.find(user);
+  if (it == user_roles_.end() || it->second.erase(role) == 0) {
+    return Status::NotFound("user '" + user + "' does not hold role '" +
+                            role + "'");
+  }
+  if (it->second.empty()) user_roles_.erase(it);
+  return SyncUserRoleTable();
+}
+
+std::set<std::string> RoleManager::PurposesOfRole(
+    const std::string& role) const {
+  auto it = role_purposes_.find(role);
+  return it == role_purposes_.end() ? std::set<std::string>{} : it->second;
+}
+
+std::set<std::string> RoleManager::RolesOfUser(const std::string& user) const {
+  auto it = user_roles_.find(user);
+  return it == user_roles_.end() ? std::set<std::string>{} : it->second;
+}
+
+std::set<std::string> RoleManager::PurposesOfUser(
+    const std::string& user) const {
+  std::set<std::string> out;
+  for (const std::string& role : RolesOfUser(user)) {
+    const auto purposes = PurposesOfRole(role);
+    out.insert(purposes.begin(), purposes.end());
+  }
+  return out;
+}
+
+bool RoleManager::IsAuthorizedViaRoles(const std::string& user,
+                                       const std::string& purpose_id) const {
+  auto it = user_roles_.find(user);
+  if (it == user_roles_.end()) return false;
+  for (const std::string& role : it->second) {
+    auto rp = role_purposes_.find(role);
+    if (rp != role_purposes_.end() && rp->second.count(purpose_id) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status RoleManager::HandlePurposeRemoved(const std::string& purpose_id) {
+  for (auto& [role, purposes] : role_purposes_) purposes.erase(purpose_id);
+  return SyncRolePurposeTable();
+}
+
+}  // namespace aapac::core

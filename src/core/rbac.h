@@ -1,0 +1,96 @@
+#ifndef AAPAC_CORE_RBAC_H_
+#define AAPAC_CORE_RBAC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Role-based purpose administration — the paper's future-work item 3,
+/// following the role-involved models it builds on (Byun & Li; Kabir et
+/// al.): instead of granting access purposes to users one by one (table
+/// Pa), administrators define roles that bundle purposes and assign users
+/// to roles. A user is authorized for a purpose if it is granted directly
+/// *or* through any of their roles.
+///
+/// Role metadata mirrors the catalog's pattern: it lives both in memory and
+/// in two queryable tables of the target database — Rr(rn, pi) mapping
+/// roles to purposes and Ur(ui, rn) mapping users to roles.
+class RoleManager {
+ public:
+  static constexpr const char* kRolePurposeTable = "rr";
+  static constexpr const char* kUserRoleTable = "ur";
+
+  explicit RoleManager(AccessControlCatalog* catalog) : catalog_(catalog) {}
+
+  RoleManager(const RoleManager&) = delete;
+  RoleManager& operator=(const RoleManager&) = delete;
+
+  /// Creates the Rr/Ur metadata tables.
+  Status Initialize();
+
+  /// Defines an empty role; fails on duplicates.
+  Status DefineRole(const std::string& role);
+
+  /// Drops a role, its purpose grants and its user assignments.
+  Status DropRole(const std::string& role);
+
+  /// Grants a defined purpose to a role.
+  Status GrantPurposeToRole(const std::string& role,
+                            const std::string& purpose_id);
+
+  /// Revokes a purpose from a role.
+  Status RevokePurposeFromRole(const std::string& role,
+                               const std::string& purpose_id);
+
+  /// Assigns a user to a role.
+  Status AssignUserToRole(const std::string& user, const std::string& role);
+
+  /// Removes a user from a role.
+  Status RemoveUserFromRole(const std::string& user, const std::string& role);
+
+  bool RoleExists(const std::string& role) const {
+    return role_purposes_.count(role) > 0;
+  }
+
+  /// Purposes granted to `role` (empty set if the role is unknown).
+  std::set<std::string> PurposesOfRole(const std::string& role) const;
+
+  /// Roles of `user`.
+  std::set<std::string> RolesOfUser(const std::string& user) const;
+
+  /// Union of the purposes of all of the user's roles.
+  std::set<std::string> PurposesOfUser(const std::string& user) const;
+
+  /// True iff some role of `user` grants `purpose_id`.
+  bool IsAuthorizedViaRoles(const std::string& user,
+                            const std::string& purpose_id) const;
+
+  /// Combined check: direct authorization (catalog table Pa) or role-based.
+  bool IsUserAuthorized(const std::string& user,
+                        const std::string& purpose_id) const {
+    return catalog_->IsUserAuthorized(user, purpose_id) ||
+           IsAuthorizedViaRoles(user, purpose_id);
+  }
+
+  /// Drops grants of a purpose from every role — call after
+  /// AccessControlCatalog::RemovePurpose to keep the role model consistent.
+  Status HandlePurposeRemoved(const std::string& purpose_id);
+
+ private:
+  Status SyncRolePurposeTable();
+  Status SyncUserRoleTable();
+
+  AccessControlCatalog* catalog_;
+  std::map<std::string, std::set<std::string>> role_purposes_;
+  std::map<std::string, std::set<std::string>> user_roles_;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_RBAC_H_

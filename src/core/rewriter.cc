@@ -1,0 +1,367 @@
+#include "core/rewriter.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/strings.h"
+
+namespace aapac::core {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprPtr;
+
+/// Builds `complies_with(b'<asm>', <binding>.policy)`.
+ExprPtr MakeComplianceCall(const std::string& asm_binary,
+                           const std::string& binding) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::make_unique<sql::LiteralExpr>(
+      sql::LiteralValue(sql::BitLiteral{asm_binary})));
+  args.push_back(std::make_unique<sql::ColumnRefExpr>(
+      binding, AccessControlCatalog::kPolicyColumn));
+  return std::make_unique<sql::FuncCallExpr>(
+      QueryRewriter::kCompliesWithFunction, std::move(args),
+      /*distinct=*/false);
+}
+
+}  // namespace
+
+Status QueryRewriter::RewriteSubqueriesInExpr(sql::Expr* expr,
+                                              const std::string& purpose) const {
+  if (expr == nullptr) return Status::OK();
+  switch (expr->kind()) {
+    case Expr::Kind::kBinary: {
+      auto& e = static_cast<sql::BinaryExpr&>(*expr);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.lhs.get(), purpose));
+      return RewriteSubqueriesInExpr(e.rhs.get(), purpose);
+    }
+    case Expr::Kind::kUnary:
+      return RewriteSubqueriesInExpr(
+          static_cast<sql::UnaryExpr&>(*expr).operand.get(), purpose);
+    case Expr::Kind::kFuncCall: {
+      auto& e = static_cast<sql::FuncCallExpr&>(*expr);
+      for (auto& a : e.args) {
+        AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(a.get(), purpose));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kIn: {
+      auto& e = static_cast<sql::InExpr&>(*expr);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.operand.get(), purpose));
+      for (auto& item : e.list) {
+        AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(item.get(), purpose));
+      }
+      if (e.subquery != nullptr) {
+        return RewriteLevel(e.subquery.get(), purpose);
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kIsNull:
+      return RewriteSubqueriesInExpr(
+          static_cast<sql::IsNullExpr&>(*expr).operand.get(), purpose);
+    case Expr::Kind::kBetween: {
+      auto& e = static_cast<sql::BetweenExpr&>(*expr);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.operand.get(), purpose));
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.lo.get(), purpose));
+      return RewriteSubqueriesInExpr(e.hi.get(), purpose);
+    }
+    case Expr::Kind::kCase: {
+      auto& e = static_cast<sql::CaseExpr&>(*expr);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(e.operand.get(), purpose));
+      for (auto& w : e.whens) {
+        AAPAC_RETURN_NOT_OK(
+            RewriteSubqueriesInExpr(w.condition.get(), purpose));
+        AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(w.result.get(), purpose));
+      }
+      return RewriteSubqueriesInExpr(e.else_result.get(), purpose);
+    }
+    case Expr::Kind::kScalarSubquery:
+      return RewriteLevel(
+          static_cast<sql::ScalarSubqueryExpr&>(*expr).subquery.get(),
+          purpose);
+    default:
+      return Status::OK();
+  }
+}
+
+Status QueryRewriter::RewriteSubqueriesInRef(sql::TableRef* ref,
+                                             const std::string& purpose) const {
+  switch (ref->kind()) {
+    case sql::TableRef::Kind::kBaseTable:
+      return Status::OK();
+    case sql::TableRef::Kind::kSubquery:
+      return RewriteLevel(
+          static_cast<sql::SubqueryTableRef&>(*ref).subquery.get(), purpose);
+    case sql::TableRef::Kind::kJoin: {
+      auto& join = static_cast<sql::JoinRef&>(*ref);
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInRef(join.left.get(), purpose));
+      AAPAC_RETURN_NOT_OK(RewriteSubqueriesInRef(join.right.get(), purpose));
+      return RewriteSubqueriesInExpr(join.on.get(), purpose);
+    }
+  }
+  return Status::Internal("unhandled table ref kind");
+}
+
+Status QueryRewriter::ExpandStars(sql::SelectStmt* stmt) const {
+  bool has_star = false;
+  for (const auto& item : stmt->items) {
+    if (item.expr->kind() == Expr::Kind::kStar) has_star = true;
+  }
+  if (!has_star) return Status::OK();
+
+  // Collect base bindings in FROM order.
+  struct Binding {
+    std::string name;
+    const engine::Table* table;  // Null for derived tables.
+  };
+  std::vector<Binding> bindings;
+  std::function<Status(const sql::TableRef&)> collect =
+      [&](const sql::TableRef& ref) -> Status {
+    switch (ref.kind()) {
+      case sql::TableRef::Kind::kBaseTable: {
+        const auto& base = static_cast<const sql::BaseTableRef&>(ref);
+        const engine::Table* table = catalog_->db()->FindTable(base.table_name);
+        if (table == nullptr) {
+          return Status::NotFound("table '" + base.table_name +
+                                  "' does not exist");
+        }
+        bindings.push_back(Binding{ToLower(base.BindingName()), table});
+        return Status::OK();
+      }
+      case sql::TableRef::Kind::kSubquery:
+        bindings.push_back(Binding{
+            ToLower(static_cast<const sql::SubqueryTableRef&>(ref).alias),
+            nullptr});
+        return Status::OK();
+      case sql::TableRef::Kind::kJoin: {
+        const auto& join = static_cast<const sql::JoinRef&>(ref);
+        AAPAC_RETURN_NOT_OK(collect(*join.left));
+        return collect(*join.right);
+      }
+    }
+    return Status::Internal("unhandled table ref kind");
+  };
+  for (const auto& ref : stmt->from) {
+    AAPAC_RETURN_NOT_OK(collect(*ref));
+  }
+
+  std::vector<sql::SelectItem> expanded;
+  for (auto& item : stmt->items) {
+    if (item.expr->kind() != Expr::Kind::kStar) {
+      expanded.push_back(std::move(item));
+      continue;
+    }
+    const auto& star = static_cast<const sql::StarExpr&>(*item.expr);
+    for (const Binding& b : bindings) {
+      if (!star.qualifier.empty() && !EqualsIgnoreCase(b.name, star.qualifier)) {
+        continue;
+      }
+      if (b.table == nullptr) {
+        // Derived-table star: keep as a qualified star; the sub-query has
+        // already been rewritten and its own stars expanded.
+        sql::SelectItem si;
+        si.expr = std::make_unique<sql::StarExpr>(b.name);
+        expanded.push_back(std::move(si));
+        continue;
+      }
+      for (const auto& col : b.table->schema().columns()) {
+        if (catalog_->IsProtected(b.table->name()) &&
+            col.name == AccessControlCatalog::kPolicyColumn) {
+          continue;
+        }
+        sql::SelectItem si;
+        si.expr = std::make_unique<sql::ColumnRefExpr>(b.name, col.name);
+        expanded.push_back(std::move(si));
+      }
+    }
+  }
+  stmt->items = std::move(expanded);
+  return Status::OK();
+}
+
+namespace {
+
+/// Reserved names user queries may not touch: referencing the policy column
+/// of a protected table would leak encoded masks, and calling the
+/// enforcement UDFs directly would let users probe policies or smuggle
+/// always-true conjuncts past enforcement.
+Status CheckExprIsPolicyFree(const sql::Expr& expr);
+
+Status CheckReservedFunction(const sql::FuncCallExpr& call) {
+  if (call.name == QueryRewriter::kCompliesWithFunction ||
+      call.name == "purpose_allows") {
+    return Status::PermissionDenied("function '" + call.name +
+                                    "' is reserved for the enforcement "
+                                    "monitor");
+  }
+  for (const auto& a : call.args) {
+    AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*a));
+  }
+  return Status::OK();
+}
+
+Status CheckExprIsPolicyFree(const sql::Expr& expr) {
+  switch (expr.kind()) {
+    case sql::Expr::Kind::kColumnRef: {
+      const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+      if (ref.name == AccessControlCatalog::kPolicyColumn) {
+        return Status::PermissionDenied(
+            "the policy column cannot be referenced by user queries");
+      }
+      return Status::OK();
+    }
+    case sql::Expr::Kind::kBinary: {
+      const auto& e = static_cast<const sql::BinaryExpr&>(expr);
+      AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*e.lhs));
+      return CheckExprIsPolicyFree(*e.rhs);
+    }
+    case sql::Expr::Kind::kUnary:
+      return CheckExprIsPolicyFree(
+          *static_cast<const sql::UnaryExpr&>(expr).operand);
+    case sql::Expr::Kind::kFuncCall:
+      return CheckReservedFunction(
+          static_cast<const sql::FuncCallExpr&>(expr));
+    case sql::Expr::Kind::kIn: {
+      const auto& e = static_cast<const sql::InExpr&>(expr);
+      AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*e.operand));
+      for (const auto& item : e.list) {
+        AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*item));
+      }
+      return Status::OK();  // Sub-query checked at its own level.
+    }
+    case sql::Expr::Kind::kIsNull:
+      return CheckExprIsPolicyFree(
+          *static_cast<const sql::IsNullExpr&>(expr).operand);
+    case sql::Expr::Kind::kBetween: {
+      const auto& e = static_cast<const sql::BetweenExpr&>(expr);
+      AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*e.operand));
+      AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*e.lo));
+      return CheckExprIsPolicyFree(*e.hi);
+    }
+    case sql::Expr::Kind::kCase: {
+      const auto& e = static_cast<const sql::CaseExpr&>(expr);
+      if (e.operand != nullptr) {
+        AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*e.operand));
+      }
+      for (const auto& w : e.whens) {
+        AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*w.condition));
+        AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*w.result));
+      }
+      if (e.else_result != nullptr) {
+        AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*e.else_result));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+/// Applies the reserved-name check to every clause of one query level.
+/// The blanket ban on the name `policy` is deliberately coarse: it also
+/// protects the (rare) aliasing tricks a finer resolved-table check would
+/// have to chase, at the cost of reserving the column name outright.
+Status CheckLevelIsPolicyFree(const sql::SelectStmt& stmt) {
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind() == sql::Expr::Kind::kStar) continue;
+    AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*item.expr));
+  }
+  if (stmt.where != nullptr) {
+    AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*stmt.where));
+  }
+  for (const auto& g : stmt.group_by) {
+    AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*g));
+  }
+  if (stmt.having != nullptr) {
+    AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*stmt.having));
+  }
+  for (const auto& ob : stmt.order_by) {
+    AAPAC_RETURN_NOT_OK(CheckExprIsPolicyFree(*ob.expr));
+  }
+  std::function<Status(const sql::TableRef&)> check_on =
+      [&](const sql::TableRef& ref) -> Status {
+    if (ref.kind() != sql::TableRef::Kind::kJoin) return Status::OK();
+    const auto& join = static_cast<const sql::JoinRef&>(ref);
+    AAPAC_RETURN_NOT_OK(check_on(*join.left));
+    AAPAC_RETURN_NOT_OK(check_on(*join.right));
+    if (join.on != nullptr) return CheckExprIsPolicyFree(*join.on);
+    return Status::OK();
+  };
+  for (const auto& ref : stmt.from) {
+    AAPAC_RETURN_NOT_OK(check_on(*ref));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status QueryRewriter::RewriteLevel(sql::SelectStmt* stmt,
+                                   const std::string& purpose) const {
+  // User queries may not touch enforcement internals (checked per level,
+  // before the level gains its own complies_with conjuncts).
+  AAPAC_RETURN_NOT_OK(CheckLevelIsPolicyFree(*stmt));
+
+  // rwSubQueries: recurse into every clause first (Listing 2).
+  for (auto& ref : stmt->from) {
+    AAPAC_RETURN_NOT_OK(RewriteSubqueriesInRef(ref.get(), purpose));
+  }
+  for (auto& item : stmt->items) {
+    AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(item.expr.get(), purpose));
+  }
+  AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(stmt->where.get(), purpose));
+  AAPAC_RETURN_NOT_OK(RewriteSubqueriesInExpr(stmt->having.get(), purpose));
+
+  AAPAC_RETURN_NOT_OK(ExpandStars(stmt));
+
+  // Derive this level's signature. DeriveInfoTuples/ComposeTableSignatures
+  // run inside Derive; the top-level `tables` describe exactly this level.
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<QuerySignature> qs,
+                         builder_.Derive(*stmt, purpose));
+
+  // Conjoin one complies_with per action signature, original WHERE first.
+  ExprPtr checks;
+  for (const TableSignature& ts : qs->tables) {
+    if (!catalog_->IsProtected(ts.table)) continue;
+    AAPAC_ASSIGN_OR_RETURN(MaskLayout layout, catalog_->LayoutFor(ts.table));
+    for (const ActionSignature& as : ts.actions) {
+      AAPAC_ASSIGN_OR_RETURN(BitString mask,
+                             layout.EncodeActionSignature(as, purpose));
+      ExprPtr call = MakeComplianceCall(mask.ToBinary(), ts.binding);
+      checks = checks == nullptr
+                   ? std::move(call)
+                   : std::make_unique<sql::BinaryExpr>(
+                         sql::BinaryOp::kAnd, std::move(checks),
+                         std::move(call));
+    }
+  }
+  if (checks != nullptr) {
+    stmt->where = stmt->where == nullptr
+                      ? std::move(checks)
+                      : std::make_unique<sql::BinaryExpr>(
+                            sql::BinaryOp::kAnd, std::move(stmt->where),
+                            std::move(checks));
+  }
+  return Status::OK();
+}
+
+Status QueryRewriter::Rewrite(sql::SelectStmt* stmt,
+                              const std::string& purpose) const {
+  if (!catalog_->purposes().Contains(purpose)) {
+    return Status::NotFound("purpose '" + purpose + "' not defined");
+  }
+  return RewriteLevel(stmt, purpose);
+}
+
+Result<std::string> QueryRewriter::RewriteSql(const std::string& sql,
+                                              const std::string& purpose) const {
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  AAPAC_RETURN_NOT_OK(Rewrite(stmt.get(), purpose));
+  return sql::ToSql(*stmt);
+}
+
+}  // namespace aapac::core

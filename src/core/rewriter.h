@@ -1,0 +1,59 @@
+#ifndef AAPAC_CORE_REWRITER_H_
+#define AAPAC_CORE_REWRITER_H_
+
+#include <string>
+
+#include "core/catalog.h"
+#include "core/signature_builder.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Enforcement by query rewriting (§5.5, Listing 2).
+///
+/// For every protected base table T referenced by a (sub)query, the WHERE
+/// clause is extended with one conjunct per action signature:
+///
+///     complies_with(b'<action signature mask>', <binding>.policy)
+///
+/// appended *after* the original predicate, so that a tuple failing the
+/// user's own filters never pays for a policy check, and a tuple failing an
+/// early policy check skips the remaining ones (the short-circuit behaviour
+/// the paper's complexity analysis §5.6 relies on). Sub-queries in FROM,
+/// WHERE, HAVING and the select list are rewritten recursively at their own
+/// nesting level (function rwSubQueries of Listing 2).
+///
+/// Star select items over protected base tables are expanded into explicit
+/// column lists (excluding the policy column) so that rewritten queries
+/// never leak policy masks into result sets.
+class QueryRewriter {
+ public:
+  /// SQL name of the compliance UDF (the paper's PostgreSQL C function).
+  static constexpr const char* kCompliesWithFunction = "complies_with";
+
+  explicit QueryRewriter(const AccessControlCatalog* catalog)
+      : catalog_(catalog), builder_(catalog) {}
+
+  /// Rewrites `stmt` in place for an execution with `purpose`.
+  Status Rewrite(sql::SelectStmt* stmt, const std::string& purpose) const;
+
+  /// Parse → rewrite → print convenience used by tools and tests.
+  Result<std::string> RewriteSql(const std::string& sql,
+                                 const std::string& purpose) const;
+
+ private:
+  Status RewriteLevel(sql::SelectStmt* stmt, const std::string& purpose) const;
+  Status RewriteSubqueriesInExpr(sql::Expr* expr,
+                                 const std::string& purpose) const;
+  Status RewriteSubqueriesInRef(sql::TableRef* ref,
+                                const std::string& purpose) const;
+  Status ExpandStars(sql::SelectStmt* stmt) const;
+
+  const AccessControlCatalog* catalog_;
+  SignatureBuilder builder_;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_REWRITER_H_

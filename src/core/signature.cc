@@ -1,0 +1,43 @@
+#include "core/signature.h"
+
+#include "util/strings.h"
+
+namespace aapac::core {
+
+std::string ActionSignature::ToString() const {
+  std::string out = "<{";
+  out += Join(std::vector<std::string>(columns.begin(), columns.end()), ",");
+  out += "},";
+  out += action_type.ToString();
+  out += ">";
+  return out;
+}
+
+std::string TableSignature::ToString() const {
+  std::string out = "<" + table;
+  if (binding != table) out += " as " + binding;
+  out += ",{";
+  for (size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += actions[i].ToString();
+  }
+  out += "}>";
+  return out;
+}
+
+std::string QuerySignature::ToString() const {
+  std::string out = "<" + id + "," + purpose + ",{";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tables[i].ToString();
+  }
+  out += "},{";
+  for (size_t i = 0; i < subqueries.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += subqueries[i]->ToString();
+  }
+  out += "}>";
+  return out;
+}
+
+}  // namespace aapac::core

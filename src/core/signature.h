@@ -1,0 +1,49 @@
+#ifndef AAPAC_CORE_SIGNATURE_H_
+#define AAPAC_CORE_SIGNATURE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/action_type.h"
+
+namespace aapac::core {
+
+/// Action signature As = ⟨Cs, Ac⟩ (Def. 3): an action of type `action_type`
+/// performed by a query on the `columns` of one table.
+struct ActionSignature {
+  std::set<std::string> columns;  // Cs.
+  ActionType action_type;        // Ac.
+
+  std::string ToString() const;
+
+  bool operator==(const ActionSignature&) const = default;
+};
+
+/// Table signature Ts = ⟨T, Acs⟩ (Def. 4), extended with the FROM-clause
+/// binding (alias) through which the query refers to the table — the
+/// rewriter needs it to address the right `policy` column in self-join-free
+/// aliased queries such as `sensed_data s`.
+struct TableSignature {
+  std::string table;    // Base table name (lowercase).
+  std::string binding;  // Alias used in the query; equals `table` if none.
+  std::vector<ActionSignature> actions;  // Acs.
+
+  std::string ToString() const;
+};
+
+/// Query signature Qs = ⟨Ap, Tss, Qss⟩ (Def. 4) plus the query identifier
+/// (hash of the SQL text, as in the paper's Fig. 3).
+struct QuerySignature {
+  std::string id;       // Short hex digest of the SQL text.
+  std::string purpose;  // Ap — access purpose id.
+  std::vector<TableSignature> tables;                   // Tss.
+  std::vector<std::unique_ptr<QuerySignature>> subqueries;  // Qss.
+
+  std::string ToString() const;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_SIGNATURE_H_

@@ -1,0 +1,581 @@
+#include "core/signature_builder.h"
+
+#include <map>
+#include <set>
+
+#include "sql/printer.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace aapac::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scope: the FROM-clause bindings visible to one (sub)query level.
+// ---------------------------------------------------------------------------
+
+struct BindingInfo {
+  std::string name;                        // Alias or table name, lowercase.
+  const engine::Table* base = nullptr;     // Set for base tables.
+  const sql::SelectStmt* derived = nullptr;  // Set for derived tables.
+};
+
+using Scope = std::vector<BindingInfo>;
+
+Status CollectBindings(const engine::Database& db, const sql::TableRef& ref,
+                       Scope* scope) {
+  switch (ref.kind()) {
+    case sql::TableRef::Kind::kBaseTable: {
+      const auto& base = static_cast<const sql::BaseTableRef&>(ref);
+      const engine::Table* table = db.FindTable(base.table_name);
+      if (table == nullptr) {
+        return Status::NotFound("table '" + base.table_name +
+                                "' does not exist");
+      }
+      scope->push_back(
+          BindingInfo{ToLower(base.BindingName()), table, nullptr});
+      return Status::OK();
+    }
+    case sql::TableRef::Kind::kSubquery: {
+      const auto& derived = static_cast<const sql::SubqueryTableRef&>(ref);
+      scope->push_back(
+          BindingInfo{ToLower(derived.alias), nullptr, derived.subquery.get()});
+      return Status::OK();
+    }
+    case sql::TableRef::Kind::kJoin: {
+      const auto& join = static_cast<const sql::JoinRef&>(ref);
+      AAPAC_RETURN_NOT_OK(CollectBindings(db, *join.left, scope));
+      return CollectBindings(db, *join.right, scope);
+    }
+  }
+  return Status::Internal("unhandled table ref kind");
+}
+
+/// Output item of a derived table: its exposed name and, when it is a plain
+/// column reference, the underlying reference.
+struct DerivedItem {
+  std::string name;
+  const sql::ColumnRefExpr* source = nullptr;  // Null for computed items.
+};
+
+Result<std::vector<DerivedItem>> DerivedItems(const engine::Database& db,
+                                              const sql::SelectStmt& stmt);
+
+/// Expands a star select item against the sub-query's own scope.
+Result<std::vector<DerivedItem>> ExpandStar(const engine::Database& db,
+                                            const sql::SelectStmt& stmt,
+                                            const std::string& qualifier) {
+  Scope scope;
+  for (const auto& ref : stmt.from) {
+    AAPAC_RETURN_NOT_OK(CollectBindings(db, *ref, &scope));
+  }
+  std::vector<DerivedItem> out;
+  for (const BindingInfo& b : scope) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(b.name, qualifier)) continue;
+    if (b.base != nullptr) {
+      for (const auto& col : b.base->schema().columns()) {
+        out.push_back(DerivedItem{col.name, nullptr});
+      }
+    } else if (b.derived != nullptr) {
+      AAPAC_ASSIGN_OR_RETURN(std::vector<DerivedItem> inner,
+                             DerivedItems(db, *b.derived));
+      for (auto& item : inner) out.push_back(std::move(item));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<DerivedItem>> DerivedItems(const engine::Database& db,
+                                              const sql::SelectStmt& stmt) {
+  std::vector<DerivedItem> out;
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind() == sql::Expr::Kind::kStar) {
+      const auto& star = static_cast<const sql::StarExpr&>(*item.expr);
+      AAPAC_ASSIGN_OR_RETURN(std::vector<DerivedItem> expanded,
+                             ExpandStar(db, stmt, star.qualifier));
+      for (auto& e : expanded) out.push_back(std::move(e));
+      continue;
+    }
+    DerivedItem di;
+    if (!item.alias.empty()) {
+      di.name = item.alias;
+    } else if (item.expr->kind() == sql::Expr::Kind::kColumnRef) {
+      di.name = static_cast<const sql::ColumnRefExpr&>(*item.expr).name;
+    } else if (item.expr->kind() == sql::Expr::Kind::kFuncCall) {
+      di.name = static_cast<const sql::FuncCallExpr&>(*item.expr).name;
+    } else {
+      di.name = "col" + std::to_string(out.size() + 1);
+    }
+    if (item.expr->kind() == sql::Expr::Kind::kColumnRef) {
+      di.source = static_cast<const sql::ColumnRefExpr*>(item.expr.get());
+    }
+    out.push_back(std::move(di));
+  }
+  return out;
+}
+
+/// A column reference resolved against a scope. When the reference lands in
+/// a derived table, `table`/`column` trace through plain-column sub-select
+/// items to the base column for category purposes; `is_base_access` is then
+/// false because the outer level does not touch the base table directly.
+struct ResolvedColumn {
+  std::string binding;
+  std::string table;   // Base table name; empty if untraceable.
+  std::string column;  // Base column name; empty if untraceable.
+  bool is_base_access = false;
+};
+
+Result<ResolvedColumn> ResolveInScope(const engine::Database& db,
+                                      const Scope& scope,
+                                      const std::string& qualifier,
+                                      const std::string& name);
+
+Result<ResolvedColumn> ResolveThroughDerived(const engine::Database& db,
+                                             const BindingInfo& binding,
+                                             const std::string& name) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<DerivedItem> items,
+                         DerivedItems(db, *binding.derived));
+  for (const DerivedItem& item : items) {
+    if (!EqualsIgnoreCase(item.name, name)) continue;
+    ResolvedColumn out;
+    out.binding = binding.name;
+    out.is_base_access = false;
+    if (item.source != nullptr) {
+      Scope inner_scope;
+      for (const auto& ref : binding.derived->from) {
+        AAPAC_RETURN_NOT_OK(CollectBindings(db, *ref, &inner_scope));
+      }
+      auto inner = ResolveInScope(db, inner_scope, item.source->qualifier,
+                                  item.source->name);
+      if (inner.ok()) {
+        out.table = inner->table;
+        out.column = inner->column;
+      }
+    }
+    return out;
+  }
+  return Status::BindError("column '" + name + "' not found in derived table '" +
+                           binding.name + "'");
+}
+
+Result<ResolvedColumn> ResolveInScope(const engine::Database& db,
+                                      const Scope& scope,
+                                      const std::string& qualifier,
+                                      const std::string& name) {
+  const std::string lname = ToLower(name);
+  std::vector<const BindingInfo*> candidates;
+  for (const BindingInfo& b : scope) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(b.name, qualifier)) continue;
+    bool has = false;
+    if (b.base != nullptr) {
+      has = b.base->schema().HasColumn(lname);
+    } else if (b.derived != nullptr) {
+      auto items = DerivedItems(db, *b.derived);
+      if (items.ok()) {
+        for (const DerivedItem& item : *items) {
+          if (EqualsIgnoreCase(item.name, lname)) {
+            has = true;
+            break;
+          }
+        }
+      }
+    }
+    if (has) candidates.push_back(&b);
+  }
+  if (candidates.empty()) {
+    const std::string full = qualifier.empty() ? name : qualifier + "." + name;
+    return Status::BindError("column '" + full + "' not found");
+  }
+  if (candidates.size() > 1) {
+    return Status::BindError("column reference '" + name + "' is ambiguous");
+  }
+  const BindingInfo& b = *candidates[0];
+  if (b.base != nullptr) {
+    return ResolvedColumn{b.name, b.base->name(), lname, true};
+  }
+  return ResolveThroughDerived(db, b, lname);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: clause walking.
+// ---------------------------------------------------------------------------
+
+struct RefOccurrence {
+  const sql::ColumnRefExpr* ref;
+  bool in_aggregate;
+};
+
+/// Collects column references and same-level sub-queries of an expression.
+/// Sub-query internals are not descended: they form their own query level.
+void CollectRefs(const sql::Expr& expr, bool in_aggregate,
+                 std::vector<RefOccurrence>* refs,
+                 std::vector<const sql::SelectStmt*>* subqueries) {
+  switch (expr.kind()) {
+    case sql::Expr::Kind::kColumnRef:
+      refs->push_back(RefOccurrence{
+          static_cast<const sql::ColumnRefExpr*>(&expr), in_aggregate});
+      return;
+    case sql::Expr::Kind::kLiteral:
+    case sql::Expr::Kind::kStar:
+      return;
+    case sql::Expr::Kind::kBinary: {
+      const auto& e = static_cast<const sql::BinaryExpr&>(expr);
+      CollectRefs(*e.lhs, in_aggregate, refs, subqueries);
+      CollectRefs(*e.rhs, in_aggregate, refs, subqueries);
+      return;
+    }
+    case sql::Expr::Kind::kUnary:
+      CollectRefs(*static_cast<const sql::UnaryExpr&>(expr).operand,
+                  in_aggregate, refs, subqueries);
+      return;
+    case sql::Expr::Kind::kFuncCall: {
+      const auto& e = static_cast<const sql::FuncCallExpr&>(expr);
+      const bool agg =
+          in_aggregate || engine::IsAggregateFunctionName(e.name);
+      for (const auto& a : e.args) CollectRefs(*a, agg, refs, subqueries);
+      return;
+    }
+    case sql::Expr::Kind::kIn: {
+      const auto& e = static_cast<const sql::InExpr&>(expr);
+      CollectRefs(*e.operand, in_aggregate, refs, subqueries);
+      for (const auto& item : e.list) {
+        CollectRefs(*item, in_aggregate, refs, subqueries);
+      }
+      if (e.subquery != nullptr) subqueries->push_back(e.subquery.get());
+      return;
+    }
+    case sql::Expr::Kind::kIsNull:
+      CollectRefs(*static_cast<const sql::IsNullExpr&>(expr).operand,
+                  in_aggregate, refs, subqueries);
+      return;
+    case sql::Expr::Kind::kBetween: {
+      const auto& e = static_cast<const sql::BetweenExpr&>(expr);
+      CollectRefs(*e.operand, in_aggregate, refs, subqueries);
+      CollectRefs(*e.lo, in_aggregate, refs, subqueries);
+      CollectRefs(*e.hi, in_aggregate, refs, subqueries);
+      return;
+    }
+    case sql::Expr::Kind::kCase: {
+      const auto& e = static_cast<const sql::CaseExpr&>(expr);
+      if (e.operand != nullptr) {
+        CollectRefs(*e.operand, in_aggregate, refs, subqueries);
+      }
+      for (const auto& w : e.whens) {
+        CollectRefs(*w.condition, in_aggregate, refs, subqueries);
+        CollectRefs(*w.result, in_aggregate, refs, subqueries);
+      }
+      if (e.else_result != nullptr) {
+        CollectRefs(*e.else_result, in_aggregate, refs, subqueries);
+      }
+      return;
+    }
+    case sql::Expr::Kind::kScalarSubquery:
+      subqueries->push_back(
+          static_cast<const sql::ScalarSubqueryExpr&>(expr).subquery.get());
+      return;
+  }
+}
+
+void CollectOnExprs(const sql::TableRef& ref,
+                    std::vector<const sql::Expr*>* on_exprs) {
+  if (ref.kind() != sql::TableRef::Kind::kJoin) return;
+  const auto& join = static_cast<const sql::JoinRef&>(ref);
+  CollectOnExprs(*join.left, on_exprs);
+  CollectOnExprs(*join.right, on_exprs);
+  if (join.on != nullptr) on_exprs->push_back(join.on.get());
+}
+
+struct DerivationState {
+  std::vector<InfoTuple> tuples;
+  std::vector<const sql::SelectStmt*> subqueries;
+  // Distinct base-or-traced columns accessed at this level, with their
+  // categories — the input of the phase-2 joint-access union.
+  std::map<std::pair<std::string, std::string>, DataCategory> accessed;
+};
+
+}  // namespace
+
+std::string InfoTuple::ToString() const {
+  std::string out = attribute + "@" + table;
+  if (binding != table) out += "(" + binding + ")";
+  out += " ia=";
+  out += indirection == Indirection::kDirect ? 'd' : 'i';
+  out += " ms=";
+  out += !multiplicity.has_value()
+             ? '_'
+             : (*multiplicity == Multiplicity::kSingle ? 's' : 'm');
+  out += " ag=";
+  out += !aggregation.has_value()
+             ? '_'
+             : (*aggregation == Aggregation::kAggregation ? 'a' : 'n');
+  out += " ct=";
+  out += DataCategoryCode(category);
+  out += " ja=" + joint_access.ToString();
+  out += " pu=" + purpose;
+  return out;
+}
+
+namespace {
+
+class LevelDeriver {
+ public:
+  LevelDeriver(const AccessControlCatalog& catalog, const sql::SelectStmt& stmt,
+               const std::string& purpose, std::string query_id)
+      : catalog_(catalog),
+        stmt_(stmt),
+        purpose_(purpose),
+        query_id_(std::move(query_id)) {}
+
+  Status Run() {
+    for (const auto& ref : stmt_.from) {
+      AAPAC_RETURN_NOT_OK(
+          CollectBindings(*catalog_.db(), *ref, &scope_));
+      CollectDerivedSubqueries(*ref);
+    }
+    // Duplicate binding names make references ambiguous.
+    for (size_t i = 0; i < scope_.size(); ++i) {
+      for (size_t j = i + 1; j < scope_.size(); ++j) {
+        if (scope_[i].name == scope_[j].name) {
+          return Status::BindError("duplicate FROM binding '" +
+                                   scope_[i].name + "'");
+        }
+      }
+    }
+    AAPAC_RETURN_NOT_OK(WalkSelectItems());
+    AAPAC_RETURN_NOT_OK(WalkIndirectClauses());
+    CompleteJointAccess();
+    return Status::OK();
+  }
+
+  DerivationState& state() { return state_; }
+
+ private:
+  /// Registers derived tables anywhere in a FROM tree (including inside
+  /// joins) as sub-queries of this level.
+  void CollectDerivedSubqueries(const sql::TableRef& ref) {
+    switch (ref.kind()) {
+      case sql::TableRef::Kind::kSubquery:
+        state_.subqueries.push_back(
+            static_cast<const sql::SubqueryTableRef&>(ref).subquery.get());
+        return;
+      case sql::TableRef::Kind::kJoin: {
+        const auto& join = static_cast<const sql::JoinRef&>(ref);
+        CollectDerivedSubqueries(*join.left);
+        CollectDerivedSubqueries(*join.right);
+        return;
+      }
+      case sql::TableRef::Kind::kBaseTable:
+        return;
+    }
+  }
+
+  Status RecordAccess(const ResolvedColumn& rc) {
+    if (rc.table.empty() || rc.column.empty()) return Status::OK();
+    state_.accessed[{rc.table, rc.column}] =
+        catalog_.CategoryOf(rc.table, rc.column);
+    return Status::OK();
+  }
+
+  Status EmitDirect(const ResolvedColumn& rc, Multiplicity ms, Aggregation ag) {
+    AAPAC_RETURN_NOT_OK(RecordAccess(rc));
+    if (!rc.is_base_access) return Status::OK();
+    InfoTuple t;
+    t.attribute = rc.column;
+    t.table = rc.table;
+    t.binding = rc.binding;
+    t.query_id = query_id_;
+    t.indirection = Indirection::kDirect;
+    t.multiplicity = ms;
+    t.aggregation = ag;
+    t.purpose = purpose_;
+    state_.tuples.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  Status EmitIndirect(const ResolvedColumn& rc) {
+    AAPAC_RETURN_NOT_OK(RecordAccess(rc));
+    if (!rc.is_base_access) return Status::OK();
+    InfoTuple t;
+    t.attribute = rc.column;
+    t.table = rc.table;
+    t.binding = rc.binding;
+    t.query_id = query_id_;
+    t.indirection = Indirection::kIndirect;
+    t.purpose = purpose_;
+    state_.tuples.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  Status WalkSelectItems() {
+    for (const auto& item : stmt_.items) {
+      if (item.expr->kind() == sql::Expr::Kind::kStar) {
+        // `select *` shows every (non-policy) column: direct access from a
+        // single source without aggregation.
+        const auto& star = static_cast<const sql::StarExpr&>(*item.expr);
+        for (const BindingInfo& b : scope_) {
+          if (!star.qualifier.empty() &&
+              !EqualsIgnoreCase(b.name, star.qualifier)) {
+            continue;
+          }
+          if (b.base != nullptr) {
+            for (const auto& col : b.base->schema().columns()) {
+              if (col.name == AccessControlCatalog::kPolicyColumn) continue;
+              AAPAC_RETURN_NOT_OK(
+                  EmitDirect(ResolvedColumn{b.name, b.base->name(), col.name,
+                                            true},
+                             Multiplicity::kSingle,
+                             Aggregation::kNoAggregation));
+            }
+          }
+          // Derived-table stars carry no base access at this level.
+        }
+        continue;
+      }
+      std::vector<RefOccurrence> refs;
+      CollectRefs(*item.expr, /*in_aggregate=*/false, &refs,
+                  &state_.subqueries);
+      // Ms: "multiple" when the shown value combines several column
+      // occurrences (paper Example 2: temperature - avg(temperature)).
+      const Multiplicity ms = refs.size() > 1 ? Multiplicity::kMultiple
+                                              : Multiplicity::kSingle;
+      for (const RefOccurrence& occ : refs) {
+        AAPAC_ASSIGN_OR_RETURN(
+            ResolvedColumn rc,
+            ResolveInScope(*catalog_.db(), scope_, occ.ref->qualifier,
+                           occ.ref->name));
+        AAPAC_RETURN_NOT_OK(
+            EmitDirect(rc, ms,
+                       occ.in_aggregate ? Aggregation::kAggregation
+                                        : Aggregation::kNoAggregation));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status WalkIndirectClauses() {
+    std::vector<const sql::Expr*> exprs;
+    CollectOnExprs(*stmt_.from[0], &exprs);
+    for (size_t i = 1; i < stmt_.from.size(); ++i) {
+      CollectOnExprs(*stmt_.from[i], &exprs);
+    }
+    if (stmt_.where != nullptr) exprs.push_back(stmt_.where.get());
+    for (const auto& g : stmt_.group_by) exprs.push_back(g.get());
+    if (stmt_.having != nullptr) exprs.push_back(stmt_.having.get());
+    for (const auto& ob : stmt_.order_by) exprs.push_back(ob.expr.get());
+
+    for (const sql::Expr* e : exprs) {
+      std::vector<RefOccurrence> refs;
+      CollectRefs(*e, /*in_aggregate=*/false, &refs, &state_.subqueries);
+      for (const RefOccurrence& occ : refs) {
+        auto rc = ResolveInScope(*catalog_.db(), scope_, occ.ref->qualifier,
+                                 occ.ref->name);
+        if (!rc.ok()) {
+          // ORDER BY may name an output alias rather than an input column;
+          // aliases carry no additional base-table access.
+          continue;
+        }
+        AAPAC_RETURN_NOT_OK(EmitIndirect(*rc));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Phase 2: Ct from the catalog; Ja = union of the categories of the other
+  /// attributes accessed by this (sub)query.
+  void CompleteJointAccess() {
+    for (InfoTuple& t : state_.tuples) {
+      t.category = catalog_.CategoryOf(t.table, t.attribute);
+      JointAccess ja;
+      for (const auto& [key, category] : state_.accessed) {
+        if (key.first == t.table && key.second == t.attribute) continue;
+        ja.Set(category, true);
+      }
+      t.joint_access = ja;
+    }
+  }
+
+  const AccessControlCatalog& catalog_;
+  const sql::SelectStmt& stmt_;
+  const std::string& purpose_;
+  std::string query_id_;
+  Scope scope_;
+  DerivationState state_;
+};
+
+/// Phase 3 for one level: fold duplicate info tuples into action signatures
+/// grouped per binding.
+std::vector<TableSignature> ComposeTableSignatures(
+    const std::vector<InfoTuple>& tuples) {
+  std::vector<TableSignature> out;
+  auto find_table = [&out](const std::string& binding) -> TableSignature* {
+    for (auto& ts : out) {
+      if (ts.binding == binding) return &ts;
+    }
+    return nullptr;
+  };
+  for (const InfoTuple& t : tuples) {
+    ActionSignature as;
+    as.columns = {t.attribute};
+    as.action_type = ActionType{t.indirection, t.multiplicity, t.aggregation,
+                                t.joint_access};
+    TableSignature* ts = find_table(t.binding);
+    if (ts == nullptr) {
+      out.push_back(TableSignature{t.table, t.binding, {}});
+      ts = &out.back();
+    }
+    bool duplicate = false;
+    for (const ActionSignature& existing : ts->actions) {
+      if (existing == as) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) ts->actions.push_back(std::move(as));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<QuerySignature>> DeriveRecursive(
+    const AccessControlCatalog& catalog, const sql::SelectStmt& stmt,
+    const std::string& purpose, const std::string& sql_text) {
+  const std::string text = sql_text.empty() ? sql::ToSql(stmt) : sql_text;
+  LevelDeriver deriver(catalog, stmt, purpose, ShortHexDigest(text));
+  AAPAC_RETURN_NOT_OK(deriver.Run());
+
+  auto qs = std::make_unique<QuerySignature>();
+  qs->id = ShortHexDigest(text);
+  qs->purpose = purpose;
+  qs->tables = ComposeTableSignatures(deriver.state().tuples);
+  for (const sql::SelectStmt* sub : deriver.state().subqueries) {
+    AAPAC_ASSIGN_OR_RETURN(
+        std::unique_ptr<QuerySignature> sub_sig,
+        DeriveRecursive(catalog, *sub, purpose, sql::ToSql(*sub)));
+    qs->subqueries.push_back(std::move(sub_sig));
+  }
+  return qs;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QuerySignature>> SignatureBuilder::Derive(
+    const sql::SelectStmt& stmt, const std::string& purpose,
+    const std::string& sql_text) const {
+  if (!catalog_->purposes().Contains(purpose)) {
+    return Status::NotFound("purpose '" + purpose + "' not defined");
+  }
+  return DeriveRecursive(*catalog_, stmt, purpose, sql_text);
+}
+
+Result<std::vector<InfoTuple>> SignatureBuilder::DeriveInfoTuples(
+    const sql::SelectStmt& stmt, const std::string& purpose) const {
+  if (!catalog_->purposes().Contains(purpose)) {
+    return Status::NotFound("purpose '" + purpose + "' not defined");
+  }
+  LevelDeriver deriver(*catalog_, stmt, purpose,
+                       ShortHexDigest(sql::ToSql(stmt)));
+  AAPAC_RETURN_NOT_OK(deriver.Run());
+  return std::move(deriver.state().tuples);
+}
+
+}  // namespace aapac::core

@@ -1,0 +1,77 @@
+#ifndef AAPAC_CORE_SIGNATURE_BUILDER_H_
+#define AAPAC_CORE_SIGNATURE_BUILDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/signature.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace aapac::core {
+
+/// Info tuple (Def. 8): the per-attribute-occurrence access record produced
+/// in phase 1 of signature derivation and completed (Ct, Ja) in phase 2.
+struct InfoTuple {
+  std::string attribute;  // Id — column name.
+  std::string table;      // Ds — base table the column belongs to.
+  std::string binding;    // FROM-clause alias through which it was reached.
+  std::string query_id;   // Qi — id of the (sub)query containing the ref.
+  Indirection indirection = Indirection::kIndirect;  // Ia.
+  std::optional<Multiplicity> multiplicity;          // Ms (⊥ if indirect).
+  std::optional<Aggregation> aggregation;            // Ag (⊥ if indirect).
+  DataCategory category = DataCategory::kGeneric;    // Ct (phase 2).
+  JointAccess joint_access;                          // Ja (phase 2).
+  std::string purpose;                               // Pu.
+
+  std::string ToString() const;
+};
+
+/// Derives query signatures from parsed SELECT statements following the
+/// three-phase process of §5.2:
+///   1. walk the query model's clauses and emit an info tuple per attribute
+///      reference (SELECT items → direct accesses with multiplicity =
+///      "multiple" when the item expression combines several column
+///      occurrences and aggregation = "aggregation" when the occurrence sits
+///      inside an aggregate call; JOIN-ON / WHERE / GROUP BY / HAVING →
+///      indirect accesses with ⊥ multiplicity/aggregation);
+///   2. fill in the data category from the catalog (Pm) and the joint-access
+///      component as the union of the categories of all *other* attributes
+///      accessed by the same (sub)query;
+///   3. fold identical info tuples into action signatures, group them per
+///      accessed table into table signatures, and assemble the query
+///      signature; sub-queries (derived tables, IN / scalar sub-queries in
+///      any clause) recurse into their own signatures (Qss).
+///
+/// Columns reached through a derived-table alias contribute to joint-access
+/// categories (resolved through the sub-query to their base column when the
+/// sub-select item is a plain column reference, generic otherwise) but do
+/// not yield action signatures at the outer level: the sub-query has its own
+/// signature, and enforcement rewrites each nesting level separately (§5.5).
+class SignatureBuilder {
+ public:
+  explicit SignatureBuilder(const AccessControlCatalog* catalog)
+      : catalog_(catalog) {}
+
+  /// Derives the full signature tree. `purpose` must be a defined purpose
+  /// id. `sql_text` (when non-empty) seeds the query id hash, mirroring the
+  /// paper's "hash of the query string" identifiers.
+  Result<std::unique_ptr<QuerySignature>> Derive(
+      const sql::SelectStmt& stmt, const std::string& purpose,
+      const std::string& sql_text = "") const;
+
+  /// Exposes the phase-1/2 intermediate state for the top level only —
+  /// used by documentation, examples and the Fig. 3 reproduction test.
+  Result<std::vector<InfoTuple>> DeriveInfoTuples(
+      const sql::SelectStmt& stmt, const std::string& purpose) const;
+
+ private:
+  const AccessControlCatalog* catalog_;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_SIGNATURE_BUILDER_H_

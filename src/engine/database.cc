@@ -1,0 +1,48 @@
+#include "engine/database.h"
+
+#include "util/strings.h"
+
+namespace aapac::engine {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(key, std::move(schema));
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  return ptr;
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("table '" + name + "' does not exist");
+  return t;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace aapac::engine

@@ -1,0 +1,50 @@
+#ifndef AAPAC_ENGINE_DATABASE_H_
+#define AAPAC_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/functions.h"
+#include "engine/table.h"
+#include "util/result.h"
+
+namespace aapac::engine {
+
+/// The catalog: named tables plus the scalar-function registry. Owns all
+/// table storage. This plays the role of the "target DB" inside the secured
+/// DBMS of the paper's architecture (Fig. 1).
+class Database {
+ public:
+  Database() : functions_(FunctionRegistry::WithBuiltins()) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; fails if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Removes a table; fails if absent.
+  Status DropTable(const std::string& name);
+
+  /// nullptr when absent (case-insensitive lookup).
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// Error-returning lookups for call sites that require presence.
+  Result<Table*> GetTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  FunctionRegistry& functions() { return functions_; }
+  const FunctionRegistry& functions() const { return functions_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // Keyed lowercase.
+  FunctionRegistry functions_;
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_DATABASE_H_

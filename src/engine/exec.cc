@@ -1,0 +1,2075 @@
+#include "engine/exec.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/bitstring.h"
+#include "util/strings.h"
+
+namespace aapac::engine {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::UnaryOp;
+
+// ===========================================================================
+// Bound expressions
+// ===========================================================================
+
+/// Expression bound to a concrete BindingSchema: column references are
+/// resolved to row indices, functions to registry entries, aggregate calls
+/// to slots in a per-group array, and uncorrelated sub-queries to
+/// materialized values/sets. Evaluation is then allocation-light.
+class BoundExpr {
+ public:
+  virtual ~BoundExpr() = default;
+
+  /// `agg_slots` carries per-group aggregate results during the aggregate
+  /// output phase; it is nullptr in the row phase.
+  virtual Result<Value> Eval(const Row& row, const Row* agg_slots) const = 0;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+class BoundColumnRef final : public BoundExpr {
+ public:
+  explicit BoundColumnRef(size_t index) : index_(index) {}
+  Result<Value> Eval(const Row& row, const Row*) const override {
+    return row[index_];
+  }
+
+ private:
+  size_t index_;
+};
+
+class BoundLiteral final : public BoundExpr {
+ public:
+  explicit BoundLiteral(Value value) : value_(std::move(value)) {}
+  Result<Value> Eval(const Row&, const Row*) const override { return value_; }
+
+ private:
+  Value value_;
+};
+
+class BoundAggRef final : public BoundExpr {
+ public:
+  explicit BoundAggRef(size_t slot) : slot_(slot) {}
+  Result<Value> Eval(const Row&, const Row* agg_slots) const override {
+    if (agg_slots == nullptr) {
+      return Status::Internal("aggregate referenced outside aggregate phase");
+    }
+    return (*agg_slots)[slot_];
+  }
+
+ private:
+  size_t slot_;
+};
+
+Result<Value> EvalComparison(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const bool comparable = (l.IsNumeric() && r.IsNumeric()) || l.type() == r.type();
+  if (!comparable) {
+    return Status::ExecutionError(
+        std::string("cannot compare ") + ValueTypeToString(l.type()) + " with " +
+        ValueTypeToString(r.type()));
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(l.Equals(r));
+    case BinaryOp::kNe:
+      return Value::Bool(!l.Equals(r));
+    case BinaryOp::kLt:
+      return Value::Bool(l.Compare(r) < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(l.Compare(r) <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(l.Compare(r) > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(l.Compare(r) >= 0);
+    default:
+      return Status::Internal("not a comparison operator");
+  }
+}
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.IsNumeric() || !r.IsNumeric()) {
+    return Status::ExecutionError(
+        std::string("arithmetic requires numeric operands, got ") +
+        ValueTypeToString(l.type()) + " and " + ValueTypeToString(r.type()));
+  }
+  const bool ints =
+      l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64;
+  if (ints) {
+    const int64_t a = l.AsInt();
+    const int64_t b = r.AsInt();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(a + b);
+      case BinaryOp::kSub:
+        return Value::Int(a - b);
+      case BinaryOp::kMul:
+        return Value::Int(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::ExecutionError("division by zero");
+        return Value::Int(a / b);  // Integer division, as in PostgreSQL.
+      case BinaryOp::kMod:
+        if (b == 0) return Status::ExecutionError("division by zero");
+        return Value::Int(a % b);
+      default:
+        return Status::Internal("not an arithmetic operator");
+    }
+  }
+  const double a = l.NumericAsDouble();
+  const double b = r.NumericAsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Double(a + b);
+    case BinaryOp::kSub:
+      return Value::Double(a - b);
+    case BinaryOp::kMul:
+      return Value::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0) return Status::ExecutionError("division by zero");
+      return Value::Double(a / b);
+    case BinaryOp::kMod:
+      return Status::ExecutionError("modulo requires integer operands");
+    default:
+      return Status::Internal("not an arithmetic operator");
+  }
+}
+
+class BoundBinary final : public BoundExpr {
+ public:
+  BoundBinary(BinaryOp op, BoundExprPtr lhs, BoundExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    // AND / OR implement Kleene logic with left-to-right short-circuiting;
+    // the short-circuit on a false conjunct is load-bearing for the paper's
+    // enforcement cost model (non-compliant rows skip later policy checks).
+    if (op_ == BinaryOp::kAnd) {
+      AAPAC_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row, agg));
+      if (!l.is_null() && l.type() == ValueType::kBool && !l.AsBool()) {
+        return Value::Bool(false);
+      }
+      AAPAC_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row, agg));
+      if (!r.is_null() && r.type() == ValueType::kBool && !r.AsBool()) {
+        return Value::Bool(false);
+      }
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Bool(true);
+    }
+    if (op_ == BinaryOp::kOr) {
+      AAPAC_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row, agg));
+      if (!l.is_null() && l.type() == ValueType::kBool && l.AsBool()) {
+        return Value::Bool(true);
+      }
+      AAPAC_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row, agg));
+      if (!r.is_null() && r.type() == ValueType::kBool && r.AsBool()) {
+        return Value::Bool(true);
+      }
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Bool(false);
+    }
+    AAPAC_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row, agg));
+    AAPAC_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row, agg));
+    switch (op_) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return EvalComparison(op_, l, r);
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod:
+        return EvalArithmetic(op_, l, r);
+      case BinaryOp::kLike:
+      case BinaryOp::kNotLike: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        if (l.type() != ValueType::kString || r.type() != ValueType::kString) {
+          return Status::ExecutionError("LIKE requires string operands");
+        }
+        const bool m = SqlLikeMatch(l.AsString(), r.AsString());
+        return Value::Bool(op_ == BinaryOp::kLike ? m : !m);
+      }
+      case BinaryOp::kConcat: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        if (l.type() != ValueType::kString || r.type() != ValueType::kString) {
+          return Status::ExecutionError("|| requires string operands");
+        }
+        return Value::String(l.AsString() + r.AsString());
+      }
+      default:
+        return Status::Internal("unhandled binary operator");
+    }
+  }
+
+ private:
+  BinaryOp op_;
+  BoundExprPtr lhs_;
+  BoundExprPtr rhs_;
+};
+
+class BoundUnary final : public BoundExpr {
+ public:
+  BoundUnary(UnaryOp op, BoundExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
+    if (v.is_null()) return Value::Null();
+    if (op_ == UnaryOp::kNot) {
+      if (v.type() != ValueType::kBool) {
+        return Status::ExecutionError("NOT requires a boolean operand");
+      }
+      return Value::Bool(!v.AsBool());
+    }
+    // Negation.
+    if (v.type() == ValueType::kInt64) return Value::Int(-v.AsInt());
+    if (v.type() == ValueType::kDouble) return Value::Double(-v.AsDouble());
+    return Status::ExecutionError("unary minus requires a numeric operand");
+  }
+
+ private:
+  UnaryOp op_;
+  BoundExprPtr operand_;
+};
+
+class BoundScalarCall final : public BoundExpr {
+ public:
+  BoundScalarCall(const ScalarFunction* fn, std::vector<BoundExprPtr> args)
+      : fn_(fn), args_(std::move(args)) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    std::vector<Value> arg_values;
+    arg_values.reserve(args_.size());
+    for (const auto& a : args_) {
+      AAPAC_ASSIGN_OR_RETURN(Value v, a->Eval(row, agg));
+      arg_values.push_back(std::move(v));
+    }
+    return fn_->fn(arg_values);
+  }
+
+ private:
+  const ScalarFunction* fn_;
+  std::vector<BoundExprPtr> args_;
+};
+
+class BoundInList final : public BoundExpr {
+ public:
+  BoundInList(BoundExprPtr operand, std::vector<BoundExprPtr> list,
+              bool negated)
+      : operand_(std::move(operand)), list_(std::move(list)), negated_(negated) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
+    if (v.is_null()) return Value::Null();
+    bool saw_null = false;
+    for (const auto& item : list_) {
+      AAPAC_ASSIGN_OR_RETURN(Value e, item->Eval(row, agg));
+      if (e.is_null()) {
+        saw_null = true;
+        continue;
+      }
+      if (v.Equals(e)) return Value::Bool(!negated_);
+    }
+    if (saw_null) return Value::Null();
+    return Value::Bool(negated_);
+  }
+
+ private:
+  BoundExprPtr operand_;
+  std::vector<BoundExprPtr> list_;
+  bool negated_;
+};
+
+/// IN over an uncorrelated sub-query, materialized to a hash set at bind
+/// time (mirrors PostgreSQL's hashed subplan).
+class BoundInSet final : public BoundExpr {
+ public:
+  BoundInSet(BoundExprPtr operand,
+             std::unordered_set<Value, ValueHash, ValueEq> set, bool has_null,
+             bool negated)
+      : operand_(std::move(operand)),
+        set_(std::move(set)),
+        has_null_(has_null),
+        negated_(negated) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
+    if (v.is_null()) return Value::Null();
+    if (set_.count(v) > 0) return Value::Bool(!negated_);
+    if (has_null_) return Value::Null();
+    return Value::Bool(negated_);
+  }
+
+ private:
+  BoundExprPtr operand_;
+  std::unordered_set<Value, ValueHash, ValueEq> set_;
+  bool has_null_;
+  bool negated_;
+};
+
+class BoundIsNull final : public BoundExpr {
+ public:
+  BoundIsNull(BoundExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
+    return Value::Bool(negated_ ? !v.is_null() : v.is_null());
+  }
+
+ private:
+  BoundExprPtr operand_;
+  bool negated_;
+};
+
+class BoundBetween final : public BoundExpr {
+ public:
+  BoundBetween(BoundExprPtr operand, BoundExprPtr lo, BoundExprPtr hi,
+               bool negated)
+      : operand_(std::move(operand)),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        negated_(negated) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
+    AAPAC_ASSIGN_OR_RETURN(Value lo, lo_->Eval(row, agg));
+    AAPAC_ASSIGN_OR_RETURN(Value hi, hi_->Eval(row, agg));
+    AAPAC_ASSIGN_OR_RETURN(Value ge, EvalComparison(BinaryOp::kGe, v, lo));
+    AAPAC_ASSIGN_OR_RETURN(Value le, EvalComparison(BinaryOp::kLe, v, hi));
+    if (ge.is_null() || le.is_null()) return Value::Null();
+    const bool in_range = ge.AsBool() && le.AsBool();
+    return Value::Bool(negated_ ? !in_range : in_range);
+  }
+
+ private:
+  BoundExprPtr operand_;
+  BoundExprPtr lo_;
+  BoundExprPtr hi_;
+  bool negated_;
+};
+
+/// CASE expression: searched (predicate WHENs) or simple (operand equality).
+class BoundCase final : public BoundExpr {
+ public:
+  struct BoundWhen {
+    BoundExprPtr condition;
+    BoundExprPtr result;
+  };
+
+  BoundCase(BoundExprPtr operand, std::vector<BoundWhen> whens,
+            BoundExprPtr else_result)
+      : operand_(std::move(operand)),
+        whens_(std::move(whens)),
+        else_result_(std::move(else_result)) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    Value subject;
+    if (operand_ != nullptr) {
+      AAPAC_ASSIGN_OR_RETURN(subject, operand_->Eval(row, agg));
+    }
+    for (const BoundWhen& when : whens_) {
+      AAPAC_ASSIGN_OR_RETURN(Value cond, when.condition->Eval(row, agg));
+      bool taken = false;
+      if (operand_ != nullptr) {
+        taken = !subject.is_null() && subject.Equals(cond);
+      } else {
+        taken = !cond.is_null() && cond.type() == ValueType::kBool &&
+                cond.AsBool();
+      }
+      if (taken) return when.result->Eval(row, agg);
+    }
+    if (else_result_ != nullptr) return else_result_->Eval(row, agg);
+    return Value::Null();
+  }
+
+ private:
+  BoundExprPtr operand_;
+  std::vector<BoundWhen> whens_;
+  BoundExprPtr else_result_;
+};
+
+// ===========================================================================
+// Aggregates
+// ===========================================================================
+
+enum class AggKind { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+struct AggSpec {
+  AggKind kind;
+  bool distinct = false;
+  BoundExprPtr arg;  // Null for count(*).
+};
+
+struct AggState {
+  int64_t count = 0;
+  int64_t sum_i = 0;
+  double sum_d = 0;
+  bool any_double = false;
+  Value min;
+  Value max;
+  std::unordered_set<Value, ValueHash, ValueEq> distinct_values;
+};
+
+Status Accumulate(const AggSpec& spec, const Row& row, AggState* state) {
+  if (spec.kind == AggKind::kCountStar) {
+    ++state->count;
+    return Status::OK();
+  }
+  AAPAC_ASSIGN_OR_RETURN(Value v, spec.arg->Eval(row, nullptr));
+  if (v.is_null()) return Status::OK();  // Aggregates ignore NULLs.
+  if (spec.distinct) {
+    state->distinct_values.insert(std::move(v));
+    return Status::OK();
+  }
+  switch (spec.kind) {
+    case AggKind::kCount:
+      ++state->count;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (!v.IsNumeric()) {
+        return Status::ExecutionError("sum/avg over non-numeric values");
+      }
+      ++state->count;
+      if (v.type() == ValueType::kDouble) state->any_double = true;
+      if (v.type() == ValueType::kInt64) {
+        state->sum_i += v.AsInt();
+      }
+      state->sum_d += v.NumericAsDouble();
+      break;
+    case AggKind::kMin:
+      if (state->min.is_null() || v.Compare(state->min) < 0) state->min = v;
+      ++state->count;
+      break;
+    case AggKind::kMax:
+      if (state->max.is_null() || v.Compare(state->max) > 0) state->max = v;
+      ++state->count;
+      break;
+    case AggKind::kCountStar:
+      break;
+  }
+  return Status::OK();
+}
+
+Result<Value> Finalize(const AggSpec& spec, const AggState& state) {
+  if (spec.distinct) {
+    // For DISTINCT aggregates, fold the collected set.
+    switch (spec.kind) {
+      case AggKind::kCount:
+        return Value::Int(static_cast<int64_t>(state.distinct_values.size()));
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        if (state.distinct_values.empty()) return Value::Null();
+        double total = 0;
+        bool any_double = false;
+        int64_t total_i = 0;
+        for (const Value& v : state.distinct_values) {
+          if (!v.IsNumeric()) {
+            return Status::ExecutionError("sum/avg over non-numeric values");
+          }
+          if (v.type() == ValueType::kDouble) any_double = true;
+          if (v.type() == ValueType::kInt64) total_i += v.AsInt();
+          total += v.NumericAsDouble();
+        }
+        if (spec.kind == AggKind::kAvg) {
+          return Value::Double(total /
+                               static_cast<double>(state.distinct_values.size()));
+        }
+        return any_double ? Value::Double(total) : Value::Int(total_i);
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        Value best;
+        for (const Value& v : state.distinct_values) {
+          if (best.is_null() ||
+              (spec.kind == AggKind::kMin ? v.Compare(best) < 0
+                                          : v.Compare(best) > 0)) {
+            best = v;
+          }
+        }
+        return best;
+      }
+      case AggKind::kCountStar:
+        return Value::Int(state.count);
+    }
+  }
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value::Int(state.count);
+    case AggKind::kSum:
+      if (state.count == 0) return Value::Null();
+      return state.any_double ? Value::Double(state.sum_d)
+                              : Value::Int(state.sum_i);
+    case AggKind::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(state.sum_d / static_cast<double>(state.count));
+    case AggKind::kMin:
+      return state.min;
+    case AggKind::kMax:
+      return state.max;
+  }
+  return Status::Internal("unhandled aggregate kind");
+}
+
+Result<AggKind> AggKindFromName(const std::string& name) {
+  if (name == "count") return AggKind::kCount;
+  if (name == "sum") return AggKind::kSum;
+  if (name == "avg") return AggKind::kAvg;
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  return Status::Internal("not an aggregate: " + name);
+}
+
+// ===========================================================================
+// Binder
+// ===========================================================================
+
+/// Derived relation flowing between operators.
+struct Relation {
+  BindingSchema schema;
+  std::vector<Row> rows;
+};
+
+class ExecutorImpl;  // Defined below; Binder executes uncorrelated subqueries.
+
+class Binder {
+ public:
+  /// `agg_specs == nullptr` forbids aggregate calls (WHERE, ON, GROUP BY).
+  Binder(const BindingSchema& schema, Database* db, ExecutorImpl* exec,
+         std::vector<AggSpec>* agg_specs)
+      : schema_(schema), db_(db), exec_(exec), agg_specs_(agg_specs) {}
+
+  Result<BoundExprPtr> Bind(const sql::Expr& expr);
+
+ private:
+  Result<size_t> ResolveColumn(const sql::ColumnRefExpr& ref) const;
+  Result<BoundExprPtr> BindFuncCall(const sql::FuncCallExpr& call);
+  Result<BoundExprPtr> BindIn(const sql::InExpr& in);
+  Result<BoundExprPtr> BindScalarSubquery(const sql::ScalarSubqueryExpr& sub);
+
+  const BindingSchema& schema_;
+  Database* db_;
+  ExecutorImpl* exec_;
+  std::vector<AggSpec>* agg_specs_;
+  bool in_aggregate_ = false;
+};
+
+// ===========================================================================
+// Executor implementation
+// ===========================================================================
+
+struct PendingConjunct {
+  const sql::Expr* expr;
+  bool consumed = false;
+};
+
+/// The columns one query level actually reads, used for projection pruning:
+/// scans evaluate their filters against the stored rows in place and
+/// materialize only these columns, which keeps intermediate relations (and
+/// join rows) narrow. All names are lowercase, matching schema storage.
+struct NeededColumns {
+  bool all = false;                          // Unqualified `*`.
+  std::set<std::string> whole_bindings;      // `t.*`.
+  std::set<std::pair<std::string, std::string>> qualified;  // `t.c`.
+  std::set<std::string> names;               // Unqualified `c`.
+
+  bool Needs(const std::string& binding, const std::string& column) const {
+    if (all) return true;
+    if (whole_bindings.count(binding) > 0) return true;
+    if (qualified.count({binding, column}) > 0) return true;
+    return names.count(column) > 0;
+  }
+};
+
+void CollectNeededFromExpr(const sql::Expr& expr, NeededColumns* out) {
+  switch (expr.kind()) {
+    case sql::Expr::Kind::kColumnRef: {
+      const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+      if (ref.qualifier.empty()) {
+        out->names.insert(ref.name);
+      } else {
+        out->qualified.insert({ref.qualifier, ref.name});
+      }
+      return;
+    }
+    case sql::Expr::Kind::kStar: {
+      const auto& star = static_cast<const sql::StarExpr&>(expr);
+      if (star.qualifier.empty()) {
+        out->all = true;
+      } else {
+        out->whole_bindings.insert(star.qualifier);
+      }
+      return;
+    }
+    case sql::Expr::Kind::kLiteral:
+      return;
+    case sql::Expr::Kind::kBinary: {
+      const auto& e = static_cast<const sql::BinaryExpr&>(expr);
+      CollectNeededFromExpr(*e.lhs, out);
+      CollectNeededFromExpr(*e.rhs, out);
+      return;
+    }
+    case sql::Expr::Kind::kUnary:
+      CollectNeededFromExpr(*static_cast<const sql::UnaryExpr&>(expr).operand,
+                            out);
+      return;
+    case sql::Expr::Kind::kFuncCall: {
+      const auto& call = static_cast<const sql::FuncCallExpr&>(expr);
+      for (const auto& a : call.args) {
+        // count(*) consumes whole rows, not any particular column.
+        if (a->kind() == sql::Expr::Kind::kStar) continue;
+        CollectNeededFromExpr(*a, out);
+      }
+      return;
+    }
+    case sql::Expr::Kind::kIn: {
+      const auto& e = static_cast<const sql::InExpr&>(expr);
+      CollectNeededFromExpr(*e.operand, out);
+      for (const auto& item : e.list) CollectNeededFromExpr(*item, out);
+      return;  // Sub-query columns belong to the inner level.
+    }
+    case sql::Expr::Kind::kIsNull:
+      CollectNeededFromExpr(
+          *static_cast<const sql::IsNullExpr&>(expr).operand, out);
+      return;
+    case sql::Expr::Kind::kBetween: {
+      const auto& e = static_cast<const sql::BetweenExpr&>(expr);
+      CollectNeededFromExpr(*e.operand, out);
+      CollectNeededFromExpr(*e.lo, out);
+      CollectNeededFromExpr(*e.hi, out);
+      return;
+    }
+    case sql::Expr::Kind::kCase: {
+      const auto& e = static_cast<const sql::CaseExpr&>(expr);
+      if (e.operand != nullptr) CollectNeededFromExpr(*e.operand, out);
+      for (const auto& w : e.whens) {
+        CollectNeededFromExpr(*w.condition, out);
+        CollectNeededFromExpr(*w.result, out);
+      }
+      if (e.else_result != nullptr) CollectNeededFromExpr(*e.else_result, out);
+      return;
+    }
+    case sql::Expr::Kind::kScalarSubquery:
+      return;
+  }
+}
+
+void CollectNeededFromRef(const sql::TableRef& ref, NeededColumns* out) {
+  if (ref.kind() != sql::TableRef::Kind::kJoin) return;
+  const auto& join = static_cast<const sql::JoinRef&>(ref);
+  CollectNeededFromRef(*join.left, out);
+  CollectNeededFromRef(*join.right, out);
+  if (join.on != nullptr) CollectNeededFromExpr(*join.on, out);
+}
+
+NeededColumns CollectNeeded(const sql::SelectStmt& stmt) {
+  NeededColumns out;
+  for (const auto& item : stmt.items) CollectNeededFromExpr(*item.expr, &out);
+  for (const auto& ref : stmt.from) CollectNeededFromRef(*ref, &out);
+  if (stmt.where != nullptr) CollectNeededFromExpr(*stmt.where, &out);
+  for (const auto& g : stmt.group_by) CollectNeededFromExpr(*g, &out);
+  if (stmt.having != nullptr) CollectNeededFromExpr(*stmt.having, &out);
+  for (const auto& ob : stmt.order_by) CollectNeededFromExpr(*ob.expr, &out);
+  return out;
+}
+
+class ExecutorImpl {
+ public:
+  ExecutorImpl(Database* db, ExecStats* stats, bool pushdown = true)
+      : db_(db), stats_(stats), pushdown_(pushdown) {}
+
+  Result<ResultSet> Execute(const sql::SelectStmt& stmt);
+
+ private:
+  friend class Binder;
+  friend class PlanPrinter;
+
+  Result<BindingSchema> SchemaOfRef(const sql::TableRef& ref);
+  Result<std::vector<std::string>> OutputNames(const sql::SelectStmt& stmt);
+
+  Result<Relation> EvalRef(const sql::TableRef& ref,
+                           const NeededColumns& needed,
+                           std::vector<PendingConjunct>* pending);
+  Result<Relation> EvalBase(const sql::BaseTableRef& ref,
+                            const NeededColumns& needed,
+                            std::vector<PendingConjunct>* pending);
+  Result<Relation> EvalDerived(const sql::SubqueryTableRef& ref,
+                               std::vector<PendingConjunct>* pending);
+  Result<Relation> EvalJoin(const sql::JoinRef& ref,
+                            const NeededColumns& needed,
+                            std::vector<PendingConjunct>* pending);
+
+  /// Binds every not-yet-consumed conjunct that resolves against `schema`,
+  /// in original order. Bind failures are not errors here: the conjunct may
+  /// belong to an enclosing scope.
+  Result<std::vector<BoundExprPtr>> ClaimConjuncts(
+      const BindingSchema& schema, std::vector<PendingConjunct>* pending);
+
+  /// True iff all bound filters evaluate to TRUE on `row` (left to right,
+  /// stopping at the first non-TRUE).
+  Result<bool> PassesFilters(const std::vector<BoundExprPtr>& filters,
+                             const Row& row);
+
+  Database* db_;
+  ExecStats* stats_;
+  bool pushdown_;
+};
+
+/// Splits an expression into its top-level AND conjuncts, preserving order.
+void DecomposeConjuncts(const sql::Expr* expr,
+                        std::vector<PendingConjunct>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == sql::Expr::Kind::kBinary) {
+    const auto& bin = static_cast<const sql::BinaryExpr&>(*expr);
+    if (bin.op == BinaryOp::kAnd) {
+      DecomposeConjuncts(bin.lhs.get(), out);
+      DecomposeConjuncts(bin.rhs.get(), out);
+      return;
+    }
+  }
+  out->push_back(PendingConjunct{expr, false});
+}
+
+/// Recursively checks for aggregate calls, without descending into
+/// sub-queries (their aggregates belong to the inner statement).
+bool ContainsAggregate(const sql::Expr& expr) {
+  switch (expr.kind()) {
+    case sql::Expr::Kind::kFuncCall: {
+      const auto& call = static_cast<const sql::FuncCallExpr&>(expr);
+      if (IsAggregateFunctionName(call.name)) return true;
+      for (const auto& a : call.args) {
+        if (ContainsAggregate(*a)) return true;
+      }
+      return false;
+    }
+    case sql::Expr::Kind::kBinary: {
+      const auto& e = static_cast<const sql::BinaryExpr&>(expr);
+      return ContainsAggregate(*e.lhs) || ContainsAggregate(*e.rhs);
+    }
+    case sql::Expr::Kind::kUnary:
+      return ContainsAggregate(
+          *static_cast<const sql::UnaryExpr&>(expr).operand);
+    case sql::Expr::Kind::kIn: {
+      const auto& e = static_cast<const sql::InExpr&>(expr);
+      if (ContainsAggregate(*e.operand)) return true;
+      for (const auto& item : e.list) {
+        if (ContainsAggregate(*item)) return true;
+      }
+      return false;  // Sub-query not descended.
+    }
+    case sql::Expr::Kind::kIsNull:
+      return ContainsAggregate(
+          *static_cast<const sql::IsNullExpr&>(expr).operand);
+    case sql::Expr::Kind::kBetween: {
+      const auto& e = static_cast<const sql::BetweenExpr&>(expr);
+      return ContainsAggregate(*e.operand) || ContainsAggregate(*e.lo) ||
+             ContainsAggregate(*e.hi);
+    }
+    case sql::Expr::Kind::kCase: {
+      const auto& e = static_cast<const sql::CaseExpr&>(expr);
+      if (e.operand != nullptr && ContainsAggregate(*e.operand)) return true;
+      for (const auto& w : e.whens) {
+        if (ContainsAggregate(*w.condition) || ContainsAggregate(*w.result)) {
+          return true;
+        }
+      }
+      return e.else_result != nullptr && ContainsAggregate(*e.else_result);
+    }
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binder implementation
+// ---------------------------------------------------------------------------
+
+Result<size_t> Binder::ResolveColumn(const sql::ColumnRefExpr& ref) const {
+  size_t found = schema_.size();
+  size_t matches = 0;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (!EqualsIgnoreCase(schema_[i].name, ref.name)) continue;
+    if (!ref.qualifier.empty() &&
+        !EqualsIgnoreCase(schema_[i].binding, ref.qualifier)) {
+      continue;
+    }
+    found = i;
+    ++matches;
+  }
+  if (matches == 0) {
+    const std::string full =
+        ref.qualifier.empty() ? ref.name : ref.qualifier + "." + ref.name;
+    return Status::BindError("column '" + full + "' not found");
+  }
+  if (matches > 1) {
+    return Status::BindError("column reference '" + ref.name +
+                             "' is ambiguous");
+  }
+  return found;
+}
+
+Result<BoundExprPtr> Binder::Bind(const sql::Expr& expr) {
+  switch (expr.kind()) {
+    case sql::Expr::Kind::kColumnRef: {
+      AAPAC_ASSIGN_OR_RETURN(
+          size_t idx,
+          ResolveColumn(static_cast<const sql::ColumnRefExpr&>(expr)));
+      return BoundExprPtr(std::make_unique<BoundColumnRef>(idx));
+    }
+    case sql::Expr::Kind::kLiteral: {
+      const auto& lit = static_cast<const sql::LiteralExpr&>(expr);
+      struct Visitor {
+        Result<Value> operator()(std::monostate) const { return Value::Null(); }
+        Result<Value> operator()(int64_t v) const { return Value::Int(v); }
+        Result<Value> operator()(double v) const { return Value::Double(v); }
+        Result<Value> operator()(const std::string& v) const {
+          return Value::String(v);
+        }
+        Result<Value> operator()(bool v) const { return Value::Bool(v); }
+        Result<Value> operator()(const sql::BitLiteral& v) const {
+          AAPAC_ASSIGN_OR_RETURN(BitString bits, BitString::FromBinary(v.bits));
+          return Value::Bytes(bits.ToBytes());
+        }
+      };
+      AAPAC_ASSIGN_OR_RETURN(Value v, std::visit(Visitor{}, lit.value));
+      return BoundExprPtr(std::make_unique<BoundLiteral>(std::move(v)));
+    }
+    case sql::Expr::Kind::kStar:
+      return Status::BindError("'*' is only valid in count(*) or as a "
+                               "top-level select item");
+    case sql::Expr::Kind::kBinary: {
+      const auto& e = static_cast<const sql::BinaryExpr&>(expr);
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr lhs, Bind(*e.lhs));
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr rhs, Bind(*e.rhs));
+      return BoundExprPtr(std::make_unique<BoundBinary>(e.op, std::move(lhs),
+                                                        std::move(rhs)));
+    }
+    case sql::Expr::Kind::kUnary: {
+      const auto& e = static_cast<const sql::UnaryExpr&>(expr);
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr operand, Bind(*e.operand));
+      return BoundExprPtr(
+          std::make_unique<BoundUnary>(e.op, std::move(operand)));
+    }
+    case sql::Expr::Kind::kFuncCall:
+      return BindFuncCall(static_cast<const sql::FuncCallExpr&>(expr));
+    case sql::Expr::Kind::kIn:
+      return BindIn(static_cast<const sql::InExpr&>(expr));
+    case sql::Expr::Kind::kIsNull: {
+      const auto& e = static_cast<const sql::IsNullExpr&>(expr);
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr operand, Bind(*e.operand));
+      return BoundExprPtr(
+          std::make_unique<BoundIsNull>(std::move(operand), e.negated));
+    }
+    case sql::Expr::Kind::kBetween: {
+      const auto& e = static_cast<const sql::BetweenExpr&>(expr);
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr operand, Bind(*e.operand));
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr lo, Bind(*e.lo));
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr hi, Bind(*e.hi));
+      return BoundExprPtr(std::make_unique<BoundBetween>(
+          std::move(operand), std::move(lo), std::move(hi), e.negated));
+    }
+    case sql::Expr::Kind::kCase: {
+      const auto& e = static_cast<const sql::CaseExpr&>(expr);
+      BoundExprPtr operand;
+      if (e.operand != nullptr) {
+        AAPAC_ASSIGN_OR_RETURN(operand, Bind(*e.operand));
+      }
+      std::vector<BoundCase::BoundWhen> whens;
+      whens.reserve(e.whens.size());
+      for (const auto& w : e.whens) {
+        BoundCase::BoundWhen bound;
+        AAPAC_ASSIGN_OR_RETURN(bound.condition, Bind(*w.condition));
+        AAPAC_ASSIGN_OR_RETURN(bound.result, Bind(*w.result));
+        whens.push_back(std::move(bound));
+      }
+      BoundExprPtr else_result;
+      if (e.else_result != nullptr) {
+        AAPAC_ASSIGN_OR_RETURN(else_result, Bind(*e.else_result));
+      }
+      return BoundExprPtr(std::make_unique<BoundCase>(
+          std::move(operand), std::move(whens), std::move(else_result)));
+    }
+    case sql::Expr::Kind::kScalarSubquery:
+      return BindScalarSubquery(
+          static_cast<const sql::ScalarSubqueryExpr&>(expr));
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<BoundExprPtr> Binder::BindFuncCall(const sql::FuncCallExpr& call) {
+  if (IsAggregateFunctionName(call.name)) {
+    if (agg_specs_ == nullptr) {
+      return Status::BindError("aggregate function '" + call.name +
+                               "' is not allowed in this clause");
+    }
+    if (in_aggregate_) {
+      return Status::BindError("aggregate functions cannot be nested");
+    }
+    AAPAC_ASSIGN_OR_RETURN(AggKind kind, AggKindFromName(call.name));
+    AggSpec spec;
+    spec.distinct = call.distinct;
+    if (call.args.size() == 1 &&
+        call.args[0]->kind() == sql::Expr::Kind::kStar) {
+      if (kind != AggKind::kCount) {
+        return Status::BindError("'*' argument only valid for count(*)");
+      }
+      spec.kind = AggKind::kCountStar;
+    } else {
+      if (call.args.size() != 1) {
+        return Status::BindError("aggregate '" + call.name +
+                                 "' takes exactly one argument");
+      }
+      spec.kind = kind;
+      in_aggregate_ = true;
+      auto bound = Bind(*call.args[0]);
+      in_aggregate_ = false;
+      if (!bound.ok()) return bound.status();
+      spec.arg = std::move(*bound);
+    }
+    agg_specs_->push_back(std::move(spec));
+    return BoundExprPtr(std::make_unique<BoundAggRef>(agg_specs_->size() - 1));
+  }
+  const ScalarFunction* fn = db_->functions().Find(call.name);
+  if (fn == nullptr) {
+    return Status::BindError("unknown function '" + call.name + "'");
+  }
+  if (fn->arity >= 0 && static_cast<size_t>(fn->arity) != call.args.size()) {
+    return Status::BindError("function '" + call.name + "' expects " +
+                             std::to_string(fn->arity) + " argument(s), got " +
+                             std::to_string(call.args.size()));
+  }
+  std::vector<BoundExprPtr> args;
+  args.reserve(call.args.size());
+  for (const auto& a : call.args) {
+    AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, Bind(*a));
+    args.push_back(std::move(bound));
+  }
+  return BoundExprPtr(
+      std::make_unique<BoundScalarCall>(fn, std::move(args)));
+}
+
+// ---------------------------------------------------------------------------
+// ExecutorImpl implementation
+// ---------------------------------------------------------------------------
+
+Result<std::vector<std::string>> ExecutorImpl::OutputNames(
+    const sql::SelectStmt& stmt) {
+  std::vector<std::string> names;
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind() == sql::Expr::Kind::kStar) {
+      const auto& star = static_cast<const sql::StarExpr&>(*item.expr);
+      // Expand against the FROM schema.
+      for (const auto& ref : stmt.from) {
+        AAPAC_ASSIGN_OR_RETURN(BindingSchema schema, SchemaOfRef(*ref));
+        for (const auto& col : schema) {
+          if (star.qualifier.empty() ||
+              EqualsIgnoreCase(col.binding, star.qualifier)) {
+            names.push_back(col.name);
+          }
+        }
+      }
+      continue;
+    }
+    if (!item.alias.empty()) {
+      names.push_back(item.alias);
+    } else if (item.expr->kind() == sql::Expr::Kind::kColumnRef) {
+      names.push_back(
+          static_cast<const sql::ColumnRefExpr&>(*item.expr).name);
+    } else if (item.expr->kind() == sql::Expr::Kind::kFuncCall) {
+      names.push_back(
+          static_cast<const sql::FuncCallExpr&>(*item.expr).name);
+    } else {
+      names.push_back("col" + std::to_string(names.size() + 1));
+    }
+  }
+  return names;
+}
+
+Result<BindingSchema> ExecutorImpl::SchemaOfRef(const sql::TableRef& ref) {
+  switch (ref.kind()) {
+    case sql::TableRef::Kind::kBaseTable: {
+      const auto& base = static_cast<const sql::BaseTableRef&>(ref);
+      AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(base.table_name));
+      BindingSchema schema;
+      schema.reserve(table->schema().num_columns());
+      for (const auto& col : table->schema().columns()) {
+        schema.push_back(BoundColumn{base.BindingName(), col.name, col.type});
+      }
+      return schema;
+    }
+    case sql::TableRef::Kind::kSubquery: {
+      const auto& derived = static_cast<const sql::SubqueryTableRef&>(ref);
+      AAPAC_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                             OutputNames(*derived.subquery));
+      BindingSchema schema;
+      schema.reserve(names.size());
+      for (const auto& name : names) {
+        schema.push_back(BoundColumn{derived.alias, name, ValueType::kNull});
+      }
+      return schema;
+    }
+    case sql::TableRef::Kind::kJoin: {
+      const auto& join = static_cast<const sql::JoinRef&>(ref);
+      AAPAC_ASSIGN_OR_RETURN(BindingSchema left, SchemaOfRef(*join.left));
+      AAPAC_ASSIGN_OR_RETURN(BindingSchema right, SchemaOfRef(*join.right));
+      for (auto& col : right) left.push_back(std::move(col));
+      return left;
+    }
+  }
+  return Status::Internal("unhandled table ref kind");
+}
+
+Result<std::vector<BoundExprPtr>> ExecutorImpl::ClaimConjuncts(
+    const BindingSchema& schema, std::vector<PendingConjunct>* pending) {
+  std::vector<BoundExprPtr> filters;
+  if (!pushdown_) return filters;  // Ablation mode: root applies everything.
+  for (auto& pc : *pending) {
+    if (pc.consumed) continue;
+    Binder binder(schema, db_, this, /*agg_specs=*/nullptr);
+    auto bound = binder.Bind(*pc.expr);
+    if (bound.ok()) {
+      pc.consumed = true;
+      filters.push_back(std::move(*bound));
+    }
+    // A bind failure is fine: the conjunct may reference columns of a
+    // sibling or enclosing relation. Genuine errors resurface at the root,
+    // where every conjunct must bind.
+  }
+  return filters;
+}
+
+Result<bool> ExecutorImpl::PassesFilters(
+    const std::vector<BoundExprPtr>& filters, const Row& row) {
+  for (const auto& f : filters) {
+    AAPAC_ASSIGN_OR_RETURN(Value v, f->Eval(row, nullptr));
+    if (v.is_null() || v.type() != ValueType::kBool || !v.AsBool()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
+                                        const NeededColumns& needed,
+                                        std::vector<PendingConjunct>* pending) {
+  AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(ref.table_name));
+  // Filters bind against the full table schema (scan-level predicates may
+  // reference any stored column) and run against the stored rows in place;
+  // only the columns the query needs are materialized into the relation.
+  AAPAC_ASSIGN_OR_RETURN(BindingSchema full_schema, SchemaOfRef(ref));
+  AAPAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> filters,
+                         ClaimConjuncts(full_schema, pending));
+  Relation rel;
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < full_schema.size(); ++i) {
+    if (needed.Needs(full_schema[i].binding, full_schema[i].name)) {
+      keep.push_back(i);
+      rel.schema.push_back(full_schema[i]);
+    }
+  }
+  stats_->rows_scanned += table->num_rows();
+  for (const Row& row : table->rows()) {
+    AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+    if (!pass) continue;
+    Row pruned;
+    pruned.reserve(keep.size());
+    for (size_t k : keep) pruned.push_back(row[k]);
+    rel.rows.push_back(std::move(pruned));
+  }
+  stats_->rows_materialized += rel.rows.size();
+  return rel;
+}
+
+Result<Relation> ExecutorImpl::EvalDerived(
+    const sql::SubqueryTableRef& ref, std::vector<PendingConjunct>* pending) {
+  AAPAC_ASSIGN_OR_RETURN(ResultSet rs, Execute(*ref.subquery));
+  Relation rel;
+  rel.schema.reserve(rs.column_names.size());
+  for (const auto& name : rs.column_names) {
+    rel.schema.push_back(BoundColumn{ref.alias, name, ValueType::kNull});
+  }
+  AAPAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> filters,
+                         ClaimConjuncts(rel.schema, pending));
+  for (Row& row : rs.rows) {
+    AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+    if (pass) rel.rows.push_back(std::move(row));
+  }
+  stats_->rows_materialized += rel.rows.size();
+  return rel;
+}
+
+namespace {
+
+/// Tries to interpret one ON conjunct as `left_col = right_col`.
+struct EquiPair {
+  size_t left_index;
+  size_t right_index;
+};
+
+bool TryResolve(const BindingSchema& schema, const sql::Expr& expr,
+                size_t* index) {
+  if (expr.kind() != sql::Expr::Kind::kColumnRef) return false;
+  const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+  size_t matches = 0;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (!EqualsIgnoreCase(schema[i].name, ref.name)) continue;
+    if (!ref.qualifier.empty() &&
+        !EqualsIgnoreCase(schema[i].binding, ref.qualifier)) {
+      continue;
+    }
+    *index = i;
+    ++matches;
+  }
+  return matches == 1;
+}
+
+}  // namespace
+
+Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
+                                        const NeededColumns& needed,
+                                        std::vector<PendingConjunct>* pending) {
+  AAPAC_ASSIGN_OR_RETURN(Relation left, EvalRef(*ref.left, needed, pending));
+  AAPAC_ASSIGN_OR_RETURN(Relation right, EvalRef(*ref.right, needed, pending));
+
+  Relation out;
+  out.schema = left.schema;
+  out.schema.insert(out.schema.end(), right.schema.begin(),
+                    right.schema.end());
+
+  // Classify ON conjuncts into hashable equi-pairs and residual predicates.
+  std::vector<PendingConjunct> on_conjuncts;
+  DecomposeConjuncts(ref.on.get(), &on_conjuncts);
+  std::vector<EquiPair> equi;
+  std::vector<const sql::Expr*> residual_sql;
+  for (const auto& pc : on_conjuncts) {
+    const sql::Expr* e = pc.expr;
+    bool matched = false;
+    if (e->kind() == sql::Expr::Kind::kBinary) {
+      const auto& bin = static_cast<const sql::BinaryExpr&>(*e);
+      if (bin.op == BinaryOp::kEq) {
+        size_t li = 0;
+        size_t ri = 0;
+        if (TryResolve(left.schema, *bin.lhs, &li) &&
+            TryResolve(right.schema, *bin.rhs, &ri)) {
+          equi.push_back(EquiPair{li, ri});
+          matched = true;
+        } else if (TryResolve(left.schema, *bin.rhs, &li) &&
+                   TryResolve(right.schema, *bin.lhs, &ri)) {
+          equi.push_back(EquiPair{li, ri});
+          matched = true;
+        }
+      }
+    }
+    if (!matched) residual_sql.push_back(e);
+  }
+
+  // Bind residual ON predicates and claim WHERE conjuncts now resolvable
+  // across both inputs.
+  std::vector<BoundExprPtr> filters;
+  for (const sql::Expr* e : residual_sql) {
+    Binder binder(out.schema, db_, this, /*agg_specs=*/nullptr);
+    AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*e));
+    filters.push_back(std::move(bound));
+  }
+  AAPAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> claimed,
+                         ClaimConjuncts(out.schema, pending));
+  for (auto& f : claimed) filters.push_back(std::move(f));
+
+  auto emit = [&](const Row& lrow, const Row& rrow) -> Status {
+    Row joined;
+    joined.reserve(lrow.size() + rrow.size());
+    joined.insert(joined.end(), lrow.begin(), lrow.end());
+    joined.insert(joined.end(), rrow.begin(), rrow.end());
+    AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, joined));
+    if (pass) out.rows.push_back(std::move(joined));
+    return Status::OK();
+  };
+
+  if (!equi.empty()) {
+    // Hash join: build on the smaller input, probe with the larger.
+    const bool build_left = left.rows.size() <= right.rows.size();
+    const Relation& build = build_left ? left : right;
+    const Relation& probe = build_left ? right : left;
+    auto key_of = [&](const Row& row, bool from_left) {
+      Row key;
+      key.reserve(equi.size());
+      for (const auto& ep : equi) {
+        key.push_back(row[from_left ? ep.left_index : ep.right_index]);
+      }
+      return key;
+    };
+    std::unordered_map<Row, std::vector<uint32_t>, RowHash, RowEq> table;
+    table.reserve(build.rows.size());
+    for (uint32_t i = 0; i < build.rows.size(); ++i) {
+      Row key = key_of(build.rows[i], build_left);
+      // SQL equality: NULL join keys match nothing.
+      bool has_null = false;
+      for (const Value& v : key) has_null |= v.is_null();
+      if (!has_null) table[std::move(key)].push_back(i);
+    }
+    for (const Row& prow : probe.rows) {
+      Row key = key_of(prow, !build_left);
+      bool has_null = false;
+      for (const Value& v : key) has_null |= v.is_null();
+      if (has_null) continue;
+      auto it = table.find(key);
+      if (it == table.end()) continue;
+      for (uint32_t bi : it->second) {
+        const Row& brow = build.rows[bi];
+        AAPAC_RETURN_NOT_OK(build_left ? emit(brow, prow) : emit(prow, brow));
+      }
+    }
+  } else {
+    // Nested-loop join for non-equi conditions.
+    for (const Row& lrow : left.rows) {
+      for (const Row& rrow : right.rows) {
+        AAPAC_RETURN_NOT_OK(emit(lrow, rrow));
+      }
+    }
+  }
+  stats_->rows_materialized += out.rows.size();
+  return out;
+}
+
+Result<Relation> ExecutorImpl::EvalRef(const sql::TableRef& ref,
+                                       const NeededColumns& needed,
+                                       std::vector<PendingConjunct>* pending) {
+  switch (ref.kind()) {
+    case sql::TableRef::Kind::kBaseTable:
+      return EvalBase(static_cast<const sql::BaseTableRef&>(ref), needed,
+                      pending);
+    case sql::TableRef::Kind::kSubquery:
+      return EvalDerived(static_cast<const sql::SubqueryTableRef&>(ref),
+                         pending);
+    case sql::TableRef::Kind::kJoin:
+      return EvalJoin(static_cast<const sql::JoinRef&>(ref), needed, pending);
+  }
+  return Status::Internal("unhandled table ref kind");
+}
+
+Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("SELECT list is empty");
+  }
+  if (stmt.from.empty()) {
+    return Status::Unsupported("FROM-less SELECT is not supported");
+  }
+
+  // --- FROM + WHERE (with single-relation pushdown). -----------------------
+  std::vector<PendingConjunct> pending;
+  DecomposeConjuncts(stmt.where.get(), &pending);
+  const NeededColumns needed = CollectNeeded(stmt);
+
+  AAPAC_ASSIGN_OR_RETURN(Relation rel,
+                         EvalRef(*stmt.from[0], needed, &pending));
+  for (size_t i = 1; i < stmt.from.size(); ++i) {
+    // Comma-separated FROM items: cross join, filtered by whatever conjuncts
+    // become resolvable at each step.
+    AAPAC_ASSIGN_OR_RETURN(Relation next,
+                           EvalRef(*stmt.from[i], needed, &pending));
+    Relation combined;
+    combined.schema = rel.schema;
+    combined.schema.insert(combined.schema.end(), next.schema.begin(),
+                           next.schema.end());
+    AAPAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> filters,
+                           ClaimConjuncts(combined.schema, &pending));
+    for (const Row& lrow : rel.rows) {
+      for (const Row& rrow : next.rows) {
+        Row joined;
+        joined.reserve(lrow.size() + rrow.size());
+        joined.insert(joined.end(), lrow.begin(), lrow.end());
+        joined.insert(joined.end(), rrow.begin(), rrow.end());
+        AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, joined));
+        if (pass) combined.rows.push_back(std::move(joined));
+      }
+    }
+    rel = std::move(combined);
+  }
+
+  // Every conjunct must have been claimed by now; force-bind the remainder
+  // at the root to surface genuine bind errors.
+  {
+    std::vector<BoundExprPtr> root_filters;
+    for (auto& pc : pending) {
+      if (pc.consumed) continue;
+      Binder binder(rel.schema, db_, this, /*agg_specs=*/nullptr);
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*pc.expr));
+      pc.consumed = true;
+      root_filters.push_back(std::move(bound));
+    }
+    if (!root_filters.empty()) {
+      std::vector<Row> kept;
+      kept.reserve(rel.rows.size());
+      for (Row& row : rel.rows) {
+        AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(root_filters, row));
+        if (pass) kept.push_back(std::move(row));
+      }
+      rel.rows = std::move(kept);
+    }
+  }
+
+  // --- Aggregate or plain projection. --------------------------------------
+  bool is_aggregate = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind() != sql::Expr::Kind::kStar &&
+        ContainsAggregate(*item.expr)) {
+      is_aggregate = true;
+    }
+  }
+  if (stmt.having != nullptr) is_aggregate = true;
+
+  ResultSet result;
+  AAPAC_ASSIGN_OR_RETURN(result.column_names, OutputNames(stmt));
+
+  if (!is_aggregate) {
+    // Row-at-a-time projection; stars expand to input columns.
+    struct Projection {
+      BoundExprPtr expr;     // Null for direct column copies.
+      size_t column = 0;     // Used when expr is null.
+    };
+    std::vector<Projection> projections;
+    for (const auto& item : stmt.items) {
+      if (item.expr->kind() == sql::Expr::Kind::kStar) {
+        const auto& star = static_cast<const sql::StarExpr&>(*item.expr);
+        for (size_t c = 0; c < rel.schema.size(); ++c) {
+          if (star.qualifier.empty() ||
+              EqualsIgnoreCase(rel.schema[c].binding, star.qualifier)) {
+            projections.push_back(Projection{nullptr, c});
+          }
+        }
+        continue;
+      }
+      Binder binder(rel.schema, db_, this, /*agg_specs=*/nullptr);
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*item.expr));
+      projections.push_back(Projection{std::move(bound), 0});
+    }
+    result.rows.reserve(rel.rows.size());
+    for (const Row& row : rel.rows) {
+      Row out;
+      out.reserve(projections.size());
+      for (const auto& p : projections) {
+        if (p.expr == nullptr) {
+          out.push_back(row[p.column]);
+        } else {
+          AAPAC_ASSIGN_OR_RETURN(Value v, p.expr->Eval(row, nullptr));
+          out.push_back(std::move(v));
+        }
+      }
+      result.rows.push_back(std::move(out));
+    }
+  } else {
+    // Aggregate pipeline: group -> accumulate -> having -> project.
+    std::vector<AggSpec> agg_specs;
+    std::vector<BoundExprPtr> group_exprs;
+    for (const auto& g : stmt.group_by) {
+      Binder binder(rel.schema, db_, this, /*agg_specs=*/nullptr);
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*g));
+      group_exprs.push_back(std::move(bound));
+    }
+    std::vector<BoundExprPtr> item_exprs;
+    {
+      Binder binder(rel.schema, db_, this, &agg_specs);
+      for (const auto& item : stmt.items) {
+        if (item.expr->kind() == sql::Expr::Kind::kStar) {
+          return Status::Unsupported(
+              "'*' select item in an aggregate query is not supported");
+        }
+        AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*item.expr));
+        item_exprs.push_back(std::move(bound));
+      }
+      if (stmt.having != nullptr) {
+        AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*stmt.having));
+        item_exprs.push_back(std::move(bound));  // Last slot = HAVING.
+      }
+    }
+    const bool has_having = stmt.having != nullptr;
+
+    struct Group {
+      Row representative;
+      std::vector<AggState> states;
+    };
+    std::unordered_map<Row, Group, RowHash, RowEq> groups;
+    for (const Row& row : rel.rows) {
+      Row key;
+      key.reserve(group_exprs.size());
+      for (const auto& g : group_exprs) {
+        AAPAC_ASSIGN_OR_RETURN(Value v, g->Eval(row, nullptr));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) {
+        it->second.representative = row;
+        it->second.states.resize(agg_specs.size());
+      }
+      for (size_t s = 0; s < agg_specs.size(); ++s) {
+        AAPAC_RETURN_NOT_OK(Accumulate(agg_specs[s], row, &it->second.states[s]));
+      }
+    }
+    // A global aggregate (no GROUP BY) over an empty input still yields one
+    // group, e.g. count(*) = 0.
+    if (groups.empty() && stmt.group_by.empty()) {
+      Group g;
+      g.representative = Row(rel.schema.size());  // All NULLs.
+      g.states.resize(agg_specs.size());
+      groups.emplace(Row{}, std::move(g));
+    }
+    stats_->groups_built += groups.size();
+
+    for (auto& [key, group] : groups) {
+      Row agg_slots;
+      agg_slots.reserve(agg_specs.size());
+      for (size_t s = 0; s < agg_specs.size(); ++s) {
+        AAPAC_ASSIGN_OR_RETURN(Value v, Finalize(agg_specs[s], group.states[s]));
+        agg_slots.push_back(std::move(v));
+      }
+      if (has_having) {
+        AAPAC_ASSIGN_OR_RETURN(
+            Value hv, item_exprs.back()->Eval(group.representative, &agg_slots));
+        if (hv.is_null() || hv.type() != ValueType::kBool || !hv.AsBool()) {
+          continue;
+        }
+      }
+      Row out;
+      const size_t n_items = item_exprs.size() - (has_having ? 1 : 0);
+      out.reserve(n_items);
+      for (size_t i = 0; i < n_items; ++i) {
+        AAPAC_ASSIGN_OR_RETURN(
+            Value v, item_exprs[i]->Eval(group.representative, &agg_slots));
+        out.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  // --- DISTINCT. ------------------------------------------------------------
+  if (stmt.distinct) {
+    std::unordered_set<Row, RowHash, RowEq> seen;
+    std::vector<Row> unique;
+    unique.reserve(result.rows.size());
+    for (Row& row : result.rows) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    result.rows = std::move(unique);
+  }
+
+  // --- ORDER BY (output columns / aliases / 1-based positions). -------------
+  if (!stmt.order_by.empty()) {
+    struct SortKey {
+      size_t column;
+      bool descending;
+    };
+    std::vector<SortKey> keys;
+    for (const auto& ob : stmt.order_by) {
+      size_t col = result.column_names.size();
+      if (ob.expr->kind() == sql::Expr::Kind::kColumnRef) {
+        const auto& ref = static_cast<const sql::ColumnRefExpr&>(*ob.expr);
+        for (size_t c = 0; c < result.column_names.size(); ++c) {
+          if (EqualsIgnoreCase(result.column_names[c], ref.name)) {
+            col = c;
+            break;
+          }
+        }
+      } else if (ob.expr->kind() == sql::Expr::Kind::kLiteral) {
+        const auto& lit = static_cast<const sql::LiteralExpr&>(*ob.expr);
+        if (const int64_t* pos = std::get_if<int64_t>(&lit.value)) {
+          if (*pos >= 1 &&
+              static_cast<size_t>(*pos) <= result.column_names.size()) {
+            col = static_cast<size_t>(*pos) - 1;
+          }
+        }
+      }
+      if (col == result.column_names.size()) {
+        return Status::Unsupported(
+            "ORDER BY supports output column names and 1-based positions");
+      }
+      keys.push_back(SortKey{col, ob.descending});
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&keys](const Row& a, const Row& b) {
+                       for (const auto& k : keys) {
+                         const int c = a[k.column].Compare(b[k.column]);
+                         if (c != 0) return k.descending ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+
+  // --- LIMIT. ----------------------------------------------------------------
+  if (stmt.limit.has_value() &&
+      result.rows.size() > static_cast<size_t>(*stmt.limit)) {
+    result.rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+
+  stats_->rows_output += result.rows.size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Binder methods needing ExecutorImpl
+// ---------------------------------------------------------------------------
+
+Result<BoundExprPtr> Binder::BindIn(const sql::InExpr& in) {
+  AAPAC_ASSIGN_OR_RETURN(BoundExprPtr operand, Bind(*in.operand));
+  if (in.subquery == nullptr) {
+    std::vector<BoundExprPtr> list;
+    list.reserve(in.list.size());
+    for (const auto& e : in.list) {
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, Bind(*e));
+      list.push_back(std::move(bound));
+    }
+    return BoundExprPtr(std::make_unique<BoundInList>(
+        std::move(operand), std::move(list), in.negated));
+  }
+  // Uncorrelated IN sub-query, evaluated once and hashed.
+  AAPAC_ASSIGN_OR_RETURN(ResultSet rs, exec_->Execute(*in.subquery));
+  if (rs.column_names.empty()) {
+    return Status::BindError("IN sub-query yields no columns");
+  }
+  std::unordered_set<Value, ValueHash, ValueEq> set;
+  bool has_null = false;
+  for (const Row& row : rs.rows) {
+    if (row[0].is_null()) {
+      has_null = true;
+    } else {
+      set.insert(row[0]);
+    }
+  }
+  return BoundExprPtr(std::make_unique<BoundInSet>(
+      std::move(operand), std::move(set), has_null, in.negated));
+}
+
+Result<BoundExprPtr> Binder::BindScalarSubquery(
+    const sql::ScalarSubqueryExpr& sub) {
+  AAPAC_ASSIGN_OR_RETURN(ResultSet rs, exec_->Execute(*sub.subquery));
+  if (rs.column_names.empty()) {
+    return Status::BindError("scalar sub-query yields no columns");
+  }
+  if (rs.rows.size() > 1) {
+    return Status::ExecutionError(
+        "scalar sub-query returned more than one row");
+  }
+  Value v = rs.rows.empty() ? Value::Null() : rs.rows[0][0];
+  return BoundExprPtr(std::make_unique<BoundLiteral>(std::move(v)));
+}
+
+}  // namespace
+
+// ===========================================================================
+// Public Executor facade
+// ===========================================================================
+
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Static plan rendering (ExplainPlan)
+// ---------------------------------------------------------------------------
+
+/// True iff every column reference of `expr` resolves uniquely in `schema`
+/// (sub-queries are self-contained and always "resolve"). This mirrors how
+/// the executor's ClaimConjuncts would succeed, without executing anything.
+bool ExprResolvesIn(const sql::Expr& expr, const BindingSchema& schema) {
+  switch (expr.kind()) {
+    case sql::Expr::Kind::kColumnRef: {
+      size_t index = 0;
+      return TryResolve(schema, expr, &index);
+    }
+    case sql::Expr::Kind::kLiteral:
+    case sql::Expr::Kind::kStar:
+    case sql::Expr::Kind::kScalarSubquery:
+      return true;
+    case sql::Expr::Kind::kBinary: {
+      const auto& e = static_cast<const sql::BinaryExpr&>(expr);
+      return ExprResolvesIn(*e.lhs, schema) && ExprResolvesIn(*e.rhs, schema);
+    }
+    case sql::Expr::Kind::kUnary:
+      return ExprResolvesIn(
+          *static_cast<const sql::UnaryExpr&>(expr).operand, schema);
+    case sql::Expr::Kind::kFuncCall: {
+      const auto& e = static_cast<const sql::FuncCallExpr&>(expr);
+      for (const auto& a : e.args) {
+        if (!ExprResolvesIn(*a, schema)) return false;
+      }
+      return true;
+    }
+    case sql::Expr::Kind::kIn: {
+      const auto& e = static_cast<const sql::InExpr&>(expr);
+      if (!ExprResolvesIn(*e.operand, schema)) return false;
+      for (const auto& item : e.list) {
+        if (!ExprResolvesIn(*item, schema)) return false;
+      }
+      return true;
+    }
+    case sql::Expr::Kind::kIsNull:
+      return ExprResolvesIn(
+          *static_cast<const sql::IsNullExpr&>(expr).operand, schema);
+    case sql::Expr::Kind::kBetween: {
+      const auto& e = static_cast<const sql::BetweenExpr&>(expr);
+      return ExprResolvesIn(*e.operand, schema) &&
+             ExprResolvesIn(*e.lo, schema) && ExprResolvesIn(*e.hi, schema);
+    }
+    case sql::Expr::Kind::kCase: {
+      const auto& e = static_cast<const sql::CaseExpr&>(expr);
+      if (e.operand != nullptr && !ExprResolvesIn(*e.operand, schema)) {
+        return false;
+      }
+      for (const auto& w : e.whens) {
+        if (!ExprResolvesIn(*w.condition, schema) ||
+            !ExprResolvesIn(*w.result, schema)) {
+          return false;
+        }
+      }
+      return e.else_result == nullptr ||
+             ExprResolvesIn(*e.else_result, schema);
+    }
+  }
+  return false;
+}
+
+class PlanPrinter {
+ public:
+  PlanPrinter(ExecutorImpl* impl, bool pushdown)
+      : impl_(impl), pushdown_(pushdown) {}
+
+  Result<std::string> Print(const sql::SelectStmt& stmt, int depth) {
+    std::string out;
+    const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+
+    bool is_aggregate = !stmt.group_by.empty() || stmt.having != nullptr;
+    for (const auto& item : stmt.items) {
+      if (item.expr->kind() != sql::Expr::Kind::kStar &&
+          ContainsAggregate(*item.expr)) {
+        is_aggregate = true;
+      }
+    }
+    out += indent + "Select";
+    if (stmt.distinct) out += " distinct";
+    if (is_aggregate) {
+      out += " [aggregate";
+      if (!stmt.group_by.empty()) {
+        out += " group by ";
+        for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += sql::ToSql(*stmt.group_by[i]);
+        }
+      }
+      if (stmt.having != nullptr) out += " having";
+      out += "]";
+    }
+    if (!stmt.order_by.empty()) out += " [order by]";
+    if (stmt.limit.has_value()) {
+      out += " [limit " + std::to_string(*stmt.limit) + "]";
+    }
+    out += "\n";
+
+    std::vector<PendingConjunct> pending;
+    DecomposeConjuncts(stmt.where.get(), &pending);
+    const NeededColumns needed = CollectNeeded(stmt);
+    for (const auto& ref : stmt.from) {
+      AAPAC_ASSIGN_OR_RETURN(std::string sub,
+                             PrintRef(*ref, needed, &pending, depth + 1));
+      out += sub;
+    }
+    std::vector<std::string> root_filters;
+    for (const auto& pc : pending) {
+      if (!pc.consumed) root_filters.push_back(sql::ToSql(*pc.expr));
+    }
+    if (!root_filters.empty()) {
+      out += indent + "  Filter (post-join): ";
+      for (size_t i = 0; i < root_filters.size(); ++i) {
+        if (i > 0) out += " and ";
+        out += root_filters[i];
+      }
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  Result<std::string> PrintRef(const sql::TableRef& ref,
+                               const NeededColumns& needed,
+                               std::vector<PendingConjunct>* pending,
+                               int depth) {
+    const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+    switch (ref.kind()) {
+      case sql::TableRef::Kind::kBaseTable: {
+        const auto& base = static_cast<const sql::BaseTableRef&>(ref);
+        AAPAC_ASSIGN_OR_RETURN(BindingSchema schema, impl_->SchemaOfRef(ref));
+        std::string out = indent + "Scan " + base.table_name;
+        if (!base.alias.empty()) out += " as " + base.alias;
+        const Table* table = impl_->db_->FindTable(base.table_name);
+        out += " rows=" + std::to_string(table ? table->num_rows() : 0);
+        size_t kept = 0;
+        for (const auto& col : schema) {
+          if (needed.Needs(col.binding, col.name)) ++kept;
+        }
+        out += " cols=" + std::to_string(kept) + "/" +
+               std::to_string(schema.size()) + "\n";
+        out += ClaimLine(schema, pending, depth);
+        return out;
+      }
+      case sql::TableRef::Kind::kSubquery: {
+        const auto& derived = static_cast<const sql::SubqueryTableRef&>(ref);
+        std::string out = indent + "DerivedTable " + derived.alias + "\n";
+        AAPAC_ASSIGN_OR_RETURN(std::string sub,
+                               Print(*derived.subquery, depth + 1));
+        out += sub;
+        AAPAC_ASSIGN_OR_RETURN(BindingSchema schema, impl_->SchemaOfRef(ref));
+        out += ClaimLine(schema, pending, depth);
+        return out;
+      }
+      case sql::TableRef::Kind::kJoin: {
+        const auto& join = static_cast<const sql::JoinRef&>(ref);
+        AAPAC_ASSIGN_OR_RETURN(BindingSchema left_schema,
+                               impl_->SchemaOfRef(*join.left));
+        AAPAC_ASSIGN_OR_RETURN(BindingSchema right_schema,
+                               impl_->SchemaOfRef(*join.right));
+        // Mirror EvalJoin's equi-pair extraction to report the strategy.
+        std::vector<PendingConjunct> on_conjuncts;
+        DecomposeConjuncts(join.on.get(), &on_conjuncts);
+        std::vector<std::string> keys;
+        std::vector<std::string> residual;
+        for (const auto& pc : on_conjuncts) {
+          bool matched = false;
+          if (pc.expr->kind() == sql::Expr::Kind::kBinary) {
+            const auto& bin = static_cast<const sql::BinaryExpr&>(*pc.expr);
+            if (bin.op == BinaryOp::kEq) {
+              size_t li = 0;
+              size_t ri = 0;
+              if ((TryResolve(left_schema, *bin.lhs, &li) &&
+                   TryResolve(right_schema, *bin.rhs, &ri)) ||
+                  (TryResolve(left_schema, *bin.rhs, &li) &&
+                   TryResolve(right_schema, *bin.lhs, &ri))) {
+                keys.push_back(sql::ToSql(*pc.expr));
+                matched = true;
+              }
+            }
+          }
+          if (!matched) residual.push_back(sql::ToSql(*pc.expr));
+        }
+        std::string out = indent;
+        out += keys.empty() ? "NestedLoopJoin" : "HashJoin";
+        if (!keys.empty()) {
+          out += " on ";
+          for (size_t i = 0; i < keys.size(); ++i) {
+            if (i > 0) out += " and ";
+            out += keys[i];
+          }
+        }
+        out += "\n";
+        if (!residual.empty()) {
+          out += indent + "  Residual: ";
+          for (size_t i = 0; i < residual.size(); ++i) {
+            if (i > 0) out += " and ";
+            out += residual[i];
+          }
+          out += "\n";
+        }
+        AAPAC_ASSIGN_OR_RETURN(
+            std::string left,
+            PrintRef(*join.left, needed, pending, depth + 1));
+        out += left;
+        AAPAC_ASSIGN_OR_RETURN(
+            std::string right,
+            PrintRef(*join.right, needed, pending, depth + 1));
+        out += right;
+        BindingSchema combined = left_schema;
+        combined.insert(combined.end(), right_schema.begin(),
+                        right_schema.end());
+        out += ClaimLine(combined, pending, depth);
+        return out;
+      }
+    }
+    return Status::Internal("unhandled table ref kind");
+  }
+
+  /// Prints claimed (pushed-down) conjuncts for a node schema.
+  std::string ClaimLine(const BindingSchema& schema,
+                        std::vector<PendingConjunct>* pending, int depth) {
+    if (!pushdown_) return "";
+    std::vector<std::string> claimed;
+    for (auto& pc : *pending) {
+      if (pc.consumed) continue;
+      if (ExprResolvesIn(*pc.expr, schema)) {
+        pc.consumed = true;
+        claimed.push_back(sql::ToSql(*pc.expr));
+      }
+    }
+    if (claimed.empty()) return "";
+    std::string out(static_cast<size_t>(depth) * 2 + 2, ' ');
+    out += "Filter: ";
+    for (size_t i = 0; i < claimed.size(); ++i) {
+      if (i > 0) out += " and ";
+      out += claimed[i];
+    }
+    out += "\n";
+    return out;
+  }
+
+  ExecutorImpl* impl_;
+  bool pushdown_;
+};
+
+}  // namespace
+
+Result<std::string> Executor::ExplainPlan(const sql::SelectStmt& stmt) {
+  ExecutorImpl impl(db_, &stats_, pushdown_enabled_);
+  PlanPrinter printer(&impl, pushdown_enabled_);
+  return printer.Print(stmt, 0);
+}
+
+Result<std::string> Executor::ExplainPlanSql(const std::string& sql) {
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  return ExplainPlan(*stmt);
+}
+
+Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt) {
+  ExecutorImpl impl(db_, &stats_, pushdown_enabled_);
+  return impl.Execute(stmt);
+}
+
+Result<ResultSet> Executor::ExecuteSql(const std::string& sql) {
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  return Execute(*stmt);
+}
+
+Result<std::vector<Row>> Executor::EvalInsertSource(
+    const sql::InsertStmt& stmt) {
+  ExecutorImpl impl(db_, &stats_);
+  if (stmt.select != nullptr) {
+    AAPAC_ASSIGN_OR_RETURN(ResultSet rs, impl.Execute(*stmt.select));
+    return std::move(rs.rows);
+  }
+  if (stmt.rows.empty()) {
+    return Status::InvalidArgument("INSERT without source rows");
+  }
+  // Constant VALUES rows bind against an empty schema: column references
+  // are rejected, scalar functions and (uncorrelated) sub-queries work.
+  const BindingSchema empty;
+  Binder binder(empty, db_, &impl, /*agg_specs=*/nullptr);
+  const Row no_input;
+  std::vector<Row> out;
+  out.reserve(stmt.rows.size());
+  for (const auto& exprs : stmt.rows) {
+    Row row;
+    row.reserve(exprs.size());
+    for (const auto& e : exprs) {
+      AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*e));
+      AAPAC_ASSIGN_OR_RETURN(Value v, bound->Eval(no_input, nullptr));
+      row.push_back(std::move(v));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<size_t> Executor::ExecuteInsert(
+    const sql::InsertStmt& stmt,
+    const std::optional<std::pair<std::string, Value>>& forced_column) {
+  AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  std::optional<size_t> forced_index;
+  if (forced_column.has_value()) {
+    forced_index = schema.FindColumn(forced_column->first);
+    if (!forced_index.has_value()) {
+      return Status::NotFound("forced column '" + forced_column->first +
+                              "' not found in '" + stmt.table + "'");
+    }
+  }
+
+  // Resolve target column indices.
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      if (forced_index.has_value() && i == *forced_index) continue;
+      targets.push_back(i);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      auto idx = schema.FindColumn(name);
+      if (!idx.has_value()) {
+        return Status::NotFound("column '" + name + "' not found in '" +
+                                stmt.table + "'");
+      }
+      if (forced_index.has_value() && *idx == *forced_index) {
+        return Status::InvalidArgument("column '" + name +
+                                       "' is managed by the system and "
+                                       "cannot be inserted explicitly");
+      }
+      for (size_t t : targets) {
+        if (t == *idx) {
+          return Status::InvalidArgument("column '" + name +
+                                         "' listed twice in INSERT");
+        }
+      }
+      targets.push_back(*idx);
+    }
+  }
+
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Row> source, EvalInsertSource(stmt));
+
+  // All-or-nothing: build full rows, then insert with rollback on failure.
+  std::vector<Row> full;
+  full.reserve(source.size());
+  for (Row& row : source) {
+    if (row.size() != targets.size()) {
+      return Status::InvalidArgument(
+          "INSERT row has " + std::to_string(row.size()) + " value(s), " +
+          std::to_string(targets.size()) + " expected");
+    }
+    Row out(schema.num_columns());  // Unlisted columns default to NULL.
+    for (size_t i = 0; i < targets.size(); ++i) {
+      out[targets[i]] = std::move(row[i]);
+    }
+    if (forced_index.has_value()) out[*forced_index] = forced_column->second;
+    full.push_back(std::move(out));
+  }
+  const size_t before = table->num_rows();
+  for (Row& row : full) {
+    Status st = table->Insert(std::move(row));
+    if (!st.ok()) {
+      table->TruncateTo(before);
+      return st;
+    }
+  }
+  return full.size();
+}
+
+namespace {
+
+/// Binds an expression against a base table's own schema (binding name =
+/// table name), as UPDATE/DELETE clauses see it.
+Result<BoundExprPtr> BindAgainstTable(const Table& table, Database* db,
+                                      ExecutorImpl* impl,
+                                      const sql::Expr& expr) {
+  BindingSchema schema;
+  schema.reserve(table.schema().num_columns());
+  for (const auto& col : table.schema().columns()) {
+    schema.push_back(BoundColumn{table.name(), col.name, col.type});
+  }
+  Binder binder(schema, db, impl, /*agg_specs=*/nullptr);
+  return binder.Bind(expr);
+}
+
+/// True iff `row` satisfies the (optional) bound predicate.
+Result<bool> RowMatches(const BoundExprPtr& predicate, const Row& row) {
+  if (predicate == nullptr) return true;
+  AAPAC_ASSIGN_OR_RETURN(Value v, predicate->Eval(row, nullptr));
+  return !v.is_null() && v.type() == ValueType::kBool && v.AsBool();
+}
+
+}  // namespace
+
+Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
+  AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  if (stmt.assignments.empty()) {
+    return Status::InvalidArgument("UPDATE without assignments");
+  }
+  ExecutorImpl impl(db_, &stats_);
+
+  // Resolve targets and bind right-hand sides.
+  std::vector<size_t> targets;
+  std::vector<BoundExprPtr> values;
+  for (const auto& assignment : stmt.assignments) {
+    auto idx = table->schema().FindColumn(assignment.column);
+    if (!idx.has_value()) {
+      return Status::NotFound("column '" + assignment.column +
+                              "' not found in '" + stmt.table + "'");
+    }
+    for (size_t t : targets) {
+      if (t == *idx) {
+        return Status::InvalidArgument("column '" + assignment.column +
+                                       "' assigned twice");
+      }
+    }
+    targets.push_back(*idx);
+    AAPAC_ASSIGN_OR_RETURN(
+        BoundExprPtr bound,
+        BindAgainstTable(*table, db_, &impl, *assignment.value));
+    values.push_back(std::move(bound));
+  }
+  BoundExprPtr predicate;
+  if (stmt.where != nullptr) {
+    AAPAC_ASSIGN_OR_RETURN(predicate,
+                           BindAgainstTable(*table, db_, &impl, *stmt.where));
+  }
+
+  // Snapshot pass: evaluate everything against the old rows first.
+  struct StagedUpdate {
+    size_t row;
+    std::vector<Value> values;
+  };
+  std::vector<StagedUpdate> staged;
+  stats_.rows_scanned += table->num_rows();
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    AAPAC_ASSIGN_OR_RETURN(bool match, RowMatches(predicate, table->row(i)));
+    if (!match) continue;
+    StagedUpdate update;
+    update.row = i;
+    update.values.reserve(values.size());
+    for (size_t v = 0; v < values.size(); ++v) {
+      AAPAC_ASSIGN_OR_RETURN(Value value,
+                             values[v]->Eval(table->row(i), nullptr));
+      const ValueType declared = table->schema().column(targets[v]).type;
+      if (!ColumnTypeAccepts(declared, value.type())) {
+        return Status::InvalidArgument(
+            "value of type " + std::string(ValueTypeToString(value.type())) +
+            " not accepted by column '" +
+            table->schema().column(targets[v]).name + "'");
+      }
+      if (declared == ValueType::kDouble &&
+          value.type() == ValueType::kInt64) {
+        value = Value::Double(static_cast<double>(value.AsInt()));
+      }
+      update.values.push_back(std::move(value));
+    }
+    staged.push_back(std::move(update));
+  }
+  // Write pass.
+  for (StagedUpdate& update : staged) {
+    Row& row = table->mutable_row(update.row);
+    for (size_t v = 0; v < targets.size(); ++v) {
+      row[targets[v]] = std::move(update.values[v]);
+    }
+  }
+  return staged.size();
+}
+
+Result<size_t> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
+  AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  ExecutorImpl impl(db_, &stats_);
+  BoundExprPtr predicate;
+  if (stmt.where != nullptr) {
+    AAPAC_ASSIGN_OR_RETURN(predicate,
+                           BindAgainstTable(*table, db_, &impl, *stmt.where));
+  }
+  std::vector<size_t> doomed;
+  stats_.rows_scanned += table->num_rows();
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    AAPAC_ASSIGN_OR_RETURN(bool match, RowMatches(predicate, table->row(i)));
+    if (match) doomed.push_back(i);
+  }
+  return table->EraseRows(doomed);
+}
+
+}  // namespace aapac::engine

@@ -1,0 +1,109 @@
+#include "engine/functions.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace aapac::engine {
+
+bool IsAggregateFunctionName(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" || name == "min" ||
+         name == "max";
+}
+
+void FunctionRegistry::Register(ScalarFunction fn) {
+  fn.name = ToLower(fn.name);
+  functions_[fn.name] = std::move(fn);
+}
+
+const ScalarFunction* FunctionRegistry::Find(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+Status WrongType(const char* fn, const Value& v) {
+  return Status::ExecutionError(std::string(fn) + ": unsupported operand " +
+                                ValueTypeToString(v.type()));
+}
+
+Result<Value> FnAbs(const std::vector<Value>& args) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (v.type() == ValueType::kInt64) {
+    return Value::Int(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+  }
+  if (v.type() == ValueType::kDouble) return Value::Double(std::fabs(v.AsDouble()));
+  return WrongType("abs", v);
+}
+
+Result<Value> FnLength(const std::vector<Value>& args) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (v.type() == ValueType::kString) {
+    return Value::Int(static_cast<int64_t>(v.AsString().size()));
+  }
+  return WrongType("length", v);
+}
+
+Result<Value> FnLower(const std::vector<Value>& args) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (v.type() == ValueType::kString) return Value::String(ToLower(v.AsString()));
+  return WrongType("lower", v);
+}
+
+Result<Value> FnUpper(const std::vector<Value>& args) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (v.type() != ValueType::kString) return WrongType("upper", v);
+  std::string s = v.AsString();
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return Value::String(std::move(s));
+}
+
+Result<Value> FnCoalesce(const std::vector<Value>& args) {
+  for (const Value& v : args) {
+    if (!v.is_null()) return v;
+  }
+  return Value::Null();
+}
+
+Result<Value> FnRound(const std::vector<Value>& args) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (!v.IsNumeric()) return WrongType("round", v);
+  return Value::Double(std::round(v.NumericAsDouble()));
+}
+
+Result<Value> FnFloor(const std::vector<Value>& args) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (!v.IsNumeric()) return WrongType("floor", v);
+  return Value::Double(std::floor(v.NumericAsDouble()));
+}
+
+Result<Value> FnCeil(const std::vector<Value>& args) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (!v.IsNumeric()) return WrongType("ceil", v);
+  return Value::Double(std::ceil(v.NumericAsDouble()));
+}
+
+}  // namespace
+
+FunctionRegistry FunctionRegistry::WithBuiltins() {
+  FunctionRegistry reg;
+  reg.Register({"abs", 1, FnAbs});
+  reg.Register({"length", 1, FnLength});
+  reg.Register({"lower", 1, FnLower});
+  reg.Register({"upper", 1, FnUpper});
+  reg.Register({"coalesce", -1, FnCoalesce});
+  reg.Register({"round", 1, FnRound});
+  reg.Register({"floor", 1, FnFloor});
+  reg.Register({"ceil", 1, FnCeil});
+  return reg;
+}
+
+}  // namespace aapac::engine

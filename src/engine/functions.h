@@ -1,0 +1,52 @@
+#ifndef AAPAC_ENGINE_FUNCTIONS_H_
+#define AAPAC_ENGINE_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/value.h"
+#include "util/result.h"
+
+namespace aapac::engine {
+
+/// A scalar SQL function: pure mapping from argument values to a value.
+/// UDFs (e.g. the enforcement monitor's `complies_with`, which mirrors the
+/// paper's PostgreSQL C function) register through FunctionRegistry and may
+/// capture state such as an invocation counter.
+struct ScalarFunction {
+  std::string name;       // Lowercase.
+  int arity;              // -1 means variadic.
+  std::function<Result<Value>(const std::vector<Value>&)> fn;
+};
+
+/// Names of the built-in aggregate functions understood by the executor.
+/// Aggregates are not ScalarFunctions: they fold over groups inside the
+/// executor (count/count(*)/sum/avg/min/max).
+bool IsAggregateFunctionName(const std::string& lowercase_name);
+
+/// Case-insensitive registry of scalar functions. Pre-populated with a small
+/// standard library: abs, length, lower, upper, coalesce, round, floor, ceil.
+class FunctionRegistry {
+ public:
+  /// Creates a registry holding the built-in scalar functions.
+  static FunctionRegistry WithBuiltins();
+
+  /// Registers (or replaces) a scalar function.
+  void Register(ScalarFunction fn);
+
+  /// Looks up by lowercase name; nullptr if absent.
+  const ScalarFunction* Find(const std::string& lowercase_name) const;
+
+  bool Contains(const std::string& lowercase_name) const {
+    return Find(lowercase_name) != nullptr;
+  }
+
+ private:
+  std::unordered_map<std::string, ScalarFunction> functions_;
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_FUNCTIONS_H_

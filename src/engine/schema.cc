@@ -1,0 +1,29 @@
+#include "engine/schema.h"
+
+#include "util/strings.h"
+
+namespace aapac::engine {
+
+bool ColumnTypeAccepts(ValueType declared, ValueType actual) {
+  if (actual == ValueType::kNull) return true;
+  if (declared == actual) return true;
+  return declared == ValueType::kDouble && actual == ValueType::kInt64;
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::AddColumn(Column column) {
+  if (HasColumn(column.name)) {
+    return Status::AlreadyExists("column '" + column.name + "' already exists");
+  }
+  column.name = ToLower(column.name);
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+}  // namespace aapac::engine

@@ -1,0 +1,51 @@
+#ifndef AAPAC_ENGINE_SCHEMA_H_
+#define AAPAC_ENGINE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+#include "util/result.h"
+
+namespace aapac::engine {
+
+/// A named, typed column. Names are stored lowercase (SQL identifiers are
+/// case-insensitive in this engine).
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// True iff a value of type `actual` may be stored in a column declared as
+/// `declared`: NULL stores anywhere, ints widen into double columns,
+/// otherwise types must match exactly.
+bool ColumnTypeAccepts(ValueType declared, ValueType actual);
+
+/// Ordered column list of a table or derived relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of `name` (case-insensitive), or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Appends a column; fails if the name already exists.
+  Status AddColumn(Column column);
+
+  bool HasColumn(const std::string& name) const {
+    return FindColumn(name).has_value();
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_SCHEMA_H_

@@ -1,0 +1,253 @@
+#include "engine/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/hash.h"
+
+namespace aapac::engine {
+
+namespace {
+
+constexpr char kMagic[] = "AAPACDB1";
+constexpr size_t kMagicLen = 8;
+
+// --- writing ---------------------------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64: {
+      PutU64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    }
+    case ValueType::kDouble: {
+      uint64_t bits;
+      const double d = v.AsDouble();
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      break;
+    }
+    case ValueType::kBool:
+      PutU8(out, v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      break;
+    case ValueType::kBytes:
+      PutString(out, v.AsBytes());
+      break;
+  }
+}
+
+// --- reading ---------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string data) : data_(std::move(data)) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  const std::string& data() const { return data_; }
+
+  Result<uint8_t> U8() {
+    if (remaining() < 1) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> U32() {
+    if (remaining() < 4) return Truncated();
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    if (remaining() < 8) return Truncated();
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> String() {
+    AAPAC_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (remaining() < len) return Truncated();
+    std::string out = data_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  Result<Value> ReadValue() {
+    AAPAC_ASSIGN_OR_RETURN(uint8_t tag, U8());
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kNull:
+        return Value::Null();
+      case ValueType::kInt64: {
+        AAPAC_ASSIGN_OR_RETURN(uint64_t v, U64());
+        return Value::Int(static_cast<int64_t>(v));
+      }
+      case ValueType::kDouble: {
+        AAPAC_ASSIGN_OR_RETURN(uint64_t bits, U64());
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return Value::Double(d);
+      }
+      case ValueType::kBool: {
+        AAPAC_ASSIGN_OR_RETURN(uint8_t v, U8());
+        return Value::Bool(v != 0);
+      }
+      case ValueType::kString: {
+        AAPAC_ASSIGN_OR_RETURN(std::string s, String());
+        return Value::String(std::move(s));
+      }
+      case ValueType::kBytes: {
+        AAPAC_ASSIGN_OR_RETURN(std::string s, String());
+        return Value::Bytes(std::move(s));
+      }
+    }
+    return Status::InvalidArgument("snapshot: unknown value tag " +
+                                   std::to_string(tag));
+  }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("snapshot: truncated payload");
+  }
+
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+bool IsValidColumnType(uint8_t tag) {
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+    case ValueType::kBool:
+    case ValueType::kString:
+    case ValueType::kBytes:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Database& db, const std::string& path) {
+  std::string out;
+  out.append(kMagic, kMagicLen);
+  const std::vector<std::string> names = db.TableNames();
+  PutU32(&out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    const Table* table = db.FindTable(name);
+    PutString(&out, name);
+    PutU32(&out, static_cast<uint32_t>(table->schema().num_columns()));
+    for (const Column& col : table->schema().columns()) {
+      PutString(&out, col.name);
+      PutU8(&out, static_cast<uint8_t>(col.type));
+    }
+    PutU64(&out, table->num_rows());
+    for (const Row& row : table->rows()) {
+      for (const Value& v : row) PutValue(&out, v);
+    }
+  }
+  PutU64(&out, Fnv1a64(out));
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!file.good()) {
+    return Status::InvalidArgument("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(Database* db, const std::string& path) {
+  if (!db->TableNames().empty()) {
+    return Status::InvalidArgument(
+        "snapshot must be loaded into an empty database");
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < kMagicLen + 8 ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not an AAPAC snapshot");
+  }
+  // Verify the trailing checksum before trusting anything else.
+  uint64_t stored;
+  std::memcpy(&stored, data.data() + data.size() - 8, 8);
+  const uint64_t computed =
+      Fnv1a64(std::string_view(data.data(), data.size() - 8));
+  if (stored != computed) {
+    return Status::InvalidArgument("snapshot checksum mismatch (corrupt "
+                                   "file)");
+  }
+  Reader reader(data.substr(kMagicLen, data.size() - kMagicLen - 8));
+
+  AAPAC_ASSIGN_OR_RETURN(uint32_t table_count, reader.U32());
+  for (uint32_t t = 0; t < table_count; ++t) {
+    AAPAC_ASSIGN_OR_RETURN(std::string name, reader.String());
+    AAPAC_ASSIGN_OR_RETURN(uint32_t col_count, reader.U32());
+    Schema schema;
+    for (uint32_t c = 0; c < col_count; ++c) {
+      AAPAC_ASSIGN_OR_RETURN(std::string col_name, reader.String());
+      AAPAC_ASSIGN_OR_RETURN(uint8_t type_tag, reader.U8());
+      if (!IsValidColumnType(type_tag)) {
+        return Status::InvalidArgument("snapshot: bad column type");
+      }
+      AAPAC_RETURN_NOT_OK(
+          schema.AddColumn({col_name, static_cast<ValueType>(type_tag)}));
+    }
+    AAPAC_ASSIGN_OR_RETURN(Table * table,
+                           db->CreateTable(name, std::move(schema)));
+    AAPAC_ASSIGN_OR_RETURN(uint64_t row_count, reader.U64());
+    table->Reserve(row_count);
+    for (uint64_t r = 0; r < row_count; ++r) {
+      Row row;
+      row.reserve(col_count);
+      for (uint32_t c = 0; c < col_count; ++c) {
+        AAPAC_ASSIGN_OR_RETURN(Value v, reader.ReadValue());
+        row.push_back(std::move(v));
+      }
+      table->InsertUnchecked(std::move(row));
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("snapshot: trailing garbage");
+  }
+  return Status::OK();
+}
+
+}  // namespace aapac::engine

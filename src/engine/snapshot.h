@@ -1,0 +1,32 @@
+#ifndef AAPAC_ENGINE_SNAPSHOT_H_
+#define AAPAC_ENGINE_SNAPSHOT_H_
+
+#include <string>
+
+#include "engine/database.h"
+#include "util/result.h"
+
+namespace aapac::engine {
+
+/// Serializes every table (schema + rows, including policy columns) into a
+/// single binary snapshot file. The format is self-contained and checked:
+///
+///   "AAPACDB1" | u32 table_count
+///   per table: str name | u32 col_count | per col (str name, u8 type)
+///              | u64 row_count | rows as (u8 type tag, payload) values
+///   u64 fnv1a checksum of everything before it
+///
+/// with u32/u64 little-endian and strings as u32 length + bytes. Function
+/// registries (UDFs) are process state and are not serialized; re-creating
+/// the EnforcementMonitor after a load re-registers complies_with.
+Status SaveSnapshot(const Database& db, const std::string& path);
+
+/// Restores a snapshot into `db`, which must contain no tables. Rejects
+/// unknown magic, truncated payloads and checksum mismatches without
+/// modifying `db` beyond tables already created when the error is detected
+/// mid-stream (callers should discard `db` on failure).
+Status LoadSnapshot(Database* db, const std::string& path);
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_SNAPSHOT_H_

@@ -1,0 +1,65 @@
+#include "engine/table.h"
+
+namespace aapac::engine {
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table '" +
+        name_ + "' with " + std::to_string(schema_.num_columns()) +
+        " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!ColumnTypeAccepts(schema_.column(i).type, row[i].type())) {
+      return Status::InvalidArgument(
+          "value type " + std::string(ValueTypeToString(row[i].type())) +
+          " not accepted by column '" + schema_.column(i).name + "' of type " +
+          ValueTypeToString(schema_.column(i).type));
+    }
+    // Normalize ints stored in double columns.
+    if (schema_.column(i).type == ValueType::kDouble &&
+        row[i].type() == ValueType::kInt64) {
+      row[i] = Value::Double(static_cast<double>(row[i].AsInt()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::AddColumn(Column column, Value fill) {
+  AAPAC_RETURN_NOT_OK(schema_.AddColumn(std::move(column)));
+  for (Row& row : rows_) row.push_back(fill);
+  return Status::OK();
+}
+
+size_t Table::EraseRows(const std::vector<size_t>& sorted_indices) {
+  if (sorted_indices.empty()) return 0;
+  std::vector<Row> kept;
+  kept.reserve(rows_.size() - sorted_indices.size());
+  size_t next = 0;
+  size_t removed = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (next < sorted_indices.size() && sorted_indices[next] == i) {
+      ++next;
+      ++removed;
+      continue;
+    }
+    kept.push_back(std::move(rows_[i]));
+  }
+  rows_ = std::move(kept);
+  return removed;
+}
+
+size_t Table::UpdateColumnWhere(size_t col, const Value& value,
+                                const std::vector<size_t>& row_indices) {
+  size_t updated = 0;
+  for (size_t idx : row_indices) {
+    if (idx < rows_.size() && col < rows_[idx].size()) {
+      rows_[idx][col] = value;
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+}  // namespace aapac::engine

@@ -1,0 +1,67 @@
+#ifndef AAPAC_ENGINE_TABLE_H_
+#define AAPAC_ENGINE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/schema.h"
+#include "engine/value.h"
+#include "util/result.h"
+
+namespace aapac::engine {
+
+/// In-memory row-store table. Rows are vectors of Values parallel to the
+/// schema. The access-control framework stores each tuple's policy mask in a
+/// regular BYTES column named "policy" (added by the admin module, §5.1), so
+/// the table itself needs no access-control knowledge.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row& mutable_row(size_t i) { return rows_[i]; }
+
+  /// Validates arity and (loosely) types: each value must be NULL or match
+  /// the declared column type, with int accepted where double is declared.
+  Status Insert(Row row);
+
+  /// Bulk-append without per-value checks; used by workload generators that
+  /// construct rows straight from the schema. Caller guarantees shape.
+  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// Drops rows from the tail until `n` remain; no-op if fewer. Used to
+  /// roll back partially applied multi-row inserts.
+  void TruncateTo(size_t n) {
+    if (rows_.size() > n) rows_.resize(n);
+  }
+
+  /// Adds a column to the schema and back-fills existing rows with `fill`.
+  Status AddColumn(Column column, Value fill);
+
+  /// Sets column `col` of every row for which `pred(row_index)` holds.
+  /// Used by policy attachment. Returns number of rows updated.
+  size_t UpdateColumnWhere(size_t col, const Value& value,
+                           const std::vector<size_t>& row_indices);
+
+  /// Removes the rows at `sorted_indices` (ascending, in range, unique).
+  /// Returns the number of rows removed.
+  size_t EraseRows(const std::vector<size_t>& sorted_indices);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_TABLE_H_

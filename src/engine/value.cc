@@ -1,0 +1,130 @@
+#include "engine/value.h"
+
+#include <functional>
+#include <sstream>
+
+namespace aapac::engine {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBytes:
+      return "BYTES";
+  }
+  return "?";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (IsNumeric() && other.IsNumeric()) {
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      return AsInt() == other.AsInt();
+    }
+    return NumericAsDouble() == other.NumericAsDouble();
+  }
+  if (type() != other.type()) return false;
+  return payload_ == other.payload_;
+}
+
+int Value::Compare(const Value& other) const {
+  // NULLs first.
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (IsNumeric() && other.IsNumeric()) {
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      const int64_t a = AsInt();
+      const int64_t b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = NumericAsDouble();
+    const double b = other.NumericAsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type() != other.type()) {
+    // Heterogeneous non-numeric values: order by type id to stay total.
+    const int a = static_cast<int>(type());
+    const int b = static_cast<int>(other.type());
+    return a < b ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kBool: {
+      const int a = AsBool() ? 1 : 0;
+      const int b = other.AsBool() ? 1 : 0;
+      return a - b;
+    }
+    case ValueType::kString: {
+      const int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueType::kBytes: {
+      const int c = AsBytes().compare(other.AsBytes());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B97F4A7C15ull;
+    case ValueType::kInt64:
+      // Hash ints via their double form so that Equals-consistent hashing
+      // holds across the int/double coercion in Equals.
+      return std::hash<double>{}(static_cast<double>(AsInt()));
+    case ValueType::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case ValueType::kBool:
+      return AsBool() ? 0x1234567 : 0x89ABCDE;
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+    case ValueType::kBytes:
+      return std::hash<std::string>{}(AsBytes()) ^ 0x5A5A5A5Aull;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kBytes: {
+      std::ostringstream os;
+      os << "0x";
+      for (unsigned char c : AsBytes()) {
+        static constexpr char kHex[] = "0123456789abcdef";
+        os << kHex[c >> 4] << kHex[c & 0xF];
+      }
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace aapac::engine

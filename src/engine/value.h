@@ -1,0 +1,134 @@
+#ifndef AAPAC_ENGINE_VALUE_H_
+#define AAPAC_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace aapac::engine {
+
+enum class ValueType {
+  kNull,
+  kInt64,
+  kDouble,
+  kBool,
+  kString,
+  kBytes,  // Binary payload — used for the per-tuple `policy` masks.
+};
+
+const char* ValueTypeToString(ValueType t);
+
+/// A dynamically typed SQL value. Small, copyable, with SQL semantics:
+/// NULL propagates through comparisons and arithmetic (three-valued logic
+/// lives in the evaluator; Value itself only stores data).
+class Value {
+ public:
+  /// NULL.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Payload(std::in_place_index<1>, v)); }
+  static Value Double(double v) { return Value(Payload(std::in_place_index<2>, v)); }
+  static Value Bool(bool v) { return Value(Payload(std::in_place_index<3>, v)); }
+  static Value String(std::string v) {
+    return Value(Payload(std::in_place_index<4>, std::move(v)));
+  }
+  static Value Bytes(std::string v) {
+    return Value(Payload(std::in_place_index<5>, BytesPayload{std::move(v)}));
+  }
+
+  ValueType type() const { return static_cast<ValueType>(payload_.index() == 0 ? 0 : payload_.index()); }
+
+  bool is_null() const { return payload_.index() == 0; }
+
+  int64_t AsInt() const { return std::get<1>(payload_); }
+  double AsDouble() const { return std::get<2>(payload_); }
+  bool AsBool() const { return std::get<3>(payload_); }
+  const std::string& AsString() const { return std::get<4>(payload_); }
+  const std::string& AsBytes() const { return std::get<5>(payload_).data; }
+
+  /// True for kInt64/kDouble.
+  bool IsNumeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  /// Numeric value widened to double; only valid when IsNumeric().
+  double NumericAsDouble() const {
+    return type() == ValueType::kInt64 ? static_cast<double>(AsInt())
+                                       : AsDouble();
+  }
+
+  /// Strict same-type-or-coerced-numeric equality; NULL equals nothing
+  /// (use is_null() first — this returns false if either side is NULL).
+  bool Equals(const Value& other) const;
+
+  /// Three-way comparison for ORDER BY / MIN / MAX / hash-join keys.
+  /// Orders NULLs first, then by type for heterogenous values, with
+  /// int/double compared numerically. Total and deterministic.
+  int Compare(const Value& other) const;
+
+  /// Stable hash consistent with Equals (int 3 and double 3.0 collide by
+  /// design since they compare equal).
+  size_t Hash() const;
+
+  /// Display form used by result-set printing and tests.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const {
+    return is_null() ? other.is_null() : Equals(other);
+  }
+
+ private:
+  struct BytesPayload {
+    std::string data;
+    bool operator==(const BytesPayload&) const = default;
+  };
+  using Payload = std::variant<std::monostate, int64_t, double, bool,
+                               std::string, BytesPayload>;
+
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+using Row = std::vector<Value>;
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Hash/equality functors for using Row as a grouping / join key.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 14695981039346656037ull;
+    for (const Value& v : row) {
+      h ^= v.Hash();
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a == b; }
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_VALUE_H_

@@ -1,0 +1,108 @@
+#include "sql/ast.h"
+
+namespace aapac::sql {
+
+std::unique_ptr<Expr> FuncCallExpr::Clone() const {
+  std::vector<ExprPtr> cloned_args;
+  cloned_args.reserve(args.size());
+  for (const auto& a : args) cloned_args.push_back(a->Clone());
+  return std::make_unique<FuncCallExpr>(name, std::move(cloned_args), distinct);
+}
+
+InExpr::InExpr(ExprPtr operand, std::unique_ptr<SelectStmt> subquery,
+               bool negated)
+    : Expr(Kind::kIn),
+      operand(std::move(operand)),
+      subquery(std::move(subquery)),
+      negated(negated) {}
+
+std::unique_ptr<Expr> InExpr::Clone() const {
+  if (subquery != nullptr) {
+    return std::make_unique<InExpr>(operand->Clone(), subquery->Clone(),
+                                    negated);
+  }
+  std::vector<ExprPtr> cloned_list;
+  cloned_list.reserve(list.size());
+  for (const auto& e : list) cloned_list.push_back(e->Clone());
+  return std::make_unique<InExpr>(operand->Clone(), std::move(cloned_list),
+                                  negated);
+}
+
+std::unique_ptr<Expr> CaseExpr::Clone() const {
+  std::vector<WhenClause> cloned;
+  cloned.reserve(whens.size());
+  for (const auto& w : whens) {
+    cloned.push_back(WhenClause{w.condition->Clone(), w.result->Clone()});
+  }
+  return std::make_unique<CaseExpr>(operand ? operand->Clone() : nullptr,
+                                    std::move(cloned),
+                                    else_result ? else_result->Clone()
+                                                : nullptr);
+}
+
+ScalarSubqueryExpr::ScalarSubqueryExpr(std::unique_ptr<SelectStmt> subquery)
+    : Expr(Kind::kScalarSubquery), subquery(std::move(subquery)) {}
+
+std::unique_ptr<Expr> ScalarSubqueryExpr::Clone() const {
+  return std::make_unique<ScalarSubqueryExpr>(subquery->Clone());
+}
+
+SubqueryTableRef::SubqueryTableRef(std::unique_ptr<SelectStmt> subquery,
+                                   std::string alias)
+    : TableRef(Kind::kSubquery),
+      subquery(std::move(subquery)),
+      alias(std::move(alias)) {}
+
+std::unique_ptr<TableRef> SubqueryTableRef::Clone() const {
+  return std::make_unique<SubqueryTableRef>(subquery->Clone(), alias);
+}
+
+std::unique_ptr<UpdateStmt> UpdateStmt::Clone() const {
+  auto out = std::make_unique<UpdateStmt>();
+  out->table = table;
+  out->assignments.reserve(assignments.size());
+  for (const auto& a : assignments) out->assignments.push_back(a.Clone());
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+std::unique_ptr<DeleteStmt> DeleteStmt::Clone() const {
+  auto out = std::make_unique<DeleteStmt>();
+  out->table = table;
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+std::unique_ptr<InsertStmt> InsertStmt::Clone() const {
+  auto out = std::make_unique<InsertStmt>();
+  out->table = table;
+  out->columns = columns;
+  out->rows.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<ExprPtr> cloned;
+    cloned.reserve(row.size());
+    for (const auto& e : row) cloned.push_back(e->Clone());
+    out->rows.push_back(std::move(cloned));
+  }
+  out->select = select ? select->Clone() : nullptr;
+  return out;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = distinct;
+  out->items.reserve(items.size());
+  for (const auto& it : items) out->items.push_back(it.Clone());
+  out->from.reserve(from.size());
+  for (const auto& t : from) out->from.push_back(t->Clone());
+  out->where = where ? where->Clone() : nullptr;
+  out->group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  out->having = having ? having->Clone() : nullptr;
+  out->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  return out;
+}
+
+}  // namespace aapac::sql

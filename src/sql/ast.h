@@ -1,0 +1,401 @@
+#ifndef AAPAC_SQL_AST_H_
+#define AAPAC_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace aapac::sql {
+
+struct SelectStmt;
+
+/// A `b'0101...'` literal, as emitted by the enforcement rewriter
+/// (paper Listing 3) to embed action-signature masks into SQL text.
+struct BitLiteral {
+  std::string bits;  // Textual '0'/'1' form.
+
+  bool operator==(const BitLiteral& other) const = default;
+};
+
+/// Literal payload: NULL, integer, double, string, boolean or bit string.
+using LiteralValue =
+    std::variant<std::monostate, int64_t, double, std::string, bool,
+                 BitLiteral>;
+
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kNotLike,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kConcat,  // String concatenation `||`.
+};
+
+enum class UnaryOp {
+  kNot,
+  kNeg,
+};
+
+/// Expression tree. A tagged hierarchy (kind() + downcast) keeps the visitor
+/// code in the binder/evaluator and in the signature-derivation pipeline
+/// simple and exhaustive.
+class Expr {
+ public:
+  enum class Kind {
+    kColumnRef,
+    kLiteral,
+    kStar,
+    kBinary,
+    kUnary,
+    kFuncCall,
+    kIn,
+    kIsNull,
+    kBetween,
+    kCase,
+    kScalarSubquery,
+  };
+
+  explicit Expr(Kind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  Kind kind() const { return kind_; }
+
+  /// Deep copy.
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+ private:
+  Kind kind_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// `watch_id` or `users.watch_id`. `qualifier` is empty when unqualified.
+class ColumnRefExpr final : public Expr {
+ public:
+  ColumnRefExpr(std::string qualifier, std::string name)
+      : Expr(Kind::kColumnRef),
+        qualifier(std::move(qualifier)),
+        name(std::move(name)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<ColumnRefExpr>(qualifier, name);
+  }
+
+  std::string qualifier;
+  std::string name;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(LiteralValue value)
+      : Expr(Kind::kLiteral), value(std::move(value)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<LiteralExpr>(value);
+  }
+
+  LiteralValue value;
+};
+
+/// `*` or `t.*` in a select list or inside count(*).
+class StarExpr final : public Expr {
+ public:
+  explicit StarExpr(std::string qualifier = "")
+      : Expr(Kind::kStar), qualifier(std::move(qualifier)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<StarExpr>(qualifier);
+  }
+
+  std::string qualifier;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(Kind::kBinary), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<BinaryExpr>(op, lhs->Clone(), rhs->Clone());
+  }
+
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(Kind::kUnary), op(op), operand(std::move(operand)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<UnaryExpr>(op, operand->Clone());
+  }
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+/// Function application: aggregates (avg, count, sum, min, max), scalar
+/// functions (abs, length, ...) and registered UDFs such as complies_with.
+class FuncCallExpr final : public Expr {
+ public:
+  FuncCallExpr(std::string name, std::vector<ExprPtr> args, bool distinct)
+      : Expr(Kind::kFuncCall),
+        name(std::move(name)),
+        args(std::move(args)),
+        distinct(distinct) {}
+
+  std::unique_ptr<Expr> Clone() const override;
+
+  std::string name;  // Stored lowercase; SQL function names are case-insensitive.
+  std::vector<ExprPtr> args;
+  bool distinct;  // count(distinct x)
+};
+
+/// `x [NOT] IN (expr, ...)` or `x [NOT] IN (select ...)`.
+class InExpr final : public Expr {
+ public:
+  InExpr(ExprPtr operand, std::vector<ExprPtr> list, bool negated)
+      : Expr(Kind::kIn),
+        operand(std::move(operand)),
+        list(std::move(list)),
+        negated(negated) {}
+  InExpr(ExprPtr operand, std::unique_ptr<SelectStmt> subquery, bool negated);
+
+  std::unique_ptr<Expr> Clone() const override;
+
+  ExprPtr operand;
+  std::vector<ExprPtr> list;            // Used when subquery == nullptr.
+  std::unique_ptr<SelectStmt> subquery; // Non-null for IN (select ...).
+  bool negated;
+};
+
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : Expr(Kind::kIsNull), operand(std::move(operand)), negated(negated) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<IsNullExpr>(operand->Clone(), negated);
+  }
+
+  ExprPtr operand;
+  bool negated;
+};
+
+class BetweenExpr final : public Expr {
+ public:
+  BetweenExpr(ExprPtr operand, ExprPtr lo, ExprPtr hi, bool negated)
+      : Expr(Kind::kBetween),
+        operand(std::move(operand)),
+        lo(std::move(lo)),
+        hi(std::move(hi)),
+        negated(negated) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<BetweenExpr>(operand->Clone(), lo->Clone(),
+                                         hi->Clone(), negated);
+  }
+
+  ExprPtr operand;
+  ExprPtr lo;
+  ExprPtr hi;
+  bool negated;
+};
+
+/// `CASE [operand] WHEN c THEN r ... [ELSE e] END`. With `operand` set this
+/// is the "simple" form (each WHEN compares for equality against the
+/// operand); without it the "searched" form (each WHEN is a predicate).
+class CaseExpr final : public Expr {
+ public:
+  struct WhenClause {
+    ExprPtr condition;
+    ExprPtr result;
+  };
+
+  CaseExpr(ExprPtr operand, std::vector<WhenClause> whens, ExprPtr else_result)
+      : Expr(Kind::kCase),
+        operand(std::move(operand)),
+        whens(std::move(whens)),
+        else_result(std::move(else_result)) {}
+
+  std::unique_ptr<Expr> Clone() const override;
+
+  ExprPtr operand;      // Null for the searched form.
+  std::vector<WhenClause> whens;
+  ExprPtr else_result;  // Null means ELSE NULL.
+};
+
+/// `(select ...)` used as a scalar value.
+class ScalarSubqueryExpr final : public Expr {
+ public:
+  explicit ScalarSubqueryExpr(std::unique_ptr<SelectStmt> subquery);
+
+  std::unique_ptr<Expr> Clone() const override;
+
+  std::unique_ptr<SelectStmt> subquery;
+};
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+/// FROM-clause item: base table, derived table (sub-select) or an inner join.
+class TableRef {
+ public:
+  enum class Kind { kBaseTable, kSubquery, kJoin };
+
+  explicit TableRef(Kind kind) : kind_(kind) {}
+  virtual ~TableRef() = default;
+
+  TableRef(const TableRef&) = delete;
+  TableRef& operator=(const TableRef&) = delete;
+
+  Kind kind() const { return kind_; }
+  virtual std::unique_ptr<TableRef> Clone() const = 0;
+
+ private:
+  Kind kind_;
+};
+
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+class BaseTableRef final : public TableRef {
+ public:
+  BaseTableRef(std::string table_name, std::string alias)
+      : TableRef(Kind::kBaseTable),
+        table_name(std::move(table_name)),
+        alias(std::move(alias)) {}
+
+  std::unique_ptr<TableRef> Clone() const override {
+    return std::make_unique<BaseTableRef>(table_name, alias);
+  }
+
+  /// Name used to qualify columns: the alias when given, else the table name.
+  const std::string& BindingName() const {
+    return alias.empty() ? table_name : alias;
+  }
+
+  std::string table_name;
+  std::string alias;  // Empty if none.
+};
+
+class SubqueryTableRef final : public TableRef {
+ public:
+  SubqueryTableRef(std::unique_ptr<SelectStmt> subquery, std::string alias);
+
+  std::unique_ptr<TableRef> Clone() const override;
+
+  std::unique_ptr<SelectStmt> subquery;
+  std::string alias;  // Required by the grammar.
+};
+
+class JoinRef final : public TableRef {
+ public:
+  JoinRef(TableRefPtr left, TableRefPtr right, ExprPtr on)
+      : TableRef(Kind::kJoin),
+        left(std::move(left)),
+        right(std::move(right)),
+        on(std::move(on)) {}
+
+  std::unique_ptr<TableRef> Clone() const override {
+    return std::make_unique<JoinRef>(left->Clone(), right->Clone(),
+                                     on ? on->Clone() : nullptr);
+  }
+
+  TableRefPtr left;
+  TableRefPtr right;
+  ExprPtr on;  // Join condition; required (inner join ... on ...).
+};
+
+// ---------------------------------------------------------------------------
+// SELECT statement
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // Empty if none.
+
+  SelectItem Clone() const { return SelectItem{expr->Clone(), alias}; }
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+
+  OrderByItem Clone() const { return OrderByItem{expr->Clone(), descending}; }
+};
+
+/// Parsed SELECT. This is the `query model` substrate of Def. 7: S = items,
+/// F = from, W = where, G = group_by, H = having.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRefPtr> from;  // Comma-separated FROM items (cross join).
+  ExprPtr where;                  // May be null.
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                 // May be null.
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+
+  std::unique_ptr<SelectStmt> Clone() const;
+};
+
+/// One `col = expr` assignment of an UPDATE.
+struct Assignment {
+  std::string column;
+  ExprPtr value;
+
+  Assignment Clone() const { return Assignment{column, value->Clone()}; }
+};
+
+/// Parsed UPDATE: `update t set c1 = e1, c2 = e2 [where e]`.
+struct UpdateStmt {
+  std::string table;
+  std::vector<Assignment> assignments;
+  ExprPtr where;  // May be null.
+
+  std::unique_ptr<UpdateStmt> Clone() const;
+};
+
+/// Parsed DELETE: `delete from t [where e]`.
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // May be null.
+
+  std::unique_ptr<DeleteStmt> Clone() const;
+};
+
+/// Parsed INSERT: `insert into t [(c1, c2)] values (..), (..)` or
+/// `insert into t [(c1, c2)] select ...`. Exactly one of `rows` / `select`
+/// is populated.
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;       // Empty = schema order.
+  std::vector<std::vector<ExprPtr>> rows; // VALUES form (constant exprs).
+  std::unique_ptr<SelectStmt> select;     // SELECT form.
+
+  std::unique_ptr<InsertStmt> Clone() const;
+};
+
+}  // namespace aapac::sql
+
+#endif  // AAPAC_SQL_AST_H_

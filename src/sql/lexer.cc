@@ -1,0 +1,137 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace aapac::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    // Bit literal: b'0101' (used by rewritten queries, Listing 3).
+    if ((c == 'b' || c == 'B') && i + 1 < n && source[i + 1] == '\'') {
+      i += 2;
+      std::string bits;
+      while (i < n && source[i] != '\'') bits.push_back(source[i++]);
+      if (i == n) {
+        return Status::ParseError("unterminated bit literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // Closing quote.
+      tokens.push_back({TokenType::kBitLiteral, std::move(bits), start});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      tokens.push_back(
+          {TokenType::kIdentifier, ToLower(source.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      if (j < n && source[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      }
+      if (j < n && (source[j] == 'e' || source[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (source[k] == '+' || source[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(source[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(source[j])))
+            ++j;
+        }
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        source.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\'') {
+          if (i + 1 < n && source[i + 1] == '\'') {  // '' escape.
+            text.push_back('\'');
+            i += 2;
+          } else {
+            closed = true;
+            ++i;
+            break;
+          }
+        } else {
+          text.push_back(source[i++]);
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char operators first.
+    auto push_symbol = [&](size_t len) {
+      tokens.push_back({TokenType::kSymbol, source.substr(i, len), i});
+      i += len;
+    };
+    if (i + 1 < n) {
+      const std::string two = source.substr(i, 2);
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=" ||
+          two == "||") {
+        push_symbol(2);
+        continue;
+      }
+    }
+    switch (c) {
+      case '(': case ')': case ',': case '.': case '*': case '+': case '-':
+      case '/': case '%': case '=': case '<': case '>': case ';':
+        push_symbol(1);
+        continue;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(i));
+    }
+  }
+  tokens.push_back({TokenType::kEndOfInput, "", n});
+  return tokens;
+}
+
+}  // namespace aapac::sql

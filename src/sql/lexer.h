@@ -1,0 +1,42 @@
+#ifndef AAPAC_SQL_LEXER_H_
+#define AAPAC_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace aapac::sql {
+
+enum class TokenType {
+  kIdentifier,   // Unquoted identifier or keyword (lexer does not classify).
+  kInteger,      // 123
+  kFloat,        // 1.5, .5, 1e3
+  kString,       // 'text' with '' escaping
+  kBitLiteral,   // b'0101'
+  kSymbol,       // Punctuation / operator: ( ) , . * + - / % = <> != < <= > >=
+  kEndOfInput,
+};
+
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  std::string text;     // Identifier lowered; string/bit literal unescaped.
+  size_t offset = 0;    // Byte offset into the source, for error messages.
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword check (`text` is already lowered).
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kIdentifier && text == kw;
+  }
+};
+
+/// Splits SQL text into tokens. Keywords stay kIdentifier (lowered); the
+/// parser decides contextually, so e.g. a column named `timestamp` works.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace aapac::sql
+
+#endif  // AAPAC_SQL_LEXER_H_

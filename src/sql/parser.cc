@@ -1,0 +1,617 @@
+#include "sql/parser.h"
+
+#include <array>
+#include <cstdlib>
+#include <string_view>
+
+#include "sql/lexer.h"
+
+namespace aapac::sql {
+
+namespace {
+
+/// Keywords that can never serve as an implicit alias or bare identifier in
+/// a position where an alias is optional.
+bool IsReservedWord(std::string_view w) {
+  static constexpr std::array<std::string_view, 29> kReserved = {
+      "select", "distinct", "from",  "where",   "group", "by",
+      "having", "order",    "limit", "join",    "inner", "on",
+      "and",    "or",       "not",   "like",    "in",    "is",
+      "null",   "between",  "as",    "asc",     "desc",  "union",
+      "case",   "when",     "then",  "else",    "end",
+  };
+  for (auto r : kReserved) {
+    if (r == w) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseStatement() {
+    AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelectBody());
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEndOfInput) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    AAPAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Cur().type != TokenType::kEndOfInput) {
+      return Err("unexpected trailing input after expression");
+    }
+    return e;
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsertStatement() {
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("insert"));
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("into"));
+    auto stmt = std::make_unique<InsertStmt>();
+    AAPAC_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    if (AcceptSymbol("(")) {
+      do {
+        AAPAC_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt->columns.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+      AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    if (AcceptKeyword("values")) {
+      do {
+        AAPAC_RETURN_NOT_OK(ExpectSymbol("("));
+        std::vector<ExprPtr> row;
+        do {
+          AAPAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+        } while (AcceptSymbol(","));
+        AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+        stmt->rows.push_back(std::move(row));
+      } while (AcceptSymbol(","));
+    } else if (Cur().IsKeyword("select")) {
+      AAPAC_ASSIGN_OR_RETURN(stmt->select, ParseSelectBody());
+    } else {
+      return Err("expected VALUES or SELECT in INSERT");
+    }
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEndOfInput) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdateStatement() {
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("update"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    AAPAC_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("set"));
+    do {
+      Assignment assignment;
+      AAPAC_ASSIGN_OR_RETURN(assignment.column, ExpectIdentifier());
+      AAPAC_RETURN_NOT_OK(ExpectSymbol("="));
+      AAPAC_ASSIGN_OR_RETURN(assignment.value, ParseExpr());
+      stmt->assignments.push_back(std::move(assignment));
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("where")) {
+      AAPAC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEndOfInput) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDeleteStatement() {
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("delete"));
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("from"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    AAPAC_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    if (AcceptKeyword("where")) {
+      AAPAC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEndOfInput) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  bool StartsWith(const char* kw) const { return Cur().IsKeyword(kw); }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError(what + " near offset " +
+                              std::to_string(Cur().offset) + " (token '" +
+                              Cur().text + "')");
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Cur().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const char* s) {
+    if (Cur().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) return Err(std::string("expected '") + kw + "'");
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) return Err(std::string("expected '") + s + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Cur().type != TokenType::kIdentifier) return Err("expected identifier");
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  // select_stmt := SELECT [DISTINCT] items FROM refs [WHERE] [GROUP BY]
+  //                [HAVING] [ORDER BY] [LIMIT]
+  Result<std::unique_ptr<SelectStmt>> ParseSelectBody() {
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStmt>();
+    stmt->distinct = AcceptKeyword("distinct");
+
+    do {
+      AAPAC_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("from"));
+    do {
+      AAPAC_ASSIGN_OR_RETURN(TableRefPtr ref, ParseJoinChain());
+      stmt->from.push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+
+    if (AcceptKeyword("where")) {
+      AAPAC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      AAPAC_RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        AAPAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("having")) {
+      AAPAC_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (AcceptKeyword("order")) {
+      AAPAC_RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        OrderByItem item;
+        AAPAC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("desc")) {
+          item.descending = true;
+        } else {
+          AcceptKeyword("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("limit")) {
+      if (Cur().type != TokenType::kInteger) return Err("expected LIMIT count");
+      stmt->limit = std::strtoll(Cur().text.c_str(), nullptr, 10);
+      Advance();
+    }
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Cur().IsSymbol("*")) {
+      Advance();
+      item.expr = std::make_unique<StarExpr>();
+      return item;
+    }
+    // t.* form.
+    if (Cur().type == TokenType::kIdentifier && Peek().IsSymbol(".") &&
+        Peek(2).IsSymbol("*")) {
+      std::string qualifier = Cur().text;
+      Advance();  // ident
+      Advance();  // .
+      Advance();  // *
+      item.expr = std::make_unique<StarExpr>(std::move(qualifier));
+      return item;
+    }
+    AAPAC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (AcceptKeyword("as")) {
+      AAPAC_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+    } else if (Cur().type == TokenType::kIdentifier &&
+               !IsReservedWord(Cur().text)) {
+      item.alias = Cur().text;
+      Advance();
+    }
+    return item;
+  }
+
+  // join_chain := primary_ref ( [INNER] JOIN primary_ref ON expr )*
+  Result<TableRefPtr> ParseJoinChain() {
+    AAPAC_ASSIGN_OR_RETURN(TableRefPtr left, ParsePrimaryTableRef());
+    for (;;) {
+      const bool saw_inner = Cur().IsKeyword("inner");
+      if (saw_inner && !Peek().IsKeyword("join")) {
+        return Err("expected JOIN after INNER");
+      }
+      if (!saw_inner && !Cur().IsKeyword("join")) break;
+      if (saw_inner) Advance();  // inner
+      Advance();                 // join
+      AAPAC_ASSIGN_OR_RETURN(TableRefPtr right, ParsePrimaryTableRef());
+      AAPAC_RETURN_NOT_OK(ExpectKeyword("on"));
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+      left = std::make_unique<JoinRef>(std::move(left), std::move(right),
+                                       std::move(on));
+    }
+    return left;
+  }
+
+  Result<TableRefPtr> ParsePrimaryTableRef() {
+    if (AcceptSymbol("(")) {
+      if (!Cur().IsKeyword("select")) {
+        return Err("expected sub-select in derived table");
+      }
+      AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub,
+                             ParseSelectBody());
+      AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+      AcceptKeyword("as");
+      AAPAC_ASSIGN_OR_RETURN(std::string alias, ExpectIdentifier());
+      return TableRefPtr(
+          std::make_unique<SubqueryTableRef>(std::move(sub), std::move(alias)));
+    }
+    AAPAC_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    std::string alias;
+    if (AcceptKeyword("as")) {
+      AAPAC_ASSIGN_OR_RETURN(alias, ExpectIdentifier());
+    } else if (Cur().type == TokenType::kIdentifier &&
+               !IsReservedWord(Cur().text)) {
+      alias = Cur().text;
+      Advance();
+    }
+    return TableRefPtr(
+        std::make_unique<BaseTableRef>(std::move(name), std::move(alias)));
+  }
+
+  // Precedence: OR < AND < NOT < predicate < additive < multiplicative <
+  // unary minus < primary.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    AAPAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("or")) {
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    AAPAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("and")) {
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(inner)));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    AAPAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // Comparison operators.
+    struct CmpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static constexpr CmpMap kCmp[] = {
+        {"=", BinaryOp::kEq}, {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe},
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt},
+    };
+    for (const auto& cm : kCmp) {
+      if (Cur().IsSymbol(cm.sym)) {
+        Advance();
+        AAPAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return ExprPtr(std::make_unique<BinaryExpr>(cm.op, std::move(lhs),
+                                                    std::move(rhs)));
+      }
+    }
+    bool negated = false;
+    if (Cur().IsKeyword("not") &&
+        (Peek().IsKeyword("like") || Peek().IsKeyword("in") ||
+         Peek().IsKeyword("between"))) {
+      negated = true;
+      Advance();
+    }
+    if (AcceptKeyword("like")) {
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return ExprPtr(std::make_unique<BinaryExpr>(
+          negated ? BinaryOp::kNotLike : BinaryOp::kLike, std::move(lhs),
+          std::move(rhs)));
+    }
+    if (AcceptKeyword("in")) {
+      AAPAC_RETURN_NOT_OK(ExpectSymbol("("));
+      if (Cur().IsKeyword("select")) {
+        AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub,
+                               ParseSelectBody());
+        AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+        return ExprPtr(
+            std::make_unique<InExpr>(std::move(lhs), std::move(sub), negated));
+      }
+      std::vector<ExprPtr> list;
+      do {
+        AAPAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        list.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+      AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+      return ExprPtr(
+          std::make_unique<InExpr>(std::move(lhs), std::move(list), negated));
+    }
+    if (AcceptKeyword("between")) {
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      AAPAC_RETURN_NOT_OK(ExpectKeyword("and"));
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      return ExprPtr(std::make_unique<BetweenExpr>(
+          std::move(lhs), std::move(lo), std::move(hi), negated));
+    }
+    if (AcceptKeyword("is")) {
+      const bool is_not = AcceptKeyword("not");
+      AAPAC_RETURN_NOT_OK(ExpectKeyword("null"));
+      return ExprPtr(std::make_unique<IsNullExpr>(std::move(lhs), is_not));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    AAPAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      BinaryOp op;
+      if (Cur().IsSymbol("+")) {
+        op = BinaryOp::kAdd;
+      } else if (Cur().IsSymbol("-")) {
+        op = BinaryOp::kSub;
+      } else if (Cur().IsSymbol("||")) {
+        op = BinaryOp::kConcat;
+      } else {
+        break;
+      }
+      Advance();
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    AAPAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinaryOp op;
+      if (Cur().IsSymbol("*")) {
+        op = BinaryOp::kMul;
+      } else if (Cur().IsSymbol("/")) {
+        op = BinaryOp::kDiv;
+      } else if (Cur().IsSymbol("%")) {
+        op = BinaryOp::kMod;
+      } else {
+        break;
+      }
+      Advance();
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      AAPAC_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(inner)));
+    }
+    if (AcceptSymbol("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Cur();
+    switch (tok.type) {
+      case TokenType::kInteger: {
+        int64_t v = std::strtoll(tok.text.c_str(), nullptr, 10);
+        Advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(LiteralValue(v)));
+      }
+      case TokenType::kFloat: {
+        double v = std::strtod(tok.text.c_str(), nullptr);
+        Advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(LiteralValue(v)));
+      }
+      case TokenType::kString: {
+        std::string v = tok.text;
+        Advance();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(LiteralValue(std::move(v))));
+      }
+      case TokenType::kBitLiteral: {
+        BitLiteral lit{tok.text};
+        Advance();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(LiteralValue(std::move(lit))));
+      }
+      case TokenType::kIdentifier:
+        return ParseIdentifierLed();
+      case TokenType::kSymbol:
+        if (tok.text == "(") {
+          Advance();
+          if (Cur().IsKeyword("select")) {
+            AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub,
+                                   ParseSelectBody());
+            AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+            return ExprPtr(
+                std::make_unique<ScalarSubqueryExpr>(std::move(sub)));
+          }
+          AAPAC_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        return Err("unexpected symbol in expression");
+      default:
+        return Err("unexpected end of input in expression");
+    }
+  }
+
+  // CASE [operand] WHEN c THEN r ... [ELSE e] END
+  Result<ExprPtr> ParseCase() {
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("case"));
+    ExprPtr operand;
+    if (!Cur().IsKeyword("when")) {
+      AAPAC_ASSIGN_OR_RETURN(operand, ParseExpr());
+    }
+    std::vector<CaseExpr::WhenClause> whens;
+    while (AcceptKeyword("when")) {
+      CaseExpr::WhenClause clause;
+      AAPAC_ASSIGN_OR_RETURN(clause.condition, ParseExpr());
+      AAPAC_RETURN_NOT_OK(ExpectKeyword("then"));
+      AAPAC_ASSIGN_OR_RETURN(clause.result, ParseExpr());
+      whens.push_back(std::move(clause));
+    }
+    if (whens.empty()) return Err("CASE requires at least one WHEN");
+    ExprPtr else_result;
+    if (AcceptKeyword("else")) {
+      AAPAC_ASSIGN_OR_RETURN(else_result, ParseExpr());
+    }
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("end"));
+    return ExprPtr(std::make_unique<CaseExpr>(
+        std::move(operand), std::move(whens), std::move(else_result)));
+  }
+
+  // identifier-led: literal keywords (null/true/false), CASE, function
+  // call, qualified or bare column reference.
+  Result<ExprPtr> ParseIdentifierLed() {
+    const std::string name = Cur().text;
+    if (name == "case") return ParseCase();
+    if (name == "null") {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(LiteralValue()));
+    }
+    if (name == "true" || name == "false") {
+      Advance();
+      return ExprPtr(
+          std::make_unique<LiteralExpr>(LiteralValue(name == "true")));
+    }
+    if (IsReservedWord(name)) return Err("unexpected keyword in expression");
+    Advance();
+    // Function call.
+    if (Cur().IsSymbol("(")) {
+      Advance();
+      bool distinct = false;
+      std::vector<ExprPtr> args;
+      if (Cur().IsSymbol("*")) {
+        Advance();
+        args.push_back(std::make_unique<StarExpr>());
+      } else if (!Cur().IsSymbol(")")) {
+        distinct = AcceptKeyword("distinct");
+        do {
+          AAPAC_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+        } while (AcceptSymbol(","));
+      }
+      AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+      return ExprPtr(
+          std::make_unique<FuncCallExpr>(name, std::move(args), distinct));
+    }
+    // Qualified column: t.col
+    if (Cur().IsSymbol(".") && Peek().type == TokenType::kIdentifier) {
+      Advance();  // .
+      std::string col = Cur().text;
+      Advance();
+      return ExprPtr(std::make_unique<ColumnRefExpr>(name, std::move(col)));
+    }
+    return ExprPtr(std::make_unique<ColumnRefExpr>("", name));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+Result<std::unique_ptr<InsertStmt>> ParseInsert(const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseInsertStatement();
+}
+
+Result<std::unique_ptr<UpdateStmt>> ParseUpdate(const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseUpdateStatement();
+}
+
+Result<std::unique_ptr<DeleteStmt>> ParseDelete(const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseDeleteStatement();
+}
+
+Result<Statement> ParseStatement(const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Statement out;
+  Parser parser(std::move(tokens));
+  if (parser.StartsWith("insert")) {
+    AAPAC_ASSIGN_OR_RETURN(out.insert, parser.ParseInsertStatement());
+  } else if (parser.StartsWith("update")) {
+    AAPAC_ASSIGN_OR_RETURN(out.update, parser.ParseUpdateStatement());
+  } else if (parser.StartsWith("delete")) {
+    AAPAC_ASSIGN_OR_RETURN(out.del, parser.ParseDeleteStatement());
+  } else {
+    AAPAC_ASSIGN_OR_RETURN(out.select, parser.ParseStatement());
+  }
+  return out;
+}
+
+}  // namespace aapac::sql

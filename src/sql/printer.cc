@@ -1,0 +1,308 @@
+#include "sql/printer.h"
+
+#include <sstream>
+
+namespace aapac::sql {
+
+namespace {
+
+const char* BinaryOpToSql(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kLike:
+      return "like";
+    case BinaryOp::kNotLike:
+      return "not like";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string ToSql(const LiteralValue& value) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "null"; }
+    std::string operator()(int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const {
+      std::ostringstream os;
+      os << v;
+      std::string s = os.str();
+      // Guarantee the literal re-lexes as a float.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    std::string operator()(const std::string& v) const {
+      return EscapeString(v);
+    }
+    std::string operator()(bool v) const { return v ? "true" : "false"; }
+    std::string operator()(const BitLiteral& v) const {
+      return "b'" + v.bits + "'";
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+std::string ToSql(const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kColumnRef: {
+      const auto& e = static_cast<const ColumnRefExpr&>(expr);
+      return e.qualifier.empty() ? e.name : e.qualifier + "." + e.name;
+    }
+    case Expr::Kind::kLiteral:
+      return ToSql(static_cast<const LiteralExpr&>(expr).value);
+    case Expr::Kind::kStar: {
+      const auto& e = static_cast<const StarExpr&>(expr);
+      return e.qualifier.empty() ? "*" : e.qualifier + ".*";
+    }
+    case Expr::Kind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      std::string out = "(";
+      out += ToSql(*e.lhs);
+      out += " ";
+      out += BinaryOpToSql(e.op);
+      out += " ";
+      out += ToSql(*e.rhs);
+      out += ")";
+      return out;
+    }
+    case Expr::Kind::kUnary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      const char* op = e.op == UnaryOp::kNot ? "not " : "-";
+      return std::string("(") + op + ToSql(*e.operand) + ")";
+    }
+    case Expr::Kind::kFuncCall: {
+      const auto& e = static_cast<const FuncCallExpr&>(expr);
+      std::string out = e.name + "(";
+      if (e.distinct) out += "distinct ";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToSql(*e.args[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case Expr::Kind::kIn: {
+      const auto& e = static_cast<const InExpr&>(expr);
+      std::string out = "(";
+      out += ToSql(*e.operand);
+      out += e.negated ? " not in (" : " in (";
+      if (e.subquery != nullptr) {
+        out += ToSql(*e.subquery);
+      } else {
+        for (size_t i = 0; i < e.list.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += ToSql(*e.list[i]);
+        }
+      }
+      out += "))";
+      return out;
+    }
+    case Expr::Kind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      std::string out = "(";
+      out += ToSql(*e.operand);
+      out += e.negated ? " is not null)" : " is null)";
+      return out;
+    }
+    case Expr::Kind::kBetween: {
+      const auto& e = static_cast<const BetweenExpr&>(expr);
+      std::string out = "(";
+      out += ToSql(*e.operand);
+      out += e.negated ? " not between " : " between ";
+      out += ToSql(*e.lo);
+      out += " and ";
+      out += ToSql(*e.hi);
+      out += ")";
+      return out;
+    }
+    case Expr::Kind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      std::string out = "case";
+      if (e.operand != nullptr) {
+        out += " ";
+        out += ToSql(*e.operand);
+      }
+      for (const auto& w : e.whens) {
+        out += " when ";
+        out += ToSql(*w.condition);
+        out += " then ";
+        out += ToSql(*w.result);
+      }
+      if (e.else_result != nullptr) {
+        out += " else ";
+        out += ToSql(*e.else_result);
+      }
+      out += " end";
+      return out;
+    }
+    case Expr::Kind::kScalarSubquery: {
+      const auto& e = static_cast<const ScalarSubqueryExpr&>(expr);
+      std::string out = "(";
+      out += ToSql(*e.subquery);
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string ToSql(const TableRef& ref) {
+  switch (ref.kind()) {
+    case TableRef::Kind::kBaseTable: {
+      const auto& r = static_cast<const BaseTableRef&>(ref);
+      return r.alias.empty() ? r.table_name : r.table_name + " " + r.alias;
+    }
+    case TableRef::Kind::kSubquery: {
+      const auto& r = static_cast<const SubqueryTableRef&>(ref);
+      std::string out = "(";
+      out += ToSql(*r.subquery);
+      out += ") ";
+      out += r.alias;
+      return out;
+    }
+    case TableRef::Kind::kJoin: {
+      const auto& r = static_cast<const JoinRef&>(ref);
+      std::string out = ToSql(*r.left);
+      out += " join ";
+      out += ToSql(*r.right);
+      out += " on ";
+      out += ToSql(*r.on);
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string ToSql(const InsertStmt& stmt) {
+  std::string out = "insert into ";
+  out += stmt.table;
+  if (!stmt.columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.columns[i];
+    }
+    out += ")";
+  }
+  if (stmt.select != nullptr) {
+    out += " ";
+    out += ToSql(*stmt.select);
+    return out;
+  }
+  out += " values ";
+  for (size_t r = 0; r < stmt.rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += "(";
+    for (size_t i = 0; i < stmt.rows[r].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToSql(*stmt.rows[r][i]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string ToSql(const UpdateStmt& stmt) {
+  std::string out = "update ";
+  out += stmt.table;
+  out += " set ";
+  for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += stmt.assignments[i].column;
+    out += " = ";
+    out += ToSql(*stmt.assignments[i].value);
+  }
+  if (stmt.where != nullptr) {
+    out += " where ";
+    out += ToSql(*stmt.where);
+  }
+  return out;
+}
+
+std::string ToSql(const DeleteStmt& stmt) {
+  std::string out = "delete from ";
+  out += stmt.table;
+  if (stmt.where != nullptr) {
+    out += " where ";
+    out += ToSql(*stmt.where);
+  }
+  return out;
+}
+
+std::string ToSql(const SelectStmt& stmt) {
+  std::string out = "select ";
+  if (stmt.distinct) out += "distinct ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToSql(*stmt.items[i].expr);
+    if (!stmt.items[i].alias.empty()) out += " as " + stmt.items[i].alias;
+  }
+  out += " from ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToSql(*stmt.from[i]);
+  }
+  if (stmt.where != nullptr) out += " where " + ToSql(*stmt.where);
+  if (!stmt.group_by.empty()) {
+    out += " group by ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToSql(*stmt.group_by[i]);
+    }
+  }
+  if (stmt.having != nullptr) out += " having " + ToSql(*stmt.having);
+  if (!stmt.order_by.empty()) {
+    out += " order by ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToSql(*stmt.order_by[i].expr);
+      if (stmt.order_by[i].descending) out += " desc";
+    }
+  }
+  if (stmt.limit.has_value()) out += " limit " + std::to_string(*stmt.limit);
+  return out;
+}
+
+}  // namespace aapac::sql

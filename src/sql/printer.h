@@ -1,0 +1,34 @@
+#ifndef AAPAC_SQL_PRINTER_H_
+#define AAPAC_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace aapac::sql {
+
+/// Renders an expression back to SQL text. Output parses back to an
+/// equivalent AST (round-trip stable after one normalization pass).
+std::string ToSql(const Expr& expr);
+
+/// Renders a table reference.
+std::string ToSql(const TableRef& ref);
+
+/// Renders a whole SELECT statement — the paper's `toSqlCode` (Listing 2).
+std::string ToSql(const SelectStmt& stmt);
+
+/// Renders an INSERT statement.
+std::string ToSql(const InsertStmt& stmt);
+
+/// Renders an UPDATE statement.
+std::string ToSql(const UpdateStmt& stmt);
+
+/// Renders a DELETE statement.
+std::string ToSql(const DeleteStmt& stmt);
+
+/// Renders a literal (quoted/escaped as needed).
+std::string ToSql(const LiteralValue& value);
+
+}  // namespace aapac::sql
+
+#endif  // AAPAC_SQL_PRINTER_H_

@@ -1,0 +1,356 @@
+#include "tools/shell.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/policy_parser.h"
+#include "engine/snapshot.h"
+#include "sql/parser.h"
+#include "util/bitstring.h"
+#include "util/strings.h"
+#include "workload/policies.h"
+
+namespace aapac::tools {
+
+namespace {
+
+constexpr char kHelp[] =
+    "meta commands:\n"
+    "  \\help                      this summary\n"
+    "  \\purpose <id|description>  set the session access purpose\n"
+    "  \\user <name>               set the session user (blank clears)\n"
+    "  \\tables                    list tables\n"
+    "  \\schema <table>            describe a table with data categories\n"
+    "  \\purposes                  list the purpose set\n"
+    "  \\rewrite <sql>             show the rewritten form of a query\n"
+    "  \\explain <sql>             signature, masks, bound, rewritten SQL\n"
+    "  \\unrestricted <sql>        run without enforcement\n"
+    "  \\checks                    compliance checks so far\n"
+    "  \\selectivity <table>       realized policy selectivity of a table\n"
+    "  \\attach <table> [where <col> = <lit>] : <policy text>\n"
+    "                             attach a policy (allow <purposes> "
+    "indirect|direct single|multiple aggregate|raw on <cols> [joint(...)])\n"
+    "  \\showpolicy <table> <row>  decode one tuple's policy mask\n"
+    "  \\coverage <table> <row>    per-purpose coverage of a tuple's policy\n"
+    "  \\save <path>               write a binary snapshot of the database\n"
+    "  \\plan <sql>                show the engine's execution plan\n"
+    "  \\audit [on|<n>]            enable the audit log / show last n rows\n"
+    "anything else is SQL, executed under the session purpose/user.";
+
+/// Splits "\cmd rest of line" into (cmd, rest).
+std::pair<std::string, std::string> SplitCommand(const std::string& line) {
+  const size_t space = line.find(' ');
+  if (space == std::string::npos) return {line.substr(1), ""};
+  return {line.substr(1, space - 1),
+          std::string(Trim(line.substr(space + 1)))};
+}
+
+}  // namespace
+
+ShellSession::ShellSession(engine::Database* db,
+                           core::AccessControlCatalog* catalog,
+                           core::EnforcementMonitor* monitor)
+    : db_(db), catalog_(catalog), monitor_(monitor), manager_(catalog) {}
+
+std::string ShellSession::FormatResult(const engine::ResultSet& rs) {
+  // Column widths from headers and values, capped for sanity.
+  constexpr size_t kMaxWidth = 32;
+  std::vector<size_t> widths;
+  widths.reserve(rs.column_names.size());
+  for (const auto& name : rs.column_names) widths.push_back(name.size());
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string text = row[i].ToString();
+      if (text.size() > kMaxWidth) text = text.substr(0, kMaxWidth - 1) + "…";
+      if (i < widths.size()) widths[i] = std::max(widths[i], text.size());
+      line.push_back(std::move(text));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < rs.column_names.size(); ++i) {
+    out << (i > 0 ? " | " : "") << rs.column_names[i]
+        << std::string(widths[i] - rs.column_names[i].size(), ' ');
+  }
+  out << "\n";
+  for (size_t i = 0; i < rs.column_names.size(); ++i) {
+    out << (i > 0 ? "-+-" : "") << std::string(widths[i], '-');
+  }
+  out << "\n";
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      const size_t width = i < widths.size() ? widths[i] : line[i].size();
+      out << (i > 0 ? " | " : "") << line[i]
+          << std::string(width > line[i].size() ? width - line[i].size() : 0,
+                         ' ');
+    }
+    out << "\n";
+  }
+  out << "(" << rs.rows.size() << " row" << (rs.rows.size() == 1 ? "" : "s")
+      << ")";
+  return out.str();
+}
+
+std::string ShellSession::DescribeTable(const std::string& table) const {
+  const engine::Table* t = db_->FindTable(table);
+  if (t == nullptr) return "error: table '" + table + "' does not exist";
+  std::ostringstream out;
+  out << t->name() << " (" << t->num_rows() << " rows"
+      << (catalog_->IsProtected(t->name()) ? ", protected" : "") << ")\n";
+  for (const auto& col : t->schema().columns()) {
+    out << "  " << col.name << " " << engine::ValueTypeToString(col.type);
+    if (col.name != core::AccessControlCatalog::kPolicyColumn) {
+      out << "  [" << core::DataCategoryToString(
+                          catalog_->CategoryOf(t->name(), col.name))
+          << "]";
+    }
+    out << "\n";
+  }
+  std::string s = out.str();
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+std::string ShellSession::RunMetaCommand(const std::string& line) {
+  const auto [cmd, arg] = SplitCommand(line);
+  if (cmd == "help") return kHelp;
+  if (cmd == "purpose") {
+    if (arg.empty()) return "usage: \\purpose <id|description>";
+    auto resolved = catalog_->purposes().Resolve(arg);
+    if (!resolved.ok()) return "error: " + resolved.status().ToString();
+    purpose_ = *resolved;
+    return "purpose set to " + purpose_;
+  }
+  if (cmd == "user") {
+    user_ = arg;
+    return arg.empty() ? "user cleared" : "user set to " + user_;
+  }
+  if (cmd == "tables") {
+    std::string out;
+    for (const auto& name : db_->TableNames()) {
+      if (!out.empty()) out += "\n";
+      out += name;
+      if (catalog_->IsProtected(name)) out += " (protected)";
+    }
+    return out.empty() ? "(no tables)" : out;
+  }
+  if (cmd == "schema") {
+    if (arg.empty()) return "usage: \\schema <table>";
+    return DescribeTable(arg);
+  }
+  if (cmd == "purposes") {
+    std::string out;
+    for (const auto& p : catalog_->purposes().ordered()) {
+      if (!out.empty()) out += "\n";
+      out += p.id + "  " + p.description;
+    }
+    return out.empty() ? "(no purposes defined)" : out;
+  }
+  if (cmd == "rewrite") {
+    if (purpose_.empty()) return "error: set a purpose first (\\purpose)";
+    if (arg.empty()) return "usage: \\rewrite <sql>";
+    auto rewritten = monitor_->Rewrite(arg, purpose_);
+    return rewritten.ok() ? *rewritten
+                          : "error: " + rewritten.status().ToString();
+  }
+  if (cmd == "explain") {
+    if (purpose_.empty()) return "error: set a purpose first (\\purpose)";
+    if (arg.empty()) return "usage: \\explain <sql>";
+    auto report = monitor_->ExplainQuery(arg, purpose_);
+    return report.ok() ? *report : "error: " + report.status().ToString();
+  }
+  if (cmd == "unrestricted") {
+    if (arg.empty()) return "usage: \\unrestricted <sql>";
+    auto rs = monitor_->ExecuteUnrestricted(arg);
+    return rs.ok() ? FormatResult(*rs) : "error: " + rs.status().ToString();
+  }
+  if (cmd == "checks") {
+    return std::to_string(monitor_->compliance_checks()) +
+           " compliance checks";
+  }
+  if (cmd == "attach") {
+    // \attach <table> [where <col> = <literal>] : <policy text>
+    const size_t colon = arg.find(':');
+    if (colon == std::string::npos) {
+      return "usage: \\attach <table> [where <col> = <literal>] : <rules>";
+    }
+    const std::string head(Trim(arg.substr(0, colon)));
+    const std::string spec(Trim(arg.substr(colon + 1)));
+    std::string table = head;
+    std::optional<std::pair<std::string, engine::Value>> selector;
+    const size_t where_pos = ToLower(head).find(" where ");
+    if (where_pos != std::string::npos) {
+      table = std::string(Trim(head.substr(0, where_pos)));
+      const std::string cond(Trim(head.substr(where_pos + 7)));
+      const size_t eq = cond.find('=');
+      if (eq == std::string::npos) {
+        return "error: selector must be <column> = <literal>";
+      }
+      const std::string column(Trim(cond.substr(0, eq)));
+      auto lit = sql::ParseExpression(std::string(Trim(cond.substr(eq + 1))));
+      if (!lit.ok() || (*lit)->kind() != sql::Expr::Kind::kLiteral) {
+        return "error: selector value must be a literal";
+      }
+      const auto& value =
+          static_cast<const sql::LiteralExpr&>(**lit).value;
+      engine::Value v;
+      if (const auto* i = std::get_if<int64_t>(&value)) {
+        v = engine::Value::Int(*i);
+      } else if (const auto* d = std::get_if<double>(&value)) {
+        v = engine::Value::Double(*d);
+      } else if (const auto* s = std::get_if<std::string>(&value)) {
+        v = engine::Value::String(*s);
+      } else if (const auto* b = std::get_if<bool>(&value)) {
+        v = engine::Value::Bool(*b);
+      } else {
+        return "error: unsupported selector literal";
+      }
+      selector = std::make_pair(column, std::move(v));
+    }
+    auto policy = core::ParsePolicyText(*catalog_, table, spec);
+    if (!policy.ok()) return "error: " + policy.status().ToString();
+    const Status st =
+        selector.has_value()
+            ? manager_.AttachWhere(*policy, selector->first, selector->second)
+            : manager_.AttachToTable(*policy);
+    if (!st.ok()) return "error: " + st.ToString();
+    return "policy attached to " + table + ":\n" +
+           core::PolicyToText(*policy);
+  }
+  if (cmd == "showpolicy" || cmd == "coverage") {
+    // \showpolicy|\coverage <table> <row index>
+    const size_t space = arg.find(' ');
+    if (space == std::string::npos) {
+      return "usage: \\" + cmd + " <table> <row index>";
+    }
+    const std::string table(Trim(arg.substr(0, space)));
+    const size_t row = static_cast<size_t>(
+        std::strtoull(arg.c_str() + space + 1, nullptr, 10));
+    const engine::Table* t = db_->FindTable(table);
+    if (t == nullptr) return "error: table '" + table + "' does not exist";
+    auto col = t->schema().FindColumn(core::AccessControlCatalog::kPolicyColumn);
+    if (!col.has_value()) return "error: table is not protected";
+    if (row >= t->num_rows()) return "error: row index out of range";
+    const engine::Value& policy_value = t->row(row)[*col];
+    if (policy_value.is_null()) return "(no policy: tuple denies everything)";
+    auto layout = catalog_->LayoutFor(table);
+    if (!layout.ok()) return "error: " + layout.status().ToString();
+    auto mask = BitString::FromBytes(policy_value.AsBytes());
+    if (!mask.ok()) return "error: " + mask.status().ToString();
+    auto rule_masks = layout->SplitPolicyMask(*mask);
+    if (!rule_masks.ok()) return "error: " + rule_masks.status().ToString();
+    core::Policy decoded;
+    decoded.table = table;
+    for (const BitString& rm : *rule_masks) {
+      auto rule = layout->DecodeRule(rm);
+      if (!rule.ok()) return "error: " + rule.status().ToString();
+      decoded.rules.push_back(std::move(*rule));
+    }
+    if (cmd == "coverage") {
+      return core::CoverageToText(core::FlattenPolicy(decoded));
+    }
+    return core::PolicyToText(decoded);
+  }
+  if (cmd == "audit") {
+    if (arg == "on") {
+      const Status st = monitor_->EnableAuditLog();
+      return st.ok() ? "audit log enabled" : "error: " + st.ToString();
+    }
+    if (!monitor_->audit_enabled()) {
+      return "audit log is off (enable with \\audit on)";
+    }
+    auto rs = monitor_->ExecuteUnrestricted(
+        "select seq, ui, ap, outcome, checks, rows, qy from audit_log "
+        "order by seq desc limit " +
+        std::string(arg.empty() ? "10" : arg.c_str()));
+    return rs.ok() ? FormatResult(*rs) : "error: " + rs.status().ToString();
+  }
+  if (cmd == "plan") {
+    if (arg.empty()) return "usage: \\plan <sql>";
+    engine::Executor exec(db_);
+    auto plan = exec.ExplainPlanSql(arg);
+    if (!plan.ok()) return "error: " + plan.status().ToString();
+    std::string out = *plan;
+    if (!out.empty() && out.back() == '\n') out.pop_back();
+    return out;
+  }
+  if (cmd == "save") {
+    if (arg.empty()) return "usage: \\save <path>";
+    const Status st = engine::SaveSnapshot(*db_, arg);
+    return st.ok() ? "snapshot written to " + arg : "error: " + st.ToString();
+  }
+  if (cmd == "selectivity") {
+    if (arg.empty()) return "usage: \\selectivity <table>";
+    auto s = workload::MeasureScanSelectivity(catalog_, arg);
+    if (!s.ok()) return "error: " + s.status().ToString();
+    std::ostringstream out;
+    out << "realized selectivity of " << arg << ": " << *s;
+    return out.str();
+  }
+  return "error: unknown command '\\" + cmd + "' (try \\help)";
+}
+
+std::string ShellSession::RunSql(const std::string& sql) {
+  if (purpose_.empty()) {
+    return "error: set an access purpose first (\\purpose <id>)";
+  }
+  auto stmt = sql::ParseStatement(sql);
+  if (!stmt.ok()) return "error: " + stmt.status().ToString();
+  if (stmt->insert != nullptr) {
+    // Shell inserts carry no policy object; protected tables reject them
+    // with a pointed message from the monitor.
+    auto n = monitor_->ExecuteInsert(sql, purpose_, nullptr, user_);
+    if (!n.ok()) return "error: " + n.status().ToString();
+    return std::to_string(*n) + " row(s) inserted";
+  }
+  if (stmt->update != nullptr) {
+    auto n = monitor_->ExecuteUpdate(sql, purpose_, user_);
+    if (!n.ok()) return "error: " + n.status().ToString();
+    return std::to_string(*n) + " row(s) updated";
+  }
+  if (stmt->del != nullptr) {
+    auto n = monitor_->ExecuteDelete(sql, purpose_, user_);
+    if (!n.ok()) return "error: " + n.status().ToString();
+    return std::to_string(*n) + " row(s) deleted";
+  }
+  auto rs = monitor_->ExecuteQuery(sql, purpose_, user_);
+  if (!rs.ok()) return "error: " + rs.status().ToString();
+  return FormatResult(*rs);
+}
+
+std::string ShellSession::ProcessLine(const std::string& raw) {
+  const std::string line(Trim(raw));
+  if (line.empty()) return "";
+  if (line[0] == '\\') return RunMetaCommand(line);
+  return RunSql(line);
+}
+
+int RunShell(engine::Database* db, core::AccessControlCatalog* catalog,
+             core::EnforcementMonitor* monitor, std::istream& in,
+             std::ostream& out) {
+  ShellSession session(db, catalog, monitor);
+  out << "aapac shell — \\help for commands\n";
+  int lines = 0;
+  std::string line;
+  while (true) {
+    out << "aapac> " << std::flush;
+    if (!std::getline(in, line)) break;
+    ++lines;
+    const std::string reply = session.ProcessLine(line);
+    if (!reply.empty()) out << reply << "\n";
+  }
+  out << "\n";
+  return lines;
+}
+
+}  // namespace aapac::tools

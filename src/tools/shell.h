@@ -1,0 +1,76 @@
+#ifndef AAPAC_TOOLS_SHELL_H_
+#define AAPAC_TOOLS_SHELL_H_
+
+#include <string>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "core/policy_manager.h"
+#include "core/rbac.h"
+#include "engine/database.h"
+#include "util/result.h"
+
+namespace aapac::tools {
+
+/// A line-oriented administration/query session over one secured database —
+/// the interactive face of the enforcement framework (the paper's
+/// future-work "toolkit supporting the integration of the proposed
+/// framework"). Each input line is either a meta command (leading '\') or
+/// SQL executed through the enforcement monitor under the session's current
+/// purpose and user.
+///
+/// Meta commands:
+///   \help                       command summary
+///   \purpose <id|description>   set the session access purpose
+///   \user <name>                set the session user ("" clears)
+///   \tables                     list tables
+///   \schema <table>             describe a table with data categories
+///   \purposes                   list the purpose set Ps
+///   \rewrite <sql>              show the rewritten form of a query
+///   \explain <sql>              signature, masks, bound, rewritten SQL
+///   \unrestricted <sql>         run without enforcement (admin escape)
+///   \checks                     compliance checks since session start
+///   \selectivity <table>        realized policy selectivity of a table
+///   \attach <table> [where <col> = <literal>] : <policy text>
+///                               parse and attach a policy (see
+///                               core/policy_parser.h for the language)
+///   \showpolicy <table> <row>   decode one tuple's policy mask back to text
+///
+/// The class owns no database state; it drives the catalog/monitor it is
+/// given, which makes it directly unit-testable.
+class ShellSession {
+ public:
+  ShellSession(engine::Database* db, core::AccessControlCatalog* catalog,
+               core::EnforcementMonitor* monitor);
+
+  /// Processes one input line and returns the text to display. Errors are
+  /// reported in the returned text (the shell never aborts), except for
+  /// empty input which yields an empty string.
+  std::string ProcessLine(const std::string& line);
+
+  const std::string& purpose() const { return purpose_; }
+  const std::string& user() const { return user_; }
+
+ private:
+  std::string RunMetaCommand(const std::string& line);
+  std::string RunSql(const std::string& sql);
+  std::string DescribeTable(const std::string& table) const;
+  static std::string FormatResult(const engine::ResultSet& rs);
+
+  engine::Database* db_;
+  core::AccessControlCatalog* catalog_;
+  core::EnforcementMonitor* monitor_;
+  core::PolicyManager manager_;  // Backs the \attach command.
+  std::string purpose_;          // Empty until \purpose is issued.
+  std::string user_;
+};
+
+/// Runs the interactive loop on stdin/stdout until EOF. Returns the number
+/// of lines processed. Used by the aapac_shell binary.
+int RunShell(engine::Database* db, core::AccessControlCatalog* catalog,
+             core::EnforcementMonitor* monitor, std::istream& in,
+             std::ostream& out);
+
+}  // namespace aapac::tools
+
+#endif  // AAPAC_TOOLS_SHELL_H_

@@ -1,0 +1,126 @@
+#include "util/bitstring.h"
+
+#include <cstring>
+
+namespace aapac {
+
+namespace {
+// Bit i lives in byte i/8 at mask 0x80 >> (i%8): textual order.
+inline size_t ByteIndex(size_t i) { return i >> 3; }
+inline uint8_t BitMask(size_t i) { return static_cast<uint8_t>(0x80u >> (i & 7)); }
+}  // namespace
+
+Result<BitString> BitString::FromBinary(const std::string& text) {
+  BitString out(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '1') {
+      out.Set(i, true);
+    } else if (text[i] != '0') {
+      return Status::InvalidArgument("invalid character in binary literal: '" +
+                                     std::string(1, text[i]) + "'");
+    }
+  }
+  return out;
+}
+
+Result<BitString> BitString::FromBytes(const std::string& bytes) {
+  if (bytes.size() < 4) {
+    return Status::InvalidArgument("bit string payload too short");
+  }
+  uint32_t nbits = 0;
+  std::memcpy(&nbits, bytes.data(), 4);
+  const size_t payload = (static_cast<size_t>(nbits) + 7) / 8;
+  if (bytes.size() != 4 + payload) {
+    return Status::InvalidArgument("bit string payload size mismatch");
+  }
+  BitString out(nbits);
+  std::memcpy(out.bytes_.data(), bytes.data() + 4, payload);
+  // Defensive: clear any garbage in the trailing partial byte so that
+  // equality and AllZeros stay well-defined.
+  if (nbits % 8 != 0 && payload > 0) {
+    const uint8_t keep = static_cast<uint8_t>(0xFFu << (8 - nbits % 8));
+    out.bytes_[payload - 1] &= keep;
+  }
+  return out;
+}
+
+bool BitString::Get(size_t i) const {
+  return (bytes_[ByteIndex(i)] & BitMask(i)) != 0;
+}
+
+void BitString::Set(size_t i, bool value) {
+  if (value) {
+    bytes_[ByteIndex(i)] |= BitMask(i);
+  } else {
+    bytes_[ByteIndex(i)] &= static_cast<uint8_t>(~BitMask(i));
+  }
+}
+
+void BitString::PushBack(bool value) {
+  if (size_ % 8 == 0) bytes_.push_back(0);
+  ++size_;
+  Set(size_ - 1, value);
+}
+
+void BitString::Append(const BitString& other) {
+  for (size_t i = 0; i < other.size_; ++i) PushBack(other.Get(i));
+}
+
+Result<BitString> BitString::Substring(size_t pos, size_t len) const {
+  if (pos + len > size_) {
+    return Status::InvalidArgument("bit substring out of range");
+  }
+  BitString out(len);
+  for (size_t i = 0; i < len; ++i) out.Set(i, Get(pos + i));
+  return out;
+}
+
+bool BitString::IsSubsetOf(const BitString& other) const {
+  if (size_ != other.size_) return false;
+  for (size_t b = 0; b < bytes_.size(); ++b) {
+    if ((bytes_[b] & other.bytes_[b]) != bytes_[b]) return false;
+  }
+  return true;
+}
+
+Result<BitString> BitString::And(const BitString& other) const {
+  if (size_ != other.size_) {
+    return Status::InvalidArgument("bitwise AND of different lengths");
+  }
+  BitString out(size_);
+  for (size_t b = 0; b < bytes_.size(); ++b) {
+    out.bytes_[b] = bytes_[b] & other.bytes_[b];
+  }
+  return out;
+}
+
+size_t BitString::CountOnes() const {
+  size_t n = 0;
+  for (size_t i = 0; i < size_; ++i) n += Get(i) ? 1 : 0;
+  return n;
+}
+
+bool BitString::AllOnes() const { return CountOnes() == size_; }
+
+bool BitString::AllZeros() const { return CountOnes() == 0; }
+
+std::string BitString::ToBinary() const {
+  std::string out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(Get(i) ? '1' : '0');
+  return out;
+}
+
+std::string BitString::ToBytes() const {
+  std::string out(4 + bytes_.size(), '\0');
+  const uint32_t nbits = static_cast<uint32_t>(size_);
+  std::memcpy(out.data(), &nbits, 4);
+  std::memcpy(out.data() + 4, bytes_.data(), bytes_.size());
+  return out;
+}
+
+bool BitString::operator==(const BitString& other) const {
+  return size_ == other.size_ && bytes_ == other.bytes_;
+}
+
+}  // namespace aapac

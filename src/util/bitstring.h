@@ -1,0 +1,89 @@
+#ifndef AAPAC_UTIL_BITSTRING_H_
+#define AAPAC_UTIL_BITSTRING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace aapac {
+
+/// Variable-length bit string, the C++ analogue of SQL's BIT VARYING that the
+/// paper uses for policy masks and action-signature masks (§5.3). Bits are
+/// addressed left-to-right: bit 0 is the most significant bit of byte 0,
+/// matching the textual form (e.g. BitString::FromBinary("10110100")).
+///
+/// Storage is byte-packed; the policy column of every protected table stores
+/// the serialized bytes of one of these.
+class BitString {
+ public:
+  /// Empty bit string (length 0).
+  BitString() = default;
+
+  /// `length` zero bits.
+  explicit BitString(size_t length) : size_(length), bytes_((length + 7) / 8) {}
+
+  /// Parses a textual binary literal such as "0110010010".
+  /// Fails on any character other than '0'/'1'.
+  static Result<BitString> FromBinary(const std::string& text);
+
+  /// Reconstructs from the serialized form produced by ToBytes().
+  static Result<BitString> FromBytes(const std::string& bytes);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(size_t i) const;
+  void Set(size_t i, bool value);
+
+  /// Appends a single bit.
+  void PushBack(bool value);
+
+  /// Appends all bits of `other` (mask concatenation, Def. 12/13).
+  void Append(const BitString& other);
+
+  /// Extracts bits [pos, pos+len), the paper's `substring`/`split` primitive
+  /// used to slice rule masks out of a policy mask (Def. 16).
+  Result<BitString> Substring(size_t pos, size_t len) const;
+
+  /// True iff every bit set in `*this` is also set in `other`
+  /// (i.e. `*this & other == *this`) — the core of Def. 15. Requires equal
+  /// lengths.
+  bool IsSubsetOf(const BitString& other) const;
+
+  /// Bitwise AND; both operands must have the same length.
+  Result<BitString> And(const BitString& other) const;
+
+  /// Number of set bits.
+  size_t CountOnes() const;
+
+  /// True iff all bits are 1 (pass-all rule detection) / all 0 (pass-none).
+  bool AllOnes() const;
+  bool AllZeros() const;
+
+  /// Textual binary form, e.g. "10110100".
+  std::string ToBinary() const;
+
+  /// Compact serialized form: 4-byte little-endian bit length followed by the
+  /// packed payload bytes. This is what lives in the `policy` column.
+  std::string ToBytes() const;
+
+  bool operator==(const BitString& other) const;
+  bool operator!=(const BitString& other) const { return !(*this == other); }
+
+ private:
+  size_t size_ = 0;               // Number of valid bits.
+  std::vector<uint8_t> bytes_;    // ceil(size_/8) bytes; tail bits are zero.
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BitString& b) {
+  return os << b.ToBinary();
+}
+
+}  // namespace aapac
+
+#endif  // AAPAC_UTIL_BITSTRING_H_

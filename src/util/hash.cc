@@ -1,0 +1,19 @@
+#include "util/hash.h"
+
+#include <array>
+
+namespace aapac {
+
+std::string ShortHexDigest(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const uint64_t h = Fnv1a64(data);
+  std::string out(8, '0');
+  uint32_t folded = static_cast<uint32_t>(h ^ (h >> 32));
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[folded & 0xF];
+    folded >>= 4;
+  }
+  return out;
+}
+
+}  // namespace aapac

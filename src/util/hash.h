@@ -1,0 +1,27 @@
+#ifndef AAPAC_UTIL_HASH_H_
+#define AAPAC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aapac {
+
+/// 64-bit FNV-1a. Used to derive stable (sub-)query identifiers from SQL
+/// text, as the paper does ("the identifier is derived as the hash of the
+/// query string", §5.2 fn. 12).
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : std::string_view(data)) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Short hex digest, e.g. "c94f2b5c"-style ids in the paper's Figure 3.
+std::string ShortHexDigest(std::string_view data);
+
+}  // namespace aapac
+
+#endif  // AAPAC_UTIL_HASH_H_

@@ -1,0 +1,82 @@
+#ifndef AAPAC_UTIL_RESULT_H_
+#define AAPAC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace aapac {
+
+/// Value-or-Status, in the spirit of arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<int> r = Parse(...);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success) or a Status (error) keeps
+  /// call sites terse: `return 42;` or `return Status::NotFound(...)`.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result constructed from OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// Returns the error (or OK if this holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(storage_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+/// Propagates an error Result; on success assigns the value to `lhs`.
+#define AAPAC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define AAPAC_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define AAPAC_ASSIGN_OR_RETURN_CONCAT(x, y) AAPAC_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define AAPAC_ASSIGN_OR_RETURN(lhs, expr) \
+  AAPAC_ASSIGN_OR_RETURN_IMPL(            \
+      AAPAC_ASSIGN_OR_RETURN_CONCAT(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace aapac
+
+#endif  // AAPAC_UTIL_RESULT_H_

@@ -1,0 +1,54 @@
+#ifndef AAPAC_UTIL_RNG_H_
+#define AAPAC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aapac {
+
+/// Deterministic splitmix64-based RNG. Workload generation (random queries
+/// r1-r20, scattered policies, synthetic patients data) must be reproducible
+/// across runs and platforms, so we avoid std::mt19937's unspecified
+/// distribution implementations and keep everything seeded.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextU64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  /// Picks an element index weighted uniformly from [0, n).
+  size_t NextIndex(size_t n) { return static_cast<size_t>(NextU64() % n); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[NextIndex(i)]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace aapac
+
+#endif  // AAPAC_UTIL_RNG_H_

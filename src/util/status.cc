@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace aapac {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace aapac

@@ -1,0 +1,96 @@
+#ifndef AAPAC_UTIL_STATUS_H_
+#define AAPAC_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace aapac {
+
+/// Error taxonomy for the whole library. Mirrors the coarse classes used by
+/// storage engines (RocksDB/Arrow style): callers branch on the code, humans
+/// read the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // Caller passed something malformed.
+  kNotFound,          // Named entity (table, column, purpose, ...) absent.
+  kAlreadyExists,     // Unique entity created twice.
+  kParseError,        // SQL text could not be parsed.
+  kBindError,         // Query references unknown names / wrong types.
+  kExecutionError,    // Runtime failure while evaluating a query.
+  kPermissionDenied,  // Access control rejected the request outright.
+  kUnsupported,       // Valid SQL outside the implemented subset.
+  kInternal,          // Invariant violation; indicates a library bug.
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The library does not throw
+/// exceptions; every fallible operation returns Status or Result<T>.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status from the current function.
+#define AAPAC_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::aapac::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace aapac
+
+#endif  // AAPAC_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef AAPAC_UTIL_STRINGS_H_
+#define AAPAC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aapac {
+
+/// ASCII-only lowering; SQL keywords and identifiers are case-insensitive.
+std::string ToLower(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character separator; does not trim and keeps empties.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Case-insensitive equality for identifiers/keywords.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// SQL LIKE with '%' (any run) and '_' (any single char) wildcards,
+/// case-sensitive, as in PostgreSQL.
+bool SqlLikeMatch(std::string_view value, std::string_view pattern);
+
+}  // namespace aapac
+
+#endif  // AAPAC_UTIL_STRINGS_H_

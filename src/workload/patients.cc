@@ -1,0 +1,153 @@
+#include "workload/patients.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aapac::workload {
+
+using core::AccessControlCatalog;
+using core::DataCategory;
+using engine::Column;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+using engine::ValueType;
+
+namespace {
+
+const char* const kIntolerances[] = {"no_intolerance", "lactose", "gluten",
+                                     "nuts", "shellfish"};
+const char* const kPreferences[] = {"omnivore", "vegetarian", "pescatarian",
+                                    "no_red_meat", "spicy"};
+const char* const kDietTypes[] = {"standard", "low_sugar", "low_sodium",
+                                  "vegan", "high_protein"};
+const char* const kPositions[] = {"room", "garden", "canteen", "gym",
+                                  "corridor"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* const (&values)[N]) {
+  return values[rng.NextIndex(N)];
+}
+
+}  // namespace
+
+Status BuildPatientsDatabase(engine::Database* db,
+                             const PatientsConfig& config) {
+  Rng rng(config.seed);
+
+  // --- users -----------------------------------------------------------------
+  {
+    Schema schema;
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"user_id", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"watch_id", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(
+        schema.AddColumn(Column{"nutritional_profile_id", ValueType::kString}));
+    AAPAC_ASSIGN_OR_RETURN(Table * users, db->CreateTable("users", schema));
+    users->Reserve(config.num_patients);
+    for (size_t i = 0; i < config.num_patients; ++i) {
+      users->InsertUnchecked({Value::String("user" + std::to_string(i)),
+                              Value::String("watch" + std::to_string(i)),
+                              Value::String("profile" + std::to_string(i))});
+    }
+  }
+
+  // --- nutritional_profiles ----------------------------------------------------
+  {
+    Schema schema;
+    AAPAC_RETURN_NOT_OK(
+        schema.AddColumn(Column{"profile_id", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(
+        schema.AddColumn(Column{"food_intolerances", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(
+        schema.AddColumn(Column{"food_preferences", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(
+        schema.AddColumn(Column{"diet_type", ValueType::kString}));
+    AAPAC_ASSIGN_OR_RETURN(Table * profiles,
+                           db->CreateTable("nutritional_profiles", schema));
+    profiles->Reserve(config.num_patients);
+    for (size_t i = 0; i < config.num_patients; ++i) {
+      profiles->InsertUnchecked({Value::String("profile" + std::to_string(i)),
+                                 Value::String(Pick(rng, kIntolerances)),
+                                 Value::String(Pick(rng, kPreferences)),
+                                 Value::String(Pick(rng, kDietTypes))});
+    }
+  }
+
+  // --- sensed_data ---------------------------------------------------------
+  {
+    Schema schema;
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"watch_id", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"timestamp", ValueType::kInt64}));
+    AAPAC_RETURN_NOT_OK(
+        schema.AddColumn(Column{"temperature", ValueType::kDouble}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"position", ValueType::kString}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn(Column{"beats", ValueType::kInt64}));
+    AAPAC_ASSIGN_OR_RETURN(Table * sensed, db->CreateTable("sensed_data", schema));
+    sensed->Reserve(config.num_patients * config.samples_per_patient);
+    for (size_t p = 0; p < config.num_patients; ++p) {
+      const std::string watch = "watch" + std::to_string(p);
+      for (size_t s = 0; s < config.samples_per_patient; ++s) {
+        // Temperature 35.5-40.5 (≈30% above 37), beats 55-155 (≈50% above
+        // 100) so the evaluation predicates have non-trivial selectivity.
+        const double temperature = 35.5 + rng.NextDouble() * 5.0;
+        const int64_t beats = rng.NextInt(55, 155);
+        sensed->InsertUnchecked({Value::String(watch),
+                                 Value::Int(static_cast<int64_t>(s) + 1),
+                                 Value::Double(temperature),
+                                 Value::String(Pick(rng, kPositions)),
+                                 Value::Int(beats)});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ConfigurePatientsAccessControl(AccessControlCatalog* catalog) {
+  // Purpose set Ps of the running example (§4.2).
+  struct PurposeDef {
+    const char* id;
+    const char* description;
+  };
+  static constexpr PurposeDef kPurposes[] = {
+      {"p1", "treatment"},        {"p2", "payment"},
+      {"p3", "healthcare-operations"}, {"p4", "law-enforcement"},
+      {"p5", "reporting"},        {"p6", "research"},
+      {"p7", "marketing"},        {"p8", "sale"},
+  };
+  for (const PurposeDef& p : kPurposes) {
+    AAPAC_RETURN_NOT_OK(catalog->DefinePurpose(p.id, p.description));
+  }
+
+  // Data categorization of Fig. 2.
+  struct CategoryDef {
+    const char* table;
+    const char* column;
+    DataCategory category;
+  };
+  static const CategoryDef kCategories[] = {
+      {"users", "user_id", DataCategory::kIdentifier},
+      {"users", "watch_id", DataCategory::kQuasiIdentifier},
+      {"users", "nutritional_profile_id", DataCategory::kQuasiIdentifier},
+      {"sensed_data", "watch_id", DataCategory::kQuasiIdentifier},
+      {"sensed_data", "timestamp", DataCategory::kGeneric},
+      {"sensed_data", "temperature", DataCategory::kSensitive},
+      {"sensed_data", "position", DataCategory::kSensitive},
+      {"sensed_data", "beats", DataCategory::kSensitive},
+      {"nutritional_profiles", "profile_id", DataCategory::kQuasiIdentifier},
+      {"nutritional_profiles", "food_intolerances", DataCategory::kSensitive},
+      {"nutritional_profiles", "food_preferences", DataCategory::kSensitive},
+      {"nutritional_profiles", "diet_type", DataCategory::kSensitive},
+  };
+  for (const CategoryDef& c : kCategories) {
+    AAPAC_RETURN_NOT_OK(catalog->Categorize(c.table, c.column, c.category));
+  }
+
+  for (const char* table : {"users", "sensed_data", "nutritional_profiles"}) {
+    AAPAC_RETURN_NOT_OK(catalog->ProtectTable(table));
+  }
+  return Status::OK();
+}
+
+}  // namespace aapac::workload

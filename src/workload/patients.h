@@ -1,0 +1,38 @@
+#ifndef AAPAC_WORKLOAD_PATIENTS_H_
+#define AAPAC_WORKLOAD_PATIENTS_H_
+
+#include <cstdint>
+
+#include "core/catalog.h"
+#include "engine/database.h"
+#include "util/result.h"
+
+namespace aapac::workload {
+
+/// Size parameters of the synthetic *patients* database (paper §3, §6).
+/// The paper's Experiment 1 uses 1,000 patients × 1,000 samples (10^6
+/// sensed_data rows); Experiment 2 sweeps sensed_data from 10^4 to 10^7.
+struct PatientsConfig {
+  size_t num_patients = 1000;
+  size_t samples_per_patient = 100;
+  uint64_t seed = 42;
+};
+
+/// Builds tables users(user_id, watch_id, nutritional_profile_id),
+/// sensed_data(watch_id, timestamp, temperature, position, beats) and
+/// nutritional_profiles(profile_id, food_intolerances, food_preferences,
+/// diet_type) and fills them with deterministic synthetic data whose value
+/// distributions exercise the evaluation queries' predicates
+/// (temperature > 37, beats > 100, diet_type = 'low_sugar',
+/// food_intolerances = 'no_intolerance', watch ids 'watchN', ...).
+Status BuildPatientsDatabase(engine::Database* db,
+                             const PatientsConfig& config);
+
+/// Framework configuration for the running example: defines purposes p1-p8
+/// (treatment ... sale), applies the Fig. 2 data categorization, and
+/// protects the three tables (adds their `policy` columns).
+Status ConfigurePatientsAccessControl(core::AccessControlCatalog* catalog);
+
+}  // namespace aapac::workload
+
+#endif  // AAPAC_WORKLOAD_PATIENTS_H_

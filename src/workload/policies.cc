@@ -1,0 +1,144 @@
+#include "workload/policies.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/compliance.h"
+#include "core/masks.h"
+#include "util/rng.h"
+
+namespace aapac::workload {
+
+using core::AccessControlCatalog;
+using core::MaskLayout;
+using engine::Table;
+using engine::Value;
+
+namespace {
+
+/// Builds one scattered policy mask: `rules` rule masks, all pass-none,
+/// with a pass-all rule at `pass_all_position` when compliant.
+std::string BuildScatteredMask(const MaskLayout& layout, int rules,
+                               int pass_all_position) {
+  BitString mask;
+  for (int r = 0; r < rules; ++r) {
+    mask.Append(r == pass_all_position ? layout.PassAllRuleMask()
+                                       : layout.PassNoneRuleMask());
+  }
+  return mask.ToBytes();
+}
+
+struct PolicyUnit {
+  std::vector<size_t> row_indices;
+};
+
+Status ApplyToTable(AccessControlCatalog* catalog, const std::string& table,
+                    const std::string& group_column,
+                    const ScatteredPolicyConfig& config, Rng* rng) {
+  AAPAC_ASSIGN_OR_RETURN(Table * tbl, catalog->db()->GetTable(table));
+  AAPAC_ASSIGN_OR_RETURN(MaskLayout layout, catalog->LayoutFor(table));
+  auto policy_col =
+      tbl->schema().FindColumn(AccessControlCatalog::kPolicyColumn);
+  if (!policy_col.has_value()) {
+    return Status::InvalidArgument("table '" + table + "' is not protected");
+  }
+
+  // Policy units: per tuple, or per distinct value of `group_column`.
+  std::vector<PolicyUnit> units;
+  if (group_column.empty()) {
+    units.resize(tbl->num_rows());
+    for (size_t i = 0; i < tbl->num_rows(); ++i) {
+      units[i].row_indices.push_back(i);
+    }
+  } else {
+    auto gcol = tbl->schema().FindColumn(group_column);
+    if (!gcol.has_value()) {
+      return Status::NotFound("group column '" + group_column +
+                              "' not found in '" + table + "'");
+    }
+    std::map<std::string, size_t> unit_of;  // Group key -> unit index.
+    for (size_t i = 0; i < tbl->num_rows(); ++i) {
+      const Value& v = tbl->row(i)[*gcol];
+      const std::string key = v.ToString();
+      auto [it, inserted] = unit_of.try_emplace(key, units.size());
+      if (inserted) units.emplace_back();
+      units[it->second].row_indices.push_back(i);
+    }
+  }
+
+  // Exactly ⌊s·n⌋ non-compliant units, shuffled.
+  const size_t n = units.size();
+  const size_t non_compliant =
+      static_cast<size_t>(config.selectivity * static_cast<double>(n));
+  std::vector<char> is_non_compliant(n, 0);
+  std::fill(is_non_compliant.begin(),
+            is_non_compliant.begin() + static_cast<long>(non_compliant), 1);
+  rng->Shuffle(is_non_compliant);
+
+  for (size_t u = 0; u < n; ++u) {
+    const int rules =
+        static_cast<int>(rng->NextInt(config.min_rules, config.max_rules));
+    const int pass_all_position =
+        is_non_compliant[u] ? -1 : static_cast<int>(rng->NextInt(0, rules - 1));
+    const Value mask =
+        Value::Bytes(BuildScatteredMask(layout, rules, pass_all_position));
+    for (size_t row : units[u].row_indices) {
+      tbl->mutable_row(row)[*policy_col] = mask;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ApplyScatteredPolicies(core::AccessControlCatalog* catalog,
+                              const ScatteredPolicyConfig& config) {
+  if (config.selectivity < 0.0 || config.selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be within [0, 1]");
+  }
+  if (config.min_rules < 1 || config.max_rules < config.min_rules) {
+    return Status::InvalidArgument("invalid rule count range");
+  }
+  Rng rng(config.seed);
+  AAPAC_RETURN_NOT_OK(ApplyToTable(catalog, "users", "", config, &rng));
+  AAPAC_RETURN_NOT_OK(
+      ApplyToTable(catalog, "nutritional_profiles", "", config, &rng));
+  return ApplyToTable(catalog, "sensed_data", "watch_id", config, &rng);
+}
+
+Result<double> MeasureScanSelectivity(core::AccessControlCatalog* catalog,
+                                      const std::string& table) {
+  AAPAC_ASSIGN_OR_RETURN(Table * tbl, catalog->db()->GetTable(table));
+  AAPAC_ASSIGN_OR_RETURN(MaskLayout layout, catalog->LayoutFor(table));
+  auto policy_col =
+      tbl->schema().FindColumn(AccessControlCatalog::kPolicyColumn);
+  if (!policy_col.has_value()) {
+    return Status::InvalidArgument("table '" + table + "' is not protected");
+  }
+  if (layout.columns().empty() || layout.purposes().empty()) {
+    return Status::InvalidArgument("empty mask layout");
+  }
+  // A minimal well-formed probe signature: indirect access to the first
+  // column, first purpose, no joint access.
+  core::ActionSignature probe;
+  probe.columns = {layout.columns()[0]};
+  probe.action_type = core::ActionType::Indirect(core::JointAccess::None());
+  AAPAC_ASSIGN_OR_RETURN(
+      BitString asm_mask,
+      layout.EncodeActionSignature(probe, layout.purposes()[0]));
+  const std::string asm_bytes = asm_mask.ToBytes();
+
+  if (tbl->num_rows() == 0) return 0.0;
+  size_t rejected = 0;
+  for (size_t i = 0; i < tbl->num_rows(); ++i) {
+    const Value& policy = tbl->row(i)[*policy_col];
+    if (policy.is_null() ||
+        !core::CompliesWithPacked(asm_bytes, policy.AsBytes())) {
+      ++rejected;
+    }
+  }
+  return static_cast<double>(rejected) / static_cast<double>(tbl->num_rows());
+}
+
+}  // namespace aapac::workload

@@ -1,0 +1,44 @@
+#ifndef AAPAC_WORKLOAD_POLICIES_H_
+#define AAPAC_WORKLOAD_POLICIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/catalog.h"
+#include "util/result.h"
+
+namespace aapac::workload {
+
+/// Parameters of the §6.1 scattered-policy generator.
+struct ScatteredPolicyConfig {
+  /// Target policy selectivity s wrt no-filtering queries: the exact
+  /// fraction of policy units that receive non-compliant (pass-none-only)
+  /// policies. 0 → everything complies, 1 → nothing does.
+  double selectivity = 0.0;
+  /// Each policy holds between min_rules and max_rules rules (uniform), as
+  /// in the paper's experiments (1..3).
+  int min_rules = 1;
+  int max_rules = 3;
+  uint64_t seed = 7;
+};
+
+/// Applies scattered policies (§6.1) to the patients database:
+///  - one policy per tuple of `users` and `nutritional_profiles`;
+///  - one policy per smart watch covering all its `sensed_data` samples
+///    (the paper's "all tuples referring to the same smart watch are
+///    covered by the same policy");
+/// with exactly ⌊s·n⌋ non-compliant units per table. Compliant policies
+/// contain one pass-all rule at a random position among pass-none rules;
+/// non-compliant policies contain only pass-none rules.
+Status ApplyScatteredPolicies(core::AccessControlCatalog* catalog,
+                              const ScatteredPolicyConfig& config);
+
+/// Measures the fraction of tuples of `table` whose policy does not comply
+/// with a trivial full-scan action signature — the realized selectivity,
+/// used by tests to validate the generator.
+Result<double> MeasureScanSelectivity(core::AccessControlCatalog* catalog,
+                                      const std::string& table);
+
+}  // namespace aapac::workload
+
+#endif  // AAPAC_WORKLOAD_POLICIES_H_

@@ -1,0 +1,276 @@
+#include "workload/queries.h"
+
+#include <array>
+
+#include "util/rng.h"
+
+namespace aapac::workload {
+
+std::vector<BenchQuery> PaperQueries() {
+  return {
+      {"q1", "select distinct watch_id from sensed_data",
+       "single source, distinct"},
+      {"q2", "select count(watch_id) from sensed_data",
+       "single source, aggregate"},
+      {"q3",
+       "select count(watch_id) from sensed_data "
+       "where not watch_id like 'watch100'",
+       "single source, aggregate, filter"},
+      {"q4",
+       "select food_intolerances, count(user_id) from users "
+       "join nutritional_profiles "
+       "on users.nutritional_profile_id=nutritional_profiles.profile_id "
+       "where not food_intolerances like 'no_intolerance' "
+       "group by food_intolerances",
+       "join, aggregate, filter, group"},
+      {"q5",
+       "select user_id, temperature from users "
+       "join sensed_data on users.watch_id=sensed_data.watch_id "
+       "where sensed_data.temperature>37 and timestamp>0",
+       "join, filter"},
+      {"q6",
+       "select user_id, avg(temperature), avg(beats) from users "
+       "join sensed_data on users.watch_id=sensed_data.watch_id "
+       "where timestamp>0 and nutritional_profile_id in "
+       "(select profile_id from nutritional_profiles "
+       "where not food_intolerances like 'no_intolerance') "
+       "group by user_id",
+       "join, aggregates, IN sub-query"},
+      {"q7",
+       "select user_id, avg(beats), food_preferences from users "
+       "join sensed_data on users.watch_id=sensed_data.watch_id "
+       "join nutritional_profiles "
+       "on users.nutritional_profile_id=nutritional_profiles.profile_id "
+       "where diet_type like 'low_sugar' group by user_id, food_preferences",
+       "two joins, aggregate"},
+      {"q8",
+       "select user_id, avg(s1.b) from users join "
+       "(select watch_id as w, beats as b from sensed_data where beats>100) "
+       "s1 on users.watch_id=s1.w group by user_id",
+       "join with derived table, aggregate"},
+  };
+}
+
+namespace {
+
+/// Random predicate fragments over the patients schema. All column
+/// references are qualified so the fragments stay valid inside joins.
+class QueryGen {
+ public:
+  explicit QueryGen(uint64_t seed) : rng_(seed) {}
+
+  std::string SensedPredicate() {
+    switch (rng_.NextIndex(4)) {
+      case 0:
+        return "sensed_data.temperature>" +
+               std::to_string(36 + rng_.NextInt(0, 3)) + "." +
+               std::to_string(rng_.NextInt(0, 9));
+      case 1:
+        return "sensed_data.beats>" + std::to_string(rng_.NextInt(80, 140));
+      case 2:
+        return "sensed_data.timestamp>" + std::to_string(rng_.NextInt(0, 20));
+      default:
+        return "sensed_data.position like '" + std::string(PickPosition()) +
+               "'";
+    }
+  }
+
+  std::string ProfilesPredicate() {
+    switch (rng_.NextIndex(3)) {
+      case 0:
+        return "not nutritional_profiles.food_intolerances like "
+               "'no_intolerance'";
+      case 1:
+        return std::string("nutritional_profiles.diet_type like '") +
+               PickDiet() + "'";
+      default:
+        return std::string("nutritional_profiles.food_preferences like '") +
+               PickPreference() + "'";
+    }
+  }
+
+  std::string UsersPredicate() {
+    return "not users.watch_id like 'watch" +
+           std::to_string(rng_.NextInt(0, 200)) + "'";
+  }
+
+  const char* SensedNumericColumn() {
+    static constexpr std::array<const char*, 3> kCols = {
+        "sensed_data.temperature", "sensed_data.beats",
+        "sensed_data.timestamp"};
+    return kCols[rng_.NextIndex(kCols.size())];
+  }
+
+  const char* Aggregate() {
+    static constexpr std::array<const char*, 4> kAggs = {"avg", "min", "max",
+                                                         "sum"};
+    return kAggs[rng_.NextIndex(kAggs.size())];
+  }
+
+  const char* PickPosition() {
+    static constexpr std::array<const char*, 5> kValues = {
+        "room", "garden", "canteen", "gym", "corridor"};
+    return kValues[rng_.NextIndex(kValues.size())];
+  }
+
+  const char* PickDiet() {
+    static constexpr std::array<const char*, 5> kValues = {
+        "standard", "low_sugar", "low_sodium", "vegan", "high_protein"};
+    return kValues[rng_.NextIndex(kValues.size())];
+  }
+
+  const char* PickPreference() {
+    static constexpr std::array<const char*, 5> kValues = {
+        "omnivore", "vegetarian", "pescatarian", "no_red_meat", "spicy"};
+    return kValues[rng_.NextIndex(kValues.size())];
+  }
+
+  // --- the five Fig. 5 shapes ------------------------------------------------
+
+  std::string SingleSourceSelect() {
+    switch (rng_.NextIndex(3)) {
+      case 0:
+        return "select watch_id, temperature, beats from sensed_data where " +
+               SensedPredicate();
+      case 1:
+        return "select profile_id, diet_type from nutritional_profiles "
+               "where " +
+               ProfilesPredicate();
+      default:
+        return "select user_id, watch_id from users where " + UsersPredicate();
+    }
+  }
+
+  std::string SingleSourceAggregate() {
+    const std::string agg = Aggregate();
+    const std::string col = SensedNumericColumn();
+    switch (rng_.NextIndex(3)) {
+      case 0:
+        return "select sensed_data.position, " + agg + "(" + col +
+               ") from sensed_data group by sensed_data.position";
+      case 1:
+        return "select count(watch_id), " + agg + "(" + col +
+               ") from sensed_data where " + SensedPredicate();
+      default:
+        return "select sensed_data.watch_id, " + agg + "(" + col +
+               ") from sensed_data group by sensed_data.watch_id";
+    }
+  }
+
+  std::string Join() {
+    if (rng_.NextBool()) {
+      return "select users.user_id, sensed_data.temperature, "
+             "sensed_data.beats from users join sensed_data on "
+             "users.watch_id=sensed_data.watch_id where " +
+             SensedPredicate();
+    }
+    return "select users.user_id, nutritional_profiles.diet_type, "
+           "nutritional_profiles.food_preferences from users join "
+           "nutritional_profiles on "
+           "users.nutritional_profile_id=nutritional_profiles.profile_id "
+           "where " +
+           ProfilesPredicate();
+  }
+
+  std::string JoinAggregate() {
+    const std::string agg = Aggregate();
+    const std::string col = SensedNumericColumn();
+    if (rng_.NextBool(0.3)) {
+      // Three-way join grouped on a profile attribute.
+      return "select nutritional_profiles.diet_type, " + agg + "(" + col +
+             ") from users join sensed_data on "
+             "users.watch_id=sensed_data.watch_id join nutritional_profiles "
+             "on users.nutritional_profile_id=nutritional_profiles.profile_id "
+             "where " +
+             SensedPredicate() +
+             " group by nutritional_profiles.diet_type";
+    }
+    return "select users.user_id, " + agg + "(" + col +
+           ") from users join sensed_data on "
+           "users.watch_id=sensed_data.watch_id where " +
+           SensedPredicate() + " group by users.user_id";
+  }
+
+  std::string JoinAggregateHaving() {
+    const std::string col = SensedNumericColumn();
+    return "select users.user_id, avg(" + col +
+           ") from users join sensed_data on "
+           "users.watch_id=sensed_data.watch_id group by users.user_id "
+           "having avg(" +
+           col + ")>" + std::to_string(rng_.NextInt(30, 100));
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+std::vector<BenchQuery> RandomQueries(uint64_t seed) {
+  QueryGen gen(seed);
+  // Shape assignment follows the paper's Fig. 5 exactly.
+  struct Slot {
+    int index;  // 1-based rN.
+    enum Kind {
+      kSingleAgg,
+      kJoinAggHaving,
+      kJoin,
+      kJoinAgg,
+      kSingle
+    } kind;
+    const char* description;
+  };
+  static constexpr Slot kSlots[] = {
+      {1, Slot::kSingleAgg, "single source + aggregate"},
+      {2, Slot::kJoinAggHaving, "join + aggregate + having"},
+      {3, Slot::kJoin, "join"},
+      {4, Slot::kJoin, "join"},
+      {5, Slot::kJoinAgg, "join + aggregate"},
+      {6, Slot::kSingle, "single source"},
+      {7, Slot::kJoinAggHaving, "join + aggregate + having"},
+      {8, Slot::kJoinAgg, "join + aggregate"},
+      {9, Slot::kSingle, "single source"},
+      {10, Slot::kSingle, "single source"},
+      {11, Slot::kJoinAgg, "join + aggregate"},
+      {12, Slot::kSingleAgg, "single source + aggregate"},
+      {13, Slot::kJoinAgg, "join + aggregate"},
+      {14, Slot::kJoin, "join"},
+      {15, Slot::kJoinAgg, "join + aggregate"},
+      {16, Slot::kJoin, "join"},
+      {17, Slot::kJoinAggHaving, "join + aggregate + having"},
+      {18, Slot::kJoinAgg, "join + aggregate"},
+      {19, Slot::kSingle, "single source"},
+      {20, Slot::kSingleAgg, "single source + aggregate"},
+  };
+  std::vector<BenchQuery> out;
+  out.reserve(20);
+  for (const Slot& slot : kSlots) {
+    std::string sql;
+    switch (slot.kind) {
+      case Slot::kSingleAgg:
+        sql = gen.SingleSourceAggregate();
+        break;
+      case Slot::kJoinAggHaving:
+        sql = gen.JoinAggregateHaving();
+        break;
+      case Slot::kJoin:
+        sql = gen.Join();
+        break;
+      case Slot::kJoinAgg:
+        sql = gen.JoinAggregate();
+        break;
+      case Slot::kSingle:
+        sql = gen.SingleSourceSelect();
+        break;
+    }
+    BenchQuery q;
+    q.name = "r";
+    q.name += std::to_string(slot.index);
+    q.sql = std::move(sql);
+    q.description = slot.description;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace aapac::workload

@@ -1,0 +1,34 @@
+#ifndef AAPAC_WORKLOAD_QUERIES_H_
+#define AAPAC_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aapac::workload {
+
+/// One evaluation query: a name ("q3", "r17"), its SQL text and a short
+/// description of its shape (matching the paper's Fig. 4 / Fig. 5).
+struct BenchQuery {
+  std::string name;
+  std::string sql;
+  std::string description;
+};
+
+/// The eight ad-hoc queries of the paper's Figure 4, verbatim (modulo the
+/// table name `nutritional_profiles` the paper itself uses in q4, q6, q7).
+std::vector<BenchQuery> PaperQueries();
+
+/// The twenty automatically generated random queries r1-r20 (§6.2): the
+/// generator picks tables, projected attributes and predicate constants at
+/// random (seeded) but follows the paper's Fig. 5 shape mix:
+///   r1,r12,r20      single source + aggregation
+///   r2,r7,r17       join + aggregation + HAVING filter on grouped data
+///   r3,r4,r14,r16   join, no aggregation
+///   r5,r8,r11,r13,r15,r18  join + aggregation
+///   r6,r9,r10,r19   single source, no aggregation
+std::vector<BenchQuery> RandomQueries(uint64_t seed);
+
+}  // namespace aapac::workload
+
+#endif  // AAPAC_WORKLOAD_QUERIES_H_

@@ -1,0 +1,324 @@
+#include "workload/stress.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aapac::workload {
+
+namespace {
+
+enum class ColType { kString, kInt, kDouble };
+
+struct ColumnSpec {
+  const char* name;
+  ColType type;
+};
+
+struct TableSpec {
+  const char* name;
+  std::vector<ColumnSpec> columns;
+};
+
+const std::vector<TableSpec>& Tables() {
+  static const std::vector<TableSpec>* tables = new std::vector<TableSpec>{
+      {"users",
+       {{"user_id", ColType::kString},
+        {"watch_id", ColType::kString},
+        {"nutritional_profile_id", ColType::kString}}},
+      {"sensed_data",
+       {{"watch_id", ColType::kString},
+        {"timestamp", ColType::kInt},
+        {"temperature", ColType::kDouble},
+        {"position", ColType::kString},
+        {"beats", ColType::kInt}}},
+      {"nutritional_profiles",
+       {{"profile_id", ColType::kString},
+        {"food_intolerances", ColType::kString},
+        {"food_preferences", ColType::kString},
+        {"diet_type", ColType::kString}}},
+  };
+  return *tables;
+}
+
+/// A column visible through a FROM binding.
+struct BoundCol {
+  std::string qualified;  // "b0.temperature"
+  ColType type;
+};
+
+class StressGen {
+ public:
+  explicit StressGen(uint64_t seed) : rng_(seed) {}
+
+  /// Emits one query; sets *aggregate to whether it folds rows or embeds
+  /// value-producing sub-queries in its select list (either makes result
+  /// rows depend on enforcement beyond pure filtering).
+  std::string Query(int depth, bool* aggregate) {
+    select_embeds_subquery_ = false;
+    // FROM: one or two base tables (joined on a plausible key), or at
+    // depth > 0 a derived table.
+    std::vector<BoundCol> cols;
+    std::string from = From(depth, &cols);
+
+    const bool agg = rng_.NextBool(0.4);
+    *aggregate = agg;
+
+    std::string select;
+    std::string group_by;
+    std::string having;
+    if (agg) {
+      // One group key plus 1-2 aggregates.
+      const BoundCol& key = cols[rng_.NextIndex(cols.size())];
+      select = key.qualified;
+      group_by = " group by " + key.qualified;
+      const int n_aggs = static_cast<int>(rng_.NextInt(1, 2));
+      for (int i = 0; i < n_aggs; ++i) {
+        select += ", " + Aggregate(cols);
+      }
+      if (rng_.NextBool(0.4)) {
+        having = " having " + Aggregate(cols) + " > " +
+                 std::to_string(rng_.NextInt(0, 50));
+      }
+    } else {
+      const int n_items = static_cast<int>(rng_.NextInt(1, 3));
+      for (int i = 0; i < n_items; ++i) {
+        if (i > 0) select += ", ";
+        select += ScalarItem(cols, depth);
+      }
+    }
+
+    std::string where;
+    if (rng_.NextBool(0.75)) where = " where " + Predicate(cols, depth);
+
+    std::string tail;
+    if (!agg && rng_.NextBool(0.25)) {
+      tail += " order by 1";
+      if (rng_.NextBool()) tail += " desc";
+    }
+    if (rng_.NextBool(0.2)) {
+      tail += " limit " + std::to_string(rng_.NextInt(1, 500));
+      // Top-K of a filtered input need not be a subset of the unfiltered
+      // top-K, so limited queries leave the "plain" class as well.
+      *aggregate = true;
+    }
+    std::string distinct = (!agg && rng_.NextBool(0.25)) ? "distinct " : "";
+    if (select_embeds_subquery_) *aggregate = true;
+    return "select " + distinct + select + " from " + from + where +
+           group_by + having + tail;
+  }
+
+ private:
+  std::string NewBinding() { return "b" + std::to_string(binding_counter_++); }
+
+  std::string From(int depth, std::vector<BoundCol>* cols) {
+    const int choice = static_cast<int>(rng_.NextInt(0, depth > 0 ? 3 : 2));
+    if (choice == 3) {
+      // Derived table: a nested plain query with named output columns.
+      std::vector<BoundCol> inner;
+      const std::string inner_from = From(depth - 1, &inner);
+      const std::string binding = NewBinding();
+      std::string select;
+      const int n = static_cast<int>(rng_.NextInt(1, 3));
+      for (int i = 0; i < n; ++i) {
+        const BoundCol& c = inner[rng_.NextIndex(inner.size())];
+        if (i > 0) select += ", ";
+        const std::string out_name = "c" + std::to_string(i);
+        select += c.qualified + " as " + out_name;
+        cols->push_back(BoundCol{binding + "." + out_name, c.type});
+      }
+      std::string where;
+      if (rng_.NextBool(0.5)) where = " where " + Predicate(inner, depth - 1);
+      return "(select " + select + " from " + inner_from + where + ") " +
+             binding;
+    }
+    if (choice == 2) {
+      // Join users with one of the two detail tables via its key.
+      const std::string u = NewBinding();
+      const std::string d = NewBinding();
+      const bool sensed = rng_.NextBool();
+      const TableSpec& users = Tables()[0];
+      const TableSpec& detail = Tables()[sensed ? 1 : 2];
+      for (const auto& c : users.columns) {
+        cols->push_back(BoundCol{u + "." + c.name, c.type});
+      }
+      for (const auto& c : detail.columns) {
+        cols->push_back(BoundCol{d + "." + c.name, c.type});
+      }
+      const std::string on =
+          sensed ? u + ".watch_id = " + d + ".watch_id"
+                 : u + ".nutritional_profile_id = " + d + ".profile_id";
+      return "users " + u + " join " + std::string(detail.name) + " " + d +
+             " on " + on;
+    }
+    // Single base table.
+    const TableSpec& t = Tables()[rng_.NextIndex(Tables().size())];
+    const std::string binding = NewBinding();
+    for (const auto& c : t.columns) {
+      cols->push_back(BoundCol{binding + "." + c.name, c.type});
+    }
+    return std::string(t.name) + " " + binding;
+  }
+
+  const BoundCol& Pick(const std::vector<BoundCol>& cols, ColType type,
+                       bool* found) {
+    static const BoundCol kNone{"", ColType::kString};
+    std::vector<const BoundCol*> matching;
+    for (const auto& c : cols) {
+      if (c.type == type) matching.push_back(&c);
+    }
+    if (matching.empty()) {
+      *found = false;
+      return kNone;
+    }
+    *found = true;
+    return *matching[rng_.NextIndex(matching.size())];
+  }
+
+  std::string NumericColumn(const std::vector<BoundCol>& cols) {
+    bool found = false;
+    const BoundCol& d = Pick(cols, ColType::kDouble, &found);
+    if (found && rng_.NextBool()) return d.qualified;
+    const BoundCol& i = Pick(cols, ColType::kInt, &found);
+    if (found) return i.qualified;
+    bool found2 = false;
+    const BoundCol& d2 = Pick(cols, ColType::kDouble, &found2);
+    return found2 ? d2.qualified : cols[0].qualified;
+  }
+
+  bool HasNumeric(const std::vector<BoundCol>& cols) {
+    for (const auto& c : cols) {
+      if (c.type != ColType::kString) return true;
+    }
+    return false;
+  }
+
+  std::string Aggregate(const std::vector<BoundCol>& cols) {
+    if (!HasNumeric(cols) || rng_.NextBool(0.25)) {
+      return rng_.NextBool() ? "count(*)"
+                             : "count(" + cols[rng_.NextIndex(cols.size())]
+                                              .qualified +
+                                   ")";
+    }
+    static constexpr std::array<const char*, 4> kAggs = {"avg", "sum", "min",
+                                                         "max"};
+    return std::string(kAggs[rng_.NextIndex(kAggs.size())]) + "(" +
+           NumericColumn(cols) + ")";
+  }
+
+  std::string ScalarItem(const std::vector<BoundCol>& cols, int depth) {
+    switch (rng_.NextIndex(5)) {
+      case 0: {  // CASE over a predicate.
+        return "case when " + Predicate(cols, 0) + " then 1 else 0 end";
+      }
+      case 1: {  // Concatenation of string columns / literals.
+        bool found = false;
+        const BoundCol& s = Pick(cols, ColType::kString, &found);
+        if (found) return s.qualified + " || '_tag'";
+        return NumericColumn(cols);
+      }
+      case 2: {  // Arithmetic on numerics.
+        if (HasNumeric(cols)) {
+          return NumericColumn(cols) + " + " +
+                 std::to_string(rng_.NextInt(1, 9));
+        }
+        return cols[rng_.NextIndex(cols.size())].qualified;
+      }
+      case 3: {  // Scalar sub-query value (uncorrelated), shallow only.
+        if (depth > 0) {
+          select_embeds_subquery_ = true;
+          return "(select max(beats) from sensed_data)";
+        }
+        return cols[rng_.NextIndex(cols.size())].qualified;
+      }
+      default:
+        return cols[rng_.NextIndex(cols.size())].qualified;
+    }
+  }
+
+  std::string Predicate(const std::vector<BoundCol>& cols, int depth) {
+    std::string out = SimplePredicate(cols, depth);
+    if (rng_.NextBool(0.35)) {
+      out += rng_.NextBool() ? " and " : " or ";
+      out += SimplePredicate(cols, depth);
+    }
+    return out;
+  }
+
+  std::string SimplePredicate(const std::vector<BoundCol>& cols, int depth) {
+    switch (rng_.NextIndex(5)) {
+      case 0: {  // Numeric comparison.
+        if (HasNumeric(cols)) {
+          static constexpr std::array<const char*, 4> kOps = {">", "<", ">=",
+                                                              "<="};
+          return NumericColumn(cols) + " " +
+                 kOps[rng_.NextIndex(kOps.size())] + " " +
+                 std::to_string(rng_.NextInt(0, 120));
+        }
+        return "not " + cols[0].qualified + " like 'nothing%'";
+      }
+      case 1: {  // LIKE on a string column.
+        bool found = false;
+        const BoundCol& s = Pick(cols, ColType::kString, &found);
+        if (!found) return "1 = 1";
+        const bool negate = rng_.NextBool(0.3);
+        return std::string(negate ? "not " : "") + s.qualified + " like '" +
+               (rng_.NextBool() ? "%a%" : "watch1%") + "'";
+      }
+      case 2: {  // IN list.
+        if (HasNumeric(cols)) {
+          return NumericColumn(cols) + " in (" +
+                 std::to_string(rng_.NextInt(0, 40)) + ", " +
+                 std::to_string(rng_.NextInt(41, 80)) + ", " +
+                 std::to_string(rng_.NextInt(81, 120)) + ")";
+        }
+        return "1 = 1";
+      }
+      case 3: {  // IN sub-query over a base table (uncorrelated).
+        if (depth > 0) {
+          bool found = false;
+          const BoundCol& s = Pick(cols, ColType::kString, &found);
+          if (found) {
+            return s.qualified +
+                   " in (select watch_id from sensed_data where beats > " +
+                   std::to_string(rng_.NextInt(60, 140)) + ")";
+          }
+        }
+        return SimplePredicate(cols, 0);
+      }
+      default: {  // BETWEEN on numerics.
+        if (HasNumeric(cols)) {
+          const int64_t lo = rng_.NextInt(0, 60);
+          return NumericColumn(cols) + " between " + std::to_string(lo) +
+                 " and " + std::to_string(lo + rng_.NextInt(1, 60));
+        }
+        return "1 = 1";
+      }
+    }
+  }
+
+  Rng rng_;
+  int binding_counter_ = 0;
+  bool select_embeds_subquery_ = false;
+};
+
+}  // namespace
+
+std::vector<BenchQuery> StressQueries(uint64_t seed, size_t count) {
+  std::vector<BenchQuery> out;
+  out.reserve(count);
+  StressGen gen(seed);
+  for (size_t i = 0; i < count; ++i) {
+    bool aggregate = false;
+    BenchQuery q;
+    q.sql = gen.Query(/*depth=*/2, &aggregate);
+    q.name = "s" + std::to_string(i + 1);
+    q.description = aggregate ? "aggregate" : "plain";
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace aapac::workload

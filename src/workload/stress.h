@@ -1,0 +1,25 @@
+#ifndef AAPAC_WORKLOAD_STRESS_H_
+#define AAPAC_WORKLOAD_STRESS_H_
+
+#include <cstdint>
+
+#include "workload/queries.h"
+
+namespace aapac::workload {
+
+/// Generates random, schema-valid SELECT statements over the patients
+/// schema for fuzz-style differential testing — broader than the paper's
+/// r1-r20 mix: bounded-depth derived tables, IN-list / IN-sub-query /
+/// scalar-sub-query predicates, CASE expressions, string concatenation,
+/// multi-aggregate GROUP BY ... HAVING, DISTINCT, ORDER BY and LIMIT.
+///
+/// Every query is deterministic in `seed`, references columns only through
+/// its own FROM bindings (never correlated), and qualifies every column
+/// reference, so all statements bind on the standard patients database.
+/// `description` is "aggregate" or "plain", letting differential tests
+/// apply the rewritten-subset-of-original check only where it must hold.
+std::vector<BenchQuery> StressQueries(uint64_t seed, size_t count);
+
+}  // namespace aapac::workload
+
+#endif  // AAPAC_WORKLOAD_STRESS_H_

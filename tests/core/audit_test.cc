@@ -1,0 +1,113 @@
+// The enforcement monitor's audit trail: enabled on demand, records ok /
+// denied / error outcomes with per-statement check counts, queryable as SQL.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/monitor.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::core {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 5;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    workload::ScatteredPolicyConfig sp;
+    sp.selectivity = 0.0;
+    ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+    monitor_ = std::make_unique<EnforcementMonitor>(db_.get(), catalog_.get());
+  }
+
+  engine::ResultSet Audit(const std::string& where = "") {
+    auto rs = monitor_->ExecuteUnrestricted(
+        "select seq, ui, ap, outcome, checks, rows from audit_log" + where);
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    return rs.ok() ? std::move(*rs) : engine::ResultSet{};
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<EnforcementMonitor> monitor_;
+};
+
+TEST_F(AuditTest, DisabledByDefault) {
+  EXPECT_FALSE(monitor_->audit_enabled());
+  ASSERT_TRUE(monitor_->ExecuteQuery("select user_id from users", "p1").ok());
+  EXPECT_EQ(db_->FindTable(EnforcementMonitor::kAuditTable), nullptr);
+}
+
+TEST_F(AuditTest, RecordsSuccessfulQueries) {
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());  // Idempotent.
+  ASSERT_TRUE(
+      monitor_->ExecuteQuery("select user_id from users", "p1").ok());
+  auto audit = Audit();
+  ASSERT_EQ(audit.rows.size(), 1u);
+  EXPECT_EQ(audit.rows[0][0].AsInt(), 1);            // seq.
+  EXPECT_EQ(audit.rows[0][2].AsString(), "p1");      // ap.
+  EXPECT_EQ(audit.rows[0][3].AsString(), "ok");      // outcome.
+  EXPECT_EQ(audit.rows[0][4].AsInt(), 5);            // checks: 5 tuples.
+  EXPECT_EQ(audit.rows[0][5].AsInt(), 5);            // rows.
+}
+
+TEST_F(AuditTest, RecordsDenialsAndErrors) {
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());
+  // Denied: unauthorized user.
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "p1", "eve");
+  EXPECT_FALSE(rs.ok());
+  // Error: bad SQL.
+  rs = monitor_->ExecuteQuery("select nope from users", "p1", "");
+  EXPECT_FALSE(rs.ok());
+  auto audit = Audit();
+  ASSERT_EQ(audit.rows.size(), 2u);
+  EXPECT_EQ(audit.rows[0][3].AsString(), "denied");
+  EXPECT_EQ(audit.rows[0][1].AsString(), "eve");
+  EXPECT_EQ(audit.rows[1][3].AsString(), "error");
+}
+
+TEST_F(AuditTest, RecordsInserts) {
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());
+  auto n = monitor_->ExecuteInsert("insert into pr values ('p9', 'x')", "p1");
+  ASSERT_TRUE(n.ok()) << n.status();
+  auto audit = Audit();
+  ASSERT_EQ(audit.rows.size(), 1u);
+  EXPECT_EQ(audit.rows[0][3].AsString(), "ok");
+  EXPECT_EQ(audit.rows[0][5].AsInt(), 1);
+}
+
+TEST_F(AuditTest, SequenceNumbersAreMonotonic) {
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(monitor_->ExecuteQuery("select user_id from users", "p1").ok());
+  }
+  auto audit = Audit(" order by seq");
+  ASSERT_EQ(audit.rows.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(audit.rows[static_cast<size_t>(i)][0].AsInt(), i + 1);
+  }
+}
+
+TEST_F(AuditTest, AuditTableIsPlainSql) {
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());
+  ASSERT_TRUE(monitor_->ExecuteQuery("select user_id from users", "p1").ok());
+  ASSERT_TRUE(monitor_->ExecuteQuery("select user_id from users", "p6").ok());
+  auto rs = monitor_->ExecuteUnrestricted(
+      "select ap, count(*) from audit_log group by ap order by ap");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][0].AsString(), "p1");
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,142 @@
+// Byun-Li purpose-only baseline: tuple-level intended purposes, rewriting,
+// and the expressiveness gap to the action-aware model.
+
+#include "core/baseline/byun_li.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/patients.h"
+
+namespace aapac::core::baseline {
+namespace {
+
+using engine::Value;
+
+class ByunLiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 6;
+    config.samples_per_patient = 4;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    monitor_ = std::make_unique<ByunLiMonitor>(db_.get(), catalog_.get());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<ByunLiMonitor> monitor_;
+};
+
+TEST_F(ByunLiTest, ProtectAddsIntendedPurposesColumn) {
+  ASSERT_TRUE(monitor_->ProtectTable("users").ok());
+  EXPECT_TRUE(monitor_->IsProtected("users"));
+  EXPECT_TRUE(db_->FindTable("users")->schema().HasColumn("intended_purposes"));
+  EXPECT_FALSE(monitor_->ProtectTable("users").ok());
+  EXPECT_FALSE(monitor_->ProtectTable("nope").ok());
+}
+
+TEST_F(ByunLiTest, PurposeComplianceGatesTuples) {
+  ASSERT_TRUE(monitor_->ProtectTable("users").ok());
+  ASSERT_TRUE(monitor_->SetIntendedPurposes("users", {"p1", "p6"}).ok());
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 6u);
+  rs = monitor_->ExecuteQuery("select user_id from users", "p6");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 6u);
+  rs = monitor_->ExecuteQuery("select user_id from users", "p7");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(ByunLiTest, PerTupleIntendedPurposes) {
+  ASSERT_TRUE(monitor_->ProtectTable("users").ok());
+  ASSERT_TRUE(monitor_->SetIntendedPurposes("users", {"p1"}).ok());
+  ASSERT_TRUE(monitor_
+                  ->SetIntendedPurposesWhere("users", "user_id",
+                                             Value::String("user0"), {"p6"})
+                  .ok());
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "p6");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsString(), "user0");
+  rs = monitor_->ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 5u);
+}
+
+TEST_F(ByunLiTest, UnsetIntendedPurposesDeny) {
+  ASSERT_TRUE(monitor_->ProtectTable("users").ok());
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(ByunLiTest, RewriteAddsOneCheckPerProtectedBinding) {
+  ASSERT_TRUE(monitor_->ProtectTable("users").ok());
+  ASSERT_TRUE(monitor_->ProtectTable("sensed_data").ok());
+  auto sql = monitor_->Rewrite(
+      "select user_id, temperature from users join sensed_data s on "
+      "users.watch_id = s.watch_id where temperature > 37",
+      "p1");
+  ASSERT_TRUE(sql.ok());
+  size_t count = 0;
+  for (size_t pos = sql->find("purpose_allows"); pos != std::string::npos;
+       pos = sql->find("purpose_allows", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(sql->find("users.intended_purposes"), std::string::npos);
+  EXPECT_NE(sql->find("s.intended_purposes"), std::string::npos);
+  // Original predicate stays ahead of the purpose checks.
+  EXPECT_LT(sql->find("temperature > 37"), sql->find("purpose_allows"));
+}
+
+TEST_F(ByunLiTest, SubqueriesRewritten) {
+  ASSERT_TRUE(monitor_->ProtectTable("nutritional_profiles").ok());
+  auto sql = monitor_->Rewrite(
+      "select user_id from users where nutritional_profile_id in "
+      "(select profile_id from nutritional_profiles)",
+      "p1");
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("nutritional_profiles.intended_purposes"),
+            std::string::npos);
+}
+
+TEST_F(ByunLiTest, ChecksCounter) {
+  ASSERT_TRUE(monitor_->ProtectTable("users").ok());
+  ASSERT_TRUE(monitor_->SetIntendedPurposes("users", {"p1"}).ok());
+  monitor_->ResetPurposeChecks();
+  ASSERT_TRUE(monitor_->ExecuteQuery("select user_id from users", "p1").ok());
+  EXPECT_EQ(monitor_->purpose_checks(), 6u);
+}
+
+TEST_F(ByunLiTest, CannotExpressActionAwareness) {
+  // The motivating gap: with intended purpose p6 granted, BOTH the
+  // aggregate and the raw dump flow — purpose-only control cannot separate
+  // the paper's q_a from q_b.
+  ASSERT_TRUE(monitor_->ProtectTable("sensed_data").ok());
+  ASSERT_TRUE(monitor_->SetIntendedPurposes("sensed_data", {"p6"}).ok());
+  auto aggregate =
+      monitor_->ExecuteQuery("select avg(temperature) from sensed_data", "p6");
+  auto raw =
+      monitor_->ExecuteQuery("select temperature from sensed_data", "p6");
+  ASSERT_TRUE(aggregate.ok());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(aggregate->rows.size(), 1u);
+  EXPECT_EQ(raw->rows.size(), 24u);  // Full disclosure.
+}
+
+TEST_F(ByunLiTest, UnknownPurposeRejected) {
+  EXPECT_FALSE(monitor_->ExecuteQuery("select user_id from users", "p99").ok());
+  EXPECT_FALSE(monitor_->SetIntendedPurposes("users", {"p99"}).ok());
+}
+
+}  // namespace
+}  // namespace aapac::core::baseline

@@ -1,0 +1,123 @@
+// Framework configuration (§5.1): Pr/Pm/Pa metadata tables, categorization,
+// purpose authorizations, table protection and mask layouts.
+
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/exec.h"
+
+namespace aapac::core {
+namespace {
+
+using engine::Column;
+using engine::Database;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+using engine::ValueType;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s;
+    ASSERT_TRUE(s.AddColumn({"a", ValueType::kInt64}).ok());
+    ASSERT_TRUE(s.AddColumn({"b", ValueType::kString}).ok());
+    Table* t = *db_.CreateTable("t", s);
+    ASSERT_TRUE(t->Insert({Value::Int(1), Value::String("x")}).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(&db_);
+    ASSERT_TRUE(catalog_->Initialize().ok());
+  }
+
+  size_t QueryCount(const std::string& sql) {
+    engine::Executor exec(&db_);
+    auto rs = exec.ExecuteSql(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    return rs.ok() ? rs->rows.size() : 0;
+  }
+
+  Database db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+};
+
+TEST_F(CatalogTest, InitializeCreatesMetadataTables) {
+  EXPECT_NE(db_.FindTable("pr"), nullptr);
+  EXPECT_NE(db_.FindTable("pm"), nullptr);
+  EXPECT_NE(db_.FindTable("pa"), nullptr);
+  // Second initialize fails (tables exist).
+  EXPECT_FALSE(catalog_->Initialize().ok());
+}
+
+TEST_F(CatalogTest, PurposesSyncToPrTable) {
+  ASSERT_TRUE(catalog_->DefinePurpose("p2", "payment").ok());
+  ASSERT_TRUE(catalog_->DefinePurpose("p1", "treatment").ok());
+  EXPECT_EQ(QueryCount("select id from pr"), 2u);
+  EXPECT_EQ(catalog_->purposes().ordered()[0].id, "p1");  // Oc order.
+  EXPECT_FALSE(catalog_->DefinePurpose("p1", "dup").ok());
+  ASSERT_TRUE(catalog_->RemovePurpose("p2").ok());
+  EXPECT_EQ(QueryCount("select id from pr"), 1u);
+  EXPECT_FALSE(catalog_->RemovePurpose("p2").ok());
+}
+
+TEST_F(CatalogTest, CategorizationSyncsToPmTable) {
+  ASSERT_TRUE(catalog_->Categorize("t", "a", DataCategory::kIdentifier).ok());
+  ASSERT_TRUE(catalog_->Categorize("T", "B", DataCategory::kSensitive).ok());
+  EXPECT_EQ(QueryCount("select at from pm"), 2u);
+  EXPECT_EQ(catalog_->CategoryOf("t", "a"), DataCategory::kIdentifier);
+  EXPECT_EQ(catalog_->CategoryOf("t", "b"), DataCategory::kSensitive);
+  // Re-categorizing overwrites.
+  ASSERT_TRUE(catalog_->Categorize("t", "a", DataCategory::kGeneric).ok());
+  EXPECT_EQ(catalog_->CategoryOf("t", "a"), DataCategory::kGeneric);
+  EXPECT_EQ(QueryCount("select at from pm"), 2u);
+}
+
+TEST_F(CatalogTest, UncategorizedDefaultsToGeneric) {
+  EXPECT_EQ(catalog_->CategoryOf("t", "a"), DataCategory::kGeneric);
+  EXPECT_EQ(catalog_->CategoryOf("missing", "x"), DataCategory::kGeneric);
+}
+
+TEST_F(CatalogTest, CategorizeValidatesExistence) {
+  EXPECT_EQ(catalog_->Categorize("zz", "a", DataCategory::kGeneric).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog_->Categorize("t", "zz", DataCategory::kGeneric).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, AuthorizationsSyncToPaTable) {
+  ASSERT_TRUE(catalog_->DefinePurpose("p1", "x").ok());
+  EXPECT_FALSE(catalog_->AuthorizeUser("u", "p9").ok());
+  ASSERT_TRUE(catalog_->AuthorizeUser("u", "p1").ok());
+  EXPECT_TRUE(catalog_->IsUserAuthorized("u", "p1"));
+  EXPECT_FALSE(catalog_->IsUserAuthorized("v", "p1"));
+  EXPECT_EQ(QueryCount("select ui from pa"), 1u);
+  ASSERT_TRUE(catalog_->RevokeUser("u", "p1").ok());
+  EXPECT_FALSE(catalog_->IsUserAuthorized("u", "p1"));
+  EXPECT_EQ(QueryCount("select ui from pa"), 0u);
+  EXPECT_FALSE(catalog_->RevokeUser("u", "p1").ok());
+}
+
+TEST_F(CatalogTest, ProtectTableAddsPolicyColumn) {
+  ASSERT_TRUE(catalog_->ProtectTable("t").ok());
+  EXPECT_TRUE(catalog_->IsProtected("t"));
+  const Table* t = db_.FindTable("t");
+  EXPECT_TRUE(t->schema().HasColumn("policy"));
+  // Existing rows back-filled with NULL policies (deny-by-default).
+  EXPECT_TRUE(t->row(0)[2].is_null());
+  EXPECT_FALSE(catalog_->ProtectTable("t").ok());     // Already protected.
+  EXPECT_FALSE(catalog_->ProtectTable("none").ok());  // Missing.
+}
+
+TEST_F(CatalogTest, LayoutExcludesPolicyColumn) {
+  ASSERT_TRUE(catalog_->DefinePurpose("p1", "x").ok());
+  ASSERT_TRUE(catalog_->DefinePurpose("p2", "y").ok());
+  ASSERT_TRUE(catalog_->ProtectTable("t").ok());
+  auto layout = catalog_->LayoutFor("t");
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->columns(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(layout->purposes(), (std::vector<std::string>{"p1", "p2"}));
+  EXPECT_EQ(layout->unpadded_bits(), 2u + 2u + 10u);
+  EXPECT_FALSE(catalog_->LayoutFor("none").ok());
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,385 @@
+// Compliance (§4.4, §5.4): semantic Defs. 5-6, bitwise Listing 1 /
+// Defs. 15-17, the packed fast path, and the key property that the mask
+// implementation agrees with the semantic specification on random inputs.
+
+#include "core/compliance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/masks.h"
+#include "util/rng.h"
+
+namespace aapac::core {
+namespace {
+
+MaskLayout Layout() {
+  return MaskLayout({"watch_id", "timestamp", "temperature", "position",
+                     "beats"},
+                    {"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"});
+}
+
+PolicyRule MakeRule() {
+  PolicyRule rule;
+  rule.columns = {"temperature", "beats"};
+  rule.purposes = {"p1", "p3"};
+  rule.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                        Aggregation::kAggregation,
+                                        JointAccess{true, true, true, false});
+  return rule;
+}
+
+ActionSignature MakeSignature() {
+  ActionSignature sig;
+  sig.columns = {"temperature"};
+  sig.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                       Aggregation::kAggregation,
+                                       JointAccess{true, true, false, false});
+  return sig;
+}
+
+TEST(SemanticComplianceTest, RuleClausesAllRequired) {
+  const PolicyRule rule = MakeRule();
+  const ActionSignature sig = MakeSignature();
+  EXPECT_TRUE(SignatureRuleComplies(sig, "p1", rule));
+  EXPECT_TRUE(SignatureRuleComplies(sig, "p3", rule));
+  // Wrong purpose.
+  EXPECT_FALSE(SignatureRuleComplies(sig, "p2", rule));
+  // Columns not a subset.
+  ActionSignature wide = sig;
+  wide.columns = {"temperature", "position"};
+  EXPECT_FALSE(SignatureRuleComplies(wide, "p1", rule));
+  // Action type mismatch.
+  ActionSignature no_agg = sig;
+  no_agg.action_type.aggregation = Aggregation::kNoAggregation;
+  EXPECT_FALSE(SignatureRuleComplies(no_agg, "p1", rule));
+  // Joint access exceeds the rule.
+  ActionSignature generic = sig;
+  generic.action_type.joint_access.generic = true;
+  EXPECT_FALSE(SignatureRuleComplies(generic, "p1", rule));
+}
+
+TEST(SemanticComplianceTest, PolicyNeedsOneCompliantRule) {
+  Policy policy;
+  policy.table = "sensed_data";
+  PolicyRule other = MakeRule();
+  other.purposes = {"p7"};
+  policy.rules = {other};
+  const ActionSignature sig = MakeSignature();
+  EXPECT_FALSE(SignaturePolicyComplies(sig, "p1", policy));
+  policy.rules.push_back(MakeRule());
+  EXPECT_TRUE(SignaturePolicyComplies(sig, "p1", policy));
+}
+
+TEST(SemanticComplianceTest, QuerySignatureChecksAllMatchingTables) {
+  Policy policy;
+  policy.table = "sensed_data";
+  policy.rules = {MakeRule()};
+
+  QuerySignature qs;
+  qs.purpose = "p1";
+  TableSignature ts;
+  ts.table = "sensed_data";
+  ts.binding = "s";
+  ts.actions = {MakeSignature()};
+  qs.tables.push_back(std::move(ts));
+  EXPECT_TRUE(QuerySignaturePolicyComplies(qs, policy));
+
+  // Add a non-compliant signature on the same table.
+  ActionSignature bad = MakeSignature();
+  bad.columns = {"position"};
+  qs.tables[0].actions.push_back(bad);
+  EXPECT_FALSE(QuerySignaturePolicyComplies(qs, policy));
+
+  // Signatures on other tables are ignored.
+  QuerySignature other;
+  other.purpose = "p1";
+  TableSignature uts;
+  uts.table = "users";
+  uts.binding = "users";
+  uts.actions = {bad};
+  other.tables.push_back(std::move(uts));
+  EXPECT_TRUE(QuerySignaturePolicyComplies(other, policy));
+}
+
+TEST(SemanticComplianceTest, SubquerySignaturesChecked) {
+  Policy policy;
+  policy.table = "sensed_data";
+  policy.rules = {MakeRule()};
+  QuerySignature qs;
+  qs.purpose = "p1";
+  auto sub = std::make_unique<QuerySignature>();
+  sub->purpose = "p1";
+  TableSignature ts;
+  ts.table = "sensed_data";
+  ts.binding = "sensed_data";
+  ActionSignature bad = MakeSignature();
+  bad.columns = {"position"};
+  ts.actions = {bad};
+  sub->tables.push_back(std::move(ts));
+  qs.subqueries.push_back(std::move(sub));
+  EXPECT_FALSE(QuerySignaturePolicyComplies(qs, policy));
+}
+
+TEST(BitwiseComplianceTest, Listing1Behaviour) {
+  MaskLayout layout = Layout();
+  auto asm_mask = layout.EncodeActionSignature(MakeSignature(), "p1");
+  ASSERT_TRUE(asm_mask.ok());
+  Policy policy;
+  policy.table = "sensed_data";
+  policy.rules = {MakeRule()};
+  auto pm = layout.EncodePolicy(policy);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_TRUE(CompliesWith(*asm_mask, *pm));
+
+  // Length mismatch returns false, as the pseudocode does.
+  EXPECT_FALSE(CompliesWith(*asm_mask, BitString(10)));
+  EXPECT_FALSE(CompliesWith(BitString(), *pm));
+
+  // Pass-none-only policy complies with nothing; pass-all with everything.
+  BitString none;
+  none.Append(layout.PassNoneRuleMask());
+  none.Append(layout.PassNoneRuleMask());
+  EXPECT_FALSE(CompliesWith(*asm_mask, none));
+  BitString all;
+  all.Append(layout.PassNoneRuleMask());
+  all.Append(layout.PassAllRuleMask());
+  EXPECT_TRUE(CompliesWith(*asm_mask, all));
+}
+
+TEST(BitwiseComplianceTest, PackedAgreesWithBitString) {
+  MaskLayout layout = Layout();
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t bits = layout.rule_mask_bits();
+    BitString asm_mask(bits);
+    for (size_t i = 0; i < bits; ++i) asm_mask.Set(i, rng.NextBool(0.3));
+    const int rules = static_cast<int>(rng.NextInt(1, 4));
+    BitString pm;
+    for (int r = 0; r < rules; ++r) {
+      BitString rule_mask(bits);
+      for (size_t i = 0; i < bits; ++i) rule_mask.Set(i, rng.NextBool());
+      pm.Append(rule_mask);
+    }
+    EXPECT_EQ(CompliesWith(asm_mask, pm),
+              CompliesWithPacked(asm_mask.ToBytes(), pm.ToBytes()));
+  }
+}
+
+TEST(BitwiseComplianceTest, PackedRejectsMalformedInput) {
+  EXPECT_FALSE(CompliesWithPacked("", ""));
+  EXPECT_FALSE(CompliesWithPacked("xy", "zw"));
+  MaskLayout layout = Layout();
+  const std::string asm_bytes =
+      layout.EncodeActionSignature(MakeSignature(), "p1")->ToBytes();
+  // Policy whose bit count is not a multiple of the signature's.
+  EXPECT_FALSE(CompliesWithPacked(asm_bytes, BitString(17).ToBytes()));
+  // Truncated payload.
+  std::string truncated = asm_bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(CompliesWithPacked(asm_bytes, truncated));
+}
+
+TEST(BitwiseComplianceTest, UnalignedFallbackPath) {
+  // 13-bit masks take the BitString fallback inside CompliesWithPacked.
+  BitString sig = *BitString::FromBinary("1010000000000");
+  BitString rule_yes = *BitString::FromBinary("1011100000001");
+  BitString rule_no = *BitString::FromBinary("0111100000001");
+  BitString pm;
+  pm.Append(rule_no);
+  pm.Append(rule_yes);
+  EXPECT_TRUE(CompliesWithPacked(sig.ToBytes(), pm.ToBytes()));
+  BitString pm2;
+  pm2.Append(rule_no);
+  EXPECT_FALSE(CompliesWithPacked(sig.ToBytes(), pm2.ToBytes()));
+}
+
+// ---------------------------------------------------------------------------
+// The central property: mask-based compliance (Defs. 15-16) is equivalent to
+// semantic compliance (Defs. 5-6) for well-formed rules and signatures.
+// ---------------------------------------------------------------------------
+
+class MaskSemanticsEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaskSemanticsEquivalence, RandomPoliciesAgree) {
+  Rng rng(GetParam());
+  MaskLayout layout = Layout();
+  auto random_action_type = [&](bool allow_bottom) {
+    if (rng.NextBool(0.4)) {
+      ActionType at = ActionType::Indirect(
+          JointAccess{rng.NextBool(), rng.NextBool(), rng.NextBool(),
+                      rng.NextBool()});
+      if (!allow_bottom) {
+        // Policy-side indirect rules may still specify ms/ag (paper Ex. 4).
+        at.multiplicity = rng.NextBool() ? std::optional<Multiplicity>(
+                                               Multiplicity::kMultiple)
+                                         : std::nullopt;
+      }
+      return at;
+    }
+    return ActionType::Direct(
+        rng.NextBool() ? Multiplicity::kSingle : Multiplicity::kMultiple,
+        rng.NextBool() ? Aggregation::kAggregation
+                       : Aggregation::kNoAggregation,
+        JointAccess{rng.NextBool(), rng.NextBool(), rng.NextBool(),
+                    rng.NextBool()});
+  };
+  auto random_columns = [&]() {
+    std::set<std::string> cols;
+    for (const auto& c : layout.columns()) {
+      if (rng.NextBool(0.4)) cols.insert(c);
+    }
+    if (cols.empty()) cols.insert(layout.columns()[0]);
+    return cols;
+  };
+
+  for (int trial = 0; trial < 300; ++trial) {
+    Policy policy;
+    policy.table = "sensed_data";
+    const int n_rules = static_cast<int>(rng.NextInt(1, 3));
+    for (int r = 0; r < n_rules; ++r) {
+      PolicyRule rule;
+      rule.columns = random_columns();
+      for (const auto& p : layout.purposes()) {
+        if (rng.NextBool(0.4)) rule.purposes.insert(p);
+      }
+      if (rule.purposes.empty()) rule.purposes.insert("p1");
+      rule.action_type = random_action_type(/*allow_bottom=*/false);
+      policy.rules.push_back(std::move(rule));
+    }
+
+    ActionSignature sig;
+    sig.columns = random_columns();
+    sig.action_type = random_action_type(/*allow_bottom=*/true);
+    const std::string purpose =
+        layout.purposes()[rng.NextIndex(layout.purposes().size())];
+
+    const bool semantic = SignaturePolicyComplies(sig, purpose, policy);
+    auto asm_mask = layout.EncodeActionSignature(sig, purpose);
+    ASSERT_TRUE(asm_mask.ok());
+    auto pm = layout.EncodePolicy(policy);
+    ASSERT_TRUE(pm.ok());
+    const bool bitwise = CompliesWith(*asm_mask, *pm);
+    const bool packed = CompliesWithPacked(asm_mask->ToBytes(), pm->ToBytes());
+    EXPECT_EQ(semantic, bitwise)
+        << "policy=" << policy.ToString() << " sig=" << sig.ToString()
+        << " purpose=" << purpose;
+    EXPECT_EQ(bitwise, packed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskSemanticsEquivalence,
+                         ::testing::Values(1, 7, 42, 123, 999, 31337));
+
+// ---------------------------------------------------------------------------
+// Mask algebra properties.
+// ---------------------------------------------------------------------------
+
+class MaskAlgebraTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static PolicyRule RandomRule(Rng* rng, const MaskLayout& layout) {
+    PolicyRule rule;
+    for (const auto& c : layout.columns()) {
+      if (rng->NextBool(0.5)) rule.columns.insert(c);
+    }
+    if (rule.columns.empty()) rule.columns.insert(layout.columns()[0]);
+    for (const auto& p : layout.purposes()) {
+      if (rng->NextBool(0.5)) rule.purposes.insert(p);
+    }
+    if (rule.purposes.empty()) rule.purposes.insert(layout.purposes()[0]);
+    rule.action_type = ActionType::Direct(
+        rng->NextBool() ? Multiplicity::kSingle : Multiplicity::kMultiple,
+        rng->NextBool() ? Aggregation::kAggregation
+                        : Aggregation::kNoAggregation,
+        JointAccess{rng->NextBool(), rng->NextBool(), rng->NextBool(),
+                    rng->NextBool()});
+    return rule;
+  }
+
+  static ActionSignature RandomSignature(Rng* rng, const MaskLayout& layout) {
+    ActionSignature sig;
+    sig.columns.insert(
+        layout.columns()[rng->NextIndex(layout.columns().size())]);
+    if (rng->NextBool(0.4)) {
+      sig.action_type = ActionType::Indirect(
+          JointAccess{rng->NextBool(), rng->NextBool(), rng->NextBool(),
+                      rng->NextBool()});
+    } else {
+      sig.action_type = ActionType::Direct(
+          rng->NextBool() ? Multiplicity::kSingle : Multiplicity::kMultiple,
+          rng->NextBool() ? Aggregation::kAggregation
+                          : Aggregation::kNoAggregation,
+          JointAccess{rng->NextBool(), rng->NextBool(), rng->NextBool(),
+                      rng->NextBool()});
+    }
+    return sig;
+  }
+};
+
+TEST_P(MaskAlgebraTest, RuleOrderDoesNotMatter) {
+  Rng rng(GetParam());
+  MaskLayout layout = Layout();
+  for (int trial = 0; trial < 100; ++trial) {
+    Policy policy;
+    policy.table = "t";
+    const int n = static_cast<int>(rng.NextInt(2, 4));
+    for (int r = 0; r < n; ++r) policy.rules.push_back(RandomRule(&rng, layout));
+    Policy reversed = policy;
+    std::reverse(reversed.rules.begin(), reversed.rules.end());
+
+    const ActionSignature sig = RandomSignature(&rng, layout);
+    const std::string purpose =
+        layout.purposes()[rng.NextIndex(layout.purposes().size())];
+    auto asm_mask = layout.EncodeActionSignature(sig, purpose);
+    ASSERT_TRUE(asm_mask.ok());
+    EXPECT_EQ(CompliesWith(*asm_mask, *layout.EncodePolicy(policy)),
+              CompliesWith(*asm_mask, *layout.EncodePolicy(reversed)));
+  }
+}
+
+TEST_P(MaskAlgebraTest, AddingARuleNeverRevokes) {
+  Rng rng(GetParam() * 13 + 5);
+  MaskLayout layout = Layout();
+  for (int trial = 0; trial < 100; ++trial) {
+    Policy policy;
+    policy.table = "t";
+    policy.rules.push_back(RandomRule(&rng, layout));
+    const ActionSignature sig = RandomSignature(&rng, layout);
+    const std::string purpose =
+        layout.purposes()[rng.NextIndex(layout.purposes().size())];
+    auto asm_mask = layout.EncodeActionSignature(sig, purpose);
+    ASSERT_TRUE(asm_mask.ok());
+    const bool before = CompliesWith(*asm_mask, *layout.EncodePolicy(policy));
+    policy.rules.push_back(RandomRule(&rng, layout));
+    const bool after = CompliesWith(*asm_mask, *layout.EncodePolicy(policy));
+    EXPECT_TRUE(!before || after)
+        << "adding a rule revoked access: " << policy.ToString();
+  }
+}
+
+TEST_P(MaskAlgebraTest, WideningARuleNeverRevokes) {
+  Rng rng(GetParam() * 31 + 1);
+  MaskLayout layout = Layout();
+  for (int trial = 0; trial < 100; ++trial) {
+    Policy policy;
+    policy.table = "t";
+    policy.rules.push_back(RandomRule(&rng, layout));
+    const ActionSignature sig = RandomSignature(&rng, layout);
+    const std::string purpose =
+        layout.purposes()[rng.NextIndex(layout.purposes().size())];
+    auto asm_mask = layout.EncodeActionSignature(sig, purpose);
+    ASSERT_TRUE(asm_mask.ok());
+    const bool before = CompliesWith(*asm_mask, *layout.EncodePolicy(policy));
+    // Widen: add every column and purpose, open all joint categories.
+    PolicyRule& rule = policy.rules[0];
+    for (const auto& c : layout.columns()) rule.columns.insert(c);
+    for (const auto& p : layout.purposes()) rule.purposes.insert(p);
+    rule.action_type.joint_access = JointAccess::All();
+    const bool after = CompliesWith(*asm_mask, *layout.EncodePolicy(policy));
+    EXPECT_TRUE(!before || after);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskAlgebraTest, ::testing::Values(2, 8, 64));
+
+}  // namespace
+}  // namespace aapac::core

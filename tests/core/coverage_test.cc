@@ -1,0 +1,113 @@
+// Policy coverage analysis: flattening, subsumption, the single-cell
+// IsGranted check, and the textual report.
+
+#include "core/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace aapac::core {
+namespace {
+
+Policy TwoRulePolicy() {
+  Policy policy;
+  policy.table = "sensed_data";
+  PolicyRule agg;
+  agg.columns = {"temperature", "beats"};
+  agg.purposes = {"p1", "p6"};
+  agg.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                       Aggregation::kAggregation,
+                                       JointAccess{false, true, true, false});
+  PolicyRule indirect;
+  indirect.columns = {"temperature"};
+  indirect.purposes = {"p6"};
+  indirect.action_type = ActionType::Indirect(JointAccess::All());
+  policy.rules = {agg, indirect};
+  return policy;
+}
+
+TEST(CoverageTest, FlattensPerPurposeAndColumn) {
+  const auto grants = FlattenPolicy(TwoRulePolicy());
+  // 2 purposes x 2 columns + 1 purpose x 1 column = 5 grants.
+  EXPECT_EQ(grants.size(), 5u);
+  int p6_temperature = 0;
+  for (const Grant& g : grants) {
+    if (g.purpose == "p6" && g.column == "temperature") ++p6_temperature;
+  }
+  EXPECT_EQ(p6_temperature, 2);  // Aggregate + indirect.
+}
+
+TEST(CoverageTest, DropsExactDuplicates) {
+  Policy policy = TwoRulePolicy();
+  policy.rules.push_back(policy.rules[0]);  // Duplicate rule.
+  EXPECT_EQ(FlattenPolicy(policy).size(), 5u);
+}
+
+TEST(CoverageTest, DropsSubsumedGrants) {
+  Policy policy;
+  policy.table = "t";
+  PolicyRule narrow;
+  narrow.columns = {"a"};
+  narrow.purposes = {"p1"};
+  narrow.action_type = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kNoAggregation,
+      JointAccess{false, false, true, false});
+  PolicyRule wide = narrow;
+  wide.action_type.joint_access = JointAccess::All();
+  policy.rules = {narrow, wide};
+  const auto grants = FlattenPolicy(policy);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].action.joint_access, JointAccess::All());
+}
+
+TEST(CoverageTest, DifferentShapesNotSubsumed) {
+  Policy policy;
+  policy.table = "t";
+  PolicyRule raw;
+  raw.columns = {"a"};
+  raw.purposes = {"p1"};
+  raw.action_type = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kNoAggregation, JointAccess::All());
+  PolicyRule agg = raw;
+  agg.action_type.aggregation = Aggregation::kAggregation;
+  policy.rules = {raw, agg};
+  EXPECT_EQ(FlattenPolicy(policy).size(), 2u);
+}
+
+TEST(CoverageTest, IsGrantedMatchesCompliance) {
+  const Policy policy = TwoRulePolicy();
+  const ActionType agg_qs = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kAggregation,
+      JointAccess{false, true, false, false});
+  EXPECT_TRUE(IsGranted(policy, "p1", "temperature", agg_qs));
+  EXPECT_TRUE(IsGranted(policy, "p6", "beats", agg_qs));
+  EXPECT_FALSE(IsGranted(policy, "p2", "temperature", agg_qs));
+  EXPECT_FALSE(IsGranted(policy, "p1", "position", agg_qs));
+  // Raw access is never granted by this policy.
+  const ActionType raw = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kNoAggregation, JointAccess::None());
+  EXPECT_FALSE(IsGranted(policy, "p1", "temperature", raw));
+  // Indirect only for p6/temperature.
+  const ActionType indirect = ActionType::Indirect(JointAccess::None());
+  EXPECT_TRUE(IsGranted(policy, "p6", "temperature", indirect));
+  EXPECT_FALSE(IsGranted(policy, "p1", "temperature", indirect));
+}
+
+TEST(CoverageTest, TextReportGroupsByPurpose) {
+  const std::string text = CoverageToText(FlattenPolicy(TwoRulePolicy()));
+  EXPECT_NE(text.find("p1:"), std::string::npos);
+  EXPECT_NE(text.find("p6:"), std::string::npos);
+  EXPECT_NE(text.find("temperature: direct single aggregate joint(q,s)"),
+            std::string::npos);
+  EXPECT_NE(text.find("indirect joint(all)"), std::string::npos);
+  // p1 has no indirect grant.
+  const size_t p1 = text.find("p1:");
+  const size_t p6 = text.find("p6:");
+  EXPECT_EQ(text.substr(p1, p6 - p1).find("indirect"), std::string::npos);
+}
+
+TEST(CoverageTest, EmptyGrants) {
+  EXPECT_EQ(CoverageToText({}), "");
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,206 @@
+// Domain model (§4): data categories, joint access, action types and the
+// Def. 5 compliance relation; purpose sets and their ordering criterion.
+
+#include <gtest/gtest.h>
+
+#include "core/action_type.h"
+#include "core/category.h"
+#include "core/policy.h"
+#include "core/purpose.h"
+#include "core/signature.h"
+
+namespace aapac::core {
+namespace {
+
+TEST(CategoryTest, NamesAndCodes) {
+  EXPECT_STREQ(DataCategoryToString(DataCategory::kIdentifier), "identifier");
+  EXPECT_STREQ(DataCategoryToString(DataCategory::kQuasiIdentifier),
+               "quasi_identifier");
+  EXPECT_STREQ(DataCategoryToString(DataCategory::kSensitive), "sensitive");
+  EXPECT_STREQ(DataCategoryToString(DataCategory::kGeneric), "generic");
+  EXPECT_EQ(DataCategoryCode(DataCategory::kIdentifier), 'i');
+  EXPECT_EQ(DataCategoryCode(DataCategory::kQuasiIdentifier), 'q');
+  EXPECT_EQ(DataCategoryCode(DataCategory::kSensitive), 's');
+  EXPECT_EQ(DataCategoryCode(DataCategory::kGeneric), 'g');
+}
+
+TEST(CategoryTest, ParsingAcceptsNamesAndCodes) {
+  EXPECT_EQ(*DataCategoryFromString("identifier"), DataCategory::kIdentifier);
+  EXPECT_EQ(*DataCategoryFromString("I"), DataCategory::kIdentifier);
+  EXPECT_EQ(*DataCategoryFromString("quasi identifier"),
+            DataCategory::kQuasiIdentifier);
+  EXPECT_EQ(*DataCategoryFromString("QUASI_IDENTIFIER"),
+            DataCategory::kQuasiIdentifier);
+  EXPECT_EQ(*DataCategoryFromString("s"), DataCategory::kSensitive);
+  EXPECT_EQ(*DataCategoryFromString("generic"), DataCategory::kGeneric);
+  EXPECT_FALSE(DataCategoryFromString("secret").ok());
+}
+
+TEST(JointAccessTest, AllowsAndSet) {
+  JointAccess ja;
+  EXPECT_FALSE(ja.Allows(DataCategory::kSensitive));
+  ja.Set(DataCategory::kSensitive, true);
+  ja.Set(DataCategory::kGeneric, true);
+  EXPECT_TRUE(ja.Allows(DataCategory::kSensitive));
+  EXPECT_TRUE(ja.Allows(DataCategory::kGeneric));
+  EXPECT_FALSE(ja.Allows(DataCategory::kIdentifier));
+  ja.Set(DataCategory::kSensitive, false);
+  EXPECT_FALSE(ja.Allows(DataCategory::kSensitive));
+}
+
+TEST(JointAccessTest, SubsetRelation) {
+  const JointAccess none = JointAccess::None();
+  const JointAccess all = JointAccess::All();
+  const JointAccess qs{false, true, true, false};
+  EXPECT_TRUE(none.IsSubsetOf(none));
+  EXPECT_TRUE(none.IsSubsetOf(all));
+  EXPECT_TRUE(qs.IsSubsetOf(all));
+  EXPECT_FALSE(all.IsSubsetOf(qs));
+  EXPECT_TRUE(qs.IsSubsetOf(qs));
+  EXPECT_FALSE((JointAccess{true, false, false, false}).IsSubsetOf(qs));
+}
+
+TEST(JointAccessTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ((JointAccess{true, true, false, false}).ToString(), "<a,a,n,n>");
+  EXPECT_EQ(JointAccess::None().ToString(), "<n,n,n,n>");
+  EXPECT_EQ(JointAccess::All().ToString(), "<a,a,a,a>");
+}
+
+TEST(ActionTypeTest, ToStringNotation) {
+  EXPECT_EQ(ActionType::Direct(Multiplicity::kSingle,
+                               Aggregation::kAggregation,
+                               JointAccess{true, true, false, false})
+                .ToString(),
+            "<d,s,a,<a,a,n,n>>");
+  EXPECT_EQ(ActionType::Indirect(JointAccess::None()).ToString(),
+            "<i,_,_,<n,n,n,n>>");
+}
+
+// Def. 5 compliance matrix.
+TEST(ActionTypeComplianceTest, IndirectionMustMatch) {
+  const ActionType direct = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kNoAggregation, JointAccess::All());
+  const ActionType indirect = ActionType::Indirect(JointAccess::All());
+  ActionType indirect_rule = indirect;
+  EXPECT_FALSE(ActionTypeComplies(direct, indirect_rule));
+  EXPECT_FALSE(ActionTypeComplies(indirect, direct));
+  EXPECT_TRUE(ActionTypeComplies(direct, direct));
+  EXPECT_TRUE(ActionTypeComplies(indirect, indirect_rule));
+}
+
+TEST(ActionTypeComplianceTest, MultiplicityAndAggregationMustMatchWhenSet) {
+  const JointAccess all = JointAccess::All();
+  const ActionType sig_sa =
+      ActionType::Direct(Multiplicity::kSingle, Aggregation::kAggregation, all);
+  EXPECT_TRUE(ActionTypeComplies(
+      sig_sa, ActionType::Direct(Multiplicity::kSingle,
+                                 Aggregation::kAggregation, all)));
+  EXPECT_FALSE(ActionTypeComplies(
+      sig_sa, ActionType::Direct(Multiplicity::kMultiple,
+                                 Aggregation::kAggregation, all)));
+  EXPECT_FALSE(ActionTypeComplies(
+      sig_sa, ActionType::Direct(Multiplicity::kSingle,
+                                 Aggregation::kNoAggregation, all)));
+}
+
+TEST(ActionTypeComplianceTest, BottomSignatureDimensionsMatchAnything) {
+  // Indirect signatures carry ⊥ multiplicity/aggregation (Fig. 3) and
+  // comply with indirect rules regardless of the rule's ms/ag values.
+  const ActionType sig = ActionType::Indirect(JointAccess::None());
+  ActionType rule = ActionType::Indirect(JointAccess::All());
+  rule.multiplicity = Multiplicity::kMultiple;
+  rule.aggregation = Aggregation::kNoAggregation;
+  EXPECT_TRUE(ActionTypeComplies(sig, rule));
+}
+
+TEST(ActionTypeComplianceTest, SetSignatureDimensionNeedsRuleDimension) {
+  // A signature that asserts single-source access cannot comply with a rule
+  // that leaves the dimension unset.
+  ActionType sig = ActionType::Direct(Multiplicity::kSingle,
+                                      Aggregation::kAggregation,
+                                      JointAccess::None());
+  ActionType rule = sig;
+  rule.multiplicity = std::nullopt;
+  EXPECT_FALSE(ActionTypeComplies(sig, rule));
+  rule = sig;
+  rule.aggregation = std::nullopt;
+  EXPECT_FALSE(ActionTypeComplies(sig, rule));
+}
+
+TEST(ActionTypeComplianceTest, JointAccessSubsetRequired) {
+  const ActionType rule = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kAggregation,
+      JointAccess{true, true, true, false});  // Paper Example 7.
+  const ActionType sig_ok = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kAggregation,
+      JointAccess{true, true, false, false});
+  const ActionType sig_bad = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kAggregation,
+      JointAccess{true, true, false, true});  // Generic not allowed.
+  EXPECT_TRUE(ActionTypeComplies(sig_ok, rule));
+  EXPECT_FALSE(ActionTypeComplies(sig_bad, rule));
+}
+
+TEST(PurposeSetTest, MaintainsAlphabeticalOrder) {
+  PurposeSet ps;
+  ASSERT_TRUE(ps.Add({"p3", "ops"}).ok());
+  ASSERT_TRUE(ps.Add({"p1", "treatment"}).ok());
+  ASSERT_TRUE(ps.Add({"p2", "payment"}).ok());
+  EXPECT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps.ordered()[0].id, "p1");
+  EXPECT_EQ(ps.ordered()[2].id, "p3");
+  EXPECT_EQ(*ps.IndexOf("p2"), 1u);
+  EXPECT_FALSE(ps.IndexOf("p9").has_value());
+}
+
+TEST(PurposeSetTest, RejectsDuplicatesAndMissingRemovals) {
+  PurposeSet ps;
+  ASSERT_TRUE(ps.Add({"p1", "a"}).ok());
+  EXPECT_EQ(ps.Add({"p1", "b"}).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(ps.Remove("p1").ok());
+  EXPECT_EQ(ps.Remove("p1").code(), StatusCode::kNotFound);
+}
+
+TEST(PurposeSetTest, ResolveByIdOrDescription) {
+  PurposeSet ps;
+  ASSERT_TRUE(ps.Add({"p6", "research"}).ok());
+  EXPECT_EQ(*ps.Resolve("p6"), "p6");
+  EXPECT_EQ(*ps.Resolve("research"), "p6");
+  EXPECT_EQ(*ps.Resolve("RESEARCH"), "p6");
+  EXPECT_FALSE(ps.Resolve("sale").ok());
+}
+
+TEST(PolicyTest, ToStringMentionsParts) {
+  Policy p;
+  p.table = "t";
+  PolicyRule r;
+  r.columns = {"a", "b"};
+  r.purposes = {"p1"};
+  r.action_type = ActionType::Indirect(JointAccess::All());
+  p.rules = {r};
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("policy on t"), std::string::npos);
+  EXPECT_NE(s.find("a,b"), std::string::npos);
+  EXPECT_NE(s.find("p1"), std::string::npos);
+  EXPECT_NE(s.find("<i,"), std::string::npos);
+}
+
+TEST(SignatureTest, ToStringNests) {
+  QuerySignature qs;
+  qs.id = "abc";
+  qs.purpose = "p1";
+  TableSignature ts;
+  ts.table = "t";
+  ts.binding = "t";
+  ActionSignature as;
+  as.columns = {"x"};
+  as.action_type = ActionType::Indirect(JointAccess::None());
+  ts.actions.push_back(as);
+  qs.tables.push_back(std::move(ts));
+  const std::string s = qs.ToString();
+  EXPECT_NE(s.find("abc"), std::string::npos);
+  EXPECT_NE(s.find("{x}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aapac::core

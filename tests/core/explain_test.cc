@@ -1,0 +1,78 @@
+// EnforcementMonitor::ExplainQuery: the human-readable enforcement report.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/monitor.h"
+#include "workload/patients.h"
+
+namespace aapac::core {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 3;
+    config.samples_per_patient = 4;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    monitor_ = std::make_unique<EnforcementMonitor>(db_.get(), catalog_.get());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<EnforcementMonitor> monitor_;
+};
+
+TEST_F(ExplainTest, ReportSections) {
+  auto report = monitor_->ExplainQuery(
+      "select avg(beats) from sensed_data where temperature > 37", "p6");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NE(report->find("== query signature =="), std::string::npos);
+  EXPECT_NE(report->find("purpose=p6"), std::string::npos);
+  EXPECT_NE(report->find("table sensed_data"), std::string::npos);
+  EXPECT_NE(report->find("<d,s,a,"), std::string::npos);
+  EXPECT_NE(report->find("<i,_,_,"), std::string::npos);
+  EXPECT_NE(report->find("mask=b'"), std::string::npos);
+  // 12 sensed rows x 2 signatures.
+  EXPECT_NE(report->find("24 checks"), std::string::npos);
+  EXPECT_NE(report->find("== rewritten query =="), std::string::npos);
+}
+
+TEST_F(ExplainTest, SubqueriesNested) {
+  auto report = monitor_->ExplainQuery(
+      "select user_id from users where nutritional_profile_id in "
+      "(select profile_id from nutritional_profiles)",
+      "p1");
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("table nutritional_profiles"), std::string::npos);
+  // Sub-query line is indented relative to the root.
+  EXPECT_NE(report->find("\n  query "), std::string::npos);
+}
+
+TEST_F(ExplainTest, UnprotectedTablesFlagged) {
+  auto report = monitor_->ExplainQuery("select id from pr", "p1");
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("(unprotected)"), std::string::npos);
+  EXPECT_NE(report->find("0 checks"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainDoesNotExecute) {
+  ASSERT_TRUE(
+      monitor_->ExplainQuery("select user_id from users", "p1").ok());
+  EXPECT_EQ(monitor_->compliance_checks(), 0u);
+}
+
+TEST_F(ExplainTest, ErrorsPropagate) {
+  EXPECT_FALSE(monitor_->ExplainQuery("select x from users", "p1").ok());
+  EXPECT_FALSE(monitor_->ExplainQuery("select user_id from users", "p99").ok());
+  EXPECT_FALSE(monitor_->ExplainQuery("bogus", "p1").ok());
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,205 @@
+// Reproduces the paper's worked examples:
+//  - Fig. 3: info tuples and query signature of
+//      select user_id, avg(beats) from users join sensed_data
+//      on users.watch_id = sensed_data.watch_id
+//      group by user_id having avg(beats)>90       (purpose p3)
+//  - Examples 9-13: the purpose/column/action-type/rule masks of rule r2.
+//  - Listing 3: the complies_with conjuncts of the rewritten query.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/catalog.h"
+#include "core/masks.h"
+#include "core/monitor.h"
+#include "core/signature_builder.h"
+#include "sql/parser.h"
+#include "workload/patients.h"
+
+namespace aapac {
+namespace {
+
+using core::AccessControlCatalog;
+using core::ActionSignature;
+using core::ActionType;
+using core::Aggregation;
+using core::Indirection;
+using core::JointAccess;
+using core::MaskLayout;
+using core::Multiplicity;
+using core::PolicyRule;
+using core::QuerySignature;
+using core::SignatureBuilder;
+using core::TableSignature;
+
+constexpr char kFig3Query[] =
+    "select user_id, avg(beats) from users join sensed_data on "
+    "users.watch_id = sensed_data.watch_id group by user_id having "
+    "avg(beats)>90";
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 3;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+  }
+
+  const TableSignature* FindTable(const QuerySignature& qs,
+                                  const std::string& binding) {
+    for (const TableSignature& ts : qs.tables) {
+      if (ts.binding == binding) return &ts;
+    }
+    return nullptr;
+  }
+
+  bool HasAction(const TableSignature& ts, const ActionSignature& expected) {
+    for (const ActionSignature& as : ts.actions) {
+      if (as == expected) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+};
+
+TEST_F(Fig3Test, QuerySignatureMatchesFigure3) {
+  auto stmt = sql::ParseSelect(kFig3Query);
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  SignatureBuilder builder(catalog_.get());
+  auto qs = builder.Derive(**stmt, "p3");
+  ASSERT_TRUE(qs.ok()) << qs.status();
+
+  EXPECT_EQ((*qs)->purpose, "p3");
+  ASSERT_EQ((*qs)->tables.size(), 2u);
+  EXPECT_TRUE((*qs)->subqueries.empty());
+
+  // users: direct(s,n) on user_id with Ja=(n,a,a,n); indirect on watch_id
+  // with Ja=(a,a,a,n); indirect on user_id with Ja=(n,a,a,n).
+  const TableSignature* users = FindTable(**qs, "users");
+  ASSERT_NE(users, nullptr);
+  EXPECT_EQ(users->table, "users");
+  ASSERT_EQ(users->actions.size(), 3u);
+  EXPECT_TRUE(HasAction(
+      *users,
+      ActionSignature{{"user_id"},
+                      ActionType::Direct(Multiplicity::kSingle,
+                                         Aggregation::kNoAggregation,
+                                         JointAccess{false, true, true,
+                                                     false})}));
+  EXPECT_TRUE(HasAction(
+      *users, ActionSignature{{"watch_id"},
+                              ActionType::Indirect(
+                                  JointAccess{true, true, true, false})}));
+  EXPECT_TRUE(HasAction(
+      *users, ActionSignature{{"user_id"},
+                              ActionType::Indirect(
+                                  JointAccess{false, true, true, false})}));
+
+  // sensed_data: direct(s,a) on beats with Ja=(a,a,n,n); indirect on
+  // watch_id with Ja=(a,a,a,n); indirect on beats with Ja=(a,a,n,n).
+  const TableSignature* sensed = FindTable(**qs, "sensed_data");
+  ASSERT_NE(sensed, nullptr);
+  ASSERT_EQ(sensed->actions.size(), 3u);
+  EXPECT_TRUE(HasAction(
+      *sensed,
+      ActionSignature{{"beats"},
+                      ActionType::Direct(Multiplicity::kSingle,
+                                         Aggregation::kAggregation,
+                                         JointAccess{true, true, false,
+                                                     false})}));
+  EXPECT_TRUE(HasAction(
+      *sensed, ActionSignature{{"watch_id"},
+                               ActionType::Indirect(
+                                   JointAccess{true, true, true, false})}));
+  EXPECT_TRUE(HasAction(
+      *sensed, ActionSignature{{"beats"},
+                               ActionType::Indirect(
+                                   JointAccess{true, true, false, false})}));
+}
+
+TEST_F(Fig3Test, InfoTuplesMatchFigure3) {
+  auto stmt = sql::ParseSelect(kFig3Query);
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  SignatureBuilder builder(catalog_.get());
+  auto tuples = builder.DeriveInfoTuples(**stmt, "p3");
+  ASSERT_TRUE(tuples.ok()) << tuples.status();
+  // Fig. 3 lists six info tuples: user_id(d), beats(d,agg), watch_id(i) for
+  // both tables, user_id(i) from GROUP BY, beats(i) from HAVING.
+  EXPECT_EQ(tuples->size(), 6u);
+  int direct = 0;
+  int indirect = 0;
+  for (const core::InfoTuple& t : *tuples) {
+    EXPECT_EQ(t.purpose, "p3");
+    if (t.indirection == Indirection::kDirect) {
+      ++direct;
+      EXPECT_TRUE(t.multiplicity.has_value());
+      EXPECT_EQ(*t.multiplicity, Multiplicity::kSingle);
+    } else {
+      ++indirect;
+      EXPECT_FALSE(t.multiplicity.has_value());
+      EXPECT_FALSE(t.aggregation.has_value());
+    }
+  }
+  EXPECT_EQ(direct, 2);
+  EXPECT_EQ(indirect, 4);
+}
+
+// Examples 9-12: masks of rule r2 = <{temperature,beats},{p1,p3,p4,p6},
+// <d,s,n,<n,n,a,n>>> over sensed_data.
+TEST_F(Fig3Test, RuleMaskMatchesExamples9Through12) {
+  auto layout = catalog_->LayoutFor("sensed_data");
+  ASSERT_TRUE(layout.ok()) << layout.status();
+  // sensed_data has 5 attributes and there are 8 purposes: 5+8+10 = 23 bits,
+  // padded to 24 — the paper's "policy rules have a length of 24 bits".
+  EXPECT_EQ(layout->unpadded_bits(), 23u);
+  EXPECT_EQ(layout->rule_mask_bits(), 24u);
+
+  PolicyRule r2;
+  r2.columns = {"temperature", "beats"};
+  r2.purposes = {"p1", "p3", "p4", "p6"};
+  r2.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                      Aggregation::kNoAggregation,
+                                      JointAccess{false, false, true, false});
+  auto mask = layout->EncodeRule(r2);
+  ASSERT_TRUE(mask.ok()) << mask.status();
+  // Column mask (Ex. 10): temperature and beats are the 3rd and 5th
+  // attributes -> 00101. Purpose mask (Ex. 9): {p1,p3,p4,p6} -> 10110100.
+  // Action mask (Ex. 11): direct, single, no aggregation, joint sensitive
+  // -> 0110010010. Plus one zero pad bit.
+  EXPECT_EQ(mask->ToBinary(), "001011011010001100100100");
+}
+
+// Listing 3: the rewritten Fig. 3 query carries six complies_with
+// conjuncts, three per table, with the masks derived from the signature.
+TEST_F(Fig3Test, RewrittenQueryMatchesListing3) {
+  core::EnforcementMonitor monitor(db_.get(), catalog_.get());
+  auto rewritten = monitor.Rewrite(kFig3Query, "p3");
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  const std::string& sql = *rewritten;
+
+  size_t count = 0;
+  for (size_t pos = sql.find("complies_with"); pos != std::string::npos;
+       pos = sql.find("complies_with", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 6u);
+  EXPECT_NE(sql.find("users.policy"), std::string::npos);
+  EXPECT_NE(sql.find("sensed_data.policy"), std::string::npos);
+  EXPECT_NE(sql.find("group by"), std::string::npos);
+  EXPECT_NE(sql.find("having"), std::string::npos);
+
+  // The rewritten query still parses.
+  auto reparsed = sql::ParseSelect(sql);
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status();
+}
+
+}  // namespace
+}  // namespace aapac

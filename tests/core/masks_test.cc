@@ -1,0 +1,190 @@
+// Mask encoding (§5.3, Defs. 9-14): layouts, rule/policy/action-signature
+// masks, decode round trips, pass-all / pass-none constructs.
+
+#include "core/masks.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace aapac::core {
+namespace {
+
+MaskLayout SmallLayout() {
+  return MaskLayout({"a", "b", "c"}, {"p1", "p2"});
+}
+
+/// Paper-scale layout: sensed_data's 5 columns, 8 purposes.
+MaskLayout PaperLayout() {
+  return MaskLayout({"watch_id", "timestamp", "temperature", "position",
+                     "beats"},
+                    {"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"});
+}
+
+TEST(MaskLayoutTest, BitBudget) {
+  MaskLayout layout = SmallLayout();
+  EXPECT_EQ(layout.unpadded_bits(), 3u + 2u + kActionTypeMaskBits);
+  EXPECT_EQ(layout.rule_mask_bits(), 16u);  // Padded to a byte boundary.
+  EXPECT_EQ(PaperLayout().unpadded_bits(), 23u);
+  EXPECT_EQ(PaperLayout().rule_mask_bits(), 24u);  // §6.3: "24 bits".
+  // Exact byte multiples gain no padding.
+  MaskLayout exact({"a", "b", "c", "d", "e", "f"},
+                   {"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"});
+  EXPECT_EQ(exact.unpadded_bits(), 24u);
+  EXPECT_EQ(exact.rule_mask_bits(), 24u);
+}
+
+TEST(MaskLayoutTest, EncodeRuleLayout) {
+  MaskLayout layout = SmallLayout();
+  PolicyRule rule;
+  rule.columns = {"a", "c"};
+  rule.purposes = {"p2"};
+  rule.action_type = ActionType::Direct(Multiplicity::kMultiple,
+                                        Aggregation::kNoAggregation,
+                                        JointAccess{false, true, false, true});
+  auto mask = layout.EncodeRule(rule);
+  ASSERT_TRUE(mask.ok());
+  // cols=101 | purposes=01 | action: i=0 d=1 s=0 m=1 a=0 n=1, ja=0101 | pad=0.
+  EXPECT_EQ(mask->ToBinary(), "1010101010101010");
+}
+
+TEST(MaskLayoutTest, EncodeRuleUnknownColumnOrPurposeFails) {
+  MaskLayout layout = SmallLayout();
+  PolicyRule rule;
+  rule.columns = {"zz"};
+  rule.purposes = {"p1"};
+  EXPECT_FALSE(layout.EncodeRule(rule).ok());
+  rule.columns = {"a"};
+  rule.purposes = {"p9"};
+  EXPECT_FALSE(layout.EncodeRule(rule).ok());
+}
+
+TEST(MaskLayoutTest, ColumnNamesCaseInsensitive) {
+  MaskLayout layout({"Watch_ID"}, {"p1"});
+  PolicyRule rule;
+  rule.columns = {"WATCH_id"};
+  rule.purposes = {"p1"};
+  rule.action_type = ActionType::Indirect(JointAccess::None());
+  EXPECT_TRUE(layout.EncodeRule(rule).ok());
+}
+
+TEST(MaskLayoutTest, PolicyMaskConcatenatesRules) {
+  MaskLayout layout = SmallLayout();
+  Policy policy;
+  policy.table = "t";
+  PolicyRule r;
+  r.columns = {"a"};
+  r.purposes = {"p1"};
+  r.action_type = ActionType::Indirect(JointAccess::None());
+  policy.rules = {r, r, r};
+  auto mask = layout.EncodePolicy(policy);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->size(), 3 * layout.rule_mask_bits());
+  auto split = layout.SplitPolicyMask(*mask);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->size(), 3u);
+  EXPECT_EQ((*split)[0], (*split)[2]);
+}
+
+TEST(MaskLayoutTest, EmptyPolicyRejected) {
+  Policy policy;
+  policy.table = "t";
+  EXPECT_FALSE(SmallLayout().EncodePolicy(policy).ok());
+}
+
+TEST(MaskLayoutTest, SplitRejectsMisalignedMasks) {
+  MaskLayout layout = SmallLayout();
+  EXPECT_FALSE(layout.SplitPolicyMask(BitString(10)).ok());
+  EXPECT_TRUE(layout.SplitPolicyMask(BitString(32)).ok());
+}
+
+TEST(MaskLayoutTest, ActionSignatureSharesRuleLayout) {
+  MaskLayout layout = SmallLayout();
+  ActionSignature sig;
+  sig.columns = {"b"};
+  sig.action_type = ActionType::Indirect(JointAccess{true, false, false, false});
+  auto mask = layout.EncodeActionSignature(sig, "p1");
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->size(), layout.rule_mask_bits());
+  // cols=010 purposes=10 action=1000001000 pad=0.
+  EXPECT_EQ(mask->ToBinary(), "0101010000010000");
+}
+
+TEST(MaskLayoutTest, PassAllPassNone) {
+  MaskLayout layout = SmallLayout();
+  EXPECT_TRUE(layout.PassAllRuleMask().AllOnes());
+  EXPECT_TRUE(layout.PassNoneRuleMask().AllZeros());
+  EXPECT_EQ(layout.PassAllRuleMask().size(), layout.rule_mask_bits());
+}
+
+TEST(MaskLayoutTest, DecodeInverseOfEncode) {
+  MaskLayout layout = PaperLayout();
+  PolicyRule rule;
+  rule.columns = {"temperature", "beats"};
+  rule.purposes = {"p1", "p3", "p4", "p6"};
+  rule.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                        Aggregation::kNoAggregation,
+                                        JointAccess{false, false, true, false});
+  auto mask = layout.EncodeRule(rule);
+  ASSERT_TRUE(mask.ok());
+  auto decoded = layout.DecodeRule(*mask);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->columns, rule.columns);
+  EXPECT_EQ(decoded->purposes, rule.purposes);
+  EXPECT_EQ(decoded->action_type, rule.action_type);
+}
+
+TEST(MaskLayoutTest, DecodeRejectsWrongLength) {
+  EXPECT_FALSE(SmallLayout().DecodeRule(BitString(8)).ok());
+}
+
+class MaskRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaskRoundTrip, RandomWellFormedRulesSurvive) {
+  Rng rng(GetParam());
+  MaskLayout layout = PaperLayout();
+  for (int trial = 0; trial < 50; ++trial) {
+    PolicyRule rule;
+    for (const auto& c : layout.columns()) {
+      if (rng.NextBool()) rule.columns.insert(c);
+    }
+    if (rule.columns.empty()) rule.columns.insert("beats");
+    for (const auto& p : layout.purposes()) {
+      if (rng.NextBool()) rule.purposes.insert(p);
+    }
+    if (rule.purposes.empty()) rule.purposes.insert("p1");
+    if (rng.NextBool()) {
+      rule.action_type = ActionType::Indirect(
+          JointAccess{rng.NextBool(), rng.NextBool(), rng.NextBool(),
+                      rng.NextBool()});
+    } else {
+      rule.action_type = ActionType::Direct(
+          rng.NextBool() ? Multiplicity::kSingle : Multiplicity::kMultiple,
+          rng.NextBool() ? Aggregation::kAggregation
+                         : Aggregation::kNoAggregation,
+          JointAccess{rng.NextBool(), rng.NextBool(), rng.NextBool(),
+                      rng.NextBool()});
+    }
+    auto mask = layout.EncodeRule(rule);
+    ASSERT_TRUE(mask.ok());
+    auto decoded = layout.DecodeRule(*mask);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->columns, rule.columns);
+    EXPECT_EQ(decoded->purposes, rule.purposes);
+    EXPECT_EQ(decoded->action_type.indirection, rule.action_type.indirection);
+    EXPECT_EQ(decoded->action_type.joint_access,
+              rule.action_type.joint_access);
+    if (rule.action_type.indirection == Indirection::kDirect) {
+      EXPECT_EQ(decoded->action_type.multiplicity,
+                rule.action_type.multiplicity);
+      EXPECT_EQ(decoded->action_type.aggregation,
+                rule.action_type.aggregation);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,156 @@
+// Enforcement monitor behaviour (UDF semantics, counters, authorization)
+// and the §5.6 complexity analysis (Eq. 1 plus the measured-below-bound
+// property).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/complexity.h"
+#include "core/monitor.h"
+#include "core/policy_manager.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/queries.h"
+
+namespace aapac::core {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 10;
+    config.samples_per_patient = 5;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    monitor_ = std::make_unique<EnforcementMonitor>(db_.get(), catalog_.get());
+  }
+
+  void Scattered(double selectivity) {
+    workload::ScatteredPolicyConfig config;
+    config.selectivity = selectivity;
+    ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), config).ok());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<EnforcementMonitor> monitor_;
+};
+
+TEST_F(MonitorTest, RegistersCompliesWithUdf) {
+  EXPECT_TRUE(db_->functions().Contains("complies_with"));
+}
+
+TEST_F(MonitorTest, NullPolicyDenies) {
+  // No policies attached: every tuple has a NULL policy -> nothing flows.
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(MonitorTest, ChecksCounterCountsInvocations) {
+  Scattered(0.0);
+  monitor_->ResetComplianceChecks();
+  ASSERT_TRUE(monitor_->ExecuteQuery("select user_id from users", "p1").ok());
+  // One action signature, ten tuples.
+  EXPECT_EQ(monitor_->compliance_checks(), 10u);
+  monitor_->ResetComplianceChecks();
+  EXPECT_EQ(monitor_->compliance_checks(), 0u);
+}
+
+TEST_F(MonitorTest, ShortCircuitSkipsLaterChecks) {
+  Scattered(0.0);
+  monitor_->ResetComplianceChecks();
+  // The user filter eliminates 9 of 10 users before any policy check.
+  ASSERT_TRUE(monitor_
+                  ->ExecuteQuery("select user_id from users where user_id "
+                                 "like 'user3'",
+                                 "p1")
+                  .ok());
+  // One direct signature (select) + one indirect (where) for one tuple.
+  EXPECT_EQ(monitor_->compliance_checks(), 2u);
+}
+
+TEST_F(MonitorTest, UnrestrictedBypassesChecks) {
+  Scattered(1.0);
+  auto rs = monitor_->ExecuteUnrestricted("select user_id from users");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 10u);
+  EXPECT_EQ(monitor_->compliance_checks(), 0u);
+}
+
+TEST_F(MonitorTest, UserAuthorizationGate) {
+  Scattered(0.0);
+  ASSERT_TRUE(catalog_->AuthorizeUser("alice", "p1").ok());
+  EXPECT_TRUE(
+      monitor_->ExecuteQuery("select user_id from users", "p1", "alice").ok());
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "p2", "alice");
+  EXPECT_EQ(rs.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(MonitorTest, RewriteOnlyDoesNotExecute) {
+  Scattered(0.0);
+  auto sql = monitor_->Rewrite("select user_id from users", "p1");
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("complies_with"), std::string::npos);
+  EXPECT_EQ(monitor_->compliance_checks(), 0u);
+}
+
+TEST_F(MonitorTest, PurposeResolutionByDescription) {
+  Scattered(0.0);
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "treatment");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->rows.size(), 10u);
+}
+
+// --- Complexity analysis (§5.6). -------------------------------------------
+
+TEST_F(MonitorTest, ComplexityPrimitiveQuery) {
+  // q touches sensed_data (50 rows) with 2 signatures: select + where.
+  auto est = ComplexityUpperBoundSql(
+      *catalog_, "select beats from sensed_data where temperature > 37", "p1");
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->upper_bound, 100u);
+  ASSERT_EQ(est->terms.size(), 1u);
+  EXPECT_EQ(est->terms[0].tuples, 50u);
+  EXPECT_EQ(est->terms[0].action_signatures, 2u);
+}
+
+TEST_F(MonitorTest, ComplexityStructuredQueryAddsSubqueries) {
+  auto est = ComplexityUpperBoundSql(
+      *catalog_,
+      "select user_id from users where nutritional_profile_id in "
+      "(select profile_id from nutritional_profiles)",
+      "p1");
+  ASSERT_TRUE(est.ok());
+  // users: 2 signatures x 10; profiles: 1 signature x 10.
+  EXPECT_EQ(est->upper_bound, 30u);
+  EXPECT_EQ(est->terms.size(), 2u);
+}
+
+TEST_F(MonitorTest, ComplexityIgnoresUnprotectedTables) {
+  auto est = ComplexityUpperBoundSql(*catalog_, "select id from pr", "p1");
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->upper_bound, 0u);
+  EXPECT_TRUE(est->terms.empty());
+}
+
+TEST_F(MonitorTest, MeasuredChecksNeverExceedBound) {
+  Scattered(0.0);  // Worst case: every tuple passes every check.
+  std::vector<workload::BenchQuery> queries = workload::PaperQueries();
+  for (auto& q : workload::RandomQueries(5)) queries.push_back(std::move(q));
+  for (const auto& q : queries) {
+    auto est = ComplexityUpperBoundSql(*catalog_, q.sql, "p3");
+    ASSERT_TRUE(est.ok()) << q.name;
+    monitor_->ResetComplianceChecks();
+    ASSERT_TRUE(monitor_->ExecuteQuery(q.sql, "p3").ok()) << q.name;
+    EXPECT_LE(monitor_->compliance_checks(), est->upper_bound) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace aapac::core

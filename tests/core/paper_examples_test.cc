@@ -1,0 +1,224 @@
+// Executable versions of the paper's worked Examples 1-7 (§4), beyond the
+// Fig. 3 pipeline already covered by fig3_worked_example_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/catalog.h"
+#include "core/compliance.h"
+#include "core/monitor.h"
+#include "core/policy_manager.h"
+#include "core/signature_builder.h"
+#include "sql/parser.h"
+#include "workload/patients.h"
+
+namespace aapac::core {
+namespace {
+
+using engine::Value;
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 10;
+    config.samples_per_patient = 5;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    manager_ = std::make_unique<PolicyManager>(catalog_.get());
+    monitor_ = std::make_unique<EnforcementMonitor>(db_.get(), catalog_.get());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<PolicyManager> manager_;
+  std::unique_ptr<EnforcementMonitor> monitor_;
+};
+
+// Example 1: Bob allows only the *indirect* access to diet_type of his
+// nutritional_profile tuple. q1 (diet_type used for filtering) complies;
+// q2 (select *, a direct access to diet_type) does not.
+TEST_F(PaperExamplesTest, Example1IndirectOnlyDietType) {
+  Policy policy;
+  policy.table = "nutritional_profiles";
+  PolicyRule indirect_diet;
+  indirect_diet.columns = {"diet_type", "profile_id", "food_intolerances",
+                           "food_preferences"};
+  indirect_diet.purposes = {"p1"};
+  indirect_diet.action_type = ActionType::Indirect(JointAccess::All());
+  PolicyRule direct_rest;  // Direct access everywhere EXCEPT diet_type.
+  direct_rest.columns = {"profile_id", "food_intolerances",
+                         "food_preferences"};
+  direct_rest.purposes = {"p1"};
+  direct_rest.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                               Aggregation::kNoAggregation,
+                                               JointAccess::All());
+  policy.rules = {indirect_diet, direct_rest};
+  ASSERT_TRUE(manager_
+                  ->AttachWhere(policy, "profile_id",
+                                Value::String("profile0"))
+                  .ok());
+
+  // q1: diet_type only filters -> Bob's tuple may contribute.
+  auto q1 = monitor_->ExecuteQuery(
+      "select food_intolerances from nutritional_profiles "
+      "where profile_id like 'profile0'",
+      "p1");
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  EXPECT_EQ(q1->rows.size(), 1u);
+  q1 = monitor_->ExecuteQuery(
+      "select food_intolerances from nutritional_profiles "
+      "where profile_id like 'profile0' and diet_type is not null",
+      "p1");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1->rows.size(), 1u);
+
+  // q2: select * shows diet_type directly -> Bob's tuple is excluded.
+  auto q2 = monitor_->ExecuteQuery(
+      "select * from nutritional_profiles where profile_id like 'profile0'",
+      "p1");
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_TRUE(q2->rows.empty());
+}
+
+// Example 2: direct access to temperature only from multiple sources. The
+// derived-variation query (temperature - avg(temperature)) complies; a bare
+// temperature projection does not.
+TEST_F(PaperExamplesTest, Example2MultipleSourcesOnly) {
+  Policy policy;
+  policy.table = "sensed_data";
+  PolicyRule multiple_only;
+  multiple_only.columns = {"temperature", "timestamp"};
+  multiple_only.purposes = {"p1"};
+  multiple_only.action_type = ActionType::Direct(Multiplicity::kMultiple,
+                                                 Aggregation::kNoAggregation,
+                                                 JointAccess::All());
+  PolicyRule multiple_agg = multiple_only;
+  multiple_agg.action_type = ActionType::Direct(
+      Multiplicity::kMultiple, Aggregation::kAggregation, JointAccess::All());
+  PolicyRule indirect;
+  indirect.columns = {"watch_id", "timestamp", "temperature", "position",
+                      "beats"};
+  indirect.purposes = {"p1"};
+  indirect.action_type = ActionType::Indirect(JointAccess::All());
+  PolicyRule direct_timestamp;  // timestamp alone may be shown.
+  direct_timestamp.columns = {"timestamp"};
+  direct_timestamp.purposes = {"p1"};
+  direct_timestamp.action_type = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kNoAggregation, JointAccess::All());
+  policy.rules = {multiple_only, multiple_agg, indirect, direct_timestamp};
+  ASSERT_TRUE(manager_
+                  ->AttachWhere(policy, "watch_id", Value::String("watch0"))
+                  .ok());
+
+  auto combined = monitor_->ExecuteQuery(
+      "select temperature - avg(temperature), timestamp from sensed_data "
+      "where watch_id like 'watch0' group by temperature, timestamp",
+      "p1");
+  ASSERT_TRUE(combined.ok()) << combined.status();
+  EXPECT_EQ(combined->rows.size(), 5u);
+
+  auto bare = monitor_->ExecuteQuery(
+      "select temperature from sensed_data where watch_id like 'watch0'",
+      "p1");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->rows.empty());
+}
+
+// Example 3: direct access with aggregation to temperature — avg() flows,
+// raw values do not.
+TEST_F(PaperExamplesTest, Example3AggregationOnly) {
+  Policy policy;
+  policy.table = "sensed_data";
+  PolicyRule agg;
+  agg.columns = {"temperature"};
+  agg.purposes = {"p1"};
+  agg.action_type = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kAggregation, JointAccess::All());
+  PolicyRule indirect;
+  indirect.columns = {"watch_id", "timestamp", "temperature", "position",
+                      "beats"};
+  indirect.purposes = {"p1"};
+  indirect.action_type = ActionType::Indirect(JointAccess::All());
+  policy.rules = {agg, indirect};
+  ASSERT_TRUE(manager_->AttachToTable(policy).ok());
+
+  auto avg = monitor_->ExecuteQuery(
+      "select avg(temperature) from sensed_data", "p1");
+  ASSERT_TRUE(avg.ok());
+  ASSERT_EQ(avg->rows.size(), 1u);
+  EXPECT_FALSE(avg->rows[0][0].is_null());
+
+  auto raw = monitor_->ExecuteQuery("select temperature from sensed_data",
+                                    "p1");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_TRUE(raw->rows.empty());
+}
+
+// Example 4/Example 7: rule r2's action type <d,s,a,<a,a,a,n>> accepts the
+// signature <d,s,a,<a,a,n,n>> derived in Example 6 (joint access subset),
+// but rejects a generic joint access.
+TEST_F(PaperExamplesTest, Example7ActionTypeCompliance) {
+  const ActionType rule_type = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kAggregation,
+      JointAccess{true, true, true, false});
+  const ActionType sig_type = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kAggregation,
+      JointAccess{true, true, false, false});
+  EXPECT_TRUE(ActionTypeComplies(sig_type, rule_type));
+  ActionType generic = sig_type;
+  generic.joint_access.generic = true;
+  EXPECT_FALSE(ActionTypeComplies(generic, rule_type));
+}
+
+// Example 5/6: the joint-access component of the avg(temperature) query is
+// the union of the categories of the other accessed attributes —
+// {identifier, quasi identifier} -> <a,a,n,n>.
+TEST_F(PaperExamplesTest, Example5JointAccessDerivation) {
+  auto stmt = sql::ParseSelect(
+      "select avg(temperature) from sensed_data s join users u on "
+      "s.watch_id=u.watch_id where u.user_id like 'Bob'");
+  ASSERT_TRUE(stmt.ok());
+  SignatureBuilder builder(catalog_.get());
+  auto qs = builder.Derive(**stmt, "p6");
+  ASSERT_TRUE(qs.ok()) << qs.status();
+  const TableSignature* sensed = nullptr;
+  for (const auto& ts : (*qs)->tables) {
+    if (ts.binding == "s") sensed = &ts;
+  }
+  ASSERT_NE(sensed, nullptr);
+  const ActionSignature* temp = nullptr;
+  for (const auto& as : sensed->actions) {
+    if (as.columns.count("temperature") > 0 &&
+        as.action_type.indirection == Indirection::kDirect) {
+      temp = &as;
+    }
+  }
+  ASSERT_NE(temp, nullptr);
+  EXPECT_EQ(*temp->action_type.multiplicity, Multiplicity::kSingle);
+  EXPECT_EQ(*temp->action_type.aggregation, Aggregation::kAggregation);
+  EXPECT_EQ(temp->action_type.joint_access,
+            (JointAccess{true, true, false, false}));
+}
+
+// Example 13: the action signature mask of Example 6's temperature access.
+TEST_F(PaperExamplesTest, Example13ActionSignatureMask) {
+  auto layout = catalog_->LayoutFor("sensed_data");
+  ASSERT_TRUE(layout.ok());
+  ActionSignature as;
+  as.columns = {"temperature"};
+  as.action_type = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kAggregation,
+      JointAccess{true, true, false, false});
+  auto mask = layout->EncodeActionSignature(as, "p6");
+  ASSERT_TRUE(mask.ok());
+  // Columns 00100 | purposes 00000100 (p6) | action 0110101100 | pad 0.
+  EXPECT_EQ(mask->ToBinary(), "001000000010001101011000");
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,199 @@
+// Policy Management module: validation, attachment selectors, raw mask
+// writes, and re-encoding after purpose-set / schema changes.
+
+#include "core/policy_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/compliance.h"
+#include "core/masks.h"
+#include "core/monitor.h"
+#include "workload/patients.h"
+
+namespace aapac::core {
+namespace {
+
+using engine::Value;
+
+class PolicyManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 4;
+    config.samples_per_patient = 3;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    manager_ = std::make_unique<PolicyManager>(catalog_.get());
+  }
+
+  Policy UsersPolicy(std::set<std::string> purposes = {"p1"}) {
+    Policy policy;
+    policy.table = "users";
+    PolicyRule direct;
+    direct.columns = {"user_id", "watch_id", "nutritional_profile_id"};
+    direct.purposes = purposes;
+    direct.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                            Aggregation::kNoAggregation,
+                                            JointAccess::All());
+    PolicyRule indirect = direct;
+    indirect.action_type = ActionType::Indirect(JointAccess::All());
+    policy.rules = {direct, indirect};
+    return policy;
+  }
+
+  /// Rows of `table` whose policy mask is non-null.
+  size_t RowsWithPolicy(const std::string& table) {
+    engine::Table* t = db_->FindTable(table);
+    auto col = t->schema().FindColumn("policy");
+    size_t n = 0;
+    for (size_t i = 0; i < t->num_rows(); ++i) {
+      if (!t->row(i)[*col].is_null()) ++n;
+    }
+    return n;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<PolicyManager> manager_;
+};
+
+TEST_F(PolicyManagerTest, ValidateRejectsBadPolicies) {
+  Policy policy = UsersPolicy();
+  policy.table = "pr";  // Unprotected.
+  EXPECT_EQ(manager_->ValidatePolicy(policy).code(),
+            StatusCode::kInvalidArgument);
+
+  policy = UsersPolicy();
+  policy.rules.clear();
+  EXPECT_FALSE(manager_->ValidatePolicy(policy).ok());
+
+  policy = UsersPolicy();
+  policy.rules[0].columns = {};
+  EXPECT_FALSE(manager_->ValidatePolicy(policy).ok());
+
+  policy = UsersPolicy();
+  policy.rules[0].columns.insert("nope");
+  EXPECT_EQ(manager_->ValidatePolicy(policy).code(), StatusCode::kNotFound);
+
+  policy = UsersPolicy();
+  policy.rules[0].purposes = {"p99"};
+  EXPECT_EQ(manager_->ValidatePolicy(policy).code(), StatusCode::kNotFound);
+
+  policy = UsersPolicy();
+  policy.rules[0].columns.insert("policy");
+  EXPECT_FALSE(manager_->ValidatePolicy(policy).ok());
+
+  EXPECT_TRUE(manager_->ValidatePolicy(UsersPolicy()).ok());
+}
+
+TEST_F(PolicyManagerTest, AttachToTableCoversEveryTuple) {
+  ASSERT_TRUE(manager_->AttachToTable(UsersPolicy()).ok());
+  EXPECT_EQ(RowsWithPolicy("users"), 4u);
+  EXPECT_EQ(manager_->attachments().size(), 1u);
+}
+
+TEST_F(PolicyManagerTest, AttachWhereCoversMatchingTuples) {
+  Policy policy = UsersPolicy();
+  ASSERT_TRUE(
+      manager_->AttachWhere(policy, "user_id", Value::String("user1")).ok());
+  EXPECT_EQ(RowsWithPolicy("users"), 1u);
+  // The per-watch pattern of the paper's experiments.
+  Policy sensed;
+  sensed.table = "sensed_data";
+  PolicyRule r;
+  r.columns = {"watch_id", "timestamp", "temperature", "position", "beats"};
+  r.purposes = {"p1"};
+  r.action_type = ActionType::Indirect(JointAccess::All());
+  sensed.rules = {r};
+  ASSERT_TRUE(
+      manager_->AttachWhere(sensed, "watch_id", Value::String("watch2")).ok());
+  EXPECT_EQ(RowsWithPolicy("sensed_data"), 3u);  // 3 samples per patient.
+}
+
+TEST_F(PolicyManagerTest, AttachWhereUnknownSelectorColumn) {
+  EXPECT_EQ(manager_->AttachWhere(UsersPolicy(), "nope", Value::Int(1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PolicyManagerTest, WriteMaskToRow) {
+  auto layout = catalog_->LayoutFor("users");
+  const std::string mask = layout->PassAllRuleMask().ToBytes();
+  ASSERT_TRUE(manager_->WriteMaskToRow("users", 2, mask).ok());
+  EXPECT_EQ(RowsWithPolicy("users"), 1u);
+  EXPECT_FALSE(manager_->WriteMaskToRow("users", 99, mask).ok());
+  EXPECT_FALSE(manager_->WriteMaskToRow("pr", 0, mask).ok());
+}
+
+TEST_F(PolicyManagerTest, EncodedMaskActuallyComplies) {
+  ASSERT_TRUE(manager_->AttachToTable(UsersPolicy({"p1", "p6"})).ok());
+  engine::Table* users = db_->FindTable("users");
+  auto col = users->schema().FindColumn("policy");
+  auto layout = catalog_->LayoutFor("users");
+  ActionSignature sig;
+  sig.columns = {"user_id"};
+  sig.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                       Aggregation::kNoAggregation,
+                                       JointAccess{false, true, false, false});
+  const std::string asm_p1 =
+      layout->EncodeActionSignature(sig, "p1")->ToBytes();
+  const std::string asm_p2 =
+      layout->EncodeActionSignature(sig, "p2")->ToBytes();
+  const std::string& policy_bytes = users->row(0)[*col].AsBytes();
+  EXPECT_TRUE(CompliesWithPacked(asm_p1, policy_bytes));
+  EXPECT_FALSE(CompliesWithPacked(asm_p2, policy_bytes));
+}
+
+TEST_F(PolicyManagerTest, ReapplyAllAfterPurposeChange) {
+  ASSERT_TRUE(manager_->AttachToTable(UsersPolicy()).ok());
+  EnforcementMonitor monitor(db_.get(), catalog_.get());
+  auto rs = monitor.ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);
+
+  // New purpose invalidates the encoded masks until re-application.
+  ASSERT_TRUE(catalog_->DefinePurpose("p0", "archive").ok());
+  rs = monitor.ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 0u);  // Stale masks deny (fail-closed).
+  ASSERT_TRUE(manager_->ReapplyAll().ok());
+  rs = monitor.ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);
+}
+
+TEST_F(PolicyManagerTest, ReapplyAllAfterSchemaChange) {
+  ASSERT_TRUE(manager_->AttachToTable(UsersPolicy()).ok());
+  engine::Table* users = db_->FindTable("users");
+  ASSERT_TRUE(users->AddColumn({"room", engine::ValueType::kString},
+                               Value::Null())
+                  .ok());
+  ASSERT_TRUE(manager_->ReapplyAll().ok());
+  EnforcementMonitor monitor(db_.get(), catalog_.get());
+  auto rs = monitor.ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);
+}
+
+TEST_F(PolicyManagerTest, ClearAttachments) {
+  ASSERT_TRUE(manager_->AttachToTable(UsersPolicy()).ok());
+  Policy sensed;
+  sensed.table = "sensed_data";
+  PolicyRule r;
+  r.columns = {"beats"};
+  r.purposes = {"p1"};
+  r.action_type = ActionType::Indirect(JointAccess::All());
+  sensed.rules = {r};
+  ASSERT_TRUE(manager_->AttachToTable(sensed).ok());
+  EXPECT_EQ(manager_->attachments().size(), 2u);
+  manager_->ClearAttachments("users");
+  EXPECT_EQ(manager_->attachments().size(), 1u);
+  EXPECT_EQ(manager_->attachments()[0].policy.table, "sensed_data");
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,117 @@
+// The textual policy language: parsing, validation, rendering round trips.
+
+#include "core/policy_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy_manager.h"
+#include "workload/patients.h"
+
+namespace aapac::core {
+namespace {
+
+class PolicyParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 2;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+  }
+
+  Result<Policy> Parse(const std::string& table, const std::string& text) {
+    return ParsePolicyText(*catalog_, table, text);
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+};
+
+TEST_F(PolicyParserTest, SingleDirectRule) {
+  auto policy = Parse(
+      "sensed_data",
+      "allow p1, p3 direct single aggregate on temperature, beats joint(s)");
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  ASSERT_EQ(policy->rules.size(), 1u);
+  const PolicyRule& rule = policy->rules[0];
+  EXPECT_EQ(rule.purposes, (std::set<std::string>{"p1", "p3"}));
+  EXPECT_EQ(rule.columns, (std::set<std::string>{"temperature", "beats"}));
+  EXPECT_EQ(rule.action_type.indirection, Indirection::kDirect);
+  EXPECT_EQ(*rule.action_type.multiplicity, Multiplicity::kSingle);
+  EXPECT_EQ(*rule.action_type.aggregation, Aggregation::kAggregation);
+  EXPECT_EQ(rule.action_type.joint_access,
+            (JointAccess{false, false, true, false}));
+}
+
+TEST_F(PolicyParserTest, IndirectRuleAndDefaults) {
+  auto policy = Parse("sensed_data", "allow p6 indirect on *");
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  const PolicyRule& rule = policy->rules[0];
+  EXPECT_EQ(rule.action_type.indirection, Indirection::kIndirect);
+  EXPECT_EQ(rule.columns.size(), 5u);              // All non-policy columns.
+  EXPECT_EQ(rule.columns.count("policy"), 0u);
+  EXPECT_EQ(rule.action_type.joint_access, JointAccess::All());  // Default.
+}
+
+TEST_F(PolicyParserTest, PurposesByDescription) {
+  auto policy = Parse("users", "allow research, treatment indirect on *");
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  EXPECT_EQ(policy->rules[0].purposes, (std::set<std::string>{"p1", "p6"}));
+}
+
+TEST_F(PolicyParserTest, MultipleRulesAndTrailingSemicolon) {
+  auto policy = Parse("sensed_data",
+                      "allow p1 direct multiple raw on beats joint(none);"
+                      "allow p2 indirect on watch_id joint(i, q);");
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  ASSERT_EQ(policy->rules.size(), 2u);
+  EXPECT_EQ(policy->rules[0].action_type.joint_access, JointAccess::None());
+  EXPECT_EQ(policy->rules[1].action_type.joint_access,
+            (JointAccess{true, true, false, false}));
+}
+
+TEST_F(PolicyParserTest, Errors) {
+  EXPECT_FALSE(Parse("sensed_data", "").ok());
+  EXPECT_FALSE(Parse("sensed_data", "deny p1 indirect on *").ok());
+  EXPECT_FALSE(Parse("sensed_data", "allow p99 indirect on *").ok());
+  EXPECT_FALSE(Parse("sensed_data", "allow p1 sideways on *").ok());
+  EXPECT_FALSE(Parse("sensed_data", "allow p1 direct single on *").ok());
+  EXPECT_FALSE(Parse("sensed_data", "allow p1 indirect on nope").ok());
+  EXPECT_FALSE(Parse("sensed_data", "allow p1 indirect on * joint(x)").ok());
+  EXPECT_FALSE(Parse("sensed_data", "allow p1 indirect on * junk").ok());
+  EXPECT_FALSE(Parse("missing_table", "allow p1 indirect on *").ok());
+}
+
+TEST_F(PolicyParserTest, TextRoundTrip) {
+  const char* texts[] = {
+      "allow p1, p3 direct single aggregate on beats, temperature joint("
+      "sensitive)",
+      "allow p6 indirect on position joint(all)",
+      "allow p2 direct multiple raw on watch_id joint(none)",
+  };
+  for (const char* text : texts) {
+    auto policy = Parse("sensed_data", text);
+    ASSERT_TRUE(policy.ok()) << text;
+    auto reparsed = Parse("sensed_data", PolicyToText(*policy));
+    ASSERT_TRUE(reparsed.ok()) << PolicyToText(*policy);
+    EXPECT_EQ(PolicyToText(*reparsed), PolicyToText(*policy));
+  }
+}
+
+TEST_F(PolicyParserTest, ParsedPolicyPassesValidation) {
+  auto policy = Parse("users",
+                      "allow p1 direct single raw on user_id, watch_id, "
+                      "nutritional_profile_id; allow p1 indirect on *");
+  ASSERT_TRUE(policy.ok());
+  PolicyManager manager(catalog_.get());
+  EXPECT_TRUE(manager.ValidatePolicy(*policy).ok());
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,147 @@
+// Role-based purpose administration (future-work item 3): role definition,
+// purpose grants, user assignments, and the monitor's combined
+// direct-or-role authorization check.
+
+#include "core/rbac.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/monitor.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::core {
+namespace {
+
+class RbacTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 5;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    roles_ = std::make_unique<RoleManager>(catalog_.get());
+    ASSERT_TRUE(roles_->Initialize().ok());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<RoleManager> roles_;
+};
+
+TEST_F(RbacTest, InitializeCreatesMetadataTables) {
+  EXPECT_NE(db_->FindTable("rr"), nullptr);
+  EXPECT_NE(db_->FindTable("ur"), nullptr);
+}
+
+TEST_F(RbacTest, DefineGrantAssign) {
+  ASSERT_TRUE(roles_->DefineRole("physician").ok());
+  EXPECT_TRUE(roles_->RoleExists("physician"));
+  EXPECT_FALSE(roles_->DefineRole("physician").ok());
+
+  ASSERT_TRUE(roles_->GrantPurposeToRole("physician", "p1").ok());
+  ASSERT_TRUE(roles_->GrantPurposeToRole("physician", "p3").ok());
+  EXPECT_FALSE(roles_->GrantPurposeToRole("physician", "p99").ok());
+  EXPECT_FALSE(roles_->GrantPurposeToRole("nurse", "p1").ok());
+  EXPECT_EQ(roles_->PurposesOfRole("physician"),
+            (std::set<std::string>{"p1", "p3"}));
+
+  ASSERT_TRUE(roles_->AssignUserToRole("alice", "physician").ok());
+  EXPECT_FALSE(roles_->AssignUserToRole("alice", "nurse").ok());
+  EXPECT_EQ(roles_->RolesOfUser("alice"),
+            (std::set<std::string>{"physician"}));
+  EXPECT_EQ(roles_->PurposesOfUser("alice"),
+            (std::set<std::string>{"p1", "p3"}));
+}
+
+TEST_F(RbacTest, AuthorizationViaRoles) {
+  ASSERT_TRUE(roles_->DefineRole("researcher").ok());
+  ASSERT_TRUE(roles_->GrantPurposeToRole("researcher", "p6").ok());
+  ASSERT_TRUE(roles_->AssignUserToRole("bob", "researcher").ok());
+  EXPECT_TRUE(roles_->IsAuthorizedViaRoles("bob", "p6"));
+  EXPECT_FALSE(roles_->IsAuthorizedViaRoles("bob", "p1"));
+  EXPECT_FALSE(roles_->IsAuthorizedViaRoles("carol", "p6"));
+  // Combined check also honours direct grants.
+  ASSERT_TRUE(catalog_->AuthorizeUser("bob", "p1").ok());
+  EXPECT_TRUE(roles_->IsUserAuthorized("bob", "p1"));
+  EXPECT_TRUE(roles_->IsUserAuthorized("bob", "p6"));
+}
+
+TEST_F(RbacTest, RevokeAndRemove) {
+  ASSERT_TRUE(roles_->DefineRole("r").ok());
+  ASSERT_TRUE(roles_->GrantPurposeToRole("r", "p2").ok());
+  ASSERT_TRUE(roles_->AssignUserToRole("u", "r").ok());
+  ASSERT_TRUE(roles_->RevokePurposeFromRole("r", "p2").ok());
+  EXPECT_FALSE(roles_->RevokePurposeFromRole("r", "p2").ok());
+  EXPECT_FALSE(roles_->IsAuthorizedViaRoles("u", "p2"));
+  ASSERT_TRUE(roles_->RemoveUserFromRole("u", "r").ok());
+  EXPECT_FALSE(roles_->RemoveUserFromRole("u", "r").ok());
+  EXPECT_TRUE(roles_->RolesOfUser("u").empty());
+}
+
+TEST_F(RbacTest, DropRoleCascades) {
+  ASSERT_TRUE(roles_->DefineRole("temp").ok());
+  ASSERT_TRUE(roles_->GrantPurposeToRole("temp", "p4").ok());
+  ASSERT_TRUE(roles_->AssignUserToRole("dave", "temp").ok());
+  ASSERT_TRUE(roles_->DropRole("temp").ok());
+  EXPECT_FALSE(roles_->RoleExists("temp"));
+  EXPECT_FALSE(roles_->IsAuthorizedViaRoles("dave", "p4"));
+  EXPECT_FALSE(roles_->DropRole("temp").ok());
+}
+
+TEST_F(RbacTest, HandlePurposeRemoved) {
+  ASSERT_TRUE(roles_->DefineRole("r").ok());
+  ASSERT_TRUE(roles_->GrantPurposeToRole("r", "p5").ok());
+  ASSERT_TRUE(catalog_->RemovePurpose("p5").ok());
+  ASSERT_TRUE(roles_->HandlePurposeRemoved("p5").ok());
+  EXPECT_TRUE(roles_->PurposesOfRole("r").empty());
+}
+
+TEST_F(RbacTest, MonitorHonoursRoleAuthorization) {
+  workload::ScatteredPolicyConfig config;
+  config.selectivity = 0.0;
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), config).ok());
+
+  EnforcementMonitor monitor(db_.get(), catalog_.get());
+  ASSERT_TRUE(roles_->DefineRole("researcher").ok());
+  ASSERT_TRUE(roles_->GrantPurposeToRole("researcher", "p6").ok());
+  ASSERT_TRUE(roles_->AssignUserToRole("eve", "researcher").ok());
+
+  // Without the role manager hooked up, eve is rejected.
+  auto rs = monitor.ExecuteQuery("select user_id from users", "p6", "eve");
+  EXPECT_EQ(rs.status().code(), StatusCode::kPermissionDenied);
+
+  monitor.SetRoleManager(roles_.get());
+  rs = monitor.ExecuteQuery("select user_id from users", "p6", "eve");
+  EXPECT_TRUE(rs.ok()) << rs.status();
+  // Role grants p6 only.
+  rs = monitor.ExecuteQuery("select user_id from users", "p1", "eve");
+  EXPECT_EQ(rs.status().code(), StatusCode::kPermissionDenied);
+  // Unhook: back to direct-only.
+  monitor.SetRoleManager(nullptr);
+  rs = monitor.ExecuteQuery("select user_id from users", "p6", "eve");
+  EXPECT_EQ(rs.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(RbacTest, MetadataQueryableViaSql) {
+  ASSERT_TRUE(roles_->DefineRole("auditor").ok());
+  ASSERT_TRUE(roles_->GrantPurposeToRole("auditor", "p5").ok());
+  ASSERT_TRUE(roles_->AssignUserToRole("frank", "auditor").ok());
+  engine::Executor exec(db_.get());
+  auto rs = exec.ExecuteSql("select rn, pi from rr where rn like 'auditor'");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][1].AsString(), "p5");
+  rs = exec.ExecuteSql("select ui from ur where rn like 'auditor'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,247 @@
+// Query rewriting (§5.5, Listing 2): conjunct placement and ordering,
+// sub-query recursion, star expansion, protected-table scoping.
+
+#include "core/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sql/parser.h"
+#include "workload/patients.h"
+#include "workload/queries.h"
+
+namespace aapac::core {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 2;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    rewriter_ = std::make_unique<QueryRewriter>(catalog_.get());
+  }
+
+  std::string Rewrite(const std::string& sql, const std::string& purpose = "p1") {
+    auto out = rewriter_->RewriteSql(sql, purpose);
+    EXPECT_TRUE(out.ok()) << sql << " -> " << out.status();
+    return std::move(out).ValueOr("");
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<QueryRewriter> rewriter_;
+};
+
+TEST_F(RewriterTest, AddsOneCheckPerActionSignature) {
+  const std::string sql = Rewrite("select temperature from sensed_data");
+  EXPECT_EQ(CountOccurrences(sql, "complies_with"), 1u);
+  EXPECT_NE(sql.find("sensed_data.policy"), std::string::npos);
+}
+
+TEST_F(RewriterTest, OriginalWhereComesFirst) {
+  const std::string sql =
+      Rewrite("select temperature from sensed_data where beats > 100");
+  const size_t original = sql.find("beats > 100");
+  const size_t check = sql.find("complies_with");
+  ASSERT_NE(original, std::string::npos);
+  ASSERT_NE(check, std::string::npos);
+  EXPECT_LT(original, check);
+}
+
+TEST_F(RewriterTest, NoWhereStartsWithChecks) {
+  const std::string sql = Rewrite("select temperature from sensed_data");
+  EXPECT_NE(sql.find("where complies_with"), std::string::npos);
+}
+
+TEST_F(RewriterTest, ChecksUseBindingAliases) {
+  const std::string sql =
+      Rewrite("select s.temperature from sensed_data s");
+  EXPECT_NE(sql.find("s.policy"), std::string::npos);
+  EXPECT_EQ(sql.find("sensed_data.policy"), std::string::npos);
+}
+
+TEST_F(RewriterTest, MasksEmbedAsBitLiterals) {
+  const std::string sql = Rewrite("select temperature from sensed_data");
+  EXPECT_NE(sql.find("b'"), std::string::npos);
+  // The mask is 24 bits for sensed_data (5 cols + 8 purposes + 10 + pad).
+  const size_t start = sql.find("b'") + 2;
+  const size_t end = sql.find('\'', start);
+  EXPECT_EQ(end - start, 24u);
+}
+
+TEST_F(RewriterTest, UnprotectedTablesUntouched) {
+  const std::string sql = Rewrite("select id, ds from pr");
+  EXPECT_EQ(CountOccurrences(sql, "complies_with"), 0u);
+}
+
+TEST_F(RewriterTest, MixedProtectionOnlyChecksProtected) {
+  const std::string sql = Rewrite(
+      "select user_id from users join pr on users.user_id = pr.id");
+  // users contributes signatures; pr none.
+  EXPECT_GT(CountOccurrences(sql, "users.policy"), 0u);
+  EXPECT_EQ(CountOccurrences(sql, "pr.policy"), 0u);
+}
+
+TEST_F(RewriterTest, SubqueriesRewrittenAtTheirLevel) {
+  const std::string sql = Rewrite(
+      "select user_id from users where nutritional_profile_id in "
+      "(select profile_id from nutritional_profiles where diet_type like "
+      "'vegan')");
+  // Checks on nutritional_profiles must appear inside the IN sub-query.
+  const size_t in_open = sql.find(" in (");
+  ASSERT_NE(in_open, std::string::npos);
+  const size_t inner_check = sql.find("nutritional_profiles.policy");
+  ASSERT_NE(inner_check, std::string::npos);
+  EXPECT_GT(inner_check, in_open);
+}
+
+TEST_F(RewriterTest, DerivedTablesRewrittenInside) {
+  const std::string sql = Rewrite(
+      "select user_id, avg(s1.b) from users join (select watch_id as w, "
+      "beats as b from sensed_data where beats > 100) s1 on "
+      "users.watch_id = s1.w group by user_id");
+  const size_t derived_open = sql.find("(select");
+  const size_t sensed_check = sql.find("sensed_data.policy");
+  ASSERT_NE(derived_open, std::string::npos);
+  ASSERT_NE(sensed_check, std::string::npos);
+  EXPECT_GT(sensed_check, derived_open);
+  // Outer checks only on users, never on the derived alias.
+  EXPECT_EQ(CountOccurrences(sql, "s1.policy"), 0u);
+  EXPECT_GT(CountOccurrences(sql, "users.policy"), 0u);
+}
+
+TEST_F(RewriterTest, ScalarSubqueryInSelectListRewritten) {
+  const std::string sql = Rewrite(
+      "select user_id, (select avg(beats) from sensed_data) from users");
+  EXPECT_GT(CountOccurrences(sql, "sensed_data.policy"), 0u);
+  EXPECT_GT(CountOccurrences(sql, "users.policy"), 0u);
+}
+
+TEST_F(RewriterTest, QueryTouchingNoColumnsGetsNoChecks) {
+  // A select list made of one uncorrelated scalar sub-query reads nothing
+  // from the outer table, so the outer level needs no policy conjunct.
+  const std::string sql = Rewrite(
+      "select (select avg(beats) from sensed_data) from users");
+  EXPECT_EQ(CountOccurrences(sql, "users.policy"), 0u);
+  EXPECT_GT(CountOccurrences(sql, "sensed_data.policy"), 0u);
+}
+
+TEST_F(RewriterTest, StarExpandedWithoutPolicyColumn) {
+  const std::string sql = Rewrite("select * from users");
+  EXPECT_NE(sql.find("users.user_id"), std::string::npos);
+  EXPECT_NE(sql.find("users.watch_id"), std::string::npos);
+  EXPECT_NE(sql.find("users.nutritional_profile_id"), std::string::npos);
+  // The policy column appears only inside the checks, never projected.
+  const size_t select_end = sql.find(" from ");
+  EXPECT_EQ(sql.substr(0, select_end).find("policy"), std::string::npos);
+}
+
+TEST_F(RewriterTest, QualifiedStarExpansion) {
+  const std::string sql = Rewrite(
+      "select u.* from users u join sensed_data s on u.watch_id = s.watch_id");
+  const size_t select_end = sql.find(" from ");
+  const std::string head = sql.substr(0, select_end);
+  EXPECT_NE(head.find("u.user_id"), std::string::npos);
+  EXPECT_EQ(head.find("s.temperature"), std::string::npos);
+  EXPECT_EQ(head.find("policy"), std::string::npos);
+}
+
+TEST_F(RewriterTest, RewrittenSqlAlwaysReparses) {
+  for (const auto& q : workload::PaperQueries()) {
+    const std::string sql = Rewrite(q.sql, "p3");
+    auto reparsed = sql::ParseSelect(sql);
+    EXPECT_TRUE(reparsed.ok()) << q.name << ": " << sql;
+  }
+  for (const auto& q : workload::RandomQueries(7)) {
+    const std::string sql = Rewrite(q.sql, "p3");
+    auto reparsed = sql::ParseSelect(sql);
+    EXPECT_TRUE(reparsed.ok()) << q.name << ": " << sql;
+  }
+}
+
+TEST_F(RewriterTest, UnknownPurposeRejected) {
+  auto out = rewriter_->RewriteSql("select user_id from users", "p99");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RewriterTest, ParseErrorsPropagate) {
+  EXPECT_FALSE(rewriter_->RewriteSql("not sql", "p1").ok());
+}
+
+TEST_F(RewriterTest, UserQueriesCannotTouchEnforcementInternals) {
+  // Direct policy-column reads would leak masks.
+  for (const char* sql : {
+           "select policy from users",
+           "select users.policy from users",
+           "select user_id from users where policy is not null",
+           "select user_id from users order by policy",
+           "select user_id from users where nutritional_profile_id in "
+           "(select profile_id from nutritional_profiles where policy is "
+           "null)",
+           "select u.user_id from users u join sensed_data s on "
+           "u.policy = s.policy",
+       }) {
+    auto out = rewriter_->RewriteSql(sql, "p1");
+    EXPECT_FALSE(out.ok()) << sql;
+    EXPECT_EQ(out.status().code(), StatusCode::kPermissionDenied) << sql;
+  }
+  // Calling the enforcement UDFs directly could forge always-true checks.
+  for (const char* sql : {
+           "select complies_with(b'1', b'1') from users",
+           "select user_id from users where complies_with(b'1', b'1')",
+           "select user_id from users where purpose_allows(b'1', b'1')",
+       }) {
+    auto out = rewriter_->RewriteSql(sql, "p1");
+    EXPECT_FALSE(out.ok()) << sql;
+    EXPECT_EQ(out.status().code(), StatusCode::kPermissionDenied) << sql;
+  }
+  // The rewriter's own output is of course allowed to contain them: the
+  // check runs before this level's conjuncts are added.
+  EXPECT_TRUE(rewriter_->RewriteSql("select user_id from users", "p1").ok());
+}
+
+TEST_F(RewriterTest, RewrittenOutputCannotBeResubmitted) {
+  // A rewritten query contains complies_with conjuncts; feeding it back to
+  // the monitor (e.g. a user replaying captured SQL to forge a weaker
+  // check) must be rejected by the reserved-name guard.
+  for (const auto& q : workload::PaperQueries()) {
+    const std::string once = Rewrite(q.sql, "p3");
+    if (once.find("complies_with") == std::string::npos) continue;
+    auto twice = rewriter_->RewriteSql(once, "p3");
+    EXPECT_FALSE(twice.ok()) << q.name;
+    EXPECT_EQ(twice.status().code(), StatusCode::kPermissionDenied) << q.name;
+  }
+}
+
+TEST_F(RewriterTest, GroupByHavingPreserved) {
+  const std::string sql = Rewrite(
+      "select user_id, avg(beats) from users join sensed_data on "
+      "users.watch_id = sensed_data.watch_id group by user_id having "
+      "avg(beats)>90",
+      "p3");
+  EXPECT_NE(sql.find("group by user_id"), std::string::npos);
+  EXPECT_NE(sql.find("having"), std::string::npos);
+  // Checks precede GROUP BY (they live in WHERE).
+  EXPECT_LT(sql.find("complies_with"), sql.find("group by"));
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,276 @@
+// Signature derivation (§5.2) beyond the Fig. 3 worked example: multiplicity
+// and aggregation detection, star items, indirect clauses, joint-access
+// unions, aliases, derived tables, sub-query recursion and error handling.
+
+#include "core/signature_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sql/parser.h"
+#include "workload/patients.h"
+
+namespace aapac::core {
+namespace {
+
+class SignatureBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 2;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    builder_ = std::make_unique<SignatureBuilder>(catalog_.get());
+  }
+
+  std::unique_ptr<QuerySignature> Derive(const std::string& sql,
+                                         const std::string& purpose = "p1") {
+    auto stmt = sql::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    auto qs = builder_->Derive(**stmt, purpose, sql);
+    EXPECT_TRUE(qs.ok()) << sql << " -> " << qs.status();
+    return qs.ok() ? std::move(*qs) : nullptr;
+  }
+
+  static const TableSignature* Find(const QuerySignature& qs,
+                                    const std::string& binding) {
+    for (const auto& ts : qs.tables) {
+      if (ts.binding == binding) return &ts;
+    }
+    return nullptr;
+  }
+
+  static const ActionSignature* FindAction(const TableSignature& ts,
+                                           const std::string& column,
+                                           Indirection ia) {
+    for (const auto& as : ts.actions) {
+      if (as.columns.count(column) > 0 && as.action_type.indirection == ia) {
+        return &as;
+      }
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<SignatureBuilder> builder_;
+};
+
+TEST_F(SignatureBuilderTest, BareColumnIsDirectSingleNoAggregation) {
+  auto qs = Derive("select temperature from sensed_data");
+  const TableSignature* ts = Find(*qs, "sensed_data");
+  ASSERT_NE(ts, nullptr);
+  const ActionSignature* as =
+      FindAction(*ts, "temperature", Indirection::kDirect);
+  ASSERT_NE(as, nullptr);
+  EXPECT_EQ(*as->action_type.multiplicity, Multiplicity::kSingle);
+  EXPECT_EQ(*as->action_type.aggregation, Aggregation::kNoAggregation);
+  // Only column accessed: joint access is empty.
+  EXPECT_EQ(as->action_type.joint_access, JointAccess::None());
+}
+
+TEST_F(SignatureBuilderTest, AggregateArgumentIsAggregation) {
+  auto qs = Derive("select avg(temperature) from sensed_data");
+  const ActionSignature* as = FindAction(*Find(*qs, "sensed_data"),
+                                         "temperature", Indirection::kDirect);
+  ASSERT_NE(as, nullptr);
+  EXPECT_EQ(*as->action_type.aggregation, Aggregation::kAggregation);
+}
+
+TEST_F(SignatureBuilderTest, CombinedExpressionIsMultipleSources) {
+  // Paper Example 2: temperature - avg(temperature) combines two column
+  // occurrences -> multiplicity "multiple" for both info tuples.
+  auto qs = Derive("select temperature - avg(temperature) from sensed_data");
+  const TableSignature* ts = Find(*qs, "sensed_data");
+  ASSERT_NE(ts, nullptr);
+  ASSERT_EQ(ts->actions.size(), 2u);  // (m, n) and (m, a) on temperature.
+  for (const auto& as : ts->actions) {
+    EXPECT_EQ(*as.action_type.multiplicity, Multiplicity::kMultiple);
+  }
+}
+
+TEST_F(SignatureBuilderTest, TwoDistinctColumnsInOneItemAreMultiple) {
+  auto qs = Derive("select temperature + beats from sensed_data");
+  const TableSignature* ts = Find(*qs, "sensed_data");
+  for (const auto& as : ts->actions) {
+    EXPECT_EQ(*as.action_type.multiplicity, Multiplicity::kMultiple);
+  }
+  EXPECT_EQ(ts->actions.size(), 2u);
+}
+
+TEST_F(SignatureBuilderTest, SeparateItemsStaySingle) {
+  auto qs = Derive("select temperature, beats from sensed_data");
+  const TableSignature* ts = Find(*qs, "sensed_data");
+  for (const auto& as : ts->actions) {
+    EXPECT_EQ(*as.action_type.multiplicity, Multiplicity::kSingle);
+  }
+}
+
+TEST_F(SignatureBuilderTest, CountStarYieldsNoDirectAccess) {
+  auto qs = Derive("select count(*) from sensed_data");
+  const TableSignature* ts = Find(*qs, "sensed_data");
+  EXPECT_EQ(ts, nullptr);  // No column touched at all.
+}
+
+TEST_F(SignatureBuilderTest, WhereGroupHavingOrderAreIndirect) {
+  auto qs = Derive(
+      "select count(*) from sensed_data where temperature > 37 "
+      "group by position having avg(beats) > 90 order by position");
+  const TableSignature* ts = Find(*qs, "sensed_data");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_NE(FindAction(*ts, "temperature", Indirection::kIndirect), nullptr);
+  EXPECT_NE(FindAction(*ts, "position", Indirection::kIndirect), nullptr);
+  EXPECT_NE(FindAction(*ts, "beats", Indirection::kIndirect), nullptr);
+  EXPECT_EQ(ts->actions.size(), 3u);
+  // Indirect tuples carry ⊥ ms/ag.
+  for (const auto& as : ts->actions) {
+    EXPECT_FALSE(as.action_type.multiplicity.has_value());
+    EXPECT_FALSE(as.action_type.aggregation.has_value());
+  }
+}
+
+TEST_F(SignatureBuilderTest, DuplicateAccessesFold) {
+  // temperature used twice in WHERE -> one indirect signature.
+  auto qs = Derive(
+      "select count(*) from sensed_data where temperature > 36 and "
+      "temperature < 40");
+  const TableSignature* ts = Find(*qs, "sensed_data");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->actions.size(), 1u);
+}
+
+TEST_F(SignatureBuilderTest, StarExpandsAndSkipsPolicyColumn) {
+  auto qs = Derive("select * from users");
+  const TableSignature* ts = Find(*qs, "users");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->actions.size(), 3u);  // user_id, watch_id, profile id.
+  for (const auto& as : ts->actions) {
+    EXPECT_EQ(as.columns.count("policy"), 0u);
+    EXPECT_EQ(as.action_type.indirection, Indirection::kDirect);
+  }
+}
+
+TEST_F(SignatureBuilderTest, JointAccessExcludesOwnColumn) {
+  // user_id (identifier) and temperature (sensitive) jointly accessed with
+  // quasi-identifier join keys.
+  auto qs = Derive(
+      "select user_id, temperature from users join sensed_data on "
+      "users.watch_id = sensed_data.watch_id");
+  const ActionSignature* user_id =
+      FindAction(*Find(*qs, "users"), "user_id", Indirection::kDirect);
+  ASSERT_NE(user_id, nullptr);
+  EXPECT_EQ(user_id->action_type.joint_access,
+            (JointAccess{false, true, true, false}));  // q (keys), s (temp).
+  const ActionSignature* temp = FindAction(*Find(*qs, "sensed_data"),
+                                           "temperature", Indirection::kDirect);
+  ASSERT_NE(temp, nullptr);
+  EXPECT_EQ(temp->action_type.joint_access,
+            (JointAccess{true, true, false, false}));  // i (user_id), q.
+}
+
+TEST_F(SignatureBuilderTest, AliasedTablesUseBindingNames) {
+  auto qs = Derive(
+      "select s.beats from sensed_data s where s.temperature > 37");
+  const TableSignature* ts = Find(*qs, "s");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->table, "sensed_data");
+  EXPECT_EQ(ts->actions.size(), 2u);
+}
+
+TEST_F(SignatureBuilderTest, SubqueriesGetOwnSignatures) {
+  auto qs = Derive(
+      "select user_id from users where nutritional_profile_id in "
+      "(select profile_id from nutritional_profiles where diet_type like "
+      "'vegan')");
+  ASSERT_EQ(qs->subqueries.size(), 1u);
+  const QuerySignature& sub = *qs->subqueries[0];
+  EXPECT_EQ(sub.purpose, "p1");
+  const TableSignature* ts = Find(sub, "nutritional_profiles");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_NE(FindAction(*ts, "profile_id", Indirection::kDirect), nullptr);
+  EXPECT_NE(FindAction(*ts, "diet_type", Indirection::kIndirect), nullptr);
+  // The outer level does not see nutritional_profiles.
+  EXPECT_EQ(Find(*qs, "nutritional_profiles"), nullptr);
+}
+
+TEST_F(SignatureBuilderTest, DerivedTableColumnsTraceForJointAccess) {
+  // q8 shape: outer accesses s1.b (= sensed_data.beats, sensitive), which
+  // must show up in user_id's joint access, but sensed_data gets no outer
+  // table signature (the inner level has its own).
+  auto qs = Derive(
+      "select user_id, avg(s1.b) from users join (select watch_id as w, "
+      "beats as b from sensed_data where beats > 100) s1 on "
+      "users.watch_id = s1.w group by user_id");
+  const ActionSignature* user_id =
+      FindAction(*Find(*qs, "users"), "user_id", Indirection::kDirect);
+  ASSERT_NE(user_id, nullptr);
+  EXPECT_TRUE(user_id->action_type.joint_access.sensitive);   // Via s1.b.
+  EXPECT_TRUE(user_id->action_type.joint_access.quasi_identifier);
+  EXPECT_EQ(Find(*qs, "sensed_data"), nullptr);
+  ASSERT_EQ(qs->subqueries.size(), 1u);
+  EXPECT_NE(Find(*qs->subqueries[0], "sensed_data"), nullptr);
+}
+
+TEST_F(SignatureBuilderTest, ActionSignaturesPerTableStayBounded) {
+  // Signatures are per (column, action type): each column contributes at
+  // most four direct shapes plus one indirect — a worst-case query over two
+  // columns yields six distinct signatures, never an unbounded set.
+  auto qs = Derive(
+      "select temperature, avg(temperature), temperature + beats "
+      "from sensed_data where temperature > 1 group by temperature, beats "
+      "having min(temperature) > 0");
+  const TableSignature* ts = Find(*qs, "sensed_data");
+  ASSERT_NE(ts, nullptr);
+  // temperature: (s,n), (s,a), (m,n), indirect; beats: (m,n), indirect.
+  EXPECT_EQ(ts->actions.size(), 6u);
+}
+
+TEST_F(SignatureBuilderTest, UnknownPurposeRejected) {
+  auto stmt = sql::ParseSelect("select user_id from users");
+  auto qs = builder_->Derive(**stmt, "p99");
+  EXPECT_FALSE(qs.ok());
+  EXPECT_EQ(qs.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SignatureBuilderTest, UnknownColumnRejected) {
+  auto stmt = sql::ParseSelect("select nope from users");
+  EXPECT_FALSE(builder_->Derive(**stmt, "p1").ok());
+}
+
+TEST_F(SignatureBuilderTest, AmbiguousColumnRejected) {
+  auto stmt = sql::ParseSelect(
+      "select watch_id from users join sensed_data on "
+      "users.watch_id = sensed_data.watch_id");
+  auto qs = builder_->Derive(**stmt, "p1");
+  EXPECT_FALSE(qs.ok());
+  EXPECT_EQ(qs.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(SignatureBuilderTest, DuplicateBindingRejected) {
+  auto stmt = sql::ParseSelect(
+      "select users.user_id from users join users on "
+      "users.user_id = users.user_id");
+  EXPECT_FALSE(builder_->Derive(**stmt, "p1").ok());
+}
+
+TEST_F(SignatureBuilderTest, InfoTuplesExposeIntermediateState) {
+  auto stmt = sql::ParseSelect(
+      "select avg(beats) from sensed_data where temperature > 37");
+  auto tuples = builder_->DeriveInfoTuples(**stmt, "p6");
+  ASSERT_TRUE(tuples.ok());
+  ASSERT_EQ(tuples->size(), 2u);
+  for (const InfoTuple& t : *tuples) {
+    EXPECT_EQ(t.purpose, "p6");
+    EXPECT_EQ(t.table, "sensed_data");
+    EXPECT_FALSE(t.ToString().empty());
+  }
+  EXPECT_EQ((*tuples)[0].category, DataCategory::kSensitive);
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,287 @@
+// UPDATE/DELETE: parsing, engine execution (snapshot semantics, atomicity)
+// and the monitor's select-equivalent write enforcement.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/monitor.h"
+#include "core/policy_manager.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "tests/engine/test_db.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::core {
+namespace {
+
+using engine::Value;
+
+TEST(UpdateDeleteParseTest, UpdateForm) {
+  auto stmt = sql::ParseUpdate("update t set a = 1, b = a + 1 where c > 2");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ((*stmt)->table, "t");
+  ASSERT_EQ((*stmt)->assignments.size(), 2u);
+  EXPECT_EQ((*stmt)->assignments[0].column, "a");
+  EXPECT_NE((*stmt)->where, nullptr);
+}
+
+TEST(UpdateDeleteParseTest, DeleteForm) {
+  auto stmt = sql::ParseDelete("delete from t where a in (1, 2)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ((*stmt)->table, "t");
+  EXPECT_NE((*stmt)->where, nullptr);
+  auto no_where = sql::ParseDelete("delete from t");
+  ASSERT_TRUE(no_where.ok());
+  EXPECT_EQ((*no_where)->where, nullptr);
+}
+
+TEST(UpdateDeleteParseTest, PrintRoundTrip) {
+  for (const char* text :
+       {"update t set a = 1 where (b like 'x%')",
+        "update t set a = (a + 1), b = null",
+        "delete from t where (a between 1 and 2)", "delete from t"}) {
+    if (std::string(text).rfind("update", 0) == 0) {
+      auto stmt = sql::ParseUpdate(text);
+      ASSERT_TRUE(stmt.ok()) << text;
+      EXPECT_EQ(sql::ToSql(**sql::ParseUpdate(sql::ToSql(**stmt))),
+                sql::ToSql(**stmt));
+    } else {
+      auto stmt = sql::ParseDelete(text);
+      ASSERT_TRUE(stmt.ok()) << text;
+      EXPECT_EQ(sql::ToSql(**sql::ParseDelete(sql::ToSql(**stmt))),
+                sql::ToSql(**stmt));
+    }
+  }
+}
+
+TEST(UpdateDeleteParseTest, Malformed) {
+  EXPECT_FALSE(sql::ParseUpdate("update t a = 1").ok());
+  EXPECT_FALSE(sql::ParseUpdate("update t set").ok());
+  EXPECT_FALSE(sql::ParseUpdate("update t set a 1").ok());
+  EXPECT_FALSE(sql::ParseDelete("delete t").ok());
+  EXPECT_FALSE(sql::ParseDelete("delete from t where").ok());
+}
+
+TEST(UpdateDeleteParseTest, StatementDispatch) {
+  auto s = sql::ParseStatement("update t set a = 1");
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(s->update, nullptr);
+  s = sql::ParseStatement("delete from t");
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(s->del, nullptr);
+}
+
+class UpdateDeleteExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = engine::MakeTestDb();
+    exec_ = std::make_unique<engine::Executor>(db_.get());
+  }
+
+  Result<size_t> Update(const std::string& sql) {
+    auto stmt = sql::ParseUpdate(sql);
+    if (!stmt.ok()) return stmt.status();
+    return exec_->ExecuteUpdate(**stmt);
+  }
+
+  Result<size_t> Delete(const std::string& sql) {
+    auto stmt = sql::ParseDelete(sql);
+    if (!stmt.ok()) return stmt.status();
+    return exec_->ExecuteDelete(**stmt);
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<engine::Executor> exec_;
+};
+
+TEST_F(UpdateDeleteExecTest, UpdateMatchingRows) {
+  auto n = Update("update items set qty = qty + 1 where active");
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);
+  auto rows = engine::ExecSorted(db_.get(),
+                                 "select id, qty from items where active");
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|11", "2|21", "5|11"}));
+}
+
+TEST_F(UpdateDeleteExecTest, UpdateAllWithoutWhere) {
+  auto n = Update("update items set price = 0");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+}
+
+TEST_F(UpdateDeleteExecTest, UpdateSeesOldValuesSnapshot) {
+  // Swap-like update: new name references old price and vice versa.
+  ASSERT_TRUE(Update("update items set price = qty, qty = 0 where id = 1")
+                  .ok());
+  auto rows = engine::ExecSorted(db_.get(),
+                                 "select price, qty from items where id = 1");
+  EXPECT_EQ(rows, (std::vector<std::string>{"10|0"}));
+}
+
+TEST_F(UpdateDeleteExecTest, UpdateTypeChecked) {
+  EXPECT_FALSE(Update("update items set qty = 'not a number'").ok());
+  // Atomic: nothing changed.
+  auto rows = engine::ExecSorted(db_.get(),
+                                 "select qty from items where id = 1");
+  EXPECT_EQ(rows, (std::vector<std::string>{"10"}));
+  EXPECT_FALSE(Update("update items set nope = 1").ok());
+  EXPECT_FALSE(Update("update items set qty = 1, qty = 2").ok());
+}
+
+TEST_F(UpdateDeleteExecTest, UpdateWithSubquery) {
+  auto n = Update(
+      "update items set qty = (select max(amount) from orders) "
+      "where id in (select item_id from orders)");
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);
+  auto rows = engine::ExecSorted(db_.get(),
+                                 "select qty from items where id = 3");
+  EXPECT_EQ(rows, (std::vector<std::string>{"4"}));
+}
+
+TEST_F(UpdateDeleteExecTest, DeleteMatchingRows) {
+  auto n = Delete("delete from orders where amount < 2");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(db_->FindTable("orders")->num_rows(), 3u);
+}
+
+TEST_F(UpdateDeleteExecTest, DeleteAllWithoutWhere) {
+  auto n = Delete("delete from orders");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  EXPECT_EQ(db_->FindTable("orders")->num_rows(), 0u);
+}
+
+TEST_F(UpdateDeleteExecTest, DeleteNullPredicateKeepsRow) {
+  // Rows where the predicate is NULL are not deleted.
+  auto n = Delete("delete from items where qty > 0");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);  // id 3 has NULL qty, survives.
+  EXPECT_EQ(db_->FindTable("items")->num_rows(), 1u);
+}
+
+class MonitorWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 6;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    monitor_ = std::make_unique<EnforcementMonitor>(db_.get(), catalog_.get());
+    manager_ = std::make_unique<PolicyManager>(catalog_.get());
+
+    // Full rights under p1 for patients 0-2; nothing for 3-5.
+    Policy policy;
+    policy.table = "users";
+    PolicyRule direct;
+    direct.columns = {"user_id", "watch_id", "nutritional_profile_id"};
+    direct.purposes = {"p1"};
+    direct.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                            Aggregation::kNoAggregation,
+                                            JointAccess::All());
+    PolicyRule indirect = direct;
+    indirect.action_type = ActionType::Indirect(JointAccess::All());
+    policy.rules = {direct, indirect};
+    for (int p = 0; p < 3; ++p) {
+      ASSERT_TRUE(manager_
+                      ->AttachWhere(policy, "user_id",
+                                    Value::String("user" + std::to_string(p)))
+                      .ok());
+    }
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<EnforcementMonitor> monitor_;
+  std::unique_ptr<PolicyManager> manager_;
+};
+
+TEST_F(MonitorWriteTest, UpdateOnlyTouchesCompliantTuples) {
+  auto n = monitor_->ExecuteUpdate(
+      "update users set watch_id = 'reassigned'", "p1");
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);  // Only the tuples with policies.
+  auto rs = monitor_->ExecuteUnrestricted(
+      "select count(*) from users where watch_id like 'reassigned'");
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 3);
+}
+
+TEST_F(MonitorWriteTest, UpdateDeniedUnderWrongPurpose) {
+  auto n = monitor_->ExecuteUpdate(
+      "update users set watch_id = 'reassigned'", "p6");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(MonitorWriteTest, UpdateCannotTouchPolicyColumn) {
+  auto n = monitor_->ExecuteUpdate("update users set policy = null", "p1");
+  EXPECT_EQ(n.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(MonitorWriteTest, UpdateRhsCannotReadPolicyColumn) {
+  auto n = monitor_->ExecuteUpdate(
+      "update users set watch_id = policy", "p1");
+  EXPECT_EQ(n.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(MonitorWriteTest, DeleteOnlyRemovesCompliantTuples) {
+  auto n = monitor_->ExecuteDelete("delete from users", "p1");
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(db_->FindTable("users")->num_rows(), 3u);
+  // The remaining tuples are exactly the policy-less ones.
+  auto rs = monitor_->ExecuteUnrestricted("select user_id from users");
+  for (const auto& row : rs->rows) {
+    const std::string id = row[0].AsString();
+    EXPECT_TRUE(id == "user3" || id == "user4" || id == "user5") << id;
+  }
+}
+
+TEST_F(MonitorWriteTest, DeleteHonoursWhere) {
+  auto n = monitor_->ExecuteDelete(
+      "delete from users where user_id like 'user1'", "p1");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  n = monitor_->ExecuteDelete(
+      "delete from users where user_id like 'user4'", "p1");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);  // No policy -> not deletable.
+}
+
+TEST_F(MonitorWriteTest, WritesRequireAuthorizationWhenUserGiven) {
+  auto n = monitor_->ExecuteUpdate("update users set watch_id = 'w'", "p1",
+                                   "mallory");
+  EXPECT_EQ(n.status().code(), StatusCode::kPermissionDenied);
+  auto d = monitor_->ExecuteDelete("delete from users", "p1", "mallory");
+  EXPECT_EQ(d.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(MonitorWriteTest, DeleteRequiresFullReadAccess) {
+  // Grant only aggregate access to watch_id under p6: full direct access is
+  // absent, so deletion under p6 touches nothing even though some p6 rule
+  // exists.
+  Policy narrow;
+  narrow.table = "users";
+  PolicyRule agg;
+  agg.columns = {"watch_id"};
+  agg.purposes = {"p6"};
+  agg.action_type = ActionType::Direct(Multiplicity::kSingle,
+                                       Aggregation::kAggregation,
+                                       JointAccess::All());
+  narrow.rules = {agg};
+  ASSERT_TRUE(
+      manager_->AttachWhere(narrow, "user_id", Value::String("user0")).ok());
+  auto n = monitor_->ExecuteDelete("delete from users", "p6");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,161 @@
+// CASE expressions (searched and simple) and the || concatenation operator,
+// end to end through parser, printer, binder and evaluator — plus their
+// interaction with enforcement (signature derivation sees CASE internals).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/monitor.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "tests/engine/test_db.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::engine {
+namespace {
+
+class CaseConcatTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeTestDb(); }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(CaseConcatTest, SearchedCase) {
+  auto rows = ExecSorted(db_.get(),
+                         "select id, case when qty >= 20 then 'high' "
+                         "when qty >= 10 then 'mid' else 'low' end "
+                         "from items");
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|mid", "2|high", "3|low",
+                                            "4|low", "5|mid"}));
+}
+
+TEST_F(CaseConcatTest, SearchedCaseWithoutElseYieldsNull) {
+  auto rows = ExecSorted(db_.get(),
+                         "select id, case when qty > 15 then 'big' end "
+                         "from items");
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|NULL", "2|big", "3|NULL",
+                                            "4|NULL", "5|NULL"}));
+}
+
+TEST_F(CaseConcatTest, SimpleCaseComparesOperand) {
+  auto rows = ExecSorted(db_.get(),
+                         "select id, case name when 'apple' then 1 "
+                         "when 'banana' then 2 else 0 end from items");
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|1", "2|2", "3|0", "4|0",
+                                            "5|1"}));
+}
+
+TEST_F(CaseConcatTest, SimpleCaseNullOperandTakesElse) {
+  // NULL never equals a WHEN value.
+  auto rows = ExecSorted(db_.get(),
+                         "select case name when 'apple' then 'a' else 'x' "
+                         "end from items where id = 4");
+  EXPECT_EQ(rows, (std::vector<std::string>{"x"}));
+}
+
+TEST_F(CaseConcatTest, CaseInWhereAndGroupBy) {
+  auto rows = ExecSorted(
+      db_.get(),
+      "select case when active then 'on' else 'off' end, count(*) "
+      "from items where active is not null "
+      "group by case when active then 'on' else 'off' end");
+  EXPECT_EQ(rows, (std::vector<std::string>{"off|1", "on|3"}));
+}
+
+TEST_F(CaseConcatTest, AggregateInsideCase) {
+  ResultSet rs = Exec(db_.get(),
+                      "select case when count(*) > 3 then 'many' else "
+                      "'few' end from items");
+  EXPECT_EQ(rs.rows[0][0].AsString(), "many");
+}
+
+TEST_F(CaseConcatTest, CaseIsLazy) {
+  // The division by zero sits in an untaken branch and must not fire.
+  ResultSet rs = Exec(db_.get(),
+                      "select case when 1 = 1 then 7 else 1 / 0 end "
+                      "from items where id = 1");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 7);
+  ExpectExecError(db_.get(),
+                  "select case when 1 = 2 then 7 else 1 / 0 end "
+                  "from items where id = 1",
+                  StatusCode::kExecutionError);
+}
+
+TEST_F(CaseConcatTest, Concatenation) {
+  ResultSet rs = Exec(db_.get(),
+                      "select name || '-' || upper(name) from items "
+                      "where id = 1");
+  EXPECT_EQ(rs.rows[0][0].AsString(), "apple-APPLE");
+}
+
+TEST_F(CaseConcatTest, ConcatNullPropagates) {
+  ResultSet rs =
+      Exec(db_.get(), "select name || '!' from items where id = 4");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(CaseConcatTest, ConcatTypeChecked) {
+  ExpectExecError(db_.get(), "select name || qty from items",
+                  StatusCode::kExecutionError);
+}
+
+TEST_F(CaseConcatTest, ParsePrintRoundTrip) {
+  for (const char* sql :
+       {"select case when (a > 1) then 'x' else 'y' end from t",
+        "select case a when 1 then 'one' when 2 then 'two' end from t",
+        "select (a || b) from t"}) {
+    auto stmt = sql::ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    const std::string printed = sql::ToSql(**stmt);
+    auto reparsed = sql::ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(sql::ToSql(**reparsed), printed);
+  }
+}
+
+TEST_F(CaseConcatTest, ParseErrors) {
+  EXPECT_FALSE(sql::ParseSelect("select case end from t").ok());
+  EXPECT_FALSE(sql::ParseSelect("select case when 1 then 2 from t").ok());
+  EXPECT_FALSE(sql::ParseSelect("select case when 1 2 end from t").ok());
+  // `case` is reserved and cannot be an alias or column.
+  EXPECT_FALSE(sql::ParseSelect("select case from t").ok());
+}
+
+TEST_F(CaseConcatTest, CaseClonePreservesStructure) {
+  auto stmt = sql::ParseSelect(
+      "select case a when 1 then 'x' else b || 'y' end from t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(sql::ToSql(*(*stmt)->Clone()), sql::ToSql(**stmt));
+}
+
+// Enforcement sees through CASE: columns referenced inside it are derived
+// as direct accesses, so a policy allowing only aggregation blocks them.
+TEST(CaseEnforcementTest, SignatureDerivationCoversCaseInternals) {
+  auto db = std::make_unique<Database>();
+  workload::PatientsConfig config;
+  config.num_patients = 4;
+  config.samples_per_patient = 2;
+  ASSERT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+  core::AccessControlCatalog catalog(db.get());
+  ASSERT_TRUE(catalog.Initialize().ok());
+  ASSERT_TRUE(workload::ConfigurePatientsAccessControl(&catalog).ok());
+  workload::ScatteredPolicyConfig sp;
+  sp.selectivity = 1.0;  // Nothing complies.
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(&catalog, sp).ok());
+  core::EnforcementMonitor monitor(db.get(), &catalog);
+  auto rs = monitor.ExecuteQuery(
+      "select case when temperature > 37 then 'fever' else 'ok' end "
+      "from sensed_data",
+      "p1");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_TRUE(rs->rows.empty());
+  // Policy column hidden inside CASE is rejected.
+  auto leak = monitor.ExecuteQuery(
+      "select case when policy is null then 1 else 0 end from users", "p1");
+  EXPECT_EQ(leak.status().code(), StatusCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace aapac::engine

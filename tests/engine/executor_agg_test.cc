@@ -1,0 +1,178 @@
+// Aggregation: COUNT/SUM/AVG/MIN/MAX, GROUP BY, HAVING, DISTINCT
+// aggregates, NULL handling, empty inputs.
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_db.h"
+
+namespace aapac::engine {
+namespace {
+
+class AggTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeTestDb(); }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(AggTest, CountStarCountsRows) {
+  ResultSet rs = Exec(db_.get(), "select count(*) from items");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 5);
+}
+
+TEST_F(AggTest, CountColumnSkipsNulls) {
+  ResultSet rs =
+      Exec(db_.get(), "select count(name), count(price), count(qty) from items");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 4);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 4);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 4);
+}
+
+TEST_F(AggTest, SumAvgMinMax) {
+  ResultSet rs = Exec(db_.get(),
+                      "select sum(qty), avg(qty), min(qty), max(qty) from items");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 45);
+  EXPECT_EQ(rs.rows[0][1].AsDouble(), 11.25);  // 45 / 4 non-null values.
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 5);
+  EXPECT_EQ(rs.rows[0][3].AsInt(), 20);
+}
+
+TEST_F(AggTest, SumOfDoublesStaysDouble) {
+  ResultSet rs = Exec(db_.get(), "select sum(price) from items");
+  EXPECT_EQ(rs.rows[0][0].type(), ValueType::kDouble);
+  EXPECT_EQ(rs.rows[0][0].AsDouble(), 7.0);
+}
+
+TEST_F(AggTest, MinMaxOnStrings) {
+  ResultSet rs = Exec(db_.get(), "select min(name), max(name) from items");
+  EXPECT_EQ(rs.rows[0][0].AsString(), "apple");
+  EXPECT_EQ(rs.rows[0][1].AsString(), "cherry");
+}
+
+TEST_F(AggTest, EmptyInputGlobalAggregate) {
+  ResultSet rs =
+      Exec(db_.get(), "select count(*), sum(qty), avg(qty), min(qty) "
+                      "from items where id > 100");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+  EXPECT_TRUE(rs.rows[0][2].is_null());
+  EXPECT_TRUE(rs.rows[0][3].is_null());
+}
+
+TEST_F(AggTest, GroupByProducesOneRowPerGroup) {
+  auto rows =
+      ExecSorted(db_.get(), "select name, count(*) from items group by name");
+  EXPECT_EQ(rows, (std::vector<std::string>{"NULL|1", "apple|2", "banana|1",
+                                            "cherry|1"}));
+}
+
+TEST_F(AggTest, GroupByEmptyInputYieldsNoRows) {
+  ResultSet rs = Exec(db_.get(),
+                      "select name, count(*) from items where id > 100 "
+                      "group by name");
+  EXPECT_TRUE(rs.rows.empty());
+}
+
+TEST_F(AggTest, GroupByMultipleColumns) {
+  auto rows = ExecSorted(
+      db_.get(), "select name, qty, count(*) from items group by name, qty");
+  // (apple, 10) occurs twice and collapses into one group of two.
+  EXPECT_EQ(rows, (std::vector<std::string>{"NULL|5|1", "apple|10|2",
+                                            "banana|20|1", "cherry|NULL|1"}));
+}
+
+TEST_F(AggTest, GroupByExpression) {
+  auto rows = ExecSorted(
+      db_.get(), "select qty % 2, count(*) from items where qty is not null "
+                 "group by qty % 2");
+  EXPECT_EQ(rows, (std::vector<std::string>{"0|3", "1|1"}));
+}
+
+TEST_F(AggTest, HavingFiltersGroups) {
+  auto rows = ExecSorted(
+      db_.get(),
+      "select name, count(*) from items group by name having count(*) > 1");
+  EXPECT_EQ(rows, (std::vector<std::string>{"apple|2"}));
+}
+
+TEST_F(AggTest, HavingWithAggregateNotInSelect) {
+  auto rows = ExecSorted(
+      db_.get(),
+      "select name from items group by name having max(qty) >= 20");
+  EXPECT_EQ(rows, (std::vector<std::string>{"banana"}));
+}
+
+TEST_F(AggTest, CountDistinct) {
+  ResultSet rs = Exec(db_.get(), "select count(distinct name), "
+                                 "count(distinct qty) from items");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 3);
+}
+
+TEST_F(AggTest, SumAndAvgDistinct) {
+  ResultSet rs =
+      Exec(db_.get(), "select sum(distinct qty), avg(distinct qty) from items");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 35);               // 10 + 20 + 5.
+  EXPECT_NEAR(rs.rows[0][1].AsDouble(), 35.0 / 3, 1e-9);
+}
+
+TEST_F(AggTest, AggregateInsideExpression) {
+  ResultSet rs = Exec(db_.get(),
+                      "select max(qty) - min(qty), abs(sum(qty) - 50) "
+                      "from items");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 15);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 5);
+}
+
+TEST_F(AggTest, GroupKeyAvailableInSelect) {
+  auto rows = ExecSorted(db_.get(),
+                         "select active, sum(qty) from items "
+                         "where qty is not null group by active");
+  EXPECT_EQ(rows,
+            (std::vector<std::string>{"NULL|5", "true|40"}));
+}
+
+TEST_F(AggTest, AggregateOverJoin) {
+  ResultSet rs = Exec(db_.get(),
+                      "select sum(amount * price) from orders join items on "
+                      "orders.item_id = items.id");
+  // 2*1.5 + 3*1.5 + 1*0.5 + 4*3.0 = 20.0
+  EXPECT_EQ(rs.rows[0][0].AsDouble(), 20.0);
+}
+
+TEST_F(AggTest, GroupedJoin) {
+  auto rows = ExecSorted(db_.get(),
+                         "select name, sum(amount) from orders join items on "
+                         "orders.item_id = items.id group by name");
+  EXPECT_EQ(rows, (std::vector<std::string>{"apple|5", "banana|1",
+                                            "cherry|4"}));
+}
+
+TEST_F(AggTest, AggregateErrors) {
+  // Aggregates not allowed in WHERE.
+  ExpectExecError(db_.get(), "select id from items where sum(qty) > 1",
+                  StatusCode::kBindError);
+  // Nested aggregates.
+  ExpectExecError(db_.get(), "select sum(max(qty)) from items",
+                  StatusCode::kBindError);
+  // sum over strings.
+  ExpectExecError(db_.get(), "select sum(name) from items",
+                  StatusCode::kExecutionError);
+  // * only valid in count.
+  ExpectExecError(db_.get(), "select sum(*) from items",
+                  StatusCode::kBindError);
+  // Star select item in aggregate query unsupported.
+  ExpectExecError(db_.get(), "select * from items group by id",
+                  StatusCode::kUnsupported);
+}
+
+TEST_F(AggTest, MinMaxSkipNullsEntirelyNull) {
+  ResultSet rs = Exec(db_.get(),
+                      "select min(price), max(price) from items where id = 5");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+}  // namespace
+}  // namespace aapac::engine

@@ -1,0 +1,243 @@
+// Row-at-a-time SELECT behaviour: projection, WHERE with three-valued
+// logic, expressions, DISTINCT, ORDER BY, LIMIT and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_db.h"
+
+namespace aapac::engine {
+namespace {
+
+class SelectTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeTestDb(); }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SelectTest, ProjectsColumns) {
+  auto rows = ExecSorted(db_.get(), "select id, name from items");
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], "1|apple");
+  EXPECT_EQ(rows[3], "4|NULL");
+}
+
+TEST_F(SelectTest, StarExpandsAllColumns) {
+  ResultSet rs = Exec(db_.get(), "select * from items");
+  EXPECT_EQ(rs.column_names,
+            (std::vector<std::string>{"id", "name", "price", "qty", "active"}));
+  EXPECT_EQ(rs.rows.size(), 5u);
+}
+
+TEST_F(SelectTest, QualifiedStar) {
+  ResultSet rs = Exec(db_.get(),
+                      "select o.* from orders o join items i on "
+                      "o.item_id = i.id");
+  EXPECT_EQ(rs.column_names,
+            (std::vector<std::string>{"order_id", "item_id", "amount"}));
+  EXPECT_EQ(rs.rows.size(), 4u);  // Order 104 dangles.
+}
+
+TEST_F(SelectTest, ColumnAliasNamesOutput) {
+  ResultSet rs = Exec(db_.get(), "select id as key, qty q from items");
+  EXPECT_EQ(rs.column_names, (std::vector<std::string>{"key", "q"}));
+}
+
+TEST_F(SelectTest, WhereComparisons) {
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where price > 1.4"),
+            (std::vector<std::string>{"1", "3", "4"}));
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where qty = 10"),
+            (std::vector<std::string>{"1", "5"}));
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where id <> 1").size(),
+            4u);
+  EXPECT_EQ(
+      ExecSorted(db_.get(), "select id from items where price <= 1.5"),
+      (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(SelectTest, NullComparisonsFilterOut) {
+  // price NULL (id 5) and qty NULL (id 3) never satisfy comparisons.
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where price > 0"),
+            (std::vector<std::string>{"1", "2", "3", "4"}));
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where qty > 0"),
+            (std::vector<std::string>{"1", "2", "4", "5"}));
+}
+
+TEST_F(SelectTest, ThreeValuedLogic) {
+  // NULL OR true = true; NULL AND false = false — rows stay/go accordingly.
+  EXPECT_EQ(
+      ExecSorted(db_.get(),
+                 "select id from items where active or price > 100"),
+      (std::vector<std::string>{"1", "2", "5"}));
+  EXPECT_EQ(ExecSorted(db_.get(),
+                       "select id from items where active and qty > 0"),
+            (std::vector<std::string>{"1", "2", "5"}));
+  // NOT NULL is NULL: row 4 (active NULL) never passes `not active`.
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where not active"),
+            (std::vector<std::string>{"3"}));
+}
+
+TEST_F(SelectTest, IsNullPredicates) {
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where name is null"),
+            (std::vector<std::string>{"4"}));
+  EXPECT_EQ(
+      ExecSorted(db_.get(), "select id from items where price is not null"),
+      (std::vector<std::string>{"1", "2", "3", "4"}));
+}
+
+TEST_F(SelectTest, LikePredicates) {
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where name like 'a%'"),
+            (std::vector<std::string>{"1", "5"}));
+  // NULL name yields NULL, filtered out of NOT LIKE too.
+  EXPECT_EQ(
+      ExecSorted(db_.get(), "select id from items where name not like 'a%'"),
+      (std::vector<std::string>{"2", "3"}));
+}
+
+TEST_F(SelectTest, InList) {
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where id in (1, 3, 9)"),
+            (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(
+      ExecSorted(db_.get(), "select id from items where id not in (1, 2, 3)"),
+      (std::vector<std::string>{"4", "5"}));
+  // x IN (..., NULL) is NULL when unmatched: row filtered.
+  EXPECT_EQ(
+      ExecSorted(db_.get(), "select id from items where id in (1, null)"),
+      (std::vector<std::string>{"1"}));
+  EXPECT_TRUE(
+      ExecSorted(db_.get(), "select id from items where id not in (1, null)")
+          .empty());
+}
+
+TEST_F(SelectTest, Between) {
+  EXPECT_EQ(ExecSorted(db_.get(), "select id from items where id between 2 and 4"),
+            (std::vector<std::string>{"2", "3", "4"}));
+  EXPECT_EQ(
+      ExecSorted(db_.get(), "select id from items where id not between 2 and 4"),
+      (std::vector<std::string>{"1", "5"}));
+}
+
+TEST_F(SelectTest, ArithmeticExpressions) {
+  ResultSet rs = Exec(db_.get(),
+                      "select id, price * qty, qty + 1, qty - 1, qty / 3, "
+                      "qty % 3 from items where id = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][1].AsDouble(), 10.0);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 21);
+  EXPECT_EQ(rs.rows[0][3].AsInt(), 19);
+  EXPECT_EQ(rs.rows[0][4].AsInt(), 6);  // Integer division.
+  EXPECT_EQ(rs.rows[0][5].AsInt(), 2);
+}
+
+TEST_F(SelectTest, NullPropagatesThroughArithmetic) {
+  ResultSet rs = Exec(db_.get(), "select price + 1 from items where id = 5");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(SelectTest, DivisionByZeroIsError) {
+  ExpectExecError(db_.get(), "select qty / 0 from items",
+                  StatusCode::kExecutionError);
+  ExpectExecError(db_.get(), "select qty % 0 from items",
+                  StatusCode::kExecutionError);
+}
+
+TEST_F(SelectTest, UnaryMinus) {
+  ResultSet rs = Exec(db_.get(), "select -qty, -price from items where id=1");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), -10);
+  EXPECT_EQ(rs.rows[0][1].AsDouble(), -1.5);
+}
+
+TEST_F(SelectTest, Distinct) {
+  EXPECT_EQ(ExecSorted(db_.get(), "select distinct name from items"),
+            (std::vector<std::string>{"NULL", "apple", "banana", "cherry"}));
+  EXPECT_EQ(ExecSorted(db_.get(), "select distinct qty from items"),
+            (std::vector<std::string>{"10", "20", "5", "NULL"}));
+}
+
+TEST_F(SelectTest, OrderByColumnAscDesc) {
+  ResultSet rs = Exec(db_.get(), "select id from items order by id desc");
+  ASSERT_EQ(rs.rows.size(), 5u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(rs.rows[4][0].AsInt(), 1);
+  rs = Exec(db_.get(), "select name from items order by name");
+  EXPECT_TRUE(rs.rows[0][0].is_null());  // NULLs first.
+  EXPECT_EQ(rs.rows[1][0].AsString(), "apple");
+}
+
+TEST_F(SelectTest, OrderByPosition) {
+  ResultSet rs = Exec(db_.get(), "select id, qty from items order by 2 desc, 1");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);  // qty 20 first.
+}
+
+TEST_F(SelectTest, OrderByAlias) {
+  ResultSet rs = Exec(db_.get(), "select qty as quantity from items "
+                                 "order by quantity desc");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 20);
+}
+
+TEST_F(SelectTest, Limit) {
+  EXPECT_EQ(Exec(db_.get(), "select id from items limit 2").rows.size(), 2u);
+  EXPECT_EQ(Exec(db_.get(), "select id from items limit 0").rows.size(), 0u);
+  EXPECT_EQ(Exec(db_.get(), "select id from items limit 100").rows.size(), 5u);
+}
+
+TEST_F(SelectTest, ScalarFunctions) {
+  ResultSet rs =
+      Exec(db_.get(),
+           "select abs(-3), length(name), lower(upper(name)), "
+           "coalesce(price, 0), round(price) from items where id = 1");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 5);
+  EXPECT_EQ(rs.rows[0][2].AsString(), "apple");
+  EXPECT_EQ(rs.rows[0][3].AsDouble(), 1.5);
+  EXPECT_EQ(rs.rows[0][4].AsDouble(), 2.0);
+}
+
+TEST_F(SelectTest, BindErrors) {
+  ExpectExecError(db_.get(), "select nope from items", StatusCode::kBindError);
+  ExpectExecError(db_.get(), "select items.nope from items",
+                  StatusCode::kBindError);
+  ExpectExecError(db_.get(), "select x.id from items",
+                  StatusCode::kBindError);
+  ExpectExecError(db_.get(), "select unknown_fn(id) from items",
+                  StatusCode::kBindError);
+  ExpectExecError(db_.get(), "select abs(id, id) from items",
+                  StatusCode::kBindError);
+  ExpectExecError(db_.get(), "select id from missing_table",
+                  StatusCode::kNotFound);
+}
+
+TEST_F(SelectTest, AmbiguousColumnIsError) {
+  // Both items.id-like names: create a join where `amount` vs ... use
+  // item_id ambiguity via self join.
+  ExpectExecError(db_.get(),
+                  "select order_id from orders a join orders b on "
+                  "a.order_id = b.order_id",
+                  StatusCode::kBindError);
+}
+
+TEST_F(SelectTest, SelfJoinWithAliasesWorks) {
+  auto rows = ExecSorted(db_.get(),
+                         "select a.order_id from orders a join orders b on "
+                         "a.item_id = b.item_id where b.order_id = 100");
+  EXPECT_EQ(rows, (std::vector<std::string>{"100", "101"}));
+}
+
+TEST_F(SelectTest, TypeMismatchComparisonIsError) {
+  ExpectExecError(db_.get(), "select id from items where name > 3",
+                  StatusCode::kExecutionError);
+  ExpectExecError(db_.get(), "select id from items where name like 5",
+                  StatusCode::kExecutionError);
+  ExpectExecError(db_.get(), "select name + 1 from items",
+                  StatusCode::kExecutionError);
+}
+
+TEST_F(SelectTest, StatsTrackScannedRows) {
+  Executor exec(db_.get());
+  ASSERT_TRUE(exec.ExecuteSql("select id from items where id = 1").ok());
+  EXPECT_EQ(exec.stats().rows_scanned, 5u);
+  EXPECT_EQ(exec.stats().rows_output, 1u);
+}
+
+}  // namespace
+}  // namespace aapac::engine

@@ -1,0 +1,131 @@
+// Sub-queries: IN sub-queries (hashed), scalar sub-queries, derived tables,
+// nesting, and NULL semantics.
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_db.h"
+
+namespace aapac::engine {
+namespace {
+
+class SubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeTestDb(); }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SubqueryTest, InSubquery) {
+  auto rows = ExecSorted(db_.get(),
+                         "select name from items where id in "
+                         "(select item_id from orders)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+TEST_F(SubqueryTest, NotInSubquery) {
+  auto rows = ExecSorted(db_.get(),
+                         "select id from items where id not in "
+                         "(select item_id from orders)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"4", "5"}));
+}
+
+TEST_F(SubqueryTest, NotInWithNullInSubqueryFiltersAll) {
+  Table* orders = db_->FindTable("orders");
+  ASSERT_TRUE(
+      orders->Insert({Value::Int(105), Value::Null(), Value::Int(1)}).ok());
+  auto rows = ExecSorted(db_.get(),
+                         "select id from items where id not in "
+                         "(select item_id from orders)");
+  EXPECT_TRUE(rows.empty());  // x NOT IN (..., NULL) is never TRUE.
+}
+
+TEST_F(SubqueryTest, InSubqueryWithFilter) {
+  auto rows = ExecSorted(db_.get(),
+                         "select name from items where id in "
+                         "(select item_id from orders where amount > 2)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"apple", "cherry"}));
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryAsValue) {
+  ResultSet rs = Exec(db_.get(),
+                      "select id, (select max(amount) from orders) from items "
+                      "where id = 1");
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 4);
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryInWhere) {
+  auto rows = ExecSorted(db_.get(),
+                         "select id from items where qty > "
+                         "(select avg(qty) from items)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"2"}));
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryEmptyYieldsNull) {
+  ResultSet rs = Exec(db_.get(),
+                      "select (select qty from items where id = 99) from "
+                      "items where id = 1");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryMultipleRowsIsError) {
+  ExpectExecError(db_.get(),
+                  "select (select qty from items) from items",
+                  StatusCode::kExecutionError);
+}
+
+TEST_F(SubqueryTest, DerivedTable) {
+  auto rows = ExecSorted(db_.get(),
+                         "select s.n from (select name as n from items "
+                         "where active) s");
+  EXPECT_EQ(rows, (std::vector<std::string>{"apple", "apple", "banana"}));
+}
+
+TEST_F(SubqueryTest, DerivedTableWithAggregation) {
+  ResultSet rs = Exec(db_.get(),
+                      "select max(s.total) from (select item_id, "
+                      "sum(amount) as total from orders group by item_id) s");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 5);  // item 1: 2+3.
+}
+
+TEST_F(SubqueryTest, JoinWithDerivedTable) {
+  auto rows = ExecSorted(
+      db_.get(),
+      "select items.name, s.total from items join (select item_id, "
+      "sum(amount) as total from orders group by item_id) s on "
+      "items.id = s.item_id");
+  EXPECT_EQ(rows, (std::vector<std::string>{"apple|5", "banana|1",
+                                            "cherry|4"}));
+}
+
+TEST_F(SubqueryTest, NestedDerivedTables) {
+  ResultSet rs = Exec(db_.get(),
+                      "select count(*) from (select x.id from (select id "
+                      "from items where qty is not null) x where x.id > 1) y");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);  // ids 2, 4, 5.
+}
+
+TEST_F(SubqueryTest, SubqueryInsideHaving) {
+  auto rows = ExecSorted(
+      db_.get(),
+      "select item_id, sum(amount) from orders group by item_id "
+      "having sum(amount) >= (select max(amount) from orders)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|5", "3|4"}));
+}
+
+TEST_F(SubqueryTest, DerivedTableAliasIsRequiredForColumns) {
+  // Columns of the derived table resolve through the alias or bare name.
+  auto rows = ExecSorted(db_.get(),
+                         "select n from (select name as n from items) q "
+                         "where n like 'b%'");
+  EXPECT_EQ(rows, (std::vector<std::string>{"banana"}));
+}
+
+TEST_F(SubqueryTest, CorrelatedSubqueryIsRejected) {
+  // Outer column reference inside the sub-query cannot bind.
+  ExpectExecError(db_.get(),
+                  "select id from items where id in "
+                  "(select item_id from orders where amount = items.qty)",
+                  StatusCode::kBindError);
+}
+
+}  // namespace
+}  // namespace aapac::engine

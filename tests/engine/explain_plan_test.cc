@@ -1,0 +1,111 @@
+// Static plan rendering: join strategies, pushdown placement, projection
+// pruning, nesting — and the invariant that explaining never executes.
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_db.h"
+
+namespace aapac::engine {
+namespace {
+
+class ExplainPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTestDb();
+    exec_ = std::make_unique<Executor>(db_.get());
+  }
+
+  std::string Plan(const std::string& sql) {
+    auto plan = exec_->ExplainPlanSql(sql);
+    EXPECT_TRUE(plan.ok()) << sql << " -> " << plan.status();
+    return std::move(plan).ValueOr("");
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(ExplainPlanTest, SimpleScanWithFilterAndPruning) {
+  const std::string plan =
+      Plan("select name from items where qty > 5");
+  EXPECT_NE(plan.find("Select\n"), std::string::npos);
+  EXPECT_NE(plan.find("Scan items rows=5 cols=2/5"), std::string::npos);
+  EXPECT_NE(plan.find("Filter: (qty > 5)"), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, HashJoinWithKeys) {
+  const std::string plan = Plan(
+      "select order_id, name from orders join items on "
+      "orders.item_id = items.id where items.active");
+  EXPECT_NE(plan.find("HashJoin on (orders.item_id = items.id)"),
+            std::string::npos);
+  EXPECT_NE(plan.find("Scan orders"), std::string::npos);
+  EXPECT_NE(plan.find("Scan items"), std::string::npos);
+  // The single-table predicate lands on the items scan, not post-join.
+  const size_t items_scan = plan.find("Scan items");
+  const size_t filter = plan.find("Filter: items.active");
+  ASSERT_NE(filter, std::string::npos);
+  EXPECT_GT(filter, items_scan);
+  EXPECT_EQ(plan.find("post-join"), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, NestedLoopForNonEquiJoin) {
+  const std::string plan = Plan(
+      "select order_id from orders join items on orders.amount < items.qty");
+  EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos);
+  EXPECT_NE(plan.find("Residual: (orders.amount < items.qty)"),
+            std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, CrossBindingPredicateStaysPostJoin) {
+  const std::string plan = Plan(
+      "select order_id from orders, items where orders.amount > items.qty");
+  EXPECT_NE(plan.find("Filter (post-join): (orders.amount > items.qty)"),
+            std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, AggregateAndStages) {
+  const std::string plan = Plan(
+      "select name, count(*) from items group by name having count(*) > 1 "
+      "order by name limit 3");
+  EXPECT_NE(plan.find("[aggregate group by name having]"), std::string::npos);
+  EXPECT_NE(plan.find("[order by]"), std::string::npos);
+  EXPECT_NE(plan.find("[limit 3]"), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, DerivedTableNests) {
+  const std::string plan = Plan(
+      "select s.total from (select item_id, sum(amount) as total from "
+      "orders group by item_id) s where s.total > 1");
+  EXPECT_NE(plan.find("DerivedTable s"), std::string::npos);
+  EXPECT_NE(plan.find("  Select [aggregate group by item_id]"),
+            std::string::npos);
+  EXPECT_NE(plan.find("Filter: (s.total > 1)"), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, DistinctShown) {
+  EXPECT_NE(Plan("select distinct name from items").find("Select distinct"),
+            std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, ExplainDoesNotTouchData) {
+  (void)Plan("select name from items where id in (select item_id from "
+             "orders)");
+  EXPECT_EQ(exec_->stats().rows_scanned, 0u);
+  EXPECT_EQ(exec_->stats().rows_output, 0u);
+}
+
+TEST_F(ExplainPlanTest, PushdownOffMovesFiltersToRoot) {
+  exec_->set_pushdown_enabled(false);
+  const std::string plan = Plan("select name from items where qty > 5");
+  EXPECT_EQ(plan.find("Filter: (qty > 5)"), std::string::npos);
+  EXPECT_NE(plan.find("Filter (post-join): (qty > 5)"), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, ErrorsPropagate) {
+  EXPECT_FALSE(exec_->ExplainPlanSql("select x from missing").ok());
+  EXPECT_FALSE(exec_->ExplainPlanSql("not sql").ok());
+}
+
+}  // namespace
+}  // namespace aapac::engine

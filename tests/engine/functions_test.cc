@@ -1,0 +1,106 @@
+#include "engine/functions.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_db.h"
+
+namespace aapac::engine {
+namespace {
+
+TEST(FunctionsTest, AggregateNameClassification) {
+  for (const char* name : {"count", "sum", "avg", "min", "max"}) {
+    EXPECT_TRUE(IsAggregateFunctionName(name)) << name;
+  }
+  for (const char* name : {"abs", "length", "complies_with", ""}) {
+    EXPECT_FALSE(IsAggregateFunctionName(name)) << name;
+  }
+}
+
+TEST(FunctionsTest, RegistryLookupIsCaseNormalized) {
+  FunctionRegistry reg = FunctionRegistry::WithBuiltins();
+  EXPECT_NE(reg.Find("abs"), nullptr);
+  EXPECT_EQ(reg.Find("ABS"), nullptr);  // Lookups take lowercase names.
+  ScalarFunction fn;
+  fn.name = "MyFn";
+  fn.arity = 0;
+  fn.fn = [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(7);
+  };
+  reg.Register(fn);
+  EXPECT_NE(reg.Find("myfn"), nullptr);  // Registration lowers the name.
+}
+
+TEST(FunctionsTest, RegisterReplaces) {
+  FunctionRegistry reg = FunctionRegistry::WithBuiltins();
+  ScalarFunction fn;
+  fn.name = "abs";
+  fn.arity = 1;
+  fn.fn = [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(-1);
+  };
+  reg.Register(fn);
+  auto v = reg.Find("abs")->fn({Value::Int(5)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), -1);
+}
+
+TEST(FunctionsTest, BuiltinsHandleNulls) {
+  FunctionRegistry reg = FunctionRegistry::WithBuiltins();
+  for (const char* name : {"abs", "length", "lower", "upper", "round"}) {
+    auto v = reg.Find(name)->fn({Value::Null()});
+    ASSERT_TRUE(v.ok()) << name;
+    EXPECT_TRUE(v->is_null()) << name;
+  }
+}
+
+TEST(FunctionsTest, BuiltinsRejectWrongTypes) {
+  FunctionRegistry reg = FunctionRegistry::WithBuiltins();
+  EXPECT_FALSE(reg.Find("abs")->fn({Value::String("x")}).ok());
+  EXPECT_FALSE(reg.Find("length")->fn({Value::Int(1)}).ok());
+  EXPECT_FALSE(reg.Find("floor")->fn({Value::Bool(true)}).ok());
+}
+
+TEST(FunctionsTest, CoalesceVariadic) {
+  FunctionRegistry reg = FunctionRegistry::WithBuiltins();
+  const ScalarFunction* coalesce = reg.Find("coalesce");
+  EXPECT_EQ(coalesce->arity, -1);
+  auto v = coalesce->fn({Value::Null(), Value::Null(), Value::Int(3)});
+  EXPECT_EQ(v->AsInt(), 3);
+  v = coalesce->fn({Value::Null()});
+  EXPECT_TRUE(v->is_null());
+  v = coalesce->fn({});
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(FunctionsTest, UdfUsableFromSql) {
+  auto db = MakeTestDb();
+  int calls = 0;
+  ScalarFunction fn;
+  fn.name = "double_it";
+  fn.arity = 1;
+  fn.fn = [&calls](const std::vector<Value>& args) -> Result<Value> {
+    ++calls;
+    if (args[0].is_null()) return Value::Null();
+    return Value::Int(args[0].AsInt() * 2);
+  };
+  db->functions().Register(fn);
+  ResultSet rs = Exec(db.get(), "select double_it(qty) from items where id=1");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 20);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(FunctionsTest, UdfErrorsPropagate) {
+  auto db = MakeTestDb();
+  ScalarFunction fn;
+  fn.name = "boom";
+  fn.arity = 0;
+  fn.fn = [](const std::vector<Value>&) -> Result<Value> {
+    return Status::ExecutionError("boom");
+  };
+  db->functions().Register(fn);
+  ExpectExecError(db.get(), "select boom() from items",
+                  StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace aapac::engine

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/schema.h"
+#include "engine/table.h"
+
+namespace aapac::engine {
+namespace {
+
+Schema TwoColumnSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"id", ValueType::kInt64}).ok());
+  EXPECT_TRUE(s.AddColumn({"name", ValueType::kString}).ok());
+  return s;
+}
+
+TEST(SchemaTest, AddAndFind) {
+  Schema s = TwoColumnSchema();
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.FindColumn("id"), 0u);
+  EXPECT_EQ(s.FindColumn("NAME"), 1u);  // Case-insensitive.
+  EXPECT_FALSE(s.FindColumn("missing").has_value());
+  EXPECT_TRUE(s.HasColumn("name"));
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  Schema s = TwoColumnSchema();
+  EXPECT_EQ(s.AddColumn({"ID", ValueType::kString}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, NormalizesNamesToLower) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn({"MiXeD", ValueType::kBool}).ok());
+  EXPECT_EQ(s.column(0).name, "mixed");
+}
+
+TEST(TableTest, InsertValidatesArity) {
+  Table t("t", TwoColumnSchema());
+  EXPECT_EQ(t.Insert({Value::Int(1)}).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, InsertValidatesTypes) {
+  Table t("t", TwoColumnSchema());
+  EXPECT_EQ(t.Insert({Value::String("x"), Value::String("a")}).code(),
+            StatusCode::kInvalidArgument);
+  // NULLs are accepted in any column.
+  EXPECT_TRUE(t.Insert({Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, IntWidensToDouble) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn({"x", ValueType::kDouble}).ok());
+  Table t("t", s);
+  ASSERT_TRUE(t.Insert({Value::Int(3)}).ok());
+  EXPECT_EQ(t.row(0)[0].type(), ValueType::kDouble);
+  EXPECT_EQ(t.row(0)[0].AsDouble(), 3.0);
+}
+
+TEST(TableTest, AddColumnBackfills) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("b")}).ok());
+  ASSERT_TRUE(t.AddColumn({"flag", ValueType::kBool}, Value::Bool(true)).ok());
+  EXPECT_EQ(t.schema().num_columns(), 3u);
+  EXPECT_TRUE(t.row(0)[2].AsBool());
+  EXPECT_TRUE(t.row(1)[2].AsBool());
+  // New inserts must supply the new column.
+  EXPECT_FALSE(t.Insert({Value::Int(3), Value::String("c")}).ok());
+  EXPECT_TRUE(
+      t.Insert({Value::Int(3), Value::String("c"), Value::Bool(false)}).ok());
+}
+
+TEST(TableTest, UpdateColumnWhere) {
+  Table t("t", TwoColumnSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::String("x")}).ok());
+  }
+  const size_t updated =
+      t.UpdateColumnWhere(1, Value::String("y"), {1, 3, 99});
+  EXPECT_EQ(updated, 2u);  // Index 99 out of range.
+  EXPECT_EQ(t.row(1)[1].AsString(), "y");
+  EXPECT_EQ(t.row(3)[1].AsString(), "y");
+  EXPECT_EQ(t.row(0)[1].AsString(), "x");
+}
+
+TEST(DatabaseTest, CreateFindDrop) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("T1", TwoColumnSchema()).ok());
+  EXPECT_NE(db.FindTable("t1"), nullptr);
+  EXPECT_NE(db.FindTable("T1"), nullptr);  // Case-insensitive.
+  EXPECT_EQ(db.CreateTable("t1", Schema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db.GetTable("t1").ok());
+  EXPECT_EQ(db.GetTable("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(db.DropTable("t1").ok());
+  EXPECT_EQ(db.DropTable("t1").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, TableNamesSorted) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("zeta", Schema()).ok());
+  ASSERT_TRUE(db.CreateTable("alpha", Schema()).ok());
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(DatabaseTest, HasBuiltinFunctions) {
+  Database db;
+  EXPECT_TRUE(db.functions().Contains("abs"));
+  EXPECT_TRUE(db.functions().Contains("coalesce"));
+  EXPECT_FALSE(db.functions().Contains("nope"));
+}
+
+}  // namespace
+}  // namespace aapac::engine

@@ -1,0 +1,191 @@
+// Binary snapshots: round trips over all value types, corruption detection,
+// and restoring a fully secured database (catalog reload + enforcement).
+
+#include "engine/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "tests/engine/test_db.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::engine {
+namespace {
+
+/// Unique-ish temp path per test.
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/aapac_snapshot_" + tag +
+         ".bin";
+}
+
+TEST(SnapshotTest, RoundTripsAllValueTypes) {
+  auto db = MakeTestDb();
+  // Add a table covering bool/bytes/null corners explicitly.
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"b", ValueType::kBool}).ok());
+  ASSERT_TRUE(schema.AddColumn({"raw", ValueType::kBytes}).ok());
+  Table* extra = *db->CreateTable("extra", schema);
+  ASSERT_TRUE(extra->Insert({Value::Bool(true),
+                             Value::Bytes(std::string("\x00\xff\x01", 3))})
+                  .ok());
+  ASSERT_TRUE(extra->Insert({Value::Null(), Value::Null()}).ok());
+
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(SaveSnapshot(*db, path).ok());
+
+  Database restored;
+  ASSERT_TRUE(LoadSnapshot(&restored, path).ok());
+  EXPECT_EQ(restored.TableNames(), db->TableNames());
+  for (const std::string& name : db->TableNames()) {
+    const Table* a = db->FindTable(name);
+    const Table* b = restored.FindTable(name);
+    ASSERT_EQ(a->num_rows(), b->num_rows()) << name;
+    ASSERT_EQ(a->schema().num_columns(), b->schema().num_columns()) << name;
+    for (size_t c = 0; c < a->schema().num_columns(); ++c) {
+      EXPECT_EQ(a->schema().column(c).name, b->schema().column(c).name);
+      EXPECT_EQ(a->schema().column(c).type, b->schema().column(c).type);
+    }
+    for (size_t r = 0; r < a->num_rows(); ++r) {
+      EXPECT_TRUE(RowEq{}(a->row(r), b->row(r))) << name << " row " << r;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, QueriesAgreeAfterRestore) {
+  auto db = MakeTestDb();
+  const std::string path = TempPath("queries");
+  ASSERT_TRUE(SaveSnapshot(*db, path).ok());
+  Database restored;
+  ASSERT_TRUE(LoadSnapshot(&restored, path).ok());
+  const char* sql =
+      "select name, sum(amount) from orders join items on "
+      "orders.item_id = items.id group by name";
+  EXPECT_EQ(ExecSorted(db.get(), sql), ExecSorted(&restored, sql));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsNonEmptyTarget) {
+  auto db = MakeTestDb();
+  const std::string path = TempPath("nonempty");
+  ASSERT_TRUE(SaveSnapshot(*db, path).ok());
+  EXPECT_FALSE(LoadSnapshot(db.get(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsMissingAndCorruptFiles) {
+  Database db;
+  EXPECT_EQ(LoadSnapshot(&db, "/nonexistent/zz.bin").code(),
+            StatusCode::kNotFound);
+
+  const std::string path = TempPath("corrupt");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTASNAPSHOTFILE";
+  }
+  EXPECT_FALSE(LoadSnapshot(&db, path).ok());
+
+  // Valid snapshot with one flipped byte fails the checksum.
+  auto source = MakeTestDb();
+  ASSERT_TRUE(SaveSnapshot(*source, path).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(30);
+    f.put('\x7f');
+  }
+  Database fresh;
+  Status st = LoadSnapshot(&fresh, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+
+  // Truncation is also caught.
+  ASSERT_TRUE(SaveSnapshot(*source, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+  Database fresh2;
+  EXPECT_FALSE(LoadSnapshot(&fresh2, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SecuredDatabaseSurvivesRestore) {
+  // Build, configure and protect; save; restore into a new process-like
+  // world; reload the catalog from metadata; enforcement behaves the same.
+  auto db = std::make_unique<Database>();
+  workload::PatientsConfig config;
+  config.num_patients = 6;
+  config.samples_per_patient = 3;
+  ASSERT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+  core::AccessControlCatalog catalog(db.get());
+  ASSERT_TRUE(catalog.Initialize().ok());
+  ASSERT_TRUE(workload::ConfigurePatientsAccessControl(&catalog).ok());
+  ASSERT_TRUE(catalog.AuthorizeUser("alice", "p1").ok());
+  workload::ScatteredPolicyConfig sp;
+  sp.selectivity = 0.4;
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(&catalog, sp).ok());
+  core::EnforcementMonitor monitor(db.get(), &catalog);
+  auto before = monitor.ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(before.ok());
+
+  const std::string path = TempPath("secured");
+  ASSERT_TRUE(SaveSnapshot(*db, path).ok());
+
+  Database restored;
+  ASSERT_TRUE(LoadSnapshot(&restored, path).ok());
+  core::AccessControlCatalog restored_catalog(&restored);
+  ASSERT_TRUE(restored_catalog.LoadFromMetadataTables().ok());
+  EXPECT_EQ(restored_catalog.purposes().size(), 8u);
+  EXPECT_EQ(restored_catalog.CategoryOf("sensed_data", "beats"),
+            core::DataCategory::kSensitive);
+  EXPECT_TRUE(restored_catalog.IsUserAuthorized("alice", "p1"));
+  EXPECT_TRUE(restored_catalog.IsProtected("users"));
+  EXPECT_FALSE(restored_catalog.IsProtected("pr"));
+
+  core::EnforcementMonitor restored_monitor(&restored, &restored_catalog);
+  auto after = restored_monitor.ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->rows.size(), before->rows.size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CatalogReloadRequiresMetadataTables) {
+  Database db;
+  core::AccessControlCatalog catalog(&db);
+  EXPECT_EQ(catalog.LoadFromMetadataTables().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, CatalogReloadRejectsMalformedMetadata) {
+  // Pr with a NULL id, Pm with an unknown category: both must be rejected
+  // rather than silently half-loaded.
+  for (int corruption = 0; corruption < 2; ++corruption) {
+    Database db;
+    core::AccessControlCatalog catalog(&db);
+    ASSERT_TRUE(catalog.Initialize().ok());
+    ASSERT_TRUE(catalog.DefinePurpose("p1", "x").ok());
+    if (corruption == 0) {
+      Table* pr = db.FindTable("pr");
+      ASSERT_TRUE(pr->Insert({Value::Null(), Value::String("y")}).ok());
+    } else {
+      Table* pm = db.FindTable("pm");
+      ASSERT_TRUE(pm->Insert({Value::String("c"), Value::String("t"),
+                              Value::String("ultra_secret")})
+                      .ok());
+    }
+    core::AccessControlCatalog reloaded(&db);
+    EXPECT_FALSE(reloaded.LoadFromMetadataTables().ok())
+        << "corruption " << corruption;
+  }
+}
+
+}  // namespace
+}  // namespace aapac::engine

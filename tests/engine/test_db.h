@@ -1,0 +1,115 @@
+#ifndef AAPAC_TESTS_ENGINE_TEST_DB_H_
+#define AAPAC_TESTS_ENGINE_TEST_DB_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/exec.h"
+
+namespace aapac::engine {
+
+/// Builds a small fixed dataset exercising every type and NULLs:
+///
+///   items(id, name, price, qty, active)
+///     1  apple   1.5  10  true
+///     2  banana  0.5  20  true
+///     3  cherry  3.0  NULL false
+///     4  NULL    2.0  5   NULL
+///     5  apple   NULL 10  true
+///
+///   orders(order_id, item_id, amount)
+///     100 1 2 | 101 1 3 | 102 2 1 | 103 3 4 | 104 9 1   (9 dangles)
+inline std::unique_ptr<Database> MakeTestDb() {
+  auto db = std::make_unique<Database>();
+  {
+    Schema s;
+    EXPECT_TRUE(s.AddColumn({"id", ValueType::kInt64}).ok());
+    EXPECT_TRUE(s.AddColumn({"name", ValueType::kString}).ok());
+    EXPECT_TRUE(s.AddColumn({"price", ValueType::kDouble}).ok());
+    EXPECT_TRUE(s.AddColumn({"qty", ValueType::kInt64}).ok());
+    EXPECT_TRUE(s.AddColumn({"active", ValueType::kBool}).ok());
+    Table* t = *db->CreateTable("items", s);
+    EXPECT_TRUE(t->Insert({Value::Int(1), Value::String("apple"),
+                           Value::Double(1.5), Value::Int(10),
+                           Value::Bool(true)})
+                    .ok());
+    EXPECT_TRUE(t->Insert({Value::Int(2), Value::String("banana"),
+                           Value::Double(0.5), Value::Int(20),
+                           Value::Bool(true)})
+                    .ok());
+    EXPECT_TRUE(t->Insert({Value::Int(3), Value::String("cherry"),
+                           Value::Double(3.0), Value::Null(),
+                           Value::Bool(false)})
+                    .ok());
+    EXPECT_TRUE(t->Insert({Value::Int(4), Value::Null(), Value::Double(2.0),
+                           Value::Int(5), Value::Null()})
+                    .ok());
+    EXPECT_TRUE(t->Insert({Value::Int(5), Value::String("apple"),
+                           Value::Null(), Value::Int(10), Value::Bool(true)})
+                    .ok());
+  }
+  {
+    Schema s;
+    EXPECT_TRUE(s.AddColumn({"order_id", ValueType::kInt64}).ok());
+    EXPECT_TRUE(s.AddColumn({"item_id", ValueType::kInt64}).ok());
+    EXPECT_TRUE(s.AddColumn({"amount", ValueType::kInt64}).ok());
+    Table* t = *db->CreateTable("orders", s);
+    const int64_t rows[][3] = {
+        {100, 1, 2}, {101, 1, 3}, {102, 2, 1}, {103, 3, 4}, {104, 9, 1}};
+    for (const auto& r : rows) {
+      EXPECT_TRUE(t->Insert({Value::Int(r[0]), Value::Int(r[1]),
+                             Value::Int(r[2])})
+                      .ok());
+    }
+  }
+  return db;
+}
+
+/// Executes and stringifies rows ("a|b|c"), sorted for order-insensitive
+/// comparison.
+inline std::vector<std::string> ExecSorted(Database* db,
+                                           const std::string& sql) {
+  Executor exec(db);
+  auto rs = exec.ExecuteSql(sql);
+  EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+  std::vector<std::string> out;
+  if (!rs.ok()) return out;
+  for (const Row& row : rs->rows) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "|";
+      line += row[i].ToString();
+    }
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Executes and returns the raw result set (order preserved).
+inline ResultSet Exec(Database* db, const std::string& sql) {
+  Executor exec(db);
+  auto rs = exec.ExecuteSql(sql);
+  EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+  return rs.ok() ? std::move(*rs) : ResultSet{};
+}
+
+/// Expects the statement to fail with `code`.
+inline void ExpectExecError(Database* db, const std::string& sql,
+                            StatusCode code) {
+  Executor exec(db);
+  auto rs = exec.ExecuteSql(sql);
+  EXPECT_FALSE(rs.ok()) << sql << " unexpectedly succeeded";
+  if (!rs.ok()) {
+    EXPECT_EQ(rs.status().code(), code) << rs.status();
+  }
+}
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_TESTS_ENGINE_TEST_DB_H_

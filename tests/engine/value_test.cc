@@ -1,0 +1,90 @@
+#include "engine/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aapac::engine {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Bytes(std::string("\x00\x01", 2)).AsBytes().size(), 2u);
+  EXPECT_EQ(Value::Int(5).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Bytes("").type(), ValueType::kBytes);
+}
+
+TEST(ValueTest, NumericHelpers) {
+  EXPECT_TRUE(Value::Int(1).IsNumeric());
+  EXPECT_TRUE(Value::Double(1).IsNumeric());
+  EXPECT_FALSE(Value::String("1").IsNumeric());
+  EXPECT_FALSE(Value::Null().IsNumeric());
+  EXPECT_EQ(Value::Int(3).NumericAsDouble(), 3.0);
+}
+
+TEST(ValueTest, EqualsCoercesNumerics) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  EXPECT_TRUE(Value::Double(3.0).Equals(Value::Int(3)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::Double(3.5)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::String("3")));
+}
+
+TEST(ValueTest, NullEqualsNothingViaEquals) {
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  // operator== treats NULL == NULL structurally (container use).
+  EXPECT_TRUE(Value::Null() == Value::Null());
+}
+
+TEST(ValueTest, CompareIsTotalOrder) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);  // NULLs first.
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(2).Compare(Value::Int(1)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Double(1.5).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+  EXPECT_EQ(Value::Bytes("ab").Compare(Value::Bytes("ab")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  // Values that compare equal must hash equally (int/double coercion).
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  // Strings and bytes of the same content hash differently.
+  EXPECT_NE(Value::String("abc").Hash(), Value::Bytes("abc").Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int(-2).ToString(), "-2");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("x").ToString(), "x");
+  EXPECT_EQ(Value::Bytes(std::string("\x0f\xa0", 2)).ToString(), "0x0fa0");
+}
+
+TEST(RowHashTest, EqualRowsHashEqually) {
+  Row a = {Value::Int(1), Value::String("x"), Value::Null()};
+  Row b = {Value::Double(1.0), Value::String("x"), Value::Null()};
+  EXPECT_TRUE(RowEq{}(a, b));
+  EXPECT_EQ(RowHash{}(a), RowHash{}(b));
+  Row c = {Value::Int(2), Value::String("x"), Value::Null()};
+  EXPECT_FALSE(RowEq{}(a, c));
+}
+
+TEST(RowHashTest, DifferentArityNeverEqual) {
+  Row a = {Value::Int(1)};
+  Row b = {Value::Int(1), Value::Int(2)};
+  EXPECT_FALSE(RowEq{}(a, b));
+}
+
+}  // namespace
+}  // namespace aapac::engine

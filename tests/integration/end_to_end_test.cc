@@ -1,0 +1,148 @@
+// End-to-end pipeline tests: patients database -> configuration -> scattered
+// policies -> original vs. rewritten execution of the paper's q1-q8 and the
+// random r1-r20.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/queries.h"
+
+namespace aapac {
+namespace {
+
+using core::AccessControlCatalog;
+using core::EnforcementMonitor;
+using engine::Database;
+using engine::ResultSet;
+using workload::BenchQuery;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 50;
+    config.samples_per_patient = 20;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    monitor_ = std::make_unique<EnforcementMonitor>(db_.get(), catalog_.get());
+  }
+
+  void ApplySelectivity(double s) {
+    workload::ScatteredPolicyConfig config;
+    config.selectivity = s;
+    ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), config).ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<EnforcementMonitor> monitor_;
+};
+
+TEST_F(EndToEndTest, OriginalQueriesAllExecute) {
+  for (const BenchQuery& q : workload::PaperQueries()) {
+    auto rs = monitor_->ExecuteUnrestricted(q.sql);
+    ASSERT_TRUE(rs.ok()) << q.name << ": " << rs.status();
+  }
+  for (const BenchQuery& q : workload::RandomQueries(/*seed=*/123)) {
+    auto rs = monitor_->ExecuteUnrestricted(q.sql);
+    ASSERT_TRUE(rs.ok()) << q.name << " (" << q.sql << "): " << rs.status();
+  }
+}
+
+TEST_F(EndToEndTest, RewrittenQueriesAllExecute) {
+  ApplySelectivity(0.4);
+  for (const BenchQuery& q : workload::PaperQueries()) {
+    auto rs = monitor_->ExecuteQuery(q.sql, "p6");
+    ASSERT_TRUE(rs.ok()) << q.name << ": " << rs.status();
+  }
+  for (const BenchQuery& q : workload::RandomQueries(/*seed=*/123)) {
+    auto rs = monitor_->ExecuteQuery(q.sql, "p6");
+    ASSERT_TRUE(rs.ok()) << q.name << " (" << q.sql << "): " << rs.status();
+  }
+}
+
+// With selectivity 0 every policy contains a pass-all rule, so rewritten
+// queries must return exactly the original result sets (Theorems 1+2 in the
+// everything-complies case).
+TEST_F(EndToEndTest, SelectivityZeroPreservesResults) {
+  ApplySelectivity(0.0);
+  for (const BenchQuery& q : workload::PaperQueries()) {
+    auto original = monitor_->ExecuteUnrestricted(q.sql);
+    ASSERT_TRUE(original.ok()) << q.name << ": " << original.status();
+    auto rewritten = monitor_->ExecuteQuery(q.sql, "p1");
+    ASSERT_TRUE(rewritten.ok()) << q.name << ": " << rewritten.status();
+    EXPECT_EQ(original->rows.size(), rewritten->rows.size()) << q.name;
+  }
+}
+
+// With selectivity 1 no policy complies: every rewritten non-aggregate query
+// returns nothing.
+TEST_F(EndToEndTest, SelectivityOneBlocksEverything) {
+  ApplySelectivity(1.0);
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "p1");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_TRUE(rs->rows.empty());
+  rs = monitor_->ExecuteQuery(workload::PaperQueries()[4].sql, "p1");  // q5.
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+// Compliance checks decrease (weakly) as selectivity grows — the Fig. 6
+// trend.
+TEST_F(EndToEndTest, ChecksDecreaseWithSelectivity) {
+  const BenchQuery q5 = workload::PaperQueries()[4];
+  uint64_t previous = UINT64_MAX;
+  for (double s : {0.0, 0.4, 0.8}) {
+    ApplySelectivity(s);
+    monitor_->ResetComplianceChecks();
+    ASSERT_TRUE(monitor_->ExecuteQuery(q5.sql, "p3").ok());
+    const uint64_t checks = monitor_->compliance_checks();
+    EXPECT_LE(checks, previous) << "selectivity " << s;
+    previous = checks;
+  }
+}
+
+// Unknown purpose and unauthorized user are rejected up front.
+TEST_F(EndToEndTest, RejectsUnknownPurposeAndUnauthorizedUser) {
+  ApplySelectivity(0.0);
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "p99");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+
+  rs = monitor_->ExecuteQuery("select user_id from users", "p1", "mallory");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kPermissionDenied);
+
+  ASSERT_TRUE(catalog_->AuthorizeUser("alice", "p1").ok());
+  rs = monitor_->ExecuteQuery("select user_id from users", "p1", "alice");
+  EXPECT_TRUE(rs.ok()) << rs.status();
+}
+
+// Purposes can be given by description ("research" = p6).
+TEST_F(EndToEndTest, ResolvesPurposeDescriptions) {
+  ApplySelectivity(0.0);
+  auto rs = monitor_->ExecuteQuery("select user_id from users", "research");
+  EXPECT_TRUE(rs.ok()) << rs.status();
+}
+
+// Rewritten star queries must not leak the policy column.
+TEST_F(EndToEndTest, StarExpansionHidesPolicyColumn) {
+  ApplySelectivity(0.0);
+  auto rs = monitor_->ExecuteQuery("select * from users", "p1");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  for (const std::string& name : rs->column_names) {
+    EXPECT_NE(name, "policy");
+  }
+  EXPECT_EQ(rs->column_names.size(), 3u);
+}
+
+}  // namespace
+}  // namespace aapac

@@ -1,0 +1,239 @@
+// Failure injection and fuzz-style robustness:
+//  - the parser must reject arbitrary token soup without crashing;
+//  - corrupted policy masks must fail closed (deny), never crash;
+//  - the security corollary: rewritten non-aggregate queries only ever
+//    return a sub-multiset of the original result;
+//  - everything runs on empty tables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/queries.h"
+
+namespace aapac {
+namespace {
+
+using core::AccessControlCatalog;
+using core::EnforcementMonitor;
+using engine::Database;
+using engine::Row;
+using engine::Table;
+using engine::Value;
+
+std::vector<std::string> Stringify(const engine::ResultSet& rs) {
+  std::vector<std::string> out;
+  for (const Row& row : rs.rows) {
+    std::string line;
+    for (const Value& v : row) {
+      line += v.ToString();
+      line += "|";
+    }
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// True iff `sub` is a sub-multiset of `super` (both sorted).
+bool IsSubMultiset(const std::vector<std::string>& sub,
+                   const std::vector<std::string>& super) {
+  size_t j = 0;
+  for (const std::string& s : sub) {
+    while (j < super.size() && super[j] < s) ++j;
+    if (j == super.size() || super[j] != s) return false;
+    ++j;
+  }
+  return true;
+}
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  static const char* kFragments[] = {
+      "select", "from",  "where", "join",   "on",    "group", "by",
+      "having", "order", "limit", "(",      ")",     ",",     "*",
+      "+",      "-",     "/",     "=",      "<",     ">",     "'txt'",
+      "42",     "3.14",  "users", "beats",  "and",   "or",    "not",
+      "in",     "like",  "null",  "b'01'",  "avg",   ".",     ";",
+      "between", "is",   "distinct", "as",  "insert", "into", "values"};
+  Rng rng(2024);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string soup;
+    const int len = static_cast<int>(rng.NextInt(1, 18));
+    for (int i = 0; i < len; ++i) {
+      soup += kFragments[rng.NextIndex(std::size(kFragments))];
+      soup += " ";
+    }
+    auto select = sql::ParseSelect(soup);
+    auto statement = sql::ParseStatement(soup);
+    if (select.ok()) ++parsed_ok;
+    (void)statement;
+  }
+  // The vast majority of soups must be rejected gracefully.
+  EXPECT_LT(parsed_ok, 300);
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string junk;
+    const int len = static_cast<int>(rng.NextInt(0, 40));
+    for (int i = 0; i < len; ++i) {
+      junk += static_cast<char>(rng.NextInt(32, 126));
+    }
+    (void)sql::ParseSelect(junk);
+    (void)sql::ParseStatement(junk);
+  }
+  SUCCEED();
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 20;
+    config.samples_per_patient = 5;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    monitor_ = std::make_unique<EnforcementMonitor>(db_.get(), catalog_.get());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<EnforcementMonitor> monitor_;
+};
+
+TEST_F(RobustnessTest, CorruptedPolicyMasksFailClosed) {
+  workload::ScatteredPolicyConfig sp;
+  sp.selectivity = 0.0;
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+  // Flip random bytes in random policy masks of every table.
+  Rng rng(31337);
+  for (const char* table :
+       {"users", "sensed_data", "nutritional_profiles"}) {
+    Table* t = db_->FindTable(table);
+    auto col = t->schema().FindColumn("policy");
+    for (size_t i = 0; i < t->num_rows(); ++i) {
+      if (!rng.NextBool(0.5)) continue;
+      std::string bytes = t->row(i)[*col].AsBytes();
+      switch (rng.NextIndex(4)) {
+        case 0:  // Flip a byte.
+          if (!bytes.empty()) {
+            bytes[rng.NextIndex(bytes.size())] ^=
+                static_cast<char>(1 << rng.NextIndex(8));
+          }
+          break;
+        case 1:  // Truncate.
+          bytes = bytes.substr(0, rng.NextIndex(bytes.size() + 1));
+          break;
+        case 2:  // Extend with junk.
+          bytes += static_cast<char>(rng.NextInt(0, 255));
+          break;
+        case 3:  // Replace wholesale.
+          bytes = std::string(rng.NextIndex(10), '\xFF');
+          break;
+      }
+      t->mutable_row(i)[*col] = Value::Bytes(bytes);
+    }
+  }
+  // Every query still executes; corrupt masks simply deny.
+  for (const auto& q : workload::PaperQueries()) {
+    auto rewritten = monitor_->ExecuteQuery(q.sql, "p3");
+    ASSERT_TRUE(rewritten.ok()) << q.name << ": " << rewritten.status();
+    auto original = monitor_->ExecuteUnrestricted(q.sql);
+    ASSERT_TRUE(original.ok());
+    EXPECT_LE(rewritten->rows.size(), original->rows.size()) << q.name;
+  }
+}
+
+TEST_F(RobustnessTest, SecurityCorollaryRewrittenIsSubsetOfOriginal) {
+  // Non-aggregate queries only: every rewritten result row must also be an
+  // original result row (aggregates fold differently filtered inputs).
+  static const char* kNonAggregateQueries[] = {
+      "select distinct watch_id from sensed_data",
+      "select user_id, temperature from users join sensed_data on "
+      "users.watch_id=sensed_data.watch_id where sensed_data.temperature>37",
+      "select user_id, watch_id from users where not watch_id like 'watch1'",
+      "select profile_id, diet_type from nutritional_profiles",
+      "select users.user_id, nutritional_profiles.diet_type from users join "
+      "nutritional_profiles on "
+      "users.nutritional_profile_id=nutritional_profiles.profile_id",
+  };
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (double selectivity : {0.2, 0.5, 0.8}) {
+      workload::ScatteredPolicyConfig sp;
+      sp.selectivity = selectivity;
+      sp.seed = seed;
+      ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+      for (const char* sql : kNonAggregateQueries) {
+        auto original = monitor_->ExecuteUnrestricted(sql);
+        ASSERT_TRUE(original.ok()) << sql;
+        auto rewritten = monitor_->ExecuteQuery(sql, "p4");
+        ASSERT_TRUE(rewritten.ok()) << sql;
+        EXPECT_TRUE(
+            IsSubMultiset(Stringify(*rewritten), Stringify(*original)))
+            << sql << " seed=" << seed << " s=" << selectivity;
+      }
+    }
+  }
+}
+
+TEST_F(RobustnessTest, PushdownOnOffAgree) {
+  workload::ScatteredPolicyConfig sp;
+  sp.selectivity = 0.4;
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+  std::vector<workload::BenchQuery> queries = workload::PaperQueries();
+  for (auto& q : workload::RandomQueries(4)) queries.push_back(std::move(q));
+  for (const auto& q : queries) {
+    monitor_->SetPushdownEnabled(true);
+    auto with = monitor_->ExecuteQuery(q.sql, "p3");
+    ASSERT_TRUE(with.ok()) << q.name;
+    monitor_->SetPushdownEnabled(false);
+    auto without = monitor_->ExecuteQuery(q.sql, "p3");
+    ASSERT_TRUE(without.ok()) << q.name;
+    EXPECT_EQ(Stringify(*with), Stringify(*without)) << q.name;
+    // Originals agree too.
+    monitor_->SetPushdownEnabled(true);
+    auto orig_with = monitor_->ExecuteUnrestricted(q.sql);
+    monitor_->SetPushdownEnabled(false);
+    auto orig_without = monitor_->ExecuteUnrestricted(q.sql);
+    ASSERT_TRUE(orig_with.ok() && orig_without.ok()) << q.name;
+    EXPECT_EQ(Stringify(*orig_with), Stringify(*orig_without)) << q.name;
+  }
+  monitor_->SetPushdownEnabled(true);
+}
+
+TEST(EmptyDatabaseTest, AllQueriesRunOnEmptyTables) {
+  auto db = std::make_unique<Database>();
+  workload::PatientsConfig config;
+  config.num_patients = 0;
+  config.samples_per_patient = 0;
+  ASSERT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+  AccessControlCatalog catalog(db.get());
+  ASSERT_TRUE(catalog.Initialize().ok());
+  ASSERT_TRUE(workload::ConfigurePatientsAccessControl(&catalog).ok());
+  EnforcementMonitor monitor(db.get(), &catalog);
+  std::vector<workload::BenchQuery> queries = workload::PaperQueries();
+  for (auto& q : workload::RandomQueries(9)) queries.push_back(std::move(q));
+  for (const auto& q : queries) {
+    auto original = monitor.ExecuteUnrestricted(q.sql);
+    ASSERT_TRUE(original.ok()) << q.name << ": " << original.status();
+    auto rewritten = monitor.ExecuteQuery(q.sql, "p1");
+    ASSERT_TRUE(rewritten.ok()) << q.name << ": " << rewritten.status();
+    EXPECT_EQ(monitor.compliance_checks(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace aapac

@@ -1,0 +1,128 @@
+// Fuzz-differential testing over the stress query generator: hundreds of
+// random, deeply shaped queries must parse, round-trip through the printer,
+// plan, execute, survive enforcement, and satisfy the cross-implementation
+// invariants (pushdown on/off equality; rewritten ⊆ original for plain
+// queries).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/stress.h"
+
+namespace aapac {
+namespace {
+
+std::vector<std::string> Stringify(const engine::ResultSet& rs) {
+  std::vector<std::string> out;
+  for (const auto& row : rs.rows) {
+    std::string line;
+    for (const auto& v : row) {
+      line += v.ToString();
+      line += "|";
+    }
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool IsSubMultiset(const std::vector<std::string>& sub,
+                   const std::vector<std::string>& super) {
+  size_t j = 0;
+  for (const std::string& s : sub) {
+    while (j < super.size() && super[j] < s) ++j;
+    if (j == super.size() || super[j] != s) return false;
+    ++j;
+  }
+  return true;
+}
+
+class StressDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressDifferentialTest, InvariantsHoldOnRandomQueries) {
+  auto db = std::make_unique<engine::Database>();
+  workload::PatientsConfig config;
+  config.num_patients = 25;
+  config.samples_per_patient = 6;
+  config.seed = GetParam() * 17 + 3;
+  ASSERT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+  core::AccessControlCatalog catalog(db.get());
+  ASSERT_TRUE(catalog.Initialize().ok());
+  ASSERT_TRUE(workload::ConfigurePatientsAccessControl(&catalog).ok());
+  workload::ScatteredPolicyConfig sp;
+  sp.selectivity = 0.3;
+  sp.seed = GetParam();
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(&catalog, sp).ok());
+  core::EnforcementMonitor monitor(db.get(), &catalog);
+
+  int executed = 0;
+  for (const auto& q : workload::StressQueries(GetParam(), 60)) {
+    SCOPED_TRACE(q.name + ": " + q.sql);
+
+    // Parse + printer fixpoint.
+    auto stmt = sql::ParseSelect(q.sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status();
+    const std::string printed = sql::ToSql(**stmt);
+    auto reparsed = sql::ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(sql::ToSql(**reparsed), printed);
+
+    // Plan rendering never crashes or errors.
+    {
+      engine::Executor exec(db.get());
+      auto plan = exec.ExplainPlanSql(q.sql);
+      ASSERT_TRUE(plan.ok()) << plan.status();
+      EXPECT_FALSE(plan->empty());
+    }
+
+    // Original executes; pushdown on/off agree.
+    monitor.SetPushdownEnabled(true);
+    auto original = monitor.ExecuteUnrestricted(q.sql);
+    ASSERT_TRUE(original.ok()) << original.status();
+    monitor.SetPushdownEnabled(false);
+    auto no_push = monitor.ExecuteUnrestricted(q.sql);
+    ASSERT_TRUE(no_push.ok()) << no_push.status();
+    EXPECT_EQ(Stringify(*original), Stringify(*no_push));
+    monitor.SetPushdownEnabled(true);
+
+    // Rewritten executes; for plain (non-aggregate) queries the result is
+    // a sub-multiset of the original.
+    auto rewritten = monitor.ExecuteQuery(q.sql, "p3");
+    ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+    if (q.description == "plain") {
+      EXPECT_TRUE(IsSubMultiset(Stringify(*rewritten), Stringify(*original)));
+    }
+    ++executed;
+  }
+  EXPECT_EQ(executed, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressDifferentialTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(StressGeneratorTest, DeterministicAndLabelled) {
+  const auto a = workload::StressQueries(5, 10);
+  const auto b = workload::StressQueries(5, 10);
+  ASSERT_EQ(a.size(), 10u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sql, b[i].sql);
+    EXPECT_TRUE(a[i].description == "plain" || a[i].description == "aggregate");
+  }
+  const auto c = workload::StressQueries(6, 10);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].sql != c[i].sql) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace aapac

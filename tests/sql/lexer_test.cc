@@ -1,0 +1,120 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace aapac::sql {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  auto tokens = Tokenize(s);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return std::move(tokens).ValueOr({});
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEndOfInput);
+}
+
+TEST(LexerTest, IdentifiersAreLowered) {
+  auto tokens = Lex("SELECT Users WATCH_id");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].text, "users");
+  EXPECT_EQ(tokens[2].text, "watch_id");
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+}
+
+TEST(LexerTest, NumbersClassified) {
+  auto tokens = Lex("42 3.14 .5 1e3 2E-2 7.");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[2].text, ".5");
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[4].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[5].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Lex("'hello' 'it''s' ''");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(LexerTest, StringsPreserveCase) {
+  auto tokens = Lex("'Vegan Diet'");
+  EXPECT_EQ(tokens[0].text, "Vegan Diet");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+  EXPECT_FALSE(Tokenize("b'0101").ok());
+}
+
+TEST(LexerTest, BitLiterals) {
+  auto tokens = Lex("b'0110' B'1'");
+  EXPECT_EQ(tokens[0].type, TokenType::kBitLiteral);
+  EXPECT_EQ(tokens[0].text, "0110");
+  EXPECT_EQ(tokens[1].type, TokenType::kBitLiteral);
+  EXPECT_EQ(tokens[1].text, "1");
+}
+
+TEST(LexerTest, BitLiteralRequiresQuoteAfterB) {
+  // `b2` is just an identifier.
+  auto tokens = Lex("b2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "b2");
+}
+
+TEST(LexerTest, SymbolsAndMultiCharOperators) {
+  auto tokens = Lex("a<=b <> != >= ( ) , . * + - / % ;");
+  EXPECT_EQ(tokens[1].text, "<=");
+  EXPECT_EQ(tokens[3].text, "<>");
+  EXPECT_EQ(tokens[4].text, "!=");
+  EXPECT_EQ(tokens[5].text, ">=");
+  for (size_t i = 6; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kSymbol);
+  }
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto tokens = Lex("select -- this is a comment\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].text, "1");
+}
+
+TEST(LexerTest, MinusVsCommentDisambiguation) {
+  auto tokens = Lex("5 - 3");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].text, "-");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("select @foo").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  auto tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+TEST(LexerTest, FullQueryTokenStream) {
+  auto tokens =
+      Lex("select user_id, avg(beats) from users join sensed_data on "
+          "users.watch_id = sensed_data.watch_id group by user_id having "
+          "avg(beats)>90");
+  // 29 real tokens + EOF.
+  EXPECT_EQ(tokens.size(), 30u);
+  EXPECT_EQ(tokens[tokens.size() - 2].text, "90");
+}
+
+}  // namespace
+}  // namespace aapac::sql

@@ -1,0 +1,98 @@
+#include "sql/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/queries.h"
+#include "sql/parser.h"
+
+namespace aapac::sql {
+namespace {
+
+/// Parse → print must reach a fixpoint after one pass: print(parse(sql)) ==
+/// print(parse(print(parse(sql)))).
+void ExpectStableRoundTrip(const std::string& sql) {
+  auto stmt1 = ParseSelect(sql);
+  ASSERT_TRUE(stmt1.ok()) << sql << " -> " << stmt1.status();
+  const std::string printed1 = ToSql(**stmt1);
+  auto stmt2 = ParseSelect(printed1);
+  ASSERT_TRUE(stmt2.ok()) << printed1 << " -> " << stmt2.status();
+  EXPECT_EQ(ToSql(**stmt2), printed1) << "not a fixpoint for: " << sql;
+}
+
+TEST(PrinterTest, LiteralForms) {
+  EXPECT_EQ(ToSql(LiteralValue{}), "null");
+  EXPECT_EQ(ToSql(LiteralValue{int64_t{42}}), "42");
+  EXPECT_EQ(ToSql(LiteralValue{2.5}), "2.5");
+  EXPECT_EQ(ToSql(LiteralValue{3.0}), "3.0");  // Re-lexes as float.
+  EXPECT_EQ(ToSql(LiteralValue{true}), "true");
+  EXPECT_EQ(ToSql(LiteralValue{false}), "false");
+  EXPECT_EQ(ToSql(LiteralValue{std::string("x")}), "'x'");
+  EXPECT_EQ(ToSql(LiteralValue{std::string("it's")}), "'it''s'");
+  EXPECT_EQ(ToSql(LiteralValue{BitLiteral{"0110"}}), "b'0110'");
+}
+
+TEST(PrinterTest, ExpressionForms) {
+  auto print = [](const char* s) { return ToSql(**ParseExpression(s)); };
+  EXPECT_EQ(print("a"), "a");
+  EXPECT_EQ(print("t.a"), "t.a");
+  EXPECT_EQ(print("a + b"), "(a + b)");
+  EXPECT_EQ(print("not a"), "(not a)");
+  EXPECT_EQ(print("-a"), "(-a)");
+  EXPECT_EQ(print("a <> b"), "(a <> b)");
+  EXPECT_EQ(print("a != b"), "(a <> b)");  // Normalized.
+  EXPECT_EQ(print("f(a, b)"), "f(a, b)");
+  EXPECT_EQ(print("count(*)"), "count(*)");
+  EXPECT_EQ(print("count(distinct a)"), "count(distinct a)");
+  EXPECT_EQ(print("a in (1, 2)"), "(a in (1, 2))");
+  EXPECT_EQ(print("a not in (1)"), "(a not in (1))");
+  EXPECT_EQ(print("a is null"), "(a is null)");
+  EXPECT_EQ(print("a is not null"), "(a is not null)");
+  EXPECT_EQ(print("a between 1 and 2"), "(a between 1 and 2)");
+  EXPECT_EQ(print("a like 'x%'"), "(a like 'x%')");
+  EXPECT_EQ(print("a not like 'x%'"), "(a not like 'x%')");
+}
+
+TEST(PrinterTest, StatementClauses) {
+  auto stmt = ParseSelect(
+      "select distinct a as x from t u join v on u.k = v.k where a > 1 "
+      "group by a having count(*) > 0 order by x desc limit 3");
+  const std::string sql = ToSql(**stmt);
+  EXPECT_NE(sql.find("select distinct"), std::string::npos);
+  EXPECT_NE(sql.find("a as x"), std::string::npos);
+  EXPECT_NE(sql.find("t u join v on"), std::string::npos);
+  EXPECT_NE(sql.find("group by a"), std::string::npos);
+  EXPECT_NE(sql.find("having"), std::string::npos);
+  EXPECT_NE(sql.find("order by x desc"), std::string::npos);
+  EXPECT_NE(sql.find("limit 3"), std::string::npos);
+}
+
+TEST(PrinterTest, PaperQueriesRoundTrip) {
+  for (const auto& q : workload::PaperQueries()) {
+    ExpectStableRoundTrip(q.sql);
+  }
+}
+
+TEST(PrinterTest, RandomQueriesRoundTrip) {
+  for (uint64_t seed : {1u, 99u, 20160501u}) {
+    for (const auto& q : workload::RandomQueries(seed)) {
+      ExpectStableRoundTrip(q.sql);
+    }
+  }
+}
+
+TEST(PrinterTest, CraftedQueriesRoundTrip) {
+  const char* cases[] = {
+      "select * from t",
+      "select t.* from t",
+      "select a, -b + 2.5 * c from t where not (a = 1 or b like '%x_')",
+      "select x from (select a as x from t where a in (select b from u)) s",
+      "select a from t where b > (select avg(c) from u) and d is not null",
+      "select count(*) from t group by a having min(b) between 1 and 2",
+      "select b'1010' from t",
+      "select a from t order by 1 desc limit 0",
+  };
+  for (const char* sql : cases) ExpectStableRoundTrip(sql);
+}
+
+}  // namespace
+}  // namespace aapac::sql

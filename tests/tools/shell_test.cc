@@ -1,0 +1,293 @@
+// The interactive shell session: meta commands, enforced SQL, formatting
+// and error reporting.
+
+#include "tools/shell.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::tools {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 4;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<core::AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    workload::ScatteredPolicyConfig sp;
+    sp.selectivity = 0.0;
+    ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+    monitor_ = std::make_unique<core::EnforcementMonitor>(db_.get(),
+                                                          catalog_.get());
+    session_ = std::make_unique<ShellSession>(db_.get(), catalog_.get(),
+                                              monitor_.get());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<core::AccessControlCatalog> catalog_;
+  std::unique_ptr<core::EnforcementMonitor> monitor_;
+  std::unique_ptr<ShellSession> session_;
+};
+
+TEST_F(ShellTest, EmptyLineYieldsNothing) {
+  EXPECT_EQ(session_->ProcessLine(""), "");
+  EXPECT_EQ(session_->ProcessLine("   "), "");
+}
+
+TEST_F(ShellTest, HelpListsCommands) {
+  const std::string out = session_->ProcessLine("\\help");
+  EXPECT_NE(out.find("\\purpose"), std::string::npos);
+  EXPECT_NE(out.find("\\rewrite"), std::string::npos);
+}
+
+TEST_F(ShellTest, SqlRequiresPurpose) {
+  const std::string out = session_->ProcessLine("select user_id from users");
+  EXPECT_NE(out.find("set an access purpose"), std::string::npos);
+}
+
+TEST_F(ShellTest, PurposeByIdOrDescription) {
+  EXPECT_NE(session_->ProcessLine("\\purpose p1").find("purpose set to p1"),
+            std::string::npos);
+  EXPECT_EQ(session_->purpose(), "p1");
+  EXPECT_NE(session_->ProcessLine("\\purpose research").find("p6"),
+            std::string::npos);
+  EXPECT_EQ(session_->purpose(), "p6");
+  EXPECT_NE(session_->ProcessLine("\\purpose bogus").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, EnforcedQueryReturnsTable) {
+  session_->ProcessLine("\\purpose p1");
+  const std::string out = session_->ProcessLine("select user_id from users");
+  EXPECT_NE(out.find("user_id"), std::string::npos);
+  EXPECT_NE(out.find("user0"), std::string::npos);
+  EXPECT_NE(out.find("(4 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, UserGateApplies) {
+  session_->ProcessLine("\\purpose p1");
+  session_->ProcessLine("\\user mallory");
+  EXPECT_EQ(session_->user(), "mallory");
+  const std::string denied = session_->ProcessLine("select user_id from users");
+  EXPECT_NE(denied.find("PermissionDenied"), std::string::npos);
+  ASSERT_TRUE(catalog_->AuthorizeUser("mallory", "p1").ok());
+  const std::string ok = session_->ProcessLine("select user_id from users");
+  EXPECT_NE(ok.find("(4 rows)"), std::string::npos);
+  session_->ProcessLine("\\user");
+  EXPECT_EQ(session_->user(), "");
+}
+
+TEST_F(ShellTest, TablesAndSchema) {
+  const std::string tables = session_->ProcessLine("\\tables");
+  EXPECT_NE(tables.find("users (protected)"), std::string::npos);
+  EXPECT_NE(tables.find("pr"), std::string::npos);
+  const std::string schema = session_->ProcessLine("\\schema sensed_data");
+  EXPECT_NE(schema.find("temperature DOUBLE  [sensitive]"),
+            std::string::npos);
+  EXPECT_NE(schema.find("protected"), std::string::npos);
+  EXPECT_NE(session_->ProcessLine("\\schema zz").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, PurposesList) {
+  const std::string out = session_->ProcessLine("\\purposes");
+  EXPECT_NE(out.find("p1  treatment"), std::string::npos);
+  EXPECT_NE(out.find("p8  sale"), std::string::npos);
+}
+
+TEST_F(ShellTest, RewriteShowsCompliesWith) {
+  session_->ProcessLine("\\purpose p3");
+  const std::string out =
+      session_->ProcessLine("\\rewrite select user_id from users");
+  EXPECT_NE(out.find("complies_with(b'"), std::string::npos);
+  // Without a purpose, \rewrite refuses.
+  ShellSession fresh(db_.get(), catalog_.get(), monitor_.get());
+  EXPECT_NE(fresh.ProcessLine("\\rewrite select 1 from pr").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, ExplainShowsSignatureBoundAndRewrite) {
+  session_->ProcessLine("\\purpose p3");
+  const std::string out = session_->ProcessLine(
+      "\\explain select user_id, avg(beats) from users join sensed_data on "
+      "users.watch_id = sensed_data.watch_id group by user_id");
+  EXPECT_NE(out.find("== query signature =="), std::string::npos);
+  EXPECT_NE(out.find("table users"), std::string::npos);
+  EXPECT_NE(out.find("mask=b'"), std::string::npos);
+  EXPECT_NE(out.find("complexity upper bound"), std::string::npos);
+  EXPECT_NE(out.find("== rewritten query =="), std::string::npos);
+  EXPECT_NE(out.find("complies_with"), std::string::npos);
+}
+
+TEST_F(ShellTest, UnrestrictedBypassesEnforcement) {
+  workload::ScatteredPolicyConfig sp;
+  sp.selectivity = 1.0;
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+  session_->ProcessLine("\\purpose p1");
+  EXPECT_NE(session_->ProcessLine("select user_id from users").find("(0 rows)"),
+            std::string::npos);
+  EXPECT_NE(session_->ProcessLine("\\unrestricted select user_id from users")
+                .find("(4 rows)"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, ChecksCounter) {
+  session_->ProcessLine("\\purpose p1");
+  session_->ProcessLine("select user_id from users");
+  const std::string out = session_->ProcessLine("\\checks");
+  EXPECT_NE(out.find("4 compliance checks"), std::string::npos);
+}
+
+TEST_F(ShellTest, SelectivityCommand) {
+  const std::string out = session_->ProcessLine("\\selectivity users");
+  EXPECT_NE(out.find("realized selectivity of users: 0"), std::string::npos);
+  EXPECT_NE(session_->ProcessLine("\\selectivity pr").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, UnknownCommandAndBadSql) {
+  EXPECT_NE(session_->ProcessLine("\\frobnicate").find("unknown command"),
+            std::string::npos);
+  session_->ProcessLine("\\purpose p1");
+  EXPECT_NE(session_->ProcessLine("selec nothing").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, AttachParsesAndAppliesPolicies) {
+  // Replace the scattered policies on sensed_data with a DSL-defined one
+  // restricted to research aggregation.
+  const std::string reply = session_->ProcessLine(
+      "\\attach sensed_data : allow research direct single aggregate on "
+      "temperature, beats joint(s, q); allow research indirect on *");
+  EXPECT_NE(reply.find("policy attached to sensed_data"), std::string::npos)
+      << reply;
+  session_->ProcessLine("\\purpose research");
+  EXPECT_NE(session_->ProcessLine("select avg(beats) from sensed_data")
+                .find("(1 row)"),
+            std::string::npos);
+  // Raw reads now fail under research: every tuple carries the new policy.
+  EXPECT_NE(session_->ProcessLine("select beats from sensed_data")
+                .find("(0 rows)"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, AttachWithSelector) {
+  // First restrict every users tuple to p1, then open p2 for user0 only.
+  session_->ProcessLine(
+      "\\attach users : allow p1 direct single raw on *; "
+      "allow p1 indirect on *");
+  const std::string reply = session_->ProcessLine(
+      "\\attach users where user_id = 'user0' : allow p2 direct single raw "
+      "on user_id joint(all); allow p2 indirect on *");
+  EXPECT_NE(reply.find("policy attached"), std::string::npos) << reply;
+  session_->ProcessLine("\\purpose p2");
+  EXPECT_NE(session_->ProcessLine("select user_id from users")
+                .find("(1 row)"),
+            std::string::npos);
+  session_->ProcessLine("\\purpose p1");
+  EXPECT_NE(session_->ProcessLine("select user_id from users")
+                .find("(3 rows)"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, AttachErrors) {
+  EXPECT_NE(session_->ProcessLine("\\attach users allow p1 indirect on *")
+                .find("usage"),
+            std::string::npos);
+  EXPECT_NE(session_->ProcessLine("\\attach users : allow p99 indirect on *")
+                .find("error"),
+            std::string::npos);
+  EXPECT_NE(session_
+                ->ProcessLine("\\attach users where user_id like 'x' : "
+                              "allow p1 indirect on *")
+                .find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, ShowPolicyDecodesMasks) {
+  session_->ProcessLine(
+      "\\attach users : allow p1 direct single raw on user_id "
+      "joint(sensitive)");
+  const std::string out = session_->ProcessLine("\\showpolicy users 0");
+  EXPECT_NE(out.find("allow p1 direct single raw on user_id joint("
+                     "sensitive)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(session_->ProcessLine("\\showpolicy users 999").find("error"),
+            std::string::npos);
+  EXPECT_NE(session_->ProcessLine("\\showpolicy pr 0").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, DmlStatementsRouted) {
+  session_->ProcessLine("\\purpose p1");
+  // Unprotected metadata table accepts plain inserts.
+  EXPECT_NE(session_->ProcessLine("insert into pr values ('p9', 'extra')")
+                .find("1 row(s) inserted"),
+            std::string::npos);
+  // Protected tables refuse policy-less shell inserts.
+  EXPECT_NE(session_
+                ->ProcessLine("insert into users values ('u', 'w', 'p')")
+                .find("must carry a policy"),
+            std::string::npos);
+  // Enforced update/delete run and report row counts.
+  EXPECT_NE(session_
+                ->ProcessLine("update users set watch_id = 'w' where "
+                              "user_id like 'user0'")
+                .find("row(s) updated"),
+            std::string::npos);
+  EXPECT_NE(session_->ProcessLine("delete from users where user_id like "
+                                  "'nobody'")
+                .find("0 row(s) deleted"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, CoverageCommand) {
+  session_->ProcessLine(
+      "\\attach users : allow p1 direct single raw on user_id joint(s); "
+      "allow p1, p2 indirect on *");
+  const std::string out = session_->ProcessLine("\\coverage users 0");
+  EXPECT_NE(out.find("p1:"), std::string::npos);
+  EXPECT_NE(out.find("p2:"), std::string::npos);
+  EXPECT_NE(out.find("user_id: direct single raw joint(s)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(session_->ProcessLine("\\coverage users").find("usage"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, AuditCommand) {
+  EXPECT_NE(session_->ProcessLine("\\audit").find("audit log is off"),
+            std::string::npos);
+  EXPECT_NE(session_->ProcessLine("\\audit on").find("enabled"),
+            std::string::npos);
+  session_->ProcessLine("\\purpose p1");
+  session_->ProcessLine("select count(*) from users");
+  const std::string out = session_->ProcessLine("\\audit 5");
+  EXPECT_NE(out.find("outcome"), std::string::npos);
+  EXPECT_NE(out.find("ok"), std::string::npos);
+}
+
+TEST_F(ShellTest, RunShellDrivesStreams) {
+  std::istringstream in(
+      "\\purpose p1\nselect count(*) from users\n\\checks\n");
+  std::ostringstream out;
+  const int lines = RunShell(db_.get(), catalog_.get(), monitor_.get(), in, out);
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(out.str().find("aapac>"), std::string::npos);
+  EXPECT_NE(out.str().find("count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aapac::tools

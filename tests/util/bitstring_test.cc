@@ -1,0 +1,166 @@
+#include "util/bitstring.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace aapac {
+namespace {
+
+TEST(BitStringTest, EmptyByDefault) {
+  BitString b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.ToBinary(), "");
+}
+
+TEST(BitStringTest, SizedConstructorZeroFills) {
+  BitString b(10);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_TRUE(b.AllZeros());
+  EXPECT_EQ(b.ToBinary(), "0000000000");
+}
+
+TEST(BitStringTest, FromBinaryParses) {
+  auto b = BitString::FromBinary("10110100");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 8u);
+  EXPECT_TRUE(b->Get(0));
+  EXPECT_FALSE(b->Get(1));
+  EXPECT_TRUE(b->Get(2));
+  EXPECT_EQ(b->ToBinary(), "10110100");
+}
+
+TEST(BitStringTest, FromBinaryRejectsJunk) {
+  EXPECT_FALSE(BitString::FromBinary("01x0").ok());
+  EXPECT_FALSE(BitString::FromBinary("2").ok());
+  EXPECT_TRUE(BitString::FromBinary("").ok());
+}
+
+TEST(BitStringTest, SetAndGet) {
+  BitString b(16);
+  b.Set(3, true);
+  b.Set(15, true);
+  EXPECT_TRUE(b.Get(3));
+  EXPECT_TRUE(b.Get(15));
+  EXPECT_FALSE(b.Get(4));
+  b.Set(3, false);
+  EXPECT_FALSE(b.Get(3));
+  EXPECT_EQ(b.CountOnes(), 1u);
+}
+
+TEST(BitStringTest, PushBackGrows) {
+  BitString b;
+  for (int i = 0; i < 12; ++i) b.PushBack(i % 3 == 0);
+  EXPECT_EQ(b.size(), 12u);
+  EXPECT_EQ(b.ToBinary(), "100100100100");
+}
+
+TEST(BitStringTest, AppendConcatenates) {
+  BitString a = *BitString::FromBinary("101");
+  BitString b = *BitString::FromBinary("0110");
+  a.Append(b);
+  EXPECT_EQ(a.ToBinary(), "1010110");
+}
+
+TEST(BitStringTest, SubstringExtracts) {
+  BitString b = *BitString::FromBinary("110010111");
+  auto mid = b.Substring(2, 5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->ToBinary(), "00101");
+  auto whole = b.Substring(0, 9);
+  EXPECT_EQ(whole->ToBinary(), "110010111");
+  EXPECT_FALSE(b.Substring(5, 5).ok());  // Out of range.
+}
+
+TEST(BitStringTest, IsSubsetOf) {
+  BitString sub = *BitString::FromBinary("0100100");
+  BitString super = *BitString::FromBinary("0110101");
+  EXPECT_TRUE(sub.IsSubsetOf(super));
+  EXPECT_FALSE(super.IsSubsetOf(sub));
+  EXPECT_TRUE(sub.IsSubsetOf(sub));
+  // Different lengths never subset.
+  EXPECT_FALSE(sub.IsSubsetOf(*BitString::FromBinary("01001000")));
+  // All-zeros is a subset of anything of equal length.
+  EXPECT_TRUE(BitString(7).IsSubsetOf(super));
+}
+
+TEST(BitStringTest, AndMatchesBitwise) {
+  BitString a = *BitString::FromBinary("1100");
+  BitString b = *BitString::FromBinary("1010");
+  auto c = a.And(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToBinary(), "1000");
+  EXPECT_FALSE(a.And(*BitString::FromBinary("10")).ok());
+}
+
+TEST(BitStringTest, CountersAndPredicates) {
+  EXPECT_TRUE(BitString::FromBinary("1111")->AllOnes());
+  EXPECT_FALSE(BitString::FromBinary("1101")->AllOnes());
+  EXPECT_TRUE(BitString::FromBinary("0000")->AllZeros());
+  EXPECT_EQ(BitString::FromBinary("101101")->CountOnes(), 4u);
+}
+
+TEST(BitStringTest, BytesRoundTrip) {
+  for (const char* text : {"", "1", "10110100", "110010111", "1111111100000001"}) {
+    BitString b = *BitString::FromBinary(text);
+    auto back = BitString::FromBytes(b.ToBytes());
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_EQ(*back, b) << text;
+    EXPECT_EQ(back->ToBinary(), text);
+  }
+}
+
+TEST(BitStringTest, FromBytesRejectsCorruptPayloads) {
+  EXPECT_FALSE(BitString::FromBytes("").ok());
+  EXPECT_FALSE(BitString::FromBytes("abc").ok());
+  BitString b = *BitString::FromBinary("10101010");
+  std::string bytes = b.ToBytes();
+  bytes.pop_back();  // Truncated payload.
+  EXPECT_FALSE(BitString::FromBytes(bytes).ok());
+  bytes = b.ToBytes() + "x";  // Excess payload.
+  EXPECT_FALSE(BitString::FromBytes(bytes).ok());
+}
+
+TEST(BitStringTest, FromBytesMasksTrailingGarbage) {
+  // A partial final byte with stray bits set must not affect equality.
+  BitString b = *BitString::FromBinary("101");
+  std::string bytes = b.ToBytes();
+  bytes[4 + 0] = static_cast<char>(bytes[4] | 0x1F);  // Set tail bits.
+  auto back = BitString::FromBytes(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToBinary(), "101");
+}
+
+TEST(BitStringTest, EqualityIsStructural) {
+  EXPECT_EQ(*BitString::FromBinary("101"), *BitString::FromBinary("101"));
+  EXPECT_NE(*BitString::FromBinary("101"), *BitString::FromBinary("100"));
+  EXPECT_NE(*BitString::FromBinary("101"), *BitString::FromBinary("1010"));
+}
+
+class BitStringRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitStringRoundTrip, RandomPatternsSurviveAllRoundTrips) {
+  const size_t length = GetParam();
+  Rng rng(length * 31 + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitString b(length);
+    for (size_t i = 0; i < length; ++i) b.Set(i, rng.NextBool());
+    // Binary round trip.
+    EXPECT_EQ(*BitString::FromBinary(b.ToBinary()), b);
+    // Bytes round trip.
+    EXPECT_EQ(*BitString::FromBytes(b.ToBytes()), b);
+    // Substring of the whole equals the original.
+    EXPECT_EQ(*b.Substring(0, length), b);
+    // a & a == a; a subset of a.
+    EXPECT_EQ(*b.And(b), b);
+    EXPECT_TRUE(b.IsSubsetOf(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BitStringRoundTrip,
+                         ::testing::Values(1, 2, 7, 8, 9, 15, 16, 17, 23, 24,
+                                           31, 32, 33, 63, 64, 65, 128));
+
+}  // namespace
+}  // namespace aapac

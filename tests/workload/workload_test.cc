@@ -1,0 +1,264 @@
+// Workload generators: patients data (§3/§6), scattered policies (§6.1) and
+// the evaluation queries (§6.2).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/catalog.h"
+#include "engine/exec.h"
+#include "sql/parser.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/queries.h"
+
+namespace aapac::workload {
+namespace {
+
+class PatientsTest : public ::testing::Test {
+ protected:
+  void Build(size_t patients, size_t samples) {
+    db_ = std::make_unique<engine::Database>();
+    PatientsConfig config;
+    config.num_patients = patients;
+    config.samples_per_patient = samples;
+    ASSERT_TRUE(BuildPatientsDatabase(db_.get(), config).ok());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+};
+
+TEST_F(PatientsTest, TableSizesMatchConfig) {
+  Build(20, 7);
+  EXPECT_EQ(db_->FindTable("users")->num_rows(), 20u);
+  EXPECT_EQ(db_->FindTable("nutritional_profiles")->num_rows(), 20u);
+  EXPECT_EQ(db_->FindTable("sensed_data")->num_rows(), 140u);
+}
+
+TEST_F(PatientsTest, SchemasMatchPaper) {
+  Build(2, 2);
+  const engine::Table* users = db_->FindTable("users");
+  EXPECT_TRUE(users->schema().HasColumn("user_id"));
+  EXPECT_TRUE(users->schema().HasColumn("watch_id"));
+  EXPECT_TRUE(users->schema().HasColumn("nutritional_profile_id"));
+  const engine::Table* sensed = db_->FindTable("sensed_data");
+  for (const char* col :
+       {"watch_id", "timestamp", "temperature", "position", "beats"}) {
+    EXPECT_TRUE(sensed->schema().HasColumn(col)) << col;
+  }
+  const engine::Table* profiles = db_->FindTable("nutritional_profiles");
+  for (const char* col : {"profile_id", "food_intolerances",
+                          "food_preferences", "diet_type"}) {
+    EXPECT_TRUE(profiles->schema().HasColumn(col)) << col;
+  }
+}
+
+TEST_F(PatientsTest, ForeignKeysLineUp) {
+  Build(10, 3);
+  engine::Executor exec(db_.get());
+  // Every sensed_data row joins back to exactly one user.
+  auto rs = exec.ExecuteSql(
+      "select count(*) from sensed_data join users on "
+      "sensed_data.watch_id = users.watch_id");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 30);
+  rs = exec.ExecuteSql(
+      "select count(*) from users join nutritional_profiles on "
+      "users.nutritional_profile_id = nutritional_profiles.profile_id");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 10);
+}
+
+TEST_F(PatientsTest, ValueDomainsExerciseQueryPredicates) {
+  Build(50, 20);
+  engine::Executor exec(db_.get());
+  auto rs = exec.ExecuteSql(
+      "select count(*) from sensed_data where temperature > 37");
+  ASSERT_TRUE(rs.ok());
+  const int64_t above37 = rs->rows[0][0].AsInt();
+  EXPECT_GT(above37, 0);
+  EXPECT_LT(above37, 1000);
+  rs = exec.ExecuteSql("select count(*) from sensed_data where beats > 100");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(rs->rows[0][0].AsInt(), 0);
+  rs = exec.ExecuteSql(
+      "select count(*) from nutritional_profiles where diet_type like "
+      "'low_sugar'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(rs->rows[0][0].AsInt(), 0);
+}
+
+TEST_F(PatientsTest, GenerationIsDeterministic) {
+  Build(5, 5);
+  engine::Executor exec1(db_.get());
+  auto rs1 = exec1.ExecuteSql("select sum(beats) from sensed_data");
+  Build(5, 5);
+  engine::Executor exec2(db_.get());
+  auto rs2 = exec2.ExecuteSql("select sum(beats) from sensed_data");
+  EXPECT_EQ(rs1->rows[0][0].AsInt(), rs2->rows[0][0].AsInt());
+}
+
+TEST_F(PatientsTest, AccessControlConfigurationMatchesFig2) {
+  Build(2, 2);
+  core::AccessControlCatalog catalog(db_.get());
+  ASSERT_TRUE(catalog.Initialize().ok());
+  ASSERT_TRUE(ConfigurePatientsAccessControl(&catalog).ok());
+  EXPECT_EQ(catalog.purposes().size(), 8u);
+  EXPECT_EQ(*catalog.purposes().Resolve("research"), "p6");
+  EXPECT_EQ(catalog.CategoryOf("users", "user_id"),
+            core::DataCategory::kIdentifier);
+  EXPECT_EQ(catalog.CategoryOf("users", "watch_id"),
+            core::DataCategory::kQuasiIdentifier);
+  EXPECT_EQ(catalog.CategoryOf("sensed_data", "timestamp"),
+            core::DataCategory::kGeneric);
+  EXPECT_EQ(catalog.CategoryOf("sensed_data", "beats"),
+            core::DataCategory::kSensitive);
+  EXPECT_EQ(catalog.CategoryOf("nutritional_profiles", "diet_type"),
+            core::DataCategory::kSensitive);
+  for (const char* t : {"users", "sensed_data", "nutritional_profiles"}) {
+    EXPECT_TRUE(catalog.IsProtected(t)) << t;
+  }
+}
+
+// --- Scattered policies (§6.1). ---------------------------------------------
+
+class ScatteredPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    PatientsConfig config;
+    config.num_patients = 100;
+    config.samples_per_patient = 10;
+    ASSERT_TRUE(BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<core::AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(ConfigurePatientsAccessControl(catalog_.get()).ok());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<core::AccessControlCatalog> catalog_;
+};
+
+TEST_F(ScatteredPolicyTest, RealizedSelectivityMatchesTarget) {
+  for (double s : {0.0, 0.2, 0.4, 0.6, 1.0}) {
+    ScatteredPolicyConfig config;
+    config.selectivity = s;
+    ASSERT_TRUE(ApplyScatteredPolicies(catalog_.get(), config).ok());
+    for (const char* table : {"users", "nutritional_profiles"}) {
+      auto measured = MeasureScanSelectivity(catalog_.get(), table);
+      ASSERT_TRUE(measured.ok());
+      EXPECT_NEAR(*measured, s, 0.011) << table << " s=" << s;
+    }
+    // sensed_data selectivity is per watch; with equal group sizes the
+    // tuple-level fraction matches too.
+    auto measured = MeasureScanSelectivity(catalog_.get(), "sensed_data");
+    ASSERT_TRUE(measured.ok());
+    EXPECT_NEAR(*measured, s, 0.011) << "sensed_data s=" << s;
+  }
+}
+
+TEST_F(ScatteredPolicyTest, SameWatchSharesPolicy) {
+  ScatteredPolicyConfig config;
+  config.selectivity = 0.5;
+  ASSERT_TRUE(ApplyScatteredPolicies(catalog_.get(), config).ok());
+  engine::Table* sensed = db_->FindTable("sensed_data");
+  auto watch_col = sensed->schema().FindColumn("watch_id");
+  auto policy_col = sensed->schema().FindColumn("policy");
+  std::map<std::string, std::string> policy_of_watch;
+  for (size_t i = 0; i < sensed->num_rows(); ++i) {
+    const std::string watch = sensed->row(i)[*watch_col].AsString();
+    const std::string policy = sensed->row(i)[*policy_col].AsBytes();
+    auto [it, inserted] = policy_of_watch.try_emplace(watch, policy);
+    EXPECT_EQ(it->second, policy) << watch;
+  }
+  EXPECT_EQ(policy_of_watch.size(), 100u);
+}
+
+TEST_F(ScatteredPolicyTest, RuleCountsWithinConfiguredRange) {
+  ScatteredPolicyConfig config;
+  config.selectivity = 0.3;
+  config.min_rules = 1;
+  config.max_rules = 3;
+  ASSERT_TRUE(ApplyScatteredPolicies(catalog_.get(), config).ok());
+  auto layout = catalog_->LayoutFor("users");
+  engine::Table* users = db_->FindTable("users");
+  auto policy_col = users->schema().FindColumn("policy");
+  std::set<size_t> rule_counts;
+  for (size_t i = 0; i < users->num_rows(); ++i) {
+    auto mask = BitString::FromBytes(users->row(i)[*policy_col].AsBytes());
+    ASSERT_TRUE(mask.ok());
+    ASSERT_EQ(mask->size() % layout->rule_mask_bits(), 0u);
+    rule_counts.insert(mask->size() / layout->rule_mask_bits());
+  }
+  EXPECT_EQ(rule_counts, (std::set<size_t>{1, 2, 3}));
+}
+
+TEST_F(ScatteredPolicyTest, InvalidConfigRejected) {
+  ScatteredPolicyConfig config;
+  config.selectivity = 1.5;
+  EXPECT_FALSE(ApplyScatteredPolicies(catalog_.get(), config).ok());
+  config.selectivity = 0.5;
+  config.min_rules = 0;
+  EXPECT_FALSE(ApplyScatteredPolicies(catalog_.get(), config).ok());
+  config.min_rules = 3;
+  config.max_rules = 2;
+  EXPECT_FALSE(ApplyScatteredPolicies(catalog_.get(), config).ok());
+}
+
+// --- Evaluation queries (§6.2). ----------------------------------------------
+
+TEST(QueriesTest, PaperQueriesMatchFigure4) {
+  const auto queries = PaperQueries();
+  ASSERT_EQ(queries.size(), 8u);
+  EXPECT_EQ(queries[0].name, "q1");
+  EXPECT_NE(queries[0].sql.find("distinct watch_id"), std::string::npos);
+  EXPECT_NE(queries[2].sql.find("watch100"), std::string::npos);
+  EXPECT_NE(queries[5].sql.find("in (select profile_id"), std::string::npos);
+  EXPECT_NE(queries[7].sql.find("beats>100"), std::string::npos);
+  for (const auto& q : queries) {
+    EXPECT_TRUE(sql::ParseSelect(q.sql).ok()) << q.name;
+    EXPECT_FALSE(q.description.empty());
+  }
+}
+
+TEST(QueriesTest, RandomQueriesFollowFig5Mix) {
+  const auto queries = RandomQueries(42);
+  ASSERT_EQ(queries.size(), 20u);
+  std::map<std::string, std::set<std::string>> by_kind;
+  for (const auto& q : queries) by_kind[q.description].insert(q.name);
+  EXPECT_EQ(by_kind["single source + aggregate"],
+            (std::set<std::string>{"r1", "r12", "r20"}));
+  EXPECT_EQ(by_kind["join + aggregate + having"],
+            (std::set<std::string>{"r2", "r7", "r17"}));
+  EXPECT_EQ(by_kind["join"],
+            (std::set<std::string>{"r3", "r4", "r14", "r16"}));
+  EXPECT_EQ(by_kind["join + aggregate"],
+            (std::set<std::string>{"r5", "r8", "r11", "r13", "r15", "r18"}));
+  EXPECT_EQ(by_kind["single source"],
+            (std::set<std::string>{"r6", "r9", "r10", "r19"}));
+}
+
+TEST(QueriesTest, RandomQueriesAreDeterministicPerSeed) {
+  const auto a = RandomQueries(7);
+  const auto b = RandomQueries(7);
+  const auto c = RandomQueries(8);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].sql, b[i].sql);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].sql != c[i].sql) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(QueriesTest, RandomQueriesAllParse) {
+  for (uint64_t seed : {1u, 2u, 3u, 1000u}) {
+    for (const auto& q : RandomQueries(seed)) {
+      EXPECT_TRUE(sql::ParseSelect(q.sql).ok()) << q.name << ": " << q.sql;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aapac::workload
