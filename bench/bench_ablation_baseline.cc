@@ -45,26 +45,46 @@ int Run() {
 
   std::printf("%-5s %12s %12s %12s %14s %14s\n", "query", "orig_ms",
               "byunli_ms", "aware_ms", "byunli_checks", "aware_checks");
+  const int reps = 3;
   for (const auto& q : AllQueries()) {
-    const double orig = TimeMs([&] {
-      auto rs = s.monitor->ExecuteUnrestricted(q.sql);
-      if (!rs.ok()) std::abort();
-    });
+    const TimeStats orig = TimeStatsMs(
+        [&] {
+          auto rs = s.monitor->ExecuteUnrestricted(q.sql);
+          if (!rs.ok()) std::abort();
+        },
+        reps);
     baseline.ResetPurposeChecks();
-    const double byunli = TimeMs([&] {
-      auto rs = baseline.ExecuteQuery(q.sql, "p3");
-      if (!rs.ok()) std::abort();
-    });
-    const uint64_t byunli_checks = baseline.purpose_checks() / 3;  // 3 reps.
+    const TimeStats byunli = TimeStatsMs(
+        [&] {
+          auto rs = baseline.ExecuteQuery(q.sql, "p3");
+          if (!rs.ok()) std::abort();
+        },
+        reps);
+    const uint64_t byunli_checks = baseline.purpose_checks() / reps;
     s.monitor->ResetComplianceChecks();
-    const double aware = TimeMs([&] {
-      auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
-      if (!rs.ok()) std::abort();
-    });
-    const uint64_t aware_checks = s.monitor->compliance_checks() / 3;
+    const TimeStats aware = TimeStatsMs(
+        [&] {
+          auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
+          if (!rs.ok()) std::abort();
+        },
+        reps);
+    const uint64_t aware_checks = s.monitor->compliance_checks() / reps;
     std::printf("%-5s %12.3f %12.3f %12.3f %14" PRIu64 " %14" PRIu64 "\n",
-                q.name.c_str(), orig, byunli, aware, byunli_checks,
-                aware_checks);
+                q.name.c_str(), orig.median_ms, byunli.median_ms,
+                aware.median_ms, byunli_checks, aware_checks);
+    JsonLine("ablation_baseline")
+        .Str("query", q.name)
+        .Int("patients", patients)
+        .Int("samples", samples)
+        .Num("original_median_ms", orig.median_ms)
+        .Num("original_p95_ms", orig.p95_ms)
+        .Num("byunli_median_ms", byunli.median_ms)
+        .Num("byunli_p95_ms", byunli.p95_ms)
+        .Num("aware_median_ms", aware.median_ms)
+        .Num("aware_p95_ms", aware.p95_ms)
+        .Int("byunli_checks", byunli_checks)
+        .Int("aware_checks", aware_checks)
+        .Emit();
   }
   return 0;
 }

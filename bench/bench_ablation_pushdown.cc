@@ -28,26 +28,42 @@ int Run() {
 
   std::printf("%-5s %12s %12s %15s %15s\n", "query", "push_ms", "nopush_ms",
               "push_checks", "nopush_checks");
+  const int reps = 3;
   for (const auto& q : AllQueries()) {
     s.monitor->SetPushdownEnabled(true);
     s.monitor->ResetComplianceChecks();
-    const double push_ms = TimeMs([&] {
-      auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
-      if (!rs.ok()) std::abort();
-    });
-    const uint64_t push_checks = s.monitor->compliance_checks() / 3;
+    const TimeStats push = TimeStatsMs(
+        [&] {
+          auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
+          if (!rs.ok()) std::abort();
+        },
+        reps);
+    const uint64_t push_checks = s.monitor->compliance_checks() / reps;
 
     s.monitor->SetPushdownEnabled(false);
     s.monitor->ResetComplianceChecks();
-    const double nopush_ms = TimeMs([&] {
-      auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
-      if (!rs.ok()) std::abort();
-    });
-    const uint64_t nopush_checks = s.monitor->compliance_checks() / 3;
+    const TimeStats nopush = TimeStatsMs(
+        [&] {
+          auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
+          if (!rs.ok()) std::abort();
+        },
+        reps);
+    const uint64_t nopush_checks = s.monitor->compliance_checks() / reps;
 
     std::printf("%-5s %12.3f %12.3f %15" PRIu64 " %15" PRIu64 "\n",
-                q.name.c_str(), push_ms, nopush_ms, push_checks,
+                q.name.c_str(), push.median_ms, nopush.median_ms, push_checks,
                 nopush_checks);
+    JsonLine("ablation_pushdown")
+        .Str("query", q.name)
+        .Int("patients", patients)
+        .Int("samples", samples)
+        .Num("push_median_ms", push.median_ms)
+        .Num("push_p95_ms", push.p95_ms)
+        .Num("nopush_median_ms", nopush.median_ms)
+        .Num("nopush_p95_ms", nopush.p95_ms)
+        .Int("push_checks", push_checks)
+        .Int("nopush_checks", nopush_checks)
+        .Emit();
   }
   return 0;
 }

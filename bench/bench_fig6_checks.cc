@@ -64,6 +64,18 @@ int Run() {
     }
     std::printf("\n");
   }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (size_t si = 0; si < selectivities.size(); ++si) {
+      JsonLine("fig6_checks")
+          .Str("query", queries[qi].name)
+          .Int("patients", patients)
+          .Int("samples", samples)
+          .Num("selectivity", selectivities[si])
+          .Int("cub", bounds[qi])
+          .Int("checks", checks[qi][si])
+          .Emit();
+    }
+  }
   return 0;
 }
 

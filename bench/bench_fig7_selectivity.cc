@@ -32,20 +32,20 @@ int Run() {
   for (double sel : selectivities) std::printf("  rewritten@%.1f", sel);
   std::printf("\n");
 
-  std::vector<double> original(queries.size());
+  std::vector<TimeStats> original(queries.size());
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    original[qi] = TimeMs([&] {
+    original[qi] = TimeStatsMs([&] {
       auto rs = s.monitor->ExecuteUnrestricted(queries[qi].sql);
       if (!rs.ok()) std::abort();
     });
   }
 
-  std::vector<std::vector<double>> rewritten(
-      queries.size(), std::vector<double>(selectivities.size(), 0));
+  std::vector<std::vector<TimeStats>> rewritten(
+      queries.size(), std::vector<TimeStats>(selectivities.size()));
   for (size_t si = 0; si < selectivities.size(); ++si) {
     ApplySelectivity(&s, selectivities[si]);
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      rewritten[qi][si] = TimeMs([&] {
+      rewritten[qi][si] = TimeStatsMs([&] {
         auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
         if (!rs.ok()) std::abort();
       });
@@ -53,11 +53,26 @@ int Run() {
   }
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    std::printf("%-5s %12.3f", queries[qi].name.c_str(), original[qi]);
+    std::printf("%-5s %12.3f", queries[qi].name.c_str(),
+                original[qi].median_ms);
     for (size_t si = 0; si < selectivities.size(); ++si) {
-      std::printf(" %14.3f", rewritten[qi][si]);
+      std::printf(" %14.3f", rewritten[qi][si].median_ms);
     }
     std::printf("\n");
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (size_t si = 0; si < selectivities.size(); ++si) {
+      JsonLine("fig7_selectivity")
+          .Str("query", queries[qi].name)
+          .Int("patients", patients)
+          .Int("samples", samples)
+          .Num("selectivity", selectivities[si])
+          .Num("original_median_ms", original[qi].median_ms)
+          .Num("original_p95_ms", original[qi].p95_ms)
+          .Num("rewritten_median_ms", rewritten[qi][si].median_ms)
+          .Num("rewritten_p95_ms", rewritten[qi][si].p95_ms)
+          .Emit();
+    }
   }
   return 0;
 }

@@ -40,10 +40,10 @@ int Run() {
   }
   std::printf("\n");
 
-  std::vector<std::vector<double>> original(
-      queries.size(), std::vector<double>(samples_per_patient.size()));
-  std::vector<std::vector<double>> rewritten(
-      queries.size(), std::vector<double>(samples_per_patient.size()));
+  std::vector<std::vector<TimeStats>> original(
+      queries.size(), std::vector<TimeStats>(samples_per_patient.size()));
+  std::vector<std::vector<TimeStats>> rewritten(
+      queries.size(), std::vector<TimeStats>(samples_per_patient.size()));
 
   for (size_t sc = 0; sc < samples_per_patient.size(); ++sc) {
 #if defined(__GLIBC__) || defined(__linux__)
@@ -56,13 +56,13 @@ int Run() {
     ApplySelectivity(&s, selectivity);
     const int reps = samples_per_patient[sc] >= 1000 ? 1 : 3;
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      original[qi][sc] = TimeMs(
+      original[qi][sc] = TimeStatsMs(
           [&] {
             auto rs = s.monitor->ExecuteUnrestricted(queries[qi].sql);
             if (!rs.ok()) std::abort();
           },
           reps);
-      rewritten[qi][sc] = TimeMs(
+      rewritten[qi][sc] = TimeStatsMs(
           [&] {
             auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
             if (!rs.ok()) std::abort();
@@ -74,9 +74,25 @@ int Run() {
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     std::printf("%-5s", queries[qi].name.c_str());
     for (size_t sc = 0; sc < samples_per_patient.size(); ++sc) {
-      std::printf("  %13.3f  %13.3f", original[qi][sc], rewritten[qi][sc]);
+      std::printf("  %13.3f  %13.3f", original[qi][sc].median_ms,
+                  rewritten[qi][sc].median_ms);
     }
     std::printf("\n");
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (size_t sc = 0; sc < samples_per_patient.size(); ++sc) {
+      JsonLine("fig8_scale")
+          .Str("query", queries[qi].name)
+          .Int("patients", patients)
+          .Int("samples", samples_per_patient[sc])
+          .Int("sensed_rows", patients * samples_per_patient[sc])
+          .Num("selectivity", selectivity)
+          .Num("original_median_ms", original[qi][sc].median_ms)
+          .Num("original_p95_ms", original[qi][sc].p95_ms)
+          .Num("rewritten_median_ms", rewritten[qi][sc].median_ms)
+          .Num("rewritten_p95_ms", rewritten[qi][sc].p95_ms)
+          .Emit();
+    }
   }
   return 0;
 }

@@ -1,0 +1,128 @@
+// Server throughput — enforced queries/second vs. worker thread count.
+//
+// Closed-loop load test of the aapac::server::EnforcementServer: for each
+// worker count in {1, 2, 4, 8} a matching number of client threads opens a
+// session (purpose p3) and synchronously executes the 28 evaluation queries
+// round-robin for AAPAC_PASSES passes. A warmup pass populates the shared
+// rewrite cache first, then cache statistics are reset so the reported hit
+// rate covers only the measured (repeated-query) phase — the steady state a
+// serving deployment sits in.
+//
+// Reported per worker count: wall-clock qps, speedup vs. 1 worker, cache
+// hit rate, and rejected submissions (queue backpressure; expected 0 for a
+// closed loop with clients == workers). Speedup scales with physical cores:
+// on a single-core host the 4-thread run cannot beat the 1-thread run, so
+// hardware_concurrency is part of the output.
+//
+// Defaults are small (200 patients x 20 samples) so the bench finishes in
+// seconds; export AAPAC_PATIENTS/AAPAC_SAMPLES/AAPAC_PASSES to scale up.
+
+#include <cinttypes>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/scenario.h"
+#include "server/server.h"
+
+namespace aapac::bench {
+namespace {
+
+int Run() {
+  const size_t patients = EnvSize("AAPAC_PATIENTS", 200);
+  const size_t samples = EnvSize("AAPAC_SAMPLES", 20);
+  const size_t passes = EnvSize("AAPAC_PASSES", 5);
+  const std::vector<size_t> worker_counts = {1, 2, 4, 8};
+
+  std::printf("# Server throughput: enforced qps vs worker threads\n");
+  std::printf(
+      "# patients=%zu samples/patient=%zu passes=%zu hw_concurrency=%u\n",
+      patients, samples, passes, std::thread::hardware_concurrency());
+
+  Scenario s = BuildScenario(patients, samples);
+  ApplySelectivity(&s, 0.2);
+  const std::vector<workload::BenchQuery> queries = AllQueries();
+
+  std::printf("%-8s %10s %10s %10s %10s %10s\n", "workers", "queries",
+              "qps", "speedup", "hit_rate", "rejected");
+
+  double qps_at_1 = 0;
+  for (size_t workers : worker_counts) {
+    server::ServerOptions options;
+    options.threads = workers;
+    server::EnforcementServer server(s.monitor.get(), options);
+
+    const size_t clients = workers;
+    std::vector<server::SessionId> sids(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      auto sid = server.OpenSession(/*user=*/"", "p3");
+      if (!sid.ok()) {
+        std::fprintf(stderr, "open session failed: %s\n",
+                     sid.status().ToString().c_str());
+        return 1;
+      }
+      sids[c] = *sid;
+    }
+
+    // Warmup: one serial pass fills the rewrite cache (and faults in any
+    // lazily built engine state) so the timed phase measures steady state.
+    for (const auto& q : queries) {
+      auto rs = server.Execute(sids[0], q.sql);
+      if (!rs.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", q.name.c_str(),
+                     rs.status().ToString().c_str());
+        return 1;
+      }
+    }
+    server.cache().ResetStats();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        for (size_t p = 0; p < passes; ++p) {
+          for (const auto& q : queries) {
+            auto rs = server.Execute(sids[c], q.sql);
+            if (!rs.ok()) std::abort();
+          }
+        }
+      });
+    }
+    for (auto& t : client_threads) t.join();
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(end - start).count();
+
+    const size_t total = clients * passes * queries.size();
+    const double qps = seconds > 0 ? static_cast<double>(total) / seconds : 0;
+    if (workers == 1) qps_at_1 = qps;
+    const double speedup = qps_at_1 > 0 ? qps / qps_at_1 : 0;
+    const server::CacheStats cs = server.cache_stats();
+
+    std::printf("%-8zu %10zu %10.1f %10.2f %9.1f%% %10" PRIu64 "\n", workers,
+                total, qps, speedup, 100.0 * cs.hit_rate(),
+                server.rejected_total());
+    JsonLine("server_throughput")
+        .Int("workers", workers)
+        .Int("clients", clients)
+        .Int("patients", patients)
+        .Int("samples", samples)
+        .Int("queries", total)
+        .Num("seconds", seconds)
+        .Num("qps", qps)
+        .Num("speedup_vs_1", speedup)
+        .Num("cache_hit_rate", cs.hit_rate())
+        .Int("cache_hits", cs.hits)
+        .Int("cache_misses", cs.misses)
+        .Int("rejected", server.rejected_total())
+        .Int("hw_concurrency", std::thread::hardware_concurrency())
+        .Emit();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aapac::bench
+
+int main() { return aapac::bench::Run(); }

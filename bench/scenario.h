@@ -1,10 +1,13 @@
 #ifndef AAPAC_BENCH_SCENARIO_H_
 #define AAPAC_BENCH_SCENARIO_H_
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/catalog.h"
 #include "core/monitor.h"
@@ -85,6 +88,80 @@ double TimeMs(Fn&& fn, int reps = 3) {
   }
   return best;
 }
+
+/// Distribution summary of repeated timings (for the JSON trajectory).
+struct TimeStats {
+  double median_ms = 0;
+  double p95_ms = 0;
+};
+
+/// Runs `fn()` `reps` times and summarizes the per-run wall-clock times.
+/// p95 uses the nearest-rank method (for small rep counts it degrades to
+/// the max, which is the honest reading).
+template <typename Fn>
+TimeStats TimeStatsMs(Fn&& fn, int reps = 5) {
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  TimeStats stats;
+  stats.median_ms = ms[ms.size() / 2];
+  const size_t rank = static_cast<size_t>(0.95 * static_cast<double>(ms.size()));
+  stats.p95_ms = ms[std::min(rank, ms.size() - 1)];
+  return stats;
+}
+
+/// One machine-readable result line, emitted alongside the human-readable
+/// tables so the perf trajectory can be tracked across PRs:
+///
+///   JsonLine("fig6").Str("query", "q1").Num("sel", 0.2).Int("checks", n)
+///       .Emit();
+///
+/// prints `{"bench":"fig6","query":"q1","sel":0.2,"checks":123}` on its own
+/// stdout line. Keys are emitted in call order; values are not escaped
+/// (bench names/params are plain identifiers).
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) { Str("bench", bench); }
+
+  JsonLine& Str(const std::string& key, const std::string& value) {
+    Key(key);
+    body_ += '"';
+    body_ += value;
+    body_ += '"';
+    return *this;
+  }
+  JsonLine& Int(const std::string& key, uint64_t value) {
+    Key(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& Num(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    Key(key);
+    body_ += buf;
+    return *this;
+  }
+
+  void Emit() const { std::printf("{%s}\n", body_.c_str()); }
+
+ private:
+  void Key(const std::string& key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+  }
+
+  std::string body_;
+};
 
 /// All 28 evaluation queries: q1-q8 then r1-r20 (fixed seed so the random
 /// set is stable across runs and machines).

@@ -78,6 +78,7 @@ Status AccessControlCatalog::LoadFromMetadataTables() {
   categories_ = std::move(categories);
   authorizations_ = std::move(authorizations);
   protected_tables_ = std::move(protected_tables);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -114,11 +115,13 @@ Status AccessControlCatalog::SyncAuthorizationTable() {
 Status AccessControlCatalog::DefinePurpose(const std::string& id,
                                            const std::string& description) {
   AAPAC_RETURN_NOT_OK(purposes_.Add(Purpose{id, description}));
+  BumpVersion();
   return SyncPurposeTable();
 }
 
 Status AccessControlCatalog::RemovePurpose(const std::string& id) {
   AAPAC_RETURN_NOT_OK(purposes_.Remove(id));
+  BumpVersion();
   return SyncPurposeTable();
 }
 
@@ -133,6 +136,7 @@ Status AccessControlCatalog::Categorize(const std::string& table,
                             "'");
   }
   categories_[{t, c}] = category;
+  BumpVersion();
   return SyncCategoryTable();
 }
 
@@ -148,6 +152,7 @@ Status AccessControlCatalog::AuthorizeUser(const std::string& user,
     return Status::NotFound("purpose '" + purpose_id + "' not defined");
   }
   authorizations_.insert({user, purpose_id});
+  BumpVersion();
   return SyncAuthorizationTable();
 }
 
@@ -157,6 +162,7 @@ Status AccessControlCatalog::RevokeUser(const std::string& user,
     return Status::NotFound("no authorization for user '" + user +
                             "' and purpose '" + purpose_id + "'");
   }
+  BumpVersion();
   return SyncAuthorizationTable();
 }
 
@@ -174,6 +180,7 @@ Status AccessControlCatalog::ProtectTable(const std::string& table) {
   AAPAC_RETURN_NOT_OK(
       tbl->AddColumn(Column{kPolicyColumn, ValueType::kBytes}, Value::Null()));
   protected_tables_.insert(t);
+  BumpVersion();
   return Status::OK();
 }
 

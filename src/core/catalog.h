@@ -1,6 +1,8 @@
 #ifndef AAPAC_CORE_CATALOG_H_
 #define AAPAC_CORE_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -89,6 +91,21 @@ class AccessControlCatalog {
   engine::Database* db() { return db_; }
   const engine::Database* db() const { return db_; }
 
+  // --- Versioning. -------------------------------------------------------------
+
+  /// Monotonically increasing counter bumped exactly once by every successful
+  /// security-metadata mutation (purpose/category/authorization changes,
+  /// table protection, metadata reload) and by policy-mask writers
+  /// (PolicyManager, workload generators) via BumpVersion. Derived artifacts
+  /// — most notably the server's rewrite cache — tag themselves with the
+  /// version they were built against and treat any difference as stale.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Invalidates version-tagged derived state. Called internally by every
+  /// catalog mutator; external policy-mask writers must call it themselves
+  /// after changing per-tuple policies.
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   Status SyncPurposeTable();
   Status SyncCategoryTable();
@@ -101,6 +118,7 @@ class AccessControlCatalog {
   // (user, purpose id).
   std::set<std::pair<std::string, std::string>> authorizations_;
   std::set<std::string> protected_tables_;  // Lowercase names.
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace aapac::core

@@ -19,12 +19,12 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
       catalog_(catalog),
       rewriter_(catalog),
       executor_(db),
-      check_count_(std::make_shared<uint64_t>(0)) {
+      check_count_(std::make_shared<std::atomic<uint64_t>>(0)) {
   auto counter = check_count_;
   db_->functions().Register(engine::ScalarFunction{
       QueryRewriter::kCompliesWithFunction, 2,
       [counter](const std::vector<Value>& args) -> Result<Value> {
-        ++*counter;
+        counter->fetch_add(1, std::memory_order_relaxed);
         // A tuple without a policy complies with nothing: deny by default.
         if (args[1].is_null()) return Value::Bool(false);
         if (args[0].type() != ValueType::kBytes ||
@@ -69,6 +69,9 @@ void EnforcementMonitor::AppendAudit(const std::string& user,
   if (!audit_enabled_) return;
   engine::Table* t = db_->FindTable(kAuditTable);
   if (t == nullptr) return;
+  // Allocate the sequence number and append under one lock so concurrent
+  // workers produce gap-free, duplicate-free, insertion-ordered sequences.
+  std::lock_guard<std::mutex> lock(audit_mutex_);
   (void)t->Insert({Value::Int(static_cast<int64_t>(++audit_seq_)),
                    Value::String(user), Value::String(purpose),
                    Value::String(sql), Value::String(outcome),
@@ -76,29 +79,50 @@ void EnforcementMonitor::AppendAudit(const std::string& user,
                    Value::Int(rows)});
 }
 
-Result<engine::ResultSet> EnforcementMonitor::ExecuteQuery(
-    const std::string& sql, const std::string& purpose,
-    const std::string& user) {
+Result<std::string> EnforcementMonitor::CheckAccess(
+    const std::string& purpose, const std::string& user,
+    const std::string& sql_for_audit) {
   AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
                          catalog_->purposes().Resolve(purpose));
   if (!user.empty() && !IsAuthorized(user, purpose_id)) {
-    AppendAudit(user, purpose_id, sql, "denied", 0, 0);
+    AppendAudit(user, purpose_id, sql_for_audit, "denied", 0, 0);
     return Status::PermissionDenied("user '" + user +
                                     "' holds no authorization for purpose '" +
                                     purpose_id + "'");
   }
-  const uint64_t checks_before = *check_count_;
-  auto run = [&]() -> Result<engine::ResultSet> {
-    AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
-                           sql::ParseSelect(sql));
-    AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt.get(), purpose_id));
-    return executor_.Execute(*stmt);
-  };
-  Result<engine::ResultSet> result = run();
+  return purpose_id;
+}
+
+Result<std::unique_ptr<sql::SelectStmt>> EnforcementMonitor::Prepare(
+    const std::string& sql, const std::string& purpose_id) const {
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt.get(), purpose_id));
+  return stmt;
+}
+
+Result<engine::ResultSet> EnforcementMonitor::ExecutePrepared(
+    const sql::SelectStmt& stmt, const std::string& sql,
+    const std::string& purpose_id, const std::string& user) {
+  const uint64_t checks_before = compliance_checks();
+  Result<engine::ResultSet> result = executor_.Execute(stmt);
   AppendAudit(user, purpose_id, sql, result.ok() ? "ok" : "error",
-              *check_count_ - checks_before,
+              compliance_checks() - checks_before,
               result.ok() ? static_cast<int64_t>(result->rows.size()) : 0);
   return result;
+}
+
+Result<engine::ResultSet> EnforcementMonitor::ExecuteQuery(
+    const std::string& sql, const std::string& purpose,
+    const std::string& user) {
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         CheckAccess(purpose, user, sql));
+  Result<std::unique_ptr<sql::SelectStmt>> stmt = Prepare(sql, purpose_id);
+  if (!stmt.ok()) {
+    AppendAudit(user, purpose_id, sql, "error", 0, 0);
+    return stmt.status();
+  }
+  return ExecutePrepared(**stmt, sql, purpose_id, user);
 }
 
 Result<engine::ResultSet> EnforcementMonitor::ExecuteUnrestricted(
@@ -201,10 +225,10 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
   if (stmt->select != nullptr) {
     AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt->select.get(), purpose_id));
   }
-  const uint64_t checks_before = *check_count_;
+  const uint64_t checks_before = compliance_checks();
   Result<size_t> inserted = executor_.ExecuteInsert(*stmt, forced);
   AppendAudit(user, purpose_id, sql, inserted.ok() ? "ok" : "error",
-              *check_count_ - checks_before,
+              compliance_checks() - checks_before,
               inserted.ok() ? static_cast<int64_t>(*inserted) : 0);
   return inserted;
 }
@@ -255,10 +279,10 @@ Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
     stmt->assignments[i].value = std::move(synthetic->items[i].expr);
   }
 
-  const uint64_t checks_before = *check_count_;
+  const uint64_t checks_before = compliance_checks();
   Result<size_t> updated = executor_.ExecuteUpdate(*stmt);
   AppendAudit(user, purpose_id, sql, updated.ok() ? "ok" : "error",
-              *check_count_ - checks_before,
+              compliance_checks() - checks_before,
               updated.ok() ? static_cast<int64_t>(*updated) : 0);
   return updated;
 }
@@ -290,10 +314,10 @@ Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
   AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(synthetic.get(), purpose_id));
   stmt->where = std::move(synthetic->where);
 
-  const uint64_t checks_before = *check_count_;
+  const uint64_t checks_before = compliance_checks();
   Result<size_t> removed = executor_.ExecuteDelete(*stmt);
   AppendAudit(user, purpose_id, sql, removed.ok() ? "ok" : "error",
-              *check_count_ - checks_before,
+              compliance_checks() - checks_before,
               removed.ok() ? static_cast<int64_t>(*removed) : 0);
   return removed;
 }

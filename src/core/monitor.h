@@ -1,7 +1,9 @@
 #ifndef AAPAC_CORE_MONITOR_H_
 #define AAPAC_CORE_MONITOR_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/catalog.h"
@@ -76,6 +78,37 @@ class EnforcementMonitor {
     return rewriter_.RewriteSql(sql, purpose);
   }
 
+  // --- Server path (src/server). --------------------------------------------
+  //
+  // The concurrent enforcement service splits ExecuteQuery's pipeline so it
+  // can memoize the expensive middle stage (parse + signature derivation +
+  // rewrite) in a policy-versioned cache:
+  //
+  //   CheckAccess -> [RewriteCache lookup | Prepare] -> ExecutePrepared
+
+  /// Resolves `purpose` and checks `user`'s authorization for it (empty user
+  /// skips the check, as in ExecuteQuery). Returns the resolved purpose id;
+  /// on denial appends a "denied" audit row for `sql_for_audit`.
+  Result<std::string> CheckAccess(const std::string& purpose,
+                                  const std::string& user,
+                                  const std::string& sql_for_audit = "");
+
+  /// Parses and enforcement-rewrites `sql` for an already-resolved purpose
+  /// id, without executing it. The returned statement is immutable from the
+  /// executor's point of view, so it may be executed concurrently by many
+  /// workers (and cached across them).
+  Result<std::unique_ptr<sql::SelectStmt>> Prepare(
+      const std::string& sql, const std::string& purpose_id) const;
+
+  /// Executes an already-rewritten SELECT with the same check accounting and
+  /// audit trail as ExecuteQuery; `sql` is the original text recorded in the
+  /// audit log. Safe to call from multiple threads provided no writer runs
+  /// concurrently (the server's readers-writer lock guarantees this).
+  Result<engine::ResultSet> ExecutePrepared(const sql::SelectStmt& stmt,
+                                            const std::string& sql,
+                                            const std::string& purpose_id,
+                                            const std::string& user);
+
   /// Human-readable enforcement report for a query, without executing it:
   /// the derived query signature tree, the encoded action-signature masks,
   /// the §5.6 complexity upper bound and the rewritten SQL.
@@ -83,9 +116,14 @@ class EnforcementMonitor {
                                    const std::string& purpose) const;
 
   /// Number of complies_with invocations since the last reset — the Fig. 6
-  /// "policy compliance checks" measure.
-  uint64_t compliance_checks() const { return *check_count_; }
-  void ResetComplianceChecks() { *check_count_ = 0; }
+  /// "policy compliance checks" measure. The counter is atomic so the metric
+  /// stays exact when queries run concurrently through the server.
+  uint64_t compliance_checks() const {
+    return check_count_->load(std::memory_order_relaxed);
+  }
+  void ResetComplianceChecks() {
+    check_count_->store(0, std::memory_order_relaxed);
+  }
 
   engine::ExecStats& exec_stats() { return executor_.stats(); }
   const QueryRewriter& rewriter() const { return rewriter_; }
@@ -127,9 +165,12 @@ class EnforcementMonitor {
   AccessControlCatalog* catalog_;
   QueryRewriter rewriter_;
   engine::Executor executor_;
-  std::shared_ptr<uint64_t> check_count_;
+  std::shared_ptr<std::atomic<uint64_t>> check_count_;
   const RoleManager* roles_ = nullptr;
   bool audit_enabled_ = false;
+  // Sequence numbering and table appends form one critical section so that
+  // concurrent workers never interleave seq allocation with row insertion.
+  std::mutex audit_mutex_;
   uint64_t audit_seq_ = 0;
 };
 

@@ -81,6 +81,7 @@ Status PolicyManager::AttachToTable(const Policy& policy) {
   Attachment attachment{policy, std::nullopt};
   AAPAC_RETURN_NOT_OK(Apply(attachment));
   attachments_.push_back(std::move(attachment));
+  catalog_->BumpVersion();
   return Status::OK();
 }
 
@@ -91,6 +92,7 @@ Status PolicyManager::AttachWhere(const Policy& policy,
   Attachment attachment{policy, std::make_pair(ToLower(column), value)};
   AAPAC_RETURN_NOT_OK(Apply(attachment));
   attachments_.push_back(std::move(attachment));
+  catalog_->BumpVersion();
   return Status::OK();
 }
 
@@ -107,6 +109,7 @@ Status PolicyManager::WriteMaskToRow(const std::string& table,
     return Status::InvalidArgument("row index out of range");
   }
   tbl->mutable_row(row_index)[*policy_col] = Value::Bytes(mask_bytes);
+  catalog_->BumpVersion();
   return Status::OK();
 }
 
@@ -115,6 +118,7 @@ Status PolicyManager::ReapplyAll() {
     AAPAC_RETURN_NOT_OK(ValidatePolicy(attachment.policy));
     AAPAC_RETURN_NOT_OK(Apply(attachment));
   }
+  catalog_->BumpVersion();
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef AAPAC_ENGINE_EXEC_H_
 #define AAPAC_ENGINE_EXEC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -17,11 +18,27 @@ namespace aapac::engine {
 /// Execution counters for one or more Execute() calls. The enforcement
 /// benchmarks read these to reproduce the paper's complexity measurements
 /// (together with the UDF-side check counter).
+///
+/// The fields are atomic so one Executor may serve many server workers
+/// concurrently: increments aggregate across threads without tearing, and a
+/// copy takes a (non-torn, per-field) snapshot for reporting. Relaxed
+/// ordering suffices — these are statistics, not synchronization.
 struct ExecStats {
-  uint64_t rows_scanned = 0;       // Base-table rows visited by scans.
-  uint64_t rows_materialized = 0;  // Rows surviving scan/join filters.
-  uint64_t groups_built = 0;       // Aggregation groups formed.
-  uint64_t rows_output = 0;        // Rows in final result sets.
+  std::atomic<uint64_t> rows_scanned{0};       // Base-table rows visited.
+  std::atomic<uint64_t> rows_materialized{0};  // Rows surviving filters.
+  std::atomic<uint64_t> groups_built{0};       // Aggregation groups formed.
+  std::atomic<uint64_t> rows_output{0};        // Rows in final result sets.
+
+  ExecStats() = default;
+  ExecStats(const ExecStats& other) { *this = other; }
+  ExecStats& operator=(const ExecStats& other) {
+    rows_scanned = other.rows_scanned.load(std::memory_order_relaxed);
+    rows_materialized =
+        other.rows_materialized.load(std::memory_order_relaxed);
+    groups_built = other.groups_built.load(std::memory_order_relaxed);
+    rows_output = other.rows_output.load(std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = ExecStats(); }
 };

@@ -1,0 +1,113 @@
+#include "server/rewrite_cache.h"
+
+#include <cctype>
+
+namespace aapac::server {
+
+std::string RewriteCache::NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (char c : sql) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isspace(uc)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(static_cast<char>(std::tolower(uc)));
+  }
+  return out;
+}
+
+std::string RewriteCache::MakeKey(const std::string& normalized_sql,
+                                  const std::string& purpose,
+                                  const std::string& role) {
+  // '\x1f' (unit separator) cannot occur in SQL identifiers/purpose ids, so
+  // the concatenation is unambiguous.
+  std::string key;
+  key.reserve(normalized_sql.size() + purpose.size() + role.size() + 2);
+  key += normalized_sql;
+  key += '\x1f';
+  key += purpose;
+  key += '\x1f';
+  key += role;
+  return key;
+}
+
+std::shared_ptr<const RewriteCache::Entry> RewriteCache::Lookup(
+    const std::string& normalized_sql, const std::string& purpose,
+    const std::string& role, uint64_t version) {
+  const std::string key = MakeKey(normalized_sql, purpose, role);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it->second.entry->version != version) {
+    // Built against stale security metadata: drop so no worker can ever be
+    // served a rewrite older than the latest policy change.
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.entry;
+}
+
+void RewriteCache::Insert(const std::string& normalized_sql,
+                          const std::string& purpose, const std::string& role,
+                          std::shared_ptr<const Entry> entry) {
+  if (capacity_ == 0) return;
+  const std::string key = MakeKey(normalized_sql, purpose, role);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+}
+
+void RewriteCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+size_t RewriteCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+CacheStats RewriteCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RewriteCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace aapac::server

@@ -1,0 +1,115 @@
+#ifndef AAPAC_SERVER_REWRITE_CACHE_H_
+#define AAPAC_SERVER_REWRITE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sql/ast.h"
+
+namespace aapac::server {
+
+/// Counters of the cache's behaviour, snapshot-copyable for reporting.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Misses caused by a catalog-version mismatch (the entry existed but was
+  /// built against stale security metadata). Also counted in `misses`.
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Shared memo of enforcement rewrites, keyed by (normalized query text,
+/// purpose, role) and tagged with the AccessControlCatalog version the
+/// rewrite was derived under.
+///
+/// Rationale: for a fixed catalog state the rewritten form of a query is a
+/// pure function of the query text and the declared purpose (the role rides
+/// along because deployments may scope rewrite variants per role). The
+/// expensive per-query work of the monitor — parsing, signature derivation
+/// (§5.2), mask encoding (§5.3), rewriting (§5.5) — is therefore shared
+/// across sessions and workers; execution still happens per request.
+///
+/// Invalidation is versioned, not broadcast: every catalog/policy mutation
+/// bumps AccessControlCatalog::version(), and a lookup whose stored entry
+/// carries a different version treats it as a miss (counted as an
+/// invalidation) and drops the entry. A cache may therefore never serve a
+/// rewrite derived before the latest security-metadata change.
+///
+/// Thread safety: all methods are safe to call concurrently. Entries are
+/// handed out as shared_ptr<const Entry>, so a worker may keep executing a
+/// cached AST even while the entry is being invalidated or evicted for
+/// everyone else.
+class RewriteCache {
+ public:
+  struct Entry {
+    /// The enforcement-rewritten statement. Execution never mutates it, so
+    /// concurrent workers share one instance.
+    std::unique_ptr<const sql::SelectStmt> stmt;
+    /// Rewritten SQL text (diagnostics; also what \rewrite shows).
+    std::string rewritten_sql;
+    /// Catalog version the rewrite was derived under.
+    uint64_t version = 0;
+  };
+
+  explicit RewriteCache(size_t capacity = 1024) : capacity_(capacity) {}
+
+  RewriteCache(const RewriteCache&) = delete;
+  RewriteCache& operator=(const RewriteCache&) = delete;
+
+  /// Returns the entry for (normalized_sql, purpose, role) if present and
+  /// derived under exactly `version`; otherwise nullptr. A present-but-stale
+  /// entry is removed and counted as an invalidation.
+  std::shared_ptr<const Entry> Lookup(const std::string& normalized_sql,
+                                      const std::string& purpose,
+                                      const std::string& role,
+                                      uint64_t version);
+
+  /// Inserts (or replaces) the entry for the key. Evicts the least recently
+  /// used entry when the cache is full.
+  void Insert(const std::string& normalized_sql, const std::string& purpose,
+              const std::string& role, std::shared_ptr<const Entry> entry);
+
+  /// Canonical form used for keying: lowercased with runs of whitespace
+  /// collapsed to single spaces, trimmed. "SELECT  a FROM t" and
+  /// "select a from t" share one entry.
+  static std::string NormalizeSql(const std::string& sql);
+
+  void Clear();
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  CacheStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  static std::string MakeKey(const std::string& normalized_sql,
+                             const std::string& purpose,
+                             const std::string& role);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> map_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace aapac::server
+
+#endif  // AAPAC_SERVER_REWRITE_CACHE_H_

@@ -1,0 +1,160 @@
+#include "server/server.h"
+
+#include "sql/printer.h"
+
+namespace aapac::server {
+
+EnforcementServer::EnforcementServer(core::EnforcementMonitor* monitor,
+                                     ServerOptions options)
+    : monitor_(monitor),
+      options_(ServerOptions{options.threads == 0 ? 1 : options.threads,
+                             options.queue_capacity, options.cache_capacity}),
+      cache_(options.cache_capacity) {
+  workers_.reserve(options_.threads);
+  for (size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EnforcementServer::~EnforcementServer() { Shutdown(); }
+
+void EnforcementServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+Result<SessionId> EnforcementServer::OpenSession(const std::string& user,
+                                                 const std::string& purpose,
+                                                 const std::string& role) {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                         monitor_->CheckAccess(purpose, user));
+  return sessions_.Open(user, purpose_id, role);
+}
+
+Status EnforcementServer::CloseSession(SessionId id) {
+  return sessions_.Close(id);
+}
+
+Result<std::future<Result<engine::ResultSet>>> EnforcementServer::Submit(
+    SessionId session, const std::string& sql) {
+  AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
+  Task task;
+  task.session = std::move(info);
+  task.sql = sql;
+  std::future<Result<engine::ResultSet>> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return Status::Unavailable("server is shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "submission queue full (" +
+          std::to_string(options_.queue_capacity) +
+          " pending); retry after in-flight queries drain");
+    }
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+Result<engine::ResultSet> EnforcementServer::Execute(SessionId session,
+                                                     const std::string& sql) {
+  AAPAC_ASSIGN_OR_RETURN(std::future<Result<engine::ResultSet>> future,
+                         Submit(session, sql));
+  return future.get();
+}
+
+void EnforcementServer::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Result<engine::ResultSet> result = Process(task.session, task.sql);
+    // Count before fulfilling the promise: a client that has observed its
+    // result must also observe the execution in executed_total().
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(std::move(result));
+  }
+}
+
+Result<engine::ResultSet> EnforcementServer::Process(
+    const SessionInfo& session, const std::string& sql) {
+  // Read path: shared lock — any number of workers in parallel, no writer.
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+
+  // Re-check authorization so revocations bite mid-session.
+  AAPAC_RETURN_NOT_OK(
+      monitor_->CheckAccess(session.purpose_id, session.user, sql).status());
+
+  // Capture the version *before* preparing: if a mutation slips in between,
+  // the entry is stored with the older version and the next lookup refuses
+  // it — stale rewrites are never served.
+  core::AccessControlCatalog* catalog = monitor_->catalog();
+  const uint64_t version = catalog->version();
+  const std::string normalized = RewriteCache::NormalizeSql(sql);
+  std::shared_ptr<const RewriteCache::Entry> entry =
+      cache_.Lookup(normalized, session.purpose_id, session.role, version);
+  if (entry == nullptr) {
+    AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                           monitor_->Prepare(sql, session.purpose_id));
+    auto fresh = std::make_shared<RewriteCache::Entry>();
+    fresh->rewritten_sql = sql::ToSql(*stmt);
+    fresh->stmt = std::move(stmt);
+    fresh->version = version;
+    cache_.Insert(normalized, session.purpose_id, session.role, fresh);
+    entry = std::move(fresh);
+  }
+  return monitor_->ExecutePrepared(*entry->stmt, sql, session.purpose_id,
+                                   session.user);
+}
+
+Result<size_t> EnforcementServer::ExecuteInsert(SessionId session,
+                                                const std::string& sql,
+                                                const core::Policy* policy) {
+  AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  return monitor_->ExecuteInsert(sql, info.purpose_id, policy, info.user);
+}
+
+Result<size_t> EnforcementServer::ExecuteUpdate(SessionId session,
+                                                const std::string& sql) {
+  AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  return monitor_->ExecuteUpdate(sql, info.purpose_id, info.user);
+}
+
+Result<size_t> EnforcementServer::ExecuteDelete(SessionId session,
+                                                const std::string& sql) {
+  AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  return monitor_->ExecuteDelete(sql, info.purpose_id, info.user);
+}
+
+Status EnforcementServer::WithExclusive(const std::function<Status()>& fn) {
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  return fn();
+}
+
+size_t EnforcementServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+}  // namespace aapac::server

@@ -1,0 +1,163 @@
+#ifndef AAPAC_SERVER_SERVER_H_
+#define AAPAC_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/policy.h"
+#include "engine/exec.h"
+#include "server/rewrite_cache.h"
+#include "server/session.h"
+#include "util/result.h"
+
+namespace aapac::server {
+
+struct ServerOptions {
+  /// Worker threads executing enforced queries (clamped to >= 1).
+  size_t threads = 4;
+  /// Bounded submission queue; a Submit finding it full is rejected with
+  /// kUnavailable immediately — the server never blocks a client forever.
+  size_t queue_capacity = 128;
+  /// Rewrite-cache entries (0 disables memoization).
+  size_t cache_capacity = 1024;
+};
+
+/// Concurrent, session-oriented enforcement service over one
+/// EnforcementMonitor — the serving layer the paper's one-query-at-a-time
+/// evaluation (§5.5, Fig. 1) leaves out.
+///
+///  - Sessions carry (user, declared access purpose, role), so queries
+///    arrive without re-declaring context — the paper's "access purpose
+///    declared per session" model. Authorization (Pa, or Rr/Ur through the
+///    monitor's RoleManager) is checked at OpenSession and re-checked per
+///    query, so a revocation takes effect mid-session.
+///  - A fixed-size worker pool consumes a bounded queue; when the queue is
+///    full, Submit rejects with kUnavailable (backpressure) instead of
+///    blocking.
+///  - Workers share a policy-versioned RewriteCache: the expensive
+///    parse/derive/rewrite stage runs once per distinct (normalized query,
+///    purpose, role) and catalog version; any security-metadata or policy
+///    mutation bumps the catalog version and implicitly invalidates every
+///    cached rewrite.
+///  - A readers-writer lock covers all catalog/table access: read-only
+///    queries proceed fully in parallel, while DML and administrative
+///    mutations (WithExclusive) serialize against everything.
+///
+/// The wrapped monitor/catalog/database may still be used directly when the
+/// server is idle, but concurrent direct use bypasses the data lock.
+class EnforcementServer {
+ public:
+  explicit EnforcementServer(core::EnforcementMonitor* monitor,
+                             ServerOptions options = {});
+
+  EnforcementServer(const EnforcementServer&) = delete;
+  EnforcementServer& operator=(const EnforcementServer&) = delete;
+
+  /// Drains the queue and joins the workers.
+  ~EnforcementServer();
+
+  // --- Session lifecycle. ----------------------------------------------------
+
+  /// Resolves `purpose`, checks `user`'s authorization for it (empty user =
+  /// anonymous, as in EnforcementMonitor::ExecuteQuery) and registers the
+  /// session. `role` is free-form context that scopes rewrite-cache entries.
+  Result<SessionId> OpenSession(const std::string& user,
+                                const std::string& purpose,
+                                const std::string& role = "");
+
+  Status CloseSession(SessionId id);
+
+  // --- Query submission. -----------------------------------------------------
+
+  /// Enqueues a SELECT for asynchronous enforcement + execution under the
+  /// session's declared purpose. Fails fast with kNotFound (unknown
+  /// session) or kUnavailable (queue full / shutting down); otherwise the
+  /// returned future carries the query's own Result.
+  Result<std::future<Result<engine::ResultSet>>> Submit(
+      SessionId session, const std::string& sql);
+
+  /// Synchronous convenience: Submit + wait. Subject to the same
+  /// backpressure (an immediate kUnavailable when the queue is full).
+  Result<engine::ResultSet> Execute(SessionId session, const std::string& sql);
+
+  // --- Writes (exclusive). ---------------------------------------------------
+  //
+  // DML takes the write side of the data lock: it waits for in-flight reads
+  // to finish and runs alone, so readers never observe partial writes.
+
+  Result<size_t> ExecuteInsert(SessionId session, const std::string& sql,
+                               const core::Policy* policy = nullptr);
+  Result<size_t> ExecuteUpdate(SessionId session, const std::string& sql);
+  Result<size_t> ExecuteDelete(SessionId session, const std::string& sql);
+
+  /// Runs `fn` under the exclusive data lock — the hook for administrative
+  /// mutations (catalog changes, policy attachment) while the server is
+  /// live. Do not call Submit/Execute from within `fn` (self-deadlock).
+  Status WithExclusive(const std::function<Status()>& fn);
+
+  // --- Introspection. --------------------------------------------------------
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  RewriteCache& cache() { return cache_; }
+  SessionManager& sessions() { return sessions_; }
+  const ServerOptions& options() const { return options_; }
+  core::EnforcementMonitor* monitor() { return monitor_; }
+
+  size_t queue_depth() const;
+  uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t executed_total() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting work, drains queued tasks and joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct Task {
+    SessionInfo session;
+    std::string sql;
+    std::promise<Result<engine::ResultSet>> promise;
+  };
+
+  void WorkerLoop();
+
+  /// The read path: shared data lock -> per-query re-authorization ->
+  /// versioned cache lookup (Prepare on miss) -> ExecutePrepared.
+  Result<engine::ResultSet> Process(const SessionInfo& session,
+                                    const std::string& sql);
+
+  core::EnforcementMonitor* monitor_;
+  const ServerOptions options_;
+  SessionManager sessions_;
+  RewriteCache cache_;
+
+  /// Readers-writer lock over catalog + table data. Workers executing
+  /// SELECTs hold it shared; DML and WithExclusive hold it exclusively.
+  std::shared_mutex data_mu_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> executed_{0};
+};
+
+}  // namespace aapac::server
+
+#endif  // AAPAC_SERVER_SERVER_H_

@@ -1,0 +1,43 @@
+#include "server/session.h"
+
+namespace aapac::server {
+
+SessionId SessionManager::Open(const std::string& user,
+                               const std::string& purpose_id,
+                               const std::string& role) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, SessionInfo{id, user, purpose_id, role});
+  return id;
+}
+
+Result<SessionInfo> SessionManager::Get(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session " + std::to_string(id) +
+                            " is not open");
+  }
+  return it->second;
+}
+
+Status SessionManager::Close(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("session " + std::to_string(id) +
+                            " is not open");
+  }
+  return Status::OK();
+}
+
+size_t SessionManager::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+uint64_t SessionManager::opened_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace aapac::server

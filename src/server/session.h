@@ -1,0 +1,57 @@
+#ifndef AAPAC_SERVER_SESSION_H_
+#define AAPAC_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/result.h"
+
+namespace aapac::server {
+
+using SessionId = uint64_t;
+
+/// Immutable context a query inherits from its session — the paper's model
+/// of an access purpose "declared per session" rather than per statement.
+struct SessionInfo {
+  SessionId id = 0;
+  std::string user;        // Empty = anonymous (no Pa check).
+  std::string purpose_id;  // Resolved purpose id (e.g. "p3").
+  std::string role;        // Optional; part of the rewrite-cache key.
+};
+
+/// Registry of open sessions. Purely bookkeeping: authorization against the
+/// catalog happens in EnforcementServer::OpenSession before registration, so
+/// a registered session is by construction an authorized one (until a later
+/// revocation, which the per-query re-check in the worker path catches).
+///
+/// Thread safety: all methods may be called concurrently.
+class SessionManager {
+ public:
+  SessionManager() = default;
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers a session and returns its id (ids are never reused).
+  SessionId Open(const std::string& user, const std::string& purpose_id,
+                 const std::string& role);
+
+  /// Context of an open session, or NotFound after Close/never-opened.
+  Result<SessionInfo> Get(SessionId id) const;
+
+  Status Close(SessionId id);
+
+  size_t active() const;
+  uint64_t opened_total() const;
+
+ private:
+  mutable std::mutex mu_;
+  SessionId next_id_ = 1;
+  std::map<SessionId, SessionInfo> sessions_;
+};
+
+}  // namespace aapac::server
+
+#endif  // AAPAC_SERVER_SESSION_H_

@@ -41,6 +41,8 @@ constexpr char kHelp[] =
     "  \\save <path>               write a binary snapshot of the database\n"
     "  \\plan <sql>                show the engine's execution plan\n"
     "  \\audit [on|<n>]            enable the audit log / show last n rows\n"
+    "  \\server                    concurrent-mode status (threads, queue)\n"
+    "  \\cache                     rewrite-cache statistics\n"
     "anything else is SQL, executed under the session purpose/user.";
 
 /// Splits "\cmd rest of line" into (cmd, rest).
@@ -57,6 +59,27 @@ ShellSession::ShellSession(engine::Database* db,
                            core::AccessControlCatalog* catalog,
                            core::EnforcementMonitor* monitor)
     : db_(db), catalog_(catalog), monitor_(monitor), manager_(catalog) {}
+
+void ShellSession::AttachServer(server::EnforcementServer* server) {
+  server_ = server;
+}
+
+Result<server::SessionId> ShellSession::EnsureServerSession() {
+  if (server_session_ != 0 && session_purpose_ == purpose_ &&
+      session_user_ == user_) {
+    return server_session_;
+  }
+  if (server_session_ != 0) {
+    (void)server_->CloseSession(server_session_);
+    server_session_ = 0;
+  }
+  AAPAC_ASSIGN_OR_RETURN(server::SessionId id,
+                         server_->OpenSession(user_, purpose_));
+  server_session_ = id;
+  session_purpose_ = purpose_;
+  session_user_ = user_;
+  return id;
+}
 
 std::string ShellSession::FormatResult(const engine::ResultSet& rs) {
   // Column widths from headers and values, capped for sanity.
@@ -219,10 +242,16 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
     }
     auto policy = core::ParsePolicyText(*catalog_, table, spec);
     if (!policy.ok()) return "error: " + policy.status().ToString();
+    auto attach = [&]() -> Status {
+      return selector.has_value()
+                 ? manager_.AttachWhere(*policy, selector->first,
+                                        selector->second)
+                 : manager_.AttachToTable(*policy);
+    };
+    // In concurrent mode the mutation must not interleave with in-flight
+    // queries (and must invalidate their cached rewrites atomically).
     const Status st =
-        selector.has_value()
-            ? manager_.AttachWhere(*policy, selector->first, selector->second)
-            : manager_.AttachToTable(*policy);
+        server_ != nullptr ? server_->WithExclusive(attach) : attach();
     if (!st.ok()) return "error: " + st.ToString();
     return "policy attached to " + table + ":\n" +
            core::PolicyToText(*policy);
@@ -289,6 +318,35 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
     const Status st = engine::SaveSnapshot(*db_, arg);
     return st.ok() ? "snapshot written to " + arg : "error: " + st.ToString();
   }
+  if (cmd == "server") {
+    if (server_ == nullptr) {
+      return "single-threaded mode (restart with --threads N for the "
+             "concurrent server)";
+    }
+    std::ostringstream out;
+    out << "concurrent mode: " << server_->options().threads << " worker(s)"
+        << ", queue capacity " << server_->options().queue_capacity
+        << ", depth " << server_->queue_depth() << "\n"
+        << "executed " << server_->executed_total() << ", rejected "
+        << server_->rejected_total() << ", sessions open "
+        << server_->sessions().active();
+    return out.str();
+  }
+  if (cmd == "cache") {
+    if (server_ == nullptr) {
+      return "single-threaded mode: no rewrite cache (restart with "
+             "--threads N)";
+    }
+    const server::CacheStats cs = server_->cache_stats();
+    std::ostringstream out;
+    out << "rewrite cache: " << server_->cache().size() << "/"
+        << server_->cache().capacity() << " entries\n"
+        << "hits " << cs.hits << ", misses " << cs.misses
+        << ", invalidations " << cs.invalidations << ", evictions "
+        << cs.evictions << ", hit rate "
+        << static_cast<int>(cs.hit_rate() * 100.0 + 0.5) << "%";
+    return out.str();
+  }
   if (cmd == "selectivity") {
     if (arg.empty()) return "usage: \\selectivity <table>";
     auto s = workload::MeasureScanSelectivity(catalog_, arg);
@@ -306,6 +364,32 @@ std::string ShellSession::RunSql(const std::string& sql) {
   }
   auto stmt = sql::ParseStatement(sql);
   if (!stmt.ok()) return "error: " + stmt.status().ToString();
+
+  // Concurrent mode: route through the enforcement server so the shell
+  // shares its session model, worker pool and rewrite cache.
+  if (server_ != nullptr) {
+    auto sid = EnsureServerSession();
+    if (!sid.ok()) return "error: " + sid.status().ToString();
+    if (stmt->insert != nullptr) {
+      auto n = server_->ExecuteInsert(*sid, sql);
+      if (!n.ok()) return "error: " + n.status().ToString();
+      return std::to_string(*n) + " row(s) inserted";
+    }
+    if (stmt->update != nullptr) {
+      auto n = server_->ExecuteUpdate(*sid, sql);
+      if (!n.ok()) return "error: " + n.status().ToString();
+      return std::to_string(*n) + " row(s) updated";
+    }
+    if (stmt->del != nullptr) {
+      auto n = server_->ExecuteDelete(*sid, sql);
+      if (!n.ok()) return "error: " + n.status().ToString();
+      return std::to_string(*n) + " row(s) deleted";
+    }
+    auto rs = server_->Execute(*sid, sql);
+    if (!rs.ok()) return "error: " + rs.status().ToString();
+    return FormatResult(*rs);
+  }
+
   if (stmt->insert != nullptr) {
     // Shell inserts carry no policy object; protected tables reject them
     // with a pointed message from the monitor.
@@ -337,8 +421,9 @@ std::string ShellSession::ProcessLine(const std::string& raw) {
 
 int RunShell(engine::Database* db, core::AccessControlCatalog* catalog,
              core::EnforcementMonitor* monitor, std::istream& in,
-             std::ostream& out) {
+             std::ostream& out, server::EnforcementServer* server) {
   ShellSession session(db, catalog, monitor);
+  if (server != nullptr) session.AttachServer(server);
   out << "aapac shell — \\help for commands\n";
   int lines = 0;
   std::string line;

@@ -8,6 +8,7 @@
 #include "core/policy_manager.h"
 #include "core/rbac.h"
 #include "engine/database.h"
+#include "server/server.h"
 #include "util/result.h"
 
 namespace aapac::tools {
@@ -43,6 +44,14 @@ class ShellSession {
   ShellSession(engine::Database* db, core::AccessControlCatalog* catalog,
                core::EnforcementMonitor* monitor);
 
+  /// Routes the session's SQL through a concurrent enforcement server
+  /// instead of calling the monitor directly: SELECTs go through the worker
+  /// pool and its rewrite cache, DML through the exclusive write path. A
+  /// server session is (re)opened lazily whenever \purpose or \user change.
+  /// Adds the \cache and \server meta commands. The server must outlive
+  /// this shell session.
+  void AttachServer(server::EnforcementServer* server);
+
   /// Processes one input line and returns the text to display. Errors are
   /// reported in the returned text (the shell never aborts), except for
   /// empty input which yields an empty string.
@@ -57,19 +66,29 @@ class ShellSession {
   std::string DescribeTable(const std::string& table) const;
   static std::string FormatResult(const engine::ResultSet& rs);
 
+  /// Opens (or reuses) the server session matching the current
+  /// purpose/user; drops the stale one after \purpose or \user changes.
+  Result<server::SessionId> EnsureServerSession();
+
   engine::Database* db_;
   core::AccessControlCatalog* catalog_;
   core::EnforcementMonitor* monitor_;
   core::PolicyManager manager_;  // Backs the \attach command.
   std::string purpose_;          // Empty until \purpose is issued.
   std::string user_;
+
+  server::EnforcementServer* server_ = nullptr;  // Optional concurrent mode.
+  server::SessionId server_session_ = 0;         // 0 = none open.
+  std::string session_purpose_;  // Context server_session_ was opened with.
+  std::string session_user_;
 };
 
 /// Runs the interactive loop on stdin/stdout until EOF. Returns the number
-/// of lines processed. Used by the aapac_shell binary.
+/// of lines processed. Used by the aapac_shell binary. When `server` is
+/// non-null the session runs in concurrent mode (see AttachServer).
 int RunShell(engine::Database* db, core::AccessControlCatalog* catalog,
              core::EnforcementMonitor* monitor, std::istream& in,
-             std::ostream& out);
+             std::ostream& out, server::EnforcementServer* server = nullptr);
 
 }  // namespace aapac::tools
 

@@ -21,6 +21,7 @@ enum class StatusCode {
   kPermissionDenied,  // Access control rejected the request outright.
   kUnsupported,       // Valid SQL outside the implemented subset.
   kInternal,          // Invariant violation; indicates a library bug.
+  kUnavailable,       // Transient overload/shutdown; retrying may succeed.
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -66,6 +67,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

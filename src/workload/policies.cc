@@ -104,7 +104,12 @@ Status ApplyScatteredPolicies(core::AccessControlCatalog* catalog,
   AAPAC_RETURN_NOT_OK(ApplyToTable(catalog, "users", "", config, &rng));
   AAPAC_RETURN_NOT_OK(
       ApplyToTable(catalog, "nutritional_profiles", "", config, &rng));
-  return ApplyToTable(catalog, "sensed_data", "watch_id", config, &rng);
+  AAPAC_RETURN_NOT_OK(
+      ApplyToTable(catalog, "sensed_data", "watch_id", config, &rng));
+  // Policy masks changed wholesale: stale version-tagged rewrites (server
+  // cache entries) must not survive a selectivity change.
+  catalog->BumpVersion();
+  return Status::OK();
 }
 
 Result<double> MeasureScanSelectivity(core::AccessControlCatalog* catalog,

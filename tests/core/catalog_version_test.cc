@@ -1,0 +1,118 @@
+// AccessControlCatalog::version(): every successful security-metadata
+// mutation bumps the counter exactly once, and failed mutations leave it
+// untouched. The server's rewrite cache keys entry validity off this
+// counter, so over-counting makes caching useless and under-counting
+// serves stale rewrites.
+
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy_manager.h"
+#include "workload/patients.h"
+
+namespace aapac::core {
+namespace {
+
+class CatalogVersionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 3;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+  }
+
+  /// Runs `fn` and returns how much the version moved.
+  template <typename Fn>
+  uint64_t Delta(Fn&& fn) {
+    const uint64_t before = catalog_->version();
+    fn();
+    return catalog_->version() - before;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+};
+
+TEST_F(CatalogVersionTest, PurposeMutationsBumpOnce) {
+  EXPECT_EQ(Delta([&] { ASSERT_TRUE(catalog_->DefinePurpose("p1", "t").ok()); }),
+            1u);
+  // Duplicate definition fails and must not bump.
+  EXPECT_EQ(Delta([&] { EXPECT_FALSE(catalog_->DefinePurpose("p1", "t").ok()); }),
+            0u);
+  EXPECT_EQ(Delta([&] { ASSERT_TRUE(catalog_->RemovePurpose("p1").ok()); }), 1u);
+  EXPECT_EQ(Delta([&] { EXPECT_FALSE(catalog_->RemovePurpose("p1").ok()); }),
+            0u);
+}
+
+TEST_F(CatalogVersionTest, CategorizeBumpsOnce) {
+  EXPECT_EQ(Delta([&] {
+              ASSERT_TRUE(catalog_
+                              ->Categorize("users", "user_id",
+                                           DataCategory::kIdentifier)
+                              .ok());
+            }),
+            1u);
+  // Unknown column fails without a bump.
+  EXPECT_EQ(Delta([&] {
+              EXPECT_FALSE(catalog_
+                               ->Categorize("users", "no_such_column",
+                                            DataCategory::kGeneric)
+                               .ok());
+            }),
+            0u);
+}
+
+TEST_F(CatalogVersionTest, AuthorizationMutationsBumpOnce) {
+  ASSERT_TRUE(catalog_->DefinePurpose("p1", "t").ok());
+  EXPECT_EQ(Delta([&] { ASSERT_TRUE(catalog_->AuthorizeUser("u1", "p1").ok()); }),
+            1u);
+  EXPECT_EQ(Delta([&] { EXPECT_FALSE(catalog_->AuthorizeUser("u1", "p9").ok()); }),
+            0u);
+  EXPECT_EQ(Delta([&] { ASSERT_TRUE(catalog_->RevokeUser("u1", "p1").ok()); }),
+            1u);
+  EXPECT_EQ(Delta([&] { EXPECT_FALSE(catalog_->RevokeUser("u1", "p1").ok()); }),
+            0u);
+}
+
+TEST_F(CatalogVersionTest, ProtectTableBumpsOnce) {
+  EXPECT_EQ(Delta([&] { ASSERT_TRUE(catalog_->ProtectTable("users").ok()); }),
+            1u);
+  EXPECT_EQ(Delta([&] { EXPECT_FALSE(catalog_->ProtectTable("nope").ok()); }),
+            0u);
+}
+
+TEST_F(CatalogVersionTest, PolicyAttachmentBumps) {
+  ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+  PolicyManager manager(catalog_.get());
+
+  Policy policy;
+  policy.table = "users";
+  PolicyRule rule;
+  rule.columns = {"user_id"};
+  rule.purposes = {"p1"};
+  rule.action_type = ActionType::Direct(
+      Multiplicity::kSingle, Aggregation::kNoAggregation, JointAccess::All());
+  policy.rules = {rule};
+
+  const uint64_t before = catalog_->version();
+  ASSERT_TRUE(manager.AttachToTable(policy).ok());
+  EXPECT_GT(catalog_->version(), before)
+      << "attaching a policy must invalidate version-tagged rewrites";
+}
+
+TEST_F(CatalogVersionTest, ReloadBumps) {
+  ASSERT_TRUE(catalog_->DefinePurpose("p1", "t").ok());
+  const uint64_t before = catalog_->version();
+  ASSERT_TRUE(catalog_->LoadFromMetadataTables().ok());
+  EXPECT_EQ(catalog_->version(), before + 1);
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,173 @@
+// RewriteCache behaviour through the server: hit/miss accounting, key
+// normalization, per-purpose keying, LRU eviction, and — the security
+// property — version-based invalidation on catalog/policy mutations so a
+// stale rewrite is never served.
+
+#include "server/rewrite_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "engine/database.h"
+#include "server/server.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::server {
+namespace {
+
+TEST(NormalizeSqlTest, LowercasesAndCollapsesWhitespace) {
+  EXPECT_EQ(RewriteCache::NormalizeSql("  SELECT   A\tFROM\n T  "),
+            "select a from t");
+  EXPECT_EQ(RewriteCache::NormalizeSql("select a from t"),
+            RewriteCache::NormalizeSql("SELECT  a  FROM  t"));
+}
+
+TEST(RewriteCacheTest, LruEvictionAtCapacity) {
+  RewriteCache cache(/*capacity=*/2);
+  auto entry = [] {
+    auto e = std::make_shared<RewriteCache::Entry>();
+    e->version = 7;
+    return e;
+  };
+  cache.Insert("q1", "p1", "", entry());
+  cache.Insert("q2", "p1", "", entry());
+  EXPECT_NE(cache.Lookup("q1", "p1", "", 7), nullptr);  // q1 now MRU.
+  cache.Insert("q3", "p1", "", entry());                // Evicts q2.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup("q1", "p1", "", 7), nullptr);
+  EXPECT_EQ(cache.Lookup("q2", "p1", "", 7), nullptr);
+  EXPECT_NE(cache.Lookup("q3", "p1", "", 7), nullptr);
+}
+
+TEST(RewriteCacheTest, StaleVersionIsInvalidatedOnLookup) {
+  RewriteCache cache;
+  auto e = std::make_shared<RewriteCache::Entry>();
+  e->version = 1;
+  cache.Insert("q", "p1", "", e);
+  EXPECT_EQ(cache.Lookup("q", "p1", "", 2), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // The stale entry is dropped eagerly.
+}
+
+TEST(RewriteCacheTest, ZeroCapacityDisablesMemoization) {
+  RewriteCache cache(/*capacity=*/0);
+  auto e = std::make_shared<RewriteCache::Entry>();
+  e->version = 1;
+  cache.Insert("q", "p1", "", e);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("q", "p1", "", 1), nullptr);
+}
+
+class ServerCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 10;
+    config.samples_per_patient = 4;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<core::AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(
+        workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    ApplySelectivity(0.0);  // Everything complies.
+    monitor_ = std::make_unique<core::EnforcementMonitor>(db_.get(),
+                                                          catalog_.get());
+    ServerOptions options;
+    options.threads = 1;
+    server_ = std::make_unique<EnforcementServer>(monitor_.get(), options);
+    auto sid = server_->OpenSession("", "p3");
+    ASSERT_TRUE(sid.ok()) << sid.status();
+    sid_ = *sid;
+  }
+
+  void ApplySelectivity(double selectivity) {
+    workload::ScatteredPolicyConfig sp;
+    sp.selectivity = selectivity;
+    ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<core::AccessControlCatalog> catalog_;
+  std::unique_ptr<core::EnforcementMonitor> monitor_;
+  std::unique_ptr<EnforcementServer> server_;
+  SessionId sid_ = 0;
+};
+
+TEST_F(ServerCacheTest, RepeatedQueryHitsAfterFirstMiss) {
+  const std::string sql = "select user_id from users";
+  ASSERT_TRUE(server_->Execute(sid_, sql).ok());
+  EXPECT_EQ(server_->cache_stats().misses, 1u);
+  EXPECT_EQ(server_->cache_stats().hits, 0u);
+  ASSERT_TRUE(server_->Execute(sid_, sql).ok());
+  ASSERT_TRUE(server_->Execute(sid_, sql).ok());
+  EXPECT_EQ(server_->cache_stats().misses, 1u);
+  EXPECT_EQ(server_->cache_stats().hits, 2u);
+}
+
+TEST_F(ServerCacheTest, NormalizationVariantsShareOneEntry) {
+  ASSERT_TRUE(server_->Execute(sid_, "select user_id from users").ok());
+  ASSERT_TRUE(server_->Execute(sid_, "SELECT   user_id\tFROM  users ").ok());
+  EXPECT_EQ(server_->cache_stats().misses, 1u);
+  EXPECT_EQ(server_->cache_stats().hits, 1u);
+}
+
+TEST_F(ServerCacheTest, DifferentPurposesGetSeparateEntries) {
+  auto other = server_->OpenSession("", "p1");
+  ASSERT_TRUE(other.ok()) << other.status();
+  const std::string sql = "select user_id from users";
+  ASSERT_TRUE(server_->Execute(sid_, sql).ok());
+  ASSERT_TRUE(server_->Execute(*other, sql).ok());
+  // Same text, different declared purposes: two distinct rewrites.
+  EXPECT_EQ(server_->cache_stats().misses, 2u);
+  EXPECT_EQ(server_->cache_stats().hits, 0u);
+  EXPECT_EQ(server_->cache().size(), 2u);
+}
+
+TEST_F(ServerCacheTest, CatalogMutationInvalidatesCachedRewrites) {
+  const std::string sql = "select user_id from users";
+  ASSERT_TRUE(server_->Execute(sid_, sql).ok());
+  ASSERT_TRUE(server_->Execute(sid_, sql).ok());
+  EXPECT_EQ(server_->cache_stats().hits, 1u);
+
+  ASSERT_TRUE(server_
+                  ->WithExclusive(
+                      [&] { return catalog_->AuthorizeUser("alice", "p3"); })
+                  .ok());
+  ASSERT_TRUE(server_->Execute(sid_, sql).ok());
+  EXPECT_EQ(server_->cache_stats().invalidations, 1u);
+  EXPECT_EQ(server_->cache_stats().misses, 2u);
+  // The fresh entry serves again.
+  ASSERT_TRUE(server_->Execute(sid_, sql).ok());
+  EXPECT_EQ(server_->cache_stats().hits, 2u);
+}
+
+TEST_F(ServerCacheTest, PolicyMutationIsNeverServedStaleResults) {
+  const std::string sql = "select user_id from users";
+  auto before = server_->Execute(sid_, sql);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(before->rows.size(), 10u);  // Selectivity 0: all rows comply.
+
+  // Flip to selectivity 1 (no tuple complies) while the server is live.
+  ASSERT_TRUE(server_
+                  ->WithExclusive([&] {
+                    workload::ScatteredPolicyConfig sp;
+                    sp.selectivity = 1.0;
+                    return workload::ApplyScatteredPolicies(catalog_.get(),
+                                                            sp);
+                  })
+                  .ok());
+  auto after = server_->Execute(sid_, sql);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->rows.size(), 0u)
+      << "a cached pre-mutation rewrite must not be served";
+  EXPECT_GE(server_->cache_stats().invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace aapac::server

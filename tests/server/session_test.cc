@@ -1,0 +1,152 @@
+// Session lifecycle of the concurrent enforcement service: purpose
+// resolution and user authorization at OpenSession, close semantics, id
+// hygiene, and bounded-queue backpressure (reject, never block).
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "engine/database.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::server {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 20;
+    config.samples_per_patient = 10;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<core::AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(
+        workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    workload::ScatteredPolicyConfig sp;
+    sp.selectivity = 0.0;
+    ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+    monitor_ = std::make_unique<core::EnforcementMonitor>(db_.get(),
+                                                          catalog_.get());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<core::AccessControlCatalog> catalog_;
+  std::unique_ptr<core::EnforcementMonitor> monitor_;
+};
+
+TEST_F(SessionTest, OpenExecuteClose) {
+  EnforcementServer server(monitor_.get());
+  auto sid = server.OpenSession(/*user=*/"", "p3");
+  ASSERT_TRUE(sid.ok()) << sid.status();
+  EXPECT_EQ(server.sessions().active(), 1u);
+
+  auto rs = server.Execute(*sid, "select count(*) from sensed_data");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->rows.size(), 1u);
+
+  ASSERT_TRUE(server.CloseSession(*sid).ok());
+  EXPECT_EQ(server.sessions().active(), 0u);
+  // Queries against a closed session fail fast.
+  auto after = server.Execute(*sid, "select count(*) from users");
+  EXPECT_EQ(after.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(server.CloseSession(*sid).ok());
+}
+
+TEST_F(SessionTest, PurposeNamesResolveLikeTheMonitor) {
+  EnforcementServer server(monitor_.get());
+  // Descriptions resolve to ids (as EnforcementMonitor::ExecuteQuery does).
+  auto by_name = server.OpenSession("", "research");
+  ASSERT_TRUE(by_name.ok()) << by_name.status();
+  EXPECT_FALSE(server.OpenSession("", "no_such_purpose").ok());
+}
+
+TEST_F(SessionTest, UnauthorizedUserIsDenied) {
+  EnforcementServer server(monitor_.get());
+  auto denied = server.OpenSession("mallory", "p3");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+
+  ASSERT_TRUE(catalog_->AuthorizeUser("alice", "p3").ok());
+  EXPECT_TRUE(server.OpenSession("alice", "p3").ok());
+}
+
+TEST_F(SessionTest, RevocationTakesEffectMidSession) {
+  EnforcementServer server(monitor_.get());
+  ASSERT_TRUE(catalog_->AuthorizeUser("alice", "p3").ok());
+  auto sid = server.OpenSession("alice", "p3");
+  ASSERT_TRUE(sid.ok()) << sid.status();
+  ASSERT_TRUE(server.Execute(*sid, "select count(*) from users").ok());
+
+  ASSERT_TRUE(server.WithExclusive(
+                        [&] { return catalog_->RevokeUser("alice", "p3"); })
+                  .ok());
+  auto rs = server.Execute(*sid, "select count(*) from users");
+  EXPECT_EQ(rs.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(SessionTest, SessionIdsAreNeverReused) {
+  EnforcementServer server(monitor_.get());
+  auto first = server.OpenSession("", "p3");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(server.CloseSession(*first).ok());
+  auto second = server.OpenSession("", "p3");
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*first, *second);
+  EXPECT_EQ(server.sessions().opened_total(), 2u);
+}
+
+TEST_F(SessionTest, FullQueueRejectsInsteadOfBlocking) {
+  ServerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  EnforcementServer server(monitor_.get(), options);
+  auto sid = server.OpenSession("", "p3");
+  ASSERT_TRUE(sid.ok());
+
+  // One worker, queue of one: a burst of async submissions must overrun the
+  // queue, and the overflow is rejected immediately with kUnavailable.
+  const std::string sql =
+      "select u.user_id, avg(s.temperature) from users u join sensed_data s "
+      "on u.watch_id = s.watch_id group by u.user_id";
+  std::vector<std::future<Result<engine::ResultSet>>> accepted;
+  size_t rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    auto fut = server.Submit(*sid, sql);
+    if (fut.ok()) {
+      accepted.push_back(std::move(*fut));
+    } else {
+      ASSERT_EQ(fut.status().code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(server.rejected_total(), rejected);
+  // Every accepted submission still completes successfully.
+  for (auto& fut : accepted) {
+    auto rs = fut.get();
+    EXPECT_TRUE(rs.ok()) << rs.status();
+  }
+  // Once drained, the server accepts work again.
+  EXPECT_TRUE(server.Execute(*sid, "select count(*) from users").ok());
+}
+
+TEST_F(SessionTest, ShutdownRejectsNewWork) {
+  EnforcementServer server(monitor_.get());
+  auto sid = server.OpenSession("", "p3");
+  ASSERT_TRUE(sid.ok());
+  server.Shutdown();
+  auto rs = server.Execute(*sid, "select count(*) from users");
+  EXPECT_EQ(rs.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace aapac::server

@@ -1,0 +1,220 @@
+// Multi-threaded stress tests of the enforcement service: concurrent
+// results must be byte-identical to the single-threaded monitor's, a
+// mid-run policy mutation must never leak a stale rewrite, and audit
+// sequence numbers must stay dense and distinct under concurrency.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "engine/database.h"
+#include "server/server.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/queries.h"
+
+namespace aapac::server {
+namespace {
+
+/// Exact serialization (column names + rows in execution order): the
+/// concurrent path must reproduce the single-threaded results byte for
+/// byte, ordering included.
+std::string Serialize(const engine::ResultSet& rs) {
+  std::string out;
+  for (const auto& c : rs.column_names) {
+    out += c;
+    out += ',';
+  }
+  out += '\n';
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row) {
+      out += v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// One self-contained patients scenario; identical seeds produce identical
+/// databases and policy masks, making scenarios comparable across
+/// instances.
+struct Instance {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<core::AccessControlCatalog> catalog;
+  std::unique_ptr<core::EnforcementMonitor> monitor;
+
+  void ApplySelectivity(double selectivity) {
+    workload::ScatteredPolicyConfig sp;
+    sp.selectivity = selectivity;
+    ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog.get(), sp).ok());
+  }
+};
+
+Instance MakeInstance(double selectivity) {
+  Instance inst;
+  inst.db = std::make_unique<engine::Database>();
+  workload::PatientsConfig config;
+  config.num_patients = 30;
+  config.samples_per_patient = 8;
+  EXPECT_TRUE(workload::BuildPatientsDatabase(inst.db.get(), config).ok());
+  inst.catalog =
+      std::make_unique<core::AccessControlCatalog>(inst.db.get());
+  EXPECT_TRUE(inst.catalog->Initialize().ok());
+  EXPECT_TRUE(
+      workload::ConfigurePatientsAccessControl(inst.catalog.get()).ok());
+  inst.ApplySelectivity(selectivity);
+  inst.monitor = std::make_unique<core::EnforcementMonitor>(
+      inst.db.get(), inst.catalog.get());
+  return inst;
+}
+
+TEST(ServerStressTest, ConcurrentResultsMatchSingleThreaded) {
+  Instance reference = MakeInstance(0.2);
+  Instance serving = MakeInstance(0.2);
+  const std::vector<workload::BenchQuery> queries = workload::PaperQueries();
+
+  std::map<std::string, std::string> expected;
+  for (const auto& q : queries) {
+    auto rs = reference.monitor->ExecuteQuery(q.sql, "p3");
+    ASSERT_TRUE(rs.ok()) << q.name << ": " << rs.status();
+    expected[q.name] = Serialize(*rs);
+  }
+
+  ServerOptions options;
+  options.threads = 4;
+  EnforcementServer server(serving.monitor.get(), options);
+
+  const size_t kClients = 4;
+  const size_t kRounds = 3;
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto sid = server.OpenSession("", "p3");
+      if (!sid.ok()) {
+        std::lock_guard<std::mutex> lock(failures_mu);
+        failures.push_back("open: " + sid.status().ToString());
+        return;
+      }
+      for (size_t r = 0; r < kRounds; ++r) {
+        for (const auto& q : queries) {
+          auto rs = server.Execute(*sid, q.sql);
+          std::string problem;
+          if (!rs.ok()) {
+            problem = q.name + ": " + rs.status().ToString();
+          } else if (Serialize(*rs) != expected[q.name]) {
+            problem = q.name + ": result differs from single-threaded run";
+          }
+          if (!problem.empty()) {
+            std::lock_guard<std::mutex> lock(failures_mu);
+            failures.push_back(std::move(problem));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_TRUE(failures.empty()) << failures.front() << " ("
+                                << failures.size() << " failures)";
+  EXPECT_EQ(server.executed_total(), kClients * kRounds * queries.size());
+  // Repeated identical queries across clients must be served from cache.
+  EXPECT_GE(server.cache_stats().hit_rate(), 0.9);
+}
+
+TEST(ServerStressTest, MidRunMutationYieldsFreshResults) {
+  Instance serving = MakeInstance(0.2);
+  // The reference replays the same mutation history: 0.2 then 0.6.
+  Instance reference = MakeInstance(0.2);
+  reference.ApplySelectivity(0.6);
+  const std::vector<workload::BenchQuery> queries = workload::PaperQueries();
+
+  ServerOptions options;
+  options.threads = 2;
+  EnforcementServer server(serving.monitor.get(), options);
+  auto sid = server.OpenSession("", "p3");
+  ASSERT_TRUE(sid.ok());
+
+  // Populate the cache under the pre-mutation catalog.
+  for (const auto& q : queries) {
+    ASSERT_TRUE(server.Execute(*sid, q.sql).ok()) << q.name;
+  }
+  const uint64_t misses_before = server.cache_stats().misses;
+
+  ASSERT_TRUE(server
+                  .WithExclusive([&] {
+                    workload::ScatteredPolicyConfig sp;
+                    sp.selectivity = 0.6;
+                    return workload::ApplyScatteredPolicies(
+                        serving.catalog.get(), sp);
+                  })
+                  .ok());
+
+  for (const auto& q : queries) {
+    auto fresh = reference.monitor->ExecuteQuery(q.sql, "p3");
+    ASSERT_TRUE(fresh.ok()) << q.name << ": " << fresh.status();
+    auto served = server.Execute(*sid, q.sql);
+    ASSERT_TRUE(served.ok()) << q.name << ": " << served.status();
+    EXPECT_EQ(Serialize(*served), Serialize(*fresh))
+        << q.name << ": server result does not match a fresh single-threaded"
+        << " run after the policy mutation";
+  }
+  // Every post-mutation query re-derived its rewrite.
+  EXPECT_GE(server.cache_stats().invalidations, queries.size());
+  EXPECT_EQ(server.cache_stats().misses, misses_before + queries.size());
+}
+
+TEST(ServerStressTest, AuditSequenceNumbersAreDenseUnderConcurrency) {
+  Instance serving = MakeInstance(0.0);
+  ASSERT_TRUE(serving.monitor->EnableAuditLog().ok());
+
+  ServerOptions options;
+  options.threads = 4;
+  EnforcementServer server(serving.monitor.get(), options);
+
+  const size_t kClients = 4;
+  const size_t kQueriesEach = 8;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto sid = server.OpenSession("", "p3");
+      ASSERT_TRUE(sid.ok());
+      for (size_t i = 0; i < kQueriesEach; ++i) {
+        auto rs = server.Execute(*sid, "select count(*) from sensed_data");
+        EXPECT_TRUE(rs.ok()) << rs.status();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Shutdown();
+
+  auto audit =
+      serving.monitor->ExecuteUnrestricted("select seq from audit_log");
+  ASSERT_TRUE(audit.ok()) << audit.status();
+  const size_t total = kClients * kQueriesEach;
+  ASSERT_EQ(audit->rows.size(), total);
+  std::set<int64_t> seqs;
+  int64_t max_seq = 0;
+  for (const auto& row : audit->rows) {
+    const int64_t seq = row[0].AsInt();
+    seqs.insert(seq);
+    if (seq > max_seq) max_seq = seq;
+  }
+  // Distinct and dense 1..N: the racy read-modify-write would duplicate
+  // (and thus skip) sequence numbers.
+  EXPECT_EQ(seqs.size(), total);
+  EXPECT_EQ(*seqs.begin(), 1);
+  EXPECT_EQ(max_seq, static_cast<int64_t>(total));
+}
+
+}  // namespace
+}  // namespace aapac::server

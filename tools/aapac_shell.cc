@@ -1,6 +1,7 @@
 // Interactive enforcement shell over the paper's running-example database.
 //
-//   ./build/tools/aapac_shell [patients] [samples_per_patient] [selectivity]
+//   ./build/tools/aapac_shell [--threads N] [patients] [samples_per_patient]
+//                             [selectivity]
 //
 // Boots the *patients* scenario (§3), applies scattered policies (§6.1) and
 // drops into a REPL where SQL runs through the enforcement monitor:
@@ -8,14 +9,24 @@
 //   aapac> \purpose research
 //   aapac> select avg(temperature) from sensed_data
 //   aapac> \rewrite select avg(temperature) from sensed_data
+//
+// With --threads N the shell instead runs against a concurrent
+// EnforcementServer with N workers: SQL is submitted through a server
+// session (purpose declared per session, as in the paper) and repeated
+// queries hit the shared rewrite cache; \server and \cache report the
+// service state.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "core/catalog.h"
 #include "core/monitor.h"
 #include "engine/database.h"
+#include "server/server.h"
 #include "tools/shell.h"
 #include "workload/patients.h"
 #include "workload/policies.h"
@@ -24,9 +35,25 @@ int main(int argc, char** argv) {
   size_t patients = 100;
   size_t samples = 20;
   double selectivity = 0.2;
-  if (argc > 1) patients = static_cast<size_t>(std::atoll(argv[1]));
-  if (argc > 2) samples = static_cast<size_t>(std::atoll(argv[2]));
-  if (argc > 3) selectivity = std::atof(argv[3]);
+  size_t threads = 0;  // 0 = classic single-threaded monitor mode.
+
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) {
+    patients = static_cast<size_t>(std::atoll(positional[0]));
+  }
+  if (positional.size() > 1) {
+    samples = static_cast<size_t>(std::atoll(positional[1]));
+  }
+  if (positional.size() > 2) selectivity = std::atof(positional[2]);
 
   aapac::engine::Database db;
   aapac::workload::PatientsConfig config;
@@ -53,6 +80,16 @@ int main(int argc, char** argv) {
   std::printf(
       "patients scenario: %zu patients x %zu samples, selectivity %.2f\n",
       patients, samples, selectivity);
-  aapac::tools::RunShell(&db, &catalog, &monitor, std::cin, std::cout);
+  std::unique_ptr<aapac::server::EnforcementServer> server;
+  if (threads > 0) {
+    aapac::server::ServerOptions options;
+    options.threads = threads;
+    server =
+        std::make_unique<aapac::server::EnforcementServer>(&monitor, options);
+    std::printf("concurrent mode: %zu worker thread(s), rewrite cache on\n",
+                threads);
+  }
+  aapac::tools::RunShell(&db, &catalog, &monitor, std::cin, std::cout,
+                         server.get());
   return 0;
 }
