@@ -13,6 +13,16 @@ namespace aapac::core {
 using engine::Value;
 using engine::ValueType;
 
+namespace {
+
+// Per-thread complies_with invocation count. A statement executes entirely
+// on its calling thread, so a before/after delta of this counter isolates
+// that statement's checks even while other workers run concurrently —
+// diffing the shared global counter would fold their checks in.
+thread_local uint64_t t_compliance_checks = 0;
+
+}  // namespace
+
 EnforcementMonitor::EnforcementMonitor(engine::Database* db,
                                        AccessControlCatalog* catalog)
     : db_(db),
@@ -25,6 +35,7 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
       QueryRewriter::kCompliesWithFunction, 2,
       [counter](const std::vector<Value>& args) -> Result<Value> {
         counter->fetch_add(1, std::memory_order_relaxed);
+        ++t_compliance_checks;
         // A tuple without a policy complies with nothing: deny by default.
         if (args[1].is_null()) return Value::Bool(false);
         if (args[0].type() != ValueType::kBytes ||
@@ -104,10 +115,10 @@ Result<std::unique_ptr<sql::SelectStmt>> EnforcementMonitor::Prepare(
 Result<engine::ResultSet> EnforcementMonitor::ExecutePrepared(
     const sql::SelectStmt& stmt, const std::string& sql,
     const std::string& purpose_id, const std::string& user) {
-  const uint64_t checks_before = compliance_checks();
+  const uint64_t checks_before = t_compliance_checks;
   Result<engine::ResultSet> result = executor_.Execute(stmt);
   AppendAudit(user, purpose_id, sql, result.ok() ? "ok" : "error",
-              compliance_checks() - checks_before,
+              t_compliance_checks - checks_before,
               result.ok() ? static_cast<int64_t>(result->rows.size()) : 0);
   return result;
 }
@@ -225,10 +236,10 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
   if (stmt->select != nullptr) {
     AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt->select.get(), purpose_id));
   }
-  const uint64_t checks_before = compliance_checks();
+  const uint64_t checks_before = t_compliance_checks;
   Result<size_t> inserted = executor_.ExecuteInsert(*stmt, forced);
   AppendAudit(user, purpose_id, sql, inserted.ok() ? "ok" : "error",
-              compliance_checks() - checks_before,
+              t_compliance_checks - checks_before,
               inserted.ok() ? static_cast<int64_t>(*inserted) : 0);
   return inserted;
 }
@@ -279,10 +290,10 @@ Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
     stmt->assignments[i].value = std::move(synthetic->items[i].expr);
   }
 
-  const uint64_t checks_before = compliance_checks();
+  const uint64_t checks_before = t_compliance_checks;
   Result<size_t> updated = executor_.ExecuteUpdate(*stmt);
   AppendAudit(user, purpose_id, sql, updated.ok() ? "ok" : "error",
-              compliance_checks() - checks_before,
+              t_compliance_checks - checks_before,
               updated.ok() ? static_cast<int64_t>(*updated) : 0);
   return updated;
 }
@@ -314,10 +325,10 @@ Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
   AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(synthetic.get(), purpose_id));
   stmt->where = std::move(synthetic->where);
 
-  const uint64_t checks_before = compliance_checks();
+  const uint64_t checks_before = t_compliance_checks;
   Result<size_t> removed = executor_.ExecuteDelete(*stmt);
   AppendAudit(user, purpose_id, sql, removed.ok() ? "ok" : "error",
-              compliance_checks() - checks_before,
+              t_compliance_checks - checks_before,
               removed.ok() ? static_cast<int64_t>(*removed) : 0);
   return removed;
 }

@@ -8,8 +8,9 @@ std::string RewriteCache::NormalizeSql(const std::string& sql) {
   std::string out;
   out.reserve(sql.size());
   bool pending_space = false;
-  for (char c : sql) {
-    const unsigned char uc = static_cast<unsigned char>(c);
+  const size_t n = sql.size();
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char uc = static_cast<unsigned char>(sql[i]);
     if (std::isspace(uc)) {
       pending_space = !out.empty();
       continue;
@@ -17,6 +18,26 @@ std::string RewriteCache::NormalizeSql(const std::string& sql) {
     if (pending_space) {
       out.push_back(' ');
       pending_space = false;
+    }
+    if (sql[i] == '\'') {
+      // Quoted literal (string or the payload of b'...'): the lexer keeps
+      // its contents case- and whitespace-sensitive, so copy verbatim up to
+      // the closing quote, honouring the '' escape. An unterminated literal
+      // copies through to the end; the parse fails later anyway.
+      out.push_back('\'');
+      ++i;
+      while (i < n) {
+        out.push_back(sql[i]);
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            out.push_back(sql[++i]);  // '' stays inside the literal.
+          } else {
+            break;
+          }
+        }
+        ++i;
+      }
+      continue;
     }
     out.push_back(static_cast<char>(std::tolower(uc)));
   }

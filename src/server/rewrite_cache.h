@@ -80,8 +80,9 @@ class RewriteCache {
               const std::string& role, std::shared_ptr<const Entry> entry);
 
   /// Canonical form used for keying: lowercased with runs of whitespace
-  /// collapsed to single spaces, trimmed. "SELECT  a FROM t" and
-  /// "select a from t" share one entry.
+  /// collapsed to single spaces, trimmed — except inside quoted literals,
+  /// which stay byte-for-byte intact ('Alice' and 'alice' are different
+  /// queries). "SELECT  a FROM t" and "select a from t" share one entry.
   static std::string NormalizeSql(const std::string& sql);
 
   void Clear();

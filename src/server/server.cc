@@ -94,10 +94,106 @@ void EnforcementServer::WorkerLoop() {
   }
 }
 
-Result<engine::ResultSet> EnforcementServer::Process(
-    const SessionInfo& session, const std::string& sql) {
-  // Read path: shared lock — any number of workers in parallel, no writer.
-  std::shared_lock<std::shared_mutex> lock(data_mu_);
+namespace {
+
+bool ReadsTable(const sql::SelectStmt& stmt, const std::string& table);
+
+bool ReadsTable(const sql::Expr& expr, const std::string& table) {
+  using sql::Expr;
+  switch (expr.kind()) {
+    case Expr::Kind::kColumnRef:
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kStar:
+      return false;
+    case Expr::Kind::kBinary: {
+      const auto& e = static_cast<const sql::BinaryExpr&>(expr);
+      return ReadsTable(*e.lhs, table) || ReadsTable(*e.rhs, table);
+    }
+    case Expr::Kind::kUnary:
+      return ReadsTable(*static_cast<const sql::UnaryExpr&>(expr).operand,
+                        table);
+    case Expr::Kind::kFuncCall: {
+      const auto& e = static_cast<const sql::FuncCallExpr&>(expr);
+      for (const auto& arg : e.args) {
+        if (ReadsTable(*arg, table)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kIn: {
+      const auto& e = static_cast<const sql::InExpr&>(expr);
+      if (ReadsTable(*e.operand, table)) return true;
+      if (e.subquery != nullptr && ReadsTable(*e.subquery, table)) return true;
+      for (const auto& item : e.list) {
+        if (ReadsTable(*item, table)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kIsNull:
+      return ReadsTable(*static_cast<const sql::IsNullExpr&>(expr).operand,
+                        table);
+    case Expr::Kind::kBetween: {
+      const auto& e = static_cast<const sql::BetweenExpr&>(expr);
+      return ReadsTable(*e.operand, table) || ReadsTable(*e.lo, table) ||
+             ReadsTable(*e.hi, table);
+    }
+    case Expr::Kind::kCase: {
+      const auto& e = static_cast<const sql::CaseExpr&>(expr);
+      if (e.operand != nullptr && ReadsTable(*e.operand, table)) return true;
+      for (const auto& when : e.whens) {
+        if (ReadsTable(*when.condition, table)) return true;
+        if (ReadsTable(*when.result, table)) return true;
+      }
+      return e.else_result != nullptr && ReadsTable(*e.else_result, table);
+    }
+    case Expr::Kind::kScalarSubquery:
+      return ReadsTable(
+          *static_cast<const sql::ScalarSubqueryExpr&>(expr).subquery, table);
+  }
+  return false;
+}
+
+bool ReadsTable(const sql::TableRef& ref, const std::string& table) {
+  switch (ref.kind()) {
+    case sql::TableRef::Kind::kBaseTable:
+      return static_cast<const sql::BaseTableRef&>(ref).table_name == table;
+    case sql::TableRef::Kind::kSubquery:
+      return ReadsTable(*static_cast<const sql::SubqueryTableRef&>(ref).subquery,
+                        table);
+    case sql::TableRef::Kind::kJoin: {
+      const auto& join = static_cast<const sql::JoinRef&>(ref);
+      return ReadsTable(*join.left, table) || ReadsTable(*join.right, table) ||
+             (join.on != nullptr && ReadsTable(*join.on, table));
+    }
+  }
+  return false;
+}
+
+/// Whether the statement scans `table` anywhere — FROM items, join
+/// conditions or any subquery position.
+bool ReadsTable(const sql::SelectStmt& stmt, const std::string& table) {
+  for (const auto& ref : stmt.from) {
+    if (ReadsTable(*ref, table)) return true;
+  }
+  for (const auto& item : stmt.items) {
+    if (ReadsTable(*item.expr, table)) return true;
+  }
+  if (stmt.where != nullptr && ReadsTable(*stmt.where, table)) return true;
+  for (const auto& g : stmt.group_by) {
+    if (ReadsTable(*g, table)) return true;
+  }
+  if (stmt.having != nullptr && ReadsTable(*stmt.having, table)) return true;
+  for (const auto& o : stmt.order_by) {
+    if (ReadsTable(*o.expr, table)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const RewriteCache::Entry>>
+EnforcementServer::CheckAndPrepare(const SessionInfo& session,
+                                   const std::string& sql) {
+  // Caller holds data_mu_ (either side).
 
   // Re-check authorization so revocations bite mid-session.
   AAPAC_RETURN_NOT_OK(
@@ -121,6 +217,29 @@ Result<engine::ResultSet> EnforcementServer::Process(
     cache_.Insert(normalized, session.purpose_id, session.role, fresh);
     entry = std::move(fresh);
   }
+  return entry;
+}
+
+Result<engine::ResultSet> EnforcementServer::Process(
+    const SessionInfo& session, const std::string& sql) {
+  {
+    // Read path: shared lock — any number of workers in parallel, no writer.
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    AAPAC_ASSIGN_OR_RETURN(std::shared_ptr<const RewriteCache::Entry> entry,
+                           CheckAndPrepare(session, sql));
+    if (!ReadsTable(*entry->stmt, core::EnforcementMonitor::kAuditTable)) {
+      return monitor_->ExecutePrepared(*entry->stmt, sql, session.purpose_id,
+                                       session.user);
+    }
+  }
+  // Queries over the audit trail take the exclusive side: workers append
+  // audit rows while holding the shared lock, so a shared-lock scan of
+  // audit_log would race row-vector growth. Re-prepare under the exclusive
+  // lock — a policy mutation between the two acquisitions must not leak the
+  // rewrite prepared above.
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  AAPAC_ASSIGN_OR_RETURN(std::shared_ptr<const RewriteCache::Entry> entry,
+                         CheckAndPrepare(session, sql));
   return monitor_->ExecutePrepared(*entry->stmt, sql, session.purpose_id,
                                    session.user);
 }

@@ -51,7 +51,10 @@ struct ServerOptions {
 ///    cached rewrite.
 ///  - A readers-writer lock covers all catalog/table access: read-only
 ///    queries proceed fully in parallel, while DML and administrative
-///    mutations (WithExclusive) serialize against everything.
+///    mutations (WithExclusive) serialize against everything. The one
+///    exception is a SELECT that scans the audit table — workers append
+///    audit rows under the shared lock, so such queries execute on the
+///    exclusive side to keep the scan race-free.
 ///
 /// The wrapped monitor/catalog/database may still be used directly when the
 /// server is idle, but concurrent direct use bypasses the data lock.
@@ -134,8 +137,15 @@ class EnforcementServer {
 
   void WorkerLoop();
 
-  /// The read path: shared data lock -> per-query re-authorization ->
-  /// versioned cache lookup (Prepare on miss) -> ExecutePrepared.
+  /// Per-query re-authorization followed by a versioned cache lookup
+  /// (Prepare on miss). Caller must hold data_mu_ on either side.
+  Result<std::shared_ptr<const RewriteCache::Entry>> CheckAndPrepare(
+      const SessionInfo& session, const std::string& sql);
+
+  /// The read path: shared data lock -> CheckAndPrepare -> ExecutePrepared.
+  /// Queries that scan the audit table are retried under the exclusive lock
+  /// instead, because workers append audit rows while holding the shared
+  /// lock and a concurrent scan would race those inserts.
   Result<engine::ResultSet> Process(const SessionInfo& session,
                                     const std::string& sql);
 

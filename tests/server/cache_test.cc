@@ -26,6 +26,25 @@ TEST(NormalizeSqlTest, LowercasesAndCollapsesWhitespace) {
             RewriteCache::NormalizeSql("SELECT  a  FROM  t"));
 }
 
+TEST(NormalizeSqlTest, QuotedLiteralContentsStayVerbatim) {
+  // The lexer is case- and whitespace-sensitive inside string literals, so
+  // queries differing only there are different queries — they must not
+  // share a cache key.
+  EXPECT_NE(RewriteCache::NormalizeSql("select a from t where n = 'Alice'"),
+            RewriteCache::NormalizeSql("select a from t where n = 'alice'"));
+  EXPECT_NE(RewriteCache::NormalizeSql("select a from t where n = 'a b'"),
+            RewriteCache::NormalizeSql("select a from t where n = 'a  b'"));
+  EXPECT_EQ(RewriteCache::NormalizeSql("SELECT A FROM T WHERE n = 'A  b'"),
+            "select a from t where n = 'A  b'");
+  // The '' escape keeps the scanner inside the literal; text after the
+  // closing quote is normalized again.
+  EXPECT_EQ(RewriteCache::NormalizeSql("SELECT 'It''s  A'  FROM  T"),
+            "select 'It''s  A' from t");
+  // b'...' bit literals: the prefix may lowercase, the payload not.
+  EXPECT_EQ(RewriteCache::NormalizeSql("SELECT B'0101'  FROM  T"),
+            "select b'0101' from t");
+}
+
 TEST(RewriteCacheTest, LruEvictionAtCapacity) {
   RewriteCache cache(/*capacity=*/2);
   auto entry = [] {
@@ -115,6 +134,21 @@ TEST_F(ServerCacheTest, NormalizationVariantsShareOneEntry) {
   ASSERT_TRUE(server_->Execute(sid_, "SELECT   user_id\tFROM  users ").ok());
   EXPECT_EQ(server_->cache_stats().misses, 1u);
   EXPECT_EQ(server_->cache_stats().hits, 1u);
+}
+
+TEST_F(ServerCacheTest, LiteralsDifferingOnlyInCaseAreDistinctEntries) {
+  auto lower = server_->Execute(
+      sid_, "select user_id from users where user_id = 'user1'");
+  ASSERT_TRUE(lower.ok()) << lower.status();
+  EXPECT_EQ(lower->rows.size(), 1u);
+  // Same query up to literal case: a different query with different results;
+  // serving the cached rewrite of the first would be a correctness bug.
+  auto upper = server_->Execute(
+      sid_, "select user_id from users where user_id = 'USER1'");
+  ASSERT_TRUE(upper.ok()) << upper.status();
+  EXPECT_EQ(upper->rows.size(), 0u);
+  EXPECT_EQ(server_->cache_stats().misses, 2u);
+  EXPECT_EQ(server_->cache_stats().hits, 0u);
 }
 
 TEST_F(ServerCacheTest, DifferentPurposesGetSeparateEntries) {

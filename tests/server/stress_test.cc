@@ -93,6 +93,19 @@ TEST(ServerStressTest, ConcurrentResultsMatchSingleThreaded) {
   options.threads = 4;
   EnforcementServer server(serving.monitor.get(), options);
 
+  // Warm the cache single-threaded so the concurrent rounds are pure hits:
+  // two clients racing the same cold miss would each prepare and insert,
+  // which skews the hit/miss counters on slow builds (e.g. under TSan).
+  {
+    auto sid = server.OpenSession("", "p3");
+    ASSERT_TRUE(sid.ok()) << sid.status();
+    for (const auto& q : queries) {
+      auto rs = server.Execute(*sid, q.sql);
+      ASSERT_TRUE(rs.ok()) << q.name << ": " << rs.status();
+    }
+  }
+  ASSERT_EQ(server.cache_stats().misses, queries.size());
+
   const size_t kClients = 4;
   const size_t kRounds = 3;
   std::mutex failures_mu;
@@ -126,8 +139,11 @@ TEST(ServerStressTest, ConcurrentResultsMatchSingleThreaded) {
   for (auto& t : clients) t.join();
   EXPECT_TRUE(failures.empty()) << failures.front() << " ("
                                 << failures.size() << " failures)";
-  EXPECT_EQ(server.executed_total(), kClients * kRounds * queries.size());
-  // Repeated identical queries across clients must be served from cache.
+  EXPECT_EQ(server.executed_total(), (kClients * kRounds + 1) * queries.size());
+  // Repeated identical queries across clients must be served from cache:
+  // after the warm-up, every concurrent execution is a hit.
+  EXPECT_EQ(server.cache_stats().misses, queries.size());
+  EXPECT_EQ(server.cache_stats().hits, kClients * kRounds * queries.size());
   EXPECT_GE(server.cache_stats().hit_rate(), 0.9);
 }
 
@@ -214,6 +230,90 @@ TEST(ServerStressTest, AuditSequenceNumbersAreDenseUnderConcurrency) {
   EXPECT_EQ(seqs.size(), total);
   EXPECT_EQ(*seqs.begin(), 1);
   EXPECT_EQ(max_seq, static_cast<int64_t>(total));
+}
+
+TEST(ServerStressTest, AuditReadsDoNotRaceConcurrentAppends) {
+  Instance serving = MakeInstance(0.0);
+  ASSERT_TRUE(serving.monitor->EnableAuditLog().ok());
+
+  ServerOptions options;
+  options.threads = 4;
+  EnforcementServer server(serving.monitor.get(), options);
+
+  const size_t kWriters = 3;
+  const size_t kQueriesEach = 12;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kWriters; ++c) {
+    clients.emplace_back([&] {
+      auto sid = server.OpenSession("", "p3");
+      ASSERT_TRUE(sid.ok());
+      for (size_t i = 0; i < kQueriesEach; ++i) {
+        auto rs = server.Execute(*sid, "select count(*) from sensed_data");
+        EXPECT_TRUE(rs.ok()) << rs.status();
+      }
+    });
+  }
+  // A concurrent auditor scans the audit trail through the server while the
+  // writers above append to it. The scan must be routed to the exclusive
+  // side of the data lock (regression: under the shared lock it raced the
+  // appends' row-vector growth — crashes/TSan reports).
+  clients.emplace_back([&] {
+    auto sid = server.OpenSession("", "p3");
+    ASSERT_TRUE(sid.ok());
+    size_t last = 0;
+    for (size_t i = 0; i < kQueriesEach; ++i) {
+      auto rs = server.Execute(*sid, "select seq from audit_log");
+      ASSERT_TRUE(rs.ok()) << rs.status();
+      // Monotone growth: each scan sees at least what the previous one saw.
+      EXPECT_GE(rs->rows.size(), last);
+      last = rs->rows.size();
+    }
+  });
+  for (auto& t : clients) t.join();
+}
+
+TEST(ServerStressTest, AuditCheckCountsArePerQueryUnderConcurrency) {
+  // Measure the query's check cost single-threaded on an identical instance.
+  Instance reference = MakeInstance(0.2);
+  const std::string sql = "select watch_id from sensed_data";
+  reference.monitor->ResetComplianceChecks();
+  ASSERT_TRUE(reference.monitor->ExecuteQuery(sql, "p3").ok());
+  const uint64_t expected = reference.monitor->compliance_checks();
+  ASSERT_GT(expected, 0u);
+
+  Instance serving = MakeInstance(0.2);
+  ASSERT_TRUE(serving.monitor->EnableAuditLog().ok());
+  ServerOptions options;
+  options.threads = 4;
+  EnforcementServer server(serving.monitor.get(), options);
+
+  const size_t kClients = 4;
+  const size_t kQueriesEach = 6;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto sid = server.OpenSession("", "p3");
+      ASSERT_TRUE(sid.ok());
+      for (size_t i = 0; i < kQueriesEach; ++i) {
+        auto rs = server.Execute(*sid, sql);
+        EXPECT_TRUE(rs.ok()) << rs.status();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Shutdown();
+
+  auto audit =
+      serving.monitor->ExecuteUnrestricted("select checks from audit_log");
+  ASSERT_TRUE(audit.ok()) << audit.status();
+  ASSERT_EQ(audit->rows.size(), kClients * kQueriesEach);
+  for (const auto& row : audit->rows) {
+    // Regression: diffing the shared global counter folded other in-flight
+    // queries' checks into each audit row under concurrency.
+    EXPECT_EQ(row[0].AsInt(), static_cast<int64_t>(expected))
+        << "audit 'checks' must count only the query's own complies_with "
+           "calls";
+  }
 }
 
 }  // namespace
