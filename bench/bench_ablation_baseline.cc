@@ -86,6 +86,8 @@ int Run() {
         .Int("aware_checks", aware_checks)
         .Emit();
   }
+  EmitStageLatencies(s.monitor.get(), "ablation_baseline", "sel=0.0");
+  MaybeDumpMetricsJson(s.monitor.get());
   return 0;
 }
 

@@ -25,6 +25,7 @@ int Run() {
 
   Scenario s = BuildScenario(patients, samples);
   ApplySelectivity(&s, 0.4);
+  ResetMetrics(s.monitor.get());
 
   std::printf("%-5s %12s %12s %15s %15s\n", "query", "push_ms", "nopush_ms",
               "push_checks", "nopush_checks");
@@ -65,6 +66,10 @@ int Run() {
         .Int("nopush_checks", nopush_checks)
         .Emit();
   }
+  // Both pushdown modes run interleaved, so the stage profile covers the
+  // whole bench rather than one mode.
+  EmitStageLatencies(s.monitor.get(), "ablation_pushdown", "both_modes");
+  MaybeDumpMetricsJson(s.monitor.get());
   return 0;
 }
 

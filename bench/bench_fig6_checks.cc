@@ -45,6 +45,7 @@ int Run() {
       queries.size(), std::vector<uint64_t>(selectivities.size(), 0));
   for (size_t si = 0; si < selectivities.size(); ++si) {
     ApplySelectivity(&s, selectivities[si]);
+    ResetMetrics(s.monitor.get());
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       s.monitor->ResetComplianceChecks();
       auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
@@ -55,6 +56,9 @@ int Run() {
       }
       checks[qi][si] = s.monitor->compliance_checks();
     }
+    char label[32];
+    std::snprintf(label, sizeof(label), "sel=%.1f", selectivities[si]);
+    EmitStageLatencies(s.monitor.get(), "fig6_checks", label);
   }
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -74,6 +78,38 @@ int Run() {
           .Int("cub", bounds[qi])
           .Int("checks", checks[qi][si])
           .Emit();
+    }
+  }
+  MaybeDumpMetricsJson(s.monitor.get());
+
+  // Instrumentation overhead budget: with AAPAC_OBS_ASSERT=1 the workload is
+  // re-run with timing instrumentation on and off (the runtime kill switch;
+  // under AAPAC_OBS_OFF both modes are already stripped) and the bench fails
+  // if the instrumented run is more than 3% slower. Best-of-5 per mode plus
+  // a small absolute epsilon keep scheduler noise from flaking the check.
+  if (EnvSize("AAPAC_OBS_ASSERT", 0) == 1) {
+    auto run_all = [&] {
+      for (const auto& q : queries) {
+        auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
+        if (!rs.ok()) std::abort();
+      }
+    };
+    obs::SetTimingEnabled(true);
+    const double on_ms = TimeMs(run_all, /*reps=*/5);
+    obs::SetTimingEnabled(false);
+    const double off_ms = TimeMs(run_all, /*reps=*/5);
+    obs::SetTimingEnabled(true);
+    JsonLine("fig6_obs_overhead")
+        .Num("timing_on_ms", on_ms)
+        .Num("timing_off_ms", off_ms)
+        .Num("overhead_pct", off_ms > 0 ? 100.0 * (on_ms / off_ms - 1.0) : 0)
+        .Emit();
+    if (on_ms > off_ms * 1.03 + 2.0) {
+      std::fprintf(stderr,
+                   "observability overhead budget exceeded: %.3f ms "
+                   "instrumented vs %.3f ms stripped (>3%%)\n",
+                   on_ms, off_ms);
+      return 1;
     }
   }
   return 0;

@@ -44,12 +44,16 @@ int Run() {
       queries.size(), std::vector<TimeStats>(selectivities.size()));
   for (size_t si = 0; si < selectivities.size(); ++si) {
     ApplySelectivity(&s, selectivities[si]);
+    ResetMetrics(s.monitor.get());
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       rewritten[qi][si] = TimeStatsMs([&] {
         auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
         if (!rs.ok()) std::abort();
       });
     }
+    char label[32];
+    std::snprintf(label, sizeof(label), "sel=%.1f", selectivities[si]);
+    EmitStageLatencies(s.monitor.get(), "fig7_selectivity", label);
   }
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -74,6 +78,7 @@ int Run() {
           .Emit();
     }
   }
+  MaybeDumpMetricsJson(s.monitor.get());
   return 0;
 }
 

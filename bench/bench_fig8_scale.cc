@@ -69,6 +69,10 @@ int Run() {
           },
           reps);
     }
+    char label[32];
+    std::snprintf(label, sizeof(label), "rows=%zu",
+                  patients * samples_per_patient[sc]);
+    EmitStageLatencies(s.monitor.get(), "fig8_scale", label);
   }
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {

@@ -76,6 +76,7 @@ int Run() {
       }
     }
     server.cache().ResetStats();
+    ResetMetrics(s.monitor.get());
 
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> client_threads;
@@ -103,6 +104,7 @@ int Run() {
     std::printf("%-8zu %10zu %10.1f %10.2f %9.1f%% %10" PRIu64 "\n", workers,
                 total, qps, speedup, 100.0 * cs.hit_rate(),
                 server.rejected_total());
+    const server::ServerSnapshot snap = server.Snapshot();
     JsonLine("server_throughput")
         .Int("workers", workers)
         .Int("clients", clients)
@@ -116,9 +118,16 @@ int Run() {
         .Int("cache_hits", cs.hits)
         .Int("cache_misses", cs.misses)
         .Int("rejected", server.rejected_total())
+        .Int("queue_depth_hwm", static_cast<uint64_t>(snap.queue_depth_hwm))
+        .Int("lock_shared", snap.lock_shared)
+        .Int("lock_exclusive", snap.lock_exclusive)
         .Int("hw_concurrency", std::thread::hardware_concurrency())
         .Emit();
+    char label[32];
+    std::snprintf(label, sizeof(label), "workers=%zu", workers);
+    EmitStageLatencies(s.monitor.get(), "server_throughput", label);
   }
+  MaybeDumpMetricsJson(s.monitor.get());
   return 0;
 }
 

@@ -13,6 +13,7 @@
 #include "core/monitor.h"
 #include "core/policy_manager.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
 #include "workload/patients.h"
 #include "workload/policies.h"
 #include "workload/queries.h"
@@ -162,6 +163,56 @@ class JsonLine {
 
   std::string body_;
 };
+
+/// Emits one "<bench>_stages" JSON line per pipeline stage histogram that
+/// recorded samples since the last registry reset: sample count plus
+/// mean/p50/p95/p99/max in microseconds, tagged with a scenario label. Call
+/// it after each scenario, then ResetMetrics before the next, so the
+/// percentiles cover exactly one scenario. Under AAPAC_OBS_OFF every
+/// histogram is empty and nothing is printed.
+inline void EmitStageLatencies(core::EnforcementMonitor* monitor,
+                               const std::string& bench,
+                               const std::string& scenario) {
+  for (const char* stage : obs::kPipelineStages) {
+    const obs::HistogramSnapshot snap =
+        monitor->metrics()->histogram(stage)->Snapshot();
+    if (snap.count == 0) continue;
+    JsonLine(bench + "_stages")
+        .Str("scenario", scenario)
+        .Str("stage", stage)
+        .Int("count", snap.count)
+        .Num("mean_us", snap.mean_us())
+        .Num("p50_us", static_cast<double>(snap.p50_ns) / 1000.0)
+        .Num("p95_us", static_cast<double>(snap.p95_ns) / 1000.0)
+        .Num("p99_us", static_cast<double>(snap.p99_ns) / 1000.0)
+        .Num("max_us", static_cast<double>(snap.max_ns) / 1000.0)
+        .Emit();
+  }
+}
+
+/// Zeroes the monitor's registry (stage histograms, outcome counters) so the
+/// next scenario starts from a clean slate.
+inline void ResetMetrics(core::EnforcementMonitor* monitor) {
+  monitor->metrics()->Reset();
+}
+
+/// When AAPAC_METRICS_JSON names a file, writes the registry's full JSON
+/// dump there (the CI artifact + tools/metrics_diff input). Call once at
+/// bench exit, before the scenario is torn down.
+inline void MaybeDumpMetricsJson(core::EnforcementMonitor* monitor) {
+  const char* path = std::getenv("AAPAC_METRICS_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write metrics json to %s\n", path);
+    return;
+  }
+  const std::string json = monitor->metrics()->RenderJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("# metrics json written to %s\n", path);
+}
 
 /// All 28 evaluation queries: q1-q8 then r1-r20 (fixed seed so the random
 /// set is stable across runs and machines).

@@ -57,6 +57,37 @@ bool CompliesWith(const BitString& signature_mask,
   return false;
 }
 
+ComplianceExplanation ExplainCompliesWith(const BitString& signature_mask,
+                                          const BitString& policy_mask) {
+  ComplianceExplanation out;
+  const size_t rml = signature_mask.size();
+  if (rml == 0 || policy_mask.size() % rml != 0 || policy_mask.size() == 0) {
+    out.length_mismatch = true;
+    return out;
+  }
+  const size_t rule_count = policy_mask.size() / rml;
+  for (size_t r = 0; r < rule_count; ++r) {
+    auto rm = policy_mask.Substring(r * rml, rml);
+    if (!rm.ok()) {
+      out.length_mismatch = true;
+      return out;
+    }
+    RuleDenial denial;
+    denial.rule_index = r;
+    for (size_t b = 0; b < rml; ++b) {
+      if (signature_mask.Get(b) && !rm->Get(b)) denial.missing_bits.push_back(b);
+    }
+    if (denial.missing_bits.empty()) {
+      out.complies = true;
+      out.accepting_rule = r;
+      out.rules.clear();
+      return out;
+    }
+    out.rules.push_back(std::move(denial));
+  }
+  return out;
+}
+
 bool CompliesWithPacked(const std::string& signature_bytes,
                         const std::string& policy_bytes) {
   if (signature_bytes.size() < 4 || policy_bytes.size() < 4) return false;

@@ -1,7 +1,9 @@
 #ifndef AAPAC_CORE_COMPLIANCE_H_
 #define AAPAC_CORE_COMPLIANCE_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/policy.h"
 #include "core/signature.h"
@@ -51,6 +53,39 @@ bool CompliesWith(const BitString& signature_mask, const BitString& policy_mask)
 /// BitString implementation.
 bool CompliesWithPacked(const std::string& signature_bytes,
                         const std::string& policy_bytes);
+
+// ---------------------------------------------------------------------------
+// Denial explanation — the observability counterpart of CompliesWith. Same
+// bit semantics, but instead of a boolean it reports, per policy rule, which
+// action-signature bits the rule fails to cover. MaskLayout::DescribeBit
+// turns the bit positions into column/purpose/action names for the
+// "why denied" report (\explain, docs/observability.md).
+// ---------------------------------------------------------------------------
+
+/// Why one rule mask rejects an action-signature mask: the positions (and
+/// count) of bits set in the signature but clear in the rule. Empty
+/// `missing_bits` means this rule accepts the signature.
+struct RuleDenial {
+  size_t rule_index = 0;
+  std::vector<size_t> missing_bits;
+};
+
+struct ComplianceExplanation {
+  bool complies = false;
+  /// Policy mask length is not a positive multiple of the signature mask
+  /// length — CompliesWith denies outright, before any rule comparison.
+  bool length_mismatch = false;
+  /// Index of the first accepting rule when `complies`.
+  size_t accepting_rule = 0;
+  /// One entry per rejecting rule, in rule order (all rules when denied).
+  std::vector<RuleDenial> rules;
+};
+
+/// Explains CompliesWith(signature_mask, policy_mask): agrees with it on
+/// `complies` for every input (tested), and enumerates the failing bits per
+/// rule on denial.
+ComplianceExplanation ExplainCompliesWith(const BitString& signature_mask,
+                                          const BitString& policy_mask);
 
 }  // namespace aapac::core
 

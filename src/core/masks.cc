@@ -149,6 +149,34 @@ Result<std::vector<BitString>> MaskLayout::SplitPolicyMask(
   return rules;
 }
 
+std::string MaskLayout::DescribeBit(size_t bit) const {
+  // Mirrors AppendActionTypeBits' bit order.
+  static constexpr const char* kActionBitNames[kActionTypeMaskBits] = {
+      "indirect",          "direct",
+      "single",            "multiple",
+      "aggregate",         "non-aggregate",
+      "joint:identifier",  "joint:quasi-identifier",
+      "joint:sensitive",   "joint:generic"};
+  if (bit < columns_.size()) return "column '" + columns_[bit] + "'";
+  if (bit < columns_.size() + purposes_.size()) {
+    return "purpose '" + purposes_[bit - columns_.size()] + "'";
+  }
+  if (bit < unpadded_bits()) {
+    return std::string("action '") +
+           kActionBitNames[bit - columns_.size() - purposes_.size()] + "'";
+  }
+  if (bit < padded_bits_) return "padding";
+  return "bit " + std::to_string(bit) + " (out of layout)";
+}
+
+std::string MaskLayout::ComponentOf(size_t bit) const {
+  if (bit < columns_.size()) return "columns";
+  if (bit < columns_.size() + purposes_.size()) return "purposes";
+  if (bit < unpadded_bits()) return "action-type";
+  if (bit < padded_bits_) return "padding";
+  return "out-of-layout";
+}
+
 BitString MaskLayout::PassAllRuleMask() const {
   BitString out(padded_bits_);
   for (size_t i = 0; i < padded_bits_; ++i) out.Set(i, true);

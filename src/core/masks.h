@@ -65,6 +65,18 @@ class MaskLayout {
   BitString PassAllRuleMask() const;
   BitString PassNoneRuleMask() const;
 
+  /// Human-readable meaning of bit `bit` of a rule/action-signature mask
+  /// under this layout: "column 'temperature'", "purpose 'p3'",
+  /// "action 'aggregate'" or "padding". Out-of-range bits report
+  /// "bit <n> (out of layout)". Used by the denial explainer to turn
+  /// ExplainCompliesWith bit positions into the why-denied report.
+  std::string DescribeBit(size_t bit) const;
+
+  /// Which mask component a bit belongs to: "columns", "purposes",
+  /// "action-type" or "padding" — the "policy component" named in denial
+  /// reports.
+  std::string ComponentOf(size_t bit) const;
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::string> purposes_;

@@ -29,12 +29,34 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
       catalog_(catalog),
       rewriter_(catalog),
       executor_(db),
-      check_count_(std::make_shared<std::atomic<uint64_t>>(0)) {
-  auto counter = check_count_;
+      metrics_(std::make_shared<obs::MetricsRegistry>()),
+      traces_(std::make_shared<obs::TraceStore>()),
+      check_counter_(metrics_->counter("enforce.compliance_checks")),
+      ok_counter_(metrics_->counter("enforce.ok")),
+      denied_counter_(metrics_->counter("enforce.denied")),
+      error_counter_(metrics_->counter("enforce.error")),
+      parse_hist_(metrics_->histogram(obs::kStageParse)),
+      rewrite_hist_(metrics_->histogram(obs::kStageRewrite)),
+      execute_hist_(metrics_->histogram(obs::kStageExecute)) {
+  rewriter_.BindMetrics(metrics_.get());
+  // Executor counters join the registry surface as external views; the
+  // executor is a member, so they are unregistered in the destructor before
+  // any shared registry holder could read freed storage.
+  const engine::ExecStats& es = executor_.stats();
+  metrics_->RegisterExternalCounter("engine.rows_scanned", &es.rows_scanned);
+  metrics_->RegisterExternalCounter("engine.rows_materialized",
+                                    &es.rows_materialized);
+  metrics_->RegisterExternalCounter("engine.groups_built", &es.groups_built);
+  metrics_->RegisterExternalCounter("engine.rows_output", &es.rows_output);
+  metrics_->RegisterExternalCounter("engine.statements", &es.statements);
+  // The UDF keeps the registry alive through its capture: a database that
+  // outlives the monitor must not invoke a dangling counter.
+  auto registry = metrics_;
+  auto* counter = check_counter_;
   db_->functions().Register(engine::ScalarFunction{
       QueryRewriter::kCompliesWithFunction, 2,
-      [counter](const std::vector<Value>& args) -> Result<Value> {
-        counter->fetch_add(1, std::memory_order_relaxed);
+      [registry, counter](const std::vector<Value>& args) -> Result<Value> {
+        counter->Add(1);
         ++t_compliance_checks;
         // A tuple without a policy complies with nothing: deny by default.
         if (args[1].is_null()) return Value::Bool(false);
@@ -46,6 +68,14 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
         return Value::Bool(CompliesWithPacked(args[0].AsBytes(),
                                               args[1].AsBytes()));
       }});
+}
+
+EnforcementMonitor::~EnforcementMonitor() {
+  metrics_->UnregisterExternalCounter("engine.rows_scanned");
+  metrics_->UnregisterExternalCounter("engine.rows_materialized");
+  metrics_->UnregisterExternalCounter("engine.groups_built");
+  metrics_->UnregisterExternalCounter("engine.rows_output");
+  metrics_->UnregisterExternalCounter("engine.statements");
 }
 
 bool EnforcementMonitor::IsAuthorized(const std::string& user,
@@ -66,6 +96,7 @@ Status EnforcementMonitor::EnableAuditLog() {
     AAPAC_RETURN_NOT_OK(schema.AddColumn({"outcome", ValueType::kString}));
     AAPAC_RETURN_NOT_OK(schema.AddColumn({"checks", ValueType::kInt64}));
     AAPAC_RETURN_NOT_OK(schema.AddColumn({"rows", ValueType::kInt64}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn({"trace", ValueType::kInt64}));
     AAPAC_RETURN_NOT_OK(db_->CreateTable(kAuditTable, schema).status());
   }
   audit_enabled_ = true;
@@ -80,6 +111,10 @@ void EnforcementMonitor::AppendAudit(const std::string& user,
   if (!audit_enabled_) return;
   engine::Table* t = db_->FindTable(kAuditTable);
   if (t == nullptr) return;
+  // The calling thread's open trace (0 when tracing is off) makes the audit
+  // row joinable back to its timing breakdown.
+  const int64_t trace_id =
+      static_cast<int64_t>(obs::TraceStore::CurrentId());
   // Allocate the sequence number and append under one lock so concurrent
   // workers produce gap-free, duplicate-free, insertion-ordered sequences.
   std::lock_guard<std::mutex> lock(audit_mutex_);
@@ -87,7 +122,7 @@ void EnforcementMonitor::AppendAudit(const std::string& user,
                    Value::String(user), Value::String(purpose),
                    Value::String(sql), Value::String(outcome),
                    Value::Int(static_cast<int64_t>(checks)),
-                   Value::Int(rows)});
+                   Value::Int(rows), Value::Int(trace_id)});
 }
 
 Result<std::string> EnforcementMonitor::CheckAccess(
@@ -96,19 +131,30 @@ Result<std::string> EnforcementMonitor::CheckAccess(
   AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
                          catalog_->purposes().Resolve(purpose));
   if (!user.empty() && !IsAuthorized(user, purpose_id)) {
+    denied_counter_->Add(1);
+    const std::string reason = "user '" + user +
+                               "' holds no authorization for purpose '" +
+                               purpose_id + "'";
+    obs::TraceStore::SetOutcome("denied");
+    obs::TraceStore::SetDenyReason(reason);
     AppendAudit(user, purpose_id, sql_for_audit, "denied", 0, 0);
-    return Status::PermissionDenied("user '" + user +
-                                    "' holds no authorization for purpose '" +
-                                    purpose_id + "'");
+    return Status::PermissionDenied(reason);
   }
   return purpose_id;
 }
 
 Result<std::unique_ptr<sql::SelectStmt>> EnforcementMonitor::Prepare(
     const std::string& sql, const std::string& purpose_id) const {
+  Result<std::unique_ptr<sql::SelectStmt>> parsed = [&] {
+    obs::ScopedStageTimer timer(parse_hist_, obs::kStageParse);
+    return sql::ParseSelect(sql);
+  }();
   AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
-                         sql::ParseSelect(sql));
-  AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt.get(), purpose_id));
+                         std::move(parsed));
+  {
+    obs::ScopedStageTimer timer(rewrite_hist_, obs::kStageRewrite);
+    AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt.get(), purpose_id));
+  }
   return stmt;
 }
 
@@ -116,9 +162,21 @@ Result<engine::ResultSet> EnforcementMonitor::ExecutePrepared(
     const sql::SelectStmt& stmt, const std::string& sql,
     const std::string& purpose_id, const std::string& user) {
   const uint64_t checks_before = t_compliance_checks;
-  Result<engine::ResultSet> result = executor_.Execute(stmt);
-  AppendAudit(user, purpose_id, sql, result.ok() ? "ok" : "error",
-              t_compliance_checks - checks_before,
+  Result<engine::ResultSet> result = [&] {
+    obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
+    return executor_.Execute(stmt);
+  }();
+  const uint64_t checks = t_compliance_checks - checks_before;
+  obs::TraceStore::AddChecks(checks);
+  if (result.ok()) {
+    ok_counter_->Add(1);
+    obs::TraceStore::SetOutcome("ok");
+  } else {
+    error_counter_->Add(1);
+    obs::TraceStore::SetOutcome("error");
+    obs::TraceStore::SetDenyReason(result.status().message());
+  }
+  AppendAudit(user, purpose_id, sql, result.ok() ? "ok" : "error", checks,
               result.ok() ? static_cast<int64_t>(result->rows.size()) : 0);
   return result;
 }
@@ -126,10 +184,13 @@ Result<engine::ResultSet> EnforcementMonitor::ExecutePrepared(
 Result<engine::ResultSet> EnforcementMonitor::ExecuteQuery(
     const std::string& sql, const std::string& purpose,
     const std::string& user) {
+  obs::ScopedTrace trace(traces_.get(), sql, purpose, user);
   AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
                          CheckAccess(purpose, user, sql));
   Result<std::unique_ptr<sql::SelectStmt>> stmt = Prepare(sql, purpose_id);
   if (!stmt.ok()) {
+    error_counter_->Add(1);
+    obs::TraceStore::SetDenyReason(stmt.status().message());
     AppendAudit(user, purpose_id, sql, "error", 0, 0);
     return stmt.status();
   }
@@ -142,6 +203,98 @@ Result<engine::ResultSet> EnforcementMonitor::ExecuteUnrestricted(
 }
 
 namespace {
+
+/// The "why denied" half of \explain: for every protected table referenced
+/// by the signature tree, evaluate each action-signature mask against each
+/// distinct policy mask stored in the table, and on denial name exactly
+/// which signature bits every policy rule fails to cover.
+void AnalyzeCompliance(const AccessControlCatalog& catalog,
+                       engine::Database* db, const QuerySignature& qs,
+                       std::string* out) {
+  for (const TableSignature& ts : qs.tables) {
+    if (!catalog.IsProtected(ts.table)) continue;
+    auto layout = catalog.LayoutFor(ts.table);
+    if (!layout.ok()) continue;
+    const engine::Table* table = db->FindTable(ts.table);
+    std::optional<size_t> policy_col =
+        table == nullptr
+            ? std::nullopt
+            : table->schema().FindColumn(AccessControlCatalog::kPolicyColumn);
+
+    // Distinct stored policy masks, with tuple counts, in first-seen order.
+    std::vector<std::pair<BitString, size_t>> masks;
+    size_t unpolicied = 0;
+    if (table != nullptr && policy_col.has_value()) {
+      for (const engine::Row& row : table->rows()) {
+        const engine::Value& v = row[*policy_col];
+        if (v.is_null() || v.type() != engine::ValueType::kBytes) {
+          ++unpolicied;
+          continue;
+        }
+        auto mask = BitString::FromBytes(v.AsBytes());
+        if (!mask.ok()) {
+          ++unpolicied;
+          continue;
+        }
+        bool found = false;
+        for (auto& [existing, count] : masks) {
+          if (existing == *mask) {
+            ++count;
+            found = true;
+            break;
+          }
+        }
+        if (!found) masks.emplace_back(std::move(*mask), 1);
+      }
+    }
+
+    *out += "table " + ts.table + ": " + std::to_string(masks.size()) +
+            " distinct policy mask(s)";
+    if (unpolicied > 0) {
+      *out += ", " + std::to_string(unpolicied) +
+              " tuple(s) without a policy (always denied)";
+    }
+    *out += "\n";
+    for (const ActionSignature& as : ts.actions) {
+      auto sig_mask = layout->EncodeActionSignature(as, qs.purpose);
+      if (!sig_mask.ok()) continue;
+      *out += "  signature " + as.ToString() + "\n";
+      for (size_t mi = 0; mi < masks.size(); ++mi) {
+        const auto& [policy_mask, count] = masks[mi];
+        const ComplianceExplanation ex =
+            ExplainCompliesWith(*sig_mask, policy_mask);
+        *out += "    policy mask #" + std::to_string(mi + 1) + " (" +
+                std::to_string(count) + " tuple(s)): ";
+        if (ex.complies) {
+          *out += "complies via rule " + std::to_string(ex.accepting_rule) +
+                  "\n";
+          continue;
+        }
+        if (ex.length_mismatch) {
+          *out += "DENIED (policy mask length " +
+                  std::to_string(policy_mask.size()) +
+                  " is not a multiple of the signature mask length " +
+                  std::to_string(sig_mask->size()) + ")\n";
+          continue;
+        }
+        *out += "DENIED\n";
+        for (const RuleDenial& rd : ex.rules) {
+          *out += "      rule " + std::to_string(rd.rule_index) + " misses:";
+          for (size_t bi = 0; bi < rd.missing_bits.size(); ++bi) {
+            const size_t bit = rd.missing_bits[bi];
+            *out += (bi == 0 ? " " : ", ") + layout->DescribeBit(bit) +
+                    " [bit " + std::to_string(bit) + ", " +
+                    layout->ComponentOf(bit) + "]";
+          }
+          *out += "\n";
+        }
+      }
+    }
+  }
+  for (const auto& sub : qs.subqueries) {
+    AnalyzeCompliance(catalog, db, *sub, out);
+  }
+}
 
 void DescribeSignature(const AccessControlCatalog& catalog,
                        const QuerySignature& qs, int depth,
@@ -194,6 +347,8 @@ Result<std::string> EnforcementMonitor::ExplainQuery(
   }
   out += "\n== rewritten query ==\n";
   out += sql::ToSql(*stmt);
+  out += "\n== compliance analysis ==\n";
+  AnalyzeCompliance(*catalog_, db_, *qs, &out);
   return out;
 }
 
@@ -201,9 +356,12 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
                                                  const std::string& purpose,
                                                  const Policy* policy,
                                                  const std::string& user) {
+  obs::ScopedTrace trace(traces_.get(), sql, purpose, user);
   AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
                          catalog_->purposes().Resolve(purpose));
   if (!user.empty() && !IsAuthorized(user, purpose_id)) {
+    denied_counter_->Add(1);
+    obs::TraceStore::SetOutcome("denied");
     return Status::PermissionDenied("user '" + user +
                                     "' holds no authorization for purpose '" +
                                     purpose_id + "'");
@@ -237,9 +395,15 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
     AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt->select.get(), purpose_id));
   }
   const uint64_t checks_before = t_compliance_checks;
-  Result<size_t> inserted = executor_.ExecuteInsert(*stmt, forced);
-  AppendAudit(user, purpose_id, sql, inserted.ok() ? "ok" : "error",
-              t_compliance_checks - checks_before,
+  Result<size_t> inserted = [&] {
+    obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
+    return executor_.ExecuteInsert(*stmt, forced);
+  }();
+  const uint64_t checks = t_compliance_checks - checks_before;
+  obs::TraceStore::AddChecks(checks);
+  (inserted.ok() ? ok_counter_ : error_counter_)->Add(1);
+  obs::TraceStore::SetOutcome(inserted.ok() ? "ok" : "error");
+  AppendAudit(user, purpose_id, sql, inserted.ok() ? "ok" : "error", checks,
               inserted.ok() ? static_cast<int64_t>(*inserted) : 0);
   return inserted;
 }
@@ -247,9 +411,12 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
 Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
                                                  const std::string& purpose,
                                                  const std::string& user) {
+  obs::ScopedTrace trace(traces_.get(), sql, purpose, user);
   AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
                          catalog_->purposes().Resolve(purpose));
   if (!user.empty() && !IsAuthorized(user, purpose_id)) {
+    denied_counter_->Add(1);
+    obs::TraceStore::SetOutcome("denied");
     AppendAudit(user, purpose_id, sql, "denied", 0, 0);
     return Status::PermissionDenied("user '" + user +
                                     "' holds no authorization for purpose '" +
@@ -291,9 +458,15 @@ Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
   }
 
   const uint64_t checks_before = t_compliance_checks;
-  Result<size_t> updated = executor_.ExecuteUpdate(*stmt);
-  AppendAudit(user, purpose_id, sql, updated.ok() ? "ok" : "error",
-              t_compliance_checks - checks_before,
+  Result<size_t> updated = [&] {
+    obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
+    return executor_.ExecuteUpdate(*stmt);
+  }();
+  const uint64_t checks = t_compliance_checks - checks_before;
+  obs::TraceStore::AddChecks(checks);
+  (updated.ok() ? ok_counter_ : error_counter_)->Add(1);
+  obs::TraceStore::SetOutcome(updated.ok() ? "ok" : "error");
+  AppendAudit(user, purpose_id, sql, updated.ok() ? "ok" : "error", checks,
               updated.ok() ? static_cast<int64_t>(*updated) : 0);
   return updated;
 }
@@ -301,9 +474,12 @@ Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
 Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
                                                  const std::string& purpose,
                                                  const std::string& user) {
+  obs::ScopedTrace trace(traces_.get(), sql, purpose, user);
   AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
                          catalog_->purposes().Resolve(purpose));
   if (!user.empty() && !IsAuthorized(user, purpose_id)) {
+    denied_counter_->Add(1);
+    obs::TraceStore::SetOutcome("denied");
     AppendAudit(user, purpose_id, sql, "denied", 0, 0);
     return Status::PermissionDenied("user '" + user +
                                     "' holds no authorization for purpose '" +
@@ -326,9 +502,15 @@ Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
   stmt->where = std::move(synthetic->where);
 
   const uint64_t checks_before = t_compliance_checks;
-  Result<size_t> removed = executor_.ExecuteDelete(*stmt);
-  AppendAudit(user, purpose_id, sql, removed.ok() ? "ok" : "error",
-              t_compliance_checks - checks_before,
+  Result<size_t> removed = [&] {
+    obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
+    return executor_.ExecuteDelete(*stmt);
+  }();
+  const uint64_t checks = t_compliance_checks - checks_before;
+  obs::TraceStore::AddChecks(checks);
+  (removed.ok() ? ok_counter_ : error_counter_)->Add(1);
+  obs::TraceStore::SetOutcome(removed.ok() ? "ok" : "error");
+  AppendAudit(user, purpose_id, sql, removed.ok() ? "ok" : "error", checks,
               removed.ok() ? static_cast<int64_t>(*removed) : 0);
   return removed;
 }

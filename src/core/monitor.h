@@ -9,6 +9,8 @@
 #include "core/catalog.h"
 #include "core/rewriter.h"
 #include "engine/exec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace aapac::core {
@@ -27,6 +29,7 @@ class RoleManager;
 class EnforcementMonitor {
  public:
   EnforcementMonitor(engine::Database* db, AccessControlCatalog* catalog);
+  ~EnforcementMonitor();
 
   EnforcementMonitor(const EnforcementMonitor&) = delete;
   EnforcementMonitor& operator=(const EnforcementMonitor&) = delete;
@@ -111,19 +114,31 @@ class EnforcementMonitor {
 
   /// Human-readable enforcement report for a query, without executing it:
   /// the derived query signature tree, the encoded action-signature masks,
-  /// the §5.6 complexity upper bound and the rewritten SQL.
+  /// the §5.6 complexity upper bound, the rewritten SQL, and a compliance
+  /// analysis — for every action signature × distinct stored policy mask of
+  /// each protected table, whether tuples comply, and on denial exactly
+  /// which action-signature bits each policy rule fails to cover (named via
+  /// MaskLayout::DescribeBit: the failing column/purpose/action bit and its
+  /// policy component).
   Result<std::string> ExplainQuery(const std::string& sql,
                                    const std::string& purpose) const;
 
   /// Number of complies_with invocations since the last reset — the Fig. 6
-  /// "policy compliance checks" measure. The counter is atomic so the metric
-  /// stays exact when queries run concurrently through the server.
-  uint64_t compliance_checks() const {
-    return check_count_->load(std::memory_order_relaxed);
+  /// "policy compliance checks" measure. Thin wrapper over the
+  /// enforce.compliance_checks registry counter (the one stats surface);
+  /// atomic, so the metric stays exact when queries run concurrently through
+  /// the server.
+  uint64_t compliance_checks() const { return check_counter_->value(); }
+  void ResetComplianceChecks() { check_counter_->Reset(); }
+
+  /// The metrics registry every enforcement layer records into (stage
+  /// histograms, outcome counters, cache/server/engine counters) and the
+  /// ring buffer of recent per-statement traces. Shared pointers: the server
+  /// and shell hold them beyond individual statements.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
   }
-  void ResetComplianceChecks() {
-    check_count_->store(0, std::memory_order_relaxed);
-  }
+  const std::shared_ptr<obs::TraceStore>& traces() const { return traces_; }
 
   engine::ExecStats& exec_stats() { return executor_.stats(); }
   const QueryRewriter& rewriter() const { return rewriter_; }
@@ -144,10 +159,12 @@ class EnforcementMonitor {
 
   /// Enables the audit trail, in the spirit of the Hippocratic-database
   /// lineage the paper builds on: every enforced statement appends a row to
-  /// audit_log(seq, ui, ap, qy, outcome, checks, rows) — sequence number,
-  /// user, purpose id, SQL text, "ok"/"denied"/"error", compliance checks
-  /// spent on the statement and result/inserted row count. The audit table
-  /// is ordinary SQL-queryable state.
+  /// audit_log(seq, ui, ap, qy, outcome, checks, rows, trace) — sequence
+  /// number, user, purpose id, SQL text, "ok"/"denied"/"error", compliance
+  /// checks spent on the statement, result/inserted row count and the
+  /// statement's trace id (0 when tracing is off), joinable against the
+  /// \trace ring while the trace is retained. The audit table is ordinary
+  /// SQL-queryable state.
   Status EnableAuditLog();
   bool audit_enabled() const { return audit_enabled_; }
 
@@ -165,7 +182,17 @@ class EnforcementMonitor {
   AccessControlCatalog* catalog_;
   QueryRewriter rewriter_;
   engine::Executor executor_;
-  std::shared_ptr<std::atomic<uint64_t>> check_count_;
+  // Observability surface. The registry owns the metric storage; the raw
+  // pointers below are cached lookups, stable for the registry's lifetime.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<obs::TraceStore> traces_;
+  obs::Counter* check_counter_;
+  obs::Counter* ok_counter_;
+  obs::Counter* denied_counter_;
+  obs::Counter* error_counter_;
+  obs::Histogram* parse_hist_;
+  obs::Histogram* rewrite_hist_;
+  obs::Histogram* execute_hist_;
   const RoleManager* roles_ = nullptr;
   bool audit_enabled_ = false;
   // Sequence numbering and table appends form one critical section so that

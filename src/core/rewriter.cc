@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "util/strings.h"
@@ -319,8 +320,12 @@ Status QueryRewriter::RewriteLevel(sql::SelectStmt* stmt,
 
   // Derive this level's signature. DeriveInfoTuples/ComposeTableSignatures
   // run inside Derive; the top-level `tables` describe exactly this level.
+  Result<std::unique_ptr<QuerySignature>> derived = [&] {
+    obs::ScopedStageTimer timer(derive_hist_, obs::kStageDerive);
+    return builder_.Derive(*stmt, purpose);
+  }();
   AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<QuerySignature> qs,
-                         builder_.Derive(*stmt, purpose));
+                         std::move(derived));
 
   // Conjoin one complies_with per action signature, original WHERE first.
   ExprPtr checks;

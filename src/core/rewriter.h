@@ -5,6 +5,7 @@
 
 #include "core/catalog.h"
 #include "core/signature_builder.h"
+#include "obs/metrics.h"
 #include "sql/ast.h"
 #include "util/result.h"
 
@@ -42,6 +43,15 @@ class QueryRewriter {
   Result<std::string> RewriteSql(const std::string& sql,
                                  const std::string& purpose) const;
 
+  /// Points the rewriter at a metrics registry: signature derivation is then
+  /// timed into the pipeline.derive histogram (one sample per (sub)query
+  /// level) and attached as a span of the active trace. The monitor binds
+  /// its own registry at construction; unbound rewriters record nothing.
+  void BindMetrics(obs::MetricsRegistry* registry) {
+    derive_hist_ =
+        registry == nullptr ? nullptr : registry->histogram(obs::kStageDerive);
+  }
+
  private:
   Status RewriteLevel(sql::SelectStmt* stmt, const std::string& purpose) const;
   Status RewriteSubqueriesInExpr(sql::Expr* expr,
@@ -52,6 +62,7 @@ class QueryRewriter {
 
   const AccessControlCatalog* catalog_;
   SignatureBuilder builder_;
+  obs::Histogram* derive_hist_ = nullptr;  // Owned by the bound registry.
 };
 
 }  // namespace aapac::core

@@ -1842,6 +1842,7 @@ Result<std::string> Executor::ExplainPlanSql(const std::string& sql) {
 }
 
 Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt) {
+  stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_);
   return impl.Execute(stmt);
 }
@@ -1885,6 +1886,7 @@ Result<std::vector<Row>> Executor::EvalInsertSource(
 Result<size_t> Executor::ExecuteInsert(
     const sql::InsertStmt& stmt,
     const std::optional<std::pair<std::string, Value>>& forced_column) {
+  stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   const Schema& schema = table->schema();
 
@@ -1981,6 +1983,7 @@ Result<bool> RowMatches(const BoundExprPtr& predicate, const Row& row) {
 }  // namespace
 
 Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
+  stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   if (stmt.assignments.empty()) {
     return Status::InvalidArgument("UPDATE without assignments");
@@ -2056,6 +2059,7 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
 }
 
 Result<size_t> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
+  stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   ExecutorImpl impl(db_, &stats_);
   BoundExprPtr predicate;

@@ -28,6 +28,7 @@ struct ExecStats {
   std::atomic<uint64_t> rows_materialized{0};  // Rows surviving filters.
   std::atomic<uint64_t> groups_built{0};       // Aggregation groups formed.
   std::atomic<uint64_t> rows_output{0};        // Rows in final result sets.
+  std::atomic<uint64_t> statements{0};         // Statements executed.
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
@@ -37,6 +38,7 @@ struct ExecStats {
         other.rows_materialized.load(std::memory_order_relaxed);
     groups_built = other.groups_built.load(std::memory_order_relaxed);
     rows_output = other.rows_output.load(std::memory_order_relaxed);
+    statements = other.statements.load(std::memory_order_relaxed);
     return *this;
   }
 

@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+namespace aapac::obs {
+
+namespace {
+
+std::atomic<bool> g_timing_enabled{true};
+
+/// Sub-bucket resolution: 2 bits = 4 linear sub-buckets per octave.
+constexpr size_t kSubBits = 2;
+constexpr uint64_t kSubCount = 1u << kSubBits;
+
+std::string FormatUs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetTimingEnabled(bool enabled) {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TimingEnabled() {
+#ifndef AAPAC_OBS_OFF
+  return g_timing_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+size_t Histogram::BucketFor(uint64_t ns) {
+  if (ns < kSubCount) return static_cast<size_t>(ns);
+  const int msb = 63 - std::countl_zero(ns);
+  const uint64_t sub =
+      (ns >> (static_cast<unsigned>(msb) - kSubBits)) & (kSubCount - 1);
+  const size_t bucket =
+      static_cast<size_t>(msb - 1) * kSubCount + static_cast<size_t>(sub);
+  return std::min(bucket, kBucketCount - 1);
+}
+
+uint64_t Histogram::BucketMid(size_t bucket) {
+  if (bucket < kSubCount) return bucket;
+  const size_t octave = std::min<size_t>(bucket / kSubCount + 1, 63);
+  const uint64_t sub = bucket % kSubCount;
+  const uint64_t width = 1ull << (octave - kSubBits);
+  const uint64_t lower = (1ull << octave) + sub * width;
+  return lower + width / 2;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  const uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMid(b);
+  }
+  return BucketMid(kBucketCount - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  s.p50_ns = Percentile(0.50);
+  s.p95_ns = Percentile(0.95);
+  s.p99_ns = Percentile(0.99);
+  for (size_t b = kBucketCount; b-- > 0;) {
+    if (buckets_[b].load(std::memory_order_relaxed) > 0) {
+      s.max_ns = BucketMid(b);
+      break;
+    }
+  }
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterExternalCounter(
+    const std::string& name, const std::atomic<uint64_t>* source) {
+  std::unique_lock lock(mu_);
+  external_[name] = source;
+}
+
+void MetricsRegistry::UnregisterExternalCounter(const std::string& name) {
+  std::unique_lock lock(mu_);
+  external_.erase(name);
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::shared_lock lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  auto key = [&](const std::string& name) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+  };
+  for (const auto& [name, c] : counters_) {
+    key(name);
+    out += std::to_string(c->value());
+  }
+  for (const auto& [name, src] : external_) {
+    key(name);
+    out += std::to_string(src->load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, g] : gauges_) {
+    key(name);
+    out += "{\"value\":" + std::to_string(g->value()) +
+           ",\"max\":" + std::to_string(g->max_value()) + "}";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->Snapshot();
+    key(name);
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), "%.3f", s.mean_us());
+    out += "{\"count\":" + std::to_string(s.count) + ",\"mean_us\":" + mean +
+           ",\"p50_us\":" + FormatUs(s.p50_ns) +
+           ",\"p95_us\":" + FormatUs(s.p95_ns) +
+           ",\"p99_us\":" + FormatUs(s.p99_ns) +
+           ",\"max_us\":" + FormatUs(s.max_ns) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::shared_lock lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = PrometheusName(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, src] : external_) {
+    const std::string pn = PrometheusName(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(src->load(std::memory_order_relaxed)) +
+           "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = PrometheusName(name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " " + std::to_string(g->value()) + "\n";
+    out += pn + "_max " + std::to_string(g->max_value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->Snapshot();
+    const std::string pn = PrometheusName(name) + "_us";
+    out += "# TYPE " + pn + " summary\n";
+    out += pn + "{quantile=\"0.5\"} " + FormatUs(s.p50_ns) + "\n";
+    out += pn + "{quantile=\"0.95\"} " + FormatUs(s.p95_ns) + "\n";
+    out += pn + "{quantile=\"0.99\"} " + FormatUs(s.p99_ns) + "\n";
+    out += pn + "_sum " + FormatUs(s.sum_ns) + "\n";
+    out += pn + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::shared_lock lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace aapac::obs

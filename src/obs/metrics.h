@@ -1,0 +1,211 @@
+#ifndef AAPAC_OBS_METRICS_H_
+#define AAPAC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace aapac::obs {
+
+// ---------------------------------------------------------------------------
+// Build/runtime switches.
+//
+// Compile with -DAAPAC_OBS_OFF (cmake option AAPAC_OBS_OFF) to strip all
+// *timing* instrumentation — histogram recording and trace capture — from
+// the hot path at compile time: ScopedStageTimer then reads no clock and
+// Histogram::Record compiles to nothing. Counters and gauges stay live in
+// both modes; they pre-date the observability layer (the Fig. 6 compliance
+// counter) and cost a relaxed atomic increment.
+//
+// SetTimingEnabled(false) is the runtime equivalent for A/B overhead
+// measurements inside one binary (bench_fig6_checks uses it to assert the
+// <3% instrumentation budget).
+// ---------------------------------------------------------------------------
+
+#ifndef AAPAC_OBS_OFF
+inline constexpr bool kObsCompiledIn = true;
+#else
+inline constexpr bool kObsCompiledIn = false;
+#endif
+
+void SetTimingEnabled(bool enabled);
+bool TimingEnabled();
+
+// Canonical histogram names for the enforcement pipeline stages. Every stage
+// is recorded by exactly one layer: parse/derive/rewrite/execute by the
+// monitor (derive inside the rewriter), cache_lookup/queue_wait/lock_wait by
+// the server. docs/observability.md is the catalog.
+inline constexpr char kStageParse[] = "pipeline.parse";
+inline constexpr char kStageDerive[] = "pipeline.derive";
+inline constexpr char kStageRewrite[] = "pipeline.rewrite";
+inline constexpr char kStageCacheLookup[] = "pipeline.cache_lookup";
+inline constexpr char kStageQueueWait[] = "pipeline.queue_wait";
+inline constexpr char kStageLockWait[] = "pipeline.lock_wait";
+inline constexpr char kStageExecute[] = "pipeline.execute";
+
+/// The seven stage names above, in pipeline order (benches iterate this to
+/// emit per-stage percentile JSON lines).
+inline constexpr const char* kPipelineStages[] = {
+    kStageParse,     kStageDerive,   kStageRewrite, kStageCacheLookup,
+    kStageQueueWait, kStageLockWait, kStageExecute};
+
+/// Monotonic counter. All operations are single relaxed atomics; safe from
+/// any number of threads.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous value plus its high-water mark (e.g. queue depth). Set/Add
+/// update the maximum with a CAS loop; reads are relaxed loads.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  void Add(int64_t delta) {
+    UpdateMax(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max_value() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void UpdateMax(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Point-in-time summary of a histogram (copyable, no atomics).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+
+  double mean_us() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) /
+                            static_cast<double>(count) / 1000.0;
+  }
+};
+
+/// Fixed-bucket latency histogram over nanosecond durations.
+///
+/// Buckets are HDR-style: 4 linear sub-buckets per power of two, so any
+/// recorded value lands in a bucket whose width is at most 25% of its lower
+/// bound — percentiles are exact to within that resolution, with no
+/// allocation and no locking on the record path (one relaxed fetch_add per
+/// sample). 256 buckets cover the full uint64 nanosecond range.
+class Histogram {
+ public:
+  static constexpr size_t kBucketCount = 256;
+
+  void Record(uint64_t ns) {
+#ifndef AAPAC_OBS_OFF
+    buckets_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+#else
+    (void)ns;
+#endif
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Nearest-rank percentile (q in [0,1]) from the live buckets. Reported as
+  /// the representative (mid) value of the selected bucket. Concurrent
+  /// Record calls may make the snapshot slightly inconsistent; that is fine
+  /// for statistics.
+  uint64_t Percentile(double q) const;
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  /// Bucket index of a value (exposed for tests).
+  static size_t BucketFor(uint64_t ns);
+  /// Representative value reported for a bucket (mid-point of its range).
+  static uint64_t BucketMid(size_t bucket);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// Named metric registry: the single stats surface of the enforcement
+/// stack. Every layer (monitor, rewriter, cache, server, engine) records
+/// into metrics obtained from here, and `\metrics` / RenderJson /
+/// RenderPrometheusText read them all back out.
+///
+/// Thread safety: get-or-create takes a writer lock once per metric name;
+/// the returned pointers are stable for the registry's lifetime, so the
+/// record path (Counter::Add, Histogram::Record, ...) is lock-free.
+/// Rendering takes a reader lock over the name table only; metric values are
+/// read with relaxed atomic loads while writers keep recording.
+///
+/// External counters let a component that already owns an atomic counter
+/// (the rewrite cache's hit/miss fields, the executor's ExecStats) publish
+/// it under a registry name without moving the storage. The owner MUST
+/// unregister before the atomic dies (RewriteCache and EnforcementMonitor do
+/// this in their destructors).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  void RegisterExternalCounter(const std::string& name,
+                               const std::atomic<uint64_t>* source);
+  void UnregisterExternalCounter(const std::string& name);
+
+  /// One JSON object: counters as numbers, gauges as {value,max}, histograms
+  /// as {count,mean_us,p50_us,p95_us,p99_us,max_us}. Keys sorted by name.
+  std::string RenderJson() const;
+
+  /// Prometheus text exposition (one `# TYPE` line per metric; histograms as
+  /// summaries with p50/p95/p99 quantile samples). Metric names have '.'
+  /// mapped to '_' to satisfy the Prometheus grammar.
+  std::string RenderPrometheusText() const;
+
+  /// Zeroes every owned counter, gauge and histogram (external counters are
+  /// left to their owners). Benches call this between scenarios so reported
+  /// percentiles cover exactly one scenario.
+  void Reset();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, const std::atomic<uint64_t>*> external_;
+};
+
+}  // namespace aapac::obs
+
+#endif  // AAPAC_OBS_METRICS_H_

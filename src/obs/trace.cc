@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace aapac::obs {
+
+namespace {
+
+// The trace a thread is currently building. Statements execute entirely on
+// their calling thread (worker or direct caller), so one slot per thread is
+// exactly one slot per in-flight statement.
+thread_local TraceRecord t_current;
+thread_local bool t_active = false;
+
+}  // namespace
+
+TraceStore::TraceStore(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+uint64_t TraceStore::Begin(const std::string& sql, const std::string& purpose,
+                           const std::string& user) {
+#ifndef AAPAC_OBS_OFF
+  if (t_active || !TimingEnabled()) return 0;
+  t_current = TraceRecord{};
+  t_current.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  t_current.sql = sql;
+  t_current.purpose = purpose;
+  t_current.user = user;
+  t_current.outcome = "error";  // Pessimistic until a stage reports.
+  t_active = true;
+  return t_current.id;
+#else
+  (void)sql;
+  (void)purpose;
+  (void)user;
+  return 0;
+#endif
+}
+
+void TraceStore::End() {
+#ifndef AAPAC_OBS_OFF
+  if (!t_active) return;
+  t_active = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(t_current));
+  } else {
+    ring_[next_ % capacity_] = std::move(t_current);
+  }
+  ++next_;
+#endif
+}
+
+void TraceStore::AddSpan(const char* stage, uint64_t duration_ns) {
+#ifndef AAPAC_OBS_OFF
+  if (t_active) t_current.spans.push_back(Span{stage, duration_ns});
+#else
+  (void)stage;
+  (void)duration_ns;
+#endif
+}
+
+void TraceStore::SetOutcome(const char* outcome) {
+#ifndef AAPAC_OBS_OFF
+  if (t_active) t_current.outcome = outcome;
+#else
+  (void)outcome;
+#endif
+}
+
+void TraceStore::SetDenyReason(const std::string& reason) {
+#ifndef AAPAC_OBS_OFF
+  if (t_active) t_current.deny_reason = reason;
+#else
+  (void)reason;
+#endif
+}
+
+void TraceStore::AddChecks(uint64_t checks) {
+#ifndef AAPAC_OBS_OFF
+  if (t_active) t_current.checks += checks;
+#else
+  (void)checks;
+#endif
+}
+
+uint64_t TraceStore::CurrentId() {
+#ifndef AAPAC_OBS_OFF
+  return t_active ? t_current.id : 0;
+#else
+  return 0;
+#endif
+}
+
+Result<TraceRecord> TraceStore::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceRecord& t : ring_) {
+    if (t.id == id) return t;
+  }
+  return Status::NotFound("trace " + std::to_string(id) +
+                          " is not in the ring (capacity " +
+                          std::to_string(capacity_) + ")");
+}
+
+Result<TraceRecord> TraceStore::Last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return Status::NotFound("no traces recorded yet");
+  const size_t last = (next_ - 1) % capacity_;
+  return ring_[last];
+}
+
+std::string TraceStore::Render(const TraceRecord& trace) {
+  std::string out = "trace " + std::to_string(trace.id) + "  [" +
+                    trace.outcome + "]\n";
+  out += "  sql: " + trace.sql + "\n";
+  out += "  purpose: " + trace.purpose;
+  if (!trace.user.empty()) out += "  user: " + trace.user;
+  out += "  checks: " + std::to_string(trace.checks) + "\n";
+  if (!trace.deny_reason.empty()) {
+    out += "  reason: " + trace.deny_reason + "\n";
+  }
+  const uint64_t total = trace.total_ns();
+  for (const Span& s : trace.spans) {
+    char line[128];
+    const double us = static_cast<double>(s.duration_ns) / 1000.0;
+    const double pct =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(s.duration_ns) /
+                         static_cast<double>(total);
+    std::snprintf(line, sizeof(line), "  %-12s %12.3f us  %5.1f%%\n", s.stage,
+                  us, pct);
+    out += line;
+  }
+  char line[64];
+  std::snprintf(line, sizeof(line), "  %-12s %12.3f us\n", "total",
+                static_cast<double>(total) / 1000.0);
+  out += line;
+  return out;
+}
+
+ScopedTrace::ScopedTrace(TraceStore* store, const std::string& sql,
+                         const std::string& purpose, const std::string& user)
+    : store_(store) {
+  if (store_ != nullptr && TraceStore::CurrentId() == 0) {
+    owner_ = store_->Begin(sql, purpose, user) != 0;
+  }
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (owner_) store_->End();
+}
+
+}  // namespace aapac::obs

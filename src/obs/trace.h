@@ -1,0 +1,151 @@
+#ifndef AAPAC_OBS_TRACE_H_
+#define AAPAC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace aapac::obs {
+
+/// One timed stage of the enforcement pipeline inside a trace. Stage names
+/// are string literals (the pipeline.* metric names), so a span is two
+/// words.
+struct Span {
+  const char* stage = "";
+  uint64_t duration_ns = 0;
+};
+
+/// Record of one enforced statement's trip through the pipeline: identity,
+/// outcome and the per-stage spans in completion order. The id is unique per
+/// TraceStore and is also written into the statement's audit_log row
+/// (column `trace`), so an audit entry can be joined back to its timing
+/// breakdown while the trace is still in the ring.
+struct TraceRecord {
+  uint64_t id = 0;
+  std::string sql;
+  std::string purpose;
+  std::string user;
+  std::string outcome;      // "ok", "denied" or "error".
+  std::string deny_reason;  // Set when outcome is "denied"/"error".
+  uint64_t checks = 0;      // complies_with invocations of this statement.
+  std::vector<Span> spans;
+
+  uint64_t total_ns() const {
+    uint64_t total = 0;
+    for (const Span& s : spans) total += s.duration_ns;
+    return total;
+  }
+};
+
+/// Fixed-capacity ring buffer of the most recent enforcement traces.
+///
+/// A statement's trace is built on the executing thread through a
+/// thread-local current-trace slot (spans and outcome attach to whatever
+/// trace the thread has open — no plumbing through every call signature),
+/// then published into the ring under a short mutex at End. Begin/End pairs
+/// nest safely: only the outermost Begin owns the record, so the server can
+/// open a trace around queue/lock waits and the monitor's inner stages join
+/// it instead of starting a second one (ScopedTrace packages that rule).
+///
+/// With AAPAC_OBS_OFF, Begin returns 0 and nothing is captured.
+class TraceStore {
+ public:
+  explicit TraceStore(size_t capacity = 256);
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Opens a trace on this thread (no-op returning 0 if one is already open
+  /// on it, or if timing is disabled). Returns the trace id.
+  uint64_t Begin(const std::string& sql, const std::string& purpose,
+                 const std::string& user);
+
+  /// Publishes this thread's open trace into the ring. Only the Begin owner
+  /// calls this (ScopedTrace enforces it).
+  void End();
+
+  // --- Attach to the thread's open trace (no-ops when none). ---------------
+
+  static void AddSpan(const char* stage, uint64_t duration_ns);
+  static void SetOutcome(const char* outcome);
+  static void SetDenyReason(const std::string& reason);
+  static void AddChecks(uint64_t checks);
+  /// Id of the trace open on this thread, 0 when none — what AppendAudit
+  /// stamps into the audit row.
+  static uint64_t CurrentId();
+
+  // --- Lookup. --------------------------------------------------------------
+
+  Result<TraceRecord> Find(uint64_t id) const;
+  Result<TraceRecord> Last() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Human-readable rendering (the shell's \trace output).
+  static std::string Render(const TraceRecord& trace);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> ring_;  // Insertion slot = next_ % capacity_.
+  size_t next_ = 0;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+/// RAII guard for one statement's trace: owns the Begin/End pair when this
+/// thread had no open trace, joins the existing trace otherwise. Outcome
+/// defaults to "error" so early returns are recorded honestly; callers mark
+/// success explicitly.
+class ScopedTrace {
+ public:
+  ScopedTrace(TraceStore* store, const std::string& sql,
+              const std::string& purpose, const std::string& user);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceStore* store_;
+  bool owner_ = false;
+};
+
+/// Times one pipeline stage: records the elapsed nanoseconds into the given
+/// histogram and as a span of the thread's open trace. Compiles to nothing
+/// under AAPAC_OBS_OFF; under the runtime kill switch it skips the clock
+/// reads.
+class ScopedStageTimer {
+ public:
+#ifndef AAPAC_OBS_OFF
+  ScopedStageTimer(Histogram* histogram, const char* stage)
+      : histogram_(histogram), stage_(stage), enabled_(TimingEnabled()) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedStageTimer() {
+    if (!enabled_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    const uint64_t duration = ns < 0 ? 0 : static_cast<uint64_t>(ns);
+    if (histogram_ != nullptr) histogram_->Record(duration);
+    TraceStore::AddSpan(stage_, duration);
+  }
+
+ private:
+  Histogram* histogram_;
+  const char* stage_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+#else
+  ScopedStageTimer(Histogram*, const char*) {}
+#endif
+};
+
+}  // namespace aapac::obs
+
+#endif  // AAPAC_OBS_TRACE_H_

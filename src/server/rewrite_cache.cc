@@ -4,6 +4,23 @@
 
 namespace aapac::server {
 
+RewriteCache::~RewriteCache() {
+  if (registry_ == nullptr) return;
+  registry_->UnregisterExternalCounter("cache.hits");
+  registry_->UnregisterExternalCounter("cache.misses");
+  registry_->UnregisterExternalCounter("cache.invalidations");
+  registry_->UnregisterExternalCounter("cache.evictions");
+}
+
+void RewriteCache::BindMetrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry_ == nullptr) return;
+  registry_->RegisterExternalCounter("cache.hits", &hits_);
+  registry_->RegisterExternalCounter("cache.misses", &misses_);
+  registry_->RegisterExternalCounter("cache.invalidations", &invalidations_);
+  registry_->RegisterExternalCounter("cache.evictions", &evictions_);
+}
+
 std::string RewriteCache::NormalizeSql(const std::string& sql) {
   std::string out;
   out.reserve(sql.size());

@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "sql/ast.h"
 
 namespace aapac::server {
@@ -62,9 +63,17 @@ class RewriteCache {
   };
 
   explicit RewriteCache(size_t capacity = 1024) : capacity_(capacity) {}
+  ~RewriteCache();
 
   RewriteCache(const RewriteCache&) = delete;
   RewriteCache& operator=(const RewriteCache&) = delete;
+
+  /// Publishes the hit/miss/invalidation/eviction counters into `registry`
+  /// under the cache.* names, as external views over this cache's atomics
+  /// (stats() stays the API; the registry is just a second reader). The
+  /// destructor unregisters them, so the registry must outlive the cache —
+  /// the server guarantees this by binding its monitor's registry.
+  void BindMetrics(obs::MetricsRegistry* registry);
 
   /// Returns the entry for (normalized_sql, purpose, role) if present and
   /// derived under exactly `version`; otherwise nullptr. A present-but-stale
@@ -102,6 +111,7 @@ class RewriteCache {
                              const std::string& role);
 
   const size_t capacity_;
+  obs::MetricsRegistry* registry_ = nullptr;  // Set by BindMetrics.
   mutable std::mutex mu_;
   std::unordered_map<std::string, Slot> map_;
   std::list<std::string> lru_;  // Front = most recently used.

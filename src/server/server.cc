@@ -1,5 +1,7 @@
 #include "server/server.h"
 
+#include <algorithm>
+
 #include "sql/printer.h"
 
 namespace aapac::server {
@@ -9,14 +11,28 @@ EnforcementServer::EnforcementServer(core::EnforcementMonitor* monitor,
     : monitor_(monitor),
       options_(ServerOptions{options.threads == 0 ? 1 : options.threads,
                              options.queue_capacity, options.cache_capacity}),
-      cache_(options.cache_capacity) {
+      cache_(options.cache_capacity),
+      registry_(monitor->metrics().get()),
+      queue_depth_gauge_(registry_->gauge("server.queue_depth")),
+      lock_shared_(registry_->counter("server.lock_shared")),
+      lock_exclusive_(registry_->counter("server.lock_exclusive")),
+      queue_wait_hist_(registry_->histogram(obs::kStageQueueWait)),
+      lock_wait_hist_(registry_->histogram(obs::kStageLockWait)),
+      cache_lookup_hist_(registry_->histogram(obs::kStageCacheLookup)) {
+  cache_.BindMetrics(registry_);
+  registry_->RegisterExternalCounter("server.executed", &executed_);
+  registry_->RegisterExternalCounter("server.rejected", &rejected_);
   workers_.reserve(options_.threads);
   for (size_t i = 0; i < options_.threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-EnforcementServer::~EnforcementServer() { Shutdown(); }
+EnforcementServer::~EnforcementServer() {
+  Shutdown();
+  registry_->UnregisterExternalCounter("server.executed");
+  registry_->UnregisterExternalCounter("server.rejected");
+}
 
 void EnforcementServer::Shutdown() {
   {
@@ -35,6 +51,7 @@ Result<SessionId> EnforcementServer::OpenSession(const std::string& user,
                                                  const std::string& purpose,
                                                  const std::string& role) {
   std::shared_lock<std::shared_mutex> lock(data_mu_);
+  lock_shared_->Add(1);
   AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
                          monitor_->CheckAccess(purpose, user));
   return sessions_.Open(user, purpose_id, role);
@@ -63,7 +80,9 @@ Result<std::future<Result<engine::ResultSet>>> EnforcementServer::Submit(
           std::to_string(options_.queue_capacity) +
           " pending); retry after in-flight queries drain");
     }
+    task.enqueued = std::chrono::steady_clock::now();
     queue_.push_back(std::move(task));
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   }
   queue_cv_.notify_one();
   return future;
@@ -85,8 +104,18 @@ void EnforcementServer::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     }
-    Result<engine::ResultSet> result = Process(task.session, task.sql);
+    uint64_t queue_wait_ns = 0;
+    if (obs::kObsCompiledIn && obs::TimingEnabled()) {
+      const auto waited = std::chrono::steady_clock::now() - task.enqueued;
+      queue_wait_ns = static_cast<uint64_t>(std::max<int64_t>(
+          0, std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                 .count()));
+      queue_wait_hist_->Record(queue_wait_ns);
+    }
+    Result<engine::ResultSet> result =
+        Process(task.session, task.sql, queue_wait_ns);
     // Count before fulfilling the promise: a client that has observed its
     // result must also observe the execution in executed_total().
     executed_.fetch_add(1, std::memory_order_relaxed);
@@ -205,8 +234,11 @@ EnforcementServer::CheckAndPrepare(const SessionInfo& session,
   core::AccessControlCatalog* catalog = monitor_->catalog();
   const uint64_t version = catalog->version();
   const std::string normalized = RewriteCache::NormalizeSql(sql);
-  std::shared_ptr<const RewriteCache::Entry> entry =
-      cache_.Lookup(normalized, session.purpose_id, session.role, version);
+  std::shared_ptr<const RewriteCache::Entry> entry = [&] {
+    obs::ScopedStageTimer timer(cache_lookup_hist_, obs::kStageCacheLookup);
+    return cache_.Lookup(normalized, session.purpose_id, session.role,
+                         version);
+  }();
   if (entry == nullptr) {
     AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
                            monitor_->Prepare(sql, session.purpose_id));
@@ -221,10 +253,25 @@ EnforcementServer::CheckAndPrepare(const SessionInfo& session,
 }
 
 Result<engine::ResultSet> EnforcementServer::Process(
-    const SessionInfo& session, const std::string& sql) {
+    const SessionInfo& session, const std::string& sql,
+    uint64_t queue_wait_ns) {
+  // The worker owns the statement's trace; the monitor's parse/rewrite/
+  // execute stages (and the cache lookup above) join it as spans. The queue
+  // wait was measured before the trace could exist, so it is back-filled as
+  // the first span here.
+  obs::ScopedTrace trace(monitor_->traces().get(), sql, session.purpose_id,
+                         session.user);
+  if (queue_wait_ns > 0) {
+    obs::TraceStore::AddSpan(obs::kStageQueueWait, queue_wait_ns);
+  }
   {
     // Read path: shared lock — any number of workers in parallel, no writer.
-    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    std::shared_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
+    {
+      obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+      lock.lock();
+    }
+    lock_shared_->Add(1);
     AAPAC_ASSIGN_OR_RETURN(std::shared_ptr<const RewriteCache::Entry> entry,
                            CheckAndPrepare(session, sql));
     if (!ReadsTable(*entry->stmt, core::EnforcementMonitor::kAuditTable)) {
@@ -237,7 +284,12 @@ Result<engine::ResultSet> EnforcementServer::Process(
   // audit_log would race row-vector growth. Re-prepare under the exclusive
   // lock — a policy mutation between the two acquisitions must not leak the
   // rewrite prepared above.
-  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  std::unique_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
+  {
+    obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+    lock.lock();
+  }
+  lock_exclusive_->Add(1);
   AAPAC_ASSIGN_OR_RETURN(std::shared_ptr<const RewriteCache::Entry> entry,
                          CheckAndPrepare(session, sql));
   return monitor_->ExecutePrepared(*entry->stmt, sql, session.purpose_id,
@@ -248,32 +300,67 @@ Result<size_t> EnforcementServer::ExecuteInsert(SessionId session,
                                                 const std::string& sql,
                                                 const core::Policy* policy) {
   AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
-  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  obs::ScopedTrace trace(monitor_->traces().get(), sql, info.purpose_id,
+                         info.user);
+  std::unique_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
+  {
+    obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+    lock.lock();
+  }
+  lock_exclusive_->Add(1);
   return monitor_->ExecuteInsert(sql, info.purpose_id, policy, info.user);
 }
 
 Result<size_t> EnforcementServer::ExecuteUpdate(SessionId session,
                                                 const std::string& sql) {
   AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
-  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  obs::ScopedTrace trace(monitor_->traces().get(), sql, info.purpose_id,
+                         info.user);
+  std::unique_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
+  {
+    obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+    lock.lock();
+  }
+  lock_exclusive_->Add(1);
   return monitor_->ExecuteUpdate(sql, info.purpose_id, info.user);
 }
 
 Result<size_t> EnforcementServer::ExecuteDelete(SessionId session,
                                                 const std::string& sql) {
   AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
-  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  obs::ScopedTrace trace(monitor_->traces().get(), sql, info.purpose_id,
+                         info.user);
+  std::unique_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
+  {
+    obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+    lock.lock();
+  }
+  lock_exclusive_->Add(1);
   return monitor_->ExecuteDelete(sql, info.purpose_id, info.user);
 }
 
 Status EnforcementServer::WithExclusive(const std::function<Status()>& fn) {
   std::unique_lock<std::shared_mutex> lock(data_mu_);
+  lock_exclusive_->Add(1);
   return fn();
 }
 
 size_t EnforcementServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(queue_mu_);
   return queue_.size();
+}
+
+ServerSnapshot EnforcementServer::Snapshot() const {
+  ServerSnapshot snap;
+  snap.queue_depth = queue_depth();
+  snap.queue_depth_hwm = queue_depth_gauge_->max_value();
+  snap.executed = executed_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.lock_shared = lock_shared_->value();
+  snap.lock_exclusive = lock_exclusive_->value();
+  snap.sessions_active = sessions_.active();
+  snap.cache = cache_.stats();
+  return snap;
 }
 
 }  // namespace aapac::server

@@ -1,6 +1,7 @@
 #ifndef AAPAC_SERVER_SERVER_H_
 #define AAPAC_SERVER_SERVER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -16,6 +17,8 @@
 #include "core/monitor.h"
 #include "core/policy.h"
 #include "engine/exec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/rewrite_cache.h"
 #include "server/session.h"
 #include "util/result.h"
@@ -30,6 +33,24 @@ struct ServerOptions {
   size_t queue_capacity = 128;
   /// Rewrite-cache entries (0 disables memoization).
   size_t cache_capacity = 1024;
+};
+
+/// Point-in-time aggregate of the server's operational state (the shell's
+/// \server view and the bench reports read this rather than poking at the
+/// individual accessors).
+struct ServerSnapshot {
+  size_t queue_depth = 0;
+  /// Highest queue depth observed since start (server.queue_depth gauge
+  /// high-water mark) — the backpressure headroom indicator.
+  int64_t queue_depth_hwm = 0;
+  uint64_t executed = 0;
+  uint64_t rejected = 0;
+  /// Shared (read-path) / exclusive (DML, WithExclusive, audit-scan)
+  /// acquisitions of the data lock across all workers.
+  uint64_t lock_shared = 0;
+  uint64_t lock_exclusive = 0;
+  size_t sessions_active = 0;
+  CacheStats cache;
 };
 
 /// Concurrent, session-oriented enforcement service over one
@@ -124,6 +145,9 @@ class EnforcementServer {
     return executed_.load(std::memory_order_relaxed);
   }
 
+  /// Aggregated operational stats; safe to call while queries run.
+  ServerSnapshot Snapshot() const;
+
   /// Stops accepting work, drains queued tasks and joins the workers.
   /// Idempotent; also run by the destructor.
   void Shutdown();
@@ -133,6 +157,9 @@ class EnforcementServer {
     SessionInfo session;
     std::string sql;
     std::promise<Result<engine::ResultSet>> promise;
+    /// Submit time; the worker's dequeue delta is the pipeline.queue_wait
+    /// stage.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void WorkerLoop();
@@ -145,9 +172,12 @@ class EnforcementServer {
   /// The read path: shared data lock -> CheckAndPrepare -> ExecutePrepared.
   /// Queries that scan the audit table are retried under the exclusive lock
   /// instead, because workers append audit rows while holding the shared
-  /// lock and a concurrent scan would race those inserts.
+  /// lock and a concurrent scan would race those inserts. Opens the
+  /// statement's trace (the monitor's inner stages join it) and records the
+  /// already-measured queue wait as its first span.
   Result<engine::ResultSet> Process(const SessionInfo& session,
-                                    const std::string& sql);
+                                    const std::string& sql,
+                                    uint64_t queue_wait_ns);
 
   core::EnforcementMonitor* monitor_;
   const ServerOptions options_;
@@ -166,6 +196,17 @@ class EnforcementServer {
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> executed_{0};
+
+  // Cached handles into the monitor's registry (stable for its lifetime).
+  // executed_/rejected_ are additionally published there as external
+  // counters server.executed / server.rejected (unregistered in the dtor).
+  obs::MetricsRegistry* registry_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Counter* lock_shared_;
+  obs::Counter* lock_exclusive_;
+  obs::Histogram* queue_wait_hist_;
+  obs::Histogram* lock_wait_hist_;
+  obs::Histogram* cache_lookup_hist_;
 };
 
 }  // namespace aapac::server

@@ -11,6 +11,8 @@
 #include "core/coverage.h"
 #include "core/policy_parser.h"
 #include "engine/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 #include "util/bitstring.h"
 #include "util/strings.h"
@@ -29,7 +31,8 @@ constexpr char kHelp[] =
     "  \\schema <table>            describe a table with data categories\n"
     "  \\purposes                  list the purpose set\n"
     "  \\rewrite <sql>             show the rewritten form of a query\n"
-    "  \\explain <sql>             signature, masks, bound, rewritten SQL\n"
+    "  \\explain <sql>             signature, masks, bound, rewritten SQL,\n"
+    "                             per-policy compliance with failing bits\n"
     "  \\unrestricted <sql>        run without enforcement\n"
     "  \\checks                    compliance checks so far\n"
     "  \\selectivity <table>       realized policy selectivity of a table\n"
@@ -43,6 +46,8 @@ constexpr char kHelp[] =
     "  \\audit [on|<n>]            enable the audit log / show last n rows\n"
     "  \\server                    concurrent-mode status (threads, queue)\n"
     "  \\cache                     rewrite-cache statistics\n"
+    "  \\metrics [json]            registry dump (Prometheus text or JSON)\n"
+    "  \\trace <id|last>           per-stage timing of a recent statement\n"
     "anything else is SQL, executed under the session purpose/user.";
 
 /// Splits "\cmd rest of line" into (cmd, rest).
@@ -299,10 +304,31 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
       return "audit log is off (enable with \\audit on)";
     }
     auto rs = monitor_->ExecuteUnrestricted(
-        "select seq, ui, ap, outcome, checks, rows, qy from audit_log "
+        "select seq, ui, ap, outcome, checks, rows, trace, qy from audit_log "
         "order by seq desc limit " +
         std::string(arg.empty() ? "10" : arg.c_str()));
     return rs.ok() ? FormatResult(*rs) : "error: " + rs.status().ToString();
+  }
+  if (cmd == "metrics") {
+    if (arg == "json") return monitor_->metrics()->RenderJson();
+    if (!arg.empty()) return "usage: \\metrics [json]";
+    std::string out = monitor_->metrics()->RenderPrometheusText();
+    if (!out.empty() && out.back() == '\n') out.pop_back();
+    return out.empty() ? "(no metrics recorded)" : out;
+  }
+  if (cmd == "trace") {
+    if (!obs::kObsCompiledIn) {
+      return "tracing compiled out (built with AAPAC_OBS_OFF)";
+    }
+    if (arg.empty()) return "usage: \\trace <id|last>";
+    const auto& traces = monitor_->traces();
+    auto record = arg == "last"
+                      ? traces->Last()
+                      : traces->Find(std::strtoull(arg.c_str(), nullptr, 10));
+    if (!record.ok()) return "error: " + record.status().ToString();
+    std::string out = obs::TraceStore::Render(*record);
+    if (!out.empty() && out.back() == '\n') out.pop_back();
+    return out;
   }
   if (cmd == "plan") {
     if (arg.empty()) return "usage: \\plan <sql>";
@@ -323,13 +349,16 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
       return "single-threaded mode (restart with --threads N for the "
              "concurrent server)";
     }
+    const server::ServerSnapshot snap = server_->Snapshot();
     std::ostringstream out;
     out << "concurrent mode: " << server_->options().threads << " worker(s)"
         << ", queue capacity " << server_->options().queue_capacity
-        << ", depth " << server_->queue_depth() << "\n"
-        << "executed " << server_->executed_total() << ", rejected "
-        << server_->rejected_total() << ", sessions open "
-        << server_->sessions().active();
+        << ", depth " << snap.queue_depth << " (high water "
+        << snap.queue_depth_hwm << ")\n"
+        << "executed " << snap.executed << ", rejected " << snap.rejected
+        << ", sessions open " << snap.sessions_active << "\n"
+        << "data lock: " << snap.lock_shared << " shared / "
+        << snap.lock_exclusive << " exclusive acquisition(s)";
     return out.str();
   }
   if (cmd == "cache") {

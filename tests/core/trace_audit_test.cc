@@ -1,0 +1,130 @@
+// Trace/audit integration: every audited statement's row carries the id of
+// its pipeline trace, so `select ... from audit_log` joins back to the
+// timing breakdown in the monitor's trace ring, and the monitor's stage
+// histograms fill as statements execute.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/monitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::core {
+namespace {
+
+class TraceAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 5;
+    config.samples_per_patient = 2;
+    ASSERT_TRUE(workload::BuildPatientsDatabase(db_.get(), config).ok());
+    catalog_ = std::make_unique<AccessControlCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Initialize().ok());
+    ASSERT_TRUE(workload::ConfigurePatientsAccessControl(catalog_.get()).ok());
+    workload::ScatteredPolicyConfig sp;
+    sp.selectivity = 0.0;
+    ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+    monitor_ = std::make_unique<EnforcementMonitor>(db_.get(), catalog_.get());
+  }
+
+  /// The `trace` column of the only audit row.
+  int64_t SoleAuditTraceId() {
+    auto rs = monitor_->ExecuteUnrestricted("select trace from audit_log");
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    EXPECT_EQ(rs->rows.size(), 1u);
+    return rs->rows.empty() ? 0 : rs->rows[0][0].AsInt();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<AccessControlCatalog> catalog_;
+  std::unique_ptr<EnforcementMonitor> monitor_;
+};
+
+TEST_F(TraceAuditTest, AuditRowJoinsBackToItsTrace) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());
+  const std::string sql = "select user_id from users";
+  ASSERT_TRUE(monitor_->ExecuteQuery(sql, "p1").ok());
+
+  const int64_t trace_id = SoleAuditTraceId();
+  ASSERT_GT(trace_id, 0);
+  auto rec = monitor_->traces()->Find(static_cast<uint64_t>(trace_id));
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->sql, sql);
+  EXPECT_EQ(rec->purpose, "p1");
+  EXPECT_EQ(rec->outcome, "ok");
+  EXPECT_EQ(rec->checks, 5u);  // One complies_with per users tuple.
+
+  // The monitor-side stages appear as spans of the joined trace.
+  bool saw_parse = false, saw_rewrite = false, saw_execute = false;
+  for (const auto& span : rec->spans) {
+    const std::string stage = span.stage;
+    saw_parse |= stage == obs::kStageParse;
+    saw_rewrite |= stage == obs::kStageRewrite;
+    saw_execute |= stage == obs::kStageExecute;
+  }
+  EXPECT_TRUE(saw_parse);
+  EXPECT_TRUE(saw_rewrite);
+  EXPECT_TRUE(saw_execute);
+}
+
+TEST_F(TraceAuditTest, DeniedStatementTraceCarriesTheReason) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());
+  EXPECT_FALSE(
+      monitor_->ExecuteQuery("select user_id from users", "p1", "eve").ok());
+
+  const int64_t trace_id = SoleAuditTraceId();
+  ASSERT_GT(trace_id, 0);
+  auto rec = monitor_->traces()->Find(static_cast<uint64_t>(trace_id));
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->outcome, "denied");
+  EXPECT_EQ(rec->user, "eve");
+  EXPECT_FALSE(rec->deny_reason.empty());
+}
+
+TEST_F(TraceAuditTest, DistinctStatementsGetDistinctTraceIds) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ASSERT_TRUE(monitor_->EnableAuditLog().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(monitor_->ExecuteQuery("select user_id from users", "p1").ok());
+  }
+  auto rs = monitor_->ExecuteUnrestricted(
+      "select trace from audit_log order by 1");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->rows.size(), 3u);
+  EXPECT_GT(rs->rows[0][0].AsInt(), 0);
+  EXPECT_LT(rs->rows[0][0].AsInt(), rs->rows[1][0].AsInt());
+  EXPECT_LT(rs->rows[1][0].AsInt(), rs->rows[2][0].AsInt());
+}
+
+TEST_F(TraceAuditTest, MonitorStageHistogramsFillAndCountersCount) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ASSERT_TRUE(monitor_->ExecuteQuery("select user_id from users", "p1").ok());
+  EXPECT_FALSE(
+      monitor_->ExecuteQuery("select nope from users", "p1").ok());
+
+  obs::MetricsRegistry* reg = monitor_->metrics().get();
+  EXPECT_GT(reg->histogram(obs::kStageParse)->count(), 0u);
+  EXPECT_GT(reg->histogram(obs::kStageDerive)->count(), 0u);
+  EXPECT_GT(reg->histogram(obs::kStageRewrite)->count(), 0u);
+  EXPECT_GT(reg->histogram(obs::kStageExecute)->count(), 0u);
+  EXPECT_EQ(reg->counter("enforce.ok")->value(), 1u);
+  EXPECT_EQ(reg->counter("enforce.error")->value(), 1u);
+  EXPECT_EQ(reg->counter("enforce.denied")->value(), 0u);
+  // The legacy accessor and the registry counter are the same storage.
+  EXPECT_NE(
+      reg->RenderJson().find("\"enforce.compliance_checks\":" +
+                             std::to_string(monitor_->compliance_checks())),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace aapac::core

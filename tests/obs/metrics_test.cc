@@ -1,0 +1,155 @@
+// The observability metric primitives: counters, gauges, HDR-style latency
+// histograms, the named registry with external counters, and the JSON /
+// Prometheus render surfaces that \metrics and the benches consume.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace aapac::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAccumulatesAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetricsTest, GaugeTracksHighWaterMark) {
+  Gauge g;
+  g.Set(5);
+  g.Set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_value(), 5);
+  g.Add(10);
+  EXPECT_EQ(g.value(), 12);
+  EXPECT_EQ(g.max_value(), 12);
+  g.Add(-12);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 12);
+  g.Reset();
+  EXPECT_EQ(g.max_value(), 0);
+}
+
+TEST(ObsMetricsTest, BucketMidRoundTripsToItsBucket) {
+  // A bucket's representative value must land back in the same bucket, and
+  // bucket indices must be monotone in the recorded value — otherwise
+  // percentiles would be reported from the wrong range.
+  const std::vector<uint64_t> values = {0,    1,     3,      4,       7,
+                                        8,    100,   1000,   4096,    65537,
+                                        1u << 20, (1u << 30) + 17};
+  size_t prev = 0;
+  for (uint64_t v : values) {
+    const size_t b = Histogram::BucketFor(v);
+    EXPECT_GE(b, prev) << "BucketFor not monotone at " << v;
+    prev = b;
+    EXPECT_EQ(Histogram::BucketFor(Histogram::BucketMid(b)), b)
+        << "mid of bucket " << b << " escapes its bucket";
+  }
+  EXPECT_LT(Histogram::BucketFor(UINT64_MAX), Histogram::kBucketCount);
+}
+
+TEST(ObsMetricsTest, PercentilesWithinBucketResolution) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  Histogram h;
+  // 1..100 microseconds, uniformly: p50 ~ 50us, p99 ~ 99us. Buckets are at
+  // most 25% wide, so a 30% relative window is a safe assertion.
+  for (uint64_t us = 1; us <= 100; ++us) h.Record(us * 1000);
+  EXPECT_EQ(h.count(), 100u);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_NEAR(static_cast<double>(snap.p50_ns), 50e3, 0.3 * 50e3);
+  EXPECT_NEAR(static_cast<double>(snap.p99_ns), 99e3, 0.3 * 99e3);
+  EXPECT_GE(snap.max_ns, snap.p99_ns);
+  EXPECT_NEAR(snap.mean_us(), 50.5, 0.1);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Snapshot().p99_ns, 0u);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("enforce.ok");
+  Histogram* h = reg.histogram(kStageParse);
+  Gauge* g = reg.gauge("server.queue_depth");
+  EXPECT_EQ(reg.counter("enforce.ok"), c);
+  EXPECT_EQ(reg.histogram(kStageParse), h);
+  EXPECT_EQ(reg.gauge("server.queue_depth"), g);
+}
+
+TEST(ObsMetricsTest, RenderJsonShapes) {
+  MetricsRegistry reg;
+  reg.counter("enforce.ok")->Add(3);
+  Gauge* g = reg.gauge("server.queue_depth");
+  g->Set(5);
+  g->Set(2);
+  reg.histogram(kStageRewrite)->Record(2000);
+  std::atomic<uint64_t> external{7};
+  reg.RegisterExternalCounter("cache.hits", &external);
+
+  const std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"enforce.ok\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache.hits\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"server.queue_depth\":{\"value\":2,\"max\":5}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"pipeline.rewrite\":{\"count\":"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p99_us\":"), std::string::npos) << json;
+
+  reg.UnregisterExternalCounter("cache.hits");
+  EXPECT_EQ(reg.RenderJson().find("cache.hits"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, RenderPrometheusMapsDotsToUnderscores) {
+  MetricsRegistry reg;
+  reg.counter("enforce.ok")->Add(1);
+  reg.histogram(kStageExecute)->Record(1000);
+  const std::string text = reg.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE"), std::string::npos) << text;
+  EXPECT_NE(text.find("enforce_ok"), std::string::npos) << text;
+  EXPECT_NE(text.find("pipeline_execute"), std::string::npos) << text;
+  EXPECT_EQ(text.find("pipeline.execute"), std::string::npos) << text;
+}
+
+TEST(ObsMetricsTest, ResetZeroesOwnedMetricsButNotExternals) {
+  MetricsRegistry reg;
+  reg.counter("enforce.ok")->Add(9);
+  reg.histogram(kStageParse)->Record(500);
+  std::atomic<uint64_t> external{11};
+  reg.RegisterExternalCounter("cache.hits", &external);
+  reg.Reset();
+  EXPECT_EQ(reg.counter("enforce.ok")->value(), 0u);
+  EXPECT_EQ(reg.histogram(kStageParse)->count(), 0u);
+  // Externals belong to their owner; Reset must not touch the source atomic.
+  EXPECT_EQ(external.load(), 11u);
+  EXPECT_NE(reg.RenderJson().find("\"cache.hits\":11"), std::string::npos);
+  reg.UnregisterExternalCounter("cache.hits");
+}
+
+TEST(ObsMetricsTest, RuntimeTimingToggle) {
+  // With AAPAC_OBS_OFF the switch is hardwired off regardless of Set.
+  EXPECT_EQ(TimingEnabled(), kObsCompiledIn);
+  SetTimingEnabled(false);
+  EXPECT_FALSE(TimingEnabled());
+  SetTimingEnabled(true);
+  EXPECT_EQ(TimingEnabled(), kObsCompiledIn);
+}
+
+TEST(ObsMetricsTest, PipelineStageListCoversAllSevenStages) {
+  EXPECT_EQ(std::size(kPipelineStages), 7u);
+  for (const char* stage : kPipelineStages) {
+    EXPECT_EQ(std::string(stage).rfind("pipeline.", 0), 0u) << stage;
+  }
+}
+
+}  // namespace
+}  // namespace aapac::obs

@@ -1,0 +1,108 @@
+// Concurrency stress of the observability layer, run under TSan in CI:
+// many threads record into shared metrics and publish traces while readers
+// render snapshots — the record path is lock-free and must stay race-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aapac::obs {
+namespace {
+
+TEST(ObsStressTest, ConcurrentRecordingWhileRendering) {
+  MetricsRegistry reg;
+  Counter* counter = reg.counter("enforce.compliance_checks");
+  Histogram* hist = reg.histogram(kStageExecute);
+  Gauge* gauge = reg.gauge("server.queue_depth");
+  std::atomic<uint64_t> external{0};
+  reg.RegisterExternalCounter("cache.hits", &external);
+
+  constexpr size_t kWriters = 8;
+  constexpr size_t kIters = 2000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      // Get-or-create races on fresh names alongside hot recording.
+      Counter* own = reg.counter("writer." + std::to_string(t));
+      for (size_t i = 0; i < kIters; ++i) {
+        counter->Add(1);
+        own->Add(1);
+        hist->Record(i * 100);
+        gauge->Add(1);
+        gauge->Add(-1);
+        external.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string json = reg.RenderJson();
+      EXPECT_FALSE(json.empty());
+      const std::string prom = reg.RenderPrometheusText();
+      EXPECT_FALSE(prom.empty());
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->value(), kWriters * kIters);
+  EXPECT_EQ(external.load(), kWriters * kIters);
+  EXPECT_EQ(gauge->value(), 0);
+  if (kObsCompiledIn) {
+    EXPECT_EQ(hist->count(), kWriters * kIters);
+    EXPECT_EQ(hist->Snapshot().count, kWriters * kIters);
+  }
+  reg.UnregisterExternalCounter("cache.hits");
+}
+
+TEST(ObsStressTest, ConcurrentTracesPublishWithoutRacing) {
+  TraceStore store(64);
+  constexpr size_t kWriters = 8;
+  constexpr size_t kIters = 500;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string sql = "select " + std::to_string(t) + " from pr";
+      for (size_t i = 0; i < kIters; ++i) {
+        ScopedTrace trace(&store, sql, "p1", "");
+        TraceStore::AddSpan(kStageParse, i);
+        TraceStore::AddSpan(kStageExecute, i * 2);
+        TraceStore::AddChecks(1);
+        TraceStore::SetOutcome("ok");
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto last = store.Last();
+      if (last.ok()) {
+        EXPECT_GT(last->id, 0u);
+        EXPECT_FALSE(TraceStore::Render(*last).empty());
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  if (kObsCompiledIn) {
+    auto last = store.Last();
+    ASSERT_TRUE(last.ok());
+    EXPECT_EQ(last->outcome, "ok");
+    EXPECT_EQ(last->spans.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace aapac::obs

@@ -1,0 +1,133 @@
+// The trace store: thread-local current-trace slot, span attachment, nested
+// Begin/End ownership, ring-buffer eviction and the \trace rendering.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aapac::obs {
+namespace {
+
+TEST(ObsTraceTest, PublishAndFindRoundTrip) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  TraceStore store(4);
+  const uint64_t id = store.Begin("select 1 from pr", "p1", "alice");
+  ASSERT_GT(id, 0u);
+  EXPECT_EQ(TraceStore::CurrentId(), id);
+  TraceStore::AddSpan(kStageParse, 1000);
+  TraceStore::AddSpan(kStageExecute, 2500);
+  TraceStore::SetOutcome("ok");
+  TraceStore::AddChecks(7);
+  store.End();
+  EXPECT_EQ(TraceStore::CurrentId(), 0u);
+
+  auto rec = store.Find(id);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->id, id);
+  EXPECT_EQ(rec->sql, "select 1 from pr");
+  EXPECT_EQ(rec->purpose, "p1");
+  EXPECT_EQ(rec->user, "alice");
+  EXPECT_EQ(rec->outcome, "ok");
+  EXPECT_EQ(rec->checks, 7u);
+  ASSERT_EQ(rec->spans.size(), 2u);
+  EXPECT_STREQ(rec->spans[0].stage, kStageParse);
+  EXPECT_EQ(rec->total_ns(), 3500u);
+
+  auto last = store.Last();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->id, id);
+}
+
+TEST(ObsTraceTest, NestedScopedTraceJoinsTheOuterTrace) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  TraceStore store(4);
+  {
+    // The server opens the outer trace; the monitor's inner ScopedTrace must
+    // join it, not publish a second record.
+    ScopedTrace outer(&store, "select watch_id from sensed_data", "p3", "");
+    const uint64_t outer_id = TraceStore::CurrentId();
+    ASSERT_GT(outer_id, 0u);
+    TraceStore::AddSpan(kStageQueueWait, 100);
+    {
+      ScopedTrace inner(&store, "select watch_id from sensed_data", "p3", "");
+      EXPECT_EQ(TraceStore::CurrentId(), outer_id);
+      TraceStore::AddSpan(kStageExecute, 900);
+      TraceStore::SetOutcome("ok");
+    }
+    // Inner destruction must not have published or closed the slot.
+    EXPECT_EQ(TraceStore::CurrentId(), outer_id);
+    EXPECT_FALSE(store.Last().ok());
+  }
+  auto rec = store.Last();
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->outcome, "ok");
+  ASSERT_EQ(rec->spans.size(), 2u);
+  EXPECT_STREQ(rec->spans[0].stage, kStageQueueWait);
+  EXPECT_STREQ(rec->spans[1].stage, kStageExecute);
+}
+
+TEST(ObsTraceTest, OutcomeDefaultsToErrorForAbandonedTraces) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  TraceStore store(4);
+  { ScopedTrace t(&store, "select nope from users", "p1", ""); }
+  auto rec = store.Last();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->outcome, "error");
+}
+
+TEST(ObsTraceTest, RingEvictsOldestTrace) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  TraceStore store(2);
+  uint64_t ids[3];
+  for (int i = 0; i < 3; ++i) {
+    ids[i] = store.Begin("q" + std::to_string(i), "p1", "");
+    ASSERT_GT(ids[i], 0u);
+    store.End();
+  }
+  EXPECT_FALSE(store.Find(ids[0]).ok());
+  EXPECT_TRUE(store.Find(ids[1]).ok());
+  EXPECT_TRUE(store.Find(ids[2]).ok());
+  auto last = store.Last();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->id, ids[2]);
+}
+
+TEST(ObsTraceTest, RenderNamesStagesOutcomeAndDenyReason) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  TraceStore store(4);
+  const uint64_t id = store.Begin("select user_id from users", "p3", "eve");
+  ASSERT_GT(id, 0u);
+  TraceStore::AddSpan(kStageParse, 1500);
+  TraceStore::SetOutcome("denied");
+  TraceStore::SetDenyReason("user 'eve' is not authorized for purpose p3");
+  store.End();
+  auto rec = store.Find(id);
+  ASSERT_TRUE(rec.ok());
+  const std::string text = TraceStore::Render(*rec);
+  EXPECT_NE(text.find("denied"), std::string::npos) << text;
+  EXPECT_NE(text.find(kStageParse), std::string::npos) << text;
+  EXPECT_NE(text.find("not authorized"), std::string::npos) << text;
+}
+
+TEST(ObsTraceTest, DisabledTimingCapturesNothing) {
+  TraceStore store(4);
+  SetTimingEnabled(false);
+  EXPECT_EQ(store.Begin("select 1 from pr", "p1", ""), 0u);
+  EXPECT_EQ(TraceStore::CurrentId(), 0u);
+  SetTimingEnabled(true);
+  EXPECT_FALSE(store.Last().ok());
+}
+
+TEST(ObsTraceTest, MutatorsAreNoOpsWithoutAnOpenTrace) {
+  // Must be safe to call from code paths that run outside any trace.
+  TraceStore::AddSpan(kStageParse, 1);
+  TraceStore::SetOutcome("ok");
+  TraceStore::SetDenyReason("nope");
+  TraceStore::AddChecks(3);
+  EXPECT_EQ(TraceStore::CurrentId(), 0u);
+}
+
+}  // namespace
+}  // namespace aapac::obs

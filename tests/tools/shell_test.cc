@@ -8,6 +8,7 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "workload/patients.h"
 #include "workload/policies.h"
 
@@ -277,6 +278,46 @@ TEST_F(ShellTest, AuditCommand) {
   const std::string out = session_->ProcessLine("\\audit 5");
   EXPECT_NE(out.find("outcome"), std::string::npos);
   EXPECT_NE(out.find("ok"), std::string::npos);
+}
+
+TEST_F(ShellTest, MetricsCommandRendersBothFormats) {
+  session_->ProcessLine("\\purpose p1");
+  session_->ProcessLine("select user_id from users");
+  const std::string prom = session_->ProcessLine("\\metrics");
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("enforce_ok"), std::string::npos) << prom;
+  const std::string json = session_->ProcessLine("\\metrics json");
+  EXPECT_NE(json.find("\"enforce.ok\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pipeline.execute\""), std::string::npos) << json;
+  EXPECT_NE(session_->ProcessLine("\\metrics bogus").find("usage"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, TraceCommandShowsStageBreakdown) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  session_->ProcessLine("\\purpose p1");
+  session_->ProcessLine("select user_id from users");
+  const std::string last = session_->ProcessLine("\\trace last");
+  EXPECT_NE(last.find("select user_id from users"), std::string::npos) << last;
+  EXPECT_NE(last.find("execute"), std::string::npos) << last;
+  EXPECT_NE(session_->ProcessLine("\\trace").find("usage"),
+            std::string::npos);
+  EXPECT_NE(session_->ProcessLine("\\trace 9999999").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, ExplainNamesDeniedBitsUnderDenyAllPolicies) {
+  workload::ScatteredPolicyConfig sp;
+  sp.selectivity = 1.0;  // Pass-none policies: every tuple denies p3.
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+  session_->ProcessLine("\\purpose p3");
+  const std::string out =
+      session_->ProcessLine("\\explain select user_id from users");
+  EXPECT_NE(out.find("== compliance analysis =="), std::string::npos) << out;
+  EXPECT_NE(out.find("DENIED"), std::string::npos) << out;
+  EXPECT_NE(out.find("column 'user_id'"), std::string::npos) << out;
+  EXPECT_NE(out.find("purpose 'p3'"), std::string::npos) << out;
+  EXPECT_NE(out.find(", action-type]"), std::string::npos) << out;
 }
 
 TEST_F(ShellTest, RunShellDrivesStreams) {

@@ -1,0 +1,104 @@
+// CI guard over the registry's latency profile.
+//
+// Usage: metrics_diff <baseline.json> <current.json> [metric] [max_pct]
+//
+// Both inputs are MetricsRegistry::RenderJson() dumps (benches write one via
+// AAPAC_METRICS_JSON). The tool prints a stage-by-stage comparison of every
+// pipeline.* histogram present in both files and fails (exit 1) when the
+// guarded metric's p99 — default pipeline.rewrite — regresses by more than
+// max_pct percent (default 25) over the committed baseline. A small absolute
+// slack keeps sub-microsecond jitter from failing the build: a regression
+// also needs to exceed 20us in absolute terms before it counts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "metrics_diff: cannot read %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Extracts `"field":<number>` from the object value of `"metric":{...}` in a
+/// flat registry dump. Returns false when the metric or field is absent.
+bool ExtractField(const std::string& json, const std::string& metric,
+                  const std::string& field, double* out) {
+  const std::string key = "\"" + metric + "\":{";
+  const size_t obj = json.find(key);
+  if (obj == std::string::npos) return false;
+  const size_t end = json.find('}', obj);
+  if (end == std::string::npos) return false;
+  const std::string fkey = "\"" + field + "\":";
+  const size_t pos = json.find(fkey, obj + key.size());
+  if (pos == std::string::npos || pos > end) return false;
+  *out = std::strtod(json.c_str() + pos + fkey.size(), nullptr);
+  return true;
+}
+
+const char* kStages[] = {
+    "pipeline.parse",      "pipeline.derive",     "pipeline.rewrite",
+    "pipeline.cache_lookup", "pipeline.queue_wait", "pipeline.lock_wait",
+    "pipeline.execute"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: metrics_diff <baseline.json> <current.json> "
+                 "[metric=pipeline.rewrite] [max_pct=25]\n");
+    return 2;
+  }
+  const std::string baseline = ReadFile(argv[1]);
+  const std::string current = ReadFile(argv[2]);
+  const std::string guarded = argc > 3 ? argv[3] : "pipeline.rewrite";
+  const double max_pct = argc > 4 ? std::strtod(argv[4], nullptr) : 25.0;
+  constexpr double kAbsSlackUs = 20.0;
+
+  std::printf("%-24s %14s %14s %9s\n", "stage (p99_us)", "baseline",
+              "current", "delta");
+  for (const char* stage : kStages) {
+    double base = 0, cur = 0;
+    const bool have_base = ExtractField(baseline, stage, "p99_us", &base);
+    const bool have_cur = ExtractField(current, stage, "p99_us", &cur);
+    if (!have_base && !have_cur) continue;
+    const double pct = base > 0 ? 100.0 * (cur / base - 1.0) : 0.0;
+    std::printf("%-24s %14.3f %14.3f %+8.1f%%\n", stage, base, cur, pct);
+  }
+
+  double base_p99 = 0, cur_p99 = 0;
+  if (!ExtractField(baseline, guarded, "p99_us", &base_p99)) {
+    std::fprintf(stderr, "metrics_diff: baseline has no %s histogram\n",
+                 guarded.c_str());
+    return 2;
+  }
+  if (!ExtractField(current, guarded, "p99_us", &cur_p99)) {
+    std::fprintf(stderr, "metrics_diff: current run has no %s histogram\n",
+                 guarded.c_str());
+    return 2;
+  }
+  const double limit = base_p99 * (1.0 + max_pct / 100.0);
+  if (cur_p99 > limit && cur_p99 - base_p99 > kAbsSlackUs) {
+    std::fprintf(stderr,
+                 "metrics_diff: %s p99 regressed: %.3f us vs baseline "
+                 "%.3f us (> %.0f%% budget)\n",
+                 guarded.c_str(), cur_p99, base_p99, max_pct);
+    return 1;
+  }
+  std::printf("metrics_diff: %s p99 %.3f us within %.0f%% of baseline "
+              "%.3f us\n",
+              guarded.c_str(), cur_p99, max_pct, base_p99);
+  return 0;
+}
