@@ -47,12 +47,7 @@ int Run() {
               "byunli_ms", "aware_ms", "byunli_checks", "aware_checks");
   const int reps = 3;
   for (const auto& q : AllQueries()) {
-    const TimeStats orig = TimeStatsMs(
-        [&] {
-          auto rs = s.monitor->ExecuteUnrestricted(q.sql);
-          if (!rs.ok()) std::abort();
-        },
-        reps);
+    const TimeStats orig = TimeOriginal(&s, q.sql, reps);
     baseline.ResetPurposeChecks();
     const TimeStats byunli = TimeStatsMs(
         [&] {
@@ -62,12 +57,7 @@ int Run() {
         reps);
     const uint64_t byunli_checks = baseline.purpose_checks() / reps;
     s.monitor->ResetComplianceChecks();
-    const TimeStats aware = TimeStatsMs(
-        [&] {
-          auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
-          if (!rs.ok()) std::abort();
-        },
-        reps);
+    const TimeStats aware = TimeRewritten(&s, q.sql, "p3", reps);
     const uint64_t aware_checks = s.monitor->compliance_checks() / reps;
     std::printf("%-5s %12.3f %12.3f %12.3f %14" PRIu64 " %14" PRIu64 "\n",
                 q.name.c_str(), orig.median_ms, byunli.median_ms,

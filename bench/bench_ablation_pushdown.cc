@@ -33,22 +33,12 @@ int Run() {
   for (const auto& q : AllQueries()) {
     s.monitor->SetPushdownEnabled(true);
     s.monitor->ResetComplianceChecks();
-    const TimeStats push = TimeStatsMs(
-        [&] {
-          auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
-          if (!rs.ok()) std::abort();
-        },
-        reps);
+    const TimeStats push = TimeRewritten(&s, q.sql, "p3", reps);
     const uint64_t push_checks = s.monitor->compliance_checks() / reps;
 
     s.monitor->SetPushdownEnabled(false);
     s.monitor->ResetComplianceChecks();
-    const TimeStats nopush = TimeStatsMs(
-        [&] {
-          auto rs = s.monitor->ExecuteQuery(q.sql, "p3");
-          if (!rs.ok()) std::abort();
-        },
-        reps);
+    const TimeStats nopush = TimeRewritten(&s, q.sql, "p3", reps);
     const uint64_t nopush_checks = s.monitor->compliance_checks() / reps;
 
     std::printf("%-5s %12.3f %12.3f %15" PRIu64 " %15" PRIu64 "\n",

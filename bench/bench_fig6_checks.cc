@@ -6,7 +6,10 @@
 // static §5.6 upper bound (Eq. 1) is printed alongside for comparison.
 //
 // Default N = 100 samples/patient (10^5 sensed_data rows); export
-// AAPAC_SAMPLES=1000 for the paper's 10^6.
+// AAPAC_SAMPLES=1000 for the paper's 10^6. AAPAC_THREADS=N runs the
+// rewritten queries through the morsel-parallel executor — check counts
+// must not change with the degree of parallelism, so diffing the JSON
+// across thread counts doubles as an accounting regression check.
 
 #include <cinttypes>
 #include <cstdio>
@@ -22,12 +25,14 @@ namespace {
 int Run() {
   const size_t patients = EnvSize("AAPAC_PATIENTS", 1000);
   const size_t samples = EnvSize("AAPAC_SAMPLES", 100);
+  const size_t threads = EnvThreads();
   const std::vector<double> selectivities = {0.0, 0.2, 0.4, 0.6};
 
   std::printf("# Figure 6: policy compliance checks per query\n");
-  std::printf("# patients=%zu samples/patient=%zu sensed_rows=%zu\n", patients,
-              samples, patients * samples);
+  std::printf("# patients=%zu samples/patient=%zu sensed_rows=%zu threads=%zu\n",
+              patients, samples, patients * samples, threads);
   Scenario s = BuildScenario(patients, samples);
+  AttachParallelism(&s, threads);
   const std::vector<workload::BenchQuery> queries = AllQueries();
 
   std::printf("%-5s %12s", "query", "cub(q)");

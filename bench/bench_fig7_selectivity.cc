@@ -8,6 +8,8 @@
 // grows, dropping below the original for filtered/joined queries.
 //
 // Default 1,000 patients x 100 samples; AAPAC_SAMPLES=1000 for paper scale.
+// AAPAC_THREADS=N runs the rewritten queries through the morsel-parallel
+// executor at N threads (default 1 = the exact serial path).
 
 #include <cstdio>
 #include <vector>
@@ -20,12 +22,14 @@ namespace {
 int Run() {
   const size_t patients = EnvSize("AAPAC_PATIENTS", 1000);
   const size_t samples = EnvSize("AAPAC_SAMPLES", 100);
+  const size_t threads = EnvThreads();
   const std::vector<double> selectivities = {0.0, 0.2, 0.4, 0.6, 1.0};
 
   std::printf("# Figure 7: execution time (ms) vs policy selectivity\n");
-  std::printf("# patients=%zu samples/patient=%zu sensed_rows=%zu\n", patients,
-              samples, patients * samples);
+  std::printf("# patients=%zu samples/patient=%zu sensed_rows=%zu threads=%zu\n",
+              patients, samples, patients * samples, threads);
   Scenario s = BuildScenario(patients, samples);
+  AttachParallelism(&s, threads);
   const std::vector<workload::BenchQuery> queries = AllQueries();
 
   std::printf("%-5s %12s", "query", "original");
@@ -34,10 +38,7 @@ int Run() {
 
   std::vector<TimeStats> original(queries.size());
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    original[qi] = TimeStatsMs([&] {
-      auto rs = s.monitor->ExecuteUnrestricted(queries[qi].sql);
-      if (!rs.ok()) std::abort();
-    });
+    original[qi] = TimeOriginal(&s, queries[qi].sql);
   }
 
   std::vector<std::vector<TimeStats>> rewritten(
@@ -46,10 +47,7 @@ int Run() {
     ApplySelectivity(&s, selectivities[si]);
     ResetMetrics(s.monitor.get());
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      rewritten[qi][si] = TimeStatsMs([&] {
-        auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
-        if (!rs.ok()) std::abort();
-      });
+      rewritten[qi][si] = TimeRewritten(&s, queries[qi].sql);
     }
     char label[32];
     std::snprintf(label, sizeof(label), "sel=%.1f", selectivities[si]);
@@ -70,6 +68,7 @@ int Run() {
           .Str("query", queries[qi].name)
           .Int("patients", patients)
           .Int("samples", samples)
+          .Int("threads", threads)
           .Num("selectivity", selectivities[si])
           .Num("original_median_ms", original[qi].median_ms)
           .Num("original_p95_ms", original[qi].p95_ms)

@@ -10,6 +10,12 @@
 //
 // Scenario 4 (10^7 rows) is expensive in an in-memory engine and is opt-in:
 // export AAPAC_SCN4=1 to include it.
+//
+// AAPAC_THREADS=N (N > 1) additionally runs the rewritten queries through
+// the morsel-parallel executor at N threads, emitting one "fig8_speedup"
+// JSON line per query per scale (serial vs parallel median and their
+// ratio) plus a per-scale aggregate. The default N=1 keeps the bench on
+// the exact serial path.
 
 #include <cstdio>
 #include <vector>
@@ -30,10 +36,13 @@ int Run() {
     samples_per_patient.push_back(10000);  // Scn 4: 10^7 rows.
   }
   const double selectivity = 0.4;
+  const size_t threads = EnvThreads();
   const std::vector<workload::BenchQuery> queries = AllQueries();
 
   std::printf("# Figure 8: execution time (ms) vs dataset size\n");
-  std::printf("# users=nutritional_profiles=1000, selectivity=0.4\n");
+  std::printf("# users=nutritional_profiles=1000, selectivity=0.4");
+  if (threads > 1) std::printf(", threads=%zu", threads);
+  std::printf("\n");
   std::printf("%-5s", "query");
   for (size_t sp : samples_per_patient) {
     std::printf("  orig@%-8zu  rewr@%-8zu", patients * sp, patients * sp);
@@ -43,6 +52,9 @@ int Run() {
   std::vector<std::vector<TimeStats>> original(
       queries.size(), std::vector<TimeStats>(samples_per_patient.size()));
   std::vector<std::vector<TimeStats>> rewritten(
+      queries.size(), std::vector<TimeStats>(samples_per_patient.size()));
+  // Filled only when threads > 1: rewritten queries re-timed at DOP=N.
+  std::vector<std::vector<TimeStats>> parallel(
       queries.size(), std::vector<TimeStats>(samples_per_patient.size()));
 
   for (size_t sc = 0; sc < samples_per_patient.size(); ++sc) {
@@ -56,18 +68,17 @@ int Run() {
     ApplySelectivity(&s, selectivity);
     const int reps = samples_per_patient[sc] >= 1000 ? 1 : 3;
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      original[qi][sc] = TimeStatsMs(
-          [&] {
-            auto rs = s.monitor->ExecuteUnrestricted(queries[qi].sql);
-            if (!rs.ok()) std::abort();
-          },
-          reps);
-      rewritten[qi][sc] = TimeStatsMs(
-          [&] {
-            auto rs = s.monitor->ExecuteQuery(queries[qi].sql, "p3");
-            if (!rs.ok()) std::abort();
-          },
-          reps);
+      original[qi][sc] = TimeOriginal(&s, queries[qi].sql, reps);
+      rewritten[qi][sc] = TimeRewritten(&s, queries[qi].sql, "p3", reps);
+    }
+    if (threads > 1) {
+      // Same process, same data, same plans — only the morsel pool differs,
+      // so serial-vs-parallel is an apples-to-apples speedup measurement.
+      AttachParallelism(&s, threads);
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        parallel[qi][sc] = TimeRewritten(&s, queries[qi].sql, "p3", reps);
+      }
+      AttachParallelism(&s, 1);
     }
     char label[32];
     std::snprintf(label, sizeof(label), "rows=%zu",
@@ -96,6 +107,41 @@ int Run() {
           .Num("rewritten_median_ms", rewritten[qi][sc].median_ms)
           .Num("rewritten_p95_ms", rewritten[qi][sc].p95_ms)
           .Emit();
+    }
+  }
+
+  if (threads > 1) {
+    std::printf("# speedup: rewritten serial / rewritten @%zu threads\n",
+                threads);
+    for (size_t sc = 0; sc < samples_per_patient.size(); ++sc) {
+      double serial_total = 0, parallel_total = 0;
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const double serial_ms = rewritten[qi][sc].median_ms;
+        const double parallel_ms = parallel[qi][sc].median_ms;
+        serial_total += serial_ms;
+        parallel_total += parallel_ms;
+        JsonLine("fig8_speedup")
+            .Str("query", queries[qi].name)
+            .Int("threads", threads)
+            .Int("sensed_rows", patients * samples_per_patient[sc])
+            .Num("serial_ms", serial_ms)
+            .Num("parallel_ms", parallel_ms)
+            .Num("speedup", parallel_ms > 0 ? serial_ms / parallel_ms : 0)
+            .Emit();
+      }
+      JsonLine("fig8_speedup_total")
+          .Int("threads", threads)
+          .Int("sensed_rows", patients * samples_per_patient[sc])
+          .Num("serial_ms", serial_total)
+          .Num("parallel_ms", parallel_total)
+          .Num("speedup",
+               parallel_total > 0 ? serial_total / parallel_total : 0)
+          .Emit();
+      std::printf("# rows=%zu: %.3f ms serial vs %.3f ms @%zu threads "
+                  "(%.2fx)\n",
+                  patients * samples_per_patient[sc], serial_total,
+                  parallel_total, threads,
+                  parallel_total > 0 ? serial_total / parallel_total : 0.0);
     }
   }
   return 0;

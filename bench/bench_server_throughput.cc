@@ -51,6 +51,10 @@ int Run() {
   for (size_t workers : worker_counts) {
     server::ServerOptions options;
     options.threads = workers;
+    // AAPAC_THREADS>1 gives every in-flight query that many morsel lanes
+    // drawn from the same worker pool, measuring how intra-query
+    // parallelism trades against inter-query throughput.
+    options.query_threads = EnvThreads();
     server::EnforcementServer server(s.monitor.get(), options);
 
     const size_t clients = workers;

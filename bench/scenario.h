@@ -14,17 +14,22 @@
 #include "core/policy_manager.h"
 #include "engine/database.h"
 #include "obs/metrics.h"
+#include "util/task_pool.h"
 #include "workload/patients.h"
 #include "workload/policies.h"
 #include "workload/queries.h"
 
 namespace aapac::bench {
 
-/// A fully configured patients scenario: database + catalog + monitor.
+/// A fully configured patients scenario: database + catalog + monitor, plus
+/// an optional morsel-helper pool (AttachParallelism).
 struct Scenario {
   std::unique_ptr<engine::Database> db;
   std::unique_ptr<core::AccessControlCatalog> catalog;
   std::unique_ptr<core::EnforcementMonitor> monitor;
+  /// Worker pool behind SetParallelism; declared after the monitor so it is
+  /// destroyed first (no statements are in flight by then either way).
+  std::unique_ptr<util::TaskPool> pool;
 };
 
 /// Builds the §6 evaluation scenario: `patients` users/profiles rows and
@@ -75,6 +80,24 @@ inline size_t EnvSize(const char* name, size_t fallback) {
   return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
 }
 
+/// Degree of parallelism for enforced execution, from AAPAC_THREADS.
+/// 1 (the default) keeps every bench on the exact serial path.
+inline size_t EnvThreads() { return EnvSize("AAPAC_THREADS", 1); }
+
+/// Routes the monitor's enforced statements through a morsel-helper pool of
+/// `threads - 1` workers (the calling thread is the Nth). `threads <= 1`
+/// detaches any pool and restores the serial path, so benches can time both
+/// sides of the speedup inside one process.
+inline void AttachParallelism(Scenario* s, size_t threads) {
+  if (threads <= 1) {
+    s->monitor->SetParallelism(nullptr, 1);
+    s->pool.reset();
+    return;
+  }
+  s->pool = std::make_unique<util::TaskPool>(threads - 1);
+  s->monitor->SetParallelism(s->pool.get(), threads);
+}
+
 /// Wall-clock milliseconds of `fn()`, best of `reps` runs.
 template <typename Fn>
 double TimeMs(Fn&& fn, int reps = 3) {
@@ -116,6 +139,31 @@ TimeStats TimeStatsMs(Fn&& fn, int reps = 5) {
   const size_t rank = static_cast<size_t>(0.95 * static_cast<double>(ms.size()));
   stats.p95_ms = ms[std::min(rank, ms.size() - 1)];
   return stats;
+}
+
+/// Times the original (unenforced) form of a bench query; aborts on failure
+/// so a broken workload can never masquerade as a fast one.
+inline TimeStats TimeOriginal(Scenario* s, const std::string& sql,
+                              int reps = 5) {
+  return TimeStatsMs(
+      [&] {
+        auto rs = s->monitor->ExecuteUnrestricted(sql);
+        if (!rs.ok()) std::abort();
+      },
+      reps);
+}
+
+/// Times the enforced form of a bench query under `purpose` (the evaluation
+/// default is p3); aborts on failure like TimeOriginal.
+inline TimeStats TimeRewritten(Scenario* s, const std::string& sql,
+                               const std::string& purpose = "p3",
+                               int reps = 5) {
+  return TimeStatsMs(
+      [&] {
+        auto rs = s->monitor->ExecuteQuery(sql, purpose);
+        if (!rs.ok()) std::abort();
+      },
+      reps);
 }
 
 /// One machine-readable result line, emitted alongside the human-readable

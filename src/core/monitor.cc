@@ -13,15 +13,14 @@ namespace aapac::core {
 using engine::Value;
 using engine::ValueType;
 
-namespace {
-
-// Per-thread complies_with invocation count. A statement executes entirely
-// on its calling thread, so a before/after delta of this counter isolates
-// that statement's checks even while other workers run concurrently —
-// diffing the shared global counter would fold their checks in.
-thread_local uint64_t t_compliance_checks = 0;
-
-}  // namespace
+// Statement check accounting rides on engine::CheckTally, a per-thread
+// counter the complies_with UDF bumps: a before/after delta on the calling
+// thread isolates one statement's checks even while other workers run
+// concurrently, and the engine's morsel driver folds pool-thread deltas
+// back into the calling thread so the delta stays exact under intra-query
+// parallelism. The enforce.compliance_checks registry counter is fed that
+// per-statement delta once at statement close — one atomic add per
+// statement instead of one per scanned tuple.
 
 EnforcementMonitor::EnforcementMonitor(engine::Database* db,
                                        AccessControlCatalog* catalog)
@@ -52,12 +51,10 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   // The UDF keeps the registry alive through its capture: a database that
   // outlives the monitor must not invoke a dangling counter.
   auto registry = metrics_;
-  auto* counter = check_counter_;
   db_->functions().Register(engine::ScalarFunction{
       QueryRewriter::kCompliesWithFunction, 2,
-      [registry, counter](const std::vector<Value>& args) -> Result<Value> {
-        counter->Add(1);
-        ++t_compliance_checks;
+      [registry](const std::vector<Value>& args) -> Result<Value> {
+        engine::CheckTally::Bump();
         // A tuple without a policy complies with nothing: deny by default.
         if (args[1].is_null()) return Value::Bool(false);
         if (args[0].type() != ValueType::kBytes ||
@@ -161,12 +158,20 @@ Result<std::unique_ptr<sql::SelectStmt>> EnforcementMonitor::Prepare(
 Result<engine::ResultSet> EnforcementMonitor::ExecutePrepared(
     const sql::SelectStmt& stmt, const std::string& sql,
     const std::string& purpose_id, const std::string& user) {
-  const uint64_t checks_before = t_compliance_checks;
+  return ExecutePrepared(stmt, sql, purpose_id, user, parallel_);
+}
+
+Result<engine::ResultSet> EnforcementMonitor::ExecutePrepared(
+    const sql::SelectStmt& stmt, const std::string& sql,
+    const std::string& purpose_id, const std::string& user,
+    const engine::ParallelSpec& parallel) {
+  const uint64_t checks_before = engine::CheckTally::Current();
   Result<engine::ResultSet> result = [&] {
     obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
-    return executor_.Execute(stmt);
+    return executor_.Execute(stmt, parallel);
   }();
-  const uint64_t checks = t_compliance_checks - checks_before;
+  const uint64_t checks = engine::CheckTally::Current() - checks_before;
+  if (checks != 0) check_counter_->Add(checks);
   obs::TraceStore::AddChecks(checks);
   if (result.ok()) {
     ok_counter_->Add(1);
@@ -199,7 +204,24 @@ Result<engine::ResultSet> EnforcementMonitor::ExecuteQuery(
 
 Result<engine::ResultSet> EnforcementMonitor::ExecuteUnrestricted(
     const std::string& sql) {
-  return executor_.ExecuteSql(sql);
+  // Unrestricted statements normally invoke no checks, but SQL that calls
+  // complies_with explicitly (e.g. replayed rewritten text through the
+  // shell) still counts toward the Fig. 6 surface.
+  const uint64_t checks_before = engine::CheckTally::Current();
+  Result<engine::ResultSet> result = executor_.ExecuteSql(sql);
+  const uint64_t checks = engine::CheckTally::Current() - checks_before;
+  if (checks != 0) check_counter_->Add(checks);
+  return result;
+}
+
+void EnforcementMonitor::SetParallelism(util::TaskPool* pool,
+                                        size_t max_threads,
+                                        size_t morsel_rows) {
+  parallel_ = engine::ParallelSpec{};
+  parallel_.pool = pool;
+  parallel_.max_threads = max_threads;
+  if (morsel_rows > 0) parallel_.morsel_rows = morsel_rows;
+  parallel_.metrics = metrics_.get();
 }
 
 namespace {
@@ -394,12 +416,13 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
   if (stmt->select != nullptr) {
     AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt->select.get(), purpose_id));
   }
-  const uint64_t checks_before = t_compliance_checks;
+  const uint64_t checks_before = engine::CheckTally::Current();
   Result<size_t> inserted = [&] {
     obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
     return executor_.ExecuteInsert(*stmt, forced);
   }();
-  const uint64_t checks = t_compliance_checks - checks_before;
+  const uint64_t checks = engine::CheckTally::Current() - checks_before;
+  if (checks != 0) check_counter_->Add(checks);
   obs::TraceStore::AddChecks(checks);
   (inserted.ok() ? ok_counter_ : error_counter_)->Add(1);
   obs::TraceStore::SetOutcome(inserted.ok() ? "ok" : "error");
@@ -457,12 +480,13 @@ Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
     stmt->assignments[i].value = std::move(synthetic->items[i].expr);
   }
 
-  const uint64_t checks_before = t_compliance_checks;
+  const uint64_t checks_before = engine::CheckTally::Current();
   Result<size_t> updated = [&] {
     obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
     return executor_.ExecuteUpdate(*stmt);
   }();
-  const uint64_t checks = t_compliance_checks - checks_before;
+  const uint64_t checks = engine::CheckTally::Current() - checks_before;
+  if (checks != 0) check_counter_->Add(checks);
   obs::TraceStore::AddChecks(checks);
   (updated.ok() ? ok_counter_ : error_counter_)->Add(1);
   obs::TraceStore::SetOutcome(updated.ok() ? "ok" : "error");
@@ -501,12 +525,13 @@ Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
   AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(synthetic.get(), purpose_id));
   stmt->where = std::move(synthetic->where);
 
-  const uint64_t checks_before = t_compliance_checks;
+  const uint64_t checks_before = engine::CheckTally::Current();
   Result<size_t> removed = [&] {
     obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
     return executor_.ExecuteDelete(*stmt);
   }();
-  const uint64_t checks = t_compliance_checks - checks_before;
+  const uint64_t checks = engine::CheckTally::Current() - checks_before;
+  if (checks != 0) check_counter_->Add(checks);
   obs::TraceStore::AddChecks(checks);
   (removed.ok() ? ok_counter_ : error_counter_)->Add(1);
   obs::TraceStore::SetOutcome(removed.ok() ? "ok" : "error");

@@ -112,6 +112,27 @@ class EnforcementMonitor {
                                             const std::string& purpose_id,
                                             const std::string& user);
 
+  /// Same, with an explicit per-statement parallelism request overriding
+  /// the monitor-wide SetParallelism configuration. The server uses this to
+  /// pass its pool handle and per-query thread cap so query workers and
+  /// morsel workers draw from one thread budget.
+  Result<engine::ResultSet> ExecutePrepared(
+      const sql::SelectStmt& stmt, const std::string& sql,
+      const std::string& purpose_id, const std::string& user,
+      const engine::ParallelSpec& parallel);
+
+  /// Enables intra-query morsel parallelism for every SELECT this monitor
+  /// executes (ExecuteQuery and the pool-less ExecutePrepared overload):
+  /// each statement may fan out to `pool` with at most `max_threads`
+  /// workers including the calling thread. nullptr or max_threads <= 1
+  /// restores the serial path. Configure at setup time, not while
+  /// statements are in flight; the pool must outlive them.
+  /// `morsel_rows` sets the scan-split granularity (scans smaller than two
+  /// morsels stay serial).
+  void SetParallelism(util::TaskPool* pool, size_t max_threads,
+                      size_t morsel_rows = 2048);
+  const engine::ParallelSpec& parallel_spec() const { return parallel_; }
+
   /// Human-readable enforcement report for a query, without executing it:
   /// the derived query signature tree, the encoded action-signature masks,
   /// the §5.6 complexity upper bound, the rewritten SQL, and a compliance
@@ -182,6 +203,8 @@ class EnforcementMonitor {
   AccessControlCatalog* catalog_;
   QueryRewriter rewriter_;
   engine::Executor executor_;
+  // Monitor-wide parallelism default (serial unless SetParallelism).
+  engine::ParallelSpec parallel_;
   // Observability surface. The registry owns the metric storage; the raw
   // pointers below are cached lookups, stable for the registry's lifetime.
   std::shared_ptr<obs::MetricsRegistry> metrics_;

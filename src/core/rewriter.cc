@@ -24,9 +24,38 @@ ExprPtr MakeComplianceCall(const std::string& asm_binary,
       sql::LiteralValue(sql::BitLiteral{asm_binary})));
   args.push_back(std::make_unique<sql::ColumnRefExpr>(
       binding, AccessControlCatalog::kPolicyColumn));
-  return std::make_unique<sql::FuncCallExpr>(
+  auto call = std::make_unique<sql::FuncCallExpr>(
       QueryRewriter::kCompliesWithFunction, std::move(args),
       /*distinct=*/false);
+  // Marks the call as rewriter-injected. The parser never sets this flag,
+  // so the reserved-function check still rejects complies_with arriving as
+  // SQL text, while StripSyntheticConjuncts below can recognize this exact
+  // node on AST re-entry.
+  call->synthetic = true;
+  return call;
+}
+
+/// Removes rewriter-injected complies_with conjuncts from a WHERE tree, so
+/// rewriting an already-rewritten AST re-derives its checks instead of
+/// stacking duplicates (Rewrite is idempotent at the AST level). Only
+/// synthetic nodes and the AND spine joining them are touched; every
+/// conjunct the user wrote is preserved as-is.
+ExprPtr StripSyntheticConjuncts(ExprPtr expr) {
+  if (expr == nullptr) return nullptr;
+  if (expr->kind() == Expr::Kind::kFuncCall &&
+      static_cast<const sql::FuncCallExpr&>(*expr).synthetic) {
+    return nullptr;
+  }
+  if (expr->kind() == Expr::Kind::kBinary) {
+    auto& b = static_cast<sql::BinaryExpr&>(*expr);
+    if (b.op == sql::BinaryOp::kAnd) {
+      b.lhs = StripSyntheticConjuncts(std::move(b.lhs));
+      b.rhs = StripSyntheticConjuncts(std::move(b.rhs));
+      if (b.lhs == nullptr) return std::move(b.rhs);
+      if (b.rhs == nullptr) return std::move(b.lhs);
+    }
+  }
+  return expr;
 }
 
 }  // namespace
@@ -302,6 +331,11 @@ Status CheckLevelIsPolicyFree(const sql::SelectStmt& stmt) {
 
 Status QueryRewriter::RewriteLevel(sql::SelectStmt* stmt,
                                    const std::string& purpose) const {
+  // Re-entry: drop any conjuncts a previous Rewrite of this AST injected,
+  // then re-derive below. Must run before the policy-free check, which
+  // would (correctly) reject our own complies_with calls.
+  stmt->where = StripSyntheticConjuncts(std::move(stmt->where));
+
   // User queries may not touch enforcement internals (checked per level,
   // before the level gains its own complies_with conjuncts).
   AAPAC_RETURN_NOT_OK(CheckLevelIsPolicyFree(*stmt));

@@ -1,18 +1,35 @@
 #include "engine/exec.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <set>
 #include <unordered_set>
 #include <utility>
 
+#include "obs/trace.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "util/bitstring.h"
 #include "util/strings.h"
 
 namespace aapac::engine {
+
+namespace {
+
+/// One tally per thread; see CheckTally in exec.h. Monotonic: statement
+/// accounting always works on before/after differences, never resets.
+thread_local uint64_t t_check_tally = 0;
+
+}  // namespace
+
+uint64_t CheckTally::Current() { return t_check_tally; }
+void CheckTally::Bump() { ++t_check_tally; }
+void CheckTally::Add(uint64_t n) { t_check_tally += n; }
 
 namespace {
 
@@ -692,8 +709,9 @@ NeededColumns CollectNeeded(const sql::SelectStmt& stmt) {
 
 class ExecutorImpl {
  public:
-  ExecutorImpl(Database* db, ExecStats* stats, bool pushdown = true)
-      : db_(db), stats_(stats), pushdown_(pushdown) {}
+  ExecutorImpl(Database* db, ExecStats* stats, bool pushdown = true,
+               const ParallelSpec* parallel = nullptr)
+      : db_(db), stats_(stats), pushdown_(pushdown), parallel_(parallel) {}
 
   Result<ResultSet> Execute(const sql::SelectStmt& stmt);
 
@@ -727,9 +745,31 @@ class ExecutorImpl {
   Result<bool> PassesFilters(const std::vector<BoundExprPtr>& filters,
                              const Row& row);
 
+  /// True when this execution asked for intra-query parallelism and the
+  /// input is big enough to amortize the dispatch (at least two morsels).
+  bool ShouldParallelize(size_t rows) const {
+    return parallel_ != nullptr && parallel_->enabled() &&
+           rows >= parallel_->morsel_rows * 2;
+  }
+
+  /// The MorselDriver: runs `body(begin, end, sink)` once per fixed-size
+  /// morsel of [0, n) on the shared pool (caller participates) and stitches
+  /// the per-morsel sinks into `out` in morsel order — byte-identical to a
+  /// serial left-to-right pass. At operator close it folds compliance-check
+  /// tallies from pool threads into the calling thread (per-statement-exact
+  /// accounting, see CheckTally), records the fan-out counter and, when
+  /// timing is on, the morsel_wait/morsel_exec histograms and trace spans.
+  /// Errors are reported deterministically: the lowest-morsel error wins,
+  /// which is the same error a serial pass would have hit first.
+  Status RunMorsels(
+      size_t n,
+      const std::function<Status(size_t, size_t, std::vector<Row>*)>& body,
+      std::vector<Row>* out);
+
   Database* db_;
   ExecStats* stats_;
   bool pushdown_;
+  const ParallelSpec* parallel_;
 };
 
 /// Splits an expression into its top-level AND conjuncts, preserving order.
@@ -1066,6 +1106,74 @@ Result<bool> ExecutorImpl::PassesFilters(
   return true;
 }
 
+Status ExecutorImpl::RunMorsels(
+    size_t n,
+    const std::function<Status(size_t, size_t, std::vector<Row>*)>& body,
+    std::vector<Row>* out) {
+  using Clock = std::chrono::steady_clock;
+  const size_t msize = parallel_->morsel_rows;
+  const size_t num_morsels = (n + msize - 1) / msize;
+  std::vector<std::vector<Row>> parts(num_morsels);
+  std::vector<Status> statuses(num_morsels, Status::OK());
+  // Checks performed on pool threads; the driver's own morsels land on its
+  // thread-local tally directly and must not be folded twice.
+  std::atomic<uint64_t> foreign_checks{0};
+  std::atomic<uint64_t> wait_ns{0};
+  std::atomic<uint64_t> exec_ns{0};
+  const std::thread::id driver = std::this_thread::get_id();
+  const bool timed =
+      obs::kObsCompiledIn && parallel_->metrics != nullptr && obs::TimingEnabled();
+  const Clock::time_point dispatched = timed ? Clock::now() : Clock::time_point();
+  parallel_->pool->ParallelFor(
+      num_morsels, parallel_->max_threads, [&](size_t m) {
+        const Clock::time_point started =
+            timed ? Clock::now() : Clock::time_point();
+        const uint64_t checks_before = CheckTally::Current();
+        const size_t begin = m * msize;
+        const size_t end = std::min(n, begin + msize);
+        statuses[m] = body(begin, end, &parts[m]);
+        const uint64_t delta = CheckTally::Current() - checks_before;
+        if (delta != 0 && std::this_thread::get_id() != driver) {
+          foreign_checks.fetch_add(delta, std::memory_order_relaxed);
+        }
+        if (timed) {
+          const Clock::time_point finished = Clock::now();
+          wait_ns.fetch_add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(started -
+                                                                   dispatched)
+                  .count(),
+              std::memory_order_relaxed);
+          exec_ns.fetch_add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(finished -
+                                                                   started)
+                  .count(),
+              std::memory_order_relaxed);
+        }
+      });
+  // Operator close: fold pool-thread check tallies into the calling thread
+  // so the monitor's before/after read covers the whole statement.
+  CheckTally::Add(foreign_checks.load(std::memory_order_relaxed));
+  if (parallel_->metrics != nullptr) {
+    parallel_->metrics->counter("engine.morsels_dispatched")->Add(num_morsels);
+    if (timed) {
+      const uint64_t waited = wait_ns.load(std::memory_order_relaxed);
+      const uint64_t executed = exec_ns.load(std::memory_order_relaxed);
+      parallel_->metrics->histogram(obs::kStageMorselWait)->Record(waited);
+      parallel_->metrics->histogram(obs::kStageMorselExec)->Record(executed);
+      obs::TraceStore::AddSpan(obs::kStageMorselWait, waited);
+      obs::TraceStore::AddSpan(obs::kStageMorselExec, executed);
+    }
+  }
+  for (const Status& st : statuses) AAPAC_RETURN_NOT_OK(st);
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out->reserve(out->size() + total);
+  for (auto& p : parts) {
+    for (Row& row : p) out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
 Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
                                         const NeededColumns& needed,
                                         std::vector<PendingConjunct>* pending) {
@@ -1085,13 +1193,34 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
     }
   }
   stats_->rows_scanned += table->num_rows();
-  for (const Row& row : table->rows()) {
-    AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
-    if (!pass) continue;
-    Row pruned;
-    pruned.reserve(keep.size());
-    for (size_t k : keep) pruned.push_back(row[k]);
-    rel.rows.push_back(std::move(pruned));
+  const std::vector<Row>& rows = table->rows();
+  if (!ShouldParallelize(rows.size())) {
+    for (const Row& row : rows) {
+      AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+      if (!pass) continue;
+      Row pruned;
+      pruned.reserve(keep.size());
+      for (size_t k : keep) pruned.push_back(row[k]);
+      rel.rows.push_back(std::move(pruned));
+    }
+  } else {
+    // Morsel-parallel scan: WHERE + policy-check evaluation fan out over
+    // fixed-size row ranges; stitching preserves the serial row order.
+    AAPAC_RETURN_NOT_OK(RunMorsels(
+        rows.size(),
+        [&](size_t begin, size_t end, std::vector<Row>* sink) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            const Row& row = rows[i];
+            AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+            if (!pass) continue;
+            Row pruned;
+            pruned.reserve(keep.size());
+            for (size_t k : keep) pruned.push_back(row[k]);
+            sink->push_back(std::move(pruned));
+          }
+          return Status::OK();
+        },
+        &rel.rows));
   }
   stats_->rows_materialized += rel.rows.size();
   return rel;
@@ -1192,18 +1321,19 @@ Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
                          ClaimConjuncts(out.schema, pending));
   for (auto& f : claimed) filters.push_back(std::move(f));
 
-  auto emit = [&](const Row& lrow, const Row& rrow) -> Status {
+  auto emit = [&](const Row& lrow, const Row& rrow,
+                  std::vector<Row>* sink) -> Status {
     Row joined;
     joined.reserve(lrow.size() + rrow.size());
     joined.insert(joined.end(), lrow.begin(), lrow.end());
     joined.insert(joined.end(), rrow.begin(), rrow.end());
     AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, joined));
-    if (pass) out.rows.push_back(std::move(joined));
+    if (pass) sink->push_back(std::move(joined));
     return Status::OK();
   };
 
   if (!equi.empty()) {
-    // Hash join: build on the smaller input, probe with the larger.
+    // Hash join: build on the smaller input (serial), probe with the larger.
     const bool build_left = left.rows.size() <= right.rows.size();
     const Relation& build = build_left ? left : right;
     const Relation& probe = build_left ? right : left;
@@ -1224,23 +1354,44 @@ Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
       for (const Value& v : key) has_null |= v.is_null();
       if (!has_null) table[std::move(key)].push_back(i);
     }
-    for (const Row& prow : probe.rows) {
+    // Probing one row touches only the (frozen) hash table and appends to
+    // the given sink, so probe rows fan out over morsels; emission order
+    // within a morsel is probe-row order x build-index order, identical to
+    // the serial loop, and stitching preserves it across morsels.
+    auto probe_one = [&](const Row& prow, std::vector<Row>* sink) -> Status {
       Row key = key_of(prow, !build_left);
       bool has_null = false;
       for (const Value& v : key) has_null |= v.is_null();
-      if (has_null) continue;
+      if (has_null) return Status::OK();
       auto it = table.find(key);
-      if (it == table.end()) continue;
+      if (it == table.end()) return Status::OK();
       for (uint32_t bi : it->second) {
         const Row& brow = build.rows[bi];
-        AAPAC_RETURN_NOT_OK(build_left ? emit(brow, prow) : emit(prow, brow));
+        AAPAC_RETURN_NOT_OK(build_left ? emit(brow, prow, sink)
+                                       : emit(prow, brow, sink));
       }
+      return Status::OK();
+    };
+    if (!ShouldParallelize(probe.rows.size())) {
+      for (const Row& prow : probe.rows) {
+        AAPAC_RETURN_NOT_OK(probe_one(prow, &out.rows));
+      }
+    } else {
+      AAPAC_RETURN_NOT_OK(RunMorsels(
+          probe.rows.size(),
+          [&](size_t begin, size_t end, std::vector<Row>* sink) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              AAPAC_RETURN_NOT_OK(probe_one(probe.rows[i], sink));
+            }
+            return Status::OK();
+          },
+          &out.rows));
     }
   } else {
     // Nested-loop join for non-equi conditions.
     for (const Row& lrow : left.rows) {
       for (const Row& rrow : right.rows) {
-        AAPAC_RETURN_NOT_OK(emit(lrow, rrow));
+        AAPAC_RETURN_NOT_OK(emit(lrow, rrow, &out.rows));
       }
     }
   }
@@ -1844,6 +1995,14 @@ Result<std::string> Executor::ExplainPlanSql(const std::string& sql) {
 Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_);
+  return impl.Execute(stmt);
+}
+
+Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt,
+                                    const ParallelSpec& spec) {
+  if (!spec.enabled()) return Execute(stmt);  // Exactly the serial path.
+  stats_.statements.fetch_add(1, std::memory_order_relaxed);
+  ExecutorImpl impl(db_, &stats_, pushdown_enabled_, &spec);
   return impl.Execute(stmt);
 }
 

@@ -10,10 +10,49 @@
 
 #include "engine/database.h"
 #include "engine/value.h"
+#include "obs/metrics.h"
 #include "sql/ast.h"
 #include "util/result.h"
+#include "util/task_pool.h"
 
 namespace aapac::engine {
+
+/// Per-thread tally of policy-compliance UDF invocations. The enforcement
+/// monitor's `complies_with` UDF bumps it on every call; the monitor reads
+/// the calling thread's value before and after a statement to get the
+/// statement's exact check count (the audit-log `checks` column and the
+/// Fig. 6 measure). Under morsel parallelism checks happen on pool threads
+/// whose tallies the monitor never sees, so the morsel driver measures each
+/// morsel's delta on the thread that ran it and folds foreign-thread deltas
+/// back into the calling thread's tally at operator close — the before/after
+/// read stays per-statement-exact regardless of the degree of parallelism.
+struct CheckTally {
+  /// The calling thread's running total (monotonic within a thread).
+  static uint64_t Current();
+  /// +1, called by the UDF on whichever thread evaluates the predicate.
+  static void Bump();
+  /// Folds `n` checks performed on other threads into this thread's tally.
+  static void Add(uint64_t n);
+};
+
+/// Degree-of-parallelism request for one statement execution. Default (null
+/// pool / max_threads 1) selects the serial code path, which is exactly the
+/// pre-morsel executor: no extra allocation, timing, or dispatch.
+struct ParallelSpec {
+  /// Shared worker pool; morsel helpers are front-queued so they drain
+  /// before queued query tasks (one thread budget with the server).
+  util::TaskPool* pool = nullptr;
+  /// Worker cap for this statement, including the calling thread.
+  size_t max_threads = 1;
+  /// Rows per morsel (fixed-size splitting of base-table scans and join
+  /// probes).
+  size_t morsel_rows = 2048;
+  /// Optional sink for pipeline.morsel_wait / pipeline.morsel_exec
+  /// histograms and the engine.morsels_dispatched counter.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  bool enabled() const { return pool != nullptr && max_threads > 1; }
+};
 
 /// Execution counters for one or more Execute() calls. The enforcement
 /// benchmarks read these to reproduce the paper's complexity measurements
@@ -82,6 +121,13 @@ class Executor {
 
   /// Runs a SELECT and materializes the result.
   Result<ResultSet> Execute(const sql::SelectStmt& stmt);
+
+  /// Same, with intra-query morsel parallelism per `spec`. Results are
+  /// byte-identical to the serial overload: morsels are stitched back in
+  /// scan order and every order-sensitive stage (aggregation, DISTINCT,
+  /// ORDER BY) runs on the stitched relation exactly as in serial mode.
+  Result<ResultSet> Execute(const sql::SelectStmt& stmt,
+                            const ParallelSpec& spec);
 
   /// Convenience: parse + execute.
   Result<ResultSet> ExecuteSql(const std::string& sql);

@@ -46,12 +46,20 @@ inline constexpr char kStageCacheLookup[] = "pipeline.cache_lookup";
 inline constexpr char kStageQueueWait[] = "pipeline.queue_wait";
 inline constexpr char kStageLockWait[] = "pipeline.lock_wait";
 inline constexpr char kStageExecute[] = "pipeline.execute";
+// Intra-query parallel stages, recorded by the engine's morsel driver only
+// when a statement actually fans out (serial statements leave them empty):
+// morsel_wait is dispatch-to-start latency summed over a statement's
+// morsels; morsel_exec is the summed per-morsel evaluation time.
+inline constexpr char kStageMorselWait[] = "pipeline.morsel_wait";
+inline constexpr char kStageMorselExec[] = "pipeline.morsel_exec";
 
-/// The seven stage names above, in pipeline order (benches iterate this to
-/// emit per-stage percentile JSON lines).
+/// The stage names above, in pipeline order (benches iterate this to emit
+/// per-stage percentile JSON lines; empty histograms are skipped, so serial
+/// runs emit the same stage set as before the morsel stages existed).
 inline constexpr const char* kPipelineStages[] = {
-    kStageParse,     kStageDerive,   kStageRewrite, kStageCacheLookup,
-    kStageQueueWait, kStageLockWait, kStageExecute};
+    kStageParse,     kStageDerive,   kStageRewrite,    kStageCacheLookup,
+    kStageQueueWait, kStageLockWait, kStageMorselWait, kStageMorselExec,
+    kStageExecute};
 
 /// Monotonic counter. All operations are single relaxed atomics; safe from
 /// any number of threads.

@@ -9,9 +9,15 @@ namespace aapac::server {
 EnforcementServer::EnforcementServer(core::EnforcementMonitor* monitor,
                                      ServerOptions options)
     : monitor_(monitor),
-      options_(ServerOptions{options.threads == 0 ? 1 : options.threads,
-                             options.queue_capacity, options.cache_capacity}),
+      options_([&options] {
+        ServerOptions o = options;
+        if (o.threads == 0) o.threads = 1;
+        if (o.query_threads == 0) o.query_threads = 1;
+        if (o.morsel_rows == 0) o.morsel_rows = 2048;
+        return o;
+      }()),
       cache_(options.cache_capacity),
+      pool_(options_.threads),
       registry_(monitor->metrics().get()),
       queue_depth_gauge_(registry_->gauge("server.queue_depth")),
       lock_shared_(registry_->counter("server.lock_shared")),
@@ -22,10 +28,6 @@ EnforcementServer::EnforcementServer(core::EnforcementMonitor* monitor,
   cache_.BindMetrics(registry_);
   registry_->RegisterExternalCounter("server.executed", &executed_);
   registry_->RegisterExternalCounter("server.rejected", &rejected_);
-  workers_.reserve(options_.threads);
-  for (size_t i = 0; i < options_.threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
 }
 
 EnforcementServer::~EnforcementServer() {
@@ -37,14 +39,11 @@ EnforcementServer::~EnforcementServer() {
 void EnforcementServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }
-  queue_cv_.notify_all();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
+  // Drains the pool: every pending DrainOne closure still runs, so every
+  // accepted Submit gets its promise fulfilled before the workers join.
+  pool_.Shutdown();
 }
 
 Result<SessionId> EnforcementServer::OpenSession(const std::string& user,
@@ -84,7 +83,18 @@ Result<std::future<Result<engine::ResultSet>>> EnforcementServer::Submit(
     queue_.push_back(std::move(task));
     queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   }
-  queue_cv_.notify_one();
+  // One DrainOne per accepted task. Back of the pool queue: queued queries
+  // yield to morsel helpers of queries already executing.
+  if (!pool_.Submit([this] { DrainOne(); })) {
+    // Shutdown raced in after the capacity check; take the task back so its
+    // promise is not abandoned.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!queue_.empty()) {
+      queue_.pop_back();
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    return Status::Unavailable("server is shutting down");
+  }
   return future;
 }
 
@@ -95,32 +105,29 @@ Result<engine::ResultSet> EnforcementServer::Execute(SessionId session,
   return future.get();
 }
 
-void EnforcementServer::WorkerLoop() {
-  for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained.
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
-    }
-    uint64_t queue_wait_ns = 0;
-    if (obs::kObsCompiledIn && obs::TimingEnabled()) {
-      const auto waited = std::chrono::steady_clock::now() - task.enqueued;
-      queue_wait_ns = static_cast<uint64_t>(std::max<int64_t>(
-          0, std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
-                 .count()));
-      queue_wait_hist_->Record(queue_wait_ns);
-    }
-    Result<engine::ResultSet> result =
-        Process(task.session, task.sql, queue_wait_ns);
-    // Count before fulfilling the promise: a client that has observed its
-    // result must also observe the execution in executed_total().
-    executed_.fetch_add(1, std::memory_order_relaxed);
-    task.promise.set_value(std::move(result));
+void EnforcementServer::DrainOne() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.empty()) return;  // Its task was reclaimed by a failed Submit.
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   }
+  uint64_t queue_wait_ns = 0;
+  if (obs::kObsCompiledIn && obs::TimingEnabled()) {
+    const auto waited = std::chrono::steady_clock::now() - task.enqueued;
+    queue_wait_ns = static_cast<uint64_t>(std::max<int64_t>(
+        0, std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+               .count()));
+    queue_wait_hist_->Record(queue_wait_ns);
+  }
+  Result<engine::ResultSet> result =
+      Process(task.session, task.sql, queue_wait_ns);
+  // Count before fulfilling the promise: a client that has observed its
+  // result must also observe the execution in executed_total().
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  task.promise.set_value(std::move(result));
 }
 
 namespace {
@@ -264,6 +271,13 @@ Result<engine::ResultSet> EnforcementServer::Process(
   if (queue_wait_ns > 0) {
     obs::TraceStore::AddSpan(obs::kStageQueueWait, queue_wait_ns);
   }
+  // Morsel helpers for this query draw from the same pool as query workers:
+  // one thread budget for the whole server.
+  engine::ParallelSpec parallel;
+  parallel.pool = &pool_;
+  parallel.max_threads = options_.query_threads;
+  parallel.morsel_rows = options_.morsel_rows;
+  parallel.metrics = registry_;
   {
     // Read path: shared lock — any number of workers in parallel, no writer.
     std::shared_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
@@ -276,7 +290,7 @@ Result<engine::ResultSet> EnforcementServer::Process(
                            CheckAndPrepare(session, sql));
     if (!ReadsTable(*entry->stmt, core::EnforcementMonitor::kAuditTable)) {
       return monitor_->ExecutePrepared(*entry->stmt, sql, session.purpose_id,
-                                       session.user);
+                                       session.user, parallel);
     }
   }
   // Queries over the audit trail take the exclusive side: workers append
@@ -293,7 +307,7 @@ Result<engine::ResultSet> EnforcementServer::Process(
   AAPAC_ASSIGN_OR_RETURN(std::shared_ptr<const RewriteCache::Entry> entry,
                          CheckAndPrepare(session, sql));
   return monitor_->ExecutePrepared(*entry->stmt, sql, session.purpose_id,
-                                   session.user);
+                                   session.user, parallel);
 }
 
 Result<size_t> EnforcementServer::ExecuteInsert(SessionId session,

@@ -2,7 +2,6 @@
 #define AAPAC_SERVER_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -11,7 +10,6 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/monitor.h"
@@ -22,17 +20,30 @@
 #include "server/rewrite_cache.h"
 #include "server/session.h"
 #include "util/result.h"
+#include "util/task_pool.h"
 
 namespace aapac::server {
 
 struct ServerOptions {
-  /// Worker threads executing enforced queries (clamped to >= 1).
+  /// Worker threads in the shared TaskPool (clamped to >= 1). Query tasks
+  /// and intra-query morsel helpers both run here, so this is the server's
+  /// whole thread budget.
   size_t threads = 4;
   /// Bounded submission queue; a Submit finding it full is rejected with
   /// kUnavailable immediately — the server never blocks a client forever.
   size_t queue_capacity = 128;
   /// Rewrite-cache entries (0 disables memoization).
   size_t cache_capacity = 1024;
+  /// Per-query degree of parallelism, including the worker running the
+  /// query: each SELECT may fan its scans/probes out to this many pool
+  /// workers as morsel helpers (helpers jump the task queue, so finishing
+  /// an in-flight query always beats starting a new one). 1 = serial
+  /// execution, exactly the pre-morsel code path.
+  size_t query_threads = 1;
+  /// Rows per morsel when query_threads > 1. Scans smaller than two morsels
+  /// stay serial, so lowering this makes small tables eligible for fan-out
+  /// (tests use this; the default suits the benchmark scales).
+  size_t morsel_rows = 2048;
 };
 
 /// Point-in-time aggregate of the server's operational state (the shell's
@@ -136,6 +147,8 @@ class EnforcementServer {
   SessionManager& sessions() { return sessions_; }
   const ServerOptions& options() const { return options_; }
   core::EnforcementMonitor* monitor() { return monitor_; }
+  /// The shared worker pool (query tasks + morsel helpers).
+  util::TaskPool& pool() { return pool_; }
 
   size_t queue_depth() const;
   uint64_t rejected_total() const {
@@ -162,7 +175,9 @@ class EnforcementServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  /// Pops one queued task and runs it to completion; every Submit pairs
+  /// with exactly one DrainOne scheduled on the pool.
+  void DrainOne();
 
   /// Per-query re-authorization followed by a versioned cache lookup
   /// (Prepare on miss). Caller must hold data_mu_ on either side.
@@ -189,11 +204,14 @@ class EnforcementServer {
   std::shared_mutex data_mu_;
 
   mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;
 
-  std::vector<std::thread> workers_;
+  /// One thread budget for everything: query tasks (back of the pool's
+  /// queue) and morsel helpers (front). Declared after the task queue so
+  /// its destruction — which drains in-flight DrainOne closures — runs
+  /// first.
+  util::TaskPool pool_;
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> executed_{0};
 

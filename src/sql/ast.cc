@@ -6,7 +6,10 @@ std::unique_ptr<Expr> FuncCallExpr::Clone() const {
   std::vector<ExprPtr> cloned_args;
   cloned_args.reserve(args.size());
   for (const auto& a : args) cloned_args.push_back(a->Clone());
-  return std::make_unique<FuncCallExpr>(name, std::move(cloned_args), distinct);
+  auto clone =
+      std::make_unique<FuncCallExpr>(name, std::move(cloned_args), distinct);
+  clone->synthetic = synthetic;
+  return clone;
 }
 
 InExpr::InExpr(ExprPtr operand, std::unique_ptr<SelectStmt> subquery,

@@ -168,6 +168,12 @@ class FuncCallExpr final : public Expr {
   std::string name;  // Stored lowercase; SQL function names are case-insensitive.
   std::vector<ExprPtr> args;
   bool distinct;  // count(distinct x)
+  /// True only for calls the enforcement rewriter injected itself (the
+  /// complies_with conjuncts). The parser never sets it, so enforcement
+  /// internals arriving as SQL text are still rejected, while re-rewriting
+  /// an already-rewritten AST can recognize and replace its own conjuncts
+  /// instead of stacking duplicates (idempotence).
+  bool synthetic = false;
 };
 
 /// `x [NOT] IN (expr, ...)` or `x [NOT] IN (select ...)`.

@@ -1,0 +1,111 @@
+#include "util/task_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace aapac::util {
+
+/// Shared state of one ParallelFor call. Lives on the heap (shared_ptr) so a
+/// helper task that fires after the caller has already returned — possible
+/// when the work drained before the helper was scheduled — still touches
+/// valid memory and exits immediately.
+struct TaskPool::Batch {
+  std::atomic<size_t> next{0};  // Next unclaimed index.
+  std::atomic<size_t> done{0};  // Finished invocations.
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;  // Owned by the caller.
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+TaskPool::TaskPool(size_t threads) {
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() { Shutdown(); }
+
+bool TaskPool::Submit(std::function<void()> fn, bool front) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (front) {
+      queue_.push_front(std::move(fn));
+    } else {
+      queue_.push_back(std::move(fn));
+    }
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void TaskPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskPool::RunBatch(const std::shared_ptr<Batch>& batch) {
+  const size_t n = batch->n;
+  size_t finished = 0;
+  for (;;) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    (*batch->fn)(i);
+    ++finished;
+  }
+  if (finished == 0) return;
+  if (batch->done.fetch_add(finished, std::memory_order_acq_rel) + finished ==
+      n) {
+    // Last finisher wakes the caller. The lock pairs with the caller's wait
+    // so the notify cannot slip between its predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(batch->mu);
+    batch->cv.notify_all();
+  }
+}
+
+void TaskPool::ParallelFor(size_t n, size_t max_workers,
+                           const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  // The caller is one of the workers; at most n-1 helpers can be useful.
+  size_t helpers = max_workers > 0 ? max_workers - 1 : 0;
+  helpers = std::min(helpers, workers_.size());
+  helpers = std::min(helpers, n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    // Front of the queue: finishing an in-flight query beats starting a new
+    // one. A false return (shutdown raced in) just means fewer helpers.
+    if (!Submit([batch] { RunBatch(batch); }, /*front=*/true)) break;
+  }
+  RunBatch(batch);
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace aapac::util

@@ -1,0 +1,71 @@
+#ifndef AAPAC_UTIL_TASK_POOL_H_
+#define AAPAC_UTIL_TASK_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aapac::util {
+
+/// Fixed-size worker pool shared by the enforcement server's query workers
+/// and the engine's intra-query morsel workers, so both draw from one thread
+/// budget: a machine configured for N threads never runs more than N tasks,
+/// no matter how queries and morsels interleave.
+///
+/// Two queue disciplines keep the budget honest under mixed load:
+///  - Submit(fn) appends to the back — new queries wait behind older work.
+///  - Submit(fn, /*front=*/true) jumps the queue — morsel helpers go first,
+///    so an idle worker finishes the query already in flight before it
+///    starts a new one.
+class TaskPool {
+ public:
+  /// Spawns `threads` workers. Zero is valid: the pool then never runs
+  /// anything itself and ParallelFor degrades to the caller's own loop.
+  explicit TaskPool(size_t threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  size_t threads() const { return workers_.size(); }
+
+  /// Enqueues a task; returns false (task dropped) after Shutdown began.
+  /// Tasks must not throw.
+  bool Submit(std::function<void()> fn, bool front = false);
+
+  /// Stops accepting tasks, drains everything already queued and joins the
+  /// workers. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  /// Runs `fn(i)` exactly once for every i in [0, n), on the calling thread
+  /// plus up to `max_workers - 1` pool workers, and returns when all n
+  /// invocations have finished. The caller claims indices itself from a
+  /// shared cursor, so the loop always makes progress even when every pool
+  /// worker is busy (helpers that arrive after the work is drained are
+  /// no-ops). Deadlock-free under nesting for the same reason: a worker
+  /// running a ParallelFor inside a pool task never waits on the pool, only
+  /// on the work items, which it can always execute itself.
+  void ParallelFor(size_t n, size_t max_workers,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  struct Batch;
+
+  static void RunBatch(const std::shared_ptr<Batch>& batch);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace aapac::util
+
+#endif  // AAPAC_UTIL_TASK_POOL_H_

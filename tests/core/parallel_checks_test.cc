@@ -1,0 +1,127 @@
+// Regression coverage for compliance-check accounting under morsel
+// parallelism. The complies_with UDF bumps an engine-owned thread_local
+// tally; the morsel driver folds the deltas of pool worker threads back
+// into the calling thread at operator close, and the monitor feeds the
+// per-statement delta into the enforce.compliance_checks counter (and the
+// audit log's `checks` column) exactly once per statement. A shared atomic
+// bumped from the scan loop would stay globally correct but could not
+// attribute checks to statements; the per-morsel fold keeps both exact, and
+// parallel execution must spend exactly as many checks as serial.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "engine/database.h"
+#include "server/server.h"
+#include "util/task_pool.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/queries.h"
+
+namespace aapac::core {
+namespace {
+
+struct Instance {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<AccessControlCatalog> catalog;
+  std::unique_ptr<EnforcementMonitor> monitor;
+
+  Instance() {
+    db = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 30;
+    config.samples_per_patient = 40;  // 1200 sensed_data rows.
+    EXPECT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+    catalog = std::make_unique<AccessControlCatalog>(db.get());
+    EXPECT_TRUE(catalog->Initialize().ok());
+    EXPECT_TRUE(workload::ConfigurePatientsAccessControl(catalog.get()).ok());
+    workload::ScatteredPolicyConfig sp;
+    sp.selectivity = 0.3;
+    EXPECT_TRUE(workload::ApplyScatteredPolicies(catalog.get(), sp).ok());
+    monitor =
+        std::make_unique<EnforcementMonitor>(db.get(), catalog.get());
+  }
+};
+
+TEST(ParallelChecksTest, ParallelExecutionSpendsExactlySerialCheckCount) {
+  Instance inst;
+  util::TaskPool pool(3);
+  for (const auto& q : workload::PaperQueries()) {
+    inst.monitor->SetParallelism(nullptr, 1);
+    inst.monitor->ResetComplianceChecks();
+    ASSERT_TRUE(inst.monitor->ExecuteQuery(q.sql, "p3").ok()) << q.name;
+    const uint64_t serial = inst.monitor->compliance_checks();
+    ASSERT_GT(serial, 0u) << q.name;
+
+    inst.monitor->SetParallelism(&pool, 4, /*morsel_rows=*/64);
+    inst.monitor->ResetComplianceChecks();
+    ASSERT_TRUE(inst.monitor->ExecuteQuery(q.sql, "p3").ok()) << q.name;
+    EXPECT_EQ(inst.monitor->compliance_checks(), serial)
+        << q.name << ": morsel workers lost or double-counted checks";
+  }
+}
+
+TEST(ParallelChecksTest, AuditChecksColumnStaysPerStatementExact) {
+  // Serial ground truth per query first; then the same statements run
+  // through the server with intra-query parallelism and concurrent clients,
+  // and every audit row must still carry its statement's exact check count.
+  Instance inst;
+  std::vector<workload::BenchQuery> queries = workload::PaperQueries();
+  std::vector<uint64_t> expected;
+  for (const auto& q : queries) {
+    inst.monitor->ResetComplianceChecks();
+    ASSERT_TRUE(inst.monitor->ExecuteQuery(q.sql, "p3").ok()) << q.name;
+    expected.push_back(inst.monitor->compliance_checks());
+  }
+  ASSERT_TRUE(inst.monitor->EnableAuditLog().ok());
+
+  {
+    server::ServerOptions options;
+    options.threads = 4;
+    options.query_threads = 2;
+    options.morsel_rows = 64;
+    server::EnforcementServer server(inst.monitor.get(), options);
+    const size_t kClients = 3;
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        auto sid = server.OpenSession("", "p3");
+        ASSERT_TRUE(sid.ok());
+        for (const auto& q : queries) {
+          auto rs = server.Execute(*sid, q.sql);
+          EXPECT_TRUE(rs.ok()) << q.name << ": " << rs.status();
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    server.Shutdown();
+  }
+
+  auto audit = inst.monitor->ExecuteUnrestricted(
+      "select qy, checks from audit_log");
+  ASSERT_TRUE(audit.ok()) << audit.status();
+  size_t matched = 0;
+  for (const auto& row : audit->rows) {
+    ASSERT_EQ(row.size(), 2u);
+    const std::string sql_text = row[0].ToString();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (sql_text != queries[i].sql) continue;
+      EXPECT_EQ(row[1].ToString(), std::to_string(expected[i]))
+          << queries[i].name
+          << ": audit checks drifted under parallel execution";
+      ++matched;
+      break;
+    }
+  }
+  // 3 clients x 8 paper queries, every one audited with exact checks.
+  EXPECT_EQ(matched, 3u * queries.size());
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,170 @@
+// Property tests for the enforcement rewriter, over randomized queries from
+// the differential harness's seeded generator:
+//
+//  * Idempotence — rewriting an already-rewritten AST yields the same SQL
+//    text and the same number of complies_with conjuncts as the first pass
+//    (the rewriter strips its own synthetic conjuncts and re-derives rather
+//    than stacking duplicates). Rewritten *text* resubmitted as a user
+//    query must still be denied; that boundary is covered by
+//    RewriterTest.RewrittenOutputCannotBeResubmitted.
+//  * WHERE preservation — the user's original WHERE clause survives
+//    verbatim as a conjunct of the rewritten WHERE.
+//  * Cache transparency — a RewriteCache hit returns an entry whose
+//    statement prints exactly like a cold rewrite of the same (sql,
+//    purpose, role) triple, for whitespace/case variants that normalize to
+//    the same key.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "core/rewriter.h"
+#include "engine/database.h"
+#include "server/rewrite_cache.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "tests/util/query_gen.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac::core {
+namespace {
+
+constexpr uint64_t kSeed = 987654321;
+constexpr size_t kTriples = 120;
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+struct Instance {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<AccessControlCatalog> catalog;
+  std::unique_ptr<EnforcementMonitor> monitor;
+
+  Instance() {
+    db = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 10;
+    config.samples_per_patient = 5;
+    EXPECT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+    catalog = std::make_unique<AccessControlCatalog>(db.get());
+    EXPECT_TRUE(catalog->Initialize().ok());
+    EXPECT_TRUE(workload::ConfigurePatientsAccessControl(catalog.get()).ok());
+    workload::ScatteredPolicyConfig sp;
+    sp.selectivity = 0.3;
+    EXPECT_TRUE(workload::ApplyScatteredPolicies(catalog.get(), sp).ok());
+    monitor =
+        std::make_unique<EnforcementMonitor>(db.get(), catalog.get());
+  }
+};
+
+TEST(RewriterPropertyTest, RewriteIsIdempotentOnTheAst) {
+  Instance inst;
+  const QueryRewriter& rewriter = inst.monitor->rewriter();
+  testutil::QueryGenerator gen(kSeed);
+  for (size_t i = 0; i < kTriples; ++i) {
+    const testutil::GenQuery q = gen.Next();
+    const std::string ctx = "query#" + std::to_string(i) + " purpose=" +
+                            q.purpose + " sql=" + q.sql;
+    auto stmt = sql::ParseSelect(q.sql);
+    ASSERT_TRUE(stmt.ok()) << ctx;
+    ASSERT_TRUE(rewriter.Rewrite(stmt->get(), q.purpose).ok()) << ctx;
+    const std::string once = sql::ToSql(**stmt);
+    const size_t conjuncts_once = CountOccurrences(once, "complies_with(");
+    EXPECT_GT(conjuncts_once, 0u) << ctx;  // All three tables are protected.
+
+    ASSERT_TRUE(rewriter.Rewrite(stmt->get(), q.purpose).ok()) << ctx;
+    const std::string twice = sql::ToSql(**stmt);
+    EXPECT_EQ(twice, once) << ctx << "\n  re-rewriting changed the statement";
+    EXPECT_EQ(CountOccurrences(twice, "complies_with("), conjuncts_once)
+        << ctx << "\n  duplicate enforcement conjuncts were stacked";
+  }
+}
+
+TEST(RewriterPropertyTest, OriginalWhereSurvivesAsConjunct) {
+  Instance inst;
+  const QueryRewriter& rewriter = inst.monitor->rewriter();
+  testutil::QueryGenerator gen(kSeed + 1);
+  size_t with_where = 0;
+  for (size_t i = 0; i < kTriples; ++i) {
+    const testutil::GenQuery q = gen.Next();
+    const std::string ctx = "query#" + std::to_string(i) + " purpose=" +
+                            q.purpose + " sql=" + q.sql;
+    auto original = sql::ParseSelect(q.sql);
+    ASSERT_TRUE(original.ok()) << ctx;
+    if ((*original)->where == nullptr) continue;
+    const std::string original_where = sql::ToSql(*(*original)->where);
+    // A sub-query nested inside the WHERE is itself rewritten, so the
+    // clause's text legitimately changes; textual preservation applies to
+    // sub-query-free WHEREs (the structural conjunct property for nested
+    // shapes is covered by the idempotence test and the differential
+    // harness).
+    if (original_where.find("select") != std::string::npos) continue;
+    ++with_where;
+
+    auto stmt = sql::ParseSelect(q.sql);
+    ASSERT_TRUE(stmt.ok()) << ctx;
+    ASSERT_TRUE(rewriter.Rewrite(stmt->get(), q.purpose).ok()) << ctx;
+    ASSERT_NE((*stmt)->where, nullptr) << ctx;
+    const std::string rewritten_where = sql::ToSql(*(*stmt)->where);
+    EXPECT_NE(rewritten_where.find(original_where), std::string::npos)
+        << ctx << "\n  original WHERE [" << original_where
+        << "] not preserved in [" << rewritten_where << "]";
+  }
+  EXPECT_GE(with_where, kTriples / 3);  // The generator mix must filter often.
+}
+
+TEST(RewriterPropertyTest, CacheHitPrintsExactlyLikeColdRewrite) {
+  Instance inst;
+  server::RewriteCache cache(256);
+  testutil::QueryGenerator gen(kSeed + 2);
+  const uint64_t version = inst.catalog->version();
+  for (size_t i = 0; i < kTriples; ++i) {
+    const testutil::GenQuery q = gen.Next();
+    const std::string role = (i % 3 == 0) ? "" : "role" + std::to_string(i % 3);
+    const std::string ctx = "query#" + std::to_string(i) + " purpose=" +
+                            q.purpose + " role=" + role + " sql=" + q.sql;
+
+    // Cold rewrite through the monitor's cacheable pipeline stage.
+    auto cold = inst.monitor->Prepare(q.sql, q.purpose);
+    ASSERT_TRUE(cold.ok()) << ctx;
+    const std::string cold_print = sql::ToSql(**cold);
+
+    // (The generator may repeat a triple; Insert then replaces the entry,
+    // which is exactly the server's behaviour on a racing double-miss.)
+    const std::string normalized = server::RewriteCache::NormalizeSql(q.sql);
+    auto entry = std::make_shared<server::RewriteCache::Entry>();
+    entry->rewritten_sql = cold_print;
+    entry->stmt = std::move(*cold);
+    entry->version = version;
+    cache.Insert(normalized, q.purpose, role, entry);
+
+    // A whitespace/case variant of the same text must normalize to the same
+    // key, and the hit must print exactly like a fresh cold rewrite.
+    std::string variant = "  " + q.sql + "  ";
+    for (size_t c = 0; c < 6 && c < variant.size(); ++c) {
+      variant[c] = static_cast<char>(std::toupper(variant[c]));
+    }
+    auto hit = cache.Lookup(server::RewriteCache::NormalizeSql(variant),
+                            q.purpose, role, version);
+    ASSERT_NE(hit, nullptr) << ctx;
+    auto cold2 = inst.monitor->Prepare(q.sql, q.purpose);
+    ASSERT_TRUE(cold2.ok()) << ctx;
+    EXPECT_EQ(sql::ToSql(*hit->stmt), sql::ToSql(**cold2))
+        << ctx << "\n  cached AST diverged from a cold rewrite";
+    EXPECT_EQ(hit->rewritten_sql, sql::ToSql(**cold2)) << ctx;
+  }
+}
+
+}  // namespace
+}  // namespace aapac::core

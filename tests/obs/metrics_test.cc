@@ -144,11 +144,15 @@ TEST(ObsMetricsTest, RuntimeTimingToggle) {
   EXPECT_EQ(TimingEnabled(), kObsCompiledIn);
 }
 
-TEST(ObsMetricsTest, PipelineStageListCoversAllSevenStages) {
-  EXPECT_EQ(std::size(kPipelineStages), 7u);
+TEST(ObsMetricsTest, PipelineStageListCoversAllNineStages) {
+  EXPECT_EQ(std::size(kPipelineStages), 9u);
   for (const char* stage : kPipelineStages) {
     EXPECT_EQ(std::string(stage).rfind("pipeline.", 0), 0u) << stage;
   }
+  // The morsel stages ride along in the canonical list so dump/report tools
+  // pick them up, but they only fill when a query actually fans out.
+  EXPECT_EQ(std::string(kStageMorselWait), "pipeline.morsel_wait");
+  EXPECT_EQ(std::string(kStageMorselExec), "pipeline.morsel_exec");
 }
 
 }  // namespace

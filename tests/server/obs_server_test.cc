@@ -1,7 +1,9 @@
-// Server-side observability: under concurrent load every one of the seven
-// pipeline stage histograms records samples, Snapshot() reports consistent
-// queue/lock/cache figures, and a served statement's trace carries the
-// server-only spans (queue wait, lock wait, cache lookup).
+// Server-side observability: under concurrent load every one of the nine
+// pipeline stage histograms records samples (the morsel stages require a
+// parallel-eligible query, so the load runs with query_threads > 1 and a
+// small morsel size), Snapshot() reports consistent queue/lock/cache
+// figures, and a served statement's trace carries the server-only spans
+// (queue wait, lock wait, cache lookup).
 
 #include <gtest/gtest.h>
 
@@ -48,11 +50,15 @@ Instance MakeInstance() {
   return inst;
 }
 
-TEST(ServerObsTest, AllSevenStageHistogramsFillUnderConcurrentLoad) {
+TEST(ServerObsTest, AllNineStageHistogramsFillUnderConcurrentLoad) {
   if (!obs::kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
   Instance inst = MakeInstance();
   ServerOptions options;
   options.threads = 4;
+  // Morsel stages fill only when a scan fans out; with 100-row tables the
+  // morsel size must shrink below half the table for that to happen.
+  options.query_threads = 2;
+  options.morsel_rows = 16;
   EnforcementServer server(inst.monitor.get(), options);
   const std::vector<workload::BenchQuery> queries = workload::PaperQueries();
 

@@ -1,0 +1,227 @@
+#include "tests/util/query_gen.h"
+
+#include <array>
+
+namespace aapac::testutil {
+
+namespace {
+
+constexpr std::array<const char*, 5> kPositions = {"room", "garden", "canteen",
+                                                   "gym", "corridor"};
+constexpr std::array<const char*, 5> kDiets = {"standard", "low_sugar",
+                                               "low_sodium", "vegan",
+                                               "high_protein"};
+constexpr std::array<const char*, 5> kPreferences = {
+    "omnivore", "vegetarian", "pescatarian", "no_red_meat", "spicy"};
+constexpr std::array<const char*, 5> kIntolerances = {
+    "no_intolerance", "lactose", "gluten", "nuts", "shellfish"};
+
+}  // namespace
+
+std::string QueryGenerator::SensedPredicate() {
+  switch (rng_.NextIndex(5)) {
+    case 0:  // double comparison.
+      return "sensed_data.temperature>" +
+             std::to_string(35 + rng_.NextInt(0, 4)) + "." +
+             std::to_string(rng_.NextInt(0, 9));
+    case 1:  // int64 comparison.
+      return "sensed_data.beats>" + std::to_string(rng_.NextInt(60, 150));
+    case 2:  // int64 range.
+      return "sensed_data.timestamp between " +
+             std::to_string(rng_.NextInt(0, 10)) + " and " +
+             std::to_string(rng_.NextInt(11, 99));
+    case 3:  // string LIKE.
+      return std::string("sensed_data.position like '") +
+             kPositions[rng_.NextIndex(kPositions.size())] + "'";
+    default:  // string equality.
+      return "sensed_data.watch_id='watch" +
+             std::to_string(rng_.NextInt(0, 50)) + "'";
+  }
+}
+
+std::string QueryGenerator::UsersPredicate() {
+  if (rng_.NextBool()) {
+    return "users.watch_id like 'watch" + std::to_string(rng_.NextInt(0, 9)) +
+           "%'";
+  }
+  return "not users.user_id like 'user" + std::to_string(rng_.NextInt(0, 30)) +
+         "'";
+}
+
+std::string QueryGenerator::ProfilesPredicate() {
+  switch (rng_.NextIndex(3)) {
+    case 0:
+      return std::string("nutritional_profiles.food_intolerances like '") +
+             kIntolerances[rng_.NextIndex(kIntolerances.size())] + "'";
+    case 1:
+      return std::string("nutritional_profiles.diet_type='") +
+             kDiets[rng_.NextIndex(kDiets.size())] + "'";
+    default:
+      return std::string("not nutritional_profiles.food_preferences like '") +
+             kPreferences[rng_.NextIndex(kPreferences.size())] + "'";
+  }
+}
+
+std::string QueryGenerator::PredicateFor(const std::string& table) {
+  if (table == "sensed_data") return SensedPredicate();
+  if (table == "users") return UsersPredicate();
+  return ProfilesPredicate();
+}
+
+const char* QueryGenerator::Aggregate() {
+  static constexpr std::array<const char*, 4> kAggs = {"avg", "min", "max",
+                                                       "sum"};
+  return kAggs[rng_.NextIndex(kAggs.size())];
+}
+
+const char* QueryGenerator::SensedNumericColumn() {
+  static constexpr std::array<const char*, 3> kCols = {
+      "sensed_data.temperature", "sensed_data.beats", "sensed_data.timestamp"};
+  return kCols[rng_.NextIndex(kCols.size())];
+}
+
+GenQuery QueryGenerator::SingleTableProjection() {
+  GenQuery q;
+  q.single_table = true;
+  q.distinct = rng_.NextBool(0.3);
+  const std::string head = q.distinct ? "select distinct " : "select ";
+  switch (rng_.NextIndex(3)) {
+    case 0:
+      q.sql = head + "watch_id, temperature, beats, position from sensed_data";
+      if (rng_.NextBool(0.8)) q.sql += " where " + SensedPredicate();
+      break;
+    case 1:
+      q.sql = head + "profile_id, diet_type, food_preferences "
+                     "from nutritional_profiles";
+      if (rng_.NextBool(0.8)) q.sql += " where " + ProfilesPredicate();
+      break;
+    default:
+      q.sql = head + "user_id, watch_id from users";
+      if (rng_.NextBool(0.8)) q.sql += " where " + UsersPredicate();
+      break;
+  }
+  if (rng_.NextBool(0.25)) {
+    q.sql += " limit " + std::to_string(rng_.NextInt(1, 40));
+    q.has_limit = true;
+  }
+  return q;
+}
+
+GenQuery QueryGenerator::SingleTableAggregate() {
+  GenQuery q;
+  q.single_table = true;
+  q.aggregate = true;
+  const std::string agg = Aggregate();
+  const std::string col = SensedNumericColumn();
+  switch (rng_.NextIndex(3)) {
+    case 0:
+      q.sql = "select sensed_data.position, count(watch_id), " + agg + "(" +
+              col + ") from sensed_data group by sensed_data.position";
+      break;
+    case 1:
+      q.sql = "select count(watch_id), " + agg + "(" + col +
+              ") from sensed_data where " + SensedPredicate();
+      break;
+    default:
+      q.sql = "select sensed_data.watch_id, " + agg + "(" + col +
+              ") from sensed_data group by sensed_data.watch_id having count(" +
+              col + ")>" + std::to_string(rng_.NextInt(1, 5));
+      break;
+  }
+  return q;
+}
+
+GenQuery QueryGenerator::JoinProjection() {
+  GenQuery q;
+  if (rng_.NextBool()) {
+    q.sql =
+        "select users.user_id, sensed_data.temperature, sensed_data.beats "
+        "from users join sensed_data on users.watch_id=sensed_data.watch_id "
+        "where " +
+        SensedPredicate();
+  } else {
+    q.sql =
+        "select users.user_id, nutritional_profiles.diet_type "
+        "from users join nutritional_profiles on "
+        "users.nutritional_profile_id=nutritional_profiles.profile_id "
+        "where " +
+        ProfilesPredicate();
+  }
+  if (rng_.NextBool(0.3)) q.sql += " and " + UsersPredicate();
+  return q;
+}
+
+GenQuery QueryGenerator::JoinAggregate() {
+  GenQuery q;
+  q.aggregate = true;
+  const std::string agg = Aggregate();
+  const std::string col = SensedNumericColumn();
+  if (rng_.NextBool(0.3)) {
+    q.sql = "select nutritional_profiles.diet_type, " + agg + "(" + col +
+            ") from users join sensed_data on "
+            "users.watch_id=sensed_data.watch_id join nutritional_profiles "
+            "on users.nutritional_profile_id=nutritional_profiles.profile_id "
+            "where " +
+            SensedPredicate() + " group by nutritional_profiles.diet_type";
+    return q;
+  }
+  q.sql = "select users.user_id, " + agg + "(" + col +
+          ") from users join sensed_data on "
+          "users.watch_id=sensed_data.watch_id where " +
+          SensedPredicate() + " group by users.user_id";
+  if (rng_.NextBool(0.4)) {
+    q.sql += " having " + agg + "(" + col + ")>" +
+             std::to_string(rng_.NextInt(10, 90));
+  }
+  return q;
+}
+
+GenQuery QueryGenerator::FromSubquery() {
+  GenQuery q;
+  q.has_subquery = true;
+  const std::string inner = "select watch_id as w, beats as b, temperature "
+                            "as t from sensed_data where " +
+                            SensedPredicate();
+  if (rng_.NextBool()) {
+    q.aggregate = true;
+    q.sql = "select users.user_id, avg(s1.b) from users join (" + inner +
+            ") s1 on users.watch_id=s1.w group by users.user_id";
+  } else {
+    q.sql = "select s1.w, s1.t from (" + inner + ") s1 where s1.b>" +
+            std::to_string(rng_.NextInt(60, 130));
+  }
+  return q;
+}
+
+GenQuery QueryGenerator::InSubquery() {
+  GenQuery q;
+  q.has_subquery = true;
+  if (rng_.NextBool()) {
+    q.sql =
+        "select user_id, watch_id from users where nutritional_profile_id in "
+        "(select profile_id from nutritional_profiles where " +
+        ProfilesPredicate() + ")";
+  } else {
+    q.sql =
+        "select watch_id, beats from sensed_data where watch_id in "
+        "(select watch_id from users where " +
+        UsersPredicate() + ")";
+  }
+  return q;
+}
+
+GenQuery QueryGenerator::Next() {
+  GenQuery q;
+  switch (rng_.NextIndex(6)) {
+    case 0: q = SingleTableProjection(); break;
+    case 1: q = SingleTableAggregate(); break;
+    case 2: q = JoinProjection(); break;
+    case 3: q = JoinAggregate(); break;
+    case 4: q = FromSubquery(); break;
+    default: q = InSubquery(); break;
+  }
+  q.purpose = "p" + std::to_string(rng_.NextInt(1, 8));
+  return q;
+}
+
+}  // namespace aapac::testutil

@@ -1,0 +1,62 @@
+#ifndef AAPAC_TESTS_UTIL_QUERY_GEN_H_
+#define AAPAC_TESTS_UTIL_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace aapac::testutil {
+
+/// One generated SELECT over the patients schema, plus the shape tags the
+/// differential harness keys its assertions on.
+struct GenQuery {
+  std::string sql;
+  std::string purpose;      // Declared access purpose (p1..p8).
+  bool aggregate = false;   // GROUP BY / aggregate in the select list.
+  bool distinct = false;    // SELECT DISTINCT.
+  bool has_subquery = false;  // FROM-derived table or IN sub-query.
+  bool single_table = false;
+  /// LIMIT without ORDER BY truncates enforced and unenforced streams at
+  /// different rows, so the subset property does not hold row-for-row; the
+  /// harness skips the containment check for these (the parallel≡serial and
+  /// reference-monitor checks still apply).
+  bool has_limit = false;
+};
+
+/// Seeded random SELECT generator for the differential test harness: same
+/// seed, same query stream, on every platform (splitmix64-backed Rng). The
+/// shapes cover projections, WHERE predicates over every column type of the
+/// patients schema (int64, double, string equality and LIKE), two-table
+/// joins on the real foreign keys, GROUP BY with aggregates, DISTINCT and
+/// FROM-clause sub-queries. The reserved `policy` column and the
+/// enforcement UDFs are never emitted — generated queries must be valid
+/// *user* queries.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// The next query in the stream.
+  GenQuery Next();
+
+ private:
+  std::string SensedPredicate();
+  std::string UsersPredicate();
+  std::string ProfilesPredicate();
+  std::string PredicateFor(const std::string& table);
+  const char* Aggregate();
+  const char* SensedNumericColumn();
+
+  GenQuery SingleTableProjection();
+  GenQuery SingleTableAggregate();
+  GenQuery JoinProjection();
+  GenQuery JoinAggregate();
+  GenQuery FromSubquery();
+  GenQuery InSubquery();
+
+  Rng rng_;
+};
+
+}  // namespace aapac::testutil
+
+#endif  // AAPAC_TESTS_UTIL_QUERY_GEN_H_

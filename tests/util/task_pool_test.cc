@@ -1,0 +1,140 @@
+// TaskPool: the shared thread budget behind the server's query workers and
+// the engine's morsel helpers. The contract under test: ParallelFor runs the
+// body exactly once per index (with the caller participating, so it works
+// even with zero pool threads), front-submitted work overtakes queued work,
+// Shutdown drains everything already accepted, and nested ParallelFor from
+// inside a pool task cannot deadlock (the caller always claims work itself).
+
+#include "util/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aapac::util {
+namespace {
+
+TEST(TaskPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  TaskPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), 4, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  pool.Shutdown();
+}
+
+TEST(TaskPoolTest, ParallelForWorksWithZeroWorkers) {
+  // The caller claims all the work itself; no pool thread is required.
+  TaskPool pool(0);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, 4, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 99u * 100u / 2u);
+}
+
+TEST(TaskPoolTest, ParallelForWithMaxWorkersOneStaysOnCaller) {
+  TaskPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> foreign{0};
+  pool.ParallelFor(64, 1, [&](size_t) {
+    if (std::this_thread::get_id() != caller) foreign.fetch_add(1);
+  });
+  EXPECT_EQ(foreign.load(), 0);
+  pool.Shutdown();
+}
+
+TEST(TaskPoolTest, ShutdownDrainsAcceptedTasksAndRejectsNewOnes) {
+  TaskPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_FALSE(pool.Submit([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 32);
+  pool.Shutdown();  // Idempotent.
+}
+
+TEST(TaskPoolTest, FrontSubmitOvertakesQueuedWork) {
+  // One worker, blocked on a gate; everything below queues up behind it.
+  TaskPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::vector<int> order;
+  std::mutex order_mu;
+
+  ASSERT_TRUE(pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  }));
+  ASSERT_TRUE(pool.Submit([&] {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(1);
+  }));
+  ASSERT_TRUE(pool.Submit(
+      [&] {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(2);
+      },
+      /*front=*/true));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+  ASSERT_EQ(order.size(), 2u);
+  // The front submission (2) ran before the earlier back submission (1):
+  // morsel helpers beat queued queries.
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(TaskPoolTest, NestedParallelForFromPoolTaskDoesNotDeadlock) {
+  // A pool task running its own ParallelFor must finish even when every
+  // worker is busy: the inner caller claims all morsels itself if no helper
+  // ever frees up.
+  TaskPool pool(2);
+  std::atomic<size_t> total{0};
+  std::atomic<int> done{0};
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(pool.Submit([&] {
+      pool.ParallelFor(50, 3, [&](size_t i) { total.fetch_add(i + 1); });
+      done.fetch_add(1);
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_EQ(total.load(), 4u * (50u * 51u / 2u));
+}
+
+TEST(TaskPoolTest, ConcurrentParallelForCallsStayIsolated) {
+  TaskPool pool(3);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kItems = 300;
+  std::vector<std::atomic<size_t>> counts(kCallers);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kItems, 3, [&](size_t) {
+        counts[c].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(counts[c].load(), kItems) << "caller " << c;
+  }
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace aapac::util
