@@ -64,6 +64,7 @@ int Run() {
     char label[32];
     std::snprintf(label, sizeof(label), "sel=%.1f", selectivities[si]);
     EmitStageLatencies(s.monitor.get(), "fig6_checks", label);
+    EmitVerdictMemoCounters(s.monitor.get(), "fig6_checks", label);
   }
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {

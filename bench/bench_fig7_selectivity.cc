@@ -52,6 +52,7 @@ int Run() {
     char label[32];
     std::snprintf(label, sizeof(label), "sel=%.1f", selectivities[si]);
     EmitStageLatencies(s.monitor.get(), "fig7_selectivity", label);
+    EmitVerdictMemoCounters(s.monitor.get(), "fig7_selectivity", label);
   }
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {

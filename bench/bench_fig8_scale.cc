@@ -84,6 +84,7 @@ int Run() {
     std::snprintf(label, sizeof(label), "rows=%zu",
                   patients * samples_per_patient[sc]);
     EmitStageLatencies(s.monitor.get(), "fig8_scale", label);
+    EmitVerdictMemoCounters(s.monitor.get(), "fig8_scale", label);
   }
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {

@@ -1,0 +1,250 @@
+// Verdict-memoization sweep: enforced execution time as a function of the
+// number of DISTINCT policy masks in the scanned table.
+//
+// The paper's complexity model (§5.6, Fig. 6) counts one complies_with
+// evaluation per candidate tuple, but the cost of each evaluation grows with
+// the policy's rule count. When policies repeat across tuples — the common
+// case, since policies are authored per cohort, not per row — the interning
+// dictionary (engine/policy_dict.h) lets the executor evaluate each distinct
+// (signature, policy) pair once per query and answer the remaining tuples
+// from a dense verdict table. This bench measures that effect directly:
+//
+//   - `users` is re-policied with k distinct heavy masks (round-robin over
+//     rows), k sweeping 1 -> 10,000;
+//   - every mask holds AAPAC_VC_RULES rules whose single pass-all rule sits
+//     LAST; the fillers in between are *near-covering* (all ones except one
+//     bit the query's own signature requires), so the un-memoized
+//     CompliesWithPacked sweep must scan every filler end-to-end before
+//     accepting — the worst honest case the paper's cost model admits;
+//   - the same enforced SELECT is timed with the verdict memo forced off
+//     (the pre-dictionary path) and on, in one process at equal scale.
+//
+// Per-query check counts and result cardinalities are asserted identical on
+// both paths (memoization must be invisible to Fig. 6 and to results).
+//
+// One JSON line per cardinality:
+//
+//   {"bench":"verdict_cache","distinct":10,"rows":20000,"rules":128,
+//    "memo_off_ms":...,"memo_on_ms":...,"speedup":...,"hits":...,
+//    "misses":...,"checks_per_query":...,"rows_out":...}
+//
+// Knobs: AAPAC_VC_ROWS (users rows, default 20000), AAPAC_VC_RULES (rules
+// per mask, default 512), AAPAC_VC_MAX_DISTINCT (sweep ceiling, default
+// 10000; CI smoke uses 10), AAPAC_METRICS_JSON (full registry dump at exit).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/scenario.h"
+#include "core/catalog.h"
+#include "core/masks.h"
+#include "core/signature_builder.h"
+#include "engine/table.h"
+#include "obs/metrics.h"
+#include "sql/parser.h"
+#include "util/bitstring.h"
+
+namespace aapac::bench {
+namespace {
+
+/// A filler rule that the bench query provably does NOT comply with, but
+/// whose subset test fails as late as possible: all ones, except one bit
+/// cleared that every action-signature mask the query derives has set (we
+/// pick the last such bit, so the byte-wise sweep in CompliesWithPacked
+/// scans the whole rule before rejecting it). The signature masks are
+/// derived with the production SignatureBuilder, so the filler stays honest
+/// if the layout or derivation rules change.
+Result<BitString> BuildNearCoveringFiller(const core::AccessControlCatalog* cat,
+                                          const core::MaskLayout& layout,
+                                          const std::string& sql,
+                                          const std::string& purpose_id) {
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql));
+  core::SignatureBuilder builder(cat);
+  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<core::QuerySignature> qs,
+                         builder.Derive(*stmt, purpose_id, sql));
+  // Intersection of all of the query's action-signature masks over `users`
+  // (non-empty: each one encodes the purpose bit).
+  BitString common;
+  for (const auto& ts : qs->tables) {
+    if (ts.table != "users") continue;
+    for (const auto& as : ts.actions) {
+      AAPAC_ASSIGN_OR_RETURN(BitString m,
+                             layout.EncodeActionSignature(as, purpose_id));
+      if (common.empty()) {
+        common = m;
+      } else {
+        AAPAC_ASSIGN_OR_RETURN(common, common.And(m));
+      }
+    }
+  }
+  if (common.AllZeros()) {
+    return Status::Internal("query derives no required signature bits");
+  }
+  BitString filler = layout.PassAllRuleMask();
+  for (size_t i = common.size(); i-- > 0;) {
+    if (common.Get(i)) {
+      filler.Set(i, false);
+      break;
+    }
+  }
+  return filler;
+}
+
+/// Builds the k-th distinct heavy mask: one pass-none "tag" rule carrying
+/// k's binary representation (rejected on its first byte — pure labelling),
+/// then `rules - 2` near-covering fillers, then the accepting pass-all rule.
+/// All variants share one byte length and, modulo the tag rule, one
+/// un-memoized check cost.
+std::string BuildHeavyMask(const core::MaskLayout& layout,
+                           const BitString& filler, size_t rules, uint64_t k) {
+  BitString tag = layout.PassNoneRuleMask();
+  for (size_t bit = 0; bit < 64 && (k >> bit) != 0; ++bit) {
+    if (((k >> bit) & 1) != 0 && bit < tag.size()) tag.Set(bit, true);
+  }
+  BitString mask;
+  mask.Append(tag);
+  for (size_t r = 0; r + 2 < rules; ++r) mask.Append(filler);
+  mask.Append(layout.PassAllRuleMask());
+  return mask.ToBytes();
+}
+
+/// Re-policies `users` with `distinct` masks assigned round-robin, interning
+/// each mask once so all its rows share one dictionary id.
+void AssignMasks(Scenario* s, const BitString& filler, size_t distinct,
+                 size_t rules) {
+  auto tbl_or = s->catalog->db()->GetTable("users");
+  auto layout_or = s->catalog->LayoutFor("users");
+  if (!tbl_or.ok() || !layout_or.ok()) std::abort();
+  engine::Table* tbl = *tbl_or;
+  auto policy_col =
+      tbl->schema().FindColumn(core::AccessControlCatalog::kPolicyColumn);
+  if (!policy_col.has_value()) std::abort();
+
+  std::vector<engine::Value> masks;
+  masks.reserve(distinct);
+  for (size_t k = 0; k < distinct; ++k) {
+    engine::Value v =
+        engine::Value::Bytes(BuildHeavyMask(*layout_or, filler, rules, k));
+    tbl->InternColumnValue(*policy_col, &v);
+    masks.push_back(std::move(v));
+  }
+  for (size_t i = 0; i < tbl->num_rows(); ++i) {
+    tbl->mutable_row(i)[*policy_col] = masks[i % distinct];
+  }
+  // Policy bytes changed wholesale; stale version-tagged rewrites must die.
+  s->catalog->BumpVersion();
+}
+
+uint64_t CounterValue(core::EnforcementMonitor* m, const char* name) {
+  return m->metrics()->counter(name)->value();
+}
+
+}  // namespace
+
+int Main() {
+  const size_t rows = EnvSize("AAPAC_VC_ROWS", 20000);
+  const size_t rules = EnvSize("AAPAC_VC_RULES", 512);
+  const size_t max_distinct = EnvSize("AAPAC_VC_MAX_DISTINCT", 10000);
+  const size_t threads = EnvThreads();
+
+  Scenario s = BuildScenario(/*patients=*/rows, /*samples=*/1);
+  AttachParallelism(&s, threads);
+
+  const std::string sql = "SELECT user_id FROM users";
+  const std::string purpose = "p3";
+
+  auto purpose_id = s.catalog->purposes().Resolve(purpose);
+  auto layout = s.catalog->LayoutFor("users");
+  if (!purpose_id.ok() || !layout.ok()) {
+    std::fprintf(stderr, "scenario misses purpose/layout for the sweep\n");
+    return 1;
+  }
+  auto filler =
+      BuildNearCoveringFiller(s.catalog.get(), *layout, sql, *purpose_id);
+  if (!filler.ok()) {
+    std::fprintf(stderr, "filler derivation failed: %s\n",
+                 filler.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("verdict-memo sweep: %zu rows, %zu rules/mask, threads=%zu\n",
+              rows, rules, threads);
+  std::printf("%10s %14s %14s %9s %12s %12s\n", "distinct", "memo_off_ms",
+              "memo_on_ms", "speedup", "hits", "misses");
+
+  for (size_t distinct : {size_t{1}, size_t{10}, size_t{100}, size_t{1000},
+                          size_t{10000}}) {
+    if (distinct > max_distinct || distinct > rows) continue;
+    AssignMasks(&s, *filler, distinct, rules);
+
+    // Warm both paths (allocations, page faults), then measure.
+    auto run = [&] {
+      auto rs = s.monitor->ExecuteQuery(sql, purpose);
+      if (!rs.ok()) std::abort();
+      return rs->rows.size();
+    };
+    s.monitor->SetVerdictMemoEnabled(false);
+    const size_t rows_off = run();
+    const uint64_t checks_before = s.monitor->compliance_checks();
+    run();
+    const uint64_t checks_off = s.monitor->compliance_checks() - checks_before;
+    const TimeStats off = TimeStatsMs(run, /*reps=*/5);
+
+    s.monitor->SetVerdictMemoEnabled(true);
+    const size_t rows_on = run();
+    const uint64_t checks_mid = s.monitor->compliance_checks();
+    run();
+    const uint64_t checks_on = s.monitor->compliance_checks() - checks_mid;
+    const uint64_t hits_before =
+        CounterValue(s.monitor.get(), obs::kVerdictMemoHits);
+    const uint64_t misses_before =
+        CounterValue(s.monitor.get(), obs::kVerdictMemoMisses);
+    const TimeStats on = TimeStatsMs(run, /*reps=*/5);
+    const uint64_t hits =
+        CounterValue(s.monitor.get(), obs::kVerdictMemoHits) - hits_before;
+    const uint64_t misses =
+        CounterValue(s.monitor.get(), obs::kVerdictMemoMisses) - misses_before;
+
+    // Memoization must be invisible to everything but the clock.
+    if (rows_on != rows_off || checks_on != checks_off) {
+      std::fprintf(stderr,
+                   "MISMATCH at distinct=%zu: rows %zu vs %zu, checks %llu vs "
+                   "%llu\n",
+                   distinct, rows_on, rows_off,
+                   static_cast<unsigned long long>(checks_on),
+                   static_cast<unsigned long long>(checks_off));
+      return 1;
+    }
+
+    const double speedup =
+        on.median_ms > 0 ? off.median_ms / on.median_ms : 0.0;
+    std::printf("%10zu %14.3f %14.3f %8.2fx %12llu %12llu\n", distinct,
+                off.median_ms, on.median_ms, speedup,
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses));
+    JsonLine("verdict_cache")
+        .Int("distinct", distinct)
+        .Int("rows", rows)
+        .Int("rules", rules)
+        .Int("threads", threads)
+        .Num("memo_off_ms", off.median_ms)
+        .Num("memo_on_ms", on.median_ms)
+        .Num("speedup", speedup)
+        .Int("hits", hits)
+        .Int("misses", misses)
+        .Int("checks_per_query", checks_on)
+        .Int("rows_out", rows_on)
+        .Emit();
+  }
+
+  MaybeDumpMetricsJson(s.monitor.get());
+  return 0;
+}
+
+}  // namespace aapac::bench
+
+int main() { return aapac::bench::Main(); }

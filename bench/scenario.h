@@ -244,6 +244,30 @@ inline void ResetMetrics(core::EnforcementMonitor* monitor) {
   monitor->metrics()->Reset();
 }
 
+/// Emits one "<bench>_verdict_memo" JSON line with the verdict-table
+/// counters accumulated since the last ResetMetrics: how many compliance
+/// checks the policy-interning dictionary answered from a memoized verdict
+/// versus computed through the full CompliesWithPacked sweep. The logical
+/// Fig. 6 check count is unaffected — this line shows how much of it was
+/// amortized. Silent when no memoized call site ran (memo disabled, or no
+/// enforced query executed).
+inline void EmitVerdictMemoCounters(core::EnforcementMonitor* monitor,
+                                    const std::string& bench,
+                                    const std::string& scenario) {
+  const uint64_t hits =
+      monitor->metrics()->counter(obs::kVerdictMemoHits)->value();
+  const uint64_t misses =
+      monitor->metrics()->counter(obs::kVerdictMemoMisses)->value();
+  if (hits + misses == 0) return;
+  JsonLine(bench + "_verdict_memo")
+      .Str("scenario", scenario)
+      .Int("hits", hits)
+      .Int("misses", misses)
+      .Num("hit_rate",
+           static_cast<double>(hits) / static_cast<double>(hits + misses))
+      .Emit();
+}
+
 /// When AAPAC_METRICS_JSON names a file, writes the registry's full JSON
 /// dump there (the CI artifact + tools/metrics_diff input). Call once at
 /// bench exit, before the scenario is torn down.

@@ -71,8 +71,14 @@ Status AccessControlCatalog::LoadFromMetadataTables() {
   }
   decltype(protected_tables_) protected_tables;
   for (const std::string& name : db_->TableNames()) {
-    const Table* t = db_->FindTable(name);
-    if (t->schema().HasColumn(kPolicyColumn)) protected_tables.insert(name);
+    Table* t = db_->FindTable(name);
+    if (!t->schema().HasColumn(kPolicyColumn)) continue;
+    protected_tables.insert(name);
+    // Snapshots store raw blobs; rebuild the interning dictionary so loaded
+    // tuples regain dense policy ids (SetInternColumn re-interns rows).
+    if (auto col = t->schema().FindColumn(kPolicyColumn); col.has_value()) {
+      t->SetInternColumn(*col);
+    }
   }
   purposes_ = std::move(purposes);
   categories_ = std::move(categories);
@@ -179,6 +185,12 @@ Status AccessControlCatalog::ProtectTable(const std::string& table) {
   }
   AAPAC_RETURN_NOT_OK(
       tbl->AddColumn(Column{kPolicyColumn, ValueType::kBytes}, Value::Null()));
+  // Route every future policy-mask write through the table's interning
+  // dictionary so masks carry dense ids for the executor's verdict
+  // memoization.
+  if (auto col = tbl->schema().FindColumn(kPolicyColumn); col.has_value()) {
+    tbl->SetInternColumn(*col);
+  }
   protected_tables_.insert(t);
   BumpVersion();
   return Status::OK();

@@ -51,7 +51,7 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   // The UDF keeps the registry alive through its capture: a database that
   // outlives the monitor must not invoke a dangling counter.
   auto registry = metrics_;
-  db_->functions().Register(engine::ScalarFunction{
+  engine::ScalarFunction complies{
       QueryRewriter::kCompliesWithFunction, 2,
       [registry](const std::vector<Value>& args) -> Result<Value> {
         engine::CheckTally::Bump();
@@ -64,7 +64,27 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
         }
         return Value::Bool(CompliesWithPacked(args[0].AsBytes(),
                                               args[1].AsBytes()));
-      }});
+      }};
+  // Verdict memoization (engine/policy_dict.h): the executor may replay a
+  // cached verdict per interned policy id instead of re-invoking the UDF.
+  // A hit still bumps CheckTally — it IS a logical compliance check — so
+  // Fig. 6 counts and the audit `checks` column are identical with the
+  // dictionary on and off; the callbacks additionally publish the memo's
+  // own hit/miss counters and fill-time histogram. They may run on morsel
+  // worker threads: everything touched is atomic or thread-local.
+  complies.memoize_verdicts = true;
+  obs::Counter* memo_hits = metrics_->counter(obs::kVerdictMemoHits);
+  obs::Counter* memo_misses = metrics_->counter(obs::kVerdictMemoMisses);
+  obs::Histogram* fill_hist = metrics_->histogram(obs::kVerdictFill);
+  complies.on_memo_hit = [registry, memo_hits] {
+    engine::CheckTally::Bump();
+    memo_hits->Add(1);
+  };
+  complies.on_memo_fill = [registry, memo_misses, fill_hist](uint64_t ns) {
+    memo_misses->Add(1);
+    fill_hist->Record(ns);
+  };
+  db_->functions().Register(std::move(complies));
 }
 
 EnforcementMonitor::~EnforcementMonitor() {

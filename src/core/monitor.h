@@ -170,6 +170,18 @@ class EnforcementMonitor {
     executor_.set_pushdown_enabled(enabled);
   }
 
+  /// Forwarded to the executor; see
+  /// engine::Executor::set_verdict_memo_enabled. Disabling forces every
+  /// compliance check through the full CompliesWithPacked sweep (the
+  /// pre-dictionary path); results and check counts must not change, which
+  /// the differential harness asserts.
+  void SetVerdictMemoEnabled(bool enabled) {
+    executor_.set_verdict_memo_enabled(enabled);
+  }
+  bool verdict_memo_enabled() const {
+    return executor_.verdict_memo_enabled();
+  }
+
   /// Enables role-based purpose authorization: users may then hold a
   /// purpose either directly (table Pa) or through a role (tables Rr/Ur).
   /// Pass nullptr to disable again. The manager must outlive the monitor.

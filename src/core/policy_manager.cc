@@ -56,7 +56,9 @@ Status PolicyManager::Apply(const Attachment& attachment) {
     return Status::Internal("protected table '" + table +
                             "' lacks the policy column");
   }
-  const Value encoded = Value::Bytes(mask.ToBytes());
+  // Intern once: every selected row then shares one dictionary id.
+  Value encoded = Value::Bytes(mask.ToBytes());
+  tbl->InternColumnValue(*policy_col, &encoded);
 
   std::optional<size_t> sel_col;
   if (attachment.selector.has_value()) {
@@ -108,7 +110,9 @@ Status PolicyManager::WriteMaskToRow(const std::string& table,
   if (row_index >= tbl->num_rows()) {
     return Status::InvalidArgument("row index out of range");
   }
-  tbl->mutable_row(row_index)[*policy_col] = Value::Bytes(mask_bytes);
+  Value encoded = Value::Bytes(mask_bytes);
+  tbl->InternColumnValue(*policy_col, &encoded);
+  tbl->mutable_row(row_index)[*policy_col] = std::move(encoded);
   catalog_->BumpVersion();
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "engine/policy_dict.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -51,6 +52,12 @@ class BoundExpr {
   /// `agg_slots` carries per-group aggregate results during the aggregate
   /// output phase; it is nullptr in the row phase.
   virtual Result<Value> Eval(const Row& row, const Row* agg_slots) const = 0;
+
+  /// Zero-copy fast path: a pointer into `row` when this expression is a
+  /// plain column reference, nullptr otherwise. Hot call sites that only
+  /// inspect a value — the memoized compliance conjunct reading a multi-KB
+  /// policy blob's interned id — use this to skip the Eval copy.
+  virtual const Value* TryEvalRef(const Row& /*row*/) const { return nullptr; }
 };
 
 using BoundExprPtr = std::unique_ptr<BoundExpr>;
@@ -60,6 +67,9 @@ class BoundColumnRef final : public BoundExpr {
   explicit BoundColumnRef(size_t index) : index_(index) {}
   Result<Value> Eval(const Row& row, const Row*) const override {
     return row[index_];
+  }
+  const Value* TryEvalRef(const Row& row) const override {
+    return &row[index_];
   }
 
  private:
@@ -282,6 +292,90 @@ class BoundScalarCall final : public BoundExpr {
  private:
   const ScalarFunction* fn_;
   std::vector<BoundExprPtr> args_;
+};
+
+/// A memoize_verdicts call site `fn(<literal>, <expr>)` — in practice the
+/// rewriter-injected `complies_with(b'<asm>', t.policy)` conjunct. The node
+/// owns a verdict table: one byte per policy-dictionary id, lazily filled
+/// with fn's boolean result the first time a tuple carrying that id reaches
+/// this call site, then replayed for every later tuple with the same id.
+/// Because binding happens per statement execution (even for server-cached
+/// ASTs), the table's lifetime is exactly one execution of one call site —
+/// one signature mask — so the (signature, policy) key collapses to the id.
+///
+/// Tuples whose second argument carries no id (NULL policies, blobs written
+/// without a dictionary, ids allocated after bind time) fall through to the
+/// plain call, byte-for-byte the unmemoized path.
+///
+/// Thread safety: morsel workers evaluate shared bound filters
+/// concurrently, so verdict slots are relaxed atomics. Concurrent fills of
+/// the same id are benign — both compute the same deterministic verdict —
+/// and the array is sized once at bind time, so there is no resize race.
+class BoundMemoizedVerdict final : public BoundExpr {
+ public:
+  BoundMemoizedVerdict(const ScalarFunction* fn, BoundExprPtr signature,
+                       BoundExprPtr subject, uint32_t id_ceiling)
+      : fn_(fn),
+        signature_(std::move(signature)),
+        subject_(std::move(subject)),
+        // make_unique value-initializes: every slot starts at kUnknown.
+        verdicts_(std::make_unique<std::atomic<uint8_t>[]>(id_ceiling)),
+        ceiling_(id_ceiling) {}
+
+  Result<Value> Eval(const Row& row, const Row* agg) const override {
+    // Hit-path tuples never copy the policy blob out of the row: the verdict
+    // lookup only reads the interned id.
+    if (const Value* ref = subject_->TryEvalRef(row); ref != nullptr) {
+      return EvalWithSubject(*ref, row, agg);
+    }
+    AAPAC_ASSIGN_OR_RETURN(Value subject, subject_->Eval(row, agg));
+    return EvalWithSubject(subject, row, agg);
+  }
+
+ private:
+  static constexpr uint8_t kUnknown = 0, kFalse = 1, kTrue = 2;
+
+  Result<Value> EvalWithSubject(const Value& subject, const Row& row,
+                                const Row* agg) const {
+    const uint32_t id = subject.bytes_interned_id();
+    if (id == 0 || id >= ceiling_) {
+      return CallDirect(subject, row, agg);
+    }
+    std::atomic<uint8_t>& slot = verdicts_[id];
+    const uint8_t cached = slot.load(std::memory_order_relaxed);
+    if (cached != kUnknown) {
+      if (fn_->on_memo_hit) fn_->on_memo_hit();
+      return Value::Bool(cached == kTrue);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    AAPAC_ASSIGN_OR_RETURN(Value v, CallDirect(subject, row, agg));
+    if (v.type() == ValueType::kBool) {
+      slot.store(v.AsBool() ? kTrue : kFalse, std::memory_order_relaxed);
+      if (fn_->on_memo_fill) {
+        fn_->on_memo_fill(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+      }
+    }
+    return v;
+  }
+
+  Result<Value> CallDirect(const Value& subject, const Row& row,
+                           const Row* agg) const {
+    std::vector<Value> args;
+    args.reserve(2);
+    AAPAC_ASSIGN_OR_RETURN(Value sig, signature_->Eval(row, agg));
+    args.push_back(std::move(sig));
+    args.push_back(subject);
+    return fn_->fn(args);
+  }
+
+  const ScalarFunction* fn_;
+  BoundExprPtr signature_;
+  BoundExprPtr subject_;
+  std::unique_ptr<std::atomic<uint8_t>[]> verdicts_;
+  const uint32_t ceiling_;
 };
 
 class BoundInList final : public BoundExpr {
@@ -580,6 +674,9 @@ class Binder {
   Result<BoundExprPtr> BindFuncCall(const sql::FuncCallExpr& call);
   Result<BoundExprPtr> BindIn(const sql::InExpr& in);
   Result<BoundExprPtr> BindScalarSubquery(const sql::ScalarSubqueryExpr& sub);
+  /// Whether the owning executor allows verdict memoization (defined after
+  /// ExecutorImpl, whose flag it reads).
+  bool MemoizeVerdictsEnabled() const;
 
   const BindingSchema& schema_;
   Database* db_;
@@ -700,18 +797,40 @@ NeededColumns CollectNeeded(const sql::SelectStmt& stmt) {
   NeededColumns out;
   for (const auto& item : stmt.items) CollectNeededFromExpr(*item.expr, &out);
   for (const auto& ref : stmt.from) CollectNeededFromRef(*ref, &out);
-  if (stmt.where != nullptr) CollectNeededFromExpr(*stmt.where, &out);
+  // WHERE conjuncts are deliberately absent: they travel as PendingConjuncts
+  // and each scan adds back only the ones not claimed below it (ScanNeeded).
   for (const auto& g : stmt.group_by) CollectNeededFromExpr(*g, &out);
   if (stmt.having != nullptr) CollectNeededFromExpr(*stmt.having, &out);
   for (const auto& ob : stmt.order_by) CollectNeededFromExpr(*ob.expr, &out);
   return out;
 }
 
+/// Materialization set for one scan: the query-level needed columns plus
+/// everything referenced by WHERE conjuncts still unclaimed after this
+/// scan's own claiming pass — those run later (join probe or root) against
+/// materialized rows. Conjuncts the scan claimed evaluate in place against
+/// the stored rows, so a column only they touch — typically the multi-KB
+/// policy blob read by the rewriter's compliance conjunct — is never copied
+/// into the intermediate relation.
+NeededColumns ScanNeeded(const NeededColumns& needed,
+                         const std::vector<PendingConjunct>& pending) {
+  NeededColumns out = needed;
+  for (const auto& pc : pending) {
+    if (!pc.consumed) CollectNeededFromExpr(*pc.expr, &out);
+  }
+  return out;
+}
+
 class ExecutorImpl {
  public:
   ExecutorImpl(Database* db, ExecStats* stats, bool pushdown = true,
-               const ParallelSpec* parallel = nullptr)
-      : db_(db), stats_(stats), pushdown_(pushdown), parallel_(parallel) {}
+               const ParallelSpec* parallel = nullptr,
+               bool verdict_memo = true)
+      : db_(db),
+        stats_(stats),
+        pushdown_(pushdown),
+        parallel_(parallel),
+        verdict_memo_(verdict_memo) {}
 
   Result<ResultSet> Execute(const sql::SelectStmt& stmt);
 
@@ -770,7 +889,12 @@ class ExecutorImpl {
   ExecStats* stats_;
   bool pushdown_;
   const ParallelSpec* parallel_;
+  bool verdict_memo_;
 };
+
+bool Binder::MemoizeVerdictsEnabled() const {
+  return exec_ != nullptr && exec_->verdict_memo_;
+}
 
 /// Splits an expression into its top-level AND conjuncts, preserving order.
 void DecomposeConjuncts(const sql::Expr* expr,
@@ -1001,6 +1125,20 @@ Result<BoundExprPtr> Binder::BindFuncCall(const sql::FuncCallExpr& call) {
     AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, Bind(*a));
     args.push_back(std::move(bound));
   }
+  // Verdict memoization: fn(<literal>, <expr>) with memoize_verdicts caches
+  // the boolean result per policy-dictionary id of the second argument for
+  // the statement's lifetime. The first argument must be a literal — it is
+  // part of the memo key by construction (fixed per call site), so a
+  // row-dependent first argument would make id-only keying unsound.
+  if (fn->memoize_verdicts && call.args.size() == 2 &&
+      call.args[0]->kind() == sql::Expr::Kind::kLiteral &&
+      MemoizeVerdictsEnabled()) {
+    const uint32_t ceiling = PolicyDictionary::IdCeiling();
+    if (ceiling > 1) {
+      return BoundExprPtr(std::make_unique<BoundMemoizedVerdict>(
+          fn, std::move(args[0]), std::move(args[1]), ceiling));
+    }
+  }
   return BoundExprPtr(
       std::make_unique<BoundScalarCall>(fn, std::move(args)));
 }
@@ -1184,10 +1322,13 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
   AAPAC_ASSIGN_OR_RETURN(BindingSchema full_schema, SchemaOfRef(ref));
   AAPAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> filters,
                          ClaimConjuncts(full_schema, pending));
+  // Claiming must precede the keep computation: columns read only by the
+  // conjuncts just claimed drop out of the materialized relation.
+  const NeededColumns scan_needed = ScanNeeded(needed, *pending);
   Relation rel;
   std::vector<size_t> keep;
   for (size_t i = 0; i < full_schema.size(); ++i) {
-    if (needed.Needs(full_schema[i].binding, full_schema[i].name)) {
+    if (scan_needed.Needs(full_schema[i].binding, full_schema[i].name)) {
       keep.push_back(i);
       rel.schema.push_back(full_schema[i]);
     }
@@ -1867,13 +2008,17 @@ class PlanPrinter {
         if (!base.alias.empty()) out += " as " + base.alias;
         const Table* table = impl_->db_->FindTable(base.table_name);
         out += " rows=" + std::to_string(table ? table->num_rows() : 0);
+        // Claim before counting kept columns, mirroring EvalBase: conjuncts
+        // this scan absorbs do not force their columns into the relation.
+        const std::string claim = ClaimLine(schema, pending, depth);
+        const NeededColumns scan_needed = ScanNeeded(needed, *pending);
         size_t kept = 0;
         for (const auto& col : schema) {
-          if (needed.Needs(col.binding, col.name)) ++kept;
+          if (scan_needed.Needs(col.binding, col.name)) ++kept;
         }
         out += " cols=" + std::to_string(kept) + "/" +
                std::to_string(schema.size()) + "\n";
-        out += ClaimLine(schema, pending, depth);
+        out += claim;
         return out;
       }
       case sql::TableRef::Kind::kSubquery: {
@@ -1994,7 +2139,8 @@ Result<std::string> Executor::ExplainPlanSql(const std::string& sql) {
 
 Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
-  ExecutorImpl impl(db_, &stats_, pushdown_enabled_);
+  ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
+                    verdict_memo_enabled_);
   return impl.Execute(stmt);
 }
 
@@ -2002,7 +2148,8 @@ Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt,
                                     const ParallelSpec& spec) {
   if (!spec.enabled()) return Execute(stmt);  // Exactly the serial path.
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
-  ExecutorImpl impl(db_, &stats_, pushdown_enabled_, &spec);
+  ExecutorImpl impl(db_, &stats_, pushdown_enabled_, &spec,
+                    verdict_memo_enabled_);
   return impl.Execute(stmt);
 }
 
@@ -2014,7 +2161,8 @@ Result<ResultSet> Executor::ExecuteSql(const std::string& sql) {
 
 Result<std::vector<Row>> Executor::EvalInsertSource(
     const sql::InsertStmt& stmt) {
-  ExecutorImpl impl(db_, &stats_);
+  ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
+                    verdict_memo_enabled_);
   if (stmt.select != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(ResultSet rs, impl.Execute(*stmt.select));
     return std::move(rs.rows);
@@ -2147,7 +2295,8 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
   if (stmt.assignments.empty()) {
     return Status::InvalidArgument("UPDATE without assignments");
   }
-  ExecutorImpl impl(db_, &stats_);
+  ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
+                    verdict_memo_enabled_);
 
   // Resolve targets and bind right-hand sides.
   std::vector<size_t> targets;
@@ -2211,6 +2360,7 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
   for (StagedUpdate& update : staged) {
     Row& row = table->mutable_row(update.row);
     for (size_t v = 0; v < targets.size(); ++v) {
+      table->InternColumnValue(targets[v], &update.values[v]);
       row[targets[v]] = std::move(update.values[v]);
     }
   }
@@ -2220,7 +2370,8 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
 Result<size_t> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
-  ExecutorImpl impl(db_, &stats_);
+  ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
+                    verdict_memo_enabled_);
   BoundExprPtr predicate;
   if (stmt.where != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(predicate,

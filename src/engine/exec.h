@@ -178,10 +178,21 @@ class Executor {
   void set_pushdown_enabled(bool enabled) { pushdown_enabled_ = enabled; }
   bool pushdown_enabled() const { return pushdown_enabled_; }
 
+  /// Disables per-statement verdict memoization (ScalarFunction::
+  /// memoize_verdicts): every compliance check then runs the full
+  /// CompliesWithPacked sweep, exactly the pre-dictionary path. The
+  /// differential harness and bench_verdict_cache use the toggle to prove
+  /// results and check counts are identical either way.
+  void set_verdict_memo_enabled(bool enabled) {
+    verdict_memo_enabled_ = enabled;
+  }
+  bool verdict_memo_enabled() const { return verdict_memo_enabled_; }
+
  private:
   Database* db_;
   ExecStats stats_;
   bool pushdown_enabled_ = true;
+  bool verdict_memo_enabled_ = true;
 };
 
 }  // namespace aapac::engine

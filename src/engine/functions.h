@@ -19,6 +19,28 @@ struct ScalarFunction {
   std::string name;       // Lowercase.
   int arity;              // -1 means variadic.
   std::function<Result<Value>(const std::vector<Value>&)> fn;
+
+  // --- Verdict memoization (engine/policy_dict.h). -------------------------
+  //
+  // A binary boolean function of the shape fn(<constant>, <bytes expr>) may
+  // opt into per-statement verdict memoization: when the second argument
+  // carries a policy-dictionary id, the executor caches fn's boolean result
+  // per id and replays it for every later tuple with the same id, skipping
+  // the call entirely. Requirements on fn: deterministic, Bool (or error)
+  // result, and the first argument must bind to a literal in the query
+  // (the binder checks this before memoizing). The enforcement monitor sets
+  // this for complies_with, whose verdict depends only on the (signature,
+  // policy-blob) pair — exactly what the id identifies.
+  bool memoize_verdicts = false;
+  /// Called instead of fn on a memo hit. The monitor uses it to keep the
+  /// logical per-tuple check accounting (CheckTally — the Fig. 6 measure and
+  /// the audit `checks` column) identical with and without memoization, and
+  /// to publish the obs hit counter. May run on morsel worker threads.
+  std::function<void()> on_memo_hit;
+  /// Called after a memo fill with the fill's wall time in nanoseconds
+  /// (the one real CompliesWithPacked sweep for that id). May run on morsel
+  /// worker threads.
+  std::function<void(uint64_t fill_ns)> on_memo_fill;
 };
 
 /// Names of the built-in aggregate functions understood by the executor.

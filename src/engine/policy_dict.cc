@@ -1,0 +1,34 @@
+#include "engine/policy_dict.h"
+
+#include <atomic>
+
+namespace aapac::engine {
+
+namespace {
+
+// Process-wide id allocator. Ids start at 1 (0 is Value's "not interned"
+// sentinel) and are globally unique across dictionaries so that verdict
+// tables indexed by id need no per-table namespace.
+std::atomic<uint32_t> g_next_policy_id{1};
+
+}  // namespace
+
+Value PolicyDictionary::Intern(const std::string& bytes) {
+  auto [it, inserted] = ids_.try_emplace(bytes, 0);
+  if (inserted) {
+    it->second = g_next_policy_id.fetch_add(1, std::memory_order_relaxed);
+    distinct_bytes_ += bytes.size();
+  }
+  return Value::InternedBytes(bytes, it->second);
+}
+
+void PolicyDictionary::InternInPlace(Value* v) {
+  if (v == nullptr || v->type() != ValueType::kBytes) return;
+  *v = Intern(v->AsBytes());
+}
+
+uint32_t PolicyDictionary::IdCeiling() {
+  return g_next_policy_id.load(std::memory_order_acquire);
+}
+
+}  // namespace aapac::engine

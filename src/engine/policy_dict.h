@@ -1,0 +1,64 @@
+#ifndef AAPAC_ENGINE_POLICY_DICT_H_
+#define AAPAC_ENGINE_POLICY_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "engine/value.h"
+
+namespace aapac::engine {
+
+/// Interning dictionary for a table's policy-mask blobs.
+///
+/// The enforcement workloads of the paper attach a handful of distinct
+/// policies to millions of tuples, so the per-tuple policy column is
+/// extremely repetitive. A PolicyDictionary maps each distinct serialized
+/// mask to a dense `policy_id` and stamps that id into the Value it returns
+/// (Value::bytes_interned_id), turning "same policy as that other tuple"
+/// into an O(1) integer comparison. The executor's verdict memoization
+/// (BoundMemoizedVerdict in exec.cc) keys one cached compliance verdict per
+/// id per query, so CompliesWithPacked runs once per distinct policy
+/// instead of once per tuple.
+///
+/// Ids are allocated from a process-wide monotonically increasing counter,
+/// never reused and never re-bound: a given id is issued by exactly one
+/// dictionary for exactly one blob, so an id carried inside a Value — even
+/// one copied across tables by a join or a database clone — always denotes
+/// the byte string it was interned with. Correctness of any id-keyed cache
+/// therefore never depends on dictionary lookups at read time.
+///
+/// Thread safety: Intern mutates and must be externally serialized with
+/// other mutations (the server runs policy attachment and DML under its
+/// exclusive data lock, matching Table's own contract). Values returned by
+/// Intern are plain copies and safe to read from any thread.
+class PolicyDictionary {
+ public:
+  /// Returns `bytes` as a Bytes Value stamped with the blob's dense id,
+  /// allocating a new id on first sight of the blob.
+  Value Intern(const std::string& bytes);
+
+  /// Routes a Bytes value through Intern in place; NULL and non-bytes
+  /// values pass through untouched.
+  void InternInPlace(Value* v);
+
+  /// Number of distinct blobs interned.
+  size_t size() const { return ids_.size(); }
+
+  /// Sum of the sizes of the distinct blobs (the dictionary's payload).
+  uint64_t distinct_bytes() const { return distinct_bytes_; }
+
+  /// Exclusive upper bound on every id any dictionary in the process has
+  /// issued so far; verdict tables sized to this bound can index any id
+  /// observable by the statement being bound (ids allocated later simply
+  /// fall back to the unmemoized path).
+  static uint32_t IdCeiling();
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  uint64_t distinct_bytes_ = 0;
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_POLICY_DICT_H_

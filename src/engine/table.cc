@@ -22,8 +22,20 @@ Status Table::Insert(Row row) {
       row[i] = Value::Double(static_cast<double>(row[i].AsInt()));
     }
   }
+  if (intern_col_.has_value() && *intern_col_ < row.size()) {
+    dict_->InternInPlace(&row[*intern_col_]);
+  }
   rows_.push_back(std::move(row));
   return Status::OK();
+}
+
+void Table::SetInternColumn(size_t col) {
+  if (col >= schema_.num_columns()) return;
+  intern_col_ = col;
+  if (dict_ == nullptr) dict_ = std::make_unique<PolicyDictionary>();
+  for (Row& row : rows_) {
+    if (col < row.size()) dict_->InternInPlace(&row[col]);
+  }
 }
 
 Status Table::AddColumn(Column column, Value fill) {
@@ -52,10 +64,12 @@ size_t Table::EraseRows(const std::vector<size_t>& sorted_indices) {
 
 size_t Table::UpdateColumnWhere(size_t col, const Value& value,
                                 const std::vector<size_t>& row_indices) {
+  Value v = value;
+  InternColumnValue(col, &v);
   size_t updated = 0;
   for (size_t idx : row_indices) {
     if (idx < rows_.size() && col < rows_[idx].size()) {
-      rows_[idx][col] = value;
+      rows_[idx][col] = v;
       ++updated;
     }
   }

@@ -1,9 +1,12 @@
 #ifndef AAPAC_ENGINE_TABLE_H_
 #define AAPAC_ENGINE_TABLE_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "engine/policy_dict.h"
 #include "engine/schema.h"
 #include "engine/value.h"
 #include "util/result.h"
@@ -13,7 +16,11 @@ namespace aapac::engine {
 /// In-memory row-store table. Rows are vectors of Values parallel to the
 /// schema. The access-control framework stores each tuple's policy mask in a
 /// regular BYTES column named "policy" (added by the admin module, §5.1), so
-/// the table itself needs no access-control knowledge.
+/// the table needs no access-control knowledge — but it can be told to
+/// *intern* one bytes column (SetInternColumn): values written to that
+/// column are then routed through a per-table PolicyDictionary, which stamps
+/// each distinct blob with a dense id the executor's verdict memoization
+/// keys on.
 class Table {
  public:
   Table(std::string name, Schema schema)
@@ -33,7 +40,12 @@ class Table {
 
   /// Bulk-append without per-value checks; used by workload generators that
   /// construct rows straight from the schema. Caller guarantees shape.
-  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void InsertUnchecked(Row row) {
+    if (intern_col_.has_value() && *intern_col_ < row.size()) {
+      dict_->InternInPlace(&row[*intern_col_]);
+    }
+    rows_.push_back(std::move(row));
+  }
 
   void Reserve(size_t n) { rows_.reserve(n); }
   void Clear() { rows_.clear(); }
@@ -56,10 +68,35 @@ class Table {
   /// Returns the number of rows removed.
   size_t EraseRows(const std::vector<size_t>& sorted_indices);
 
+  // --- Policy-mask interning. ----------------------------------------------
+
+  /// Declares `col` an interned bytes column (the access-control catalog
+  /// calls this for the policy column when protecting a table): allocates
+  /// the dictionary and interns the column's existing values. Idempotent
+  /// per column; re-invocation (e.g. after a snapshot load) re-interns.
+  void SetInternColumn(size_t col);
+
+  /// The interned column, if any.
+  std::optional<size_t> intern_column() const { return intern_col_; }
+
+  /// The dictionary; nullptr until SetInternColumn.
+  const PolicyDictionary* policy_dict() const { return dict_.get(); }
+
+  /// Interns `*v` when `col` is the interned column; otherwise a no-op.
+  /// Write paths that bypass Insert (policy attachment, UPDATE assignment)
+  /// funnel their values through here.
+  void InternColumnValue(size_t col, Value* v) {
+    if (intern_col_.has_value() && *intern_col_ == col) {
+      dict_->InternInPlace(v);
+    }
+  }
+
  private:
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+  std::optional<size_t> intern_col_;
+  std::unique_ptr<PolicyDictionary> dict_;
 };
 
 }  // namespace aapac::engine

@@ -40,6 +40,14 @@ class Value {
   static Value Bytes(std::string v) {
     return Value(Payload(std::in_place_index<5>, BytesPayload{std::move(v)}));
   }
+  /// Bytes value carrying a policy-dictionary id (see engine/policy_dict.h).
+  /// The id is identity metadata riding along with the blob: equality,
+  /// ordering and hashing look at the data only, so interned and plain
+  /// bytes with the same payload are indistinguishable to SQL semantics.
+  static Value InternedBytes(std::string v, uint32_t interned_id) {
+    return Value(
+        Payload(std::in_place_index<5>, BytesPayload{std::move(v), interned_id}));
+  }
 
   ValueType type() const { return static_cast<ValueType>(payload_.index() == 0 ? 0 : payload_.index()); }
 
@@ -50,6 +58,12 @@ class Value {
   bool AsBool() const { return std::get<3>(payload_); }
   const std::string& AsString() const { return std::get<4>(payload_); }
   const std::string& AsBytes() const { return std::get<5>(payload_).data; }
+
+  /// Dictionary id of an interned bytes value; 0 when the value is not
+  /// bytes or was never interned.
+  uint32_t bytes_interned_id() const {
+    return payload_.index() == 5 ? std::get<5>(payload_).interned_id : 0;
+  }
 
   /// True for kInt64/kDouble.
   bool IsNumeric() const {
@@ -85,7 +99,13 @@ class Value {
  private:
   struct BytesPayload {
     std::string data;
-    bool operator==(const BytesPayload&) const = default;
+    // Policy-dictionary id (0 = not interned). Deliberately excluded from
+    // equality: the id is derived from `data`, and a plain Bytes value must
+    // compare equal to its interned twin.
+    uint32_t interned_id = 0;
+    bool operator==(const BytesPayload& other) const {
+      return data == other.data;
+    }
   };
   using Payload = std::variant<std::monostate, int64_t, double, bool,
                                std::string, BytesPayload>;

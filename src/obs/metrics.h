@@ -61,6 +61,15 @@ inline constexpr const char* kPipelineStages[] = {
     kStageQueueWait, kStageLockWait, kStageMorselWait, kStageMorselExec,
     kStageExecute};
 
+// Verdict-memoization surface (engine/policy_dict.h): hits replay a cached
+// compliance verdict for an interned policy id; misses are the one real
+// CompliesWithPacked sweep per (call site, id), whose wall time feeds the
+// fill histogram. hits + misses <= enforce.compliance_checks — checks on
+// un-interned or NULL policies bypass the memo entirely.
+inline constexpr char kVerdictMemoHits[] = "enforce.verdict_memo_hits";
+inline constexpr char kVerdictMemoMisses[] = "enforce.verdict_memo_misses";
+inline constexpr char kVerdictFill[] = "enforce.verdict_fill";
+
 /// Monotonic counter. All operations are single relaxed atomics; safe from
 /// any number of threads.
 class Counter {

@@ -374,6 +374,31 @@ ServerSnapshot EnforcementServer::Snapshot() const {
   snap.lock_exclusive = lock_exclusive_->value();
   snap.sessions_active = sessions_.active();
   snap.cache = cache_.stats();
+  // Dictionary sizes read table data, so take the read side of the data
+  // lock: snapshots stay safe against concurrent DML and policy attachment.
+  {
+    std::shared_lock lock(data_mu_);
+    const engine::Database* db = monitor_->catalog()->db();
+    for (const std::string& name : db->TableNames()) {
+      const engine::Table* t = db->FindTable(name);
+      const engine::PolicyDictionary* dict = t->policy_dict();
+      if (dict == nullptr) continue;
+      DictionarySize d;
+      d.table = name;
+      d.distinct_policies = dict->size();
+      uint64_t raw = 0;
+      const size_t col = *t->intern_column();
+      for (const engine::Row& row : t->rows()) {
+        if (col < row.size() && row[col].type() == engine::ValueType::kBytes) {
+          raw += row[col].AsBytes().size();
+        }
+      }
+      d.bytes_saved = raw > dict->distinct_bytes()
+                          ? raw - dict->distinct_bytes()
+                          : 0;
+      snap.dictionaries.push_back(std::move(d));
+    }
+  }
   return snap;
 }
 

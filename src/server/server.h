@@ -49,6 +49,17 @@ struct ServerOptions {
 /// Point-in-time aggregate of the server's operational state (the shell's
 /// \server view and the bench reports read this rather than poking at the
 /// individual accessors).
+/// Size of one table's policy-interning dictionary (engine/policy_dict.h).
+struct DictionarySize {
+  std::string table;
+  /// Distinct policy masks interned.
+  size_t distinct_policies = 0;
+  /// Raw blob bytes the column would hold without sharing (rows × their
+  /// masks' sizes) minus the dictionary's distinct payload — what interning
+  /// deduplicates away.
+  uint64_t bytes_saved = 0;
+};
+
 struct ServerSnapshot {
   size_t queue_depth = 0;
   /// Highest queue depth observed since start (server.queue_depth gauge
@@ -62,6 +73,10 @@ struct ServerSnapshot {
   uint64_t lock_exclusive = 0;
   size_t sessions_active = 0;
   CacheStats cache;
+  /// Per protected table, the interning dictionary's size. The dictionaries
+  /// live on the engine tables, so they survive rewrite-cache hits,
+  /// invalidations and evictions unchanged.
+  std::vector<DictionarySize> dictionaries;
 };
 
 /// Concurrent, session-oriented enforcement service over one
@@ -201,7 +216,8 @@ class EnforcementServer {
 
   /// Readers-writer lock over catalog + table data. Workers executing
   /// SELECTs hold it shared; DML and WithExclusive hold it exclusively.
-  std::shared_mutex data_mu_;
+  /// Mutable: Snapshot() is const but reads table data under the lock.
+  mutable std::shared_mutex data_mu_;
 
   mutable std::mutex queue_mu_;
   std::deque<Task> queue_;

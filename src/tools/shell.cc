@@ -39,6 +39,8 @@ constexpr char kHelp[] =
     "  \\attach <table> [where <col> = <lit>] : <policy text>\n"
     "                             attach a policy (allow <purposes> "
     "indirect|direct single|multiple aggregate|raw on <cols> [joint(...)])\n"
+    "  \\policies                  per-table policy-dictionary stats\n"
+    "                             (distinct masks, bytes saved vs raw blobs)\n"
     "  \\showpolicy <table> <row>  decode one tuple's policy mask\n"
     "  \\coverage <table> <row>    per-purpose coverage of a tuple's policy\n"
     "  \\save <path>               write a binary snapshot of the database\n"
@@ -260,6 +262,35 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
     if (!st.ok()) return "error: " + st.ToString();
     return "policy attached to " + table + ":\n" +
            core::PolicyToText(*policy);
+  }
+  if (cmd == "policies") {
+    // One line per protected table: how repetitive the policy column is and
+    // what the interning dictionary deduplicates (see engine/policy_dict.h).
+    std::ostringstream out;
+    for (const auto& name : db_->TableNames()) {
+      const engine::Table* t = db_->FindTable(name);
+      const engine::PolicyDictionary* dict = t->policy_dict();
+      if (dict == nullptr) continue;
+      const size_t col = *t->intern_column();
+      size_t with_policy = 0;
+      uint64_t raw_bytes = 0;
+      for (const auto& row : t->rows()) {
+        if (col < row.size() && row[col].type() == engine::ValueType::kBytes) {
+          ++with_policy;
+          raw_bytes += row[col].AsBytes().size();
+        }
+      }
+      const uint64_t saved = raw_bytes > dict->distinct_bytes()
+                                 ? raw_bytes - dict->distinct_bytes()
+                                 : 0;
+      if (out.tellp() > 0) out << "\n";
+      out << name << ": " << with_policy << "/" << t->num_rows()
+          << " tuples with a policy, " << dict->size()
+          << " distinct (dictionary " << dict->distinct_bytes()
+          << " B, saves " << saved << " B vs raw blobs)";
+    }
+    const std::string s = out.str();
+    return s.empty() ? "(no protected tables)" : s;
   }
   if (cmd == "showpolicy" || cmd == "coverage") {
     // \showpolicy|\coverage <table> <row index>

@@ -81,8 +81,9 @@ Status ApplyToTable(AccessControlCatalog* catalog, const std::string& table,
         static_cast<int>(rng->NextInt(config.min_rules, config.max_rules));
     const int pass_all_position =
         is_non_compliant[u] ? -1 : static_cast<int>(rng->NextInt(0, rules - 1));
-    const Value mask =
+    Value mask =
         Value::Bytes(BuildScatteredMask(layout, rules, pass_all_position));
+    tbl->InternColumnValue(*policy_col, &mask);
     for (size_t row : units[u].row_indices) {
       tbl->mutable_row(row)[*policy_col] = mask;
     }

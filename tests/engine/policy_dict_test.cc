@@ -1,0 +1,118 @@
+// Policy-mask interning: the dictionary's global-unique-id contract, the
+// data-only equality of interned bytes Values, and the Table write paths
+// that must funnel the policy column through the dictionary.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/policy_dict.h"
+#include "engine/schema.h"
+#include "engine/table.h"
+#include "engine/value.h"
+
+namespace aapac::engine {
+namespace {
+
+TEST(PolicyDictTest, SameBytesSameIdDistinctBytesDistinctIds) {
+  PolicyDictionary dict;
+  const Value a1 = dict.Intern("mask-a");
+  const Value a2 = dict.Intern("mask-a");
+  const Value b = dict.Intern("mask-b");
+  ASSERT_NE(a1.bytes_interned_id(), 0u);
+  EXPECT_EQ(a1.bytes_interned_id(), a2.bytes_interned_id());
+  EXPECT_NE(a1.bytes_interned_id(), b.bytes_interned_id());
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.distinct_bytes(), std::string("mask-a").size() +
+                                       std::string("mask-b").size());
+}
+
+TEST(PolicyDictTest, IdsAreGloballyUniqueAcrossDictionaries) {
+  // Two dictionaries interning the same bytes must NOT share an id: a
+  // verdict table indexed by id would otherwise conflate two tables'
+  // policies. (Both ids still denote the same byte string — the invariant
+  // is one id -> one blob, not one blob -> one id.)
+  PolicyDictionary d1;
+  PolicyDictionary d2;
+  const Value v1 = d1.Intern("same-bytes");
+  const Value v2 = d2.Intern("same-bytes");
+  EXPECT_NE(v1.bytes_interned_id(), v2.bytes_interned_id());
+  EXPECT_TRUE(v1.Equals(v2));
+}
+
+TEST(PolicyDictTest, IdCeilingBoundsEveryIssuedId) {
+  PolicyDictionary dict;
+  const Value v = dict.Intern("bounded");
+  EXPECT_LT(v.bytes_interned_id(), PolicyDictionary::IdCeiling());
+}
+
+TEST(PolicyDictTest, InternedAndPlainBytesCompareEqual) {
+  PolicyDictionary dict;
+  const Value interned = dict.Intern("payload");
+  const Value plain = Value::Bytes("payload");
+  EXPECT_EQ(plain.bytes_interned_id(), 0u);
+  // Equality is data-only in both directions; the id is a cache key, not
+  // part of the value.
+  EXPECT_TRUE(interned.Equals(plain));
+  EXPECT_TRUE(plain.Equals(interned));
+  EXPECT_EQ(interned.Compare(plain), 0);
+  EXPECT_FALSE(interned.Equals(Value::Bytes("other")));
+}
+
+TEST(PolicyDictTest, NonBytesValuesPassThroughInternInPlace) {
+  PolicyDictionary dict;
+  Value v = Value::Int(7);
+  dict.InternInPlace(&v);
+  EXPECT_EQ(v.AsInt(), 7);
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+Table MakeTable() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn(Column{"id", ValueType::kInt64}).ok());
+  EXPECT_TRUE(schema.AddColumn(Column{"policy", ValueType::kBytes}).ok());
+  return Table("t", std::move(schema));
+}
+
+TEST(PolicyDictTest, SetInternColumnReinternsExistingRows) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::Bytes("m1")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::Bytes("m1")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(3), Value::Bytes("m2")}).ok());
+  ASSERT_EQ(t.policy_dict(), nullptr);
+
+  t.SetInternColumn(1);
+  ASSERT_NE(t.policy_dict(), nullptr);
+  EXPECT_EQ(t.policy_dict()->size(), 2u);
+  EXPECT_NE(t.row(0)[1].bytes_interned_id(), 0u);
+  EXPECT_EQ(t.row(0)[1].bytes_interned_id(), t.row(1)[1].bytes_interned_id());
+  EXPECT_NE(t.row(0)[1].bytes_interned_id(), t.row(2)[1].bytes_interned_id());
+}
+
+TEST(PolicyDictTest, InsertAndUpdatePathsIntern) {
+  Table t = MakeTable();
+  t.SetInternColumn(1);
+
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::Bytes("m1")}).ok());
+  t.InsertUnchecked({Value::Int(2), Value::Bytes("m2")});
+  EXPECT_NE(t.row(0)[1].bytes_interned_id(), 0u);
+  EXPECT_NE(t.row(1)[1].bytes_interned_id(), 0u);
+  EXPECT_NE(t.row(0)[1].bytes_interned_id(), t.row(1)[1].bytes_interned_id());
+
+  // UpdateColumnWhere interns the new value once and fans the id out.
+  const size_t updated =
+      t.UpdateColumnWhere(1, Value::Bytes("m3"), {0, 1});
+  EXPECT_EQ(updated, 2u);
+  EXPECT_NE(t.row(0)[1].bytes_interned_id(), 0u);
+  EXPECT_EQ(t.row(0)[1].bytes_interned_id(), t.row(1)[1].bytes_interned_id());
+  EXPECT_EQ(t.row(0)[1].AsBytes(), "m3");
+  EXPECT_EQ(t.policy_dict()->size(), 3u);
+
+  // NULL policies are representable and never interned.
+  ASSERT_TRUE(t.Insert({Value::Int(3), Value::Null()}).ok());
+  EXPECT_TRUE(t.row(2)[1].is_null());
+}
+
+}  // namespace
+}  // namespace aapac::engine

@@ -320,6 +320,21 @@ TEST_F(ShellTest, ExplainNamesDeniedBitsUnderDenyAllPolicies) {
   EXPECT_NE(out.find(", action-type]"), std::string::npos) << out;
 }
 
+TEST_F(ShellTest, PoliciesReportsDictionaryStats) {
+  // Scattered policies at selectivity 0 give every users tuple a policy;
+  // the interning dictionary holds far fewer distinct masks than rows.
+  const std::string out = session_->ProcessLine("\\policies");
+  EXPECT_NE(out.find("users: 4/4 tuples with a policy"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("distinct (dictionary "), std::string::npos) << out;
+  EXPECT_NE(out.find("saves "), std::string::npos) << out;
+  EXPECT_NE(out.find("sensed_data:"), std::string::npos) << out;
+  // The dictionary never stores more blobs than the table has tuples with
+  // a policy, and \help advertises the command.
+  EXPECT_NE(session_->ProcessLine("\\help").find("\\policies"),
+            std::string::npos);
+}
+
 TEST_F(ShellTest, RunShellDrivesStreams) {
   std::istringstream in(
       "\\purpose p1\nselect count(*) from users\n\\checks\n");

@@ -1,12 +1,15 @@
-// Differential & property harness for the morsel-parallel executor: 500
-// seeded random SELECTs over the patients database, each executed three
-// ways —
+// Differential & property harness for the morsel-parallel executor and the
+// policy-dictionary verdict table: 500 seeded random SELECTs over the
+// patients database, each executed four ways —
 //   (1) serial, unenforced            (the paper's "original query" runs)
-//   (2) serial, purpose-enforced      (the pre-PR reference path)
-//   (3) morsel-parallel, enforced     (the new executor)
-// — asserting that (3) is row-for-row identical to (2), that (2) never
-// returns a tuple (1) would not (enforcement only filters), and, for
-// queries without sub-queries, that (2) equals a brute-force reference
+//   (2) serial, purpose-enforced      (verdict memoization on, the default)
+//   (3) morsel-parallel, enforced     (the morsel executor)
+//   (4) serial, enforced, verdict table force-disabled (every tuple through
+//       the full CompliesWithPacked sweep — the pre-dictionary path)
+// — asserting that (3) and (4) are row-for-row identical to (2), that (4)
+// spends exactly the same number of logical compliance checks as (2), that
+// (2) never returns a tuple (1) would not (enforcement only filters), and,
+// for queries without sub-queries, that (2) equals a brute-force reference
 // monitor: every referenced protected table is pre-filtered tuple-by-tuple
 // with CompliesWithPacked against the query's derived action-signature
 // masks, and the *original* query runs unenforced over that filtered clone.
@@ -177,8 +180,19 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     ASSERT_TRUE(unenforced.ok()) << ctx << "\n  " << unenforced.status();
 
     h.monitor->SetParallelism(nullptr, 1);
+    const uint64_t checks_before_memo = h.monitor->compliance_checks();
     auto serial = h.monitor->ExecuteQuery(q.sql, q.purpose);
     ASSERT_TRUE(serial.ok()) << ctx << "\n  " << serial.status();
+    const uint64_t memo_checks =
+        h.monitor->compliance_checks() - checks_before_memo;
+
+    h.monitor->SetVerdictMemoEnabled(false);
+    const uint64_t checks_before_direct = h.monitor->compliance_checks();
+    auto direct = h.monitor->ExecuteQuery(q.sql, q.purpose);
+    const uint64_t direct_checks =
+        h.monitor->compliance_checks() - checks_before_direct;
+    h.monitor->SetVerdictMemoEnabled(true);
+    ASSERT_TRUE(direct.ok()) << ctx << "\n  " << direct.status();
 
     h.monitor->SetParallelism(threads > 1 ? h.pool.get() : nullptr, threads,
                               /*morsel_rows=*/64);
@@ -195,6 +209,18 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
       ASSERT_EQ(parallel_rows[r], serial_rows[r])
           << ctx << "\n  first divergence at row " << r;
     }
+
+    // (a') The verdict table is a pure cache: with it force-disabled the
+    // rows and the logical check count are byte-identical.
+    const std::vector<std::string> direct_rows = RenderRows(*direct);
+    ASSERT_EQ(direct_rows.size(), serial_rows.size()) << ctx;
+    for (size_t r = 0; r < serial_rows.size(); ++r) {
+      ASSERT_EQ(direct_rows[r], serial_rows[r])
+          << ctx << "\n  verdict-memo divergence at row " << r;
+    }
+    ASSERT_EQ(direct_checks, memo_checks)
+        << ctx << "\n  verdict memoization changed the compliance-check "
+        << "count";
 
     // (b) Enforcement only filters: every enforced tuple appears in the
     // unenforced result (as a multiset; aggregates recompute over the

@@ -1,6 +1,7 @@
 // CI guard over the registry's latency profile.
 //
 // Usage: metrics_diff <baseline.json> <current.json> [metric] [max_pct]
+//        metrics_diff --require <current.json> <metric>...
 //
 // Both inputs are MetricsRegistry::RenderJson() dumps (benches write one via
 // AAPAC_METRICS_JSON). The tool prints a stage-by-stage comparison of every
@@ -9,6 +10,12 @@
 // max_pct percent (default 25) over the committed baseline. A small absolute
 // slack keeps sub-microsecond jitter from failing the build: a regression
 // also needs to exceed 20us in absolute terms before it counts.
+//
+// --require flips the tool into a presence gate with no baseline: every
+// named metric must appear in the dump, either as a counter (plain number —
+// its value is printed) or as a histogram object. CI uses it to assert that
+// new instrumentation (e.g. enforce.verdict_memo_hits) is actually
+// published by the bench binaries, independent of its value's magnitude.
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,13 +59,49 @@ const char* kStages[] = {
     "pipeline.cache_lookup", "pipeline.queue_wait", "pipeline.lock_wait",
     "pipeline.execute"};
 
+/// Presence gate: every metric named on the command line must exist in the
+/// dump, as either `"name":<number>` (counter/gauge) or `"name":{...}`
+/// (histogram). Exit 1 lists what is missing.
+int RunRequire(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: metrics_diff --require <current.json> <metric>...\n");
+    return 2;
+  }
+  const std::string current = ReadFile(argv[2]);
+  int missing = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string name = argv[i];
+    const std::string key = "\"" + name + "\":";
+    const size_t pos = current.find(key);
+    if (pos == std::string::npos) {
+      std::fprintf(stderr, "metrics_diff: required metric %s is missing\n",
+                   name.c_str());
+      ++missing;
+      continue;
+    }
+    const char* value = current.c_str() + pos + key.size();
+    if (*value == '{') {
+      std::printf("metrics_diff: %s present (histogram)\n", name.c_str());
+    } else {
+      std::printf("metrics_diff: %s present (value %.0f)\n", name.c_str(),
+                  std::strtod(value, nullptr));
+    }
+  }
+  return missing > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--require") == 0) {
+    return RunRequire(argc, argv);
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: metrics_diff <baseline.json> <current.json> "
-                 "[metric=pipeline.rewrite] [max_pct=25]\n");
+                 "[metric=pipeline.rewrite] [max_pct=25]\n"
+                 "       metrics_diff --require <current.json> <metric>...\n");
     return 2;
   }
   const std::string baseline = ReadFile(argv[1]);
