@@ -38,79 +38,16 @@
 #include <string>
 #include <vector>
 
+#include "bench/heavy_masks.h"
 #include "bench/scenario.h"
 #include "core/catalog.h"
 #include "core/masks.h"
-#include "core/signature_builder.h"
 #include "engine/table.h"
 #include "obs/metrics.h"
-#include "sql/parser.h"
 #include "util/bitstring.h"
 
 namespace aapac::bench {
 namespace {
-
-/// A filler rule that the bench query provably does NOT comply with, but
-/// whose subset test fails as late as possible: all ones, except one bit
-/// cleared that every action-signature mask the query derives has set (we
-/// pick the last such bit, so the byte-wise sweep in CompliesWithPacked
-/// scans the whole rule before rejecting it). The signature masks are
-/// derived with the production SignatureBuilder, so the filler stays honest
-/// if the layout or derivation rules change.
-Result<BitString> BuildNearCoveringFiller(const core::AccessControlCatalog* cat,
-                                          const core::MaskLayout& layout,
-                                          const std::string& sql,
-                                          const std::string& purpose_id) {
-  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
-                         sql::ParseSelect(sql));
-  core::SignatureBuilder builder(cat);
-  AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<core::QuerySignature> qs,
-                         builder.Derive(*stmt, purpose_id, sql));
-  // Intersection of all of the query's action-signature masks over `users`
-  // (non-empty: each one encodes the purpose bit).
-  BitString common;
-  for (const auto& ts : qs->tables) {
-    if (ts.table != "users") continue;
-    for (const auto& as : ts.actions) {
-      AAPAC_ASSIGN_OR_RETURN(BitString m,
-                             layout.EncodeActionSignature(as, purpose_id));
-      if (common.empty()) {
-        common = m;
-      } else {
-        AAPAC_ASSIGN_OR_RETURN(common, common.And(m));
-      }
-    }
-  }
-  if (common.AllZeros()) {
-    return Status::Internal("query derives no required signature bits");
-  }
-  BitString filler = layout.PassAllRuleMask();
-  for (size_t i = common.size(); i-- > 0;) {
-    if (common.Get(i)) {
-      filler.Set(i, false);
-      break;
-    }
-  }
-  return filler;
-}
-
-/// Builds the k-th distinct heavy mask: one pass-none "tag" rule carrying
-/// k's binary representation (rejected on its first byte — pure labelling),
-/// then `rules - 2` near-covering fillers, then the accepting pass-all rule.
-/// All variants share one byte length and, modulo the tag rule, one
-/// un-memoized check cost.
-std::string BuildHeavyMask(const core::MaskLayout& layout,
-                           const BitString& filler, size_t rules, uint64_t k) {
-  BitString tag = layout.PassNoneRuleMask();
-  for (size_t bit = 0; bit < 64 && (k >> bit) != 0; ++bit) {
-    if (((k >> bit) & 1) != 0 && bit < tag.size()) tag.Set(bit, true);
-  }
-  BitString mask;
-  mask.Append(tag);
-  for (size_t r = 0; r + 2 < rules; ++r) mask.Append(filler);
-  mask.Append(layout.PassAllRuleMask());
-  return mask.ToBytes();
-}
 
 /// Re-policies `users` with `distinct` masks assigned round-robin, interning
 /// each mask once so all its rows share one dictionary id.

@@ -1,0 +1,301 @@
+// Policy zone-map sweep: enforced execution time as a function of policy
+// CLUSTERING — how long the runs of identical policy masks are — at fixed
+// distinct-id cardinality.
+//
+// The verdict memo (bench_verdict_cache) already collapses the per-tuple
+// check cost to a dictionary probe when policies repeat. Zone maps
+// (engine/zone_map.h) go one step further: per-block summaries of the
+// interned policy-id column let the scan resolve a whole block against the
+// query's memoized verdicts at once — skipping all-denied blocks without
+// touching a row and dropping the per-tuple compliance probe from
+// all-allowed blocks. Both effects depend on policies being CLUSTERED:
+// a block is skippable only when every row in it carries a deciding id.
+// This bench sweeps run length from fully-clustered (rows/distinct) down
+// to fully-shuffled (run_len=1, every block mixed at 8 distinct ids per
+// 2048-row block) and times the same enforced SELECT with zone maps off
+// (memo only) and on, in one process at equal scale.
+//
+// Two population shapes:
+//   - "all_allowed": all 8 distinct masks accept the query. Clustered
+//     blocks resolve to bulk-accept (WHERE-only scan, no per-tuple probe).
+//   - "mixed": 4 masks accept, 4 deny. Clustered denying blocks are
+//     skipped outright; clustered allowing blocks bulk-accept; at
+//     run_len=1 every block is mixed and the zone map must cost ~nothing.
+//
+// Per-query result rows and compliance-check counts are asserted identical
+// on both paths at every (config, run_len) point — zone maps must be
+// invisible to Fig. 6 and to results — and the bench hard-fails otherwise.
+//
+// The headline `speedup` is the ratio of ENFORCEMENT OVERHEADS — enforced
+// minus unenforced time, the quantity the paper's Fig. 7 tracks — because
+// the raw query time includes materialization and aggregation work that no
+// enforcement representation can elide. `raw_speedup` (whole-query ratio)
+// and all three raw medians ride along so nothing is hidden.
+//
+// One JSON line per (config, run_len):
+//
+//   {"bench":"zone_skip","config":"mixed","run_len":2048,"rows":100000,
+//    "distinct":8,"rules":64,"threads":1,"zonemap_block":2048,
+//    "original_ms":...,"memo_only_ms":...,"zone_ms":...,
+//    "memo_overhead_ms":...,"zone_overhead_ms":...,"speedup":...,
+//    "raw_speedup":...,"blocks_skipped":...,"blocks_bulk_accepted":...,
+//    "blocks_mixed":...,"checks_per_query":...,"rows_out":...}
+//
+// Knobs: AAPAC_ZS_ROWS (users rows, default 100000), AAPAC_ZS_RULES (rules
+// per mask, default 64), AAPAC_ZS_REPS (timing reps, default 5),
+// AAPAC_THREADS (morsel DOP), AAPAC_ZONEMAP_BLOCK (block rows),
+// AAPAC_METRICS_JSON (full registry dump at exit).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/heavy_masks.h"
+#include "bench/scenario.h"
+#include "core/catalog.h"
+#include "engine/table.h"
+#include "engine/zone_map.h"
+#include "obs/metrics.h"
+#include "util/bitstring.h"
+
+namespace aapac::bench {
+namespace {
+
+uint64_t CounterValue(core::EnforcementMonitor* m, const char* name) {
+  return m->metrics()->counter(name)->value();
+}
+
+/// Re-policies `users` with `masks` laid out in runs of `run_len` identical
+/// values: row i gets masks[(i / run_len) % masks.size()]. Each mask is
+/// interned once so all of its rows share one dictionary id.
+void AssignClustered(Scenario* s, const std::vector<std::string>& blobs,
+                     size_t run_len) {
+  auto tbl_or = s->catalog->db()->GetTable("users");
+  if (!tbl_or.ok()) std::abort();
+  engine::Table* tbl = *tbl_or;
+  auto policy_col =
+      tbl->schema().FindColumn(core::AccessControlCatalog::kPolicyColumn);
+  if (!policy_col.has_value()) std::abort();
+
+  std::vector<engine::Value> masks;
+  masks.reserve(blobs.size());
+  for (const auto& blob : blobs) {
+    engine::Value v = engine::Value::Bytes(blob);
+    tbl->InternColumnValue(*policy_col, &v);
+    masks.push_back(std::move(v));
+  }
+  for (size_t i = 0; i < tbl->num_rows(); ++i) {
+    tbl->mutable_row(i)[*policy_col] = masks[(i / run_len) % masks.size()];
+  }
+  // Policy bytes changed wholesale; stale version-tagged rewrites must die.
+  s->catalog->BumpVersion();
+}
+
+struct Leg {
+  double time_ms = 0;
+  size_t rows_out = 0;
+  uint64_t checks = 0;
+  /// Rendered verification-query result plus the timed query's scalar —
+  /// compared byte-for-byte across legs, not just by cardinality.
+  std::string content;
+};
+
+std::string RenderRows(const engine::ResultSet& rs) {
+  std::string out;
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row) {
+      out += v.is_null() ? "NULL" : v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int Main() {
+  const size_t rows = EnvSize("AAPAC_ZS_ROWS", 100000);
+  const size_t rules = EnvSize("AAPAC_ZS_RULES", 64);
+  const int reps = static_cast<int>(EnvSize("AAPAC_ZS_REPS", 5));
+  const size_t threads = EnvThreads();
+  const size_t distinct = 8;  // Matches PolicyZoneMap::kMaxDistinct.
+
+  Scenario s = BuildScenario(/*patients=*/rows, /*samples=*/1);
+  AttachParallelism(&s, threads);
+
+  // count(*) touches no attribute, derives no compliance conjunct, and so
+  // never enters the zone fast path — count(user_id) keeps the aggregate
+  // shape (tiny result, no output materialization beyond one column) while
+  // still carrying the per-tuple compliance tail the zone map elides.
+  const std::string sql = "SELECT count(user_id) FROM users";
+  const std::string verify_sql = "SELECT user_id FROM users";
+  const std::string purpose = "p3";
+
+  auto purpose_id = s.catalog->purposes().Resolve(purpose);
+  auto layout = s.catalog->LayoutFor("users");
+  if (!purpose_id.ok() || !layout.ok()) {
+    std::fprintf(stderr, "scenario misses purpose/layout for the sweep\n");
+    return 1;
+  }
+  // The filler is derived from the verification query, which subsumes the
+  // timing query's signature (same table, same purpose, superset of reads):
+  // a mask that denies one denies both, and vice versa for pass-all.
+  auto filler =
+      BuildNearCoveringFiller(s.catalog.get(), *layout, verify_sql, *purpose_id);
+  if (!filler.ok()) {
+    std::fprintf(stderr, "filler derivation failed: %s\n",
+                 filler.status().ToString().c_str());
+    return 1;
+  }
+
+  // Mask populations. Tags keep every blob distinct (distinct dictionary
+  // ids) even when the allow/deny behaviour repeats. Deny masks use
+  // pass-none fillers so they deny BOTH bench queries (the timing and
+  // verification queries derive different action signatures, and a
+  // near-covering filler tuned to one can accidentally grant the other).
+  const BitString deny_filler = layout->PassNoneRuleMask();
+  std::vector<std::string> all_allowed;
+  std::vector<std::string> mixed;
+  for (uint64_t k = 0; k < distinct; ++k) {
+    all_allowed.push_back(BuildHeavyMask(*layout, *filler, rules, k));
+    mixed.push_back(k % 2 == 0
+                        ? BuildHeavyMask(*layout, *filler, rules, k)
+                        : BuildDenyMask(*layout, deny_filler, rules, k));
+  }
+
+  const size_t block_rows = engine::PolicyZoneMap::DefaultBlockRows();
+  std::printf(
+      "zone-map clustering sweep: %zu rows, %zu distinct, %zu rules/mask, "
+      "block=%zu, threads=%zu\n",
+      rows, distinct, rules, block_rows, threads);
+  std::printf("%12s %9s %10s %10s %10s %9s %9s %7s %7s %7s\n", "config",
+              "run_len", "orig_ms", "memo_ms", "zone_ms", "ov_spd", "raw_spd",
+              "skip", "bulk", "mixed");
+
+  // Fully-clustered down to fully-shuffled. rows/distinct gives one run per
+  // mask; 1 interleaves all 8 ids inside every block.
+  std::vector<size_t> run_lens = {rows / distinct, 16384, 2048, 256, 16, 1};
+
+  struct Config {
+    const char* name;
+    const std::vector<std::string>* blobs;
+  };
+  const Config configs[] = {{"all_allowed", &all_allowed}, {"mixed", &mixed}};
+
+  int failures = 0;
+  for (const Config& config : configs) {
+    for (size_t run_len : run_lens) {
+      if (run_len == 0 || run_len > rows) continue;
+      AssignClustered(&s, *config.blobs, run_len);
+
+      auto run = [&](const std::string& q) {
+        auto rs = s.monitor->ExecuteQuery(q, purpose);
+        if (!rs.ok()) std::abort();
+        return *std::move(rs);
+      };
+      auto measure = [&](bool zone_on) {
+        s.monitor->SetZoneMapEnabled(zone_on);
+        Leg leg;
+        engine::ResultSet verify = run(verify_sql);  // Warm + verification.
+        leg.rows_out = verify.rows.size();
+        const uint64_t before = s.monitor->compliance_checks();
+        run(verify_sql);
+        leg.checks = s.monitor->compliance_checks() - before;
+        leg.content = RenderRows(verify) + RenderRows(run(sql));
+        // Best-of timing: robust against scheduler noise on shared boxes.
+        leg.time_ms = TimeMs([&] { run(sql); }, reps);
+        return leg;
+      };
+
+      // The unenforced floor: same query, no compliance conjuncts at all.
+      const double original_ms = TimeMs(
+          [&] {
+            auto rs = s.monitor->ExecuteUnrestricted(sql);
+            if (!rs.ok()) std::abort();
+          },
+          reps);
+      const Leg off = measure(/*zone_on=*/false);
+      const uint64_t skip_before =
+          CounterValue(s.monitor.get(), obs::kZoneBlocksSkipped);
+      const uint64_t bulk_before =
+          CounterValue(s.monitor.get(), obs::kZoneBlocksBulkAccepted);
+      const uint64_t mixed_before =
+          CounterValue(s.monitor.get(), obs::kZoneBlocksMixed);
+      const Leg on = measure(/*zone_on=*/true);
+      const uint64_t skipped =
+          CounterValue(s.monitor.get(), obs::kZoneBlocksSkipped) - skip_before;
+      const uint64_t bulk =
+          CounterValue(s.monitor.get(), obs::kZoneBlocksBulkAccepted) -
+          bulk_before;
+      const uint64_t mixed_blocks =
+          CounterValue(s.monitor.get(), obs::kZoneBlocksMixed) - mixed_before;
+
+      // Zone maps must be invisible to everything but the clock.
+      if (on.rows_out != off.rows_out || on.checks != off.checks ||
+          on.content != off.content) {
+        std::fprintf(
+            stderr,
+            "MISMATCH %s run_len=%zu: rows %zu vs %zu, checks %llu vs %llu, "
+            "contents %s\n",
+            config.name, run_len, on.rows_out, off.rows_out,
+            static_cast<unsigned long long>(on.checks),
+            static_cast<unsigned long long>(off.checks),
+            on.content == off.content ? "equal" : "DIFFER");
+        ++failures;
+        continue;
+      }
+
+      // Enforcement overhead = enforced minus unenforced time. Clamp the
+      // zone-side denominator to 1µs: on an all-bulk sweep the overhead can
+      // dip into the timer noise floor, and the honest reading there is
+      // "at least this much", not a division by a negative jitter.
+      const double memo_overhead = std::max(off.time_ms - original_ms, 0.0);
+      const double zone_overhead = std::max(on.time_ms - original_ms, 0.001);
+      const double speedup = memo_overhead / zone_overhead;
+      const double raw_speedup =
+          on.time_ms > 0 ? off.time_ms / on.time_ms : 0.0;
+      std::printf(
+          "%12s %9zu %10.3f %10.3f %10.3f %8.2fx %8.2fx %7llu %7llu %7llu\n",
+          config.name, run_len, original_ms, off.time_ms, on.time_ms, speedup,
+          raw_speedup, static_cast<unsigned long long>(skipped),
+          static_cast<unsigned long long>(bulk),
+          static_cast<unsigned long long>(mixed_blocks));
+      JsonLine("zone_skip")
+          .Str("config", config.name)
+          .Int("run_len", run_len)
+          .Int("rows", rows)
+          .Int("distinct", distinct)
+          .Int("rules", rules)
+          .Int("threads", threads)
+          .Int("zonemap_block", block_rows)
+          .Num("original_ms", original_ms)
+          .Num("memo_only_ms", off.time_ms)
+          .Num("zone_ms", on.time_ms)
+          .Num("memo_overhead_ms", memo_overhead)
+          .Num("zone_overhead_ms", zone_overhead)
+          .Num("speedup", speedup)
+          .Num("raw_speedup", raw_speedup)
+          .Int("blocks_skipped", skipped)
+          .Int("blocks_bulk_accepted", bulk)
+          .Int("blocks_mixed", mixed_blocks)
+          .Int("checks_per_query", on.checks)
+          .Int("rows_out", on.rows_out)
+          .Emit();
+    }
+  }
+
+  MaybeDumpMetricsJson(s.monitor.get());
+  if (failures > 0) {
+    std::fprintf(stderr, "%d (config, run_len) points mismatched\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace aapac::bench
+
+int main() { return aapac::bench::Main(); }

@@ -13,6 +13,7 @@
 #include "core/monitor.h"
 #include "core/policy_manager.h"
 #include "engine/database.h"
+#include "engine/zone_map.h"
 #include "obs/metrics.h"
 #include "util/task_pool.h"
 #include "workload/patients.h"
@@ -259,12 +260,23 @@ inline void EmitVerdictMemoCounters(core::EnforcementMonitor* monitor,
   const uint64_t misses =
       monitor->metrics()->counter(obs::kVerdictMemoMisses)->value();
   if (hits + misses == 0) return;
+  // The zone-map state rides along so ablation lines are self-describing:
+  // a run with zonemap_on=0 (or all-zero block counters) measured the pure
+  // per-tuple memo path.
   JsonLine(bench + "_verdict_memo")
       .Str("scenario", scenario)
       .Int("hits", hits)
       .Int("misses", misses)
       .Num("hit_rate",
            static_cast<double>(hits) / static_cast<double>(hits + misses))
+      .Int("zonemap_on", monitor->zone_map_enabled() ? 1 : 0)
+      .Int("zonemap_block", engine::PolicyZoneMap::DefaultBlockRows())
+      .Int("blocks_skipped",
+           monitor->metrics()->counter(obs::kZoneBlocksSkipped)->value())
+      .Int("blocks_bulk_accepted",
+           monitor->metrics()->counter(obs::kZoneBlocksBulkAccepted)->value())
+      .Int("blocks_mixed",
+           monitor->metrics()->counter(obs::kZoneBlocksMixed)->value())
       .Emit();
 }
 

@@ -1,5 +1,7 @@
 #include "core/monitor.h"
 
+#include <cstdlib>
+
 #include "core/compliance.h"
 #include "core/complexity.h"
 #include "core/policy_manager.h"
@@ -84,7 +86,44 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
     memo_misses->Add(1);
     fill_hist->Record(ns);
   };
+  // Zone-map block settlement (engine/zone_map.h): when a scan decides a
+  // whole block against the verdict tables, the per-tuple checks it settles
+  // in bulk are folded into CheckTally here — same ownership as on_memo_hit
+  // — and counted as memo hits so hits + misses still partitions the total
+  // check count regardless of representation.
+  obs::Counter* blocks_skipped = metrics_->counter(obs::kZoneBlocksSkipped);
+  obs::Counter* blocks_bulk = metrics_->counter(obs::kZoneBlocksBulkAccepted);
+  obs::Counter* blocks_mixed = metrics_->counter(obs::kZoneBlocksMixed);
+  obs::Histogram* zone_resolve = metrics_->histogram(obs::kZoneResolve);
+  complies.on_zone_checks = [registry, memo_hits](uint64_t n) {
+    engine::CheckTally::Add(n);
+    memo_hits->Add(n);
+  };
+  complies.on_zone_block = [registry, blocks_skipped, blocks_bulk,
+                            blocks_mixed](int outcome) {
+    switch (outcome) {
+      case 0:
+        blocks_skipped->Add(1);
+        break;
+      case 1:
+        blocks_bulk->Add(1);
+        break;
+      default:
+        blocks_mixed->Add(1);
+        break;
+    }
+  };
+  complies.on_zone_resolve = [registry, zone_resolve](uint64_t ns) {
+    zone_resolve->Record(ns);
+  };
   db_->functions().Register(std::move(complies));
+  // Kill switch: force the per-tuple path for every scan (ablations, the
+  // differential harness, and emergency rollback if a zone decision were
+  // ever suspected of diverging from the direct path).
+  const char* zoff = std::getenv("AAPAC_ZONEMAP_OFF");
+  if (zoff != nullptr && *zoff != '\0' && std::string(zoff) != "0") {
+    executor_.set_zone_map_enabled(false);
+  }
 }
 
 EnforcementMonitor::~EnforcementMonitor() {

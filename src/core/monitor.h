@@ -182,6 +182,16 @@ class EnforcementMonitor {
     return executor_.verdict_memo_enabled();
   }
 
+  /// Forwarded to the executor; see engine::Executor::set_zone_map_enabled.
+  /// Disabling forces the per-tuple path even over blocks whose policy ids
+  /// are uniformly decided (results and check counts must not change —
+  /// asserted by the differential harness and bench_zone_skip). Also
+  /// settable at construction via the AAPAC_ZONEMAP_OFF environment knob.
+  void SetZoneMapEnabled(bool enabled) {
+    executor_.set_zone_map_enabled(enabled);
+  }
+  bool zone_map_enabled() const { return executor_.zone_map_enabled(); }
+
   /// Enables role-based purpose authorization: users may then hold a
   /// purpose either directly (table Pa) or through a role (tables Rr/Ur).
   /// Pass nullptr to disable again. The manager must outlive the monitor.

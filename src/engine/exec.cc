@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "engine/policy_dict.h"
+#include "engine/zone_map.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -41,6 +42,8 @@ using sql::UnaryOp;
 // Bound expressions
 // ===========================================================================
 
+class BoundMemoizedVerdict;
+
 /// Expression bound to a concrete BindingSchema: column references are
 /// resolved to row indices, functions to registry entries, aggregate calls
 /// to slots in a per-group array, and uncorrelated sub-queries to
@@ -58,6 +61,16 @@ class BoundExpr {
   /// inspect a value — the memoized compliance conjunct reading a multi-KB
   /// policy blob's interned id — use this to skip the Eval copy.
   virtual const Value* TryEvalRef(const Row& /*row*/) const { return nullptr; }
+
+  /// Downcast for the zone-map fast path: non-null when this node is a
+  /// memoized compliance conjunct.
+  virtual const BoundMemoizedVerdict* AsMemoizedVerdict() const {
+    return nullptr;
+  }
+
+  /// The row index this expression reads when it is a plain column
+  /// reference; nullopt otherwise.
+  virtual std::optional<size_t> TryColumnIndex() const { return std::nullopt; }
 };
 
 using BoundExprPtr = std::unique_ptr<BoundExpr>;
@@ -71,6 +84,7 @@ class BoundColumnRef final : public BoundExpr {
   const Value* TryEvalRef(const Row& row) const override {
     return &row[index_];
   }
+  std::optional<size_t> TryColumnIndex() const override { return index_; }
 
  private:
   size_t index_;
@@ -332,9 +346,30 @@ class BoundMemoizedVerdict final : public BoundExpr {
     return EvalWithSubject(subject, row, agg);
   }
 
- private:
+  const BoundMemoizedVerdict* AsMemoizedVerdict() const override {
+    return this;
+  }
+
+  // --- Zone-map probing (see ZoneScanPlan below). --------------------------
+
   static constexpr uint8_t kUnknown = 0, kFalse = 1, kTrue = 2;
 
+  const ScalarFunction* function() const { return fn_; }
+
+  /// The scan-relative column this conjunct's subject reads, when it is a
+  /// plain column reference (the rewriter-injected `t.policy` always is).
+  std::optional<size_t> SubjectColumn() const {
+    return subject_->TryColumnIndex();
+  }
+
+  /// The cached verdict for `id` without filling: kUnknown when the id is
+  /// out of range, untracked, or not yet evaluated at this call site.
+  uint8_t Probe(uint32_t id) const {
+    if (id == 0 || id >= ceiling_) return kUnknown;
+    return verdicts_[id].load(std::memory_order_relaxed);
+  }
+
+ private:
   Result<Value> EvalWithSubject(const Value& subject, const Row& row,
                                 const Row* agg) const {
     const uint32_t id = subject.bytes_interned_id();
@@ -825,12 +860,13 @@ class ExecutorImpl {
  public:
   ExecutorImpl(Database* db, ExecStats* stats, bool pushdown = true,
                const ParallelSpec* parallel = nullptr,
-               bool verdict_memo = true)
+               bool verdict_memo = true, bool zone_map = true)
       : db_(db),
         stats_(stats),
         pushdown_(pushdown),
         parallel_(parallel),
-        verdict_memo_(verdict_memo) {}
+        verdict_memo_(verdict_memo),
+        zone_map_(zone_map) {}
 
   Result<ResultSet> Execute(const sql::SelectStmt& stmt);
 
@@ -864,6 +900,12 @@ class ExecutorImpl {
   Result<bool> PassesFilters(const std::vector<BoundExprPtr>& filters,
                              const Row& row);
 
+  /// Same over the first `count` filters only — the zone-map fast path
+  /// evaluates the user's filters while settling the compliance tail in
+  /// bulk.
+  Result<bool> PassesFilterPrefix(const std::vector<BoundExprPtr>& filters,
+                                  size_t count, const Row& row);
+
   /// True when this execution asked for intra-query parallelism and the
   /// input is big enough to amortize the dispatch (at least two morsels).
   bool ShouldParallelize(size_t rows) const {
@@ -890,6 +932,7 @@ class ExecutorImpl {
   bool pushdown_;
   const ParallelSpec* parallel_;
   bool verdict_memo_;
+  bool zone_map_;
 };
 
 bool Binder::MemoizeVerdictsEnabled() const {
@@ -1235,8 +1278,13 @@ Result<std::vector<BoundExprPtr>> ExecutorImpl::ClaimConjuncts(
 
 Result<bool> ExecutorImpl::PassesFilters(
     const std::vector<BoundExprPtr>& filters, const Row& row) {
-  for (const auto& f : filters) {
-    AAPAC_ASSIGN_OR_RETURN(Value v, f->Eval(row, nullptr));
+  return PassesFilterPrefix(filters, filters.size(), row);
+}
+
+Result<bool> ExecutorImpl::PassesFilterPrefix(
+    const std::vector<BoundExprPtr>& filters, size_t count, const Row& row) {
+  for (size_t i = 0; i < count; ++i) {
+    AAPAC_ASSIGN_OR_RETURN(Value v, filters[i]->Eval(row, nullptr));
     if (v.is_null() || v.type() != ValueType::kBool || !v.AsBool()) {
       return false;
     }
@@ -1312,6 +1360,93 @@ Status ExecutorImpl::RunMorsels(
   return Status::OK();
 }
 
+// ===========================================================================
+// Zone-map fast path (engine/zone_map.h)
+// ===========================================================================
+
+/// Scan-level eligibility for block skipping / bulk-accept: the claimed
+/// filter list must end in a consecutive tail of memoized compliance
+/// conjuncts whose subjects all read the table's interned column directly.
+/// The rewriter guarantees this shape (compliance conjuncts are appended
+/// after the user's WHERE and ClaimConjuncts preserves order); anything else
+/// — a verdict node sandwiched between user filters, a computed subject —
+/// disqualifies the scan and it runs the plain per-tuple path.
+struct ZoneScanPlan {
+  const PolicyZoneMap* zone = nullptr;
+  size_t subject_col = 0;   // The interned column (stored-row index).
+  size_t user_filters = 0;  // Filters [0, user_filters) are the user's.
+  std::vector<const BoundMemoizedVerdict*> verdicts;  // The compliance tail.
+  bool valid = false;
+};
+
+/// The executor's verdict-side read of one block summary. `cost[i]` is the
+/// number of compliance conjuncts the direct per-tuple path would invoke for
+/// a tuple carrying `ids[i]`: the index of the first denying conjunct plus
+/// one (short-circuit), or the full tail length when all allow. Keeping the
+/// exact per-id cost is what makes bulk settlement reproduce CheckTally to
+/// the tuple.
+struct BlockDecision {
+  enum Kind { kSkip = 0, kBulkAccept = 1, kMixed = 2 };
+  Kind kind = kMixed;
+  uint32_t ids[PolicyZoneMap::kMaxDistinct] = {};
+  uint32_t cost[PolicyZoneMap::kMaxDistinct] = {};
+  uint8_t num_ids = 0;
+  /// When >= 0, every id in the block shares this cost (always true for
+  /// bulk-accept and for a single-conjunct tail).
+  int64_t uniform_cost = -1;
+
+  int64_t CostOf(uint32_t id) const {
+    for (uint8_t i = 0; i < num_ids; ++i) {
+      if (ids[i] == id) return cost[i];
+    }
+    return -1;
+  }
+};
+
+/// Decides a clean block against the statement's verdict tables. Mixed when
+/// the summary is unusable (untracked rows, overflow, empty) or any id's
+/// verdict chain hits an unfilled slot — the per-tuple fallback then fills
+/// the memo organically, so later blocks with the same ids decide fast.
+BlockDecision DecideBlock(const PolicyZoneMap::BlockSummary& s,
+                          const std::vector<const BoundMemoizedVerdict*>& ccs) {
+  BlockDecision d;
+  if (s.untracked || s.overflow || s.num_ids == 0) return d;
+  uint8_t denied = 0;
+  for (uint8_t i = 0; i < s.num_ids; ++i) {
+    const uint32_t id = s.ids[i];
+    uint32_t c = 0;
+    bool id_denied = false;
+    for (const BoundMemoizedVerdict* cc : ccs) {
+      const uint8_t v = cc->Probe(id);
+      if (v == BoundMemoizedVerdict::kUnknown) return BlockDecision{};
+      ++c;
+      if (v == BoundMemoizedVerdict::kFalse) {
+        id_denied = true;
+        break;
+      }
+    }
+    d.ids[d.num_ids] = id;
+    d.cost[d.num_ids] = c;
+    ++d.num_ids;
+    if (id_denied) ++denied;
+  }
+  if (denied == s.num_ids) {
+    d.kind = BlockDecision::kSkip;
+  } else if (denied == 0) {
+    d.kind = BlockDecision::kBulkAccept;
+  } else {
+    return BlockDecision{};
+  }
+  d.uniform_cost = d.cost[0];
+  for (uint8_t i = 1; i < d.num_ids; ++i) {
+    if (static_cast<int64_t>(d.cost[i]) != d.uniform_cost) {
+      d.uniform_cost = -1;
+      break;
+    }
+  }
+  return d;
+}
+
 Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
                                         const NeededColumns& needed,
                                         std::vector<PendingConjunct>* pending) {
@@ -1335,33 +1470,180 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
   }
   stats_->rows_scanned += table->num_rows();
   const std::vector<Row>& rows = table->rows();
-  if (!ShouldParallelize(rows.size())) {
-    for (const Row& row : rows) {
+
+  // Zone-map eligibility: the claimed filters must end in a consecutive
+  // tail of memoized compliance conjuncts over the interned column.
+  ZoneScanPlan zplan;
+  if (zone_map_ && verdict_memo_ && table->zone_map() != nullptr &&
+      table->intern_column().has_value()) {
+    const size_t icol = *table->intern_column();
+    bool eligible = true;
+    size_t first_cc = filters.size();
+    for (size_t i = 0; i < filters.size(); ++i) {
+      const BoundMemoizedVerdict* mv = filters[i]->AsMemoizedVerdict();
+      if (mv == nullptr) {
+        if (first_cc != filters.size()) {
+          eligible = false;  // Non-verdict conjunct after the tail began.
+          break;
+        }
+        continue;
+      }
+      const std::optional<size_t> sc = mv->SubjectColumn();
+      if (!sc.has_value() || *sc != icol) {
+        eligible = false;
+        break;
+      }
+      if (first_cc == filters.size()) first_cc = i;
+      zplan.verdicts.push_back(mv);
+    }
+    if (eligible && !zplan.verdicts.empty()) {
+      // Rebuild dirty blocks on the driver thread, before any fan-out:
+      // morsel lanes then read immutable summaries.
+      table->EnsureZoneCurrent();
+      zplan.zone = table->zone_map();
+      zplan.subject_col = icol;
+      zplan.user_filters = first_cc;
+      zplan.valid = true;
+    }
+  }
+  const ScalarFunction* zfn =
+      zplan.valid ? zplan.verdicts[0]->function() : nullptr;
+  const bool zone_timed = zfn != nullptr && zfn->on_zone_resolve != nullptr &&
+                          obs::kObsCompiledIn && obs::TimingEnabled();
+  std::atomic<uint64_t> resolve_ns{0};
+
+  auto materialize = [&keep](const Row& row, std::vector<Row>* sink) {
+    Row pruned;
+    pruned.reserve(keep.size());
+    for (size_t k : keep) pruned.push_back(row[k]);
+    sink->push_back(std::move(pruned));
+  };
+  // The direct path: every filter per tuple, memo machinery doing its own
+  // check accounting. Also the fallback for mixed/undecidable blocks.
+  auto per_tuple = [&](size_t begin, size_t end,
+                       std::vector<Row>* sink) -> Status {
+    for (size_t i = begin; i < end; ++i) {
+      const Row& row = rows[i];
       AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
       if (!pass) continue;
-      Row pruned;
-      pruned.reserve(keep.size());
-      for (size_t k : keep) pruned.push_back(row[k]);
-      rel.rows.push_back(std::move(pruned));
+      materialize(row, sink);
     }
+    return Status::OK();
+  };
+  // Zone-aware range scan: decide each intersected block against the
+  // verdict tables, settle skipped / bulk-accepted ranges with aggregate
+  // check accounting that reproduces the direct path's CheckTally exactly
+  // (see docs/enforcement_internals.md). Runs per morsel under
+  // parallelism; block decisions are pure reads of clean summaries plus
+  // relaxed verdict loads, so re-deciding a block per sub-range is safe.
+  auto scan_range = [&](size_t begin, size_t end,
+                        std::vector<Row>* sink) -> Status {
+    if (!zplan.valid) return per_tuple(begin, end, sink);
+    using Clock = std::chrono::steady_clock;
+    const size_t brows = zplan.zone->block_rows();
+    const size_t m = zplan.user_filters;
+    const uint64_t tail_len = zplan.verdicts.size();
+    size_t pos = begin;
+    while (pos < end) {
+      const size_t b = pos / brows;
+      const size_t bend = std::min(end, (b + 1) * brows);
+      const Clock::time_point t0 =
+          zone_timed ? Clock::now() : Clock::time_point();
+      const BlockDecision d = DecideBlock(zplan.zone->block(b), zplan.verdicts);
+      if (zone_timed) {
+        resolve_ns.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 t0)
+                .count(),
+            std::memory_order_relaxed);
+      }
+      if (zfn->on_zone_block) zfn->on_zone_block(static_cast<int>(d.kind));
+      switch (d.kind) {
+        case BlockDecision::kSkip: {
+          // Every id in the block is denied: no tuple survives, nothing is
+          // materialized. Settle exactly the checks the direct path would
+          // have spent: each tuple that passes the user's filters reaches
+          // the compliance tail and pays the per-id short-circuit cost.
+          uint64_t settled = 0;
+          if (m == 0 && d.uniform_cost >= 0) {
+            settled = static_cast<uint64_t>(bend - pos) *
+                      static_cast<uint64_t>(d.uniform_cost);
+          } else {
+            for (size_t i = pos; i < bend; ++i) {
+              const Row& row = rows[i];
+              if (m > 0) {
+                AAPAC_ASSIGN_OR_RETURN(bool pass,
+                                       PassesFilterPrefix(filters, m, row));
+                if (!pass) continue;
+              }
+              const int64_t c =
+                  d.CostOf(row[zplan.subject_col].bytes_interned_id());
+              if (c >= 0) {
+                settled += static_cast<uint64_t>(c);
+                continue;
+              }
+              // Unreachable for a clean summary; stay exact regardless.
+              AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+              if (pass) materialize(row, sink);
+            }
+          }
+          if (settled != 0 && zfn->on_zone_checks) zfn->on_zone_checks(settled);
+          break;
+        }
+        case BlockDecision::kBulkAccept: {
+          // Every id in the block is allowed: the compliance tail is TRUE
+          // for each tuple, so run the user's filters only and settle the
+          // full tail cost per surviving tuple.
+          uint64_t passes = 0;
+          if (m == 0 && d.uniform_cost >= 0) {
+            // No user filters and a cost-uniform block (always true for
+            // bulk-accept: every id passes the whole tail): every row
+            // survives, and the subject column never needs to be read.
+            for (size_t i = pos; i < bend; ++i) materialize(rows[i], sink);
+            passes = static_cast<uint64_t>(bend - pos);
+          } else {
+            for (size_t i = pos; i < bend; ++i) {
+              const Row& row = rows[i];
+              if (m > 0) {
+                AAPAC_ASSIGN_OR_RETURN(bool pass,
+                                       PassesFilterPrefix(filters, m, row));
+                if (!pass) continue;
+              }
+              if (d.CostOf(row[zplan.subject_col].bytes_interned_id()) >= 0) {
+                ++passes;
+                materialize(row, sink);
+                continue;
+              }
+              // Unreachable for a clean summary; stay exact regardless.
+              AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+              if (pass) materialize(row, sink);
+            }
+          }
+          if (passes != 0 && zfn->on_zone_checks) {
+            zfn->on_zone_checks(passes * tail_len);
+          }
+          break;
+        }
+        case BlockDecision::kMixed: {
+          AAPAC_RETURN_NOT_OK(per_tuple(pos, bend, sink));
+          break;
+        }
+      }
+      pos = bend;
+    }
+    return Status::OK();
+  };
+
+  if (!ShouldParallelize(rows.size())) {
+    AAPAC_RETURN_NOT_OK(scan_range(0, rows.size(), &rel.rows));
   } else {
     // Morsel-parallel scan: WHERE + policy-check evaluation fan out over
     // fixed-size row ranges; stitching preserves the serial row order.
-    AAPAC_RETURN_NOT_OK(RunMorsels(
-        rows.size(),
-        [&](size_t begin, size_t end, std::vector<Row>* sink) -> Status {
-          for (size_t i = begin; i < end; ++i) {
-            const Row& row = rows[i];
-            AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
-            if (!pass) continue;
-            Row pruned;
-            pruned.reserve(keep.size());
-            for (size_t k : keep) pruned.push_back(row[k]);
-            sink->push_back(std::move(pruned));
-          }
-          return Status::OK();
-        },
-        &rel.rows));
+    // Each morsel consults the zone map for the blocks it intersects.
+    AAPAC_RETURN_NOT_OK(RunMorsels(rows.size(), scan_range, &rel.rows));
+  }
+  if (zone_timed) {
+    zfn->on_zone_resolve(resolve_ns.load(std::memory_order_relaxed));
   }
   stats_->rows_materialized += rel.rows.size();
   return rel;
@@ -2140,7 +2422,7 @@ Result<std::string> Executor::ExplainPlanSql(const std::string& sql) {
 Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_);
   return impl.Execute(stmt);
 }
 
@@ -2149,7 +2431,7 @@ Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt,
   if (!spec.enabled()) return Execute(stmt);  // Exactly the serial path.
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, &spec,
-                    verdict_memo_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_);
   return impl.Execute(stmt);
 }
 
@@ -2162,7 +2444,7 @@ Result<ResultSet> Executor::ExecuteSql(const std::string& sql) {
 Result<std::vector<Row>> Executor::EvalInsertSource(
     const sql::InsertStmt& stmt) {
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_);
   if (stmt.select != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(ResultSet rs, impl.Execute(*stmt.select));
     return std::move(rs.rows);
@@ -2296,7 +2578,7 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
     return Status::InvalidArgument("UPDATE without assignments");
   }
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_);
 
   // Resolve targets and bind right-hand sides.
   std::vector<size_t> targets;
@@ -2371,7 +2653,7 @@ Result<size_t> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_);
   BoundExprPtr predicate;
   if (stmt.where != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(predicate,

@@ -188,11 +188,21 @@ class Executor {
   }
   bool verdict_memo_enabled() const { return verdict_memo_enabled_; }
 
+  /// Disables zone-map block skipping / bulk-accept (engine/zone_map.h):
+  /// every scan then runs the per-tuple path even over blocks whose policy
+  /// ids are uniformly decided. Check counts and results are identical
+  /// either way — the toggle exists for the differential harness and the
+  /// bench_zone_skip self-check. Has no effect when verdict memoization is
+  /// disabled (the fast path keys on memoized verdicts).
+  void set_zone_map_enabled(bool enabled) { zone_map_enabled_ = enabled; }
+  bool zone_map_enabled() const { return zone_map_enabled_; }
+
  private:
   Database* db_;
   ExecStats stats_;
   bool pushdown_enabled_ = true;
   bool verdict_memo_enabled_ = true;
+  bool zone_map_enabled_ = true;
 };
 
 }  // namespace aapac::engine

@@ -41,6 +41,31 @@ struct ScalarFunction {
   /// (the one real CompliesWithPacked sweep for that id). May run on morsel
   /// worker threads.
   std::function<void(uint64_t fill_ns)> on_memo_fill;
+
+  // --- Zone-map block settlement (engine/zone_map.h). ----------------------
+  //
+  // When a scan decides a whole block against the verdict memo (skip /
+  // bulk-accept), the per-tuple calls this function would have received are
+  // settled in aggregate through these callbacks instead.
+
+  /// `n` per-tuple checks were settled in bulk for a skipped or
+  /// bulk-accepted block range. Like on_memo_hit, the callback owns the
+  /// accounting: the monitor folds `n` into CheckTally (keeping Fig. 6 /
+  /// audit counts representation-independent) and into the memo-hit
+  /// counter (so hits + misses still partitions total checks). When unset,
+  /// no accounting happens — matching a null on_memo_hit. May run on
+  /// morsel worker threads.
+  std::function<void(uint64_t n)> on_zone_checks;
+  /// A block range was decided: 0 = skipped (all ids denied), 1 =
+  /// bulk-accepted (all ids allowed), 2 = mixed / per-tuple fallback.
+  /// Fires once per decided range — a morsel smaller than a zone block
+  /// contributes one decision per intersected block fragment, so these are
+  /// decision counts, not distinct-block counts. May run on morsel worker
+  /// threads.
+  std::function<void(int outcome)> on_zone_block;
+  /// Per-scan aggregate time spent deciding blocks, in nanoseconds. Only
+  /// fired when timing instrumentation is enabled.
+  std::function<void(uint64_t ns)> on_zone_resolve;
 };
 
 /// Names of the built-in aggregate functions understood by the executor.

@@ -25,6 +25,7 @@ Status Table::Insert(Row row) {
   if (intern_col_.has_value() && *intern_col_ < row.size()) {
     dict_->InternInPlace(&row[*intern_col_]);
   }
+  if (zone_ != nullptr) zone_->NoteAppend(InternedIdOf(row));
   rows_.push_back(std::move(row));
   return Status::OK();
 }
@@ -36,6 +37,12 @@ void Table::SetInternColumn(size_t col) {
   for (Row& row : rows_) {
     if (col < row.size()) dict_->InternInPlace(&row[col]);
   }
+  // (Re-)seed the zone map: every existing row just changed representation,
+  // so start all blocks dirty and let the first scan rebuild them.
+  if (zone_ == nullptr) {
+    zone_ = std::make_unique<PolicyZoneMap>(PolicyZoneMap::DefaultBlockRows());
+  }
+  zone_->Reset(rows_.size());
 }
 
 Status Table::AddColumn(Column column, Value fill) {
@@ -59,6 +66,9 @@ size_t Table::EraseRows(const std::vector<size_t>& sorted_indices) {
     kept.push_back(std::move(rows_[i]));
   }
   rows_ = std::move(kept);
+  if (removed > 0 && zone_ != nullptr) {
+    zone_->NoteErase(sorted_indices[0], rows_.size());
+  }
   return removed;
 }
 
@@ -71,6 +81,9 @@ size_t Table::UpdateColumnWhere(size_t col, const Value& value,
     if (idx < rows_.size() && col < rows_[idx].size()) {
       rows_[idx][col] = v;
       ++updated;
+      if (zone_ != nullptr && intern_col_.has_value() && col == *intern_col_) {
+        zone_->MarkRowDirty(idx);
+      }
     }
   }
   return updated;

@@ -9,6 +9,7 @@
 #include "engine/policy_dict.h"
 #include "engine/schema.h"
 #include "engine/value.h"
+#include "engine/zone_map.h"
 #include "util/result.h"
 
 namespace aapac::engine {
@@ -32,7 +33,14 @@ class Table {
   size_t num_rows() const { return rows_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
   const Row& row(size_t i) const { return rows_[i]; }
-  Row& mutable_row(size_t i) { return rows_[i]; }
+  /// Hands out a writable row. The caller may rewrite any cell — including
+  /// the interned policy column — so the row's zone-map block is
+  /// conservatively marked dirty (rebuilt lazily; cheap for non-policy
+  /// writes, required for correctness on policy writes).
+  Row& mutable_row(size_t i) {
+    if (zone_ != nullptr) zone_->MarkRowDirty(i);
+    return rows_[i];
+  }
 
   /// Validates arity and (loosely) types: each value must be NULL or match
   /// the declared column type, with int accepted where double is declared.
@@ -44,16 +52,23 @@ class Table {
     if (intern_col_.has_value() && *intern_col_ < row.size()) {
       dict_->InternInPlace(&row[*intern_col_]);
     }
+    if (zone_ != nullptr) zone_->NoteAppend(InternedIdOf(row));
     rows_.push_back(std::move(row));
   }
 
   void Reserve(size_t n) { rows_.reserve(n); }
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    rows_.clear();
+    if (zone_ != nullptr) zone_->NoteTruncate(0);
+  }
 
   /// Drops rows from the tail until `n` remain; no-op if fewer. Used to
   /// roll back partially applied multi-row inserts.
   void TruncateTo(size_t n) {
-    if (rows_.size() > n) rows_.resize(n);
+    if (rows_.size() > n) {
+      rows_.resize(n);
+      if (zone_ != nullptr) zone_->NoteTruncate(n);
+    }
   }
 
   /// Adds a column to the schema and back-fills existing rows with `fill`.
@@ -91,12 +106,42 @@ class Table {
     }
   }
 
+  // --- Policy zone map. ----------------------------------------------------
+
+  /// Block summaries over the interned column; nullptr until
+  /// SetInternColumn (or ResetZoneMap). Blocks may be dirty — call
+  /// EnsureZoneCurrent before trusting summaries.
+  const PolicyZoneMap* zone_map() const { return zone_.get(); }
+
+  /// Rebuilds any dirty zone-map blocks. Safe under the owner's shared
+  /// (read) lock: concurrent callers serialize inside the map.
+  void EnsureZoneCurrent() {
+    if (zone_ != nullptr && intern_col_.has_value()) {
+      zone_->EnsureCurrent(rows_, *intern_col_);
+    }
+  }
+
+  /// Replaces the zone map with one of the given block granularity (tests
+  /// and the differential harness shrink blocks to force block-boundary
+  /// coverage). Requires an intern column; no-op otherwise.
+  void ResetZoneMap(size_t block_rows) {
+    if (!intern_col_.has_value()) return;
+    zone_ = std::make_unique<PolicyZoneMap>(block_rows);
+    zone_->Reset(rows_.size());
+  }
+
  private:
+  uint32_t InternedIdOf(const Row& row) const {
+    if (!intern_col_.has_value() || *intern_col_ >= row.size()) return 0;
+    return row[*intern_col_].bytes_interned_id();
+  }
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
   std::optional<size_t> intern_col_;
   std::unique_ptr<PolicyDictionary> dict_;
+  std::unique_ptr<PolicyZoneMap> zone_;
 };
 
 }  // namespace aapac::engine

@@ -1,0 +1,124 @@
+#include "engine/zone_map.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace aapac::engine {
+
+size_t PolicyZoneMap::DefaultBlockRows() {
+  const char* v = std::getenv("AAPAC_ZONEMAP_BLOCK");
+  if (v != nullptr && *v != '\0') {
+    const long long parsed = std::atoll(v);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 2048;
+}
+
+PolicyZoneMap::PolicyZoneMap(size_t block_rows)
+    : block_rows_(block_rows == 0 ? 1 : block_rows) {}
+
+void PolicyZoneMap::AddId(BlockSummary* s, uint32_t id) {
+  if (id == 0) {
+    s->untracked = true;
+    return;
+  }
+  if (s->min_id == 0 || id < s->min_id) s->min_id = id;
+  if (id > s->max_id) s->max_id = id;
+  if (s->overflow) return;
+  for (uint8_t i = 0; i < s->num_ids; ++i) {
+    if (s->ids[i] == id) return;
+  }
+  if (s->num_ids < kMaxDistinct) {
+    s->ids[s->num_ids++] = id;
+  } else {
+    s->overflow = true;
+  }
+}
+
+void PolicyZoneMap::ResizeBlocks(size_t num_rows) {
+  const size_t blocks = (num_rows + block_rows_ - 1) / block_rows_;
+  blocks_.resize(blocks);
+  dirty_.resize(blocks, 1);
+  num_rows_ = num_rows;
+}
+
+void PolicyZoneMap::Reset(size_t num_rows) {
+  blocks_.clear();
+  dirty_.clear();
+  ResizeBlocks(num_rows);
+  if (!dirty_.empty()) any_dirty_.store(true, std::memory_order_release);
+}
+
+void PolicyZoneMap::NoteAppend(uint32_t id) {
+  const size_t row = num_rows_++;
+  const size_t b = row / block_rows_;
+  if (b >= blocks_.size()) {
+    blocks_.emplace_back();  // A fresh block starts exact, hence clean.
+    dirty_.push_back(0);
+  }
+  // A dirty block is rebuilt wholesale later; updating it now would be
+  // wasted work (and Reset-created blocks have no valid baseline anyway).
+  if (dirty_[b] == 0) AddId(&blocks_[b], id);
+}
+
+void PolicyZoneMap::MarkRowDirty(size_t row) {
+  if (row >= num_rows_) return;
+  dirty_[row / block_rows_] = 1;
+  any_dirty_.store(true, std::memory_order_release);
+}
+
+void PolicyZoneMap::NoteErase(size_t first_erased, size_t new_num_rows) {
+  ResizeBlocks(new_num_rows);
+  for (size_t b = first_erased / block_rows_; b < dirty_.size(); ++b) {
+    dirty_[b] = 1;
+  }
+  if (!dirty_.empty()) any_dirty_.store(true, std::memory_order_release);
+}
+
+void PolicyZoneMap::NoteTruncate(size_t new_num_rows) {
+  if (new_num_rows >= num_rows_) {
+    num_rows_ = new_num_rows;  // No-op truncation.
+    return;
+  }
+  ResizeBlocks(new_num_rows);
+  // The (now partial) tail block still summarizes rows that no longer
+  // exist; a stale superset is conservative but the rebuild is cheap.
+  if (!blocks_.empty()) {
+    dirty_.back() = 1;
+    any_dirty_.store(true, std::memory_order_release);
+  }
+}
+
+void PolicyZoneMap::EnsureCurrent(const std::vector<Row>& rows, size_t col) {
+  if (!any_dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  if (!any_dirty_.load(std::memory_order_relaxed)) return;
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    if (dirty_[b] == 0) continue;
+    BlockSummary s;
+    const size_t begin = b * block_rows_;
+    const size_t end = std::min({num_rows_, rows.size(), begin + block_rows_});
+    for (size_t i = begin; i < end; ++i) {
+      const Row& row = rows[i];
+      AddId(&s, col < row.size() ? row[col].bytes_interned_id() : 0);
+    }
+    blocks_[b] = s;
+    dirty_[b] = 0;
+  }
+  any_dirty_.store(false, std::memory_order_release);
+}
+
+PolicyZoneMap::Stats PolicyZoneMap::stats() const {
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  Stats st;
+  st.block_rows = block_rows_;
+  st.blocks = blocks_.size();
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    if (dirty_[b] != 0) ++st.dirty_blocks;
+    if (blocks_[b].overflow) ++st.overflow_blocks;
+    if (blocks_[b].untracked) ++st.untracked_blocks;
+  }
+  return st;
+}
+
+}  // namespace aapac::engine

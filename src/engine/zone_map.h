@@ -1,0 +1,137 @@
+#ifndef AAPAC_ENGINE_ZONE_MAP_H_
+#define AAPAC_ENGINE_ZONE_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "engine/value.h"
+
+namespace aapac::engine {
+
+/// Block-level summaries of a table's interned policy-id column.
+///
+/// The verdict memo (BoundMemoizedVerdict in exec.cc) already collapses
+/// per-tuple compliance to one CompliesWithPacked sweep per distinct policy
+/// id, but every tuple still pays an id lookup, an atomic verdict probe and
+/// a tally bump inside the hot scan loop. Policies cluster in practice —
+/// tables hold long runs of identically protected tuples — so a per-block
+/// digest of WHICH ids occur lets the executor decide whole blocks at once
+/// against the statement's verdict tables: a block whose ids are all denied
+/// is skipped without evaluating a single row, a block whose ids are all
+/// allowed drops the per-tuple compliance call and runs the user's WHERE
+/// only, and mixed/overflow blocks fall back to the per-tuple path. The
+/// full protocol (including how check accounting stays exact) is in the
+/// "zone maps" section of docs/enforcement_internals.md.
+///
+/// Summaries are maintained incrementally by appends and invalidated —
+/// lazily, per block — by in-place writes; EnsureCurrent rebuilds dirty
+/// blocks on demand before a scan relies on them.
+///
+/// Thread safety follows the owning table's single-writer/multi-reader
+/// contract: the mutating hooks (NoteAppend, MarkRowDirty, NoteErase, ...)
+/// must be externally serialized with each other and with readers (the
+/// server's exclusive data lock). EnsureCurrent and the read accessors may
+/// run concurrently with each other: concurrent rebuilds serialize on an
+/// internal mutex, and the "nothing dirty" fast path is an acquire load
+/// paired with the rebuilder's release store, so a reader that sees a clean
+/// map also sees the rebuilt summaries.
+class PolicyZoneMap {
+ public:
+  /// Distinct-id capacity of one block summary; one more distinct non-zero
+  /// id marks the block `overflow` (min/max stay maintained, the set does
+  /// not).
+  static constexpr size_t kMaxDistinct = 8;
+
+  struct BlockSummary {
+    uint32_t ids[kMaxDistinct] = {};  // Valid prefix of length num_ids.
+    uint8_t num_ids = 0;
+    bool overflow = false;   // More than kMaxDistinct distinct non-zero ids.
+    bool untracked = false;  // Some row carries no id (NULL / un-interned).
+    uint32_t min_id = 0;     // Over non-zero ids; 0 when none seen yet.
+    uint32_t max_id = 0;
+  };
+
+  struct Stats {
+    size_t block_rows = 0;
+    size_t blocks = 0;
+    size_t dirty_blocks = 0;
+    size_t overflow_blocks = 0;
+    size_t untracked_blocks = 0;
+  };
+
+  /// Default block granularity: AAPAC_ZONEMAP_BLOCK when set to a positive
+  /// integer, else 2048 rows (the morsel default, so a default morsel never
+  /// straddles more than two blocks).
+  static size_t DefaultBlockRows();
+
+  explicit PolicyZoneMap(size_t block_rows);
+
+  PolicyZoneMap(const PolicyZoneMap&) = delete;
+  PolicyZoneMap& operator=(const PolicyZoneMap&) = delete;
+
+  size_t block_rows() const { return block_rows_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// The summary of block `b`. Only trustworthy when the block is clean
+  /// (EnsureCurrent since the last in-place write).
+  const BlockSummary& block(size_t b) const { return blocks_[b]; }
+  bool dirty(size_t b) const { return dirty_[b] != 0; }
+  bool any_dirty() const {
+    return any_dirty_.load(std::memory_order_acquire);
+  }
+
+  // --- Write-path hooks (externally serialized with readers). --------------
+
+  /// Re-seeds the map for a table currently holding `num_rows` rows; every
+  /// block starts dirty (SetInternColumn / bulk re-interning path).
+  void Reset(size_t num_rows);
+
+  /// One row appended carrying `id` (0 = no id). Updates the tail block's
+  /// summary in place unless that block is already dirty.
+  void NoteAppend(uint32_t id);
+
+  /// Row `row` was (or may have been) rewritten in place: its block summary
+  /// can no longer be trusted and is rebuilt lazily.
+  void MarkRowDirty(size_t row);
+
+  /// Rows were erased and the survivors compacted: every block from the one
+  /// containing `first_erased` onward is stale, and the table now holds
+  /// `new_num_rows` rows.
+  void NoteErase(size_t first_erased, size_t new_num_rows);
+
+  /// The table was truncated (or cleared) to `new_num_rows` rows; the now
+  /// partial tail block is rebuilt lazily.
+  void NoteTruncate(size_t new_num_rows);
+
+  // --- Read side. ----------------------------------------------------------
+
+  /// Rebuilds every dirty block from `rows` (reading column `col`); a cheap
+  /// atomic load when nothing is dirty. Safe to call concurrently with
+  /// other EnsureCurrent calls and with summary readers, but not with the
+  /// write-path hooks above.
+  void EnsureCurrent(const std::vector<Row>& rows, size_t col);
+
+  /// Aggregate counters for the shell / server snapshot; serialized with
+  /// concurrent rebuilds.
+  Stats stats() const;
+
+ private:
+  static void AddId(BlockSummary* s, uint32_t id);
+  /// Grows/shrinks the block vectors to cover `num_rows`; new blocks start
+  /// dirty.
+  void ResizeBlocks(size_t num_rows);
+
+  const size_t block_rows_;
+  std::vector<BlockSummary> blocks_;
+  std::vector<uint8_t> dirty_;
+  size_t num_rows_ = 0;
+  std::atomic<bool> any_dirty_{false};
+  mutable std::mutex rebuild_mu_;
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_ZONE_MAP_H_

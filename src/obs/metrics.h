@@ -70,6 +70,18 @@ inline constexpr char kVerdictMemoHits[] = "enforce.verdict_memo_hits";
 inline constexpr char kVerdictMemoMisses[] = "enforce.verdict_memo_misses";
 inline constexpr char kVerdictFill[] = "enforce.verdict_fill";
 
+// Zone-map surface (engine/zone_map.h): block-range decisions made by the
+// scan fast path — skipped (all policy ids denied, no row touched),
+// bulk-accepted (all ids allowed, WHERE-only scan) or mixed (per-tuple
+// fallback). These count decisions, not distinct blocks: a morsel smaller
+// than a zone block contributes one decision per intersected block
+// fragment. kZoneResolve records per-scan aggregate decision time (ns).
+inline constexpr char kZoneBlocksSkipped[] = "enforce.blocks_skipped";
+inline constexpr char kZoneBlocksBulkAccepted[] =
+    "enforce.blocks_bulk_accepted";
+inline constexpr char kZoneBlocksMixed[] = "enforce.blocks_mixed";
+inline constexpr char kZoneResolve[] = "enforce.zone_resolve";
+
 /// Monotonic counter. All operations are single relaxed atomics; safe from
 /// any number of threads.
 class Counter {

@@ -397,6 +397,19 @@ ServerSnapshot EnforcementServer::Snapshot() const {
                           ? raw - dict->distinct_bytes()
                           : 0;
       snap.dictionaries.push_back(std::move(d));
+      // Zone-map stats ride in the same pass. stats() serializes with
+      // reader-triggered rebuilds internally, so the shared lock suffices.
+      if (const engine::PolicyZoneMap* zone = t->zone_map()) {
+        const engine::PolicyZoneMap::Stats zs = zone->stats();
+        ZoneMapStats z;
+        z.table = name;
+        z.block_rows = zs.block_rows;
+        z.blocks = zs.blocks;
+        z.dirty_blocks = zs.dirty_blocks;
+        z.overflow_blocks = zs.overflow_blocks;
+        z.untracked_blocks = zs.untracked_blocks;
+        snap.zone_maps.push_back(std::move(z));
+      }
     }
   }
   return snap;

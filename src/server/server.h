@@ -60,6 +60,19 @@ struct DictionarySize {
   uint64_t bytes_saved = 0;
 };
 
+/// Per-table zone-map health (engine/zone_map.h): block granularity plus
+/// how many blocks are currently dirty (awaiting lazy rebuild), overflowed
+/// (too many distinct policy ids to enumerate) or untracked (rows without
+/// an interned id) — the blocks the scan fast path cannot decide.
+struct ZoneMapStats {
+  std::string table;
+  size_t block_rows = 0;
+  size_t blocks = 0;
+  size_t dirty_blocks = 0;
+  size_t overflow_blocks = 0;
+  size_t untracked_blocks = 0;
+};
+
 struct ServerSnapshot {
   size_t queue_depth = 0;
   /// Highest queue depth observed since start (server.queue_depth gauge
@@ -77,6 +90,9 @@ struct ServerSnapshot {
   /// live on the engine tables, so they survive rewrite-cache hits,
   /// invalidations and evictions unchanged.
   std::vector<DictionarySize> dictionaries;
+  /// Per protected table, the policy zone map's block statistics (same
+  /// lifetime as the dictionaries: owned by the engine tables).
+  std::vector<ZoneMapStats> zone_maps;
 };
 
 /// Concurrent, session-oriented enforcement service over one

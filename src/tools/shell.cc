@@ -288,6 +288,13 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
           << " tuples with a policy, " << dict->size()
           << " distinct (dictionary " << dict->distinct_bytes()
           << " B, saves " << saved << " B vs raw blobs)";
+      if (const engine::PolicyZoneMap* zone = t->zone_map()) {
+        const engine::PolicyZoneMap::Stats zs = zone->stats();
+        out << "; zone map: " << zs.blocks << " blocks x " << zs.block_rows
+            << " rows (" << zs.dirty_blocks << " dirty, "
+            << zs.overflow_blocks << " overflow, " << zs.untracked_blocks
+            << " untracked)";
+      }
     }
     const std::string s = out.str();
     return s.empty() ? "(no protected tables)" : s;

@@ -1,0 +1,377 @@
+// Policy zone maps (engine/zone_map.h): block-summary maintenance across
+// every interning write path, dirty-block laziness, the overflow-threshold
+// boundary, and the executor fast path — block skip / bulk-accept must be
+// invisible next to the per-tuple path in both result rows and logical
+// check counts, including after in-place policy rewrites and erasures. The
+// parallel test shares one zone map across morsel lanes and across
+// concurrent statements (TSan covers it in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "engine/value.h"
+#include "engine/zone_map.h"
+#include "obs/metrics.h"
+#include "util/task_pool.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+#include "workload/queries.h"
+
+namespace aapac {
+namespace {
+
+using engine::PolicyZoneMap;
+using engine::Table;
+using engine::Value;
+
+Table MakeTable() {
+  engine::Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"id", engine::ValueType::kInt64}).ok());
+  EXPECT_TRUE(schema.AddColumn({"policy", engine::ValueType::kBytes}).ok());
+  return Table("t", std::move(schema));
+}
+
+uint32_t IdOf(const Table& t, size_t row) {
+  return t.row(row)[1].bytes_interned_id();
+}
+
+bool BlockHasId(const PolicyZoneMap::BlockSummary& s, uint32_t id) {
+  for (uint8_t i = 0; i < s.num_ids; ++i) {
+    if (s.ids[i] == id) return true;
+  }
+  return false;
+}
+
+TEST(PolicyZoneMapTest, AppendsMaintainSummariesIncrementally) {
+  Table t = MakeTable();
+  t.SetInternColumn(1);
+  t.ResetZoneMap(4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value::Int(i), Value::Bytes(i < 5 ? "A" : "B")}).ok());
+  }
+  const PolicyZoneMap* z = t.zone_map();
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->num_rows(), 10u);
+  EXPECT_EQ(z->num_blocks(), 3u);
+  // Appends keep blocks exact: nothing dirty, summaries ready without a
+  // rebuild.
+  EXPECT_FALSE(z->any_dirty());
+  const uint32_t a = IdOf(t, 0);
+  const uint32_t b = IdOf(t, 9);
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  ASSERT_NE(a, b);
+  EXPECT_EQ(z->block(0).num_ids, 1);  // Rows 0-3: all A.
+  EXPECT_TRUE(BlockHasId(z->block(0), a));
+  EXPECT_EQ(z->block(1).num_ids, 2);  // Rows 4-7: A then B.
+  EXPECT_TRUE(BlockHasId(z->block(1), a));
+  EXPECT_TRUE(BlockHasId(z->block(1), b));
+  EXPECT_EQ(z->block(2).num_ids, 1);  // Rows 8-9: all B.
+  EXPECT_TRUE(BlockHasId(z->block(2), b));
+  EXPECT_FALSE(z->block(0).overflow);
+  EXPECT_FALSE(z->block(0).untracked);
+}
+
+TEST(PolicyZoneMapTest, NullPolicyMarksBlockUntracked) {
+  Table t = MakeTable();
+  t.SetInternColumn(1);
+  t.ResetZoneMap(4);
+  ASSERT_TRUE(t.Insert({Value::Int(0), Value::Bytes("A")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::Null()}).ok());
+  const PolicyZoneMap* z = t.zone_map();
+  EXPECT_TRUE(z->block(0).untracked);
+  EXPECT_EQ(z->block(0).num_ids, 1);
+}
+
+TEST(PolicyZoneMapTest, UpdateColumnWhereDirtiesOnlyTouchedBlocks) {
+  Table t = MakeTable();
+  t.SetInternColumn(1);
+  t.ResetZoneMap(4);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Bytes("A")}).ok());
+  }
+  ASSERT_EQ(t.UpdateColumnWhere(1, Value::Bytes("B"), {5}), 1u);
+  const PolicyZoneMap* z = t.zone_map();
+  EXPECT_TRUE(z->any_dirty());
+  EXPECT_FALSE(z->dirty(0));
+  EXPECT_TRUE(z->dirty(1));
+  EXPECT_FALSE(z->dirty(2));
+  // Laziness: the stale summary still shows the pre-update single id.
+  EXPECT_EQ(z->block(1).num_ids, 1);
+  t.EnsureZoneCurrent();
+  EXPECT_FALSE(z->any_dirty());
+  EXPECT_EQ(z->block(1).num_ids, 2);
+  EXPECT_TRUE(BlockHasId(z->block(1), IdOf(t, 5)));
+  // Blocks the update never touched kept their exact summaries.
+  EXPECT_EQ(z->block(0).num_ids, 1);
+  EXPECT_EQ(z->block(2).num_ids, 1);
+}
+
+TEST(PolicyZoneMapTest, MutableRowConservativelyDirties) {
+  Table t = MakeTable();
+  t.SetInternColumn(1);
+  t.ResetZoneMap(4);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Bytes("A")}).ok());
+  }
+  // Even a non-policy write dirties the block: mutable_row cannot know
+  // which cell the caller rewrites, and policy attachment writes the mask
+  // through exactly this path.
+  t.mutable_row(6)[0] = Value::Int(99);
+  const PolicyZoneMap* z = t.zone_map();
+  EXPECT_FALSE(z->dirty(0));
+  EXPECT_TRUE(z->dirty(1));
+  t.EnsureZoneCurrent();
+  EXPECT_FALSE(z->any_dirty());
+  EXPECT_EQ(z->block(1).num_ids, 1);
+}
+
+TEST(PolicyZoneMapTest, EraseRowsDirtiesFromFirstErasedAndShrinks) {
+  Table t = MakeTable();
+  t.SetInternColumn(1);
+  t.ResetZoneMap(4);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value::Int(i), Value::Bytes(i < 6 ? "A" : "B")}).ok());
+  }
+  ASSERT_EQ(t.EraseRows({5, 9}), 2u);
+  const PolicyZoneMap* z = t.zone_map();
+  EXPECT_EQ(z->num_rows(), 10u);
+  EXPECT_EQ(z->num_blocks(), 3u);
+  // Compaction shifts everything from the first erased row on.
+  EXPECT_TRUE(z->dirty(1));
+  EXPECT_TRUE(z->dirty(2));
+  t.EnsureZoneCurrent();
+  EXPECT_FALSE(z->any_dirty());
+  EXPECT_EQ(z->block(2).num_ids, 1);  // Rows 8-9 are now both B.
+  EXPECT_TRUE(BlockHasId(z->block(2), IdOf(t, 9)));
+}
+
+TEST(PolicyZoneMapTest, TruncateAndClearResize) {
+  Table t = MakeTable();
+  t.SetInternColumn(1);
+  t.ResetZoneMap(4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Bytes("A")}).ok());
+  }
+  t.TruncateTo(6);
+  const PolicyZoneMap* z = t.zone_map();
+  EXPECT_EQ(z->num_rows(), 6u);
+  EXPECT_EQ(z->num_blocks(), 2u);
+  EXPECT_TRUE(z->dirty(1));  // Partial tail block rebuilds lazily.
+  t.EnsureZoneCurrent();
+  EXPECT_FALSE(z->any_dirty());
+  t.Clear();
+  EXPECT_EQ(z->num_rows(), 0u);
+  EXPECT_EQ(z->num_blocks(), 0u);
+  // Appends after a clear restart exact summaries.
+  ASSERT_TRUE(t.Insert({Value::Int(0), Value::Bytes("B")}).ok());
+  t.EnsureZoneCurrent();
+  EXPECT_EQ(z->num_blocks(), 1u);
+  EXPECT_TRUE(BlockHasId(z->block(0), IdOf(t, 0)));
+}
+
+TEST(PolicyZoneMapTest, OverflowExactlyAtThresholdBoundary) {
+  Table t = MakeTable();
+  t.SetInternColumn(1);
+  t.ResetZoneMap(16);
+  for (size_t i = 0; i < PolicyZoneMap::kMaxDistinct; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(static_cast<int64_t>(i)),
+                          Value::Bytes("mask-" + std::to_string(i))})
+                    .ok());
+  }
+  const PolicyZoneMap* z = t.zone_map();
+  // Exactly kMaxDistinct distinct ids still enumerate.
+  EXPECT_EQ(z->block(0).num_ids, PolicyZoneMap::kMaxDistinct);
+  EXPECT_FALSE(z->block(0).overflow);
+  // One more tips the block into overflow; min/max stay maintained.
+  ASSERT_TRUE(t.Insert({Value::Int(99), Value::Bytes("mask-extra")}).ok());
+  EXPECT_TRUE(z->block(0).overflow);
+  uint32_t min_id = IdOf(t, 0);
+  uint32_t max_id = IdOf(t, 0);
+  for (size_t i = 1; i < t.num_rows(); ++i) {
+    min_id = std::min(min_id, IdOf(t, i));
+    max_id = std::max(max_id, IdOf(t, i));
+  }
+  EXPECT_EQ(z->block(0).min_id, min_id);
+  EXPECT_EQ(z->block(0).max_id, max_id);
+  // A rebuild reproduces the same overflow state.
+  t.mutable_row(0)[0] = Value::Int(-1);
+  t.EnsureZoneCurrent();
+  EXPECT_TRUE(z->block(0).overflow);
+  EXPECT_EQ(z->block(0).min_id, min_id);
+  EXPECT_EQ(z->block(0).max_id, max_id);
+}
+
+TEST(PolicyZoneMapTest, SetInternColumnSeedsZoneMapForProtectedTables) {
+  // ProtectTable funnels through SetInternColumn: protecting a populated
+  // table must leave a zone map whose first rebuild reflects the data.
+  Table t = MakeTable();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Bytes("uniform")}).ok());
+  }
+  EXPECT_EQ(t.zone_map(), nullptr);
+  t.SetInternColumn(1);
+  const PolicyZoneMap* z = t.zone_map();
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->num_rows(), 6u);
+  EXPECT_TRUE(z->any_dirty());  // Re-interning starts every block stale.
+  t.EnsureZoneCurrent();
+  EXPECT_FALSE(z->any_dirty());
+  EXPECT_EQ(z->block(0).num_ids, 1);
+  EXPECT_TRUE(BlockHasId(z->block(0), IdOf(t, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Query-level coverage: the executor fast path against the per-tuple path.
+// ---------------------------------------------------------------------------
+
+struct Instance {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<core::AccessControlCatalog> catalog;
+  std::unique_ptr<core::EnforcementMonitor> monitor;
+
+  explicit Instance(uint64_t policy_seed, double selectivity) {
+    db = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 20;
+    config.samples_per_patient = 30;  // 600 sensed_data rows.
+    EXPECT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+    catalog = std::make_unique<core::AccessControlCatalog>(db.get());
+    EXPECT_TRUE(catalog->Initialize().ok());
+    EXPECT_TRUE(workload::ConfigurePatientsAccessControl(catalog.get()).ok());
+    workload::ScatteredPolicyConfig sp;
+    sp.seed = policy_seed;
+    sp.selectivity = selectivity;
+    EXPECT_TRUE(workload::ApplyScatteredPolicies(catalog.get(), sp).ok());
+    monitor = std::make_unique<core::EnforcementMonitor>(db.get(),
+                                                         catalog.get());
+    // Small blocks so the 600-row scans cross many block boundaries.
+    for (const auto& name : db->TableNames()) {
+      db->FindTable(name)->ResetZoneMap(8);
+    }
+  }
+};
+
+std::string RenderRows(const engine::ResultSet& rs) {
+  std::string out;
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row) {
+      out += v.is_null() ? "NULL" : v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::pair<std::string, uint64_t> RunQuery(core::EnforcementMonitor* monitor,
+                                          const std::string& sql,
+                                          const std::string& purpose) {
+  const uint64_t before = monitor->compliance_checks();
+  auto rs = monitor->ExecuteQuery(sql, purpose);
+  EXPECT_TRUE(rs.ok()) << sql << "\n  " << rs.status();
+  if (!rs.ok()) return {"<error>", 0};
+  return {RenderRows(*rs), monitor->compliance_checks() - before};
+}
+
+TEST(PolicyZoneMapTest, QueryFastPathMatchesPerTupleIncludingAfterDml) {
+  Instance inst(/*policy_seed=*/13, /*selectivity=*/0.35);
+  const auto queries = workload::PaperQueries();
+  auto compare_all = [&](const std::string& stage) {
+    for (const auto& q : queries) {
+      inst.monitor->SetZoneMapEnabled(false);
+      const auto direct = RunQuery(inst.monitor.get(), q.sql, "p3");
+      inst.monitor->SetZoneMapEnabled(true);
+      const auto zoned = RunQuery(inst.monitor.get(), q.sql, "p3");
+      ASSERT_EQ(zoned.first, direct.first) << stage << " " << q.name;
+      ASSERT_EQ(zoned.second, direct.second)
+          << stage << " " << q.name
+          << "\n  zone map changed the logical check count";
+    }
+  };
+  compare_all("initial");
+  // The fast path must actually have engaged, not silently fallen back.
+  const uint64_t decided =
+      inst.monitor->metrics()->counter(obs::kZoneBlocksSkipped)->value() +
+      inst.monitor->metrics()
+          ->counter(obs::kZoneBlocksBulkAccepted)
+          ->value();
+  EXPECT_GT(decided, 0u);
+
+  // In-place policy rewrites and erasures dirty blocks; lazy rebuild must
+  // restore agreement.
+  engine::Table* sensed = inst.db->FindTable("sensed_data");
+  ASSERT_NE(sensed, nullptr);
+  const size_t pcol = *sensed->intern_column();
+  const Value moved = sensed->row(0)[pcol];
+  std::vector<size_t> touched;
+  for (size_t i = 40; i < sensed->num_rows(); i += 97) touched.push_back(i);
+  sensed->UpdateColumnWhere(pcol, moved, touched);
+  compare_all("after-update");
+  ASSERT_GT(sensed->EraseRows({3, 50, 51, 200}), 0u);
+  compare_all("after-erase");
+}
+
+TEST(PolicyZoneMapTest, ParallelSharedZoneResolutionIsRaceFree) {
+  // Morsel lanes concurrently decide blocks of one shared zone map against
+  // one shared verdict table; concurrent statements additionally race
+  // reader-triggered rebuilds through EnsureCurrent. Both must be clean
+  // under TSan and agree with the serial per-tuple reference.
+  Instance inst(/*policy_seed=*/7, /*selectivity=*/0.35);
+  inst.db->FindTable("sensed_data")->ResetZoneMap(16);
+  util::TaskPool pool(3);
+  const std::string sql = "SELECT beats FROM sensed_data";
+
+  inst.monitor->SetZoneMapEnabled(false);
+  const auto reference = RunQuery(inst.monitor.get(), sql, "p3");
+  inst.monitor->SetZoneMapEnabled(true);
+
+  // Dirty a few blocks so the driver-side rebuild runs before fan-out.
+  engine::Table* sensed = inst.db->FindTable("sensed_data");
+  const size_t pcol = *sensed->intern_column();
+  sensed->UpdateColumnWhere(pcol, sensed->row(0)[pcol], {5, 17, 333});
+  inst.monitor->SetZoneMapEnabled(false);
+  const auto dirtied_ref = RunQuery(inst.monitor.get(), sql, "p3");
+  inst.monitor->SetZoneMapEnabled(true);
+
+  inst.monitor->SetParallelism(&pool, 4, /*morsel_rows=*/16);
+  const auto parallel = RunQuery(inst.monitor.get(), sql, "p3");
+  EXPECT_EQ(parallel.first, dirtied_ref.first);
+  EXPECT_EQ(parallel.second, dirtied_ref.second);
+  inst.monitor->SetParallelism(nullptr, 1);
+
+  // Concurrent statements: each thread scans serially, racing EnsureCurrent
+  // on a freshly dirtied map.
+  sensed->UpdateColumnWhere(pcol, sensed->row(1)[pcol], {90, 91});
+  inst.monitor->SetZoneMapEnabled(false);
+  const auto final_ref = RunQuery(inst.monitor.get(), sql, "p3");
+  inst.monitor->SetZoneMapEnabled(true);
+  std::vector<std::string> outs(4);
+  {
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < outs.size(); ++i) {
+      threads.emplace_back([&, i] {
+        auto rs = inst.monitor->ExecuteQuery(sql, "p3");
+        outs[i] = rs.ok() ? RenderRows(*rs) : "<error>";
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (const auto& out : outs) EXPECT_EQ(out, final_ref.first);
+  (void)reference;
+}
+
+}  // namespace
+}  // namespace aapac

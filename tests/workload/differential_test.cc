@@ -1,18 +1,26 @@
-// Differential & property harness for the morsel-parallel executor and the
-// policy-dictionary verdict table: 500 seeded random SELECTs over the
-// patients database, each executed four ways —
+// Differential & property harness for the morsel-parallel executor, the
+// policy-dictionary verdict table and the policy zone map: 500 seeded
+// random SELECTs over the patients database, each executed five ways —
 //   (1) serial, unenforced            (the paper's "original query" runs)
-//   (2) serial, purpose-enforced      (verdict memoization on, the default)
+//   (2) serial, purpose-enforced      (memoization + zone maps on, default)
 //   (3) morsel-parallel, enforced     (the morsel executor)
 //   (4) serial, enforced, verdict table force-disabled (every tuple through
 //       the full CompliesWithPacked sweep — the pre-dictionary path)
-// — asserting that (3) and (4) are row-for-row identical to (2), that (4)
-// spends exactly the same number of logical compliance checks as (2), that
-// (2) never returns a tuple (1) would not (enforcement only filters), and,
-// for queries without sub-queries, that (2) equals a brute-force reference
-// monitor: every referenced protected table is pre-filtered tuple-by-tuple
-// with CompliesWithPacked against the query's derived action-signature
-// masks, and the *original* query runs unenforced over that filtered clone.
+//   (5) serial, enforced, zone maps force-disabled (memoized per-tuple path
+//       with no block skipping / bulk-accept)
+// — asserting that (3), (4) and (5) are row-for-row identical to (2), that
+// (4) and (5) spend exactly the same number of logical compliance checks as
+// (2), that (2) never returns a tuple (1) would not (enforcement only
+// filters), and, for queries without sub-queries, that (2) equals a
+// brute-force reference monitor: every referenced protected table is
+// pre-filtered tuple-by-tuple with CompliesWithPacked against the query's
+// derived action-signature masks, and the *original* query runs unenforced
+// over that filtered clone.
+//
+// Between queries the harness interleaves in-place policy rewrites
+// (UpdateColumnWhere) and row erasures (EraseRows) on sensed_data so the
+// zone map's dirty-block bookkeeping and lazy rebuild are continuously
+// exercised, across many block boundaries (blocks are shrunk to 64 rows).
 //
 // Replay a failure with AAPAC_DIFF_SEED=<seed printed in the message>; the
 // query index and SQL text are part of every assertion message.
@@ -22,6 +30,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <random>
 #include <set>
 #include <string>
 #include <vector>
@@ -98,6 +107,11 @@ struct Harness {
     monitor =
         std::make_unique<core::EnforcementMonitor>(db.get(), catalog.get());
     pool = std::make_unique<util::TaskPool>(3);
+    // Shrink zone blocks so the 1200-row scans cross many block
+    // boundaries; also realigns blocks vs the 64-row morsels below.
+    for (const auto& name : db->TableNames()) {
+      db->FindTable(name)->ResetZoneMap(64);
+    }
   }
 };
 
@@ -169,8 +183,38 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
   Harness h;
   testutil::QueryGenerator gen(seed);
   size_t brute_forced = 0;
+  // Separate stream so DML interleaving never perturbs query generation
+  // (AAPAC_DIFF_SEED replays stay aligned with pre-zone-map transcripts).
+  std::mt19937_64 dml_rng(seed ^ 0x9e3779b97f4a7c15ULL);
 
   for (size_t i = 0; i < kQueries; ++i) {
+    // Interleave policy rewrites and erasures between queries: blocks go
+    // dirty here and must be rebuilt lazily by the next enforced scan.
+    if (i % 7 == 3) {
+      engine::Table* sensed = h.db->FindTable("sensed_data");
+      ASSERT_NE(sensed, nullptr);
+      const size_t pcol = *sensed->intern_column();
+      if (dml_rng() % 4 != 0) {
+        // Copy an existing tuple's policy onto random rows — in-place
+        // rewrites of the interned column via UpdateColumnWhere.
+        const size_t from = dml_rng() % sensed->num_rows();
+        const engine::Value policy = sensed->row(from)[pcol];
+        std::vector<size_t> targets;
+        const size_t n = 1 + dml_rng() % 32;
+        for (size_t k = 0; k < n; ++k) {
+          targets.push_back(dml_rng() % sensed->num_rows());
+        }
+        sensed->UpdateColumnWhere(pcol, policy, targets);
+      } else if (sensed->num_rows() > 64) {
+        // Erase a few rows — compaction shifts every later block.
+        std::set<size_t> unique;
+        const size_t n = 1 + dml_rng() % 5;
+        for (size_t k = 0; k < n; ++k) {
+          unique.insert(dml_rng() % sensed->num_rows());
+        }
+        sensed->EraseRows(std::vector<size_t>(unique.begin(), unique.end()));
+      }
+    }
     const testutil::GenQuery q = gen.Next();
     const std::string ctx = "seed=" + std::to_string(seed) + " query#" +
                             std::to_string(i) + " purpose=" + q.purpose +
@@ -193,6 +237,14 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
         h.monitor->compliance_checks() - checks_before_direct;
     h.monitor->SetVerdictMemoEnabled(true);
     ASSERT_TRUE(direct.ok()) << ctx << "\n  " << direct.status();
+
+    h.monitor->SetZoneMapEnabled(false);
+    const uint64_t checks_before_nozone = h.monitor->compliance_checks();
+    auto nozone = h.monitor->ExecuteQuery(q.sql, q.purpose);
+    const uint64_t nozone_checks =
+        h.monitor->compliance_checks() - checks_before_nozone;
+    h.monitor->SetZoneMapEnabled(true);
+    ASSERT_TRUE(nozone.ok()) << ctx << "\n  " << nozone.status();
 
     h.monitor->SetParallelism(threads > 1 ? h.pool.get() : nullptr, threads,
                               /*morsel_rows=*/64);
@@ -221,6 +273,17 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     ASSERT_EQ(direct_checks, memo_checks)
         << ctx << "\n  verdict memoization changed the compliance-check "
         << "count";
+
+    // (a'') Zone maps are invisible: with block skipping / bulk-accept
+    // force-disabled the rows and the logical check count are identical.
+    const std::vector<std::string> nozone_rows = RenderRows(*nozone);
+    ASSERT_EQ(nozone_rows.size(), serial_rows.size()) << ctx;
+    for (size_t r = 0; r < serial_rows.size(); ++r) {
+      ASSERT_EQ(nozone_rows[r], serial_rows[r])
+          << ctx << "\n  zone-map divergence at row " << r;
+    }
+    ASSERT_EQ(nozone_checks, memo_checks)
+        << ctx << "\n  zone maps changed the compliance-check count";
 
     // (b) Enforcement only filters: every enforced tuple appears in the
     // unenforced result (as a multiset; aggregates recompute over the
