@@ -124,6 +124,20 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   if (zoff != nullptr && *zoff != '\0' && std::string(zoff) != "0") {
     executor_.set_zone_map_enabled(false);
   }
+  // Same shape of kill switch for the vectorized executor: force the
+  // row-at-a-time path for every filter pass.
+  const char* voff = std::getenv("AAPAC_VECTOR_OFF");
+  if (voff != nullptr && *voff != '\0' && std::string(voff) != "0") {
+    executor_.set_vector_enabled(false);
+  }
+  // Publish the vectorized executor's enforce.batches_* / vec.* metrics
+  // into the monitor's registry.
+  executor_.set_metrics(metrics_.get());
+  // Validate the numeric tuning knobs now, at startup, rather than at first
+  // use deep inside a query: a malformed AAPAC_BATCH_ROWS or
+  // AAPAC_ZONEMAP_BLOCK aborts with a clear message naming the variable.
+  engine::vec::DefaultBatchRows();
+  engine::PolicyZoneMap::DefaultBlockRows();
 }
 
 EnforcementMonitor::~EnforcementMonitor() {

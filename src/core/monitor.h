@@ -192,6 +192,21 @@ class EnforcementMonitor {
   }
   bool zone_map_enabled() const { return executor_.zone_map_enabled(); }
 
+  /// Forwarded to the executor; see engine::Executor::set_vector_enabled.
+  /// Disabling forces every filter pass through the row-at-a-time path
+  /// (results and check counts must not change — asserted by the
+  /// differential harness). Also settable at construction via the
+  /// AAPAC_VECTOR_OFF environment knob.
+  void SetVectorEnabled(bool enabled) {
+    executor_.set_vector_enabled(enabled);
+  }
+  bool vector_enabled() const { return executor_.vector_enabled(); }
+
+  /// Forwarded to the executor; see engine::Executor::set_batch_rows.
+  /// 0 (the default) selects the AAPAC_BATCH_ROWS value.
+  void SetBatchRows(size_t rows) { executor_.set_batch_rows(rows); }
+  size_t batch_rows() const { return executor_.batch_rows(); }
+
   /// Enables role-based purpose authorization: users may then hold a
   /// purpose either directly (table Pa) or through a role (tables Rr/Ur).
   /// Pass nullptr to disable again. The manager must outlive the monitor.

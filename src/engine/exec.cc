@@ -11,7 +11,12 @@
 #include <unordered_set>
 #include <utility>
 
+#include "engine/expr.h"
 #include "engine/policy_dict.h"
+#include "engine/row_scan.h"
+#include "engine/scan_plan.h"
+#include "engine/vec/kernels.h"
+#include "engine/vec/vec_scan.h"
 #include "engine/zone_map.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
@@ -37,518 +42,6 @@ namespace {
 
 using sql::BinaryOp;
 using sql::UnaryOp;
-
-// ===========================================================================
-// Bound expressions
-// ===========================================================================
-
-class BoundMemoizedVerdict;
-
-/// Expression bound to a concrete BindingSchema: column references are
-/// resolved to row indices, functions to registry entries, aggregate calls
-/// to slots in a per-group array, and uncorrelated sub-queries to
-/// materialized values/sets. Evaluation is then allocation-light.
-class BoundExpr {
- public:
-  virtual ~BoundExpr() = default;
-
-  /// `agg_slots` carries per-group aggregate results during the aggregate
-  /// output phase; it is nullptr in the row phase.
-  virtual Result<Value> Eval(const Row& row, const Row* agg_slots) const = 0;
-
-  /// Zero-copy fast path: a pointer into `row` when this expression is a
-  /// plain column reference, nullptr otherwise. Hot call sites that only
-  /// inspect a value — the memoized compliance conjunct reading a multi-KB
-  /// policy blob's interned id — use this to skip the Eval copy.
-  virtual const Value* TryEvalRef(const Row& /*row*/) const { return nullptr; }
-
-  /// Downcast for the zone-map fast path: non-null when this node is a
-  /// memoized compliance conjunct.
-  virtual const BoundMemoizedVerdict* AsMemoizedVerdict() const {
-    return nullptr;
-  }
-
-  /// The row index this expression reads when it is a plain column
-  /// reference; nullopt otherwise.
-  virtual std::optional<size_t> TryColumnIndex() const { return std::nullopt; }
-};
-
-using BoundExprPtr = std::unique_ptr<BoundExpr>;
-
-class BoundColumnRef final : public BoundExpr {
- public:
-  explicit BoundColumnRef(size_t index) : index_(index) {}
-  Result<Value> Eval(const Row& row, const Row*) const override {
-    return row[index_];
-  }
-  const Value* TryEvalRef(const Row& row) const override {
-    return &row[index_];
-  }
-  std::optional<size_t> TryColumnIndex() const override { return index_; }
-
- private:
-  size_t index_;
-};
-
-class BoundLiteral final : public BoundExpr {
- public:
-  explicit BoundLiteral(Value value) : value_(std::move(value)) {}
-  Result<Value> Eval(const Row&, const Row*) const override { return value_; }
-
- private:
-  Value value_;
-};
-
-class BoundAggRef final : public BoundExpr {
- public:
-  explicit BoundAggRef(size_t slot) : slot_(slot) {}
-  Result<Value> Eval(const Row&, const Row* agg_slots) const override {
-    if (agg_slots == nullptr) {
-      return Status::Internal("aggregate referenced outside aggregate phase");
-    }
-    return (*agg_slots)[slot_];
-  }
-
- private:
-  size_t slot_;
-};
-
-Result<Value> EvalComparison(BinaryOp op, const Value& l, const Value& r) {
-  if (l.is_null() || r.is_null()) return Value::Null();
-  const bool comparable = (l.IsNumeric() && r.IsNumeric()) || l.type() == r.type();
-  if (!comparable) {
-    return Status::ExecutionError(
-        std::string("cannot compare ") + ValueTypeToString(l.type()) + " with " +
-        ValueTypeToString(r.type()));
-  }
-  switch (op) {
-    case BinaryOp::kEq:
-      return Value::Bool(l.Equals(r));
-    case BinaryOp::kNe:
-      return Value::Bool(!l.Equals(r));
-    case BinaryOp::kLt:
-      return Value::Bool(l.Compare(r) < 0);
-    case BinaryOp::kLe:
-      return Value::Bool(l.Compare(r) <= 0);
-    case BinaryOp::kGt:
-      return Value::Bool(l.Compare(r) > 0);
-    case BinaryOp::kGe:
-      return Value::Bool(l.Compare(r) >= 0);
-    default:
-      return Status::Internal("not a comparison operator");
-  }
-}
-
-Result<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
-  if (l.is_null() || r.is_null()) return Value::Null();
-  if (!l.IsNumeric() || !r.IsNumeric()) {
-    return Status::ExecutionError(
-        std::string("arithmetic requires numeric operands, got ") +
-        ValueTypeToString(l.type()) + " and " + ValueTypeToString(r.type()));
-  }
-  const bool ints =
-      l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64;
-  if (ints) {
-    const int64_t a = l.AsInt();
-    const int64_t b = r.AsInt();
-    switch (op) {
-      case BinaryOp::kAdd:
-        return Value::Int(a + b);
-      case BinaryOp::kSub:
-        return Value::Int(a - b);
-      case BinaryOp::kMul:
-        return Value::Int(a * b);
-      case BinaryOp::kDiv:
-        if (b == 0) return Status::ExecutionError("division by zero");
-        return Value::Int(a / b);  // Integer division, as in PostgreSQL.
-      case BinaryOp::kMod:
-        if (b == 0) return Status::ExecutionError("division by zero");
-        return Value::Int(a % b);
-      default:
-        return Status::Internal("not an arithmetic operator");
-    }
-  }
-  const double a = l.NumericAsDouble();
-  const double b = r.NumericAsDouble();
-  switch (op) {
-    case BinaryOp::kAdd:
-      return Value::Double(a + b);
-    case BinaryOp::kSub:
-      return Value::Double(a - b);
-    case BinaryOp::kMul:
-      return Value::Double(a * b);
-    case BinaryOp::kDiv:
-      if (b == 0) return Status::ExecutionError("division by zero");
-      return Value::Double(a / b);
-    case BinaryOp::kMod:
-      return Status::ExecutionError("modulo requires integer operands");
-    default:
-      return Status::Internal("not an arithmetic operator");
-  }
-}
-
-class BoundBinary final : public BoundExpr {
- public:
-  BoundBinary(BinaryOp op, BoundExprPtr lhs, BoundExprPtr rhs)
-      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    // AND / OR implement Kleene logic with left-to-right short-circuiting;
-    // the short-circuit on a false conjunct is load-bearing for the paper's
-    // enforcement cost model (non-compliant rows skip later policy checks).
-    if (op_ == BinaryOp::kAnd) {
-      AAPAC_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row, agg));
-      if (!l.is_null() && l.type() == ValueType::kBool && !l.AsBool()) {
-        return Value::Bool(false);
-      }
-      AAPAC_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row, agg));
-      if (!r.is_null() && r.type() == ValueType::kBool && !r.AsBool()) {
-        return Value::Bool(false);
-      }
-      if (l.is_null() || r.is_null()) return Value::Null();
-      return Value::Bool(true);
-    }
-    if (op_ == BinaryOp::kOr) {
-      AAPAC_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row, agg));
-      if (!l.is_null() && l.type() == ValueType::kBool && l.AsBool()) {
-        return Value::Bool(true);
-      }
-      AAPAC_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row, agg));
-      if (!r.is_null() && r.type() == ValueType::kBool && r.AsBool()) {
-        return Value::Bool(true);
-      }
-      if (l.is_null() || r.is_null()) return Value::Null();
-      return Value::Bool(false);
-    }
-    AAPAC_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row, agg));
-    AAPAC_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row, agg));
-    switch (op_) {
-      case BinaryOp::kEq:
-      case BinaryOp::kNe:
-      case BinaryOp::kLt:
-      case BinaryOp::kLe:
-      case BinaryOp::kGt:
-      case BinaryOp::kGe:
-        return EvalComparison(op_, l, r);
-      case BinaryOp::kAdd:
-      case BinaryOp::kSub:
-      case BinaryOp::kMul:
-      case BinaryOp::kDiv:
-      case BinaryOp::kMod:
-        return EvalArithmetic(op_, l, r);
-      case BinaryOp::kLike:
-      case BinaryOp::kNotLike: {
-        if (l.is_null() || r.is_null()) return Value::Null();
-        if (l.type() != ValueType::kString || r.type() != ValueType::kString) {
-          return Status::ExecutionError("LIKE requires string operands");
-        }
-        const bool m = SqlLikeMatch(l.AsString(), r.AsString());
-        return Value::Bool(op_ == BinaryOp::kLike ? m : !m);
-      }
-      case BinaryOp::kConcat: {
-        if (l.is_null() || r.is_null()) return Value::Null();
-        if (l.type() != ValueType::kString || r.type() != ValueType::kString) {
-          return Status::ExecutionError("|| requires string operands");
-        }
-        return Value::String(l.AsString() + r.AsString());
-      }
-      default:
-        return Status::Internal("unhandled binary operator");
-    }
-  }
-
- private:
-  BinaryOp op_;
-  BoundExprPtr lhs_;
-  BoundExprPtr rhs_;
-};
-
-class BoundUnary final : public BoundExpr {
- public:
-  BoundUnary(UnaryOp op, BoundExprPtr operand)
-      : op_(op), operand_(std::move(operand)) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
-    if (v.is_null()) return Value::Null();
-    if (op_ == UnaryOp::kNot) {
-      if (v.type() != ValueType::kBool) {
-        return Status::ExecutionError("NOT requires a boolean operand");
-      }
-      return Value::Bool(!v.AsBool());
-    }
-    // Negation.
-    if (v.type() == ValueType::kInt64) return Value::Int(-v.AsInt());
-    if (v.type() == ValueType::kDouble) return Value::Double(-v.AsDouble());
-    return Status::ExecutionError("unary minus requires a numeric operand");
-  }
-
- private:
-  UnaryOp op_;
-  BoundExprPtr operand_;
-};
-
-class BoundScalarCall final : public BoundExpr {
- public:
-  BoundScalarCall(const ScalarFunction* fn, std::vector<BoundExprPtr> args)
-      : fn_(fn), args_(std::move(args)) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    std::vector<Value> arg_values;
-    arg_values.reserve(args_.size());
-    for (const auto& a : args_) {
-      AAPAC_ASSIGN_OR_RETURN(Value v, a->Eval(row, agg));
-      arg_values.push_back(std::move(v));
-    }
-    return fn_->fn(arg_values);
-  }
-
- private:
-  const ScalarFunction* fn_;
-  std::vector<BoundExprPtr> args_;
-};
-
-/// A memoize_verdicts call site `fn(<literal>, <expr>)` — in practice the
-/// rewriter-injected `complies_with(b'<asm>', t.policy)` conjunct. The node
-/// owns a verdict table: one byte per policy-dictionary id, lazily filled
-/// with fn's boolean result the first time a tuple carrying that id reaches
-/// this call site, then replayed for every later tuple with the same id.
-/// Because binding happens per statement execution (even for server-cached
-/// ASTs), the table's lifetime is exactly one execution of one call site —
-/// one signature mask — so the (signature, policy) key collapses to the id.
-///
-/// Tuples whose second argument carries no id (NULL policies, blobs written
-/// without a dictionary, ids allocated after bind time) fall through to the
-/// plain call, byte-for-byte the unmemoized path.
-///
-/// Thread safety: morsel workers evaluate shared bound filters
-/// concurrently, so verdict slots are relaxed atomics. Concurrent fills of
-/// the same id are benign — both compute the same deterministic verdict —
-/// and the array is sized once at bind time, so there is no resize race.
-class BoundMemoizedVerdict final : public BoundExpr {
- public:
-  BoundMemoizedVerdict(const ScalarFunction* fn, BoundExprPtr signature,
-                       BoundExprPtr subject, uint32_t id_ceiling)
-      : fn_(fn),
-        signature_(std::move(signature)),
-        subject_(std::move(subject)),
-        // make_unique value-initializes: every slot starts at kUnknown.
-        verdicts_(std::make_unique<std::atomic<uint8_t>[]>(id_ceiling)),
-        ceiling_(id_ceiling) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    // Hit-path tuples never copy the policy blob out of the row: the verdict
-    // lookup only reads the interned id.
-    if (const Value* ref = subject_->TryEvalRef(row); ref != nullptr) {
-      return EvalWithSubject(*ref, row, agg);
-    }
-    AAPAC_ASSIGN_OR_RETURN(Value subject, subject_->Eval(row, agg));
-    return EvalWithSubject(subject, row, agg);
-  }
-
-  const BoundMemoizedVerdict* AsMemoizedVerdict() const override {
-    return this;
-  }
-
-  // --- Zone-map probing (see ZoneScanPlan below). --------------------------
-
-  static constexpr uint8_t kUnknown = 0, kFalse = 1, kTrue = 2;
-
-  const ScalarFunction* function() const { return fn_; }
-
-  /// The scan-relative column this conjunct's subject reads, when it is a
-  /// plain column reference (the rewriter-injected `t.policy` always is).
-  std::optional<size_t> SubjectColumn() const {
-    return subject_->TryColumnIndex();
-  }
-
-  /// The cached verdict for `id` without filling: kUnknown when the id is
-  /// out of range, untracked, or not yet evaluated at this call site.
-  uint8_t Probe(uint32_t id) const {
-    if (id == 0 || id >= ceiling_) return kUnknown;
-    return verdicts_[id].load(std::memory_order_relaxed);
-  }
-
- private:
-  Result<Value> EvalWithSubject(const Value& subject, const Row& row,
-                                const Row* agg) const {
-    const uint32_t id = subject.bytes_interned_id();
-    if (id == 0 || id >= ceiling_) {
-      return CallDirect(subject, row, agg);
-    }
-    std::atomic<uint8_t>& slot = verdicts_[id];
-    const uint8_t cached = slot.load(std::memory_order_relaxed);
-    if (cached != kUnknown) {
-      if (fn_->on_memo_hit) fn_->on_memo_hit();
-      return Value::Bool(cached == kTrue);
-    }
-    const auto start = std::chrono::steady_clock::now();
-    AAPAC_ASSIGN_OR_RETURN(Value v, CallDirect(subject, row, agg));
-    if (v.type() == ValueType::kBool) {
-      slot.store(v.AsBool() ? kTrue : kFalse, std::memory_order_relaxed);
-      if (fn_->on_memo_fill) {
-        fn_->on_memo_fill(static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count()));
-      }
-    }
-    return v;
-  }
-
-  Result<Value> CallDirect(const Value& subject, const Row& row,
-                           const Row* agg) const {
-    std::vector<Value> args;
-    args.reserve(2);
-    AAPAC_ASSIGN_OR_RETURN(Value sig, signature_->Eval(row, agg));
-    args.push_back(std::move(sig));
-    args.push_back(subject);
-    return fn_->fn(args);
-  }
-
-  const ScalarFunction* fn_;
-  BoundExprPtr signature_;
-  BoundExprPtr subject_;
-  std::unique_ptr<std::atomic<uint8_t>[]> verdicts_;
-  const uint32_t ceiling_;
-};
-
-class BoundInList final : public BoundExpr {
- public:
-  BoundInList(BoundExprPtr operand, std::vector<BoundExprPtr> list,
-              bool negated)
-      : operand_(std::move(operand)), list_(std::move(list)), negated_(negated) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
-    if (v.is_null()) return Value::Null();
-    bool saw_null = false;
-    for (const auto& item : list_) {
-      AAPAC_ASSIGN_OR_RETURN(Value e, item->Eval(row, agg));
-      if (e.is_null()) {
-        saw_null = true;
-        continue;
-      }
-      if (v.Equals(e)) return Value::Bool(!negated_);
-    }
-    if (saw_null) return Value::Null();
-    return Value::Bool(negated_);
-  }
-
- private:
-  BoundExprPtr operand_;
-  std::vector<BoundExprPtr> list_;
-  bool negated_;
-};
-
-/// IN over an uncorrelated sub-query, materialized to a hash set at bind
-/// time (mirrors PostgreSQL's hashed subplan).
-class BoundInSet final : public BoundExpr {
- public:
-  BoundInSet(BoundExprPtr operand,
-             std::unordered_set<Value, ValueHash, ValueEq> set, bool has_null,
-             bool negated)
-      : operand_(std::move(operand)),
-        set_(std::move(set)),
-        has_null_(has_null),
-        negated_(negated) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
-    if (v.is_null()) return Value::Null();
-    if (set_.count(v) > 0) return Value::Bool(!negated_);
-    if (has_null_) return Value::Null();
-    return Value::Bool(negated_);
-  }
-
- private:
-  BoundExprPtr operand_;
-  std::unordered_set<Value, ValueHash, ValueEq> set_;
-  bool has_null_;
-  bool negated_;
-};
-
-class BoundIsNull final : public BoundExpr {
- public:
-  BoundIsNull(BoundExprPtr operand, bool negated)
-      : operand_(std::move(operand)), negated_(negated) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
-    return Value::Bool(negated_ ? !v.is_null() : v.is_null());
-  }
-
- private:
-  BoundExprPtr operand_;
-  bool negated_;
-};
-
-class BoundBetween final : public BoundExpr {
- public:
-  BoundBetween(BoundExprPtr operand, BoundExprPtr lo, BoundExprPtr hi,
-               bool negated)
-      : operand_(std::move(operand)),
-        lo_(std::move(lo)),
-        hi_(std::move(hi)),
-        negated_(negated) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    AAPAC_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, agg));
-    AAPAC_ASSIGN_OR_RETURN(Value lo, lo_->Eval(row, agg));
-    AAPAC_ASSIGN_OR_RETURN(Value hi, hi_->Eval(row, agg));
-    AAPAC_ASSIGN_OR_RETURN(Value ge, EvalComparison(BinaryOp::kGe, v, lo));
-    AAPAC_ASSIGN_OR_RETURN(Value le, EvalComparison(BinaryOp::kLe, v, hi));
-    if (ge.is_null() || le.is_null()) return Value::Null();
-    const bool in_range = ge.AsBool() && le.AsBool();
-    return Value::Bool(negated_ ? !in_range : in_range);
-  }
-
- private:
-  BoundExprPtr operand_;
-  BoundExprPtr lo_;
-  BoundExprPtr hi_;
-  bool negated_;
-};
-
-/// CASE expression: searched (predicate WHENs) or simple (operand equality).
-class BoundCase final : public BoundExpr {
- public:
-  struct BoundWhen {
-    BoundExprPtr condition;
-    BoundExprPtr result;
-  };
-
-  BoundCase(BoundExprPtr operand, std::vector<BoundWhen> whens,
-            BoundExprPtr else_result)
-      : operand_(std::move(operand)),
-        whens_(std::move(whens)),
-        else_result_(std::move(else_result)) {}
-
-  Result<Value> Eval(const Row& row, const Row* agg) const override {
-    Value subject;
-    if (operand_ != nullptr) {
-      AAPAC_ASSIGN_OR_RETURN(subject, operand_->Eval(row, agg));
-    }
-    for (const BoundWhen& when : whens_) {
-      AAPAC_ASSIGN_OR_RETURN(Value cond, when.condition->Eval(row, agg));
-      bool taken = false;
-      if (operand_ != nullptr) {
-        taken = !subject.is_null() && subject.Equals(cond);
-      } else {
-        taken = !cond.is_null() && cond.type() == ValueType::kBool &&
-                cond.AsBool();
-      }
-      if (taken) return when.result->Eval(row, agg);
-    }
-    if (else_result_ != nullptr) return else_result_->Eval(row, agg);
-    return Value::Null();
-  }
-
- private:
-  BoundExprPtr operand_;
-  std::vector<BoundWhen> whens_;
-  BoundExprPtr else_result_;
-};
 
 // ===========================================================================
 // Aggregates
@@ -577,10 +70,25 @@ Status Accumulate(const AggSpec& spec, const Row& row, AggState* state) {
     ++state->count;
     return Status::OK();
   }
-  AAPAC_ASSIGN_OR_RETURN(Value v, spec.arg->Eval(row, nullptr));
-  if (v.is_null()) return Status::OK();  // Aggregates ignore NULLs.
+  // Borrow the argument when it is a plain column reference — the hot case
+  // pays no Result wrapper and no Value copy per input row. Aggregates only
+  // inspect the value; min/max/distinct copy it at most once, on first
+  // sight of a new extreme / distinct value.
+  Value owned;
+  const Value* v = spec.arg->TryEvalRef(row);
+  if (v == nullptr) {
+    AAPAC_ASSIGN_OR_RETURN(owned, spec.arg->Eval(row, nullptr));
+    v = &owned;
+  }
+  if (v->is_null()) return Status::OK();  // Aggregates ignore NULLs.
   if (spec.distinct) {
-    state->distinct_values.insert(std::move(v));
+    // find-before-insert: libstdc++'s insert allocates its node before the
+    // duplicate check, so inserting every row costs an alloc+free per
+    // duplicate. Probing first confines the allocation (and the copy) to
+    // genuinely new values.
+    if (state->distinct_values.find(*v) == state->distinct_values.end()) {
+      state->distinct_values.insert(*v);
+    }
     return Status::OK();
   }
   switch (spec.kind) {
@@ -589,22 +97,22 @@ Status Accumulate(const AggSpec& spec, const Row& row, AggState* state) {
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      if (!v.IsNumeric()) {
+      if (!v->IsNumeric()) {
         return Status::ExecutionError("sum/avg over non-numeric values");
       }
       ++state->count;
-      if (v.type() == ValueType::kDouble) state->any_double = true;
-      if (v.type() == ValueType::kInt64) {
-        state->sum_i += v.AsInt();
+      if (v->type() == ValueType::kDouble) state->any_double = true;
+      if (v->type() == ValueType::kInt64) {
+        state->sum_i += v->AsInt();
       }
-      state->sum_d += v.NumericAsDouble();
+      state->sum_d += v->NumericAsDouble();
       break;
     case AggKind::kMin:
-      if (state->min.is_null() || v.Compare(state->min) < 0) state->min = v;
+      if (state->min.is_null() || v->Compare(state->min) < 0) state->min = *v;
       ++state->count;
       break;
     case AggKind::kMax:
-      if (state->max.is_null() || v.Compare(state->max) > 0) state->max = v;
+      if (state->max.is_null() || v->Compare(state->max) > 0) state->max = *v;
       ++state->count;
       break;
     case AggKind::kCountStar:
@@ -860,13 +368,15 @@ class ExecutorImpl {
  public:
   ExecutorImpl(Database* db, ExecStats* stats, bool pushdown = true,
                const ParallelSpec* parallel = nullptr,
-               bool verdict_memo = true, bool zone_map = true)
+               bool verdict_memo = true, bool zone_map = true,
+               const vec::VecSpec* vec = nullptr)
       : db_(db),
         stats_(stats),
         pushdown_(pushdown),
         parallel_(parallel),
         verdict_memo_(verdict_memo),
-        zone_map_(zone_map) {}
+        zone_map_(zone_map),
+        vec_(vec) {}
 
   Result<ResultSet> Execute(const sql::SelectStmt& stmt);
 
@@ -895,17 +405,6 @@ class ExecutorImpl {
   Result<std::vector<BoundExprPtr>> ClaimConjuncts(
       const BindingSchema& schema, std::vector<PendingConjunct>* pending);
 
-  /// True iff all bound filters evaluate to TRUE on `row` (left to right,
-  /// stopping at the first non-TRUE).
-  Result<bool> PassesFilters(const std::vector<BoundExprPtr>& filters,
-                             const Row& row);
-
-  /// Same over the first `count` filters only — the zone-map fast path
-  /// evaluates the user's filters while settling the compliance tail in
-  /// bulk.
-  Result<bool> PassesFilterPrefix(const std::vector<BoundExprPtr>& filters,
-                                  size_t count, const Row& row);
-
   /// True when this execution asked for intra-query parallelism and the
   /// input is big enough to amortize the dispatch (at least two morsels).
   bool ShouldParallelize(size_t rows) const {
@@ -927,12 +426,28 @@ class ExecutorImpl {
       const std::function<Status(size_t, size_t, std::vector<Row>*)>& body,
       std::vector<Row>* out);
 
+  /// True when this statement should run filter passes through the batch
+  /// kernels (engine/vec): the vector path is enabled and there is at least
+  /// one filter to evaluate. Filterless passes have no per-row predicate
+  /// work, so batching would only add overhead.
+  bool UseVec(const std::vector<BoundExprPtr>& filters) const {
+    return vec_ != nullptr && vec_->enabled && !filters.empty();
+  }
+
+  /// Gate for the vec.* per-stage timing accumulation (mirrors the morsel
+  /// and zone-map timing gates).
+  bool VecTimed() const {
+    return obs::kObsCompiledIn && vec_ != nullptr &&
+           vec_->metrics != nullptr && obs::TimingEnabled();
+  }
+
   Database* db_;
   ExecStats* stats_;
   bool pushdown_;
   const ParallelSpec* parallel_;
   bool verdict_memo_;
   bool zone_map_;
+  const vec::VecSpec* vec_;
 };
 
 bool Binder::MemoizeVerdictsEnabled() const {
@@ -1276,22 +791,6 @@ Result<std::vector<BoundExprPtr>> ExecutorImpl::ClaimConjuncts(
   return filters;
 }
 
-Result<bool> ExecutorImpl::PassesFilters(
-    const std::vector<BoundExprPtr>& filters, const Row& row) {
-  return PassesFilterPrefix(filters, filters.size(), row);
-}
-
-Result<bool> ExecutorImpl::PassesFilterPrefix(
-    const std::vector<BoundExprPtr>& filters, size_t count, const Row& row) {
-  for (size_t i = 0; i < count; ++i) {
-    AAPAC_ASSIGN_OR_RETURN(Value v, filters[i]->Eval(row, nullptr));
-    if (v.is_null() || v.type() != ValueType::kBool || !v.AsBool()) {
-      return false;
-    }
-  }
-  return true;
-}
-
 Status ExecutorImpl::RunMorsels(
     size_t n,
     const std::function<Status(size_t, size_t, std::vector<Row>*)>& body,
@@ -1360,93 +859,6 @@ Status ExecutorImpl::RunMorsels(
   return Status::OK();
 }
 
-// ===========================================================================
-// Zone-map fast path (engine/zone_map.h)
-// ===========================================================================
-
-/// Scan-level eligibility for block skipping / bulk-accept: the claimed
-/// filter list must end in a consecutive tail of memoized compliance
-/// conjuncts whose subjects all read the table's interned column directly.
-/// The rewriter guarantees this shape (compliance conjuncts are appended
-/// after the user's WHERE and ClaimConjuncts preserves order); anything else
-/// — a verdict node sandwiched between user filters, a computed subject —
-/// disqualifies the scan and it runs the plain per-tuple path.
-struct ZoneScanPlan {
-  const PolicyZoneMap* zone = nullptr;
-  size_t subject_col = 0;   // The interned column (stored-row index).
-  size_t user_filters = 0;  // Filters [0, user_filters) are the user's.
-  std::vector<const BoundMemoizedVerdict*> verdicts;  // The compliance tail.
-  bool valid = false;
-};
-
-/// The executor's verdict-side read of one block summary. `cost[i]` is the
-/// number of compliance conjuncts the direct per-tuple path would invoke for
-/// a tuple carrying `ids[i]`: the index of the first denying conjunct plus
-/// one (short-circuit), or the full tail length when all allow. Keeping the
-/// exact per-id cost is what makes bulk settlement reproduce CheckTally to
-/// the tuple.
-struct BlockDecision {
-  enum Kind { kSkip = 0, kBulkAccept = 1, kMixed = 2 };
-  Kind kind = kMixed;
-  uint32_t ids[PolicyZoneMap::kMaxDistinct] = {};
-  uint32_t cost[PolicyZoneMap::kMaxDistinct] = {};
-  uint8_t num_ids = 0;
-  /// When >= 0, every id in the block shares this cost (always true for
-  /// bulk-accept and for a single-conjunct tail).
-  int64_t uniform_cost = -1;
-
-  int64_t CostOf(uint32_t id) const {
-    for (uint8_t i = 0; i < num_ids; ++i) {
-      if (ids[i] == id) return cost[i];
-    }
-    return -1;
-  }
-};
-
-/// Decides a clean block against the statement's verdict tables. Mixed when
-/// the summary is unusable (untracked rows, overflow, empty) or any id's
-/// verdict chain hits an unfilled slot — the per-tuple fallback then fills
-/// the memo organically, so later blocks with the same ids decide fast.
-BlockDecision DecideBlock(const PolicyZoneMap::BlockSummary& s,
-                          const std::vector<const BoundMemoizedVerdict*>& ccs) {
-  BlockDecision d;
-  if (s.untracked || s.overflow || s.num_ids == 0) return d;
-  uint8_t denied = 0;
-  for (uint8_t i = 0; i < s.num_ids; ++i) {
-    const uint32_t id = s.ids[i];
-    uint32_t c = 0;
-    bool id_denied = false;
-    for (const BoundMemoizedVerdict* cc : ccs) {
-      const uint8_t v = cc->Probe(id);
-      if (v == BoundMemoizedVerdict::kUnknown) return BlockDecision{};
-      ++c;
-      if (v == BoundMemoizedVerdict::kFalse) {
-        id_denied = true;
-        break;
-      }
-    }
-    d.ids[d.num_ids] = id;
-    d.cost[d.num_ids] = c;
-    ++d.num_ids;
-    if (id_denied) ++denied;
-  }
-  if (denied == s.num_ids) {
-    d.kind = BlockDecision::kSkip;
-  } else if (denied == 0) {
-    d.kind = BlockDecision::kBulkAccept;
-  } else {
-    return BlockDecision{};
-  }
-  d.uniform_cost = d.cost[0];
-  for (uint8_t i = 1; i < d.num_ids; ++i) {
-    if (static_cast<int64_t>(d.cost[i]) != d.uniform_cost) {
-      d.uniform_cost = -1;
-      break;
-    }
-  }
-  return d;
-}
-
 Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
                                         const NeededColumns& needed,
                                         std::vector<PendingConjunct>* pending) {
@@ -1506,144 +918,48 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
       zplan.valid = true;
     }
   }
-  const ScalarFunction* zfn =
-      zplan.valid ? zplan.verdicts[0]->function() : nullptr;
-  const bool zone_timed = zfn != nullptr && zfn->on_zone_resolve != nullptr &&
-                          obs::kObsCompiledIn && obs::TimingEnabled();
-  std::atomic<uint64_t> resolve_ns{0};
 
-  auto materialize = [&keep](const Row& row, std::vector<Row>* sink) {
-    Row pruned;
-    pruned.reserve(keep.size());
-    for (size_t k : keep) pruned.push_back(row[k]);
-    sink->push_back(std::move(pruned));
-  };
-  // The direct path: every filter per tuple, memo machinery doing its own
-  // check accounting. Also the fallback for mixed/undecidable blocks.
-  auto per_tuple = [&](size_t begin, size_t end,
-                       std::vector<Row>* sink) -> Status {
-    for (size_t i = begin; i < end; ++i) {
-      const Row& row = rows[i];
-      AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
-      if (!pass) continue;
-      materialize(row, sink);
-    }
-    return Status::OK();
-  };
-  // Zone-aware range scan: decide each intersected block against the
-  // verdict tables, settle skipped / bulk-accepted ranges with aggregate
-  // check accounting that reproduces the direct path's CheckTally exactly
-  // (see docs/enforcement_internals.md). Runs per morsel under
-  // parallelism; block decisions are pure reads of clean summaries plus
-  // relaxed verdict loads, so re-deciding a block per sub-range is safe.
-  auto scan_range = [&](size_t begin, size_t end,
-                        std::vector<Row>* sink) -> Status {
-    if (!zplan.valid) return per_tuple(begin, end, sink);
-    using Clock = std::chrono::steady_clock;
-    const size_t brows = zplan.zone->block_rows();
-    const size_t m = zplan.user_filters;
-    const uint64_t tail_len = zplan.verdicts.size();
-    size_t pos = begin;
-    while (pos < end) {
-      const size_t b = pos / brows;
-      const size_t bend = std::min(end, (b + 1) * brows);
-      const Clock::time_point t0 =
-          zone_timed ? Clock::now() : Clock::time_point();
-      const BlockDecision d = DecideBlock(zplan.zone->block(b), zplan.verdicts);
-      if (zone_timed) {
-        resolve_ns.fetch_add(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                                 t0)
-                .count(),
-            std::memory_order_relaxed);
-      }
-      if (zfn->on_zone_block) zfn->on_zone_block(static_cast<int>(d.kind));
-      switch (d.kind) {
-        case BlockDecision::kSkip: {
-          // Every id in the block is denied: no tuple survives, nothing is
-          // materialized. Settle exactly the checks the direct path would
-          // have spent: each tuple that passes the user's filters reaches
-          // the compliance tail and pays the per-id short-circuit cost.
-          uint64_t settled = 0;
-          if (m == 0 && d.uniform_cost >= 0) {
-            settled = static_cast<uint64_t>(bend - pos) *
-                      static_cast<uint64_t>(d.uniform_cost);
-          } else {
-            for (size_t i = pos; i < bend; ++i) {
-              const Row& row = rows[i];
-              if (m > 0) {
-                AAPAC_ASSIGN_OR_RETURN(bool pass,
-                                       PassesFilterPrefix(filters, m, row));
-                if (!pass) continue;
-              }
-              const int64_t c =
-                  d.CostOf(row[zplan.subject_col].bytes_interned_id());
-              if (c >= 0) {
-                settled += static_cast<uint64_t>(c);
-                continue;
-              }
-              // Unreachable for a clean summary; stay exact regardless.
-              AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
-              if (pass) materialize(row, sink);
-            }
-          }
-          if (settled != 0 && zfn->on_zone_checks) zfn->on_zone_checks(settled);
-          break;
-        }
-        case BlockDecision::kBulkAccept: {
-          // Every id in the block is allowed: the compliance tail is TRUE
-          // for each tuple, so run the user's filters only and settle the
-          // full tail cost per surviving tuple.
-          uint64_t passes = 0;
-          if (m == 0 && d.uniform_cost >= 0) {
-            // No user filters and a cost-uniform block (always true for
-            // bulk-accept: every id passes the whole tail): every row
-            // survives, and the subject column never needs to be read.
-            for (size_t i = pos; i < bend; ++i) materialize(rows[i], sink);
-            passes = static_cast<uint64_t>(bend - pos);
-          } else {
-            for (size_t i = pos; i < bend; ++i) {
-              const Row& row = rows[i];
-              if (m > 0) {
-                AAPAC_ASSIGN_OR_RETURN(bool pass,
-                                       PassesFilterPrefix(filters, m, row));
-                if (!pass) continue;
-              }
-              if (d.CostOf(row[zplan.subject_col].bytes_interned_id()) >= 0) {
-                ++passes;
-                materialize(row, sink);
-                continue;
-              }
-              // Unreachable for a clean summary; stay exact regardless.
-              AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
-              if (pass) materialize(row, sink);
-            }
-          }
-          if (passes != 0 && zfn->on_zone_checks) {
-            zfn->on_zone_checks(passes * tail_len);
-          }
-          break;
-        }
-        case BlockDecision::kMixed: {
-          AAPAC_RETURN_NOT_OK(per_tuple(pos, bend, sink));
-          break;
-        }
-      }
-      pos = bend;
-    }
-    return Status::OK();
-  };
+  // One plan, two executors (see engine/scan_plan.h): the vectorized batch
+  // path by default, the row-at-a-time path when the vector kill switch is
+  // on or there is nothing to filter. Either executor runs the whole scan
+  // serially or one morsel at a time; stitching preserves the serial row
+  // order and CheckTally folding keeps check accounting per-statement-exact
+  // at any DOP. Close() fires only after a fully successful scan (zone
+  // resolve timing + vec metrics), matching the previous inline behavior.
+  ScanPlan splan;
+  splan.rows = &rows;
+  splan.filters = &filters;
+  splan.keep = &keep;
+  splan.zone = std::move(zplan);
+  splan.zone_fn =
+      splan.zone.valid ? splan.zone.verdicts[0]->function() : nullptr;
 
-  if (!ShouldParallelize(rows.size())) {
-    AAPAC_RETURN_NOT_OK(scan_range(0, rows.size(), &rel.rows));
+  if (UseVec(filters)) {
+    vec::VecScanExecutor scan(&splan, vec_);
+    if (!ShouldParallelize(rows.size())) {
+      AAPAC_RETURN_NOT_OK(scan.Run(0, rows.size(), &rel.rows));
+    } else {
+      AAPAC_RETURN_NOT_OK(RunMorsels(
+          rows.size(),
+          [&scan](size_t begin, size_t end, std::vector<Row>* sink) {
+            return scan.Run(begin, end, sink);
+          },
+          &rel.rows));
+    }
+    scan.Close();
   } else {
-    // Morsel-parallel scan: WHERE + policy-check evaluation fan out over
-    // fixed-size row ranges; stitching preserves the serial row order.
-    // Each morsel consults the zone map for the blocks it intersects.
-    AAPAC_RETURN_NOT_OK(RunMorsels(rows.size(), scan_range, &rel.rows));
-  }
-  if (zone_timed) {
-    zfn->on_zone_resolve(resolve_ns.load(std::memory_order_relaxed));
+    RowScanExecutor scan(&splan);
+    if (!ShouldParallelize(rows.size())) {
+      AAPAC_RETURN_NOT_OK(scan.Run(0, rows.size(), &rel.rows));
+    } else {
+      AAPAC_RETURN_NOT_OK(RunMorsels(
+          rows.size(),
+          [&scan](size_t begin, size_t end, std::vector<Row>* sink) {
+            return scan.Run(begin, end, sink);
+          },
+          &rel.rows));
+    }
+    scan.Close();
   }
   stats_->rows_materialized += rel.rows.size();
   return rel;
@@ -1659,9 +975,24 @@ Result<Relation> ExecutorImpl::EvalDerived(
   }
   AAPAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> filters,
                          ClaimConjuncts(rel.schema, pending));
-  for (Row& row : rs.rows) {
-    AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
-    if (pass) rel.rows.push_back(std::move(row));
+  if (UseVec(filters)) {
+    vec::VecTally tally;
+    const Status st = vec::ForEachPassing(
+        filters, filters.size(), rs.rows, 0, rs.rows.size(),
+        vec_->EffectiveBatchRows(), VecTimed(), &tally,
+        [&](const vec::SelVector& sel) -> Status {
+          for (uint32_t idx : sel) rel.rows.push_back(std::move(rs.rows[idx]));
+          return Status::OK();
+        });
+    AAPAC_RETURN_NOT_OK(st);
+    vec::VecAggregate agg;
+    agg.Merge(tally);
+    agg.PublishTo(vec_->metrics);
+  } else {
+    for (Row& row : rs.rows) {
+      AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+      if (pass) rel.rows.push_back(std::move(row));
+    }
   }
   stats_->rows_materialized += rel.rows.size();
   return rel;
@@ -1744,12 +1075,16 @@ Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
                          ClaimConjuncts(out.schema, pending));
   for (auto& f : claimed) filters.push_back(std::move(f));
 
-  auto emit = [&](const Row& lrow, const Row& rrow,
-                  std::vector<Row>* sink) -> Status {
+  auto concat = [](const Row& lrow, const Row& rrow) {
     Row joined;
     joined.reserve(lrow.size() + rrow.size());
     joined.insert(joined.end(), lrow.begin(), lrow.end());
     joined.insert(joined.end(), rrow.begin(), rrow.end());
+    return joined;
+  };
+  auto emit = [&](const Row& lrow, const Row& rrow,
+                  std::vector<Row>* sink) -> Status {
+    Row joined = concat(lrow, rrow);
     AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, joined));
     if (pass) sink->push_back(std::move(joined));
     return Status::OK();
@@ -1768,6 +1103,15 @@ Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
       }
       return key;
     };
+    // Probe loops run once per probe row; refilling a caller-owned scratch
+    // key instead of allocating a fresh Row keeps the per-row cost to the
+    // Value copies themselves.
+    auto key_into = [&](const Row& row, bool from_left, Row* key) {
+      key->clear();
+      for (const auto& ep : equi) {
+        key->push_back(row[from_left ? ep.left_index : ep.right_index]);
+      }
+    };
     std::unordered_map<Row, std::vector<uint32_t>, RowHash, RowEq> table;
     table.reserve(build.rows.size());
     for (uint32_t i = 0; i < build.rows.size(); ++i) {
@@ -1781,8 +1125,10 @@ Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
     // the given sink, so probe rows fan out over morsels; emission order
     // within a morsel is probe-row order x build-index order, identical to
     // the serial loop, and stitching preserves it across morsels.
-    auto probe_one = [&](const Row& prow, std::vector<Row>* sink) -> Status {
-      Row key = key_of(prow, !build_left);
+    auto probe_one = [&](const Row& prow, Row* key_scratch,
+                         std::vector<Row>* sink) -> Status {
+      key_into(prow, !build_left, key_scratch);
+      const Row& key = *key_scratch;
       bool has_null = false;
       for (const Value& v : key) has_null |= v.is_null();
       if (has_null) return Status::OK();
@@ -1795,21 +1141,85 @@ Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
       }
       return Status::OK();
     };
-    if (!ShouldParallelize(probe.rows.size())) {
-      for (const Row& prow : probe.rows) {
-        AAPAC_RETURN_NOT_OK(probe_one(prow, &out.rows));
+    // Vectorized probe: candidate joined rows accumulate in emission order
+    // (probe-row order x build-index order) into a batch buffer, and each
+    // full buffer runs through the batch filter kernels — post-join
+    // predicates, including rewriter compliance conjuncts, evaluate one
+    // kernel call per expression node per batch. Survivors move to the sink
+    // in buffer order, so output and check accounting match the row path
+    // exactly; the buffer is per morsel body, so deferred memo-hit checks
+    // settle on the worker thread that probed.
+    vec::VecAggregate probe_agg;
+    const size_t batch = vec_ != nullptr ? vec_->EffectiveBatchRows() : 0;
+    const bool vec_timed = VecTimed();
+    auto probe_range_vec = [&](size_t begin, size_t end,
+                               std::vector<Row>* sink) -> Status {
+      vec::VecTally tally;
+      std::vector<Row> cand;
+      cand.reserve(batch);
+      auto flush = [&]() -> Status {
+        if (cand.empty()) return Status::OK();
+        const Status fst = vec::ForEachPassing(
+            filters, filters.size(), cand, 0, cand.size(), batch, vec_timed,
+            &tally, [&](const vec::SelVector& sel) -> Status {
+              for (uint32_t idx : sel) sink->push_back(std::move(cand[idx]));
+              return Status::OK();
+            });
+        cand.clear();
+        return fst;
+      };
+      Status st = Status::OK();
+      Row key;
+      key.reserve(equi.size());
+      for (size_t i = begin; i < end && st.ok(); ++i) {
+        const Row& prow = probe.rows[i];
+        key_into(prow, !build_left, &key);
+        bool has_null = false;
+        for (const Value& v : key) has_null |= v.is_null();
+        if (has_null) continue;
+        auto it = table.find(key);
+        if (it == table.end()) continue;
+        for (uint32_t bi : it->second) {
+          const Row& brow = build.rows[bi];
+          cand.push_back(build_left ? concat(brow, prow) : concat(prow, brow));
+          if (cand.size() >= batch) {
+            st = flush();
+            if (!st.ok()) break;
+          }
+        }
       }
+      if (st.ok()) st = flush();
+      probe_agg.Merge(tally);
+      return st;
+    };
+    const bool use_vec = UseVec(filters);
+    if (!ShouldParallelize(probe.rows.size())) {
+      if (use_vec) {
+        AAPAC_RETURN_NOT_OK(probe_range_vec(0, probe.rows.size(), &out.rows));
+      } else {
+        Row key;
+        key.reserve(equi.size());
+        for (const Row& prow : probe.rows) {
+          AAPAC_RETURN_NOT_OK(probe_one(prow, &key, &out.rows));
+        }
+      }
+    } else if (use_vec) {
+      AAPAC_RETURN_NOT_OK(
+          RunMorsels(probe.rows.size(), probe_range_vec, &out.rows));
     } else {
       AAPAC_RETURN_NOT_OK(RunMorsels(
           probe.rows.size(),
           [&](size_t begin, size_t end, std::vector<Row>* sink) -> Status {
+            Row key;
+            key.reserve(equi.size());
             for (size_t i = begin; i < end; ++i) {
-              AAPAC_RETURN_NOT_OK(probe_one(probe.rows[i], sink));
+              AAPAC_RETURN_NOT_OK(probe_one(probe.rows[i], &key, sink));
             }
             return Status::OK();
           },
           &out.rows));
     }
+    if (use_vec) probe_agg.PublishTo(vec_->metrics);
   } else {
     // Nested-loop join for non-equi conditions.
     for (const Row& lrow : left.rows) {
@@ -1891,9 +1301,24 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
     if (!root_filters.empty()) {
       std::vector<Row> kept;
       kept.reserve(rel.rows.size());
-      for (Row& row : rel.rows) {
-        AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(root_filters, row));
-        if (pass) kept.push_back(std::move(row));
+      if (UseVec(root_filters)) {
+        vec::VecTally tally;
+        const Status st = vec::ForEachPassing(
+            root_filters, root_filters.size(), rel.rows, 0, rel.rows.size(),
+            vec_->EffectiveBatchRows(), VecTimed(), &tally,
+            [&](const vec::SelVector& sel) -> Status {
+              for (uint32_t idx : sel) kept.push_back(std::move(rel.rows[idx]));
+              return Status::OK();
+            });
+        AAPAC_RETURN_NOT_OK(st);
+        vec::VecAggregate agg;
+        agg.Merge(tally);
+        agg.PublishTo(vec_->metrics);
+      } else {
+        for (Row& row : rel.rows) {
+          AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(root_filters, row));
+          if (pass) kept.push_back(std::move(row));
+        }
       }
       rel.rows = std::move(kept);
     }
@@ -1932,7 +1357,14 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
       }
       Binder binder(rel.schema, db_, this, /*agg_specs=*/nullptr);
       AAPAC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*item.expr));
-      projections.push_back(Projection{std::move(bound), 0});
+      // A bare column item degrades to the star-style direct copy: one
+      // Value copy per output cell instead of a virtual Eval + Result hop.
+      if (const std::optional<size_t> ci = bound->TryColumnIndex();
+          ci.has_value()) {
+        projections.push_back(Projection{nullptr, *ci});
+      } else {
+        projections.push_back(Projection{std::move(bound), 0});
+      }
     }
     result.rows.reserve(rel.rows.size());
     for (const Row& row : rel.rows) {
@@ -1980,15 +1412,23 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
       std::vector<AggState> states;
     };
     std::unordered_map<Row, Group, RowHash, RowEq> groups;
+    // The key scratch refills per row; only a first-seen key pays the copy
+    // into the map, so the per-row cost is the Eval calls themselves.
+    Row key;
+    key.reserve(group_exprs.size());
     for (const Row& row : rel.rows) {
-      Row key;
-      key.reserve(group_exprs.size());
+      key.clear();
       for (const auto& g : group_exprs) {
-        AAPAC_ASSIGN_OR_RETURN(Value v, g->Eval(row, nullptr));
-        key.push_back(std::move(v));
+        if (const Value* pv = g->TryEvalRef(row); pv != nullptr) {
+          key.push_back(*pv);  // Column key: one copy, no Result hop.
+        } else {
+          AAPAC_ASSIGN_OR_RETURN(Value v, g->Eval(row, nullptr));
+          key.push_back(std::move(v));
+        }
       }
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) {
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.try_emplace(key).first;
         it->second.representative = row;
         it->second.states.resize(agg_specs.size());
       }
@@ -2034,11 +1474,28 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
 
   // --- DISTINCT. ------------------------------------------------------------
   if (stmt.distinct) {
-    std::unordered_set<Row, RowHash, RowEq> seen;
+    // Dedup by pointer into `unique`: rows move (never copy) into the kept
+    // vector, and the set holds pointers at stable addresses — `unique` is
+    // reserved to its maximum size up front, so it never reallocates.
+    struct PtrRowHash {
+      size_t operator()(const Row* r) const { return RowHash{}(*r); }
+    };
+    struct PtrRowEq {
+      bool operator()(const Row* a, const Row* b) const {
+        return RowEq{}(*a, *b);
+      }
+    };
+    std::unordered_set<const Row*, PtrRowHash, PtrRowEq> seen;
+    seen.reserve(result.rows.size());
     std::vector<Row> unique;
     unique.reserve(result.rows.size());
     for (Row& row : result.rows) {
-      if (seen.insert(row).second) unique.push_back(std::move(row));
+      // find-before-insert: inserting every row would allocate (and free) a
+      // hash node per duplicate; probing first pays that only for rows that
+      // actually survive.
+      if (seen.find(&row) != seen.end()) continue;
+      unique.push_back(std::move(row));
+      seen.insert(&unique.back());
     }
     result.rows = std::move(unique);
   }
@@ -2422,7 +1879,7 @@ Result<std::string> Executor::ExplainPlanSql(const std::string& sql) {
 Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_, zone_map_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
   return impl.Execute(stmt);
 }
 
@@ -2431,7 +1888,7 @@ Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt,
   if (!spec.enabled()) return Execute(stmt);  // Exactly the serial path.
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, &spec,
-                    verdict_memo_enabled_, zone_map_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
   return impl.Execute(stmt);
 }
 
@@ -2444,7 +1901,7 @@ Result<ResultSet> Executor::ExecuteSql(const std::string& sql) {
 Result<std::vector<Row>> Executor::EvalInsertSource(
     const sql::InsertStmt& stmt) {
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_, zone_map_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
   if (stmt.select != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(ResultSet rs, impl.Execute(*stmt.select));
     return std::move(rs.rows);
@@ -2578,7 +2035,7 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
     return Status::InvalidArgument("UPDATE without assignments");
   }
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_, zone_map_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
 
   // Resolve targets and bind right-hand sides.
   std::vector<size_t> targets;
@@ -2653,7 +2110,7 @@ Result<size_t> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_, zone_map_enabled_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
   BoundExprPtr predicate;
   if (stmt.where != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(predicate,

@@ -10,6 +10,7 @@
 
 #include "engine/database.h"
 #include "engine/value.h"
+#include "engine/vec/vec.h"
 #include "obs/metrics.h"
 #include "sql/ast.h"
 #include "util/result.h"
@@ -197,12 +198,32 @@ class Executor {
   void set_zone_map_enabled(bool enabled) { zone_map_enabled_ = enabled; }
   bool zone_map_enabled() const { return zone_map_enabled_; }
 
+  /// Disables the vectorized executor (engine/vec): every filter pass —
+  /// base-table scans, hash-join probes, root/derived filters — then runs
+  /// the row-at-a-time path. Results and check counts are identical either
+  /// way; the kill switch (AAPAC_VECTOR_OFF) exists for the differential
+  /// harness and as an operational escape hatch.
+  void set_vector_enabled(bool enabled) { vec_spec_.enabled = enabled; }
+  bool vector_enabled() const { return vec_spec_.enabled; }
+
+  /// Rows per batch for the vectorized executor; 0 selects the
+  /// AAPAC_BATCH_ROWS default.
+  void set_batch_rows(size_t rows) { vec_spec_.batch_rows = rows; }
+  size_t batch_rows() const { return vec_spec_.batch_rows; }
+
+  /// Sink for the enforce.batches_* / vec.* metrics of the vectorized
+  /// executor. Unset (the default) disables publication.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    vec_spec_.metrics = metrics;
+  }
+
  private:
   Database* db_;
   ExecStats stats_;
   bool pushdown_enabled_ = true;
   bool verdict_memo_enabled_ = true;
   bool zone_map_enabled_ = true;
+  vec::VecSpec vec_spec_;
 };
 
 }  // namespace aapac::engine

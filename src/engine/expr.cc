@@ -1,0 +1,93 @@
+#include "engine/expr.h"
+
+namespace aapac::engine {
+
+Result<Value> EvalComparison(sql::BinaryOp op, const Value& l,
+                             const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const bool comparable =
+      (l.IsNumeric() && r.IsNumeric()) || l.type() == r.type();
+  if (!comparable) {
+    return Status::ExecutionError(
+        std::string("cannot compare ") + ValueTypeToString(l.type()) +
+        " with " + ValueTypeToString(r.type()));
+  }
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      return Value::Bool(l.Equals(r));
+    case sql::BinaryOp::kNe:
+      return Value::Bool(!l.Equals(r));
+    case sql::BinaryOp::kLt:
+      return Value::Bool(l.Compare(r) < 0);
+    case sql::BinaryOp::kLe:
+      return Value::Bool(l.Compare(r) <= 0);
+    case sql::BinaryOp::kGt:
+      return Value::Bool(l.Compare(r) > 0);
+    case sql::BinaryOp::kGe:
+      return Value::Bool(l.Compare(r) >= 0);
+    default:
+      return Status::Internal("not a comparison operator");
+  }
+}
+
+Result<Value> EvalArithmetic(sql::BinaryOp op, const Value& l,
+                             const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.IsNumeric() || !r.IsNumeric()) {
+    return Status::ExecutionError(
+        std::string("arithmetic requires numeric operands, got ") +
+        ValueTypeToString(l.type()) + " and " + ValueTypeToString(r.type()));
+  }
+  const bool ints =
+      l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64;
+  if (ints) {
+    const int64_t a = l.AsInt();
+    const int64_t b = r.AsInt();
+    switch (op) {
+      case sql::BinaryOp::kAdd:
+        return Value::Int(a + b);
+      case sql::BinaryOp::kSub:
+        return Value::Int(a - b);
+      case sql::BinaryOp::kMul:
+        return Value::Int(a * b);
+      case sql::BinaryOp::kDiv:
+        if (b == 0) return Status::ExecutionError("division by zero");
+        return Value::Int(a / b);  // Integer division, as in PostgreSQL.
+      case sql::BinaryOp::kMod:
+        if (b == 0) return Status::ExecutionError("division by zero");
+        return Value::Int(a % b);
+      default:
+        return Status::Internal("not an arithmetic operator");
+    }
+  }
+  const double a = l.NumericAsDouble();
+  const double b = r.NumericAsDouble();
+  switch (op) {
+    case sql::BinaryOp::kAdd:
+      return Value::Double(a + b);
+    case sql::BinaryOp::kSub:
+      return Value::Double(a - b);
+    case sql::BinaryOp::kMul:
+      return Value::Double(a * b);
+    case sql::BinaryOp::kDiv:
+      if (b == 0) return Status::ExecutionError("division by zero");
+      return Value::Double(a / b);
+    case sql::BinaryOp::kMod:
+      return Status::ExecutionError("modulo requires integer operands");
+    default:
+      return Status::Internal("not an arithmetic operator");
+  }
+}
+
+Result<bool> PassesFilterPrefix(const std::vector<BoundExprPtr>& filters,
+                                size_t count, const Row& row) {
+  for (size_t i = 0; i < count; ++i) {
+    AAPAC_ASSIGN_OR_RETURN(Value v, filters[i]->Eval(row, nullptr));
+    if (v.is_null() || v.type() != ValueType::kBool || !v.AsBool()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace aapac::engine

@@ -1,0 +1,146 @@
+#include "engine/row_scan.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace aapac::engine {
+
+RowScanExecutor::RowScanExecutor(const ScanPlan* plan) : plan_(plan) {
+  zone_timed_ = plan_->zone_fn != nullptr &&
+                plan_->zone_fn->on_zone_resolve != nullptr &&
+                obs::kObsCompiledIn && obs::TimingEnabled();
+}
+
+// The direct path: every filter per tuple, memo machinery doing its own
+// check accounting. Also the fallback for mixed/undecidable blocks.
+Status RowScanExecutor::PerTuple(size_t begin, size_t end,
+                                 std::vector<Row>* sink) {
+  const std::vector<Row>& rows = *plan_->rows;
+  for (size_t i = begin; i < end; ++i) {
+    const Row& row = rows[i];
+    AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(*plan_->filters, row));
+    if (!pass) continue;
+    plan_->Materialize(row, sink);
+  }
+  return Status::OK();
+}
+
+// Zone-aware range scan: decide each intersected block against the verdict
+// tables, settle skipped / bulk-accepted ranges with aggregate check
+// accounting that reproduces the direct path's CheckTally exactly (see
+// docs/enforcement_internals.md). Runs per morsel under parallelism; block
+// decisions are pure reads of clean summaries plus relaxed verdict loads,
+// so re-deciding a block per sub-range is safe.
+Status RowScanExecutor::Run(size_t begin, size_t end, std::vector<Row>* sink) {
+  const ZoneScanPlan& zplan = plan_->zone;
+  if (!zplan.valid) return PerTuple(begin, end, sink);
+  using Clock = std::chrono::steady_clock;
+  const std::vector<Row>& rows = *plan_->rows;
+  const std::vector<BoundExprPtr>& filters = *plan_->filters;
+  const ScalarFunction* zfn = plan_->zone_fn;
+  const size_t brows = zplan.zone->block_rows();
+  const size_t m = zplan.user_filters;
+  const uint64_t tail_len = zplan.verdicts.size();
+  size_t pos = begin;
+  while (pos < end) {
+    const size_t b = pos / brows;
+    const size_t bend = std::min(end, (b + 1) * brows);
+    const Clock::time_point t0 =
+        zone_timed_ ? Clock::now() : Clock::time_point();
+    const BlockDecision d = DecideBlock(zplan.zone->block(b), zplan.verdicts);
+    if (zone_timed_) {
+      resolve_ns_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count(),
+          std::memory_order_relaxed);
+    }
+    if (zfn->on_zone_block) zfn->on_zone_block(static_cast<int>(d.kind));
+    switch (d.kind) {
+      case BlockDecision::kSkip: {
+        // Every id in the block is denied: no tuple survives, nothing is
+        // materialized. Settle exactly the checks the direct path would
+        // have spent: each tuple that passes the user's filters reaches
+        // the compliance tail and pays the per-id short-circuit cost.
+        uint64_t settled = 0;
+        if (m == 0 && d.uniform_cost >= 0) {
+          settled = static_cast<uint64_t>(bend - pos) *
+                    static_cast<uint64_t>(d.uniform_cost);
+        } else {
+          for (size_t i = pos; i < bend; ++i) {
+            const Row& row = rows[i];
+            if (m > 0) {
+              AAPAC_ASSIGN_OR_RETURN(bool pass,
+                                     PassesFilterPrefix(filters, m, row));
+              if (!pass) continue;
+            }
+            const int64_t c =
+                d.CostOf(row[zplan.subject_col].bytes_interned_id());
+            if (c >= 0) {
+              settled += static_cast<uint64_t>(c);
+              continue;
+            }
+            // Unreachable for a clean summary; stay exact regardless.
+            AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+            if (pass) plan_->Materialize(row, sink);
+          }
+        }
+        if (settled != 0 && zfn->on_zone_checks) zfn->on_zone_checks(settled);
+        break;
+      }
+      case BlockDecision::kBulkAccept: {
+        // Every id in the block is allowed: the compliance tail is TRUE
+        // for each tuple, so run the user's filters only and settle the
+        // full tail cost per surviving tuple.
+        uint64_t passes = 0;
+        if (m == 0 && d.uniform_cost >= 0) {
+          // No user filters and a cost-uniform block (always true for
+          // bulk-accept: every id passes the whole tail): every row
+          // survives, and the subject column never needs to be read.
+          for (size_t i = pos; i < bend; ++i) {
+            plan_->Materialize(rows[i], sink);
+          }
+          passes = static_cast<uint64_t>(bend - pos);
+        } else {
+          for (size_t i = pos; i < bend; ++i) {
+            const Row& row = rows[i];
+            if (m > 0) {
+              AAPAC_ASSIGN_OR_RETURN(bool pass,
+                                     PassesFilterPrefix(filters, m, row));
+              if (!pass) continue;
+            }
+            if (d.CostOf(row[zplan.subject_col].bytes_interned_id()) >= 0) {
+              ++passes;
+              plan_->Materialize(row, sink);
+              continue;
+            }
+            // Unreachable for a clean summary; stay exact regardless.
+            AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+            if (pass) plan_->Materialize(row, sink);
+          }
+        }
+        if (passes != 0 && zfn->on_zone_checks) {
+          zfn->on_zone_checks(passes * tail_len);
+        }
+        break;
+      }
+      case BlockDecision::kMixed: {
+        AAPAC_RETURN_NOT_OK(PerTuple(pos, bend, sink));
+        break;
+      }
+    }
+    pos = bend;
+  }
+  return Status::OK();
+}
+
+void RowScanExecutor::Close() {
+  if (zone_timed_) {
+    plan_->zone_fn->on_zone_resolve(
+        resolve_ns_.load(std::memory_order_relaxed));
+  }
+}
+
+}  // namespace aapac::engine

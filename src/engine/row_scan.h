@@ -1,0 +1,37 @@
+#ifndef AAPAC_ENGINE_ROW_SCAN_H_
+#define AAPAC_ENGINE_ROW_SCAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "engine/scan_plan.h"
+
+namespace aapac::engine {
+
+/// Row-at-a-time executor over a ScanPlan: every filter per tuple, with
+/// zone-aware block skipping / bulk-accept when the plan is eligible. This
+/// is the original scan path — the vectorized executor (engine/vec) is the
+/// other executor over the same plan and must match it byte for byte.
+///
+/// Run() is safe to call concurrently from morsel workers on disjoint
+/// ranges; Close() must be called once, from the driver thread, after all
+/// ranges completed successfully (it flushes zone-resolve timing).
+class RowScanExecutor {
+ public:
+  explicit RowScanExecutor(const ScanPlan* plan);
+
+  Status Run(size_t begin, size_t end, std::vector<Row>* sink);
+  void Close();
+
+ private:
+  Status PerTuple(size_t begin, size_t end, std::vector<Row>* sink);
+
+  const ScanPlan* plan_;
+  bool zone_timed_ = false;
+  std::atomic<uint64_t> resolve_ns_{0};
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_ROW_SCAN_H_

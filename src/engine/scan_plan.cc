@@ -1,0 +1,46 @@
+#include "engine/scan_plan.h"
+
+namespace aapac::engine {
+
+BlockDecision DecideBlock(
+    const PolicyZoneMap::BlockSummary& s,
+    const std::vector<const BoundMemoizedVerdict*>& ccs) {
+  BlockDecision d;
+  if (s.untracked || s.overflow || s.num_ids == 0) return d;
+  uint8_t denied = 0;
+  for (uint8_t i = 0; i < s.num_ids; ++i) {
+    const uint32_t id = s.ids[i];
+    uint32_t c = 0;
+    bool id_denied = false;
+    for (const BoundMemoizedVerdict* cc : ccs) {
+      const uint8_t v = cc->Probe(id);
+      if (v == BoundMemoizedVerdict::kUnknown) return BlockDecision{};
+      ++c;
+      if (v == BoundMemoizedVerdict::kFalse) {
+        id_denied = true;
+        break;
+      }
+    }
+    d.ids[d.num_ids] = id;
+    d.cost[d.num_ids] = c;
+    ++d.num_ids;
+    if (id_denied) ++denied;
+  }
+  if (denied == s.num_ids) {
+    d.kind = BlockDecision::kSkip;
+  } else if (denied == 0) {
+    d.kind = BlockDecision::kBulkAccept;
+  } else {
+    return BlockDecision{};
+  }
+  d.uniform_cost = d.cost[0];
+  for (uint8_t i = 1; i < d.num_ids; ++i) {
+    if (static_cast<int64_t>(d.cost[i]) != d.uniform_cost) {
+      d.uniform_cost = -1;
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace aapac::engine

@@ -1,0 +1,90 @@
+#ifndef AAPAC_ENGINE_SCAN_PLAN_H_
+#define AAPAC_ENGINE_SCAN_PLAN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/zone_map.h"
+
+/// The plan node for one base-table scan, shared by the two scan executors
+/// (engine/row_scan.h row-at-a-time, engine/vec vectorized). The plan is
+/// built once per scan by ExecutorImpl::EvalBase — filters claimed and
+/// bound, projection pruning decided, zone-map eligibility established —
+/// and each executor then runs it over [begin, end) row ranges, serially or
+/// one morsel at a time. Both executors must produce byte-identical output
+/// and identical CheckTally accounting for the same plan.
+
+namespace aapac::engine {
+
+/// Scan-level eligibility for block skipping / bulk-accept: the claimed
+/// filter list must end in a consecutive tail of memoized compliance
+/// conjuncts whose subjects all read the table's interned column directly.
+/// The rewriter guarantees this shape (compliance conjuncts are appended
+/// after the user's WHERE and ClaimConjuncts preserves order); anything else
+/// — a verdict node sandwiched between user filters, a computed subject —
+/// disqualifies the scan and it runs the plain per-tuple path.
+struct ZoneScanPlan {
+  const PolicyZoneMap* zone = nullptr;
+  size_t subject_col = 0;   // The interned column (stored-row index).
+  size_t user_filters = 0;  // Filters [0, user_filters) are the user's.
+  std::vector<const BoundMemoizedVerdict*> verdicts;  // The compliance tail.
+  bool valid = false;
+};
+
+/// The executor's verdict-side read of one block summary. `cost[i]` is the
+/// number of compliance conjuncts the direct per-tuple path would invoke for
+/// a tuple carrying `ids[i]`: the index of the first denying conjunct plus
+/// one (short-circuit), or the full tail length when all allow. Keeping the
+/// exact per-id cost is what makes bulk settlement reproduce CheckTally to
+/// the tuple.
+struct BlockDecision {
+  enum Kind { kSkip = 0, kBulkAccept = 1, kMixed = 2 };
+  Kind kind = kMixed;
+  uint32_t ids[PolicyZoneMap::kMaxDistinct] = {};
+  uint32_t cost[PolicyZoneMap::kMaxDistinct] = {};
+  uint8_t num_ids = 0;
+  /// When >= 0, every id in the block shares this cost (always true for
+  /// bulk-accept and for a single-conjunct tail).
+  int64_t uniform_cost = -1;
+
+  int64_t CostOf(uint32_t id) const {
+    for (uint8_t i = 0; i < num_ids; ++i) {
+      if (ids[i] == id) return cost[i];
+    }
+    return -1;
+  }
+};
+
+/// Decides a clean block against the statement's verdict tables. Mixed when
+/// the summary is unusable (untracked rows, overflow, empty) or any id's
+/// verdict chain hits an unfilled slot — the per-tuple fallback then fills
+/// the memo organically, so later blocks with the same ids decide fast.
+BlockDecision DecideBlock(const PolicyZoneMap::BlockSummary& s,
+                          const std::vector<const BoundMemoizedVerdict*>& ccs);
+
+/// One base-table scan, fully bound. Everything is borrowed: the plan (and
+/// the executors over it) must not outlive the EvalBase frame that built it.
+struct ScanPlan {
+  const std::vector<Row>* rows = nullptr;
+  const std::vector<BoundExprPtr>* filters = nullptr;
+  /// Stored-row column indices to materialize (projection pruning).
+  const std::vector<size_t>* keep = nullptr;
+  ZoneScanPlan zone;
+  /// The compliance tail's UDF when zone.valid — carries the zone/batch
+  /// settlement callbacks (on_zone_checks, on_zone_block, on_zone_resolve).
+  const ScalarFunction* zone_fn = nullptr;
+
+  /// Copies the kept columns of `row` into a fresh pruned row on `sink`.
+  void Materialize(const Row& row, std::vector<Row>* sink) const {
+    Row pruned;
+    pruned.reserve(keep->size());
+    for (size_t k : *keep) pruned.push_back(row[k]);
+    sink->push_back(std::move(pruned));
+  }
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_SCAN_PLAN_H_

@@ -1,0 +1,75 @@
+#ifndef AAPAC_ENGINE_VEC_KERNELS_H_
+#define AAPAC_ENGINE_VEC_KERNELS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/vec/vec.h"
+
+/// Batch filter kernels. Each call applies one bound expression node as a
+/// filter to every row the selection vector still holds and compacts the
+/// vector in place — one kernel call per expression node per batch, instead
+/// of one virtual Eval per row per node.
+///
+/// Correctness contract: kernels must be row-path-exact. A row survives a
+/// kernel iff PassesFilterPrefix would have kept it for the same conjunct
+/// (TRUE survives; NULL, FALSE and non-boolean drop); an evaluation error
+/// carries the identical Status message; and compliance-check accounting
+/// (CheckTally, verdict-memo counters) settles to exactly the per-row
+/// totals. Only expression shapes for which this is provable by
+/// construction get a specialized loop — comparisons and LIKE / NOT LIKE
+/// over column/literal operands (optionally wrapped in NOT), and the
+/// memoized compliance conjunct (the batch compliance kernel). Everything
+/// else funnels through a per-row Eval loop with unchanged semantics.
+
+namespace aapac::engine::vec {
+
+/// Deferred settlement of memo-hit compliance checks. The batch compliance
+/// kernel answers most rows straight from the verdict table; instead of
+/// firing the per-row hit callback (a std::function call plus a contended
+/// counter increment per tuple), it accumulates the hit count here and the
+/// batch driver flushes once per batch — on the worker thread that ran the
+/// kernel, so morsel-level CheckTally folding sees the checks exactly like
+/// per-row bumps.
+struct PendingChecks {
+  const ScalarFunction* fn = nullptr;
+  uint64_t count = 0;
+
+  void Note(const ScalarFunction* f, uint64_t n) {
+    if (n == 0) return;
+    if (fn != nullptr && fn != f) Flush();
+    fn = f;
+    count += n;
+  }
+  /// Settles through on_zone_checks (aggregate hit accounting: CheckTally
+  /// plus the verdict-memo hit counter) or, when the function carries no
+  /// aggregate callback, replays on_memo_hit per check.
+  void Flush();
+};
+
+/// Applies `expr` as a filter over `rows` at the indices in `sel`,
+/// compacting `sel` to the survivors. Memo-hit checks are deferred into
+/// `pending` (flush once per batch); rows a kernel routes through per-row
+/// Eval are counted into `fallback_rows`.
+Status FilterBatch(const BoundExpr& expr, const std::vector<Row>& rows,
+                   SelVector* sel, PendingChecks* pending,
+                   uint64_t* fallback_rows);
+
+/// Batch-filter driver: runs rows[begin, end) through filters[0, nfilters)
+/// in batches of `batch_rows`, calling `consume(sel)` once per non-empty
+/// batch with the surviving row indices, in row order. Filters are compiled
+/// to kernels once per call, not once per batch. `timed` gates the
+/// per-stage ns accounting into `tally` (counters accumulate regardless).
+/// Used by the vectorized scan executor (with zone-map fragments), the
+/// hash-join probe filter, and the root/derived filter passes.
+Status ForEachPassing(const std::vector<BoundExprPtr>& filters,
+                      size_t nfilters, const std::vector<Row>& rows,
+                      size_t begin, size_t end, size_t batch_rows, bool timed,
+                      VecTally* tally,
+                      const std::function<Status(const SelVector&)>& consume);
+
+}  // namespace aapac::engine::vec
+
+#endif  // AAPAC_ENGINE_VEC_KERNELS_H_

@@ -1,0 +1,53 @@
+#include "engine/vec/vec.h"
+
+#include "obs/metrics.h"
+#include "util/env.h"
+
+namespace aapac::engine::vec {
+
+size_t DefaultBatchRows() {
+  static const size_t cached =
+      util::EnvPositiveSizeOrDie("AAPAC_BATCH_ROWS", 1024);
+  return cached;
+}
+
+void VecAggregate::Merge(const VecTally& t) {
+  const auto add = [](std::atomic<uint64_t>& a, uint64_t v) {
+    if (v != 0) a.fetch_add(v, std::memory_order_relaxed);
+  };
+  add(batches_formed_, t.batches_formed);
+  add(batches_bypassed_, t.batches_bypassed);
+  add(batches_evaluated_, t.batches_evaluated);
+  add(rows_in_, t.rows_in);
+  add(rows_out_, t.rows_out);
+  add(fallback_rows_, t.fallback_rows);
+  add(fill_ns_, t.fill_ns);
+  add(filter_ns_, t.filter_ns);
+  add(compliance_ns_, t.compliance_ns);
+}
+
+void VecAggregate::PublishTo(obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  const auto load = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  const auto count = [&](const char* name, uint64_t v) {
+    if (v != 0) metrics->counter(name)->Add(v);
+  };
+  count(obs::kVecBatchesFormed, load(batches_formed_));
+  count(obs::kVecBatchesBypassed, load(batches_bypassed_));
+  count(obs::kVecBatchesEvaluated, load(batches_evaluated_));
+  count(obs::kVecRowsIn, load(rows_in_));
+  count(obs::kVecRowsOut, load(rows_out_));
+  count(obs::kVecFallbackRows, load(fallback_rows_));
+  // The *_ns fields are only accumulated when timing was enabled, so a
+  // nonzero value is already the gate for histogram recording.
+  const auto record = [&](const char* name, uint64_t ns) {
+    if (ns != 0) metrics->histogram(name)->Record(ns);
+  };
+  record(obs::kVecStageFill, load(fill_ns_));
+  record(obs::kVecStageFilter, load(filter_ns_));
+  record(obs::kVecStageCompliance, load(compliance_ns_));
+}
+
+}  // namespace aapac::engine::vec

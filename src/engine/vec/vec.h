@@ -1,0 +1,92 @@
+#ifndef AAPAC_ENGINE_VEC_VEC_H_
+#define AAPAC_ENGINE_VEC_VEC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// Core types of the vectorized enforcement executor.
+///
+/// A batch is a fixed-size run of consecutive row indices from the current
+/// morsel (clipped to zone-map block fragments), represented as a selection
+/// vector: the surviving row indices, in row order. Filters execute
+/// column-at-a-time — one kernel call per expression node per batch — and
+/// each kernel compacts the selection vector in place. Kernels read operand
+/// columns directly from the row store (a fused gather-evaluate pass), so
+/// the batch never physically transposes rows; what makes it columnar is
+/// that each kernel touches only the columns its expression reads — the
+/// batch compliance kernel reads nothing but the interned policy-id column.
+
+namespace aapac::obs {
+class MetricsRegistry;
+}  // namespace aapac::obs
+
+namespace aapac::engine::vec {
+
+/// Selection vector: absolute row indices surviving the filters applied so
+/// far, ascending. uint32_t bounds tables (and join candidate buffers) at
+/// 2^32 rows, far above anything the benches reach.
+using SelVector = std::vector<uint32_t>;
+
+/// Rows per batch: AAPAC_BATCH_ROWS (validated — a present but non-positive
+/// or non-numeric value aborts startup) or 1024. Read once per process.
+size_t DefaultBatchRows();
+
+/// Per-statement configuration of the vector path, owned by the Executor
+/// facade and handed to ExecutorImpl alongside the ParallelSpec.
+struct VecSpec {
+  /// Kill switch (AAPAC_VECTOR_OFF / Executor::set_vector_enabled): when
+  /// false every operator runs the row-at-a-time path.
+  bool enabled = true;
+  /// Rows per batch; 0 selects DefaultBatchRows().
+  size_t batch_rows = 0;
+  /// Sink for the enforce.batches_* / vec.* counters and the per-stage
+  /// vec.batch_fill / vec.filter_eval / vec.compliance histograms.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  size_t EffectiveBatchRows() const {
+    return batch_rows != 0 ? batch_rows : DefaultBatchRows();
+  }
+};
+
+/// Plain per-call-frame accumulators (one per morsel Run or filter pass; no
+/// atomics — merged into a VecAggregate at frame end).
+struct VecTally {
+  uint64_t batches_formed = 0;     // Batches whose filters ran.
+  uint64_t batches_bypassed = 0;   // ... without a compliance kernel.
+  uint64_t batches_evaluated = 0;  // ... with at least one compliance kernel.
+  uint64_t rows_in = 0;            // Rows entering batch filtering.
+  uint64_t rows_out = 0;           // Rows surviving all batch filters.
+  uint64_t fallback_rows = 0;      // Per-row Eval fallbacks inside kernels.
+  uint64_t fill_ns = 0;            // Selection-vector build + materialize.
+  uint64_t filter_ns = 0;          // Non-compliance kernels.
+  uint64_t compliance_ns = 0;      // Batch compliance kernels.
+};
+
+/// Thread-safe aggregate of VecTally frames for one operator or statement;
+/// published to the metrics registry once, at operator close. Relaxed
+/// atomics: statistics, not synchronization.
+class VecAggregate {
+ public:
+  void Merge(const VecTally& t);
+  /// Adds the enforce.batches_* / vec.* counters and records the per-stage
+  /// histograms (the *_ns fields are nonzero only when timing was enabled
+  /// during execution). No-op when `metrics` is null.
+  void PublishTo(obs::MetricsRegistry* metrics) const;
+
+ private:
+  std::atomic<uint64_t> batches_formed_{0};
+  std::atomic<uint64_t> batches_bypassed_{0};
+  std::atomic<uint64_t> batches_evaluated_{0};
+  std::atomic<uint64_t> rows_in_{0};
+  std::atomic<uint64_t> rows_out_{0};
+  std::atomic<uint64_t> fallback_rows_{0};
+  std::atomic<uint64_t> fill_ns_{0};
+  std::atomic<uint64_t> filter_ns_{0};
+  std::atomic<uint64_t> compliance_ns_{0};
+};
+
+}  // namespace aapac::engine::vec
+
+#endif  // AAPAC_ENGINE_VEC_VEC_H_

@@ -1,0 +1,165 @@
+#include "engine/vec/vec_scan.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace aapac::engine::vec {
+
+VecScanExecutor::VecScanExecutor(const ScanPlan* plan, const VecSpec* spec)
+    : plan_(plan), spec_(spec), batch_rows_(spec->EffectiveBatchRows()) {
+  zone_timed_ = plan_->zone_fn != nullptr &&
+                plan_->zone_fn->on_zone_resolve != nullptr &&
+                obs::kObsCompiledIn && obs::TimingEnabled();
+  vec_timed_ = obs::kObsCompiledIn && spec_->metrics != nullptr &&
+               obs::TimingEnabled();
+}
+
+Status VecScanExecutor::Run(size_t begin, size_t end, std::vector<Row>* sink) {
+  VecTally tally;
+  Status st;
+  if (!plan_->zone.valid) {
+    const std::vector<Row>& rows = *plan_->rows;
+    st = ForEachPassing(*plan_->filters, plan_->filters->size(), rows, begin,
+                        end, batch_rows_, vec_timed_, &tally,
+                        [&](const SelVector& sel) -> Status {
+                          for (uint32_t idx : sel) {
+                            plan_->Materialize(rows[idx], sink);
+                          }
+                          return Status::OK();
+                        });
+  } else {
+    st = RunBlocks(begin, end, sink, &tally);
+  }
+  agg_.Merge(tally);
+  return st;
+}
+
+// The same block walk and settlement arithmetic as RowScanExecutor::Run;
+// only the per-tuple predicate work is replaced by batch kernels. Each
+// morsel re-decides the blocks it intersects (pure reads of clean
+// summaries plus relaxed verdict loads).
+Status VecScanExecutor::RunBlocks(size_t begin, size_t end,
+                                  std::vector<Row>* sink, VecTally* tally) {
+  using Clock = std::chrono::steady_clock;
+  const ZoneScanPlan& zplan = plan_->zone;
+  const std::vector<Row>& rows = *plan_->rows;
+  const std::vector<BoundExprPtr>& filters = *plan_->filters;
+  const ScalarFunction* zfn = plan_->zone_fn;
+  const size_t brows = zplan.zone->block_rows();
+  const size_t m = zplan.user_filters;
+  const uint64_t tail_len = zplan.verdicts.size();
+  size_t pos = begin;
+  while (pos < end) {
+    const size_t b = pos / brows;
+    const size_t bend = std::min(end, (b + 1) * brows);
+    const Clock::time_point t0 =
+        zone_timed_ ? Clock::now() : Clock::time_point();
+    const BlockDecision d = DecideBlock(zplan.zone->block(b), zplan.verdicts);
+    if (zone_timed_) {
+      resolve_ns_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count(),
+          std::memory_order_relaxed);
+    }
+    if (zfn->on_zone_block) zfn->on_zone_block(static_cast<int>(d.kind));
+    switch (d.kind) {
+      case BlockDecision::kSkip: {
+        // No tuple survives; settle the checks the per-tuple path would
+        // have spent. No batch forms when no per-row work is needed.
+        uint64_t settled = 0;
+        Status st;
+        if (m == 0 && d.uniform_cost >= 0) {
+          settled = static_cast<uint64_t>(bend - pos) *
+                    static_cast<uint64_t>(d.uniform_cost);
+        } else {
+          // User filters (or a cost-split block): batch-evaluate the user
+          // prefix, then settle each survivor's short-circuit cost.
+          st = ForEachPassing(
+              filters, m, rows, pos, bend, batch_rows_, vec_timed_, tally,
+              [&](const SelVector& sel) -> Status {
+                for (uint32_t idx : sel) {
+                  const Row& row = rows[idx];
+                  const int64_t c =
+                      d.CostOf(row[zplan.subject_col].bytes_interned_id());
+                  if (c >= 0) {
+                    settled += static_cast<uint64_t>(c);
+                    continue;
+                  }
+                  // Unreachable for a clean summary; stay exact regardless.
+                  AAPAC_ASSIGN_OR_RETURN(bool pass,
+                                         PassesFilters(filters, row));
+                  if (pass) plan_->Materialize(row, sink);
+                }
+                return Status::OK();
+              });
+        }
+        if (settled != 0 && zfn->on_zone_checks) zfn->on_zone_checks(settled);
+        AAPAC_RETURN_NOT_OK(st);
+        break;
+      }
+      case BlockDecision::kBulkAccept: {
+        // The compliance tail is TRUE for every id in the block: run the
+        // user's filters only (those batches bypass the compliance kernel)
+        // and settle the full tail cost per surviving tuple.
+        uint64_t passes = 0;
+        Status st;
+        if (m == 0 && d.uniform_cost >= 0) {
+          for (size_t i = pos; i < bend; ++i) {
+            plan_->Materialize(rows[i], sink);
+          }
+          passes = static_cast<uint64_t>(bend - pos);
+        } else {
+          st = ForEachPassing(
+              filters, m, rows, pos, bend, batch_rows_, vec_timed_, tally,
+              [&](const SelVector& sel) -> Status {
+                for (uint32_t idx : sel) {
+                  const Row& row = rows[idx];
+                  if (d.CostOf(row[zplan.subject_col].bytes_interned_id()) >=
+                      0) {
+                    ++passes;
+                    plan_->Materialize(row, sink);
+                    continue;
+                  }
+                  // Unreachable for a clean summary; stay exact regardless.
+                  AAPAC_ASSIGN_OR_RETURN(bool pass,
+                                         PassesFilters(filters, row));
+                  if (pass) plan_->Materialize(row, sink);
+                }
+                return Status::OK();
+              });
+        }
+        if (passes != 0 && zfn->on_zone_checks) {
+          zfn->on_zone_checks(passes * tail_len);
+        }
+        AAPAC_RETURN_NOT_OK(st);
+        break;
+      }
+      case BlockDecision::kMixed: {
+        // The zone map's fallback: evaluate the batch — full filter chain,
+        // compliance conjuncts through the batch compliance kernel.
+        AAPAC_RETURN_NOT_OK(ForEachPassing(
+            filters, filters.size(), rows, pos, bend, batch_rows_, vec_timed_,
+            tally, [&](const SelVector& sel) -> Status {
+              for (uint32_t idx : sel) plan_->Materialize(rows[idx], sink);
+              return Status::OK();
+            }));
+        break;
+      }
+    }
+    pos = bend;
+  }
+  return Status::OK();
+}
+
+void VecScanExecutor::Close() {
+  if (zone_timed_) {
+    plan_->zone_fn->on_zone_resolve(
+        resolve_ns_.load(std::memory_order_relaxed));
+  }
+  agg_.PublishTo(spec_->metrics);
+}
+
+}  // namespace aapac::engine::vec

@@ -1,0 +1,50 @@
+#ifndef AAPAC_ENGINE_VEC_VEC_SCAN_H_
+#define AAPAC_ENGINE_VEC_VEC_SCAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "engine/scan_plan.h"
+#include "engine/vec/kernels.h"
+#include "engine/vec/vec.h"
+
+namespace aapac::engine::vec {
+
+/// Vectorized executor over a ScanPlan — the batch counterpart of
+/// engine/row_scan.h, byte-identical in output and check accounting.
+///
+/// Zone-map composition: skipped blocks never form batches (pure aggregate
+/// settlement), bulk-accepted blocks run user-filter kernels only (the
+/// compliance tail settles in bulk, so those batches bypass the compliance
+/// kernel), and mixed blocks — the zone map's fallback case — become
+/// "evaluate the batch": the full filter chain runs batch-wise, compliance
+/// conjuncts through the batch compliance kernel.
+///
+/// Run() is safe to call concurrently from morsel workers on disjoint
+/// ranges; Close() must be called once, from the driver thread, after all
+/// ranges completed (it flushes zone-resolve timing and publishes the
+/// enforce.batches_* / vec.* metrics).
+class VecScanExecutor {
+ public:
+  VecScanExecutor(const ScanPlan* plan, const VecSpec* spec);
+
+  Status Run(size_t begin, size_t end, std::vector<Row>* sink);
+  void Close();
+
+ private:
+  Status RunBlocks(size_t begin, size_t end, std::vector<Row>* sink,
+                   VecTally* tally);
+
+  const ScanPlan* plan_;
+  const VecSpec* spec_;
+  size_t batch_rows_;
+  bool zone_timed_ = false;
+  bool vec_timed_ = false;
+  std::atomic<uint64_t> resolve_ns_{0};
+  VecAggregate agg_;
+};
+
+}  // namespace aapac::engine::vec
+
+#endif  // AAPAC_ENGINE_VEC_VEC_SCAN_H_

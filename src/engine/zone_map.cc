@@ -1,17 +1,17 @@
 #include "engine/zone_map.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "util/env.h"
 
 namespace aapac::engine {
 
 size_t PolicyZoneMap::DefaultBlockRows() {
-  const char* v = std::getenv("AAPAC_ZONEMAP_BLOCK");
-  if (v != nullptr && *v != '\0') {
-    const long long parsed = std::atoll(v);
-    if (parsed > 0) return static_cast<size_t>(parsed);
-  }
-  return 2048;
+  // Validated at startup: a present but non-positive or non-numeric value
+  // aborts with a clear error instead of silently falling back.
+  static const size_t cached =
+      util::EnvPositiveSizeOrDie("AAPAC_ZONEMAP_BLOCK", 2048);
+  return cached;
 }
 
 PolicyZoneMap::PolicyZoneMap(size_t block_rows)

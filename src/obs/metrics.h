@@ -82,6 +82,27 @@ inline constexpr char kZoneBlocksBulkAccepted[] =
 inline constexpr char kZoneBlocksMixed[] = "enforce.blocks_mixed";
 inline constexpr char kZoneResolve[] = "enforce.zone_resolve";
 
+// Vectorized-executor surface (engine/vec): batches are fixed-size
+// selection-vector runs of a morsel. `formed` counts every batch whose
+// filters ran; `evaluated` are batches that ran at least one batch
+// compliance kernel, `bypassed` those that skipped it (no compliance
+// conjunct in the filter set — e.g. user-filter-only passes over
+// bulk-accepted zone blocks). Skipped zone blocks never form batches at
+// all. vec.fallback_rows counts rows a kernel routed through per-row Eval
+// (memo miss, un-interned or NULL policy). The three histograms record
+// per-scan aggregate ns for selection-vector build + materialization
+// (vec.batch_fill), non-compliance filter kernels (vec.filter_eval) and
+// batch compliance kernels (vec.compliance).
+inline constexpr char kVecBatchesFormed[] = "enforce.batches_formed";
+inline constexpr char kVecBatchesBypassed[] = "enforce.batches_bypassed";
+inline constexpr char kVecBatchesEvaluated[] = "enforce.batches_evaluated";
+inline constexpr char kVecRowsIn[] = "vec.rows_in";
+inline constexpr char kVecRowsOut[] = "vec.rows_out";
+inline constexpr char kVecFallbackRows[] = "vec.fallback_rows";
+inline constexpr char kVecStageFill[] = "vec.batch_fill";
+inline constexpr char kVecStageFilter[] = "vec.filter_eval";
+inline constexpr char kVecStageCompliance[] = "vec.compliance";
+
 /// Monotonic counter. All operations are single relaxed atomics; safe from
 /// any number of threads.
 class Counter {

@@ -374,6 +374,10 @@ ServerSnapshot EnforcementServer::Snapshot() const {
   snap.lock_exclusive = lock_exclusive_->value();
   snap.sessions_active = sessions_.active();
   snap.cache = cache_.stats();
+  snap.vector_enabled = monitor_->vector_enabled();
+  const size_t batch_override = monitor_->batch_rows();
+  snap.vector_batch_rows =
+      batch_override != 0 ? batch_override : engine::vec::DefaultBatchRows();
   // Dictionary sizes read table data, so take the read side of the data
   // lock: snapshots stay safe against concurrent DML and policy attachment.
   {

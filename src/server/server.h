@@ -93,6 +93,12 @@ struct ServerSnapshot {
   /// Per protected table, the policy zone map's block statistics (same
   /// lifetime as the dictionaries: owned by the engine tables).
   std::vector<ZoneMapStats> zone_maps;
+  /// Vectorized-executor configuration in effect (engine/vec): whether the
+  /// batch path is on (AAPAC_VECTOR_OFF clears it at startup) and the
+  /// rows-per-batch it forms (the AAPAC_BATCH_ROWS default unless the
+  /// monitor overrode it).
+  bool vector_enabled = true;
+  size_t vector_batch_rows = 0;
 };
 
 /// Concurrent, session-oriented enforcement service over one

@@ -396,7 +396,12 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
         << "executed " << snap.executed << ", rejected " << snap.rejected
         << ", sessions open " << snap.sessions_active << "\n"
         << "data lock: " << snap.lock_shared << " shared / "
-        << snap.lock_exclusive << " exclusive acquisition(s)";
+        << snap.lock_exclusive << " exclusive acquisition(s)\n"
+        << "vectorized executor: "
+        << (snap.vector_enabled ? "on" : "off (AAPAC_VECTOR_OFF)");
+    if (snap.vector_enabled) {
+      out << ", " << snap.vector_batch_rows << " rows/batch";
+    }
     return out.str();
   }
   if (cmd == "cache") {

@@ -1,0 +1,60 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aapac::util {
+
+Result<size_t> ParsePositiveSize(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  if (begin == end) {
+    return Status::InvalidArgument("empty value (expected a positive integer)");
+  }
+  uint64_t value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("'" + text +
+                                     "' is not a positive integer");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("'" + text + "' is out of range");
+    }
+    value = value * 10 + digit;
+  }
+  if (value == 0) {
+    return Status::InvalidArgument("value must be at least 1, got '" + text +
+                                   "'");
+  }
+  if (value > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::InvalidArgument("'" + text + "' is out of range");
+  }
+  return static_cast<size_t>(value);
+}
+
+size_t EnvPositiveSizeOrDie(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  Result<size_t> parsed = ParsePositiveSize(raw);
+  if (!parsed.ok()) {
+    std::fprintf(stderr,
+                 "fatal: invalid value for %s: %s\n"
+                 "       set %s to a positive integer (e.g. %zu) or unset "
+                 "it to use the default\n",
+                 name, parsed.status().message().c_str(), name, fallback);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+}  // namespace aapac::util

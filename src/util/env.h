@@ -1,0 +1,27 @@
+#ifndef AAPAC_UTIL_ENV_H_
+#define AAPAC_UTIL_ENV_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/result.h"
+
+namespace aapac::util {
+
+/// Strictly parses a positive decimal size: optional surrounding whitespace,
+/// digits only, value in [1, 2^63). Rejects empty strings, signs, leading
+/// "0x", trailing garbage ("2048k"), zero and negative values — everything
+/// std::atoll silently folds to a number or to 0.
+Result<size_t> ParsePositiveSize(const std::string& text);
+
+/// Reads environment knob `name` as a positive size. Unset or empty returns
+/// `fallback`. A present-but-invalid value is a configuration error the
+/// process must not paper over: the knob would otherwise be silently
+/// replaced by the default (or, worse, by a truncated prefix of the typo),
+/// so this prints a clear message naming the variable and the accepted
+/// range to stderr and exits with status 2.
+size_t EnvPositiveSizeOrDie(const char* name, size_t fallback);
+
+}  // namespace aapac::util
+
+#endif  // AAPAC_UTIL_ENV_H_

@@ -1,0 +1,383 @@
+// Batch-boundary property tests for the vectorized executor (engine/vec):
+// the batch path must be row-path-exact at every batch geometry — batch
+// size 1 (every row its own batch), a batch exactly one zone block wide,
+// sizes that do not divide the morsel or the table, and batches larger
+// than the whole scan — including rows with NULLs in filter columns,
+// batches whose selection vector empties mid-pipeline, and compliance
+// batches that fall back to per-row evaluation because the policy blob was
+// never interned (id 0). The kernel-level tests drive FilterBatch /
+// ForEachPassing directly with a synthetic counting UDF so the deferred
+// check settlement (PendingChecks) is asserted call-for-call.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/exec.h"
+#include "engine/expr.h"
+#include "engine/functions.h"
+#include "engine/table.h"
+#include "engine/vec/kernels.h"
+#include "engine/vec/vec.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+#include "util/task_pool.h"
+
+namespace aapac::engine {
+namespace {
+
+constexpr size_t kRows = 1000;
+
+/// big(id, grp, num, label): NULLs scattered through num and label so
+/// three-valued logic crosses every batch boundary; 1000 rows so batch
+/// sizes 1 / 7 / 64 / 128 / 1000 / 4096 all exercise distinct geometries
+/// (64 is the zone-block size below, 7 divides neither 64 nor 128).
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::make_unique<Database>();
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"id", ValueType::kInt64}).ok());
+  EXPECT_TRUE(s.AddColumn({"grp", ValueType::kInt64}).ok());
+  EXPECT_TRUE(s.AddColumn({"num", ValueType::kDouble}).ok());
+  EXPECT_TRUE(s.AddColumn({"label", ValueType::kString}).ok());
+  Table* t = *db->CreateTable("big", s);
+  t->Reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    const int64_t id = static_cast<int64_t>(i);
+    t->InsertUnchecked(
+        {Value::Int(id), Value::Int(id % 13),
+         (id % 5 == 0) ? Value::Null()
+                       : Value::Double(static_cast<double>(id % 37)),
+         (id % 11 == 0) ? Value::Null()
+                        : Value::String("row" + std::to_string(id % 29))});
+  }
+  Schema d;
+  EXPECT_TRUE(d.AddColumn({"grp", ValueType::kInt64}).ok());
+  EXPECT_TRUE(d.AddColumn({"name", ValueType::kString}).ok());
+  Table* dim = *db->CreateTable("dim", d);
+  for (int64_t g = 0; g < 13; ++g) {
+    dim->InsertUnchecked(
+        {Value::Int(g), Value::String("group" + std::to_string(g))});
+  }
+  return db;
+}
+
+std::string RenderRows(const ResultSet& rs) {
+  std::string out;
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row) {
+      out += v.is_null() ? "NULL" : v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+class VecExecTest : public ::testing::Test {
+ protected:
+  VecExecTest() : db_(MakeDb()), pool_(3) {}
+
+  /// Runs `sql` with the vector path off (reference) and on at every batch
+  /// geometry, serial and morsel-parallel, asserting byte-identical rows.
+  void ExpectBatchInvariant(const std::string& sql) {
+    auto stmt = sql::ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    Executor ref(db_.get());
+    ref.set_vector_enabled(false);
+    auto expected = ref.Execute(**stmt);
+    ASSERT_TRUE(expected.ok()) << sql << ": " << expected.status();
+    const std::string want = RenderRows(*expected);
+    // 1: every row its own batch. 64: exactly one zone block (and a
+    // divisor of the 128-row morsel). 7 and 100: divide neither the morsel
+    // nor the block. 1000: the whole scan in one batch. 4096: larger than
+    // the scan.
+    for (const size_t batch : {size_t{1}, size_t{7}, size_t{64}, size_t{100},
+                               size_t{1000}, size_t{4096}}) {
+      Executor exec(db_.get());
+      exec.set_batch_rows(batch);
+      auto serial = exec.Execute(**stmt);
+      ASSERT_TRUE(serial.ok()) << sql << " batch=" << batch << ": "
+                               << serial.status();
+      ASSERT_EQ(serial->column_names, expected->column_names)
+          << sql << " batch=" << batch;
+      EXPECT_EQ(RenderRows(*serial), want) << sql << " batch=" << batch;
+
+      ParallelSpec spec;
+      spec.pool = &pool_;
+      spec.max_threads = 4;
+      spec.morsel_rows = 128;  // 1000/128 leaves a ragged final morsel.
+      auto parallel = exec.Execute(**stmt, spec);
+      ASSERT_TRUE(parallel.ok()) << sql << " batch=" << batch << ": "
+                                 << parallel.status();
+      EXPECT_EQ(RenderRows(*parallel), want)
+          << sql << " batch=" << batch << " (parallel)";
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+  util::TaskPool pool_;
+};
+
+TEST_F(VecExecTest, NullsInFilterColumnsAcrossBatchBoundaries) {
+  // num IS NULL every 5th row, label every 11th: NULL comparison results
+  // must drop rows (not crash, not keep) at every batch geometry.
+  ExpectBatchInvariant("SELECT id, num FROM big WHERE num > 18");
+  ExpectBatchInvariant(
+      "SELECT id FROM big WHERE label = 'row7' AND num < 30");
+  ExpectBatchInvariant("SELECT id FROM big WHERE num IS NULL");
+  ExpectBatchInvariant(
+      "SELECT id FROM big WHERE num > 10 OR label = 'row3'");
+}
+
+TEST_F(VecExecTest, EmptySelectionVectors) {
+  // No row passes: every batch's selection vector empties at the first
+  // filter and downstream kernels must cope with zero survivors.
+  ExpectBatchInvariant("SELECT id FROM big WHERE num > 1000");
+  // The first conjunct keeps a handful of rows, the second empties most
+  // batches mid-pipeline.
+  ExpectBatchInvariant(
+      "SELECT id FROM big WHERE id < 3 AND num > 0 AND grp = 1");
+}
+
+TEST_F(VecExecTest, JoinsAggregatesAndOrderCompose) {
+  ExpectBatchInvariant(
+      "SELECT big.id, dim.name FROM big, dim "
+      "WHERE big.grp = dim.grp AND big.num > 20 ORDER BY big.id");
+  ExpectBatchInvariant(
+      "SELECT grp, COUNT(*), SUM(num) FROM big WHERE num > 5 "
+      "GROUP BY grp ORDER BY grp");
+  ExpectBatchInvariant(
+      "SELECT DISTINCT label FROM big WHERE num > 30 ORDER BY label");
+}
+
+TEST_F(VecExecTest, ErrorsSurfaceIdentically) {
+  // Division by zero inside the filter: the batch path must surface the
+  // same execution error the row path does.
+  const std::string sql = "SELECT id FROM big WHERE num / (grp - 1) > 2";
+  auto stmt = sql::ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  Executor ref(db_.get());
+  ref.set_vector_enabled(false);
+  auto row_result = ref.Execute(**stmt);
+  ASSERT_FALSE(row_result.ok());
+  Executor exec(db_.get());
+  exec.set_batch_rows(64);
+  auto vec_result = exec.Execute(**stmt);
+  ASSERT_FALSE(vec_result.ok());
+  EXPECT_EQ(vec_result.status().message(), row_result.status().message());
+}
+
+// --- Kernel-level tests (engine/vec/kernels.h). ----------------------------
+
+/// A counting stand-in for complies_with: fn(mask, policy) is true iff the
+/// policy blob's first byte is odd. `calls` counts real evaluations,
+/// `hits` replayed memo hits, `settled` aggregate zone/batch settlements.
+struct CountingUdf {
+  ScalarFunction fn;
+  uint64_t calls = 0;
+  uint64_t hits = 0;
+  uint64_t settled = 0;
+
+  explicit CountingUdf(bool aggregate_settlement) {
+    fn.name = "test_complies";
+    fn.arity = 2;
+    fn.memoize_verdicts = true;
+    fn.fn = [this](const std::vector<Value>& args) -> Result<Value> {
+      ++calls;
+      const std::string& policy = args[1].AsBytes();
+      return Value::Bool(!policy.empty() && (policy[0] % 2) != 0);
+    };
+    fn.on_memo_hit = [this] { ++hits; };
+    if (aggregate_settlement) {
+      fn.on_zone_checks = [this](uint64_t n) { settled += n; };
+    }
+  }
+};
+
+/// Rows whose column 0 is the policy blob; odd ids interleaved with even,
+/// and every `uninterned_every`-th row carries a raw (id 0) blob.
+std::vector<Row> MakePolicyRows(size_t n, size_t uninterned_every) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const char byte = static_cast<char>(1 + (i % 4));  // ids 1..4
+    if (uninterned_every != 0 && i % uninterned_every == 0) {
+      rows.push_back({Value::Bytes(std::string(1, byte))});
+    } else {
+      rows.push_back({Value::InternedBytes(std::string(1, byte),
+                                           static_cast<uint32_t>(byte))});
+    }
+  }
+  return rows;
+}
+
+BoundExprPtr MakeVerdictConjunct(const ScalarFunction* fn,
+                                 uint32_t id_ceiling) {
+  return std::make_unique<BoundMemoizedVerdict>(
+      fn, std::make_unique<BoundLiteral>(Value::Bytes("mask")),
+      std::make_unique<BoundColumnRef>(0), id_ceiling);
+}
+
+TEST(VecKernelTest, ComplianceKernelSettlesHitsInAggregate) {
+  CountingUdf udf(/*aggregate_settlement=*/true);
+  const std::vector<Row> rows = MakePolicyRows(256, /*uninterned_every=*/0);
+  std::vector<BoundExprPtr> filters;
+  filters.push_back(MakeVerdictConjunct(&udf.fn, /*id_ceiling=*/8));
+
+  vec::VecTally tally;
+  std::vector<uint32_t> kept;
+  const Status st = vec::ForEachPassing(
+      filters, filters.size(), rows, 0, rows.size(), /*batch_rows=*/64,
+      /*timed=*/false, &tally, [&](const vec::SelVector& sel) {
+        kept.insert(kept.end(), sel.begin(), sel.end());
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st;
+  // ids 1..4, first byte odd for 1 and 3: half the rows survive, in order.
+  ASSERT_EQ(kept.size(), 128u);
+  for (size_t i = 0; i + 1 < kept.size(); ++i) {
+    EXPECT_LT(kept[i], kept[i + 1]);
+  }
+  // One real evaluation per distinct id fills the verdict table; every
+  // other row is a memo hit settled in aggregate, never via on_memo_hit.
+  EXPECT_EQ(udf.calls, 4u);
+  EXPECT_EQ(udf.settled, 256u - 4u);
+  EXPECT_EQ(udf.hits, 0u);
+  EXPECT_EQ(tally.batches_formed, 4u);
+  EXPECT_EQ(tally.rows_in, 256u);
+  EXPECT_EQ(tally.rows_out, 128u);
+  EXPECT_EQ(tally.fallback_rows, 4u);  // The four verdict-table fills.
+}
+
+TEST(VecKernelTest, ComplianceKernelReplaysHitsWithoutAggregateCallback) {
+  // Without on_zone_checks the kernel must fall back to replaying
+  // on_memo_hit per settled check — hit accounting is never dropped.
+  CountingUdf udf(/*aggregate_settlement=*/false);
+  const std::vector<Row> rows = MakePolicyRows(100, /*uninterned_every=*/0);
+  std::vector<BoundExprPtr> filters;
+  filters.push_back(MakeVerdictConjunct(&udf.fn, /*id_ceiling=*/8));
+  vec::VecTally tally;
+  const Status st = vec::ForEachPassing(
+      filters, filters.size(), rows, 0, rows.size(), /*batch_rows=*/33,
+      /*timed=*/false, &tally,
+      [](const vec::SelVector&) { return Status::OK(); });
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(udf.calls, 4u);
+  EXPECT_EQ(udf.hits, 100u - 4u);
+  EXPECT_EQ(udf.settled, 0u);
+}
+
+TEST(VecKernelTest, UninternedPoliciesFallBackPerRow) {
+  // Every 8th row's blob was never interned (id 0): the verdict table
+  // cannot answer it, so the kernel must evaluate those rows individually,
+  // every time — un-interned tuples are never cached.
+  CountingUdf udf(/*aggregate_settlement=*/true);
+  const std::vector<Row> rows = MakePolicyRows(256, /*uninterned_every=*/8);
+  std::vector<BoundExprPtr> filters;
+  filters.push_back(MakeVerdictConjunct(&udf.fn, /*id_ceiling=*/8));
+  vec::VecTally tally;
+  std::vector<uint32_t> kept;
+  const Status st = vec::ForEachPassing(
+      filters, filters.size(), rows, 0, rows.size(), /*batch_rows=*/64,
+      /*timed=*/false, &tally, [&](const vec::SelVector& sel) {
+        kept.insert(kept.end(), sel.begin(), sel.end());
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st;
+  const size_t uninterned = 256 / 8;
+  // 32 un-interned rows plus one fill per distinct interned id.
+  EXPECT_EQ(udf.calls, uninterned + 4u);
+  EXPECT_EQ(udf.settled + udf.calls, 256u);  // Checks partition exactly.
+  EXPECT_EQ(tally.fallback_rows, uninterned + 4u);
+  // Survivors: all rows whose first byte is odd, interned or not.
+  size_t expect_kept = 0;
+  for (size_t i = 0; i < 256; ++i) {
+    if ((1 + (i % 4)) % 2 != 0) ++expect_kept;
+  }
+  EXPECT_EQ(kept.size(), expect_kept);
+}
+
+TEST(VecKernelTest, EmptySelectionVectorShortCircuits) {
+  // A first conjunct that drops everything: the compliance kernel after it
+  // must see an empty selection vector and perform zero checks.
+  CountingUdf udf(/*aggregate_settlement=*/true);
+  std::vector<Row> rows;
+  for (size_t i = 0; i < 64; ++i) {
+    rows.push_back({Value::InternedBytes("\x01", 1), Value::Int(0)});
+  }
+  std::vector<BoundExprPtr> filters;
+  filters.push_back(std::make_unique<BoundBinary>(
+      sql::BinaryOp::kGt, std::make_unique<BoundColumnRef>(1),
+      std::make_unique<BoundLiteral>(Value::Int(5))));
+  filters.push_back(MakeVerdictConjunct(&udf.fn, /*id_ceiling=*/8));
+  vec::VecTally tally;
+  size_t consumed = 0;
+  const Status st = vec::ForEachPassing(
+      filters, filters.size(), rows, 0, rows.size(), /*batch_rows=*/16,
+      /*timed=*/false, &tally, [&](const vec::SelVector& sel) {
+        consumed += sel.size();
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_EQ(udf.calls + udf.hits + udf.settled, 0u);
+  EXPECT_EQ(tally.rows_out, 0u);
+}
+
+TEST(VecKernelTest, BatchSizeOneMatchesWholeScanBatch) {
+  // The same filter chain at batch 1 and batch 4096 must keep the same
+  // rows and settle the same number of checks.
+  for (const size_t batch : {size_t{1}, size_t{4096}}) {
+    CountingUdf udf(/*aggregate_settlement=*/true);
+    const std::vector<Row> rows = MakePolicyRows(97, /*uninterned_every=*/5);
+    std::vector<BoundExprPtr> filters;
+    filters.push_back(MakeVerdictConjunct(&udf.fn, /*id_ceiling=*/8));
+    vec::VecTally tally;
+    std::vector<uint32_t> kept;
+    const Status st = vec::ForEachPassing(
+        filters, filters.size(), rows, 0, rows.size(), batch,
+        /*timed=*/false, &tally, [&](const vec::SelVector& sel) {
+          kept.insert(kept.end(), sel.begin(), sel.end());
+          return Status::OK();
+        });
+    ASSERT_TRUE(st.ok()) << st;
+    EXPECT_EQ(udf.calls + udf.settled, 97u) << "batch=" << batch;
+    size_t expect_kept = 0;
+    for (size_t i = 0; i < 97; ++i) {
+      if ((1 + (i % 4)) % 2 != 0) ++expect_kept;
+    }
+    EXPECT_EQ(kept.size(), expect_kept) << "batch=" << batch;
+  }
+}
+
+TEST(VecKernelTest, FusedChainSurfacesErrorsInRowMajorOrder) {
+  // Two typed predicates where an EARLIER row errors on the SECOND filter
+  // and a LATER row errors on the FIRST. The row executor walks row-major,
+  // so the earlier row's error must win — which a filter-major per-node
+  // sweep would get backwards. This pins the fused chain's error order.
+  std::vector<Row> rows;
+  rows.push_back({Value::Int(1), Value::String("x")});    // 1>10 false: drop.
+  rows.push_back({Value::Int(20), Value::String("y")});   // pass, 'y'='x' no.
+  rows.push_back({Value::Int(30), Value::Int(7)});        // filter 2 errors.
+  rows.push_back({Value::String("s"), Value::String("x")});  // filter 1 errs.
+  std::vector<BoundExprPtr> filters;
+  filters.push_back(std::make_unique<BoundBinary>(
+      sql::BinaryOp::kGt, std::make_unique<BoundColumnRef>(0),
+      std::make_unique<BoundLiteral>(Value::Int(10))));
+  filters.push_back(std::make_unique<BoundBinary>(
+      sql::BinaryOp::kEq, std::make_unique<BoundColumnRef>(1),
+      std::make_unique<BoundLiteral>(Value::String("x"))));
+  vec::VecTally tally;
+  const Status st = vec::ForEachPassing(
+      filters, filters.size(), rows, 0, rows.size(), /*batch_rows=*/64,
+      /*timed=*/false, &tally,
+      [](const vec::SelVector&) { return Status::OK(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "cannot compare INT64 with STRING");
+}
+
+}  // namespace
+}  // namespace aapac::engine

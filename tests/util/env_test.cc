@@ -1,0 +1,71 @@
+// Startup validation of positive-size environment knobs (AAPAC_BATCH_ROWS,
+// AAPAC_ZONEMAP_BLOCK): a present-but-invalid value must abort the process
+// with a clear message naming the variable — never be silently replaced by
+// the default or a truncated prefix of the typo.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.h"
+
+namespace aapac::util {
+namespace {
+
+TEST(ParsePositiveSizeTest, AcceptsPlainPositiveDecimals) {
+  auto r = ParsePositiveSize("1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+  r = ParsePositiveSize("2048");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2048u);
+  r = ParsePositiveSize("  42  ");  // Surrounding whitespace is tolerated.
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42u);
+}
+
+TEST(ParsePositiveSizeTest, RejectsZeroNegativeAndNonNumeric) {
+  EXPECT_FALSE(ParsePositiveSize("0").ok());
+  EXPECT_FALSE(ParsePositiveSize("-1").ok());
+  EXPECT_FALSE(ParsePositiveSize("+5").ok());
+  EXPECT_FALSE(ParsePositiveSize("").ok());
+  EXPECT_FALSE(ParsePositiveSize("   ").ok());
+  EXPECT_FALSE(ParsePositiveSize("abc").ok());
+  EXPECT_FALSE(ParsePositiveSize("2048k").ok());   // Trailing garbage.
+  EXPECT_FALSE(ParsePositiveSize("0x100").ok());   // No hex.
+  EXPECT_FALSE(ParsePositiveSize("12 34").ok());   // Inner whitespace.
+  EXPECT_FALSE(ParsePositiveSize("1e3").ok());     // No exponents.
+  // Overflow: 2^63 and beyond are out of the accepted [1, 2^63) range.
+  EXPECT_FALSE(ParsePositiveSize("9223372036854775808").ok());
+  EXPECT_FALSE(ParsePositiveSize("99999999999999999999999").ok());
+}
+
+TEST(EnvPositiveSizeTest, UnsetOrEmptyFallsBack) {
+  unsetenv("AAPAC_TEST_KNOB");
+  EXPECT_EQ(EnvPositiveSizeOrDie("AAPAC_TEST_KNOB", 1024), 1024u);
+  setenv("AAPAC_TEST_KNOB", "", 1);
+  EXPECT_EQ(EnvPositiveSizeOrDie("AAPAC_TEST_KNOB", 512), 512u);
+  unsetenv("AAPAC_TEST_KNOB");
+}
+
+TEST(EnvPositiveSizeTest, PresentValidValueWins) {
+  setenv("AAPAC_TEST_KNOB", "777", 1);
+  EXPECT_EQ(EnvPositiveSizeOrDie("AAPAC_TEST_KNOB", 1024), 777u);
+  unsetenv("AAPAC_TEST_KNOB");
+}
+
+TEST(EnvPositiveSizeDeathTest, InvalidValueExitsWithNamedError) {
+  setenv("AAPAC_TEST_KNOB", "banana", 1);
+  EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_TEST_KNOB", 1024),
+              ::testing::ExitedWithCode(2), "AAPAC_TEST_KNOB");
+  setenv("AAPAC_TEST_KNOB", "0", 1);
+  EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_TEST_KNOB", 1024),
+              ::testing::ExitedWithCode(2), "AAPAC_TEST_KNOB");
+  setenv("AAPAC_TEST_KNOB", "-16", 1);
+  EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_TEST_KNOB", 1024),
+              ::testing::ExitedWithCode(2), "AAPAC_TEST_KNOB");
+  unsetenv("AAPAC_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace aapac::util

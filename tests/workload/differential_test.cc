@@ -1,21 +1,26 @@
 // Differential & property harness for the morsel-parallel executor, the
-// policy-dictionary verdict table and the policy zone map: 500 seeded
-// random SELECTs over the patients database, each executed five ways —
+// policy-dictionary verdict table, the policy zone map and the vectorized
+// executor: 500 seeded random SELECTs over the patients database, each
+// executed seven ways —
 //   (1) serial, unenforced            (the paper's "original query" runs)
-//   (2) serial, purpose-enforced      (memoization + zone maps on, default)
-//   (3) morsel-parallel, enforced     (the morsel executor)
+//   (2) serial, purpose-enforced      (memoization + zone maps + the
+//       vectorized batch executor on — the default configuration)
+//   (3) morsel-parallel, enforced     (the morsel executor, vector on)
 //   (4) serial, enforced, verdict table force-disabled (every tuple through
 //       the full CompliesWithPacked sweep — the pre-dictionary path)
 //   (5) serial, enforced, zone maps force-disabled (memoized per-tuple path
 //       with no block skipping / bulk-accept)
-// — asserting that (3), (4) and (5) are row-for-row identical to (2), that
-// (4) and (5) spend exactly the same number of logical compliance checks as
-// (2), that (2) never returns a tuple (1) would not (enforcement only
-// filters), and, for queries without sub-queries, that (2) equals a
-// brute-force reference monitor: every referenced protected table is
-// pre-filtered tuple-by-tuple with CompliesWithPacked against the query's
-// derived action-signature masks, and the *original* query runs unenforced
-// over that filtered clone.
+//   (6) serial, enforced, vectorized executor force-disabled (the
+//       row-at-a-time scan/probe/filter path — AAPAC_VECTOR_OFF)
+//   (7) morsel-parallel, enforced, vectorized executor force-disabled
+// — asserting that (3) through (7) are row-for-row identical to (2), that
+// (3) through (7) spend exactly the same number of logical compliance
+// checks as (2) (check exactness at DOP 1 and DOP N, batch and row), that
+// (2) never returns a tuple (1) would not (enforcement only filters), and,
+// for queries without sub-queries, that (2) equals a brute-force reference
+// monitor: every referenced protected table is pre-filtered tuple-by-tuple
+// with CompliesWithPacked against the query's derived action-signature
+// masks, and the *original* query runs unenforced over that filtered clone.
 //
 // Between queries the harness interleaves in-place policy rewrites
 // (UpdateColumnWhere) and row erasures (EraseRows) on sensed_data so the
@@ -246,9 +251,31 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     h.monitor->SetZoneMapEnabled(true);
     ASSERT_TRUE(nozone.ok()) << ctx << "\n  " << nozone.status();
 
+    h.monitor->SetVectorEnabled(false);
+    const uint64_t checks_before_rowpath = h.monitor->compliance_checks();
+    auto rowpath = h.monitor->ExecuteQuery(q.sql, q.purpose);
+    const uint64_t rowpath_checks =
+        h.monitor->compliance_checks() - checks_before_rowpath;
+    ASSERT_TRUE(rowpath.ok()) << ctx << "\n  " << rowpath.status();
+
+    // Row path under morsel parallelism, with the vector kill switch still
+    // thrown — the pre-vectorization executor at DOP N.
     h.monitor->SetParallelism(threads > 1 ? h.pool.get() : nullptr, threads,
                               /*morsel_rows=*/64);
+    const uint64_t checks_before_rowpar = h.monitor->compliance_checks();
+    auto rowpar = h.monitor->ExecuteQuery(q.sql, q.purpose);
+    const uint64_t rowpar_checks =
+        h.monitor->compliance_checks() - checks_before_rowpar;
+    h.monitor->SetParallelism(nullptr, 1);
+    h.monitor->SetVectorEnabled(true);
+    ASSERT_TRUE(rowpar.ok()) << ctx << "\n  " << rowpar.status();
+
+    h.monitor->SetParallelism(threads > 1 ? h.pool.get() : nullptr, threads,
+                              /*morsel_rows=*/64);
+    const uint64_t checks_before_parallel = h.monitor->compliance_checks();
     auto parallel = h.monitor->ExecuteQuery(q.sql, q.purpose);
+    const uint64_t parallel_checks =
+        h.monitor->compliance_checks() - checks_before_parallel;
     h.monitor->SetParallelism(nullptr, 1);
     ASSERT_TRUE(parallel.ok()) << ctx << "\n  " << parallel.status();
 
@@ -284,6 +311,27 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     }
     ASSERT_EQ(nozone_checks, memo_checks)
         << ctx << "\n  zone maps changed the compliance-check count";
+
+    // (a''') The vectorized executor is invisible: batch vs row-at-a-time,
+    // serial vs morsel-parallel, rows and logical check counts all agree.
+    const std::vector<std::string> rowpath_rows = RenderRows(*rowpath);
+    ASSERT_EQ(rowpath_rows.size(), serial_rows.size()) << ctx;
+    for (size_t r = 0; r < serial_rows.size(); ++r) {
+      ASSERT_EQ(rowpath_rows[r], serial_rows[r])
+          << ctx << "\n  vectorized-executor divergence at row " << r;
+    }
+    ASSERT_EQ(rowpath_checks, memo_checks)
+        << ctx << "\n  vectorization changed the compliance-check count";
+    const std::vector<std::string> rowpar_rows = RenderRows(*rowpar);
+    ASSERT_EQ(rowpar_rows.size(), serial_rows.size()) << ctx;
+    for (size_t r = 0; r < serial_rows.size(); ++r) {
+      ASSERT_EQ(rowpar_rows[r], serial_rows[r])
+          << ctx << "\n  parallel row-path divergence at row " << r;
+    }
+    ASSERT_EQ(rowpar_checks, memo_checks)
+        << ctx << "\n  parallel row path changed the compliance-check count";
+    ASSERT_EQ(parallel_checks, memo_checks)
+        << ctx << "\n  morsel parallelism changed the compliance-check count";
 
     // (b) Enforcement only filters: every enforced tuple appears in the
     // unenforced result (as a multiset; aggregates recompute over the
