@@ -78,6 +78,7 @@ int Run() {
   }
   EmitStageLatencies(s.monitor.get(), "ablation_baseline", "sel=0.0");
   MaybeDumpMetricsJson(s.monitor.get());
+  MaybeDumpMetricsProm(s.monitor.get());
   return 0;
 }
 

@@ -60,6 +60,7 @@ int Run() {
   // whole bench rather than one mode.
   EmitStageLatencies(s.monitor.get(), "ablation_pushdown", "both_modes");
   MaybeDumpMetricsJson(s.monitor.get());
+  MaybeDumpMetricsProm(s.monitor.get());
   return 0;
 }
 

@@ -79,6 +79,7 @@ int Run() {
     }
   }
   MaybeDumpMetricsJson(s.monitor.get());
+  MaybeDumpMetricsProm(s.monitor.get());
   return 0;
 }
 

@@ -113,6 +113,7 @@ int Run() {
     // Each scenario owns a fresh monitor; the dump keeps the last (largest)
     // scenario's registry, matching the bench_runner metrics-dir convention.
     MaybeDumpMetricsJson(s.monitor.get());
+    MaybeDumpMetricsProm(s.monitor.get());
   }
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {

@@ -132,6 +132,7 @@ int Run() {
     EmitStageLatencies(s.monitor.get(), "server_throughput", label);
   }
   MaybeDumpMetricsJson(s.monitor.get());
+  MaybeDumpMetricsProm(s.monitor.get());
   return 0;
 }
 

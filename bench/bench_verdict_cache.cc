@@ -179,6 +179,7 @@ int Main() {
   }
 
   MaybeDumpMetricsJson(s.monitor.get());
+  MaybeDumpMetricsProm(s.monitor.get());
   return 0;
 }
 

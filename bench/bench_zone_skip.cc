@@ -289,6 +289,7 @@ int Main() {
   }
 
   MaybeDumpMetricsJson(s.monitor.get());
+  MaybeDumpMetricsProm(s.monitor.get());
   if (failures > 0) {
     std::fprintf(stderr, "%d (config, run_len) points mismatched\n", failures);
     return 1;

@@ -243,6 +243,11 @@ inline void EmitStageLatencies(core::EnforcementMonitor* monitor,
 /// next scenario starts from a clean slate.
 inline void ResetMetrics(core::EnforcementMonitor* monitor) {
   monitor->metrics()->Reset();
+  // The decision ledger resets with the registry so its column sums keep
+  // reconciling with the enforce.* counters inside every scenario window
+  // (the registry Reset zeroes the owned counters but, by design, not
+  // external sources like the ledger's running totals).
+  monitor->ledger().Reset();
 }
 
 /// Emits one "<bench>_verdict_memo" JSON line with the verdict-table
@@ -296,6 +301,25 @@ inline void MaybeDumpMetricsJson(core::EnforcementMonitor* monitor) {
   std::fputc('\n', f);
   std::fclose(f);
   std::printf("# metrics json written to %s\n", path);
+}
+
+/// When AAPAC_METRICS_PROM names a file, writes the registry's OpenMetrics
+/// text rendering there — counters/gauges/histograms plus the monitor's
+/// per-(table, purpose, action) decision ledger as labeled series. CI
+/// uploads this as the scrape-format artifact alongside the JSON dump.
+inline void MaybeDumpMetricsProm(core::EnforcementMonitor* monitor) {
+  const char* path = std::getenv("AAPAC_METRICS_PROM");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write openmetrics to %s\n", path);
+    return;
+  }
+  const std::string text =
+      monitor->metrics()->RenderOpenMetrics(&monitor->ledger());
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("# openmetrics written to %s\n", path);
 }
 
 /// All 28 evaluation queries: q1-q8 then r1-r20 (fixed seed so the random

@@ -32,6 +32,7 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
       executor_(db),
       metrics_(std::make_shared<obs::MetricsRegistry>()),
       traces_(std::make_shared<obs::TraceStore>()),
+      profiles_(std::make_shared<obs::ProfileStore>()),
       check_counter_(metrics_->counter("enforce.compliance_checks")),
       ok_counter_(metrics_->counter("enforce.ok")),
       denied_counter_(metrics_->counter("enforce.denied")),
@@ -50,6 +51,15 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   metrics_->RegisterExternalCounter("engine.groups_built", &es.groups_built);
   metrics_->RegisterExternalCounter("engine.rows_output", &es.rows_output);
   metrics_->RegisterExternalCounter("engine.statements", &es.statements);
+  // The decision ledger's running totals join the same surface so
+  // metrics_diff can gate on them; `sum(ledger checks) == ledger_checks ==
+  // (checks of ledger-recorded statements)` is the reconciliation handle.
+  metrics_->RegisterExternalCounter("enforce.ledger_entries",
+                                    ledger_.entries_counter());
+  metrics_->RegisterExternalCounter("enforce.ledger_checks",
+                                    ledger_.checks_counter());
+  metrics_->RegisterExternalCounter("enforce.ledger_statements",
+                                    ledger_.statements_counter());
   // The UDF keeps the registry alive through its capture: a database that
   // outlives the monitor must not invoke a dangling counter.
   auto registry = metrics_;
@@ -81,10 +91,12 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   complies.on_memo_hit = [registry, memo_hits] {
     engine::CheckTally::Bump();
     memo_hits->Add(1);
+    obs::ProfileTally::MemoHit();
   };
   complies.on_memo_fill = [registry, memo_misses, fill_hist](uint64_t ns) {
     memo_misses->Add(1);
     fill_hist->Record(ns);
+    obs::ProfileTally::MemoMiss();
   };
   // Zone-map block settlement (engine/zone_map.h): when a scan decides a
   // whole block against the verdict tables, the per-tuple checks it settles
@@ -98,6 +110,7 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   complies.on_zone_checks = [registry, memo_hits](uint64_t n) {
     engine::CheckTally::Add(n);
     memo_hits->Add(n);
+    obs::ProfileTally::ZoneChecks(n);
   };
   complies.on_zone_block = [registry, blocks_skipped, blocks_bulk,
                             blocks_mixed](int outcome) {
@@ -112,6 +125,7 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
         blocks_mixed->Add(1);
         break;
     }
+    obs::ProfileTally::ZoneBlock(outcome);
   };
   complies.on_zone_resolve = [registry, zone_resolve](uint64_t ns) {
     zone_resolve->Record(ns);
@@ -146,6 +160,9 @@ EnforcementMonitor::~EnforcementMonitor() {
   metrics_->UnregisterExternalCounter("engine.groups_built");
   metrics_->UnregisterExternalCounter("engine.rows_output");
   metrics_->UnregisterExternalCounter("engine.statements");
+  metrics_->UnregisterExternalCounter("enforce.ledger_entries");
+  metrics_->UnregisterExternalCounter("enforce.ledger_checks");
+  metrics_->UnregisterExternalCounter("enforce.ledger_statements");
 }
 
 bool EnforcementMonitor::IsAuthorized(const std::string& user,
@@ -167,6 +184,7 @@ Status EnforcementMonitor::EnableAuditLog() {
     AAPAC_RETURN_NOT_OK(schema.AddColumn({"checks", ValueType::kInt64}));
     AAPAC_RETURN_NOT_OK(schema.AddColumn({"rows", ValueType::kInt64}));
     AAPAC_RETURN_NOT_OK(schema.AddColumn({"trace", ValueType::kInt64}));
+    AAPAC_RETURN_NOT_OK(schema.AddColumn({"profile", ValueType::kInt64}));
     AAPAC_RETURN_NOT_OK(db_->CreateTable(kAuditTable, schema).status());
   }
   audit_enabled_ = true;
@@ -181,10 +199,13 @@ void EnforcementMonitor::AppendAudit(const std::string& user,
   if (!audit_enabled_) return;
   engine::Table* t = db_->FindTable(kAuditTable);
   if (t == nullptr) return;
-  // The calling thread's open trace (0 when tracing is off) makes the audit
-  // row joinable back to its timing breakdown.
+  // The calling thread's open trace and profile (0 when the respective
+  // collection is off) make the audit row joinable back to its timing
+  // breakdown and operator tree.
   const int64_t trace_id =
       static_cast<int64_t>(obs::TraceStore::CurrentId());
+  const int64_t profile_id =
+      static_cast<int64_t>(obs::ProfileStore::CurrentId());
   // Allocate the sequence number and append under one lock so concurrent
   // workers produce gap-free, duplicate-free, insertion-ordered sequences.
   std::lock_guard<std::mutex> lock(audit_mutex_);
@@ -192,8 +213,38 @@ void EnforcementMonitor::AppendAudit(const std::string& user,
                    Value::String(user), Value::String(purpose),
                    Value::String(sql), Value::String(outcome),
                    Value::Int(static_cast<int64_t>(checks)),
-                   Value::Int(rows), Value::Int(trace_id)});
+                   Value::Int(rows), Value::Int(trace_id),
+                   Value::Int(profile_id)});
 }
+
+namespace {
+
+/// Ledger attribution dimension: the statement's primary table — the
+/// left-most base table a SELECT reads (descending through joins and
+/// derived tables). "-" when nothing resolves (authorization denials
+/// happen before parsing, so they always land there).
+const std::string& PrimaryTableOf(const sql::TableRef& ref) {
+  static const std::string kNone = "-";
+  switch (ref.kind()) {
+    case sql::TableRef::Kind::kBaseTable:
+      return static_cast<const sql::BaseTableRef&>(ref).table_name;
+    case sql::TableRef::Kind::kSubquery: {
+      const auto& sub = static_cast<const sql::SubqueryTableRef&>(ref);
+      if (sub.subquery == nullptr || sub.subquery->from.empty()) return kNone;
+      return PrimaryTableOf(*sub.subquery->from[0]);
+    }
+    case sql::TableRef::Kind::kJoin:
+      return PrimaryTableOf(*static_cast<const sql::JoinRef&>(ref).left);
+  }
+  return kNone;
+}
+
+const std::string& PrimaryTable(const sql::SelectStmt& stmt) {
+  static const std::string kNone = "-";
+  return stmt.from.empty() ? kNone : PrimaryTableOf(*stmt.from[0]);
+}
+
+}  // namespace
 
 Result<std::string> EnforcementMonitor::CheckAccess(
     const std::string& purpose, const std::string& user,
@@ -207,6 +258,8 @@ Result<std::string> EnforcementMonitor::CheckAccess(
                                purpose_id + "'";
     obs::TraceStore::SetOutcome("denied");
     obs::TraceStore::SetDenyReason(reason);
+    ledger_.Record("-", purpose_id, "access", "denied", 0, 0,
+                   obs::EnforceTally{});
     AppendAudit(user, purpose_id, sql_for_audit, "denied", 0, 0);
     return Status::PermissionDenied(reason);
   }
@@ -238,12 +291,17 @@ Result<engine::ResultSet> EnforcementMonitor::ExecutePrepared(
     const sql::SelectStmt& stmt, const std::string& sql,
     const std::string& purpose_id, const std::string& user,
     const engine::ParallelSpec& parallel) {
+  // The profile covers exactly the executor's operator tree; it stays open
+  // through AppendAudit so the audit row captures this profile's id.
+  obs::ScopedProfile profile(profiles_.get(), sql, purpose_id, user);
   const uint64_t checks_before = engine::CheckTally::Current();
+  const obs::EnforceTally tally_before = obs::ProfileTally::Snapshot();
   Result<engine::ResultSet> result = [&] {
     obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
     return executor_.Execute(stmt, parallel);
   }();
   const uint64_t checks = engine::CheckTally::Current() - checks_before;
+  const obs::EnforceTally tally = obs::ProfileTally::DeltaSince(tally_before);
   if (checks != 0) check_counter_->Add(checks);
   obs::TraceStore::AddChecks(checks);
   if (result.ok()) {
@@ -254,8 +312,13 @@ Result<engine::ResultSet> EnforcementMonitor::ExecutePrepared(
     obs::TraceStore::SetOutcome("error");
     obs::TraceStore::SetDenyReason(result.status().message());
   }
+  const uint64_t rows =
+      result.ok() ? static_cast<uint64_t>(result->rows.size()) : 0;
+  obs::ProfileStore::SetTotals(checks, rows);
+  ledger_.Record(PrimaryTable(stmt), purpose_id, "select",
+                 result.ok() ? "ok" : "error", rows, checks, tally);
   AppendAudit(user, purpose_id, sql, result.ok() ? "ok" : "error", checks,
-              result.ok() ? static_cast<int64_t>(result->rows.size()) : 0);
+              static_cast<int64_t>(rows));
   return result;
 }
 
@@ -269,6 +332,8 @@ Result<engine::ResultSet> EnforcementMonitor::ExecuteQuery(
   if (!stmt.ok()) {
     error_counter_->Add(1);
     obs::TraceStore::SetDenyReason(stmt.status().message());
+    ledger_.Record("-", purpose_id, "select", "error", 0, 0,
+                   obs::EnforceTally{});
     AppendAudit(user, purpose_id, sql, "error", 0, 0);
     return stmt.status();
   }
@@ -281,9 +346,16 @@ Result<engine::ResultSet> EnforcementMonitor::ExecuteUnrestricted(
   // complies_with explicitly (e.g. replayed rewritten text through the
   // shell) still counts toward the Fig. 6 surface.
   const uint64_t checks_before = engine::CheckTally::Current();
+  const obs::EnforceTally tally_before = obs::ProfileTally::Snapshot();
   Result<engine::ResultSet> result = executor_.ExecuteSql(sql);
   const uint64_t checks = engine::CheckTally::Current() - checks_before;
-  if (checks != 0) check_counter_->Add(checks);
+  if (checks != 0) {
+    check_counter_->Add(checks);
+    // Empty outcome: the run is not an enforcement decision, but its checks
+    // must stay reconcilable with enforce.compliance_checks.
+    ledger_.Record("*", "(unrestricted)", "select", "", 0, checks,
+                   obs::ProfileTally::DeltaSince(tally_before));
+  }
   return result;
 }
 
@@ -457,6 +529,8 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
   if (!user.empty() && !IsAuthorized(user, purpose_id)) {
     denied_counter_->Add(1);
     obs::TraceStore::SetOutcome("denied");
+    ledger_.Record("-", purpose_id, "insert", "denied", 0, 0,
+                   obs::EnforceTally{});
     return Status::PermissionDenied("user '" + user +
                                     "' holds no authorization for purpose '" +
                                     purpose_id + "'");
@@ -489,7 +563,9 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
   if (stmt->select != nullptr) {
     AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(stmt->select.get(), purpose_id));
   }
+  obs::ScopedProfile profile(profiles_.get(), sql, purpose_id, user);
   const uint64_t checks_before = engine::CheckTally::Current();
+  const obs::EnforceTally tally_before = obs::ProfileTally::Snapshot();
   Result<size_t> inserted = [&] {
     obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
     return executor_.ExecuteInsert(*stmt, forced);
@@ -499,8 +575,13 @@ Result<size_t> EnforcementMonitor::ExecuteInsert(const std::string& sql,
   obs::TraceStore::AddChecks(checks);
   (inserted.ok() ? ok_counter_ : error_counter_)->Add(1);
   obs::TraceStore::SetOutcome(inserted.ok() ? "ok" : "error");
+  const uint64_t rows = inserted.ok() ? static_cast<uint64_t>(*inserted) : 0;
+  obs::ProfileStore::SetTotals(checks, rows);
+  ledger_.Record(stmt->table, purpose_id, "insert",
+                 inserted.ok() ? "ok" : "error", rows, checks,
+                 obs::ProfileTally::DeltaSince(tally_before));
   AppendAudit(user, purpose_id, sql, inserted.ok() ? "ok" : "error", checks,
-              inserted.ok() ? static_cast<int64_t>(*inserted) : 0);
+              static_cast<int64_t>(rows));
   return inserted;
 }
 
@@ -513,6 +594,8 @@ Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
   if (!user.empty() && !IsAuthorized(user, purpose_id)) {
     denied_counter_->Add(1);
     obs::TraceStore::SetOutcome("denied");
+    ledger_.Record("-", purpose_id, "update", "denied", 0, 0,
+                   obs::EnforceTally{});
     AppendAudit(user, purpose_id, sql, "denied", 0, 0);
     return Status::PermissionDenied("user '" + user +
                                     "' holds no authorization for purpose '" +
@@ -553,7 +636,9 @@ Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
     stmt->assignments[i].value = std::move(synthetic->items[i].expr);
   }
 
+  obs::ScopedProfile profile(profiles_.get(), sql, purpose_id, user);
   const uint64_t checks_before = engine::CheckTally::Current();
+  const obs::EnforceTally tally_before = obs::ProfileTally::Snapshot();
   Result<size_t> updated = [&] {
     obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
     return executor_.ExecuteUpdate(*stmt);
@@ -563,8 +648,13 @@ Result<size_t> EnforcementMonitor::ExecuteUpdate(const std::string& sql,
   obs::TraceStore::AddChecks(checks);
   (updated.ok() ? ok_counter_ : error_counter_)->Add(1);
   obs::TraceStore::SetOutcome(updated.ok() ? "ok" : "error");
+  const uint64_t rows = updated.ok() ? static_cast<uint64_t>(*updated) : 0;
+  obs::ProfileStore::SetTotals(checks, rows);
+  ledger_.Record(stmt->table, purpose_id, "update",
+                 updated.ok() ? "ok" : "error", rows, checks,
+                 obs::ProfileTally::DeltaSince(tally_before));
   AppendAudit(user, purpose_id, sql, updated.ok() ? "ok" : "error", checks,
-              updated.ok() ? static_cast<int64_t>(*updated) : 0);
+              static_cast<int64_t>(rows));
   return updated;
 }
 
@@ -577,6 +667,8 @@ Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
   if (!user.empty() && !IsAuthorized(user, purpose_id)) {
     denied_counter_->Add(1);
     obs::TraceStore::SetOutcome("denied");
+    ledger_.Record("-", purpose_id, "delete", "denied", 0, 0,
+                   obs::EnforceTally{});
     AppendAudit(user, purpose_id, sql, "denied", 0, 0);
     return Status::PermissionDenied("user '" + user +
                                     "' holds no authorization for purpose '" +
@@ -598,7 +690,9 @@ Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
   AAPAC_RETURN_NOT_OK(rewriter_.Rewrite(synthetic.get(), purpose_id));
   stmt->where = std::move(synthetic->where);
 
+  obs::ScopedProfile profile(profiles_.get(), sql, purpose_id, user);
   const uint64_t checks_before = engine::CheckTally::Current();
+  const obs::EnforceTally tally_before = obs::ProfileTally::Snapshot();
   Result<size_t> removed = [&] {
     obs::ScopedStageTimer timer(execute_hist_, obs::kStageExecute);
     return executor_.ExecuteDelete(*stmt);
@@ -608,8 +702,13 @@ Result<size_t> EnforcementMonitor::ExecuteDelete(const std::string& sql,
   obs::TraceStore::AddChecks(checks);
   (removed.ok() ? ok_counter_ : error_counter_)->Add(1);
   obs::TraceStore::SetOutcome(removed.ok() ? "ok" : "error");
+  const uint64_t rows = removed.ok() ? static_cast<uint64_t>(*removed) : 0;
+  obs::ProfileStore::SetTotals(checks, rows);
+  ledger_.Record(stmt->table, purpose_id, "delete",
+                 removed.ok() ? "ok" : "error", rows, checks,
+                 obs::ProfileTally::DeltaSince(tally_before));
   AppendAudit(user, purpose_id, sql, removed.ok() ? "ok" : "error", checks,
-              removed.ok() ? static_cast<int64_t>(*removed) : 0);
+              static_cast<int64_t>(rows));
   return removed;
 }
 

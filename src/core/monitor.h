@@ -9,7 +9,9 @@
 #include "core/catalog.h"
 #include "core/rewriter.h"
 #include "engine/exec.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/result.h"
 
@@ -161,6 +163,15 @@ class EnforcementMonitor {
   }
   const std::shared_ptr<obs::TraceStore>& traces() const { return traces_; }
 
+  /// Ring of recent operator-level query profiles (\analyze, \profile) and
+  /// the per-(table, purpose, action) enforcement decision ledger
+  /// (\ledger); both are fed by every enforced statement this monitor runs.
+  const std::shared_ptr<obs::ProfileStore>& profiles() const {
+    return profiles_;
+  }
+  obs::DecisionLedger& ledger() { return ledger_; }
+  const obs::DecisionLedger& ledger() const { return ledger_; }
+
   engine::ExecStats& exec_stats() { return executor_.stats(); }
   const QueryRewriter& rewriter() const { return rewriter_; }
   AccessControlCatalog* catalog() { return catalog_; }
@@ -217,12 +228,12 @@ class EnforcementMonitor {
 
   /// Enables the audit trail, in the spirit of the Hippocratic-database
   /// lineage the paper builds on: every enforced statement appends a row to
-  /// audit_log(seq, ui, ap, qy, outcome, checks, rows, trace) — sequence
-  /// number, user, purpose id, SQL text, "ok"/"denied"/"error", compliance
-  /// checks spent on the statement, result/inserted row count and the
-  /// statement's trace id (0 when tracing is off), joinable against the
-  /// \trace ring while the trace is retained. The audit table is ordinary
-  /// SQL-queryable state.
+  /// audit_log(seq, ui, ap, qy, outcome, checks, rows, trace, profile) —
+  /// sequence number, user, purpose id, SQL text, "ok"/"denied"/"error",
+  /// compliance checks spent on the statement, result/inserted row count,
+  /// the statement's trace id (0 when tracing is off) and its profile id (0
+  /// when profiling is off), joinable against the \trace and \profile rings
+  /// while retained. The audit table is ordinary SQL-queryable state.
   Status EnableAuditLog();
   bool audit_enabled() const { return audit_enabled_; }
 
@@ -246,6 +257,8 @@ class EnforcementMonitor {
   // pointers below are cached lookups, stable for the registry's lifetime.
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::shared_ptr<obs::TraceStore> traces_;
+  std::shared_ptr<obs::ProfileStore> profiles_;
+  obs::DecisionLedger ledger_;
   obs::Counter* check_counter_;
   obs::Counter* ok_counter_;
   obs::Counter* denied_counter_;

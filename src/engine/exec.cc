@@ -18,6 +18,7 @@
 #include "engine/vec/kernels.h"
 #include "engine/vec/vec_scan.h"
 #include "engine/zone_map.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -37,6 +38,48 @@ thread_local uint64_t t_check_tally = 0;
 uint64_t CheckTally::Current() { return t_check_tally; }
 void CheckTally::Bump() { ++t_check_tally; }
 void CheckTally::Add(uint64_t n) { t_check_tally += n; }
+
+namespace {
+
+/// Pairs ProfileStore::BeginOp/FinishOp around one executor operator. The
+/// obs layer cannot see the engine's thread-local check tally, so the scope
+/// hands CheckTally readings in at both ends; the destructor closes the
+/// frame with whatever rows were recorded, which keeps the per-thread frame
+/// stack balanced across AAPAC_ASSIGN_OR_RETURN early exits. Children
+/// opened while this scope is live nest one level deeper and their deltas
+/// are subtracted out by FinishOp, so per-operator attribution is exclusive.
+class OpScope {
+ public:
+  explicit OpScope(const char* label, std::string detail = std::string())
+      : op_(obs::ProfileStore::BeginOp(label, detail,
+                                       CheckTally::Current())) {}
+  ~OpScope() {
+    if (op_ != obs::ProfileStore::kNoOp) {
+      obs::ProfileStore::FinishOp(op_, rows_in_, rows_out_,
+                                  CheckTally::Current());
+    }
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  void SetRows(uint64_t in, uint64_t out) {
+    rows_in_ = in;
+    rows_out_ = out;
+  }
+  void SetDetail(const std::string& detail) {
+    if (op_ != obs::ProfileStore::kNoOp) {
+      obs::ProfileStore::SetOpDetail(op_, detail);
+    }
+  }
+
+ private:
+  const size_t op_;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
+};
+
+}  // namespace
 
 namespace {
 
@@ -801,8 +844,12 @@ Status ExecutorImpl::RunMorsels(
   std::vector<std::vector<Row>> parts(num_morsels);
   std::vector<Status> statuses(num_morsels, Status::OK());
   // Checks performed on pool threads; the driver's own morsels land on its
-  // thread-local tally directly and must not be folded twice.
+  // thread-local tally directly and must not be folded twice. The profile
+  // tally follows the same discipline: workers record their per-morsel
+  // delta, the driver folds the combined foreign delta at operator close.
   std::atomic<uint64_t> foreign_checks{0};
+  std::mutex foreign_tally_mu;
+  obs::EnforceTally foreign_tally;
   std::atomic<uint64_t> wait_ns{0};
   std::atomic<uint64_t> exec_ns{0};
   const std::thread::id driver = std::this_thread::get_id();
@@ -814,12 +861,21 @@ Status ExecutorImpl::RunMorsels(
         const Clock::time_point started =
             timed ? Clock::now() : Clock::time_point();
         const uint64_t checks_before = CheckTally::Current();
+        const obs::EnforceTally tally_before = obs::ProfileTally::Snapshot();
         const size_t begin = m * msize;
         const size_t end = std::min(n, begin + msize);
         statuses[m] = body(begin, end, &parts[m]);
         const uint64_t delta = CheckTally::Current() - checks_before;
         if (delta != 0 && std::this_thread::get_id() != driver) {
           foreign_checks.fetch_add(delta, std::memory_order_relaxed);
+        }
+        if (std::this_thread::get_id() != driver) {
+          const obs::EnforceTally tdelta =
+              obs::ProfileTally::DeltaSince(tally_before);
+          if (!tdelta.IsZero()) {
+            std::lock_guard<std::mutex> lock(foreign_tally_mu);
+            foreign_tally.Add(tdelta);
+          }
         }
         if (timed) {
           const Clock::time_point finished = Clock::now();
@@ -838,6 +894,7 @@ Status ExecutorImpl::RunMorsels(
   // Operator close: fold pool-thread check tallies into the calling thread
   // so the monitor's before/after read covers the whole statement.
   CheckTally::Add(foreign_checks.load(std::memory_order_relaxed));
+  obs::ProfileTally::Fold(foreign_tally);
   if (parallel_->metrics != nullptr) {
     parallel_->metrics->counter("engine.morsels_dispatched")->Add(num_morsels);
     if (timed) {
@@ -862,6 +919,7 @@ Status ExecutorImpl::RunMorsels(
 Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
                                         const NeededColumns& needed,
                                         std::vector<PendingConjunct>* pending) {
+  OpScope scan_op("Scan", ref.table_name);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(ref.table_name));
   // Filters bind against the full table schema (scan-level predicates may
   // reference any stored column) and run against the stored rows in place;
@@ -934,6 +992,17 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
   splan.zone_fn =
       splan.zone.valid ? splan.zone.verdicts[0]->function() : nullptr;
 
+  {
+    std::string detail = ref.table_name;
+    if (!ref.alias.empty() && ref.alias != ref.table_name) {
+      detail += " as " + ref.alias;
+    }
+    detail += UseVec(filters) ? " [vec" : " [row";
+    if (splan.zone.valid) detail += "+zone";
+    detail += "]";
+    scan_op.SetDetail(detail);
+  }
+
   if (UseVec(filters)) {
     vec::VecScanExecutor scan(&splan, vec_);
     if (!ShouldParallelize(rows.size())) {
@@ -961,12 +1030,15 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
     }
     scan.Close();
   }
+  scan_op.SetRows(rows.size(), rel.rows.size());
   stats_->rows_materialized += rel.rows.size();
   return rel;
 }
 
 Result<Relation> ExecutorImpl::EvalDerived(
     const sql::SubqueryTableRef& ref, std::vector<PendingConjunct>* pending) {
+  // Opened before the subquery executes so its operators nest underneath.
+  OpScope derived_op("DerivedTable", ref.alias);
   AAPAC_ASSIGN_OR_RETURN(ResultSet rs, Execute(*ref.subquery));
   Relation rel;
   rel.schema.reserve(rs.column_names.size());
@@ -994,6 +1066,7 @@ Result<Relation> ExecutorImpl::EvalDerived(
       if (pass) rel.rows.push_back(std::move(row));
     }
   }
+  derived_op.SetRows(rs.rows.size(), rel.rows.size());
   stats_->rows_materialized += rel.rows.size();
   return rel;
 }
@@ -1028,6 +1101,9 @@ bool TryResolve(const BindingSchema& schema, const sql::Expr& expr,
 Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
                                         const NeededColumns& needed,
                                         std::vector<PendingConjunct>* pending) {
+  // Opened before the inputs evaluate so the child scans nest underneath;
+  // the detail is rewritten once the ON conjuncts are classified.
+  OpScope join_op("Join");
   AAPAC_ASSIGN_OR_RETURN(Relation left, EvalRef(*ref.left, needed, pending));
   AAPAC_ASSIGN_OR_RETURN(Relation right, EvalRef(*ref.right, needed, pending));
 
@@ -1093,6 +1169,7 @@ Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
   if (!equi.empty()) {
     // Hash join: build on the smaller input (serial), probe with the larger.
     const bool build_left = left.rows.size() <= right.rows.size();
+    join_op.SetDetail(build_left ? "hash (build=left)" : "hash (build=right)");
     const Relation& build = build_left ? left : right;
     const Relation& probe = build_left ? right : left;
     auto key_of = [&](const Row& row, bool from_left) {
@@ -1222,12 +1299,14 @@ Result<Relation> ExecutorImpl::EvalJoin(const sql::JoinRef& ref,
     if (use_vec) probe_agg.PublishTo(vec_->metrics);
   } else {
     // Nested-loop join for non-equi conditions.
+    join_op.SetDetail("nested-loop");
     for (const Row& lrow : left.rows) {
       for (const Row& rrow : right.rows) {
         AAPAC_RETURN_NOT_OK(emit(lrow, rrow, &out.rows));
       }
     }
   }
+  join_op.SetRows(left.rows.size() + right.rows.size(), out.rows.size());
   stats_->rows_materialized += out.rows.size();
   return out;
 }
@@ -1249,6 +1328,11 @@ Result<Relation> ExecutorImpl::EvalRef(const sql::TableRef& ref,
 }
 
 Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
+  // Root operator of this (sub)statement: every other scope nests beneath
+  // it, and FinishOp's exclusive accounting credits it with whatever checks
+  // no child operator claimed (e.g. uncorrelated IN-subquery evaluation
+  // during binding).
+  OpScope select_op("Select");
   if (stmt.items.empty()) {
     return Status::InvalidArgument("SELECT list is empty");
   }
@@ -1299,6 +1383,8 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
       root_filters.push_back(std::move(bound));
     }
     if (!root_filters.empty()) {
+      OpScope filter_op("Filter", "residual WHERE");
+      const size_t filter_in = rel.rows.size();
       std::vector<Row> kept;
       kept.reserve(rel.rows.size());
       if (UseVec(root_filters)) {
@@ -1320,6 +1406,7 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
           if (pass) kept.push_back(std::move(row));
         }
       }
+      filter_op.SetRows(filter_in, kept.size());
       rel.rows = std::move(kept);
     }
   }
@@ -1339,6 +1426,7 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
 
   if (!is_aggregate) {
     // Row-at-a-time projection; stars expand to input columns.
+    OpScope project_op("Project");
     struct Projection {
       BoundExprPtr expr;     // Null for direct column copies.
       size_t column = 0;     // Used when expr is null.
@@ -1380,8 +1468,11 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
       }
       result.rows.push_back(std::move(out));
     }
+    project_op.SetRows(rel.rows.size(), result.rows.size());
   } else {
     // Aggregate pipeline: group -> accumulate -> having -> project.
+    OpScope agg_op("Aggregate",
+                   stmt.group_by.empty() ? "global" : "grouped");
     std::vector<AggSpec> agg_specs;
     std::vector<BoundExprPtr> group_exprs;
     for (const auto& g : stmt.group_by) {
@@ -1470,10 +1561,13 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
       }
       result.rows.push_back(std::move(out));
     }
+    agg_op.SetRows(rel.rows.size(), result.rows.size());
   }
 
   // --- DISTINCT. ------------------------------------------------------------
   if (stmt.distinct) {
+    OpScope distinct_op("Distinct");
+    const size_t distinct_in = result.rows.size();
     // Dedup by pointer into `unique`: rows move (never copy) into the kept
     // vector, and the set holds pointers at stable addresses — `unique` is
     // reserved to its maximum size up front, so it never reallocates.
@@ -1498,10 +1592,13 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
       seen.insert(&unique.back());
     }
     result.rows = std::move(unique);
+    distinct_op.SetRows(distinct_in, result.rows.size());
   }
 
   // --- ORDER BY (output columns / aliases / 1-based positions). -------------
   if (!stmt.order_by.empty()) {
+    OpScope sort_op("Sort");
+    sort_op.SetRows(result.rows.size(), result.rows.size());
     struct SortKey {
       size_t column;
       bool descending;
@@ -1548,6 +1645,7 @@ Result<ResultSet> ExecutorImpl::Execute(const sql::SelectStmt& stmt) {
     result.rows.resize(static_cast<size_t>(*stmt.limit));
   }
 
+  select_op.SetRows(rel.rows.size(), result.rows.size());
   stats_->rows_output += result.rows.size();
   return result;
 }

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace aapac::engine {
 
@@ -64,6 +65,7 @@ Status RowScanExecutor::Run(size_t begin, size_t end, std::vector<Row>* sink) {
         // materialized. Settle exactly the checks the direct path would
         // have spent: each tuple that passes the user's filters reaches
         // the compliance tail and pays the per-id short-circuit cost.
+        obs::ProfileTally::ZoneRowsSkipped(bend - pos);
         uint64_t settled = 0;
         if (m == 0 && d.uniform_cost >= 0) {
           settled = static_cast<uint64_t>(bend - pos) *

@@ -1,6 +1,7 @@
 #include "engine/vec/vec.h"
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/env.h"
 
 namespace aapac::engine::vec {
@@ -24,6 +25,12 @@ void VecAggregate::Merge(const VecTally& t) {
   add(fill_ns_, t.fill_ns);
   add(filter_ns_, t.filter_ns);
   add(compliance_ns_, t.compliance_ns);
+  // Merge runs on the thread that produced the tally (the morsel worker for
+  // parallel scans and join probes), so this lands on the correct
+  // per-thread profile tally and the morsel driver's fold keeps per-operator
+  // batch attribution exact at any DOP.
+  obs::ProfileTally::VecBatches(t.batches_formed, t.batches_bypassed,
+                                t.batches_evaluated, t.fallback_rows);
 }
 
 void VecAggregate::PublishTo(obs::MetricsRegistry* metrics) const {

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace aapac::engine::vec {
 
@@ -69,6 +70,7 @@ Status VecScanExecutor::RunBlocks(size_t begin, size_t end,
       case BlockDecision::kSkip: {
         // No tuple survives; settle the checks the per-tuple path would
         // have spent. No batch forms when no per-row work is needed.
+        obs::ProfileTally::ZoneRowsSkipped(bend - pos);
         uint64_t settled = 0;
         Status st;
         if (m == 0 && d.uniform_cost >= 0) {

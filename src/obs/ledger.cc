@@ -1,0 +1,180 @@
+#include "obs/ledger.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace aapac::obs {
+
+namespace {
+
+/// Map key: the three dimensions joined with a separator no identifier
+/// contains, so iteration order is (table, purpose, action).
+std::string KeyOf(const std::string& table, const std::string& purpose,
+                  const std::string& action) {
+  return table + '\x1f' + purpose + '\x1f' + action;
+}
+
+/// OpenMetrics label-value escaping: backslash, double quote and newline.
+std::string EscapeLabel(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void DecisionLedger::Record(const std::string& table,
+                            const std::string& purpose,
+                            const std::string& action, const char* outcome,
+                            uint64_t rows, uint64_t checks,
+                            const EnforceTally& tally) {
+#ifndef AAPAC_OBS_OFF
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = KeyOf(table, purpose, action);
+  auto it = entries_by_key_.find(key);
+  if (it == entries_by_key_.end()) {
+    LedgerEntry e;
+    e.table = table;
+    e.purpose = purpose;
+    e.action = action;
+    it = entries_by_key_.emplace(key, std::move(e)).first;
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  LedgerEntry& e = it->second;
+  ++e.statements;
+  statements_.fetch_add(1, std::memory_order_relaxed);
+  if (outcome != nullptr && *outcome != '\0') {
+    if (std::strcmp(outcome, "ok") == 0) {
+      ++e.allowed;
+    } else if (std::strcmp(outcome, "denied") == 0) {
+      ++e.denied;
+    } else {
+      ++e.errors;
+    }
+  }
+  e.rows += rows;
+  e.checks += checks;
+  if (checks != 0) checks_.fetch_add(checks, std::memory_order_relaxed);
+  e.tally.Add(tally);
+#else
+  (void)table;
+  (void)purpose;
+  (void)action;
+  (void)outcome;
+  (void)rows;
+  (void)checks;
+  (void)tally;
+#endif
+}
+
+std::vector<LedgerEntry> DecisionLedger::Snapshot() const {
+  std::vector<LedgerEntry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(entries_by_key_.size());
+  for (const auto& [key, e] : entries_by_key_) out.push_back(e);
+  return out;
+}
+
+void DecisionLedger::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_by_key_.clear();
+  entries_.store(0, std::memory_order_relaxed);
+  checks_.store(0, std::memory_order_relaxed);
+  statements_.store(0, std::memory_order_relaxed);
+}
+
+std::string DecisionLedger::Render() const {
+  const std::vector<LedgerEntry> entries = Snapshot();
+  if (entries.empty()) return "ledger: no enforcement decisions recorded\n";
+  std::string out;
+  char line[320];
+  std::snprintf(line, sizeof(line), "%-14s %-8s %-7s %6s %5s %6s %5s %10s %12s\n",
+                "table", "purpose", "action", "stmts", "ok", "denied", "error",
+                "rows", "checks");
+  out += line;
+  for (const LedgerEntry& e : entries) {
+    std::snprintf(line, sizeof(line),
+                  "%-14s %-8s %-7s %6llu %5llu %6llu %5llu %10llu %12llu\n",
+                  e.table.c_str(), e.purpose.c_str(), e.action.c_str(),
+                  static_cast<unsigned long long>(e.statements),
+                  static_cast<unsigned long long>(e.allowed),
+                  static_cast<unsigned long long>(e.denied),
+                  static_cast<unsigned long long>(e.errors),
+                  static_cast<unsigned long long>(e.rows),
+                  static_cast<unsigned long long>(e.checks));
+    out += line;
+    const EnforceTally& t = e.tally;
+    if (!t.IsZero()) {
+      std::snprintf(
+          line, sizeof(line),
+          "  attribution: memo=%llu hit/%llu fill  zone-settled=%llu  "
+          "blocks=%llu skip/%llu bulk/%llu mixed  rows skipped=%llu  "
+          "batches=%llu (fallback rows=%llu)\n",
+          static_cast<unsigned long long>(t.memo_hits),
+          static_cast<unsigned long long>(t.memo_misses),
+          static_cast<unsigned long long>(t.zone_checks),
+          static_cast<unsigned long long>(t.blocks_skipped),
+          static_cast<unsigned long long>(t.blocks_bulk),
+          static_cast<unsigned long long>(t.blocks_mixed),
+          static_cast<unsigned long long>(t.rows_zone_skipped),
+          static_cast<unsigned long long>(t.batches_formed),
+          static_cast<unsigned long long>(t.fallback_rows));
+      out += line;
+    }
+  }
+  return out;
+}
+
+void DecisionLedger::AppendOpenMetrics(std::string* out) const {
+  const std::vector<LedgerEntry> entries = Snapshot();
+  if (entries.empty()) return;
+  struct Series {
+    const char* name;
+    uint64_t (*get)(const LedgerEntry&);
+  };
+  static constexpr Series kSeries[] = {
+      {"aapac_ledger_statements", [](const LedgerEntry& e) {
+         return e.statements;
+       }},
+      {"aapac_ledger_allowed", [](const LedgerEntry& e) { return e.allowed; }},
+      {"aapac_ledger_denied", [](const LedgerEntry& e) { return e.denied; }},
+      {"aapac_ledger_errors", [](const LedgerEntry& e) { return e.errors; }},
+      {"aapac_ledger_rows", [](const LedgerEntry& e) { return e.rows; }},
+      {"aapac_ledger_checks", [](const LedgerEntry& e) { return e.checks; }},
+      {"aapac_ledger_memo_hits",
+       [](const LedgerEntry& e) { return e.tally.memo_hits; }},
+      {"aapac_ledger_memo_misses",
+       [](const LedgerEntry& e) { return e.tally.memo_misses; }},
+      {"aapac_ledger_zone_settled_checks",
+       [](const LedgerEntry& e) { return e.tally.zone_checks; }},
+      {"aapac_ledger_blocks_skipped",
+       [](const LedgerEntry& e) { return e.tally.blocks_skipped; }},
+      {"aapac_ledger_blocks_bulk_accepted",
+       [](const LedgerEntry& e) { return e.tally.blocks_bulk; }},
+      {"aapac_ledger_blocks_mixed",
+       [](const LedgerEntry& e) { return e.tally.blocks_mixed; }},
+      {"aapac_ledger_rows_zone_skipped",
+       [](const LedgerEntry& e) { return e.tally.rows_zone_skipped; }},
+  };
+  for (const Series& s : kSeries) {
+    *out += std::string("# TYPE ") + s.name + " counter\n";
+    for (const LedgerEntry& e : entries) {
+      *out += std::string(s.name) + "_total{table=\"" + EscapeLabel(e.table) +
+              "\",purpose=\"" + EscapeLabel(e.purpose) + "\",action=\"" +
+              EscapeLabel(e.action) + "\"} " + std::to_string(s.get(e)) +
+              "\n";
+    }
+  }
+}
+
+}  // namespace aapac::obs

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+
+#include "obs/ledger.h"
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -215,6 +217,45 @@ std::string MetricsRegistry::RenderPrometheusText() const {
     out += pn + "_sum " + FormatUs(s.sum_ns) + "\n";
     out += pn + "_count " + std::to_string(s.count) + "\n";
   }
+  return out;
+}
+
+std::string MetricsRegistry::RenderOpenMetrics(
+    const DecisionLedger* ledger) const {
+  std::string out;
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      const std::string pn = PrometheusName(name);
+      out += "# TYPE " + pn + " counter\n";
+      out += pn + "_total " + std::to_string(c->value()) + "\n";
+    }
+    for (const auto& [name, src] : external_) {
+      const std::string pn = PrometheusName(name);
+      out += "# TYPE " + pn + " counter\n";
+      out += pn + "_total " +
+             std::to_string(src->load(std::memory_order_relaxed)) + "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+      const std::string pn = PrometheusName(name);
+      out += "# TYPE " + pn + " gauge\n";
+      out += pn + " " + std::to_string(g->value()) + "\n";
+      out += "# TYPE " + pn + "_max gauge\n";
+      out += pn + "_max " + std::to_string(g->max_value()) + "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+      const HistogramSnapshot s = h->Snapshot();
+      const std::string pn = PrometheusName(name) + "_us";
+      out += "# TYPE " + pn + " summary\n";
+      out += pn + "{quantile=\"0.5\"} " + FormatUs(s.p50_ns) + "\n";
+      out += pn + "{quantile=\"0.95\"} " + FormatUs(s.p95_ns) + "\n";
+      out += pn + "{quantile=\"0.99\"} " + FormatUs(s.p99_ns) + "\n";
+      out += pn + "_sum " + FormatUs(s.sum_ns) + "\n";
+      out += pn + "_count " + std::to_string(s.count) + "\n";
+    }
+  }
+  if (ledger != nullptr) ledger->AppendOpenMetrics(&out);
+  out += "# EOF\n";
   return out;
 }
 

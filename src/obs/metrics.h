@@ -243,6 +243,15 @@ class MetricsRegistry {
   /// mapped to '_' to satisfy the Prometheus grammar.
   std::string RenderPrometheusText() const;
 
+  /// OpenMetrics text exposition: like RenderPrometheusText but following
+  /// the OpenMetrics conventions — counter samples carry the `_total`
+  /// suffix, the output ends with `# EOF`, and when a ledger is supplied
+  /// its per-(table, purpose, action) totals are appended as labeled
+  /// `aapac_ledger_*` series. This is what `\metrics prom` and the
+  /// AAPAC_METRICS_PROM dump path emit.
+  std::string RenderOpenMetrics(const class DecisionLedger* ledger =
+                                    nullptr) const;
+
   /// Zeroes every owned counter, gauge and histogram (external counters are
   /// left to their owners). Benches call this between scenarios so reported
   /// percentiles cover exactly one scenario.

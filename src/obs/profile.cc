@@ -1,0 +1,393 @@
+#include "obs/profile.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace aapac::obs {
+
+namespace {
+
+std::atomic<bool> g_profiling_enabled{true};
+
+#ifndef AAPAC_OBS_OFF
+
+// The profile a thread is currently building. Statements execute entirely
+// on their calling thread (morsel fan-out folds back before the operator
+// closes), so one slot per thread is one slot per in-flight statement.
+thread_local QueryProfile t_profile;
+thread_local bool t_profile_active = false;
+
+// This thread's enforcement tally. Never cleared: operator attribution is
+// pure before/after deltas, so worker threads can keep accumulating across
+// statements without coordination.
+thread_local EnforceTally t_tally;
+
+/// One open operator: the begin snapshots plus the inclusive contributions
+/// of already-closed children (subtracted to get the exclusive numbers).
+struct OpFrame {
+  size_t op = ProfileStore::kNoOp;
+  uint64_t checks_begin = 0;
+  EnforceTally tally_begin;
+  uint64_t child_checks = 0;
+  EnforceTally child_tally;
+  std::chrono::steady_clock::time_point t0;
+  bool timed = false;
+};
+
+thread_local std::vector<OpFrame> t_frames;
+
+#endif  // AAPAC_OBS_OFF
+
+uint64_t Sub(uint64_t a, uint64_t b) { return a >= b ? a - b : 0; }
+
+}  // namespace
+
+void SetProfilingEnabled(bool enabled) {
+  g_profiling_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool ProfilingEnabled() {
+#ifndef AAPAC_OBS_OFF
+  return g_profiling_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void EnforceTally::Add(const EnforceTally& o) {
+  memo_hits += o.memo_hits;
+  memo_misses += o.memo_misses;
+  zone_checks += o.zone_checks;
+  blocks_skipped += o.blocks_skipped;
+  blocks_bulk += o.blocks_bulk;
+  blocks_mixed += o.blocks_mixed;
+  rows_zone_skipped += o.rows_zone_skipped;
+  batches_formed += o.batches_formed;
+  batches_bypassed += o.batches_bypassed;
+  batches_evaluated += o.batches_evaluated;
+  fallback_rows += o.fallback_rows;
+}
+
+EnforceTally EnforceTally::Minus(const EnforceTally& o) const {
+  EnforceTally r;
+  r.memo_hits = Sub(memo_hits, o.memo_hits);
+  r.memo_misses = Sub(memo_misses, o.memo_misses);
+  r.zone_checks = Sub(zone_checks, o.zone_checks);
+  r.blocks_skipped = Sub(blocks_skipped, o.blocks_skipped);
+  r.blocks_bulk = Sub(blocks_bulk, o.blocks_bulk);
+  r.blocks_mixed = Sub(blocks_mixed, o.blocks_mixed);
+  r.rows_zone_skipped = Sub(rows_zone_skipped, o.rows_zone_skipped);
+  r.batches_formed = Sub(batches_formed, o.batches_formed);
+  r.batches_bypassed = Sub(batches_bypassed, o.batches_bypassed);
+  r.batches_evaluated = Sub(batches_evaluated, o.batches_evaluated);
+  r.fallback_rows = Sub(fallback_rows, o.fallback_rows);
+  return r;
+}
+
+bool EnforceTally::IsZero() const {
+  return memo_hits == 0 && memo_misses == 0 && zone_checks == 0 &&
+         blocks_skipped == 0 && blocks_bulk == 0 && blocks_mixed == 0 &&
+         rows_zone_skipped == 0 && batches_formed == 0 &&
+         batches_bypassed == 0 && batches_evaluated == 0 && fallback_rows == 0;
+}
+
+#ifndef AAPAC_OBS_OFF
+
+void ProfileTally::MemoHit() { ++t_tally.memo_hits; }
+void ProfileTally::MemoMiss() { ++t_tally.memo_misses; }
+void ProfileTally::ZoneChecks(uint64_t n) {
+  t_tally.zone_checks += n;
+  t_tally.memo_hits += n;  // Mirrors the monitor: settles count as hits.
+}
+void ProfileTally::ZoneBlock(int kind) {
+  switch (kind) {
+    case 0:
+      ++t_tally.blocks_skipped;
+      break;
+    case 1:
+      ++t_tally.blocks_bulk;
+      break;
+    default:
+      ++t_tally.blocks_mixed;
+      break;
+  }
+}
+void ProfileTally::ZoneRowsSkipped(uint64_t n) {
+  t_tally.rows_zone_skipped += n;
+}
+void ProfileTally::VecBatches(uint64_t formed, uint64_t bypassed,
+                              uint64_t evaluated, uint64_t fallback_rows) {
+  t_tally.batches_formed += formed;
+  t_tally.batches_bypassed += bypassed;
+  t_tally.batches_evaluated += evaluated;
+  t_tally.fallback_rows += fallback_rows;
+}
+
+EnforceTally ProfileTally::Snapshot() { return t_tally; }
+
+EnforceTally ProfileTally::DeltaSince(const EnforceTally& before) {
+  return t_tally.Minus(before);
+}
+
+void ProfileTally::Fold(const EnforceTally& foreign) { t_tally.Add(foreign); }
+
+#else  // AAPAC_OBS_OFF
+
+void ProfileTally::MemoHit() {}
+void ProfileTally::MemoMiss() {}
+void ProfileTally::ZoneChecks(uint64_t) {}
+void ProfileTally::ZoneBlock(int) {}
+void ProfileTally::ZoneRowsSkipped(uint64_t) {}
+void ProfileTally::VecBatches(uint64_t, uint64_t, uint64_t, uint64_t) {}
+EnforceTally ProfileTally::Snapshot() { return EnforceTally{}; }
+EnforceTally ProfileTally::DeltaSince(const EnforceTally&) {
+  return EnforceTally{};
+}
+void ProfileTally::Fold(const EnforceTally&) {}
+
+#endif  // AAPAC_OBS_OFF
+
+ProfileStore::ProfileStore(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+uint64_t ProfileStore::Begin(const std::string& sql,
+                             const std::string& purpose,
+                             const std::string& user) {
+#ifndef AAPAC_OBS_OFF
+  if (t_profile_active || !ProfilingEnabled()) return 0;
+  t_profile = QueryProfile{};
+  t_profile.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  t_profile.sql = sql;
+  t_profile.purpose = purpose;
+  t_profile.user = user;
+  t_frames.clear();
+  t_profile_active = true;
+  return t_profile.id;
+#else
+  (void)sql;
+  (void)purpose;
+  (void)user;
+  return 0;
+#endif
+}
+
+void ProfileStore::End() {
+#ifndef AAPAC_OBS_OFF
+  if (!t_profile_active) return;
+  t_profile_active = false;
+  t_frames.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(t_profile));
+  } else {
+    ring_[next_ % capacity_] = std::move(t_profile);
+  }
+  ++next_;
+#endif
+}
+
+size_t ProfileStore::BeginOp(const char* label, const std::string& detail,
+                             uint64_t checks_now) {
+#ifndef AAPAC_OBS_OFF
+  if (!t_profile_active) return kNoOp;
+  OpProfile op;
+  op.label = label;
+  op.detail = detail;
+  op.depth = static_cast<int>(t_frames.size());
+  const size_t index = t_profile.ops.size();
+  t_profile.ops.push_back(std::move(op));
+  OpFrame frame;
+  frame.op = index;
+  frame.checks_begin = checks_now;
+  frame.tally_begin = t_tally;
+  frame.timed = TimingEnabled();
+  if (frame.timed) frame.t0 = std::chrono::steady_clock::now();
+  t_frames.push_back(std::move(frame));
+  return index;
+#else
+  (void)label;
+  (void)detail;
+  (void)checks_now;
+  return kNoOp;
+#endif
+}
+
+void ProfileStore::FinishOp(size_t op, uint64_t rows_in, uint64_t rows_out,
+                            uint64_t checks_now) {
+#ifndef AAPAC_OBS_OFF
+  if (op == kNoOp || !t_profile_active || t_frames.empty()) return;
+  OpFrame frame = std::move(t_frames.back());
+  t_frames.pop_back();
+  if (frame.op != op || frame.op >= t_profile.ops.size()) return;
+  OpProfile& node = t_profile.ops[frame.op];
+  node.rows_in = rows_in;
+  node.rows_out = rows_out;
+  if (frame.timed) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - frame.t0)
+                        .count();
+    node.time_ns = ns < 0 ? 0 : static_cast<uint64_t>(ns);
+  }
+  // Exclusive attribution: this operator's inclusive delta minus what its
+  // children already claimed; the inclusive delta is then credited to the
+  // parent so the subtraction chains up the tree.
+  const uint64_t inclusive_checks = Sub(checks_now, frame.checks_begin);
+  const EnforceTally inclusive_tally = t_tally.Minus(frame.tally_begin);
+  node.checks = Sub(inclusive_checks, frame.child_checks);
+  node.tally = inclusive_tally.Minus(frame.child_tally);
+  if (!t_frames.empty()) {
+    t_frames.back().child_checks += inclusive_checks;
+    t_frames.back().child_tally.Add(inclusive_tally);
+  }
+#else
+  (void)op;
+  (void)rows_in;
+  (void)rows_out;
+  (void)checks_now;
+#endif
+}
+
+void ProfileStore::SetOpDetail(size_t op, const std::string& detail) {
+#ifndef AAPAC_OBS_OFF
+  if (op == kNoOp || !t_profile_active || op >= t_profile.ops.size()) return;
+  t_profile.ops[op].detail = detail;
+#else
+  (void)op;
+  (void)detail;
+#endif
+}
+
+void ProfileStore::SetTotals(uint64_t checks, uint64_t rows) {
+#ifndef AAPAC_OBS_OFF
+  if (!t_profile_active) return;
+  t_profile.total_checks = checks;
+  t_profile.total_rows = rows;
+#else
+  (void)checks;
+  (void)rows;
+#endif
+}
+
+uint64_t ProfileStore::CurrentId() {
+#ifndef AAPAC_OBS_OFF
+  return t_profile_active ? t_profile.id : 0;
+#else
+  return 0;
+#endif
+}
+
+Result<QueryProfile> ProfileStore::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const QueryProfile& p : ring_) {
+    if (p.id == id) return p;
+  }
+  return Status::NotFound("profile " + std::to_string(id) +
+                          " is not in the ring (capacity " +
+                          std::to_string(capacity_) + ")");
+}
+
+Result<QueryProfile> ProfileStore::Last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return Status::NotFound("no profiles recorded yet");
+  const size_t last = (next_ - 1) % capacity_;
+  return ring_[last];
+}
+
+std::string ProfileStore::Render(const QueryProfile& profile) {
+  std::string out = "profile " + std::to_string(profile.id) + "\n";
+  out += "  sql: " + profile.sql + "\n";
+  out += "  purpose: " + profile.purpose;
+  if (!profile.user.empty()) out += "  user: " + profile.user;
+  out += "\n";
+  uint64_t op_checks = 0;
+  EnforceTally sum;
+  for (const OpProfile& op : profile.ops) {
+    op_checks += op.checks;
+    sum.Add(op.tally);
+    std::string line(static_cast<size_t>(op.depth) * 2 + 2, ' ');
+    line += op.label;
+    if (!op.detail.empty()) line += " " + op.detail;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  rows=%llu/%llu",
+                  static_cast<unsigned long long>(op.rows_in),
+                  static_cast<unsigned long long>(op.rows_out));
+    line += buf;
+    if (op.time_ns != 0) {
+      std::snprintf(buf, sizeof(buf), "  time=%.3f us",
+                    static_cast<double>(op.time_ns) / 1000.0);
+      line += buf;
+    }
+    if (op.checks != 0) {
+      std::snprintf(buf, sizeof(buf), "  checks=%llu",
+                    static_cast<unsigned long long>(op.checks));
+      line += buf;
+    }
+    const EnforceTally& t = op.tally;
+    if (t.memo_hits != 0 || t.memo_misses != 0) {
+      std::snprintf(buf, sizeof(buf), "  memo=%llu hit/%llu fill",
+                    static_cast<unsigned long long>(t.memo_hits),
+                    static_cast<unsigned long long>(t.memo_misses));
+      line += buf;
+    }
+    if (t.blocks_skipped != 0 || t.blocks_bulk != 0 || t.blocks_mixed != 0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "  zone=%llu skip/%llu bulk/%llu mixed (settled=%llu, rows "
+          "skipped=%llu)",
+          static_cast<unsigned long long>(t.blocks_skipped),
+          static_cast<unsigned long long>(t.blocks_bulk),
+          static_cast<unsigned long long>(t.blocks_mixed),
+          static_cast<unsigned long long>(t.zone_checks),
+          static_cast<unsigned long long>(t.rows_zone_skipped));
+      line += buf;
+    }
+    if (t.batches_formed != 0 || t.fallback_rows != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  batches=%llu (%llu bypassed/%llu evaluated, fallback "
+                    "rows=%llu)",
+                    static_cast<unsigned long long>(t.batches_formed),
+                    static_cast<unsigned long long>(t.batches_bypassed),
+                    static_cast<unsigned long long>(t.batches_evaluated),
+                    static_cast<unsigned long long>(t.fallback_rows));
+      line += buf;
+    }
+    out += line + "\n";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  checks: total=%llu  attributed to operators=%llu\n",
+                static_cast<unsigned long long>(profile.total_checks),
+                static_cast<unsigned long long>(op_checks));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  attribution: memo=%llu hit/%llu fill  zone-settled=%llu  "
+      "blocks=%llu/%llu/%llu  batches=%llu  rows=%llu\n",
+      static_cast<unsigned long long>(sum.memo_hits),
+      static_cast<unsigned long long>(sum.memo_misses),
+      static_cast<unsigned long long>(sum.zone_checks),
+      static_cast<unsigned long long>(sum.blocks_skipped),
+      static_cast<unsigned long long>(sum.blocks_bulk),
+      static_cast<unsigned long long>(sum.blocks_mixed),
+      static_cast<unsigned long long>(sum.batches_formed),
+      static_cast<unsigned long long>(profile.total_rows));
+  out += buf;
+  return out;
+}
+
+ScopedProfile::ScopedProfile(ProfileStore* store, const std::string& sql,
+                             const std::string& purpose,
+                             const std::string& user)
+    : store_(store) {
+  if (store_ != nullptr && ProfileStore::CurrentId() == 0) {
+    owner_ = store_->Begin(sql, purpose, user) != 0;
+  }
+}
+
+ScopedProfile::~ScopedProfile() {
+  if (owner_) store_->End();
+}
+
+}  // namespace aapac::obs

@@ -374,6 +374,7 @@ ServerSnapshot EnforcementServer::Snapshot() const {
   snap.lock_exclusive = lock_exclusive_->value();
   snap.sessions_active = sessions_.active();
   snap.cache = cache_.stats();
+  snap.ledger = monitor_->ledger().Snapshot();
   snap.vector_enabled = monitor_->vector_enabled();
   const size_t batch_override = monitor_->batch_rows();
   snap.vector_batch_rows =

@@ -15,6 +15,7 @@
 #include "core/monitor.h"
 #include "core/policy.h"
 #include "engine/exec.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/rewrite_cache.h"
@@ -99,6 +100,10 @@ struct ServerSnapshot {
   /// monitor overrode it).
   bool vector_enabled = true;
   size_t vector_batch_rows = 0;
+  /// The monitor's per-(table, purpose, action) enforcement decision ledger
+  /// (obs/ledger.h), ordered by key; column sums reconcile with the
+  /// enforce.* counters.
+  std::vector<obs::LedgerEntry> ledger;
 };
 
 /// Concurrent, session-oriented enforcement service over one

@@ -11,7 +11,9 @@
 #include "core/coverage.h"
 #include "core/policy_parser.h"
 #include "engine/snapshot.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 #include "util/bitstring.h"
@@ -48,8 +50,15 @@ constexpr char kHelp[] =
     "  \\audit [on|<n>]            enable the audit log / show last n rows\n"
     "  \\server                    concurrent-mode status (threads, queue)\n"
     "  \\cache                     rewrite-cache statistics\n"
-    "  \\metrics [json]            registry dump (Prometheus text or JSON)\n"
+    "  \\metrics [json|prom]       registry dump (Prometheus text, JSON or\n"
+    "                             OpenMetrics incl. the decision ledger)\n"
     "  \\trace <id|last>           per-stage timing of a recent statement\n"
+    "  \\analyze <sql>             run a query and show its operator-level\n"
+    "                             profile (rows, time, enforcement "
+    "attribution)\n"
+    "  \\profile <id|last>         re-render a recent query profile\n"
+    "  \\ledger                    per-(table, purpose, action) enforcement\n"
+    "                             decision ledger\n"
     "anything else is SQL, executed under the session purpose/user.";
 
 /// Splits "\cmd rest of line" into (cmd, rest).
@@ -342,17 +351,62 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
       return "audit log is off (enable with \\audit on)";
     }
     auto rs = monitor_->ExecuteUnrestricted(
-        "select seq, ui, ap, outcome, checks, rows, trace, qy from audit_log "
-        "order by seq desc limit " +
+        "select seq, ui, ap, outcome, checks, rows, trace, profile, qy "
+        "from audit_log order by seq desc limit " +
         std::string(arg.empty() ? "10" : arg.c_str()));
     return rs.ok() ? FormatResult(*rs) : "error: " + rs.status().ToString();
   }
   if (cmd == "metrics") {
     if (arg == "json") return monitor_->metrics()->RenderJson();
-    if (!arg.empty()) return "usage: \\metrics [json]";
+    if (arg == "prom") {
+      std::string out =
+          monitor_->metrics()->RenderOpenMetrics(&monitor_->ledger());
+      if (!out.empty() && out.back() == '\n') out.pop_back();
+      return out;
+    }
+    if (!arg.empty()) return "usage: \\metrics [json|prom]";
     std::string out = monitor_->metrics()->RenderPrometheusText();
     if (!out.empty() && out.back() == '\n') out.pop_back();
     return out.empty() ? "(no metrics recorded)" : out;
+  }
+  if (cmd == "analyze") {
+    if (!obs::kObsCompiledIn) {
+      return "profiling compiled out (built with AAPAC_OBS_OFF)";
+    }
+    if (!obs::ProfilingEnabled()) {
+      return "profiling is disabled (SetProfilingEnabled(false))";
+    }
+    if (purpose_.empty()) return "error: set a purpose first (\\purpose)";
+    if (arg.empty()) return "usage: \\analyze <sql>";
+    // Runs through the monitor directly (even in concurrent mode) so the
+    // freshly published profile is deterministically the ring's last entry.
+    auto rs = monitor_->ExecuteQuery(arg, purpose_, user_);
+    if (!rs.ok()) return "error: " + rs.status().ToString();
+    auto profile = monitor_->profiles()->Last();
+    if (!profile.ok()) return "error: " + profile.status().ToString();
+    std::string out = obs::ProfileStore::Render(*profile);
+    if (!out.empty() && out.back() == '\n') out.pop_back();
+    return out;
+  }
+  if (cmd == "profile") {
+    if (!obs::kObsCompiledIn) {
+      return "profiling compiled out (built with AAPAC_OBS_OFF)";
+    }
+    if (arg.empty()) return "usage: \\profile <id|last>";
+    const auto& profiles = monitor_->profiles();
+    auto record =
+        arg == "last"
+            ? profiles->Last()
+            : profiles->Find(std::strtoull(arg.c_str(), nullptr, 10));
+    if (!record.ok()) return "error: " + record.status().ToString();
+    std::string out = obs::ProfileStore::Render(*record);
+    if (!out.empty() && out.back() == '\n') out.pop_back();
+    return out;
+  }
+  if (cmd == "ledger") {
+    std::string out = monitor_->ledger().Render();
+    if (!out.empty() && out.back() == '\n') out.pop_back();
+    return out;
   }
   if (cmd == "trace") {
     if (!obs::kObsCompiledIn) {

@@ -36,6 +36,12 @@ namespace aapac::tools {
 ///                               parse and attach a policy (see
 ///                               core/policy_parser.h for the language)
 ///   \showpolicy <table> <row>   decode one tuple's policy mask back to text
+///   \analyze <sql>              run a query and render its operator-level
+///                               profile (rows, time, enforcement counts)
+///   \profile <id|last>          re-render a profile from the ring buffer
+///   \ledger                     per-(table, purpose, action) decision ledger
+///   \metrics [json|prom]        registry dump; prom = OpenMetrics text
+///                               including the decision ledger series
 ///
 /// The class owns no database state; it drives the catalog/monitor it is
 /// given, which makes it directly unit-testable.

@@ -1,0 +1,102 @@
+// The decision ledger: per-(table, purpose, action) accumulation, outcome
+// bucketing, the external running totals, the \ledger rendering and the
+// OpenMetrics labeled series.
+
+#include "obs/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aapac::obs {
+namespace {
+
+EnforceTally TallyWith(uint64_t hits, uint64_t misses) {
+  EnforceTally t;
+  t.memo_hits = hits;
+  t.memo_misses = misses;
+  return t;
+}
+
+TEST(DecisionLedgerTest, AccumulatesPerKeyAndOrdersSnapshots) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  DecisionLedger ledger;
+  ledger.Record("sensed_data", "p3", "select", "ok", 40, 36, TallyWith(30, 6));
+  ledger.Record("sensed_data", "p3", "select", "ok", 10, 12, TallyWith(12, 0));
+  ledger.Record("sensed_data", "p3", "select", "error", 0, 0, EnforceTally{});
+  ledger.Record("pr", "p1", "update", "denied", 0, 0, EnforceTally{});
+
+  auto snap = ledger.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // Ordered by (table, purpose, action): "pr" < "sensed_data".
+  EXPECT_EQ(snap[0].table, "pr");
+  EXPECT_EQ(snap[0].action, "update");
+  EXPECT_EQ(snap[0].denied, 1u);
+  EXPECT_EQ(snap[1].table, "sensed_data");
+  EXPECT_EQ(snap[1].statements, 3u);
+  EXPECT_EQ(snap[1].allowed, 2u);
+  EXPECT_EQ(snap[1].errors, 1u);
+  EXPECT_EQ(snap[1].rows, 50u);
+  EXPECT_EQ(snap[1].checks, 48u);
+  EXPECT_EQ(snap[1].tally.memo_hits, 42u);
+  EXPECT_EQ(snap[1].tally.memo_misses, 6u);
+
+  // Running totals mirror the map (the enforce.ledger_* counter sources).
+  EXPECT_EQ(ledger.entries_counter()->load(), 2u);
+  EXPECT_EQ(ledger.statements_counter()->load(), 4u);
+  EXPECT_EQ(ledger.checks_counter()->load(), 48u);
+
+  ledger.Reset();
+  EXPECT_TRUE(ledger.Snapshot().empty());
+  EXPECT_EQ(ledger.entries_counter()->load(), 0u);
+}
+
+TEST(DecisionLedgerTest, EmptyOutcomeCountsNoOutcome) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  DecisionLedger ledger;
+  // Unrestricted replays: attribution only, no ok/denied/error bucket.
+  ledger.Record("*", "(unrestricted)", "select", "", 0, 9, TallyWith(9, 0));
+  auto snap = ledger.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].statements, 1u);
+  EXPECT_EQ(snap[0].allowed + snap[0].denied + snap[0].errors, 0u);
+  EXPECT_EQ(snap[0].checks, 9u);
+}
+
+TEST(DecisionLedgerTest, RenderShowsRowsAndAttribution) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  DecisionLedger ledger;
+  EXPECT_NE(ledger.Render().find("no enforcement decisions"),
+            std::string::npos);
+  ledger.Record("sensed_data", "p3", "select", "ok", 40, 36, TallyWith(30, 6));
+  const std::string out = ledger.Render();
+  EXPECT_NE(out.find("sensed_data"), std::string::npos);
+  EXPECT_NE(out.find("select"), std::string::npos);
+  EXPECT_NE(out.find("memo=30 hit/6 fill"), std::string::npos) << out;
+}
+
+TEST(DecisionLedgerTest, OpenMetricsSeriesAreLabeledAndEscaped) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  DecisionLedger ledger;
+  std::string out;
+  ledger.AppendOpenMetrics(&out);
+  EXPECT_TRUE(out.empty());  // Empty ledger emits no families.
+
+  ledger.Record("sensed_data", "p3", "select", "ok", 40, 36, TallyWith(30, 6));
+  ledger.Record("we\"ird", "p1", "insert", "denied", 0, 0, EnforceTally{});
+  ledger.AppendOpenMetrics(&out);
+  EXPECT_NE(out.find("# TYPE aapac_ledger_checks counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("aapac_ledger_checks_total{table=\"sensed_data\","
+                     "purpose=\"p3\",action=\"select\"} 36\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("aapac_ledger_memo_hits_total{table=\"sensed_data\","
+                     "purpose=\"p3\",action=\"select\"} 30\n"),
+            std::string::npos);
+  // Label values are escaped per the OpenMetrics exposition rules.
+  EXPECT_NE(out.find("table=\"we\\\"ird\""), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace aapac::obs

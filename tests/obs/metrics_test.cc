@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/ledger.h"
+
 #include <atomic>
 #include <string>
 #include <vector>
@@ -118,6 +120,46 @@ TEST(ObsMetricsTest, RenderPrometheusMapsDotsToUnderscores) {
   EXPECT_NE(text.find("enforce_ok"), std::string::npos) << text;
   EXPECT_NE(text.find("pipeline_execute"), std::string::npos) << text;
   EXPECT_EQ(text.find("pipeline.execute"), std::string::npos) << text;
+}
+
+TEST(ObsMetricsTest, RenderOpenMetricsUsesTotalSuffixAndEof) {
+  MetricsRegistry reg;
+  reg.counter("enforce.ok")->Add(7);
+  reg.gauge("server.queue_depth")->Set(3);
+  reg.histogram(kStageExecute)->Record(1000);
+  std::atomic<uint64_t> external{11};
+  reg.RegisterExternalCounter("cache.hits", &external);
+
+  const std::string text = reg.RenderOpenMetrics();
+  // Counters (owned and external) carry the _total sample suffix.
+  EXPECT_NE(text.find("# TYPE enforce_ok counter\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("enforce_ok_total 7\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("cache_hits_total 11\n"), std::string::npos) << text;
+  // Gauges expose the live value plus the high-water-mark family.
+  EXPECT_NE(text.find("server_queue_depth 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("server_queue_depth_max 3\n"), std::string::npos);
+  // Histograms render as summaries, same shape as the Prometheus text.
+  EXPECT_NE(text.find("pipeline_execute_us"), std::string::npos) << text;
+  // The exposition ends with the mandatory OpenMetrics terminator.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6) << text;
+  reg.UnregisterExternalCounter("cache.hits");
+}
+
+TEST(ObsMetricsTest, RenderOpenMetricsAppendsLedgerSeries) {
+  MetricsRegistry reg;
+  reg.counter("enforce.ok")->Add(1);
+  DecisionLedger ledger;
+  ledger.Record("pr", "p1", "select", "ok", 5, 9, EnforceTally{});
+  const std::string text = reg.RenderOpenMetrics(&ledger);
+  if (kObsCompiledIn) {
+    EXPECT_NE(text.find("aapac_ledger_checks_total{table=\"pr\",purpose=\""
+                        "p1\",action=\"select\"} 9\n"),
+              std::string::npos)
+        << text;
+  }
+  // The ledger block sits before the terminator.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6) << text;
 }
 
 TEST(ObsMetricsTest, ResetZeroesOwnedMetricsButNotExternals) {

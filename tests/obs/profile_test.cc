@@ -1,0 +1,199 @@
+// The profile store: thread-local open slot, operator frames with exclusive
+// check/tally attribution, ring eviction, the runtime profiling switch and
+// the \analyze rendering.
+
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aapac::obs {
+namespace {
+
+TEST(ProfileStoreTest, PublishAndFindRoundTrip) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ProfileStore store(4);
+  const uint64_t id = store.Begin("select 1 from pr", "p1", "alice");
+  ASSERT_GT(id, 0u);
+  EXPECT_EQ(ProfileStore::CurrentId(), id);
+
+  const size_t op = ProfileStore::BeginOp("Scan", "pr", /*checks_now=*/0);
+  ASSERT_NE(op, ProfileStore::kNoOp);
+  ProfileTally::MemoHit();
+  ProfileTally::MemoMiss();
+  ProfileStore::FinishOp(op, /*rows_in=*/10, /*rows_out=*/4, /*checks_now=*/3);
+  ProfileStore::SetTotals(/*checks=*/3, /*rows=*/4);
+  store.End();
+  EXPECT_EQ(ProfileStore::CurrentId(), 0u);
+
+  auto rec = store.Find(id);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->sql, "select 1 from pr");
+  EXPECT_EQ(rec->purpose, "p1");
+  EXPECT_EQ(rec->user, "alice");
+  EXPECT_EQ(rec->total_checks, 3u);
+  EXPECT_EQ(rec->total_rows, 4u);
+  ASSERT_EQ(rec->ops.size(), 1u);
+  EXPECT_EQ(rec->ops[0].label, "Scan");
+  EXPECT_EQ(rec->ops[0].detail, "pr");
+  EXPECT_EQ(rec->ops[0].rows_in, 10u);
+  EXPECT_EQ(rec->ops[0].rows_out, 4u);
+  EXPECT_EQ(rec->ops[0].checks, 3u);
+  EXPECT_EQ(rec->ops[0].tally.memo_hits, 1u);
+  EXPECT_EQ(rec->ops[0].tally.memo_misses, 1u);
+
+  auto last = store.Last();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->id, id);
+}
+
+TEST(ProfileStoreTest, ExclusiveAttributionSumsToStatementTotal) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ProfileStore store(4);
+  const uint64_t id = store.Begin("q", "p", "");
+  ASSERT_GT(id, 0u);
+
+  // Select { Join { Scan(5 checks), Scan(2 checks) }, 1 residual check }.
+  const size_t select_op = ProfileStore::BeginOp("Select", "", 0);
+  const size_t join_op = ProfileStore::BeginOp("Join", "", 0);
+  const size_t left = ProfileStore::BeginOp("Scan", "l", 0);
+  ProfileTally::ZoneChecks(5);
+  ProfileStore::FinishOp(left, 10, 10, 5);
+  const size_t right = ProfileStore::BeginOp("Scan", "r", 5);
+  ProfileTally::MemoHit();
+  ProfileTally::MemoHit();
+  ProfileStore::FinishOp(right, 4, 4, 7);
+  ProfileStore::FinishOp(join_op, 14, 6, 7);
+  ProfileStore::FinishOp(select_op, 6, 6, 8);
+  ProfileStore::SetTotals(8, 6);
+  store.End();
+
+  auto rec = store.Find(id);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ASSERT_EQ(rec->ops.size(), 4u);
+  uint64_t sum_checks = 0, sum_hits = 0;
+  for (const auto& op : rec->ops) {
+    sum_checks += op.checks;
+    sum_hits += op.tally.memo_hits;
+  }
+  // Exclusive accounting: per-op checks sum to the statement total even
+  // though every ancestor's inclusive window covered the children. The 5
+  // zone settles count as memo hits too (the monitor's counter semantics),
+  // so hits = 5 settled + 2 replays.
+  EXPECT_EQ(sum_checks, rec->total_checks);
+  EXPECT_EQ(sum_hits, 7u);
+  // The scans carry their own checks; join and select only the residual.
+  EXPECT_EQ(rec->ops[0].label, "Select");
+  EXPECT_EQ(rec->ops[0].checks, 1u);
+  EXPECT_EQ(rec->ops[1].label, "Join");
+  EXPECT_EQ(rec->ops[1].checks, 0u);
+  EXPECT_EQ(rec->ops[2].checks, 5u);
+  EXPECT_EQ(rec->ops[2].tally.zone_checks, 5u);
+  EXPECT_EQ(rec->ops[3].checks, 2u);
+  // Depths mirror the nesting for tree rendering.
+  EXPECT_EQ(rec->ops[0].depth, 0);
+  EXPECT_EQ(rec->ops[1].depth, 1);
+  EXPECT_EQ(rec->ops[2].depth, 2);
+  EXPECT_EQ(rec->ops[3].depth, 2);
+}
+
+TEST(ProfileStoreTest, FoldCreditsForeignTallyToTheOpenOperator) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ProfileStore store(4);
+  const uint64_t id = store.Begin("q", "p", "");
+  const size_t op = ProfileStore::BeginOp("Scan", "t", 0);
+  // Simulate the morsel driver folding a pool worker's delta.
+  EnforceTally foreign;
+  foreign.memo_hits = 3;
+  foreign.rows_zone_skipped = 128;
+  ProfileTally::Fold(foreign);
+  ProfileStore::FinishOp(op, 200, 50, 3);
+  store.End();
+
+  auto rec = store.Find(id);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->ops.size(), 1u);
+  EXPECT_EQ(rec->ops[0].tally.memo_hits, 3u);
+  EXPECT_EQ(rec->ops[0].tally.rows_zone_skipped, 128u);
+}
+
+TEST(ProfileStoreTest, RingEvictsOldestAndLastTracksNewest) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ProfileStore store(2);
+  uint64_t first = 0, last_id = 0;
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t id = store.Begin("q" + std::to_string(i), "p", "");
+    if (i == 0) first = id;
+    last_id = id;
+    store.End();
+  }
+  EXPECT_FALSE(store.Find(first).ok());
+  auto last = store.Last();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->id, last_id);
+  EXPECT_EQ(last->sql, "q2");
+}
+
+TEST(ProfileStoreTest, DisabledProfilingSkipsCollectionButKeepsTallies) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ProfileStore store(4);
+  SetProfilingEnabled(false);
+  EXPECT_EQ(store.Begin("q", "p", ""), 0u);
+  EXPECT_EQ(ProfileStore::CurrentId(), 0u);
+  EXPECT_EQ(ProfileStore::BeginOp("Scan", "t", 0), ProfileStore::kNoOp);
+  // The thread-local tally keeps accumulating (it feeds the ledger).
+  const EnforceTally before = ProfileTally::Snapshot();
+  ProfileTally::MemoHit();
+  EXPECT_EQ(ProfileTally::DeltaSince(before).memo_hits, 1u);
+  store.End();  // Must be a harmless no-op without an open profile.
+  SetProfilingEnabled(true);
+  EXPECT_FALSE(store.Last().ok());
+}
+
+TEST(ProfileStoreTest, RenderShowsTreeRowsAndAttribution) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ProfileStore store(4);
+  const uint64_t id = store.Begin("select * from pr", "p3", "bob");
+  const size_t select_op = ProfileStore::BeginOp("Select", "", 0);
+  const size_t scan = ProfileStore::BeginOp("Scan", "pr [row+zone]", 0);
+  ProfileTally::ZoneBlock(0);
+  ProfileTally::ZoneRowsSkipped(64);
+  ProfileStore::FinishOp(scan, 100, 40, 36);
+  ProfileStore::FinishOp(select_op, 40, 40, 36);
+  ProfileStore::SetTotals(36, 40);
+  store.End();
+
+  auto rec = store.Find(id);
+  ASSERT_TRUE(rec.ok());
+  const std::string out = ProfileStore::Render(*rec);
+  EXPECT_NE(out.find("select * from pr"), std::string::npos);
+  EXPECT_NE(out.find("Select"), std::string::npos);
+  EXPECT_NE(out.find("Scan"), std::string::npos);
+  EXPECT_NE(out.find("pr [row+zone]"), std::string::npos);
+  EXPECT_NE(out.find("checks=36"), std::string::npos) << out;
+}
+
+TEST(ProfileStoreTest, ScopedProfileJoinsTheOuterScope) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  ProfileStore store(4);
+  uint64_t outer_id = 0;
+  {
+    ScopedProfile outer(&store, "q", "p", "");
+    outer_id = ProfileStore::CurrentId();
+    ASSERT_GT(outer_id, 0u);
+    {
+      ScopedProfile inner(&store, "q", "p", "");
+      EXPECT_EQ(ProfileStore::CurrentId(), outer_id);
+    }
+    // Inner destruction must not have published or closed the slot.
+    EXPECT_EQ(ProfileStore::CurrentId(), outer_id);
+  }
+  EXPECT_EQ(ProfileStore::CurrentId(), 0u);
+  auto last = store.Last();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->id, outer_id);
+}
+
+}  // namespace
+}  // namespace aapac::obs

@@ -306,6 +306,69 @@ TEST_F(ShellTest, TraceCommandShowsStageBreakdown) {
             std::string::npos);
 }
 
+TEST_F(ShellTest, AnalyzeRendersOperatorProfile) {
+  session_->ProcessLine("\\purpose p1");
+  const std::string out =
+      session_->ProcessLine("\\analyze select user_id from users");
+  if (!obs::kObsCompiledIn) {
+    // Obs-off builds degrade to a one-line notice, never a crash or a
+    // half-rendered tree.
+    EXPECT_NE(out.find("compiled out"), std::string::npos) << out;
+    return;
+  }
+  EXPECT_NE(out.find("select user_id from users"), std::string::npos) << out;
+  EXPECT_NE(out.find("Select"), std::string::npos) << out;
+  EXPECT_NE(out.find("Scan users"), std::string::npos) << out;
+  EXPECT_NE(out.find("checks: total=4"), std::string::npos) << out;
+  // The published profile is retrievable again by id or as `last`.
+  const std::string again = session_->ProcessLine("\\profile last");
+  EXPECT_NE(again.find("Scan users"), std::string::npos) << again;
+  EXPECT_NE(session_->ProcessLine("\\profile").find("usage"),
+            std::string::npos);
+  EXPECT_NE(session_->ProcessLine("\\profile 9999999").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, AnalyzeRequiresPurposeAndSql) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "built with AAPAC_OBS_OFF";
+  EXPECT_NE(session_->ProcessLine("\\analyze select 1 from pr").find("error"),
+            std::string::npos);
+  session_->ProcessLine("\\purpose p1");
+  EXPECT_NE(session_->ProcessLine("\\analyze").find("usage"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, LedgerCommandReconcilesWithChecks) {
+  session_->ProcessLine("\\purpose p1");
+  EXPECT_NE(session_->ProcessLine("\\ledger").find("no enforcement"),
+            std::string::npos);
+  session_->ProcessLine("select user_id from users");
+  const std::string out = session_->ProcessLine("\\ledger");
+  if (!obs::kObsCompiledIn) {
+    EXPECT_NE(out.find("no enforcement"), std::string::npos);
+    return;
+  }
+  EXPECT_NE(out.find("users"), std::string::npos) << out;
+  EXPECT_NE(out.find("select"), std::string::npos) << out;
+  EXPECT_NE(out.find("p1"), std::string::npos) << out;
+  // 4 rows scanned under scattered policies = 4 checks in the ledger row.
+  EXPECT_NE(out.find("4"), std::string::npos) << out;
+}
+
+TEST_F(ShellTest, MetricsPromRendersOpenMetricsWithLedger) {
+  session_->ProcessLine("\\purpose p1");
+  session_->ProcessLine("select user_id from users");
+  const std::string om = session_->ProcessLine("\\metrics prom");
+  EXPECT_NE(om.find("enforce_ok_total 1"), std::string::npos) << om;
+  EXPECT_NE(om.find("# EOF"), std::string::npos) << om;
+  if (obs::kObsCompiledIn) {
+    EXPECT_NE(om.find("aapac_ledger_checks_total{table=\"users\","
+                      "purpose=\"p1\",action=\"select\"} 4"),
+              std::string::npos)
+        << om;
+  }
+}
+
 TEST_F(ShellTest, ExplainNamesDeniedBitsUnderDenyAllPolicies) {
   workload::ScatteredPolicyConfig sp;
   sp.selectivity = 1.0;  // Pass-none policies: every tuple denies p3.

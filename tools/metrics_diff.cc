@@ -11,12 +11,17 @@
 // slack keeps sub-microsecond jitter from failing the build: a regression
 // also needs to exceed 20us in absolute terms before it counts.
 //
+// An unreadable, empty, truncated or otherwise malformed input file is a
+// one-line error with exit 2 — never a crash, and never a silent pass (a
+// half-written dump would otherwise sail through every substring check).
+//
 // --require flips the tool into a presence gate with no baseline: every
 // named metric must appear in the dump, either as a counter (plain number —
 // its value is printed) or as a histogram object. CI uses it to assert that
 // new instrumentation (e.g. enforce.verdict_memo_hits) is actually
 // published by the bench binaries, independent of its value's magnitude.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +32,65 @@
 
 namespace {
 
+/// Well-formedness gate over a registry dump: the file must hold exactly one
+/// JSON object — first non-whitespace byte '{', braces balanced outside of
+/// string literals, nothing but whitespace after the close. A truncated or
+/// corrupted dump dies here with one line (exit 2) rather than crashing or
+/// silently passing every downstream substring check against half a file.
+void CheckWellFormed(const char* path, const std::string& json) {
+  size_t i = 0;
+  while (i < json.size() && std::isspace(static_cast<unsigned char>(json[i]))) {
+    ++i;
+  }
+  const char* reason = nullptr;
+  if (i == json.size()) {
+    reason = "file is empty";
+  } else if (json[i] != '{') {
+    reason = "does not start with '{'";
+  } else {
+    int depth = 0;
+    bool in_string = false;
+    for (; i < json.size(); ++i) {
+      const char c = json[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;  // Skip the escaped character (a trailing '\' just ends).
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          ++i;
+          break;
+        }
+        if (depth < 0) break;
+      }
+    }
+    if (in_string) {
+      reason = "unterminated string";
+    } else if (depth != 0) {
+      reason = "unbalanced braces (truncated dump?)";
+    } else {
+      while (i < json.size() &&
+             std::isspace(static_cast<unsigned char>(json[i]))) {
+        ++i;
+      }
+      if (i != json.size()) reason = "trailing data after top-level object";
+    }
+  }
+  if (reason != nullptr) {
+    std::fprintf(stderr, "metrics_diff: %s is not a metrics JSON dump (%s)\n",
+                 path, reason);
+    std::exit(2);
+  }
+}
+
 std::string ReadFile(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -35,7 +99,9 @@ std::string ReadFile(const char* path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return buf.str();
+  std::string json = buf.str();
+  CheckWellFormed(path, json);
+  return json;
 }
 
 /// Extracts `"field":<number>` from the object value of `"metric":{...}` in a
