@@ -1,0 +1,309 @@
+// StaticVerdict sweep: enforced execution time as a function of how much of
+// the query's compliance work is STATICALLY DECIDABLE at bind time.
+//
+// The verdict memo collapses per-tuple checks to dictionary probes; zone
+// maps settle uniform blocks. The StaticVerdict pass (core/static_verdict.h)
+// is the whole-table limit of that ladder: when every mask in a protected
+// table's interning dictionary agrees on the query's action-signature mask,
+// the conjunct is resolved once at rewrite time — all-allow binds to a
+// constant-true node (zero memo probes, zero policy-column reads; the
+// vectorized kernel settles a whole batch in O(1)), all-deny to constant
+// false (a SELECT short-circuits to its empty result shape).
+//
+// The sweep points name the fraction of the query's compliance conjuncts
+// that are statically decidable:
+//
+//   - "static0"        single-table query, mixed dictionary (4 allow / 4
+//                      deny, fully shuffled): nothing is decidable, the
+//                      memo/zone per-tuple path carries everything.
+//   - "static50"       users JOIN sensed_data: users all-allow (decided),
+//                      sensed_data mixed (per-tuple) — half the conjuncts.
+//   - "static100"      single-table query, all-allow dictionary.
+//   - "static100_deny" single-table query, all-deny dictionary.
+//
+// Each point runs at DOP 1 and 4 (AAPAC_THREADS overrides the list), with
+// the pass off and on in one process. Per-query result rows, byte-rendered
+// result content and compliance-check counts are asserted identical on both
+// legs at every point — marking a conjunct changes what an evaluation
+// costs, never how often it happens, so Fig. 6 counts and the audit trail
+// must not move — and the bench hard-fails otherwise.
+//
+// The headline claim is the static100 point: with every conjunct settled at
+// bind time the enforced query must run within 5% of the UNENFORCED
+// baseline (`within_5pct` in the JSON; timing variance on shared boxes is
+// reported, not asserted, per the established bench discipline).
+//
+// One JSON line per (config, threads):
+//
+//   {"bench":"static_verdict","config":"static100","threads":1,"rows":...,
+//    "original_ms":...,"static_off_ms":...,"static_on_ms":...,
+//    "overhead_off_ms":...,"overhead_on_ms":...,"speedup":...,
+//    "overhead_vs_original":...,"within_5pct":...,"checks_per_query":...,
+//    "rows_out":...,"static_allow":...,"static_deny":...,"static_mixed":...}
+//
+// Knobs: AAPAC_SV_ROWS (users rows, default 60000), AAPAC_SV_RULES (rules
+// per mask, default 64), AAPAC_SV_REPS (timing reps, default 5),
+// AAPAC_THREADS (single DOP override), AAPAC_METRICS_JSON /
+// AAPAC_METRICS_PROM (registry dumps at exit).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/heavy_masks.h"
+#include "bench/scenario.h"
+#include "core/catalog.h"
+#include "engine/table.h"
+#include "obs/metrics.h"
+#include "util/bitstring.h"
+
+namespace aapac::bench {
+namespace {
+
+uint64_t CounterValue(core::EnforcementMonitor* m, const char* name) {
+  return m->metrics()->counter(name)->value();
+}
+
+/// Re-policies `table` with `blobs` assigned round-robin per row (fully
+/// shuffled: run length 1, so zone maps cannot settle mixed populations and
+/// the static0 point isolates the per-tuple path). Each blob is interned
+/// once so its rows share one dictionary id.
+void AssignShuffled(Scenario* s, const std::string& table,
+                    const std::vector<std::string>& blobs) {
+  auto tbl_or = s->catalog->db()->GetTable(table);
+  if (!tbl_or.ok()) std::abort();
+  engine::Table* tbl = *tbl_or;
+  auto policy_col =
+      tbl->schema().FindColumn(core::AccessControlCatalog::kPolicyColumn);
+  if (!policy_col.has_value()) std::abort();
+
+  std::vector<engine::Value> masks;
+  masks.reserve(blobs.size());
+  for (const auto& blob : blobs) {
+    engine::Value v = engine::Value::Bytes(blob);
+    tbl->InternColumnValue(*policy_col, &v);
+    masks.push_back(std::move(v));
+  }
+  for (size_t i = 0; i < tbl->num_rows(); ++i) {
+    tbl->mutable_row(i)[*policy_col] = masks[i % masks.size()];
+  }
+  // Policy bytes changed wholesale; stale version-tagged rewrites and
+  // static-verdict decisions must die.
+  s->catalog->BumpVersion();
+}
+
+struct Leg {
+  double time_ms = 0;
+  size_t rows_out = 0;
+  uint64_t checks = 0;
+  std::string content;  // Byte-rendered rows, compared across legs.
+};
+
+std::string RenderRows(const engine::ResultSet& rs) {
+  std::string out;
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row) {
+      out += v.is_null() ? "NULL" : v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int Main() {
+  const size_t rows = EnvSize("AAPAC_SV_ROWS", 60000);
+  const size_t rules = EnvSize("AAPAC_SV_RULES", 64);
+  const int reps = static_cast<int>(EnvSize("AAPAC_SV_REPS", 5));
+  const size_t distinct = 8;
+
+  Scenario s = BuildScenario(/*patients=*/rows, /*samples=*/1);
+
+  // count(user_id) keeps the aggregate shape (tiny result) while carrying
+  // the per-tuple compliance tail the static pass elides; the join variant
+  // adds a second protected table so half the conjuncts stay mixed.
+  const std::string single_sql = "SELECT count(user_id) FROM users";
+  const std::string single_verify = "SELECT user_id FROM users";
+  const std::string join_sql =
+      "SELECT count(users.user_id) FROM users JOIN sensed_data ON "
+      "users.watch_id = sensed_data.watch_id";
+  const std::string join_verify =
+      "SELECT users.user_id FROM users JOIN sensed_data ON "
+      "users.watch_id = sensed_data.watch_id";
+  const std::string purpose = "p3";
+
+  auto purpose_id = s.catalog->purposes().Resolve(purpose);
+  auto users_layout = s.catalog->LayoutFor("users");
+  auto sensed_layout = s.catalog->LayoutFor("sensed_data");
+  if (!purpose_id.ok() || !users_layout.ok() || !sensed_layout.ok()) {
+    std::fprintf(stderr, "scenario misses purpose/layout for the sweep\n");
+    return 1;
+  }
+
+  // Allow masks end in the pass-all rule, so they admit every query on the
+  // table; deny masks are built entirely from pass-none fillers, so they
+  // deny every query. Both carry `rules` rules of identical byte length so
+  // the un-memoized sweep cost is uniform across the populations, and tag
+  // rules keep all `distinct` blobs distinct (distinct dictionary ids).
+  auto build_population = [&](const core::MaskLayout& layout, bool deny_half,
+                              bool deny_all) {
+    const BitString none = layout.PassNoneRuleMask();
+    std::vector<std::string> blobs;
+    for (uint64_t k = 0; k < distinct; ++k) {
+      const bool deny = deny_all || (deny_half && k % 2 == 1);
+      blobs.push_back(deny ? BuildDenyMask(layout, none, rules, k)
+                           : BuildHeavyMask(layout, none, rules, k));
+    }
+    return blobs;
+  };
+
+  struct Config {
+    const char* name;
+    const std::string* sql;
+    const std::string* verify;
+    bool users_deny_half, users_deny_all;
+    bool uses_sensed;
+  };
+  const Config configs[] = {
+      {"static0", &single_sql, &single_verify, true, false, false},
+      {"static50", &join_sql, &join_verify, false, false, true},
+      {"static100", &single_sql, &single_verify, false, false, false},
+      {"static100_deny", &single_sql, &single_verify, false, true, false},
+  };
+
+  const char* threads_env = std::getenv("AAPAC_THREADS");
+  std::vector<size_t> dops = threads_env != nullptr && *threads_env != '\0'
+                                 ? std::vector<size_t>{EnvThreads()}
+                                 : std::vector<size_t>{1, 4};
+
+  std::printf(
+      "static-verdict sweep: %zu users rows, %zu distinct masks, %zu "
+      "rules/mask\n",
+      rows, distinct, rules);
+  std::printf("%15s %7s %10s %10s %10s %8s %8s %8s %8s\n", "config", "threads",
+              "orig_ms", "off_ms", "on_ms", "speedup", "allow", "deny",
+              "mixed");
+
+  int failures = 0;
+  for (const Config& config : configs) {
+    AssignShuffled(&s, "users",
+                   build_population(*users_layout, config.users_deny_half,
+                                    config.users_deny_all));
+    if (config.uses_sensed) {
+      // Half the join's conjuncts stay mixed: sensed_data gets 4 allow / 4
+      // deny while users is uniformly allowing.
+      AssignShuffled(&s, "sensed_data",
+                     build_population(*sensed_layout, /*deny_half=*/true,
+                                      /*deny_all=*/false));
+    }
+    for (size_t threads : dops) {
+      AttachParallelism(&s, threads);
+
+      auto run = [&](const std::string& q) {
+        auto rs = s.monitor->ExecuteQuery(q, purpose);
+        if (!rs.ok()) std::abort();
+        return *std::move(rs);
+      };
+      auto measure = [&](bool static_on) {
+        s.monitor->SetStaticVerdictEnabled(static_on);
+        Leg leg;
+        engine::ResultSet verify = run(*config.verify);  // Warm + verify.
+        leg.rows_out = verify.rows.size();
+        const uint64_t before = s.monitor->compliance_checks();
+        run(*config.verify);
+        leg.checks = s.monitor->compliance_checks() - before;
+        leg.content = RenderRows(verify) + RenderRows(run(*config.sql));
+        leg.time_ms = TimeMs([&] { run(*config.sql); }, reps);
+        return leg;
+      };
+
+      const double original_ms = TimeMs(
+          [&] {
+            auto rs = s.monitor->ExecuteUnrestricted(*config.sql);
+            if (!rs.ok()) std::abort();
+          },
+          reps);
+      const Leg off = measure(/*static_on=*/false);
+      const uint64_t allow_before =
+          CounterValue(s.monitor.get(), obs::kStaticAllow);
+      const uint64_t deny_before =
+          CounterValue(s.monitor.get(), obs::kStaticDeny);
+      const uint64_t mixed_before =
+          CounterValue(s.monitor.get(), obs::kStaticMixed);
+      const Leg on = measure(/*static_on=*/true);
+      const uint64_t allow =
+          CounterValue(s.monitor.get(), obs::kStaticAllow) - allow_before;
+      const uint64_t deny =
+          CounterValue(s.monitor.get(), obs::kStaticDeny) - deny_before;
+      const uint64_t mixed =
+          CounterValue(s.monitor.get(), obs::kStaticMixed) - mixed_before;
+
+      // The pass must be invisible to everything but the clock.
+      if (on.rows_out != off.rows_out || on.checks != off.checks ||
+          on.content != off.content) {
+        std::fprintf(
+            stderr,
+            "MISMATCH %s threads=%zu: rows %zu vs %zu, checks %llu vs %llu, "
+            "contents %s\n",
+            config.name, threads, on.rows_out, off.rows_out,
+            static_cast<unsigned long long>(on.checks),
+            static_cast<unsigned long long>(off.checks),
+            on.content == off.content ? "equal" : "DIFFER");
+        ++failures;
+        continue;
+      }
+
+      const double overhead_off = std::max(off.time_ms - original_ms, 0.0);
+      const double overhead_on = std::max(on.time_ms - original_ms, 0.001);
+      const double speedup = overhead_off / overhead_on;
+      // The static100 headline: enforced-with-pass time vs the unenforced
+      // floor. 1.0 means free enforcement.
+      const double vs_original =
+          original_ms > 0 ? on.time_ms / original_ms : 0.0;
+      const bool within_5pct = vs_original <= 1.05;
+      std::printf("%15s %7zu %10.3f %10.3f %10.3f %7.2fx %8llu %8llu %8llu\n",
+                  config.name, threads, original_ms, off.time_ms, on.time_ms,
+                  speedup, static_cast<unsigned long long>(allow),
+                  static_cast<unsigned long long>(deny),
+                  static_cast<unsigned long long>(mixed));
+      JsonLine("static_verdict")
+          .Str("config", config.name)
+          .Int("threads", threads)
+          .Int("rows", rows)
+          .Int("distinct", distinct)
+          .Int("rules", rules)
+          .Num("original_ms", original_ms)
+          .Num("static_off_ms", off.time_ms)
+          .Num("static_on_ms", on.time_ms)
+          .Num("overhead_off_ms", overhead_off)
+          .Num("overhead_on_ms", overhead_on)
+          .Num("speedup", speedup)
+          .Num("overhead_vs_original", vs_original)
+          .Int("within_5pct", within_5pct ? 1 : 0)
+          .Int("checks_per_query", on.checks)
+          .Int("rows_out", on.rows_out)
+          .Int("static_allow", allow)
+          .Int("static_deny", deny)
+          .Int("static_mixed", mixed)
+          .Emit();
+    }
+  }
+  s.monitor->SetStaticVerdictEnabled(true);
+
+  MaybeDumpMetricsJson(s.monitor.get());
+  MaybeDumpMetricsProm(s.monitor.get());
+  if (failures > 0) {
+    std::fprintf(stderr, "%d (config, threads) points mismatched\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace aapac::bench
+
+int main() { return aapac::bench::Main(); }

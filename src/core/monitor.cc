@@ -9,6 +9,7 @@
 #include "core/signature_builder.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "util/env.h"
 
 namespace aapac::core {
 
@@ -28,6 +29,7 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
                                        AccessControlCatalog* catalog)
     : db_(db),
       catalog_(catalog),
+      static_pass_(catalog),
       rewriter_(catalog),
       executor_(db),
       metrics_(std::make_shared<obs::MetricsRegistry>()),
@@ -41,6 +43,7 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
       rewrite_hist_(metrics_->histogram(obs::kStageRewrite)),
       execute_hist_(metrics_->histogram(obs::kStageExecute)) {
   rewriter_.BindMetrics(metrics_.get());
+  rewriter_.AttachStaticVerdict(&static_pass_);
   // Executor counters join the registry surface as external views; the
   // executor is a member, so they are unregistered in the destructor before
   // any shared registry holder could read freed storage.
@@ -130,19 +133,35 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   complies.on_zone_resolve = [registry, zone_resolve](uint64_t ns) {
     zone_resolve->Record(ns);
   };
+  // Static-verdict settlement (core/static_verdict.h): a bind-time uniform
+  // verdict answers per-tuple checks without touching the policy column.
+  // Each settled check still counts — same contract as on_zone_checks — and
+  // is folded into memo hits so hits + misses keeps partitioning the total.
+  obs::Counter* static_checks = metrics_->counter(obs::kStaticChecks);
+  complies.on_static_checks = [registry, memo_hits,
+                               static_checks](uint64_t n) {
+    engine::CheckTally::Add(n);
+    memo_hits->Add(n);
+    static_checks->Add(n);
+    obs::ProfileTally::StaticChecks(n);
+  };
   db_->functions().Register(std::move(complies));
   // Kill switch: force the per-tuple path for every scan (ablations, the
   // differential harness, and emergency rollback if a zone decision were
   // ever suspected of diverging from the direct path).
-  const char* zoff = std::getenv("AAPAC_ZONEMAP_OFF");
-  if (zoff != nullptr && *zoff != '\0' && std::string(zoff) != "0") {
+  if (util::EnvFlagSet("AAPAC_ZONEMAP_OFF")) {
     executor_.set_zone_map_enabled(false);
   }
   // Same shape of kill switch for the vectorized executor: force the
   // row-at-a-time path for every filter pass.
-  const char* voff = std::getenv("AAPAC_VECTOR_OFF");
-  if (voff != nullptr && *voff != '\0' && std::string(voff) != "0") {
+  if (util::EnvFlagSet("AAPAC_VECTOR_OFF")) {
     executor_.set_vector_enabled(false);
+  }
+  // And for the StaticVerdict pass: stop marking fresh conjuncts AND stop
+  // honouring marks on cached ASTs (both sides, so the switch is airtight
+  // across the server's rewrite cache).
+  if (util::EnvFlagSet("AAPAC_STATIC_OFF")) {
+    SetStaticVerdictEnabled(false);
   }
   // Publish the vectorized executor's enforce.batches_* / vec.* metrics
   // into the monitor's registry.
@@ -488,6 +507,53 @@ void DescribeSignature(const AccessControlCatalog& catalog,
   }
 }
 
+// One line per (protected table, action-signature mask) of the query: the
+// StaticVerdict decision class and why — dictionary sweep tallies, untracked
+// blocks, or the missing dictionary that forced mixed. Uses the same pass
+// (and decision cache) enforcement itself consults, so \explain reports the
+// decision the next execution will actually take.
+void DescribeStaticVerdicts(const AccessControlCatalog& catalog,
+                            const StaticVerdictPass& pass,
+                            const QuerySignature& qs, std::string* out) {
+  for (const TableSignature& ts : qs.tables) {
+    if (!catalog.IsProtected(ts.table)) continue;
+    auto layout = catalog.LayoutFor(ts.table);
+    if (!layout.ok()) continue;
+    for (const ActionSignature& as : ts.actions) {
+      auto mask = layout->EncodeActionSignature(as, qs.purpose);
+      if (!mask.ok()) continue;
+      const StaticVerdictPass::Decision d =
+          pass.Classify(ts.table, mask->ToBytes());
+      *out += "  " + ts.table + " " + as.ToString() + ": ";
+      switch (d.cls) {
+        case 1:
+          *out += "all-allow (conjunct settles constant-true";
+          break;
+        case 2:
+          *out += "all-deny (conjunct settles constant-false";
+          break;
+        default:
+          *out += "mixed (per-tuple memo/zone path";
+          break;
+      }
+      if (!d.has_dict) {
+        *out += "; no policy dictionary)";
+      } else if (d.untracked_blocks > 0) {
+        *out += "; " + std::to_string(d.untracked_blocks) +
+                " untracked block(s))";
+      } else {
+        *out += "; dictionary " + std::to_string(d.allowed) + " allow / " +
+                std::to_string(d.denied) + " deny of " +
+                std::to_string(d.dict_size) + ")";
+      }
+      *out += "\n";
+    }
+  }
+  for (const auto& sub : qs.subqueries) {
+    DescribeStaticVerdicts(catalog, pass, *sub, out);
+  }
+}
+
 }  // namespace
 
 Result<std::string> EnforcementMonitor::ExplainQuery(
@@ -514,7 +580,13 @@ Result<std::string> EnforcementMonitor::ExplainQuery(
   }
   out += "\n== rewritten query ==\n";
   out += sql::ToSql(*stmt);
-  out += "\n== compliance analysis ==\n";
+  out += "\n== static verdict ==\n";
+  if (!rewriter_.static_verdict_enabled()) {
+    out += "disabled (AAPAC_STATIC_OFF / SetStaticVerdictEnabled)\n";
+  } else {
+    DescribeStaticVerdicts(*catalog_, static_pass_, *qs, &out);
+  }
+  out += "== compliance analysis ==\n";
   AnalyzeCompliance(*catalog_, db_, *qs, &out);
   return out;
 }

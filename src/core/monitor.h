@@ -8,6 +8,7 @@
 
 #include "core/catalog.h"
 #include "core/rewriter.h"
+#include "core/static_verdict.h"
 #include "engine/exec.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
@@ -218,6 +219,27 @@ class EnforcementMonitor {
   void SetBatchRows(size_t rows) { executor_.set_batch_rows(rows); }
   size_t batch_rows() const { return executor_.batch_rows(); }
 
+  /// Kill switch for the bind-time StaticVerdict pass, set on BOTH sides:
+  /// the rewriter stops stamping static classes onto fresh conjuncts, and
+  /// the executor ignores classes already stamped onto cached ASTs — so
+  /// flipping the switch takes effect even for statements the server's
+  /// rewrite cache prepared earlier. Results and check counts must not
+  /// change (asserted by the differential harness and its static-off leg).
+  /// Also settable at construction via the AAPAC_STATIC_OFF environment
+  /// knob.
+  void SetStaticVerdictEnabled(bool enabled) {
+    rewriter_.SetStaticVerdictEnabled(enabled);
+    executor_.set_static_verdict_enabled(enabled);
+  }
+  bool static_verdict_enabled() const {
+    return rewriter_.static_verdict_enabled();
+  }
+
+  /// The StaticVerdict pass (decision cache + stats); owned by the monitor,
+  /// shared with the rewriter.
+  const StaticVerdictPass& static_pass() const { return static_pass_; }
+  StaticVerdictPass& static_pass() { return static_pass_; }
+
   /// Enables role-based purpose authorization: users may then hold a
   /// purpose either directly (table Pa) or through a role (tables Rr/Ur).
   /// Pass nullptr to disable again. The manager must outlive the monitor.
@@ -249,6 +271,8 @@ class EnforcementMonitor {
 
   engine::Database* db_;
   AccessControlCatalog* catalog_;
+  // Declared before rewriter_: the constructor attaches a pointer to it.
+  StaticVerdictPass static_pass_;
   QueryRewriter rewriter_;
   engine::Executor executor_;
   // Monitor-wide parallelism default (serial unless SetParallelism).

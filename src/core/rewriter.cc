@@ -370,6 +370,20 @@ Status QueryRewriter::RewriteLevel(sql::SelectStmt* stmt,
       AAPAC_ASSIGN_OR_RETURN(BitString mask,
                              layout.EncodeActionSignature(as, purpose));
       ExprPtr call = MakeComplianceCall(mask.ToBinary(), ts.binding);
+      if (static_pass_ != nullptr && static_enabled_) {
+        // StaticVerdict pass: resolve the mask against the table's full
+        // dictionary-wide verdict vector and stamp a uniform outcome into
+        // the conjunct. Marking never changes how often the conjunct is
+        // evaluated — only what each evaluation costs — so Fig. 6 check
+        // counts stay identical with the pass on or off.
+        const StaticVerdictPass::Decision d =
+            static_pass_->Classify(ts.table, mask.ToBytes());
+        static_cast<sql::FuncCallExpr*>(call.get())->static_class = d.cls;
+        obs::Counter* c = d.cls == 1   ? static_allow_
+                          : d.cls == 2 ? static_deny_
+                                       : static_mixed_;
+        if (c != nullptr) c->Add(1);
+      }
       checks = checks == nullptr
                    ? std::move(call)
                    : std::make_unique<sql::BinaryExpr>(

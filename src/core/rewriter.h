@@ -5,6 +5,7 @@
 
 #include "core/catalog.h"
 #include "core/signature_builder.h"
+#include "core/static_verdict.h"
 #include "obs/metrics.h"
 #include "sql/ast.h"
 #include "util/result.h"
@@ -50,7 +51,28 @@ class QueryRewriter {
   void BindMetrics(obs::MetricsRegistry* registry) {
     derive_hist_ =
         registry == nullptr ? nullptr : registry->histogram(obs::kStageDerive);
+    static_allow_ =
+        registry == nullptr ? nullptr : registry->counter(obs::kStaticAllow);
+    static_deny_ =
+        registry == nullptr ? nullptr : registry->counter(obs::kStaticDeny);
+    static_mixed_ =
+        registry == nullptr ? nullptr : registry->counter(obs::kStaticMixed);
   }
+
+  /// Points the rewriter at a StaticVerdict pass (owned by the monitor):
+  /// every injected complies_with conjunct is then classified at rewrite
+  /// time against the table's dictionary-wide verdict vector, and uniform
+  /// verdicts are stamped into the conjunct (FuncCallExpr::static_class)
+  /// for the executor's constant-verdict binding. nullptr (the default)
+  /// disables classification entirely.
+  void AttachStaticVerdict(StaticVerdictPass* pass) { static_pass_ = pass; }
+  const StaticVerdictPass* static_pass() const { return static_pass_; }
+
+  /// Kill switch for the StaticVerdict pass (rewriter side: stop producing
+  /// marks; the executor ignores surviving marks through its own flag).
+  /// Also settable at monitor construction via AAPAC_STATIC_OFF.
+  void SetStaticVerdictEnabled(bool enabled) { static_enabled_ = enabled; }
+  bool static_verdict_enabled() const { return static_enabled_; }
 
  private:
   Status RewriteLevel(sql::SelectStmt* stmt, const std::string& purpose) const;
@@ -63,6 +85,12 @@ class QueryRewriter {
   const AccessControlCatalog* catalog_;
   SignatureBuilder builder_;
   obs::Histogram* derive_hist_ = nullptr;  // Owned by the bound registry.
+  // Static-verdict classification (owned by the monitor / bound registry).
+  StaticVerdictPass* static_pass_ = nullptr;
+  bool static_enabled_ = true;
+  obs::Counter* static_allow_ = nullptr;
+  obs::Counter* static_deny_ = nullptr;
+  obs::Counter* static_mixed_ = nullptr;
 };
 
 }  // namespace aapac::core

@@ -1,0 +1,107 @@
+#include "core/static_verdict.h"
+
+#include <unordered_set>
+
+#include "core/compliance.h"
+#include "engine/table.h"
+#include "engine/zone_map.h"
+
+namespace aapac::core {
+
+StaticVerdictPass::Decision StaticVerdictPass::Classify(
+    const std::string& table, const std::string& mask_bytes) const {
+  Decision d;
+  d.catalog_version = catalog_->version();
+  Result<engine::Table*> tr = catalog_->db()->GetTable(table);
+  if (!tr.ok()) return d;
+  engine::Table* t = *tr;
+  d.intern_version = t->intern_version();
+
+  const std::string key = table + '\0' + mask_bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (it->second.catalog_version == d.catalog_version &&
+          it->second.intern_version == d.intern_version) {
+        ++stats_.hits;
+        return it->second;
+      }
+      ++stats_.invalidations;
+      cache_.erase(it);
+    }
+    ++stats_.misses;
+  }
+
+  const auto store = [&](const Decision& dec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[key] = dec;
+    return dec;
+  };
+
+  const engine::PolicyDictionary* dict = t->policy_dict();
+  if (dict == nullptr || !t->intern_column().has_value()) {
+    return store(d);  // No dictionary: nothing to classify against.
+  }
+  d.has_dict = true;
+  d.dict_size = dict->size();
+
+  // The dictionary covers the table only when every row's policy value went
+  // through it. Rebuild dirty zone-map blocks (the scan's own lazy rebuild,
+  // shared-lock safe), then demand zero untracked blocks — one NULL or
+  // un-interned policy anywhere makes the sweep non-covering.
+  t->EnsureZoneCurrent();
+  const engine::PolicyZoneMap* zone = t->zone_map();
+  if (zone == nullptr) return store(d);
+  const engine::PolicyZoneMap::Stats zs = zone->stats();
+  d.untracked_blocks = zs.untracked_blocks;
+  if (zs.untracked_blocks > 0 || zs.dirty_blocks > 0) return store(d);
+
+  // The dictionary never shrinks, so blobs no live row carries anymore
+  // would demote every re-policied table to mixed forever. The clean block
+  // summaries enumerate exactly the ids live rows carry — union them and
+  // sweep only those. A block with more distinct ids than the summary holds
+  // (overflow) loses the enumeration; fall back to the conservative
+  // full-dictionary sweep there, where staleness can demote but never
+  // promote.
+  std::unordered_set<uint32_t> live;
+  bool overflow = false;
+  for (size_t b = 0; b < zone->num_blocks() && !overflow; ++b) {
+    const engine::PolicyZoneMap::BlockSummary& bs = zone->block(b);
+    if (bs.overflow) {
+      overflow = true;
+      break;
+    }
+    for (uint8_t i = 0; i < bs.num_ids; ++i) live.insert(bs.ids[i]);
+  }
+
+  uint64_t considered = 0;
+  dict->ForEach([&](const std::string& blob, uint32_t id) {
+    if (!overflow && live.count(id) == 0) return;
+    ++considered;
+    if (CompliesWithPacked(mask_bytes, blob)) {
+      ++d.allowed;
+    } else {
+      ++d.denied;
+    }
+  });
+  d.dict_size = considered;
+  if (!overflow && considered < live.size()) {
+    // A live id missing from the dictionary (cannot happen through the
+    // supported write paths): refuse to conclude anything.
+    return store(d);
+  }
+  if (considered == 0) {
+    // No live ids and zero untracked blocks means zero rows (a row without
+    // an interned policy would have flagged its block): any verdict is
+    // vacuously uniform, and allow keeps the conjunct cost-free.
+    d.cls = t->num_rows() == 0 ? 1 : 0;
+  } else if (d.denied == 0) {
+    d.cls = 1;
+  } else if (d.allowed == 0) {
+    d.cls = 2;
+  }
+  return store(d);
+}
+
+}  // namespace aapac::core

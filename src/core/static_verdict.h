@@ -1,0 +1,114 @@
+#ifndef AAPAC_CORE_STATIC_VERDICT_H_
+#define AAPAC_CORE_STATIC_VERDICT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/catalog.h"
+
+namespace aapac::core {
+
+/// Query-level static compliance (the whole-table lift of the zone-map
+/// idea): at rewrite time, a compliance conjunct's action-signature mask is
+/// resolved against *every* distinct policy the protected table can hold —
+/// the table's interning dictionary (engine/policy_dict.h). When every
+/// interned policy allows the mask, each per-tuple check is a foregone
+/// conclusion and the conjunct is marked all-allow (static_class 1): it
+/// binds to a constant-verdict node with zero memo probes and zero policy
+/// column reads. When every policy denies it, the conjunct is marked
+/// all-deny (static_class 2) and a SELECT short-circuits to its empty
+/// result shape as soon as row flow reaches the conjunct. Genuinely mixed
+/// dictionaries — or any state the pass cannot prove uniform — fall through
+/// unmarked to the memo/zone-map/vectorized path.
+///
+/// Soundness: the dictionary covers the table only when every row's policy
+/// value actually went through it. The pass therefore demands, after a
+/// zone-map rebuild, zero untracked blocks (no NULL / un-interned policy
+/// values anywhere) and classifies everything else as mixed. The sweep
+/// itself runs over the LIVE id set — the union of the clean zone-map block
+/// summaries, which enumerate exactly the ids live rows carry — so stale
+/// dictionary entries (blobs no row carries anymore; the dictionary never
+/// shrinks) do not demote a re-policied table. Only when a block overflowed
+/// its distinct-id capacity does the pass fall back to the full-dictionary
+/// sweep, where staleness can demote a uniform verdict to mixed but never
+/// promote one: fallback costs performance, not correctness.
+///
+/// Decisions are cached keyed on (table, mask bytes) and tagged with the
+/// catalog version and the table's intern_version — a counter every table
+/// write path bumps unconditionally — so any policy mutation, DML or
+/// re-interning demotes the cached decision to a recompute on next use.
+///
+/// Thread safety: Classify may run concurrently from server workers holding
+/// the shared data lock (the cache has its own mutex; the zone-map rebuild
+/// it triggers serializes internally, same as a scan's). It must not run
+/// concurrently with writers — the same single-writer contract every read
+/// of table data already has.
+class StaticVerdictPass {
+ public:
+  /// One classification outcome, with enough context for \explain to say
+  /// not just what was decided but why.
+  struct Decision {
+    /// 0 = mixed / undecidable, 1 = all-allow, 2 = all-deny.
+    int cls = 0;
+    /// Sweep tallies over the ids considered — the live id set from the
+    /// zone-map block summaries, or the full dictionary when a block
+    /// overflowed (allowed + denied == dict_size when the sweep ran; all 0
+    /// when the pass bailed before sweeping).
+    uint64_t allowed = 0;
+    uint64_t denied = 0;
+    uint64_t dict_size = 0;
+    /// Blocks holding NULL / un-interned policy values; > 0 forces mixed.
+    uint64_t untracked_blocks = 0;
+    /// Whether the table routes its policy column through a dictionary at
+    /// all (false forces mixed: nothing to classify against).
+    bool has_dict = false;
+    /// Versions the decision is valid for.
+    uint64_t catalog_version = 0;
+    uint64_t intern_version = 0;
+  };
+
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// Cached decisions refused because a version tag no longer matched.
+    uint64_t invalidations = 0;
+  };
+
+  /// `catalog` must outlive the pass. Non-const: classification rebuilds
+  /// dirty zone-map blocks (the same lazy rebuild a scan performs).
+  explicit StaticVerdictPass(AccessControlCatalog* catalog)
+      : catalog_(catalog) {}
+
+  /// Classifies `mask_bytes` (a packed action-signature mask, as the
+  /// complies_with UDF receives it) against `table`'s dictionary-wide
+  /// verdict vector. Never fails: anything unprovable is Decision{cls: 0}.
+  Decision Classify(const std::string& table,
+                    const std::string& mask_bytes) const;
+
+  CacheStats cache_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Drops every cached decision (tests force recomputes this way; normal
+  /// invalidation is version-tag mismatch).
+  void ClearCache() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
+
+ private:
+  AccessControlCatalog* catalog_;
+  mutable std::mutex mu_;
+  // Key: table + '\0' + mask bytes (both components are length-free of
+  // '\0'-ambiguity in practice; table names contain no NULs and the mask is
+  // the suffix).
+  mutable std::unordered_map<std::string, Decision> cache_;
+  mutable CacheStats stats_;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_STATIC_VERDICT_H_

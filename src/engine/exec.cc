@@ -263,6 +263,9 @@ class Binder {
   /// Whether the owning executor allows verdict memoization (defined after
   /// ExecutorImpl, whose flag it reads).
   bool MemoizeVerdictsEnabled() const;
+  /// Whether the owning executor honors rewriter static-verdict marks
+  /// (FuncCallExpr::static_class); same definition arrangement.
+  bool StaticVerdictEnabled() const;
 
   const BindingSchema& schema_;
   Database* db_;
@@ -412,14 +415,15 @@ class ExecutorImpl {
   ExecutorImpl(Database* db, ExecStats* stats, bool pushdown = true,
                const ParallelSpec* parallel = nullptr,
                bool verdict_memo = true, bool zone_map = true,
-               const vec::VecSpec* vec = nullptr)
+               const vec::VecSpec* vec = nullptr, bool static_verdict = true)
       : db_(db),
         stats_(stats),
         pushdown_(pushdown),
         parallel_(parallel),
         verdict_memo_(verdict_memo),
         zone_map_(zone_map),
-        vec_(vec) {}
+        vec_(vec),
+        static_verdict_(static_verdict) {}
 
   Result<ResultSet> Execute(const sql::SelectStmt& stmt);
 
@@ -491,10 +495,15 @@ class ExecutorImpl {
   bool verdict_memo_;
   bool zone_map_;
   const vec::VecSpec* vec_;
+  bool static_verdict_;
 };
 
 bool Binder::MemoizeVerdictsEnabled() const {
   return exec_ != nullptr && exec_->verdict_memo_;
+}
+
+bool Binder::StaticVerdictEnabled() const {
+  return exec_ != nullptr && exec_->static_verdict_;
 }
 
 /// Splits an expression into its top-level AND conjuncts, preserving order.
@@ -736,8 +745,13 @@ Result<BoundExprPtr> Binder::BindFuncCall(const sql::FuncCallExpr& call) {
       MemoizeVerdictsEnabled()) {
     const uint32_t ceiling = PolicyDictionary::IdCeiling();
     if (ceiling > 1) {
+      // Rewriter-proved static marks ride through only while the executor's
+      // static flag is on: a cached AST marked while the pass was enabled
+      // binds as a plain memoized conjunct once the kill switch flips.
+      const int static_class =
+          call.synthetic && StaticVerdictEnabled() ? call.static_class : 0;
       return BoundExprPtr(std::make_unique<BoundMemoizedVerdict>(
-          fn, std::move(args[0]), std::move(args[1]), ceiling));
+          fn, std::move(args[0]), std::move(args[1]), ceiling, static_class));
     }
   }
   return BoundExprPtr(
@@ -1977,7 +1991,8 @@ Result<std::string> Executor::ExplainPlanSql(const std::string& sql) {
 Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
+                    static_verdict_enabled_);
   return impl.Execute(stmt);
 }
 
@@ -1986,7 +2001,8 @@ Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt,
   if (!spec.enabled()) return Execute(stmt);  // Exactly the serial path.
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, &spec,
-                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
+                    static_verdict_enabled_);
   return impl.Execute(stmt);
 }
 
@@ -1999,7 +2015,8 @@ Result<ResultSet> Executor::ExecuteSql(const std::string& sql) {
 Result<std::vector<Row>> Executor::EvalInsertSource(
     const sql::InsertStmt& stmt) {
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
+                    static_verdict_enabled_);
   if (stmt.select != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(ResultSet rs, impl.Execute(*stmt.select));
     return std::move(rs.rows);
@@ -2133,7 +2150,8 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
     return Status::InvalidArgument("UPDATE without assignments");
   }
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
+                    static_verdict_enabled_);
 
   // Resolve targets and bind right-hand sides.
   std::vector<size_t> targets;
@@ -2208,7 +2226,8 @@ Result<size_t> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
-                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_);
+                    verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
+                    static_verdict_enabled_);
   BoundExprPtr predicate;
   if (stmt.where != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(predicate,

@@ -198,6 +198,20 @@ class Executor {
   void set_zone_map_enabled(bool enabled) { zone_map_enabled_ = enabled; }
   bool zone_map_enabled() const { return zone_map_enabled_; }
 
+  /// Disables honoring of bind-time static-verdict marks
+  /// (sql::FuncCallExpr::static_class, set by the rewriter's StaticVerdict
+  /// pass): compliance conjuncts then bind without the constant-verdict
+  /// fast path even when the rewriter marked them, so every check runs the
+  /// memo/zone/per-tuple machinery. Covering the binder side — not just the
+  /// rewriter side — makes the kill switch airtight for cached ASTs whose
+  /// marks were produced while the pass was on. Results and check counts
+  /// are identical either way (AAPAC_STATIC_OFF / the differential
+  /// harness's static-off leg prove it).
+  void set_static_verdict_enabled(bool enabled) {
+    static_verdict_enabled_ = enabled;
+  }
+  bool static_verdict_enabled() const { return static_verdict_enabled_; }
+
   /// Disables the vectorized executor (engine/vec): every filter pass —
   /// base-table scans, hash-join probes, root/derived filters — then runs
   /// the row-at-a-time path. Results and check counts are identical either
@@ -223,6 +237,7 @@ class Executor {
   bool pushdown_enabled_ = true;
   bool verdict_memo_enabled_ = true;
   bool zone_map_enabled_ = true;
+  bool static_verdict_enabled_ = true;
   vec::VecSpec vec_spec_;
 };
 

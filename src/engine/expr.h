@@ -277,16 +277,36 @@ class BoundScalarCall final : public BoundExpr {
 /// and the array is sized once at bind time, so there is no resize race.
 class BoundMemoizedVerdict final : public BoundExpr {
  public:
+  /// `static_class` != 0 puts the node in static-verdict mode: the
+  /// rewriter's bind-time pass proved every policy the table can hold
+  /// evaluates the same way for this conjunct's mask (1 = all allow,
+  /// 2 = all deny), so Eval and Probe answer from that constant without a
+  /// verdict table, a memo probe or even reading the subject. Each Eval
+  /// still settles exactly one logical check (on_static_checks), keeping
+  /// the Fig. 6 / audit accounting identical to the per-tuple path.
   BoundMemoizedVerdict(const ScalarFunction* fn, BoundExprPtr signature,
-                       BoundExprPtr subject, uint32_t id_ceiling)
+                       BoundExprPtr subject, uint32_t id_ceiling,
+                       int static_class = 0)
       : fn_(fn),
         signature_(std::move(signature)),
         subject_(std::move(subject)),
         // make_unique value-initializes: every slot starts at kUnknown.
-        verdicts_(std::make_unique<std::atomic<uint8_t>[]>(id_ceiling)),
-        ceiling_(id_ceiling) {}
+        // Static nodes never probe slots, so skip the allocation.
+        verdicts_(static_class == 0
+                      ? std::make_unique<std::atomic<uint8_t>[]>(id_ceiling)
+                      : nullptr),
+        ceiling_(id_ceiling),
+        static_class_(static_class) {}
 
   Result<Value> Eval(const Row& row, const Row* agg) const override {
+    if (static_class_ != 0) {
+      if (fn_->on_static_checks) {
+        fn_->on_static_checks(1);
+      } else if (fn_->on_memo_hit) {
+        fn_->on_memo_hit();
+      }
+      return Value::Bool(static_class_ == 1);
+    }
     // Hit-path tuples never copy the policy blob out of the row: the verdict
     // lookup only reads the interned id.
     if (const Value* ref = subject_->TryEvalRef(row); ref != nullptr) {
@@ -313,11 +333,19 @@ class BoundMemoizedVerdict final : public BoundExpr {
   }
 
   /// The cached verdict for `id` without filling: kUnknown when the id is
-  /// out of range, untracked, or not yet evaluated at this call site.
+  /// out of range, untracked, or not yet evaluated at this call site. A
+  /// static node answers its constant for every id — the pass already
+  /// proved the whole dictionary uniform, and its decision is only valid
+  /// while the table holds no un-interned policies, so the id cannot name a
+  /// blob the classification missed.
   uint8_t Probe(uint32_t id) const {
+    if (static_class_ != 0) return static_class_ == 1 ? kTrue : kFalse;
     if (id == 0 || id >= ceiling_) return kUnknown;
     return verdicts_[id].load(std::memory_order_relaxed);
   }
+
+  /// Bind-time static classification: 0 none, 1 all-allow, 2 all-deny.
+  int static_class() const { return static_class_; }
 
  private:
   Result<Value> EvalWithSubject(const Value& subject, const Row& row,
@@ -361,6 +389,7 @@ class BoundMemoizedVerdict final : public BoundExpr {
   BoundExprPtr subject_;
   std::unique_ptr<std::atomic<uint8_t>[]> verdicts_;
   const uint32_t ceiling_;
+  const int static_class_;
 };
 
 class BoundInList final : public BoundExpr {

@@ -66,6 +66,17 @@ struct ScalarFunction {
   /// Per-scan aggregate time spent deciding blocks, in nanoseconds. Only
   /// fired when timing instrumentation is enabled.
   std::function<void(uint64_t ns)> on_zone_resolve;
+
+  // --- Static-verdict settlement (core/static_verdict.h). ------------------
+
+  /// `n` per-tuple calls were answered by a bind-time static verdict (the
+  /// whole dictionary allows or denies the conjunct's mask) without touching
+  /// the memo or the policy column. Same accounting contract as
+  /// on_zone_checks: the callback owns folding `n` into CheckTally, the
+  /// memo-hit counter (hits + misses still partitions checks) and the
+  /// enforce.static_checks series. When unset, no accounting happens. May
+  /// run on morsel worker threads.
+  std::function<void(uint64_t n)> on_static_checks;
 };
 
 /// Names of the built-in aggregate functions understood by the executor.

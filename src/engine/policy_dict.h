@@ -2,6 +2,7 @@
 #define AAPAC_ENGINE_POLICY_DICT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -47,6 +48,16 @@ class PolicyDictionary {
 
   /// Sum of the sizes of the distinct blobs (the dictionary's payload).
   uint64_t distinct_bytes() const { return distinct_bytes_; }
+
+  /// Visits every interned (blob, id) pair in unspecified order. The
+  /// static-verdict pass sweeps the whole dictionary this way to classify a
+  /// compliance mask against every policy the table can possibly hold. Same
+  /// thread-safety contract as reads of size(): serialize with Intern.
+  void ForEach(
+      const std::function<void(const std::string& bytes, uint32_t id)>& fn)
+      const {
+    for (const auto& [bytes, id] : ids_) fn(bytes, id);
+  }
 
   /// Exclusive upper bound on every id any dictionary in the process has
   /// issued so far; verdict tables sized to this bound can index any id

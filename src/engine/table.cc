@@ -26,6 +26,7 @@ Status Table::Insert(Row row) {
     dict_->InternInPlace(&row[*intern_col_]);
   }
   if (zone_ != nullptr) zone_->NoteAppend(InternedIdOf(row));
+  BumpInternVersion();
   rows_.push_back(std::move(row));
   return Status::OK();
 }
@@ -43,11 +44,13 @@ void Table::SetInternColumn(size_t col) {
     zone_ = std::make_unique<PolicyZoneMap>(PolicyZoneMap::DefaultBlockRows());
   }
   zone_->Reset(rows_.size());
+  BumpInternVersion();
 }
 
 Status Table::AddColumn(Column column, Value fill) {
   AAPAC_RETURN_NOT_OK(schema_.AddColumn(std::move(column)));
   for (Row& row : rows_) row.push_back(fill);
+  BumpInternVersion();
   return Status::OK();
 }
 
@@ -69,6 +72,7 @@ size_t Table::EraseRows(const std::vector<size_t>& sorted_indices) {
   if (removed > 0 && zone_ != nullptr) {
     zone_->NoteErase(sorted_indices[0], rows_.size());
   }
+  if (removed > 0) BumpInternVersion();
   return removed;
 }
 
@@ -86,6 +90,10 @@ size_t Table::UpdateColumnWhere(size_t col, const Value& value,
       }
     }
   }
+  // Bump even for zero-row updates: the caller attempted a write, and the
+  // static-verdict cache's demotion property tests assert every write path
+  // invalidates unconditionally.
+  BumpInternVersion();
   return updated;
 }
 

@@ -1,6 +1,8 @@
 #ifndef AAPAC_ENGINE_TABLE_H_
 #define AAPAC_ENGINE_TABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +41,7 @@ class Table {
   /// writes, required for correctness on policy writes).
   Row& mutable_row(size_t i) {
     if (zone_ != nullptr) zone_->MarkRowDirty(i);
+    BumpInternVersion();
     return rows_[i];
   }
 
@@ -53,6 +56,7 @@ class Table {
       dict_->InternInPlace(&row[*intern_col_]);
     }
     if (zone_ != nullptr) zone_->NoteAppend(InternedIdOf(row));
+    BumpInternVersion();
     rows_.push_back(std::move(row));
   }
 
@@ -60,6 +64,7 @@ class Table {
   void Clear() {
     rows_.clear();
     if (zone_ != nullptr) zone_->NoteTruncate(0);
+    BumpInternVersion();
   }
 
   /// Drops rows from the tail until `n` remain; no-op if fewer. Used to
@@ -68,6 +73,7 @@ class Table {
     if (rows_.size() > n) {
       rows_.resize(n);
       if (zone_ != nullptr) zone_->NoteTruncate(n);
+      BumpInternVersion();
     }
   }
 
@@ -106,6 +112,17 @@ class Table {
     }
   }
 
+  /// Monotonic data-mutation counter: bumped by *every* write path — Insert,
+  /// InsertUnchecked, Clear, TruncateTo, AddColumn, UpdateColumnWhere,
+  /// EraseRows, SetInternColumn, mutable_row — regardless of whether the
+  /// write touched the interned column. Static-verdict decisions (which
+  /// classify the whole dictionary-plus-zone-map state of the table) tag
+  /// themselves with this value and treat any difference as stale; bumping
+  /// unconditionally keeps the invalidation contract trivially conservative.
+  uint64_t intern_version() const {
+    return intern_version_.load(std::memory_order_acquire);
+  }
+
   // --- Policy zone map. ----------------------------------------------------
 
   /// Block summaries over the interned column; nullptr until
@@ -131,6 +148,10 @@ class Table {
   }
 
  private:
+  void BumpInternVersion() {
+    intern_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   uint32_t InternedIdOf(const Row& row) const {
     if (!intern_col_.has_value() || *intern_col_ >= row.size()) return 0;
     return row[*intern_col_].bytes_interned_id();
@@ -142,6 +163,7 @@ class Table {
   std::optional<size_t> intern_col_;
   std::unique_ptr<PolicyDictionary> dict_;
   std::unique_ptr<PolicyZoneMap> zone_;
+  std::atomic<uint64_t> intern_version_{0};
 };
 
 }  // namespace aapac::engine

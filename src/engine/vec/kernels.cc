@@ -194,6 +194,24 @@ Status PredLoop(const PredSpec& p, const std::vector<Row>& rows,
 Status ComplianceLoop(const BoundMemoizedVerdict& mv, size_t subject_col,
                       const std::vector<Row>& rows, SelVector* sel,
                       PendingChecks* pending, uint64_t* fallback_rows) {
+  // Static-verdict fast path: the rewriter proved the whole dictionary
+  // decides this conjunct one way, so the batch settles in O(1) — no id
+  // loads, no probes. Every selected row still counts as one logical check
+  // (the per-tuple path would have evaluated it), settled through the
+  // static channel so the enforce.static_checks series attributes exactly.
+  if (mv.static_class() != 0) {
+    const uint64_t n = sel->size();
+    if (n > 0) {
+      const ScalarFunction* fn = mv.function();
+      if (fn->on_static_checks) {
+        fn->on_static_checks(n);
+      } else {
+        pending->Note(fn, n);
+      }
+      if (mv.static_class() == 2) sel->resize(0);
+    }
+    return Status::OK();
+  }
   uint64_t hits = 0;
   size_t out = 0;
   for (uint32_t idx : *sel) {
@@ -298,8 +316,15 @@ Status FusedChainLoop(const std::vector<CompiledFilter>& compiled,
   Status error = Status::OK();
   const auto settle = [&] {
     for (size_t f = 0; f < compiled.size(); ++f) {
-      if ((*hits)[f] > 0) {
-        pending->Note(compiled[f].mv->function(), (*hits)[f]);
+      if ((*hits)[f] == 0) continue;
+      const ScalarFunction* fn = compiled[f].mv->function();
+      // Static nodes answer from their bind-time constant; route their
+      // settled checks through the static channel so attribution matches
+      // the mechanism (counts are identical through either channel).
+      if (compiled[f].mv->static_class() != 0 && fn->on_static_checks) {
+        fn->on_static_checks((*hits)[f]);
+      } else {
+        pending->Note(fn, (*hits)[f]);
       }
     }
   };

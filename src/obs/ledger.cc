@@ -118,11 +118,13 @@ std::string DecisionLedger::Render() const {
       std::snprintf(
           line, sizeof(line),
           "  attribution: memo=%llu hit/%llu fill  zone-settled=%llu  "
+          "static-settled=%llu  "
           "blocks=%llu skip/%llu bulk/%llu mixed  rows skipped=%llu  "
           "batches=%llu (fallback rows=%llu)\n",
           static_cast<unsigned long long>(t.memo_hits),
           static_cast<unsigned long long>(t.memo_misses),
           static_cast<unsigned long long>(t.zone_checks),
+          static_cast<unsigned long long>(t.static_checks),
           static_cast<unsigned long long>(t.blocks_skipped),
           static_cast<unsigned long long>(t.blocks_bulk),
           static_cast<unsigned long long>(t.blocks_mixed),
@@ -157,6 +159,8 @@ void DecisionLedger::AppendOpenMetrics(std::string* out) const {
        [](const LedgerEntry& e) { return e.tally.memo_misses; }},
       {"aapac_ledger_zone_settled_checks",
        [](const LedgerEntry& e) { return e.tally.zone_checks; }},
+      {"aapac_ledger_static_settled_checks",
+       [](const LedgerEntry& e) { return e.tally.static_checks; }},
       {"aapac_ledger_blocks_skipped",
        [](const LedgerEntry& e) { return e.tally.blocks_skipped; }},
       {"aapac_ledger_blocks_bulk_accepted",

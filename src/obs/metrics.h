@@ -82,6 +82,23 @@ inline constexpr char kZoneBlocksBulkAccepted[] =
 inline constexpr char kZoneBlocksMixed[] = "enforce.blocks_mixed";
 inline constexpr char kZoneResolve[] = "enforce.zone_resolve";
 
+// Static-verdict surface (core/static_verdict.h): per-conjunct bind-time
+// classifications made by the rewriter's StaticVerdict pass — all-allow
+// (the conjunct binds to a constant-true node: zero memo probes, zero
+// policy-column reads), all-deny (constant-false: row flow short-circuits
+// at the conjunct) or mixed (undecidable; the memo/zone-map/vectorized
+// path runs unchanged). kStaticChecks counts per-tuple checks settled by a
+// static constant — they also fold into enforce.compliance_checks and
+// enforce.verdict_memo_hits, so hits + misses still partitions checks and
+// the Fig. 6 / audit accounting is identical with the pass on or off.
+// Static conjuncts settled through the zone-map block path attribute to
+// enforce.blocks_* / the zone channel instead (the channel describes the
+// mechanism that settled them, not the mark).
+inline constexpr char kStaticAllow[] = "enforce.static_allow";
+inline constexpr char kStaticDeny[] = "enforce.static_deny";
+inline constexpr char kStaticMixed[] = "enforce.static_mixed";
+inline constexpr char kStaticChecks[] = "enforce.static_checks";
+
 // Vectorized-executor surface (engine/vec): batches are fixed-size
 // selection-vector runs of a morsel. `formed` counts every batch whose
 // filters ran; `evaluated` are batches that ran at least one batch

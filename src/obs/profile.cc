@@ -58,6 +58,7 @@ void EnforceTally::Add(const EnforceTally& o) {
   memo_hits += o.memo_hits;
   memo_misses += o.memo_misses;
   zone_checks += o.zone_checks;
+  static_checks += o.static_checks;
   blocks_skipped += o.blocks_skipped;
   blocks_bulk += o.blocks_bulk;
   blocks_mixed += o.blocks_mixed;
@@ -73,6 +74,7 @@ EnforceTally EnforceTally::Minus(const EnforceTally& o) const {
   r.memo_hits = Sub(memo_hits, o.memo_hits);
   r.memo_misses = Sub(memo_misses, o.memo_misses);
   r.zone_checks = Sub(zone_checks, o.zone_checks);
+  r.static_checks = Sub(static_checks, o.static_checks);
   r.blocks_skipped = Sub(blocks_skipped, o.blocks_skipped);
   r.blocks_bulk = Sub(blocks_bulk, o.blocks_bulk);
   r.blocks_mixed = Sub(blocks_mixed, o.blocks_mixed);
@@ -86,6 +88,7 @@ EnforceTally EnforceTally::Minus(const EnforceTally& o) const {
 
 bool EnforceTally::IsZero() const {
   return memo_hits == 0 && memo_misses == 0 && zone_checks == 0 &&
+         static_checks == 0 &&
          blocks_skipped == 0 && blocks_bulk == 0 && blocks_mixed == 0 &&
          rows_zone_skipped == 0 && batches_formed == 0 &&
          batches_bypassed == 0 && batches_evaluated == 0 && fallback_rows == 0;
@@ -97,6 +100,10 @@ void ProfileTally::MemoHit() { ++t_tally.memo_hits; }
 void ProfileTally::MemoMiss() { ++t_tally.memo_misses; }
 void ProfileTally::ZoneChecks(uint64_t n) {
   t_tally.zone_checks += n;
+  t_tally.memo_hits += n;  // Mirrors the monitor: settles count as hits.
+}
+void ProfileTally::StaticChecks(uint64_t n) {
+  t_tally.static_checks += n;
   t_tally.memo_hits += n;  // Mirrors the monitor: settles count as hits.
 }
 void ProfileTally::ZoneBlock(int kind) {
@@ -136,6 +143,7 @@ void ProfileTally::Fold(const EnforceTally& foreign) { t_tally.Add(foreign); }
 void ProfileTally::MemoHit() {}
 void ProfileTally::MemoMiss() {}
 void ProfileTally::ZoneChecks(uint64_t) {}
+void ProfileTally::StaticChecks(uint64_t) {}
 void ProfileTally::ZoneBlock(int) {}
 void ProfileTally::ZoneRowsSkipped(uint64_t) {}
 void ProfileTally::VecBatches(uint64_t, uint64_t, uint64_t, uint64_t) {}
@@ -343,6 +351,11 @@ std::string ProfileStore::Render(const QueryProfile& profile) {
           static_cast<unsigned long long>(t.rows_zone_skipped));
       line += buf;
     }
+    if (t.static_checks != 0) {
+      std::snprintf(buf, sizeof(buf), "  static-settled=%llu",
+                    static_cast<unsigned long long>(t.static_checks));
+      line += buf;
+    }
     if (t.batches_formed != 0 || t.fallback_rows != 0) {
       std::snprintf(buf, sizeof(buf),
                     "  batches=%llu (%llu bypassed/%llu evaluated, fallback "
@@ -364,10 +377,11 @@ std::string ProfileStore::Render(const QueryProfile& profile) {
   std::snprintf(
       buf, sizeof(buf),
       "  attribution: memo=%llu hit/%llu fill  zone-settled=%llu  "
-      "blocks=%llu/%llu/%llu  batches=%llu  rows=%llu\n",
+      "static-settled=%llu  blocks=%llu/%llu/%llu  batches=%llu  rows=%llu\n",
       static_cast<unsigned long long>(sum.memo_hits),
       static_cast<unsigned long long>(sum.memo_misses),
       static_cast<unsigned long long>(sum.zone_checks),
+      static_cast<unsigned long long>(sum.static_checks),
       static_cast<unsigned long long>(sum.blocks_skipped),
       static_cast<unsigned long long>(sum.blocks_bulk),
       static_cast<unsigned long long>(sum.blocks_mixed),

@@ -50,6 +50,7 @@ struct EnforceTally {
   uint64_t memo_hits = 0;       // Verdict-memo replays, incl. zone settles.
   uint64_t memo_misses = 0;     // Real CompliesWithPacked sweeps (fills).
   uint64_t zone_checks = 0;     // Checks settled arithmetically by zone maps.
+  uint64_t static_checks = 0;   // Checks settled by bind-time static verdicts.
   uint64_t blocks_skipped = 0;  // Zone block decisions by kind.
   uint64_t blocks_bulk = 0;
   uint64_t blocks_mixed = 0;
@@ -73,6 +74,7 @@ class ProfileTally {
   static void MemoHit();
   static void MemoMiss();
   static void ZoneChecks(uint64_t n);
+  static void StaticChecks(uint64_t n);
   static void ZoneBlock(int kind);  // 0 skip / 1 bulk-accept / else mixed.
   static void ZoneRowsSkipped(uint64_t n);
   static void VecBatches(uint64_t formed, uint64_t bypassed,

@@ -78,7 +78,8 @@ std::string RewriteCache::MakeKey(const std::string& normalized_sql,
 
 std::shared_ptr<const RewriteCache::Entry> RewriteCache::Lookup(
     const std::string& normalized_sql, const std::string& purpose,
-    const std::string& role, uint64_t version) {
+    const std::string& role, uint64_t version,
+    const std::vector<std::pair<std::string, uint64_t>>* table_versions) {
   const std::string key = MakeKey(normalized_sql, purpose, role);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
@@ -86,7 +87,9 @@ std::shared_ptr<const RewriteCache::Entry> RewriteCache::Lookup(
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  if (it->second.entry->version != version) {
+  if (it->second.entry->version != version ||
+      (table_versions != nullptr &&
+       it->second.entry->table_versions != *table_versions)) {
     // Built against stale security metadata: drop so no worker can ever be
     // served a rewrite older than the latest policy change.
     lru_.erase(it->second.lru_it);

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "sql/ast.h"
@@ -60,6 +62,12 @@ class RewriteCache {
     std::string rewritten_sql;
     /// Catalog version the rewrite was derived under.
     uint64_t version = 0;
+    /// intern_version of every protected table in the statement's scope at
+    /// derivation time, sorted by table name. A cached AST may carry
+    /// bind-time static-verdict marks (FuncCallExpr::static_class) that are
+    /// only sound for the data state they were classified against; any DML
+    /// on those tables bumps the intern version and must demote the entry.
+    std::vector<std::pair<std::string, uint64_t>> table_versions;
   };
 
   explicit RewriteCache(size_t capacity = 1024) : capacity_(capacity) {}
@@ -77,11 +85,16 @@ class RewriteCache {
 
   /// Returns the entry for (normalized_sql, purpose, role) if present and
   /// derived under exactly `version`; otherwise nullptr. A present-but-stale
-  /// entry is removed and counted as an invalidation.
-  std::shared_ptr<const Entry> Lookup(const std::string& normalized_sql,
-                                      const std::string& purpose,
-                                      const std::string& role,
-                                      uint64_t version);
+  /// entry is removed and counted as an invalidation. When `table_versions`
+  /// is non-null it must match the entry's recorded per-table intern
+  /// versions exactly (same tables, same versions) — a mismatch means data
+  /// under the cached statement's static-verdict marks changed, and the
+  /// entry is likewise dropped as an invalidation.
+  std::shared_ptr<const Entry> Lookup(
+      const std::string& normalized_sql, const std::string& purpose,
+      const std::string& role, uint64_t version,
+      const std::vector<std::pair<std::string, uint64_t>>* table_versions =
+          nullptr);
 
   /// Inserts (or replaces) the entry for the key. Evicts the least recently
   /// used entry when the cache is full.

@@ -240,11 +240,24 @@ EnforcementServer::CheckAndPrepare(const SessionInfo& session,
   // it — stale rewrites are never served.
   core::AccessControlCatalog* catalog = monitor_->catalog();
   const uint64_t version = catalog->version();
+  // Current intern version of every protected table, sorted by name. The
+  // cached AST may carry bind-time static-verdict marks that are only sound
+  // for the data state they were classified against, so any DML on a
+  // protected table must demote the entry. Captured before Prepare for the
+  // same never-serve-stale reason as the catalog version; the caller holds
+  // data_mu_, so no write can interleave between this capture, the prepare
+  // and the statement's execution.
+  std::vector<std::pair<std::string, uint64_t>> table_versions;
+  for (const std::string& table : catalog->protected_tables()) {
+    engine::Table* t = monitor_->catalog()->db()->FindTable(table);
+    if (t != nullptr) table_versions.emplace_back(table, t->intern_version());
+  }
+  std::sort(table_versions.begin(), table_versions.end());
   const std::string normalized = RewriteCache::NormalizeSql(sql);
   std::shared_ptr<const RewriteCache::Entry> entry = [&] {
     obs::ScopedStageTimer timer(cache_lookup_hist_, obs::kStageCacheLookup);
     return cache_.Lookup(normalized, session.purpose_id, session.role,
-                         version);
+                         version, &table_versions);
   }();
   if (entry == nullptr) {
     AAPAC_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
@@ -253,6 +266,7 @@ EnforcementServer::CheckAndPrepare(const SessionInfo& session,
     fresh->rewritten_sql = sql::ToSql(*stmt);
     fresh->stmt = std::move(stmt);
     fresh->version = version;
+    fresh->table_versions = std::move(table_versions);
     cache_.Insert(normalized, session.purpose_id, session.role, fresh);
     entry = std::move(fresh);
   }
@@ -379,6 +393,16 @@ ServerSnapshot EnforcementServer::Snapshot() const {
   const size_t batch_override = monitor_->batch_rows();
   snap.vector_batch_rows =
       batch_override != 0 ? batch_override : engine::vec::DefaultBatchRows();
+  snap.static_verdict_enabled = monitor_->static_verdict_enabled();
+  const core::StaticVerdictPass::CacheStats svs =
+      monitor_->static_pass().cache_stats();
+  snap.static_cache_hits = svs.hits;
+  snap.static_cache_misses = svs.misses;
+  snap.static_cache_invalidations = svs.invalidations;
+  obs::MetricsRegistry* reg = monitor_->metrics().get();
+  snap.static_allow = reg->counter(obs::kStaticAllow)->value();
+  snap.static_deny = reg->counter(obs::kStaticDeny)->value();
+  snap.static_mixed = reg->counter(obs::kStaticMixed)->value();
   // Dictionary sizes read table data, so take the read side of the data
   // lock: snapshots stay safe against concurrent DML and policy attachment.
   {

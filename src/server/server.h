@@ -100,6 +100,17 @@ struct ServerSnapshot {
   /// monitor overrode it).
   bool vector_enabled = true;
   size_t vector_batch_rows = 0;
+  /// StaticVerdict pass state (core/static_verdict.h): whether bind-time
+  /// whole-table classification is on (AAPAC_STATIC_OFF clears it at
+  /// startup), its decision-cache behaviour, and how many conjuncts were
+  /// classified into each static class since start.
+  bool static_verdict_enabled = true;
+  uint64_t static_cache_hits = 0;
+  uint64_t static_cache_misses = 0;
+  uint64_t static_cache_invalidations = 0;
+  uint64_t static_allow = 0;
+  uint64_t static_deny = 0;
+  uint64_t static_mixed = 0;
   /// The monitor's per-(table, purpose, action) enforcement decision ledger
   /// (obs/ledger.h), ordered by key; column sums reconcile with the
   /// enforce.* counters.

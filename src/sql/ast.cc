@@ -9,6 +9,7 @@ std::unique_ptr<Expr> FuncCallExpr::Clone() const {
   auto clone =
       std::make_unique<FuncCallExpr>(name, std::move(cloned_args), distinct);
   clone->synthetic = synthetic;
+  clone->static_class = static_class;
   return clone;
 }
 

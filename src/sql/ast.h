@@ -174,6 +174,14 @@ class FuncCallExpr final : public Expr {
   /// an already-rewritten AST can recognize and replace its own conjuncts
   /// instead of stacking duplicates (idempotence).
   bool synthetic = false;
+  /// Static compliance class the rewriter's StaticVerdict pass resolved for
+  /// a synthetic conjunct at bind time: 0 = mixed/undecided (per-tuple
+  /// path), 1 = every interned policy id in the table's dictionary allows
+  /// this mask, 2 = every id denies it. Advisory: evaluation still happens
+  /// at every site the conjunct lands, only its per-evaluation cost changes
+  /// (constant verdict, settled check accounting) — so check counts are
+  /// identical with and without the mark. Only meaningful when synthetic.
+  int static_class = 0;
 };
 
 /// `x [NOT] IN (expr, ...)` or `x [NOT] IN (select ...)`.

@@ -456,6 +456,15 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
     if (snap.vector_enabled) {
       out << ", " << snap.vector_batch_rows << " rows/batch";
     }
+    out << "\nstatic verdict: "
+        << (snap.static_verdict_enabled ? "on" : "off (AAPAC_STATIC_OFF)");
+    if (snap.static_verdict_enabled) {
+      out << ", conjuncts " << snap.static_allow << " all-allow / "
+          << snap.static_deny << " all-deny / " << snap.static_mixed
+          << " mixed; decision cache " << snap.static_cache_hits << " hit / "
+          << snap.static_cache_misses << " miss / "
+          << snap.static_cache_invalidations << " invalidated";
+    }
     return out.str();
   }
   if (cmd == "cache") {

@@ -57,4 +57,10 @@ size_t EnvPositiveSizeOrDie(const char* name, size_t fallback) {
   return *parsed;
 }
 
+bool EnvFlagSet(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return false;
+  return !(raw[0] == '0' && raw[1] == '\0');
+}
+
 }  // namespace aapac::util

@@ -22,6 +22,14 @@ Result<size_t> ParsePositiveSize(const std::string& text);
 /// range to stderr and exits with status 2.
 size_t EnvPositiveSizeOrDie(const char* name, size_t fallback);
 
+/// Reads a boolean kill-switch knob (the AAPAC_*_OFF convention): true iff
+/// the variable is set, non-empty and not exactly "0". Flags are never
+/// fatal — any other text, including typos, throws the switch (a kill
+/// switch must err on the side of killing), and "0"/unset/empty leave the
+/// feature on. Note the deliberate asymmetry with EnvPositiveSizeOrDie:
+/// numeric knobs abort on garbage, boolean ones do not.
+bool EnvFlagSet(const char* name);
+
 }  // namespace aapac::util
 
 #endif  // AAPAC_UTIL_ENV_H_

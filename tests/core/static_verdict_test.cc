@@ -1,0 +1,361 @@
+// Property tests for the bind-time StaticVerdict pass (core/static_verdict.h)
+// and — above all — its decision-cache invalidation: a cached all-allow or
+// all-deny decision must die on EVERY interning write path (Insert,
+// InsertUnchecked, SetInternColumn, UpdateColumnWhere — including the
+// zero-row update, EraseRows, mutable_row) and on catalog-version bumps.
+// The oracle is a brute-force recompute over the live rows: the pass's
+// class must equal the class the rows actually have, with any NULL or
+// un-interned policy value forcing mixed (the dictionary no longer covers
+// the table) and the empty table vacuously all-allow.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/compliance.h"
+#include "core/masks.h"
+#include "core/static_verdict.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "engine/value.h"
+#include "util/bitstring.h"
+#include "workload/patients.h"
+
+namespace aapac::core {
+namespace {
+
+/// `rules` rule masks, all pass-none, with a pass-all rule at
+/// `pass_all_position` when the policy should admit everything — the §6.1
+/// scattered-policy construction.
+std::string BuildPolicy(const MaskLayout& layout, int rules,
+                        int pass_all_position) {
+  BitString mask;
+  for (int r = 0; r < rules; ++r) {
+    mask.Append(r == pass_all_position ? layout.PassAllRuleMask()
+                                       : layout.PassNoneRuleMask());
+  }
+  return mask.ToBytes();
+}
+
+struct Fixture {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<AccessControlCatalog> catalog;
+  std::unique_ptr<StaticVerdictPass> pass;
+  engine::Table* users = nullptr;
+  size_t pcol = 0;
+  MaskLayout layout{{}, {}};
+  std::string probe;  // A query-side action-signature mask for `users`.
+  // A small fixed palette (distinct dictionary ids) keeps every zone-map
+  // block within its distinct-id capacity, so the pass never takes the
+  // overflow fallback and its class must match the brute-force oracle
+  // EXACTLY — not just soundly.
+  std::vector<std::string> allow_palette;
+  std::vector<std::string> deny_palette;
+
+  Fixture() {
+    db = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 60;
+    config.samples_per_patient = 2;
+    EXPECT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+    catalog = std::make_unique<AccessControlCatalog>(db.get());
+    EXPECT_TRUE(catalog->Initialize().ok());
+    EXPECT_TRUE(workload::ConfigurePatientsAccessControl(catalog.get()).ok());
+    pass = std::make_unique<StaticVerdictPass>(catalog.get());
+
+    auto users_or = db->GetTable("users");
+    EXPECT_TRUE(users_or.ok());
+    users = *users_or;
+    auto layout_or = catalog->LayoutFor("users");
+    EXPECT_TRUE(layout_or.ok());
+    layout = *layout_or;
+    auto pcol_or =
+        users->schema().FindColumn(AccessControlCatalog::kPolicyColumn);
+    EXPECT_TRUE(pcol_or.has_value());
+    pcol = *pcol_or;
+
+    ActionSignature sig;
+    sig.columns = {layout.columns()[0]};
+    sig.action_type = ActionType::Indirect(JointAccess::None());
+    auto probe_or = layout.EncodeActionSignature(sig, layout.purposes()[0]);
+    EXPECT_TRUE(probe_or.ok());
+    probe = probe_or->ToBytes();
+
+    for (int k = 0; k < 4; ++k) {
+      const int rules = 1 + k % 3;
+      allow_palette.push_back(BuildPolicy(layout, rules, k % rules));
+    }
+    for (int k = 0; k < 3; ++k) {
+      deny_palette.push_back(BuildPolicy(layout, 1 + k, -1));
+    }
+    // Many small zone blocks: the live-id sweep unions several block
+    // summaries and erasure compaction crosses block boundaries.
+    users->ResetZoneMap(16);
+  }
+
+  /// Assigns `blob` (interned) to every row in `targets`.
+  void Poke(const std::vector<size_t>& targets, const std::string& blob) {
+    engine::Value v = engine::Value::Bytes(blob);
+    users->InternColumnValue(pcol, &v);
+    users->UpdateColumnWhere(pcol, v, targets);
+  }
+
+  /// Assigns round-robin from `blobs` to every row.
+  void AssignAll(const std::vector<std::string>& blobs) {
+    std::vector<engine::Value> values;
+    for (const auto& blob : blobs) {
+      engine::Value v = engine::Value::Bytes(blob);
+      users->InternColumnValue(pcol, &v);
+      values.push_back(std::move(v));
+    }
+    for (size_t i = 0; i < users->num_rows(); ++i) {
+      users->mutable_row(i)[pcol] = values[i % values.size()];
+    }
+  }
+
+  /// Brute-force oracle: the class the live rows actually have. NULL or
+  /// un-interned policies force mixed; the empty table is vacuously
+  /// all-allow.
+  int ExpectedClass() const {
+    if (users->num_rows() == 0) return 1;
+    bool any_allow = false;
+    bool any_deny = false;
+    for (size_t i = 0; i < users->num_rows(); ++i) {
+      const engine::Value& p = users->row(i)[pcol];
+      if (p.is_null() || p.bytes_interned_id() == 0) return 0;
+      if (CompliesWithPacked(probe, p.AsBytes())) {
+        any_allow = true;
+      } else {
+        any_deny = true;
+      }
+    }
+    if (!any_deny) return 1;
+    if (!any_allow) return 2;
+    return 0;
+  }
+
+  StaticVerdictPass::Decision Classify() {
+    return pass->Classify("users", probe);
+  }
+};
+
+TEST(StaticVerdictTest, ClassifiesUniformSingleAndMixedDictionaries) {
+  Fixture f;
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  f.AssignAll(f.allow_palette);  // Multi-id all-allow.
+  StaticVerdictPass::Decision d = f.Classify();
+  EXPECT_EQ(d.cls, 1);
+  EXPECT_TRUE(d.has_dict);
+  EXPECT_GT(d.allowed, 0u);
+  EXPECT_EQ(d.denied, 0u);
+
+  f.AssignAll(f.deny_palette);  // Multi-id all-deny.
+  d = f.Classify();
+  EXPECT_EQ(d.cls, 2);
+  EXPECT_EQ(d.allowed, 0u);
+  EXPECT_GT(d.denied, 0u);
+
+  f.AssignAll({f.allow_palette[0]});  // Single-id all-allow.
+  d = f.Classify();
+  EXPECT_EQ(d.cls, 1);
+  EXPECT_EQ(d.dict_size, 1u);
+
+  std::vector<std::string> mixed = f.allow_palette;
+  mixed.push_back(f.deny_palette[0]);
+  f.AssignAll(mixed);
+  d = f.Classify();
+  EXPECT_EQ(d.cls, 0);
+  EXPECT_GT(d.allowed, 0u);
+  EXPECT_GT(d.denied, 0u);
+}
+
+TEST(StaticVerdictTest, StaleDictionaryEntriesDoNotDemote) {
+  // The dictionary never shrinks: after a mixed population is wholly
+  // re-policied to allowing masks, the denying blobs are still interned.
+  // The live-id sweep must ignore them and still conclude all-allow.
+  Fixture f;
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  std::vector<std::string> mixed = f.allow_palette;
+  mixed.push_back(f.deny_palette[0]);
+  f.AssignAll(mixed);
+  ASSERT_EQ(f.Classify().cls, 0);
+  f.AssignAll(f.allow_palette);
+  const StaticVerdictPass::Decision d = f.Classify();
+  EXPECT_EQ(d.cls, 1) << "stale (dead) dictionary entries demoted a "
+                         "uniformly allowing table to mixed";
+  EXPECT_EQ(d.denied, 0u);
+}
+
+TEST(StaticVerdictTest, UntrackedPolicyValuesForceMixed) {
+  Fixture f;
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  f.AssignAll(f.allow_palette);
+  ASSERT_EQ(f.Classify().cls, 1);
+
+  // A raw, un-interned policy write (bypassing InternColumnValue) makes its
+  // block untracked: the dictionary no longer covers the table and the pass
+  // must refuse to conclude anything — even though the blob itself allows.
+  f.users->mutable_row(7)[f.pcol] =
+      engine::Value::Bytes(f.allow_palette[0]);
+  StaticVerdictPass::Decision d = f.Classify();
+  EXPECT_EQ(d.cls, 0);
+  EXPECT_GT(d.untracked_blocks, 0u);
+
+  // SetInternColumn re-interns the column wholesale: coverage is restored
+  // and the cached mixed decision must not survive the re-interning.
+  f.users->SetInternColumn(f.pcol);
+  d = f.Classify();
+  EXPECT_EQ(d.cls, 1);
+  EXPECT_EQ(d.untracked_blocks, 0u);
+}
+
+TEST(StaticVerdictTest, EveryWritePathDemotesCachedDecisions) {
+  Fixture f;
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  f.AssignAll(f.allow_palette);
+
+  // Prime the cache and prove it serves hits when nothing changed.
+  ASSERT_EQ(f.Classify().cls, 1);
+  StaticVerdictPass::CacheStats before = f.pass->cache_stats();
+  ASSERT_EQ(f.Classify().cls, 1);
+  StaticVerdictPass::CacheStats after = f.pass->cache_stats();
+  ASSERT_EQ(after.hits, before.hits + 1);
+  ASSERT_EQ(after.invalidations, before.invalidations);
+
+  // Each mutation must turn the next Classify into an invalidation +
+  // recompute whose class matches the brute-force oracle. Every op below
+  // goes through a DIFFERENT write path.
+  const auto mutate_and_check = [&](const char* what,
+                                    const std::function<void()>& op) {
+    ASSERT_EQ(f.Classify().cls, f.ExpectedClass()) << what << " (pre)";
+    const StaticVerdictPass::CacheStats pre = f.pass->cache_stats();
+    op();
+    const StaticVerdictPass::Decision d = f.Classify();
+    const StaticVerdictPass::CacheStats post = f.pass->cache_stats();
+    EXPECT_EQ(post.invalidations, pre.invalidations + 1)
+        << what << ": the cached decision survived the write";
+    EXPECT_EQ(post.hits, pre.hits)
+        << what << ": the stale decision was served as a hit";
+    EXPECT_EQ(d.cls, f.ExpectedClass())
+        << what << ": recomputed class disagrees with the brute force";
+  };
+
+  engine::Value deny = engine::Value::Bytes(f.deny_palette[0]);
+  f.users->InternColumnValue(f.pcol, &deny);
+
+  mutate_and_check("Insert (duplicate row)", [&] {
+    engine::Row row = f.users->row(0);
+    ASSERT_TRUE(f.users->Insert(std::move(row)).ok());
+  });
+  mutate_and_check("InsertUnchecked", [&] {
+    f.users->InsertUnchecked(f.users->row(1));
+  });
+  mutate_and_check("UpdateColumnWhere (all-allow -> mixed)", [&] {
+    f.users->UpdateColumnWhere(f.pcol, deny, {3, 5});
+  });
+  mutate_and_check("UpdateColumnWhere (zero rows)", [&] {
+    f.users->UpdateColumnWhere(f.pcol, deny, {});
+  });
+  mutate_and_check("EraseRows", [&] { f.users->EraseRows({3, 5}); });
+  mutate_and_check("mutable_row", [&] {
+    engine::Value v = engine::Value::Bytes(f.allow_palette[1]);
+    f.users->InternColumnValue(f.pcol, &v);
+    f.users->mutable_row(2)[f.pcol] = v;
+  });
+  mutate_and_check("SetInternColumn (re-intern)", [&] {
+    f.users->SetInternColumn(f.pcol);
+  });
+  mutate_and_check("catalog BumpVersion", [&] { f.catalog->BumpVersion(); });
+
+  // Erase everything: the empty table is vacuously all-allow.
+  std::vector<size_t> all;
+  for (size_t i = 0; i < f.users->num_rows(); ++i) all.push_back(i);
+  f.users->EraseRows(all);
+  const StaticVerdictPass::Decision d = f.Classify();
+  EXPECT_EQ(d.cls, 1);
+  EXPECT_EQ(d.dict_size, 0u);
+}
+
+TEST(StaticVerdictTest, RandomizedWriteSequencesMatchBruteForce) {
+  const uint64_t seed = 20260808;
+  Fixture f;
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  std::mt19937_64 rng(seed);
+  f.AssignAll(f.allow_palette);
+
+  for (int step = 0; step < 300; ++step) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " step=" +
+                 std::to_string(step));
+    const size_t n = f.users->num_rows();
+    switch (rng() % 8) {
+      case 0:
+        f.AssignAll(f.allow_palette);
+        break;
+      case 1:
+        f.AssignAll(f.deny_palette);
+        break;
+      case 2: {  // Poke a few rows with a random palette mask.
+        if (n == 0) break;
+        const bool deny = (rng() & 1) != 0;
+        const std::string& blob =
+            deny ? f.deny_palette[rng() % f.deny_palette.size()]
+                 : f.allow_palette[rng() % f.allow_palette.size()];
+        std::vector<size_t> targets;
+        for (size_t k = 0, m = 1 + rng() % 6; k < m; ++k) {
+          targets.push_back(rng() % n);
+        }
+        f.Poke(targets, blob);
+        break;
+      }
+      case 3: {  // Erase a few rows.
+        if (n < 8) break;
+        std::set<size_t> unique;
+        for (size_t k = 0, m = 1 + rng() % 4; k < m; ++k) {
+          unique.insert(rng() % n);
+        }
+        f.users->EraseRows(
+            std::vector<size_t>(unique.begin(), unique.end()));
+        break;
+      }
+      case 4:  // Duplicate a row through the checked insert path.
+        if (n == 0) break;
+        ASSERT_TRUE(f.users->Insert(f.users->row(rng() % n)).ok());
+        break;
+      case 5: {  // Raw un-interned write: coverage lost, class must go 0.
+        if (n == 0) break;
+        f.users->mutable_row(rng() % n)[f.pcol] =
+            engine::Value::Bytes(f.allow_palette[0]);
+        break;
+      }
+      case 6:  // Re-intern the column: coverage restored.
+        f.users->SetInternColumn(f.pcol);
+        break;
+      case 7:
+        f.catalog->BumpVersion();
+        break;
+    }
+    const int expected = f.ExpectedClass();
+    const StaticVerdictPass::Decision d = f.Classify();
+    ASSERT_EQ(d.cls, expected)
+        << "pass class " << d.cls << " (allowed=" << d.allowed
+        << " denied=" << d.denied << " untracked=" << d.untracked_blocks
+        << ") vs brute force " << expected << " over "
+        << f.users->num_rows() << " rows";
+    // A second classification with no intervening write must be a cache
+    // hit serving the same class.
+    const StaticVerdictPass::CacheStats pre = f.pass->cache_stats();
+    ASSERT_EQ(f.Classify().cls, expected);
+    ASSERT_EQ(f.pass->cache_stats().hits, pre.hits + 1);
+  }
+}
+
+}  // namespace
+}  // namespace aapac::core

@@ -1,0 +1,102 @@
+// Regression tests for the `metrics_diff --require` presence gate
+// (tools/metrics_require.h). The gate must decide presence by ANCHORED
+// top-level key lookup, independent of the metric's value: the historical
+// bug was a raw substring search over the whole dump, which let inner
+// histogram fields pass as present and coupled "is it there" to wherever
+// the first match landed — a published counter sitting at 0 must never be
+// reported missing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "tools/metrics_require.h"
+
+namespace aapac::tools {
+namespace {
+
+// A miniature but structurally faithful RenderJson() dump: counters (one at
+// zero), a gauge object, a histogram object, and a string value crafted to
+// look like a key/value pair to any substring search.
+const char kDump[] =
+    R"({"enforce.static_allow":0,"enforce.static_deny":12,)"
+    R"("enforce.checks":48000,)"
+    R"("server.queue_depth":{"value":0,"max":7},)"
+    R"("pipeline.rewrite":{"count":500,"p50_us":2.1,"p99_us":14.75},)"
+    R"("build.info":"\"decoy\":99"})";
+
+TEST(MetricsRequireTest, ZeroValuedCounterIsPresent) {
+  const auto entries = TopLevelValues(kDump);
+  const RequiredMetric m = RequireMetric(entries, "enforce.static_allow");
+  EXPECT_TRUE(m.present)
+      << "a published counter with value 0 was reported missing";
+  EXPECT_FALSE(m.is_object);
+  EXPECT_EQ(m.value, 0.0);
+}
+
+TEST(MetricsRequireTest, NonZeroCounterReportsItsValue) {
+  const auto entries = TopLevelValues(kDump);
+  const RequiredMetric m = RequireMetric(entries, "enforce.static_deny");
+  EXPECT_TRUE(m.present);
+  EXPECT_FALSE(m.is_object);
+  EXPECT_EQ(m.value, 12.0);
+}
+
+TEST(MetricsRequireTest, HistogramAndGaugeArePresentAsObjects) {
+  const auto entries = TopLevelValues(kDump);
+  EXPECT_TRUE(RequireMetric(entries, "pipeline.rewrite").is_object);
+  EXPECT_TRUE(RequireMetric(entries, "server.queue_depth").is_object);
+}
+
+TEST(MetricsRequireTest, AbsentMetricIsMissing) {
+  const auto entries = TopLevelValues(kDump);
+  EXPECT_FALSE(RequireMetric(entries, "enforce.static_mixed").present);
+}
+
+TEST(MetricsRequireTest, InnerHistogramFieldsAreNotTopLevelMetrics) {
+  // The unanchored search found `"p99_us":` inside the histogram object and
+  // called it present; the anchored scan must not.
+  const auto entries = TopLevelValues(kDump);
+  EXPECT_FALSE(RequireMetric(entries, "p99_us").present);
+  EXPECT_FALSE(RequireMetric(entries, "count").present);
+  EXPECT_FALSE(RequireMetric(entries, "max").present);
+}
+
+TEST(MetricsRequireTest, SubstringsOfRealKeysAreNotPresent) {
+  const auto entries = TopLevelValues(kDump);
+  EXPECT_FALSE(RequireMetric(entries, "static_allow").present);
+  EXPECT_FALSE(RequireMetric(entries, "enforce.static").present);
+  EXPECT_FALSE(RequireMetric(entries, "enforce.check").present);
+}
+
+TEST(MetricsRequireTest, QuotedLookAlikesInsideStringValuesAreIgnored) {
+  const auto entries = TopLevelValues(kDump);
+  EXPECT_FALSE(RequireMetric(entries, "decoy").present);
+  const RequiredMetric m = RequireMetric(entries, "build.info");
+  EXPECT_TRUE(m.present);
+  EXPECT_FALSE(m.is_object);
+}
+
+TEST(MetricsRequireTest, PresenceIsIndependentPerName) {
+  // One missing name must not disturb the verdicts of the others (the old
+  // loop short-circuited per name off a shared find position).
+  const auto entries = TopLevelValues(kDump);
+  EXPECT_FALSE(RequireMetric(entries, "no.such.metric").present);
+  EXPECT_TRUE(RequireMetric(entries, "enforce.static_allow").present);
+  EXPECT_TRUE(RequireMetric(entries, "enforce.checks").present);
+}
+
+TEST(MetricsRequireTest, EmptyAndTruncatedDumpsYieldNothing) {
+  EXPECT_TRUE(TopLevelValues("").empty());
+  EXPECT_TRUE(TopLevelValues("[1,2]").empty());
+  // Truncated mid-object: whatever was completed before the cut is usable,
+  // nothing fabricated after it (well-formedness is gated upstream).
+  const auto entries = TopLevelValues(R"({"a":1,"b":{"p99_us":3)");
+  EXPECT_EQ(entries.count("a"), 1u);
+  EXPECT_EQ(entries.count("b"), 0u);
+  EXPECT_EQ(entries.count("p99_us"), 0u);
+}
+
+}  // namespace
+}  // namespace aapac::tools

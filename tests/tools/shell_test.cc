@@ -383,6 +383,45 @@ TEST_F(ShellTest, ExplainNamesDeniedBitsUnderDenyAllPolicies) {
   EXPECT_NE(out.find(", action-type]"), std::string::npos) << out;
 }
 
+TEST_F(ShellTest, ExplainRendersAllThreeStaticVerdictClasses) {
+  session_->ProcessLine("\\purpose p3");
+  const std::string sql = "\\explain select user_id from users";
+
+  // SetUp applied selectivity 0: every policy carries a pass-all rule, so
+  // the users conjunct is statically all-allow.
+  std::string out = session_->ProcessLine(sql);
+  EXPECT_NE(out.find("== static verdict =="), std::string::npos) << out;
+  EXPECT_NE(out.find("all-allow (conjunct settles constant-true"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("0 deny of"), std::string::npos) << out;
+
+  // Selectivity 1: pass-none-only policies everywhere — all-deny.
+  workload::ScatteredPolicyConfig sp;
+  sp.selectivity = 1.0;
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+  out = session_->ProcessLine(sql);
+  EXPECT_NE(out.find("all-deny (conjunct settles constant-false"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("0 allow /"), std::string::npos) << out;
+
+  // Selectivity 0.5: two of the four users tuples deny — genuinely mixed,
+  // and \explain says which path carries the per-tuple work.
+  sp.selectivity = 0.5;
+  ASSERT_TRUE(workload::ApplyScatteredPolicies(catalog_.get(), sp).ok());
+  out = session_->ProcessLine(sql);
+  EXPECT_NE(out.find("mixed (per-tuple memo/zone path"), std::string::npos)
+      << out;
+
+  // With the pass force-disabled the section says so instead of deciding.
+  monitor_->SetStaticVerdictEnabled(false);
+  out = session_->ProcessLine(sql);
+  EXPECT_NE(out.find("disabled (AAPAC_STATIC_OFF"), std::string::npos) << out;
+  EXPECT_EQ(out.find("all-deny"), std::string::npos) << out;
+  monitor_->SetStaticVerdictEnabled(true);
+}
+
 TEST_F(ShellTest, PoliciesReportsDictionaryStats) {
   // Scattered policies at selectivity 0 give every users tuple a policy;
   // the interning dictionary holds far fewer distinct masks than rows.

@@ -1,7 +1,9 @@
 // Startup validation of positive-size environment knobs (AAPAC_BATCH_ROWS,
 // AAPAC_ZONEMAP_BLOCK): a present-but-invalid value must abort the process
 // with a clear message naming the variable — never be silently replaced by
-// the default or a truncated prefix of the typo.
+// the default or a truncated prefix of the typo. Boolean kill switches
+// (AAPAC_STATIC_OFF, AAPAC_ZONEMAP_OFF, ...) follow the opposite contract:
+// never fatal, thrown by any non-"0" non-empty value.
 
 #include <gtest/gtest.h>
 
@@ -52,6 +54,60 @@ TEST(EnvPositiveSizeTest, PresentValidValueWins) {
   setenv("AAPAC_TEST_KNOB", "777", 1);
   EXPECT_EQ(EnvPositiveSizeOrDie("AAPAC_TEST_KNOB", 1024), 777u);
   unsetenv("AAPAC_TEST_KNOB");
+}
+
+TEST(EnvFlagSetTest, UnsetEmptyAndZeroLeaveTheFeatureOn) {
+  unsetenv("AAPAC_STATIC_OFF");
+  EXPECT_FALSE(EnvFlagSet("AAPAC_STATIC_OFF"));
+  setenv("AAPAC_STATIC_OFF", "", 1);
+  EXPECT_FALSE(EnvFlagSet("AAPAC_STATIC_OFF"));
+  setenv("AAPAC_STATIC_OFF", "0", 1);
+  EXPECT_FALSE(EnvFlagSet("AAPAC_STATIC_OFF"));
+  unsetenv("AAPAC_STATIC_OFF");
+}
+
+TEST(EnvFlagSetTest, AnyOtherValueThrowsTheKillSwitch) {
+  // A kill switch errs on the side of killing: typos disable the feature
+  // rather than silently keeping it on, and nothing here is ever fatal.
+  for (const char* v : {"1", "true", "on", "yes", "banana", "00", " 0"}) {
+    setenv("AAPAC_STATIC_OFF", v, 1);
+    EXPECT_TRUE(EnvFlagSet("AAPAC_STATIC_OFF")) << "value '" << v << "'";
+  }
+  unsetenv("AAPAC_STATIC_OFF");
+}
+
+TEST(EnvKnobCombinationTest, KillSwitchDoesNotMaskNumericValidation) {
+  // Disabling the StaticVerdict pass must not paper over a malformed batch
+  // size: the two knobs are parsed independently, so the valid flag reads
+  // true while the numeric knob still fails strict parsing.
+  setenv("AAPAC_STATIC_OFF", "1", 1);
+  setenv("AAPAC_BATCH_ROWS", "1024k", 1);
+  EXPECT_TRUE(EnvFlagSet("AAPAC_STATIC_OFF"));
+  EXPECT_FALSE(ParsePositiveSize(std::getenv("AAPAC_BATCH_ROWS")).ok());
+
+  // And the other way round: a valid batch size parses regardless of the
+  // flag's state — "0" (feature on) is not mistaken for a numeric zero.
+  setenv("AAPAC_STATIC_OFF", "0", 1);
+  setenv("AAPAC_BATCH_ROWS", "2048", 1);
+  EXPECT_FALSE(EnvFlagSet("AAPAC_STATIC_OFF"));
+  EXPECT_EQ(EnvPositiveSizeOrDie("AAPAC_BATCH_ROWS", 1024), 2048u);
+  unsetenv("AAPAC_STATIC_OFF");
+  unsetenv("AAPAC_BATCH_ROWS");
+}
+
+TEST(EnvPositiveSizeDeathTest, InvalidBatchRowsDiesEvenWithStaticOff) {
+  // The combination negative path end-to-end: with the kill switch thrown
+  // AND the numeric knob malformed, reading the numeric knob still aborts
+  // with a message naming AAPAC_BATCH_ROWS (exit 2).
+  setenv("AAPAC_STATIC_OFF", "1", 1);
+  setenv("AAPAC_BATCH_ROWS", "banana", 1);
+  EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_BATCH_ROWS", 1024),
+              ::testing::ExitedWithCode(2), "AAPAC_BATCH_ROWS");
+  setenv("AAPAC_BATCH_ROWS", "-64", 1);
+  EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_BATCH_ROWS", 1024),
+              ::testing::ExitedWithCode(2), "AAPAC_BATCH_ROWS");
+  unsetenv("AAPAC_STATIC_OFF");
+  unsetenv("AAPAC_BATCH_ROWS");
 }
 
 TEST(EnvPositiveSizeDeathTest, InvalidValueExitsWithNamedError) {

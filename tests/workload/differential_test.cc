@@ -1,20 +1,23 @@
 // Differential & property harness for the morsel-parallel executor, the
-// policy-dictionary verdict table, the policy zone map and the vectorized
-// executor: 500 seeded random SELECTs over the patients database, each
-// executed seven ways —
+// policy-dictionary verdict table, the policy zone map, the vectorized
+// executor and the bind-time StaticVerdict pass: 500 seeded random SELECTs
+// over the patients database, each executed eight ways —
 //   (1) serial, unenforced            (the paper's "original query" runs)
 //   (2) serial, purpose-enforced      (memoization + zone maps + the
-//       vectorized batch executor on — the default configuration)
+//       vectorized batch executor + static verdicts on — the default
+//       configuration)
 //   (3) morsel-parallel, enforced     (the morsel executor, vector on)
 //   (4) serial, enforced, verdict table force-disabled (every tuple through
 //       the full CompliesWithPacked sweep — the pre-dictionary path)
 //   (5) serial, enforced, zone maps force-disabled (memoized per-tuple path
 //       with no block skipping / bulk-accept)
-//   (6) serial, enforced, vectorized executor force-disabled (the
+//   (6) serial, enforced, StaticVerdict pass force-disabled (no bind-time
+//       whole-table classification — AAPAC_STATIC_OFF)
+//   (7) serial, enforced, vectorized executor force-disabled (the
 //       row-at-a-time scan/probe/filter path — AAPAC_VECTOR_OFF)
-//   (7) morsel-parallel, enforced, vectorized executor force-disabled
-// — asserting that (3) through (7) are row-for-row identical to (2), that
-// (3) through (7) spend exactly the same number of logical compliance
+//   (8) morsel-parallel, enforced, vectorized executor force-disabled
+// — asserting that (3) through (8) are row-for-row identical to (2), that
+// (3) through (8) spend exactly the same number of logical compliance
 // checks as (2) (check exactness at DOP 1 and DOP N, batch and row), that
 // (2) never returns a tuple (1) would not (enforcement only filters), and,
 // for queries without sub-queries, that (2) equals a brute-force reference
@@ -251,6 +254,14 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     h.monitor->SetZoneMapEnabled(true);
     ASSERT_TRUE(nozone.ok()) << ctx << "\n  " << nozone.status();
 
+    h.monitor->SetStaticVerdictEnabled(false);
+    const uint64_t checks_before_nostatic = h.monitor->compliance_checks();
+    auto nostatic = h.monitor->ExecuteQuery(q.sql, q.purpose);
+    const uint64_t nostatic_checks =
+        h.monitor->compliance_checks() - checks_before_nostatic;
+    h.monitor->SetStaticVerdictEnabled(true);
+    ASSERT_TRUE(nostatic.ok()) << ctx << "\n  " << nostatic.status();
+
     h.monitor->SetVectorEnabled(false);
     const uint64_t checks_before_rowpath = h.monitor->compliance_checks();
     auto rowpath = h.monitor->ExecuteQuery(q.sql, q.purpose);
@@ -311,6 +322,20 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     }
     ASSERT_EQ(nozone_checks, memo_checks)
         << ctx << "\n  zone maps changed the compliance-check count";
+
+    // (a''+) The StaticVerdict pass is invisible: with bind-time
+    // whole-table classification force-disabled (no marks produced, no
+    // marks honoured) the rows and the logical check count are identical —
+    // marking changes what an evaluation costs, never how often it happens.
+    const std::vector<std::string> nostatic_rows = RenderRows(*nostatic);
+    ASSERT_EQ(nostatic_rows.size(), serial_rows.size()) << ctx;
+    for (size_t r = 0; r < serial_rows.size(); ++r) {
+      ASSERT_EQ(nostatic_rows[r], serial_rows[r])
+          << ctx << "\n  static-verdict divergence at row " << r;
+    }
+    ASSERT_EQ(nostatic_checks, memo_checks)
+        << ctx << "\n  the static-verdict pass changed the compliance-check "
+        << "count";
 
     // (a''') The vectorized executor is invisible: batch vs row-at-a-time,
     // serial vs morsel-parallel, rows and logical check counts all agree.

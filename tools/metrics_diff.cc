@@ -16,19 +16,25 @@
 // half-written dump would otherwise sail through every substring check).
 //
 // --require flips the tool into a presence gate with no baseline: every
-// named metric must appear in the dump, either as a counter (plain number —
-// its value is printed) or as a histogram object. CI uses it to assert that
-// new instrumentation (e.g. enforce.verdict_memo_hits) is actually
-// published by the bench binaries, independent of its value's magnitude.
+// named metric must appear as a TOP-LEVEL key of the dump, either as a
+// counter (plain number — its value is printed) or as a histogram object.
+// CI uses it to assert that new instrumentation (e.g.
+// enforce.verdict_memo_hits) is actually published by the bench binaries,
+// independent of its value's magnitude — a counter published with value 0
+// is present. Lookup is anchored via tools/metrics_require.h: a name that
+// only occurs inside a histogram object or a string value is missing.
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "tools/metrics_require.h"
 
 namespace {
 
@@ -125,9 +131,11 @@ const char* kStages[] = {
     "pipeline.cache_lookup", "pipeline.queue_wait", "pipeline.lock_wait",
     "pipeline.execute"};
 
-/// Presence gate: every metric named on the command line must exist in the
-/// dump, as either `"name":<number>` (counter/gauge) or `"name":{...}`
-/// (histogram). Exit 1 lists what is missing.
+/// Presence gate: every metric named on the command line must exist as a
+/// top-level key of the dump, as either `"name":<number>` (counter/gauge)
+/// or `"name":{...}` (histogram). Presence is decided by anchored key
+/// lookup, independent of the value — a 0-valued counter is present. Exit 1
+/// lists what is missing.
 int RunRequire(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
@@ -135,23 +143,22 @@ int RunRequire(int argc, char** argv) {
     return 2;
   }
   const std::string current = ReadFile(argv[2]);
+  const std::map<std::string, std::string> entries =
+      aapac::tools::TopLevelValues(current);
   int missing = 0;
   for (int i = 3; i < argc; ++i) {
     const std::string name = argv[i];
-    const std::string key = "\"" + name + "\":";
-    const size_t pos = current.find(key);
-    if (pos == std::string::npos) {
+    const aapac::tools::RequiredMetric m =
+        aapac::tools::RequireMetric(entries, name);
+    if (!m.present) {
       std::fprintf(stderr, "metrics_diff: required metric %s is missing\n",
                    name.c_str());
       ++missing;
-      continue;
-    }
-    const char* value = current.c_str() + pos + key.size();
-    if (*value == '{') {
+    } else if (m.is_object) {
       std::printf("metrics_diff: %s present (histogram)\n", name.c_str());
     } else {
       std::printf("metrics_diff: %s present (value %.0f)\n", name.c_str(),
-                  std::strtod(value, nullptr));
+                  m.value);
     }
   }
   return missing > 0 ? 1 : 0;

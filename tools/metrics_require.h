@@ -1,0 +1,151 @@
+#ifndef AAPAC_TOOLS_METRICS_REQUIRE_H_
+#define AAPAC_TOOLS_METRICS_REQUIRE_H_
+
+// Anchored top-level key lookup for `metrics_diff --require`.
+//
+// The presence gate must decide whether a metric exists as a TOP-LEVEL key
+// of a MetricsRegistry::RenderJson() dump — nothing else. A plain substring
+// search cannot do that: it finds `"p99_us":` inside a histogram object,
+// finds quoted look-alikes inside string values, and couples "is it there"
+// to wherever the first match happens to land, which is how a counter that
+// is genuinely present (with value 0) could be reported missing while an
+// inner histogram field passed as present. This scanner walks the dump's
+// top level only, so presence is exact and independent of the value — a
+// 0-valued counter is present, full stop.
+//
+// Header-only so the regression tests (tests/tools) exercise the very code
+// the tool ships.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace aapac::tools {
+
+struct RequiredMetric {
+  /// The name is a top-level key of the dump — independent of its value.
+  bool present = false;
+  /// Histogram or gauge (object value) rather than a counter.
+  bool is_object = false;
+  /// Counter value; meaningful only when present && !is_object. Zero is a
+  /// perfectly good value for a published-but-idle counter.
+  double value = 0.0;
+};
+
+/// Maps each top-level key of `json` (one JSON object) to the raw text of
+/// its value. Nested keys — histogram fields, gauge fields — are skipped
+/// over, not surfaced. Malformed trailing content ends the scan early;
+/// callers gate well-formedness separately.
+inline std::map<std::string, std::string> TopLevelValues(
+    const std::string& json) {
+  std::map<std::string, std::string> out;
+  size_t i = 0;
+  const size_t n = json.size();
+  const auto skip_ws = [&] {
+    while (i < n && std::isspace(static_cast<unsigned char>(json[i]))) ++i;
+  };
+  // Consumes the string literal at json[i] == '"'; false on truncation.
+  const auto parse_string = [&](std::string* s) {
+    ++i;
+    s->clear();
+    while (i < n) {
+      const char c = json[i];
+      if (c == '\\') {
+        if (i + 1 >= n) return false;
+        s->push_back(json[i + 1]);
+        i += 2;
+      } else if (c == '"') {
+        ++i;
+        return true;
+      } else {
+        s->push_back(c);
+        ++i;
+      }
+    }
+    return false;
+  };
+  // Consumes one value (scalar, string, or balanced object/array) and
+  // reports its extent.
+  const auto skip_value = [&](size_t* start, size_t* len) {
+    skip_ws();
+    *start = i;
+    if (i >= n) return false;
+    if (json[i] == '"') {
+      std::string ignored;
+      if (!parse_string(&ignored)) return false;
+    } else if (json[i] == '{' || json[i] == '[') {
+      int depth = 0;
+      bool in_string = false;
+      for (; i < n; ++i) {
+        const char c = json[i];
+        if (in_string) {
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            in_string = false;
+          }
+          continue;
+        }
+        if (c == '"') {
+          in_string = true;
+        } else if (c == '{' || c == '[') {
+          ++depth;
+        } else if (c == '}' || c == ']') {
+          if (--depth == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+      if (depth != 0) return false;
+    } else {
+      while (i < n && json[i] != ',' && json[i] != '}') ++i;
+    }
+    *len = i - *start;
+    return true;
+  };
+
+  skip_ws();
+  if (i >= n || json[i] != '{') return out;
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i >= n || json[i] == '}') break;
+    if (json[i] != '"') break;
+    std::string key;
+    if (!parse_string(&key)) break;
+    skip_ws();
+    if (i >= n || json[i] != ':') break;
+    ++i;
+    size_t start = 0;
+    size_t len = 0;
+    if (!skip_value(&start, &len)) break;
+    out[key] = json.substr(start, len);
+    skip_ws();
+    if (i >= n || json[i] != ',') break;
+    ++i;
+  }
+  return out;
+}
+
+/// Exact-name lookup of `name` among `entries` (from TopLevelValues).
+inline RequiredMetric RequireMetric(
+    const std::map<std::string, std::string>& entries,
+    const std::string& name) {
+  RequiredMetric r;
+  const auto it = entries.find(name);
+  if (it == entries.end()) return r;
+  r.present = true;
+  const std::string& v = it->second;
+  if (!v.empty() && (v[0] == '{' || v[0] == '[')) {
+    r.is_object = true;
+  } else {
+    r.value = std::strtod(v.c_str(), nullptr);
+  }
+  return r;
+}
+
+}  // namespace aapac::tools
+
+#endif  // AAPAC_TOOLS_METRICS_REQUIRE_H_
