@@ -1,4 +1,5 @@
-// Server throughput — enforced queries/second vs. worker thread count.
+// Server throughput — enforced queries/second vs. worker thread count,
+// measured with a concurrent writer in the mix.
 //
 // Closed-loop load test of the aapac::server::EnforcementServer: for each
 // worker count in {1, 2, 4, 8} a matching number of client threads opens a
@@ -8,18 +9,33 @@
 // rate covers only the measured (repeated-query) phase — the steady state a
 // serving deployment sits in.
 //
+// Unless AAPAC_BENCH_NO_DML is set, one background writer thread runs
+// insert/delete pairs against the unprotected purpose-metadata table for
+// the whole measured phase. Under the default epoch-based snapshot
+// concurrency readers never block on it (it publishes copy-on-write
+// versions); under AAPAC_EPOCH_OFF it contends for the exclusive side of
+// the data lock against every reader — the difference is the point of the
+// bench.
+//
 // Reported per worker count: wall-clock qps, speedup vs. 1 worker, cache
-// hit rate, and rejected submissions (queue backpressure; expected 0 for a
-// closed loop with clients == workers). Speedup scales with physical cores:
-// on a single-core host the 4-thread run cannot beat the 1-thread run, so
-// hardware_concurrency is part of the output.
+// hit rate, rejected submissions (queue backpressure; expected 0 for a
+// closed loop with clients == workers) and the writer's completed DML ops.
+// Speedup scales with physical cores: on a single-core host the 4-thread
+// run cannot beat the 1-thread run, so hardware_concurrency is part of the
+// output.
+//
+// A second sweep holds the pool at 4 workers and grids per-query DOP
+// (morsel lanes) x concurrent sessions, emitting one `server_sweep` JSON
+// line per cell — the intra- vs. inter-query parallelism trade at a glance.
 //
 // Defaults are small (200 patients x 20 samples) so the bench finishes in
 // seconds; export AAPAC_PATIENTS/AAPAC_SAMPLES/AAPAC_PASSES to scale up.
 
+#include <atomic>
 #include <cinttypes>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -29,23 +45,46 @@
 namespace aapac::bench {
 namespace {
 
+/// Insert/delete churn on the unprotected `pr` table until `stop`; returns
+/// completed statements. Runs while readers are being measured, exercising
+/// version publication (epoch mode) or writer-lock contention (fallback).
+uint64_t DmlChurn(server::EnforcementServer* server, server::SessionId sid,
+                  const std::atomic<bool>& stop) {
+  uint64_t ops = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    auto ins =
+        server->ExecuteInsert(sid, "insert into pr values ('zz_probe', 'x')");
+    if (!ins.ok()) std::abort();
+    auto del =
+        server->ExecuteDelete(sid, "delete from pr where id = 'zz_probe'");
+    if (!del.ok()) std::abort();
+    ops += 2;
+    // Modest pacing so the writer interferes without monopolizing a core.
+    std::this_thread::yield();
+  }
+  return ops;
+}
+
 int Run() {
   const size_t patients = EnvSize("AAPAC_PATIENTS", 200);
   const size_t samples = EnvSize("AAPAC_SAMPLES", 20);
   const size_t passes = EnvSize("AAPAC_PASSES", 5);
+  const bool with_dml = std::getenv("AAPAC_BENCH_NO_DML") == nullptr;
   const std::vector<size_t> worker_counts = {1, 2, 4, 8};
 
   std::printf("# Server throughput: enforced qps vs worker threads\n");
   std::printf(
-      "# patients=%zu samples/patient=%zu passes=%zu hw_concurrency=%u\n",
-      patients, samples, passes, std::thread::hardware_concurrency());
+      "# patients=%zu samples/patient=%zu passes=%zu dml_churn=%s "
+      "hw_concurrency=%u\n",
+      patients, samples, passes, with_dml ? "on" : "off",
+      std::thread::hardware_concurrency());
 
   Scenario s = BuildScenario(patients, samples);
   ApplySelectivity(&s, 0.2);
   const std::vector<workload::BenchQuery> queries = AllQueries();
 
-  std::printf("%-8s %10s %10s %10s %10s %10s\n", "workers", "queries",
-              "qps", "speedup", "hit_rate", "rejected");
+  std::printf("%-8s %10s %10s %10s %10s %10s %10s\n", "workers", "queries",
+              "qps", "speedup", "hit_rate", "rejected", "dml_ops");
 
   double qps_at_1 = 0;
   for (size_t workers : worker_counts) {
@@ -58,8 +97,8 @@ int Run() {
     server::EnforcementServer server(s.monitor.get(), options);
 
     const size_t clients = workers;
-    std::vector<server::SessionId> sids(clients);
-    for (size_t c = 0; c < clients; ++c) {
+    std::vector<server::SessionId> sids(clients + 1);
+    for (size_t c = 0; c < clients + 1; ++c) {
       auto sid = server.OpenSession(/*user=*/"", "p3");
       if (!sid.ok()) {
         std::fprintf(stderr, "open session failed: %s\n",
@@ -82,6 +121,14 @@ int Run() {
     server.cache().ResetStats();
     ResetMetrics(s.monitor.get());
 
+    std::atomic<bool> stop_dml{false};
+    uint64_t dml_ops = 0;
+    std::thread dml_thread;
+    if (with_dml) {
+      dml_thread = std::thread(
+          [&] { dml_ops = DmlChurn(&server, sids[clients], stop_dml); });
+    }
+
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> client_threads;
     client_threads.reserve(clients);
@@ -97,6 +144,8 @@ int Run() {
     }
     for (auto& t : client_threads) t.join();
     const auto end = std::chrono::steady_clock::now();
+    stop_dml.store(true, std::memory_order_relaxed);
+    if (dml_thread.joinable()) dml_thread.join();
     const double seconds = std::chrono::duration<double>(end - start).count();
 
     const size_t total = clients * passes * queries.size();
@@ -105,9 +154,10 @@ int Run() {
     const double speedup = qps_at_1 > 0 ? qps / qps_at_1 : 0;
     const server::CacheStats cs = server.cache_stats();
 
-    std::printf("%-8zu %10zu %10.1f %10.2f %9.1f%% %10" PRIu64 "\n", workers,
-                total, qps, speedup, 100.0 * cs.hit_rate(),
-                server.rejected_total());
+    std::printf("%-8zu %10zu %10.1f %10.2f %9.1f%% %10" PRIu64 " %10" PRIu64
+                "\n",
+                workers, total, qps, speedup, 100.0 * cs.hit_rate(),
+                server.rejected_total(), dml_ops);
     const server::ServerSnapshot snap = server.Snapshot();
     JsonLine("server_throughput")
         .Int("workers", workers)
@@ -125,11 +175,75 @@ int Run() {
         .Int("queue_depth_hwm", static_cast<uint64_t>(snap.queue_depth_hwm))
         .Int("lock_shared", snap.lock_shared)
         .Int("lock_exclusive", snap.lock_exclusive)
+        .Int("epoch_enabled", snap.epoch_enabled ? 1 : 0)
+        .Int("epoch", snap.epoch)
+        .Int("epoch_published", snap.epoch_published)
+        .Int("epoch_reclaimed", snap.epoch_reclaimed)
+        .Int("audit_folds", snap.audit_folds)
+        .Int("audit_fold_rows", snap.audit_fold_rows)
+        .Int("dml_ops", dml_ops)
         .Int("hw_concurrency", std::thread::hardware_concurrency())
         .Emit();
     char label[32];
     std::snprintf(label, sizeof(label), "workers=%zu", workers);
     EmitStageLatencies(s.monitor.get(), "server_throughput", label);
+  }
+
+  // DOP x sessions sweep: fixed 4-worker pool, vary per-query morsel lanes
+  // against concurrent session count. One warm pass per cell, one measured
+  // pass; each session is driven by its own client thread.
+  const std::vector<size_t> dops = {1, 2, 4};
+  const std::vector<size_t> session_counts = {1, 4, 16};
+  std::printf("# DOP x sessions sweep (4 workers, 1 pass)\n");
+  std::printf("%-6s %-10s %10s %10s\n", "dop", "sessions", "queries", "qps");
+  for (size_t dop : dops) {
+    for (size_t nsessions : session_counts) {
+      server::ServerOptions options;
+      options.threads = 4;
+      options.query_threads = dop;
+      server::EnforcementServer server(s.monitor.get(), options);
+      std::vector<server::SessionId> sids(nsessions);
+      for (size_t c = 0; c < nsessions; ++c) {
+        auto sid = server.OpenSession(/*user=*/"", "p3");
+        if (!sid.ok()) return 1;
+        sids[c] = *sid;
+      }
+      for (const auto& q : queries) {
+        auto rs = server.Execute(sids[0], q.sql);
+        if (!rs.ok()) return 1;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> client_threads;
+      client_threads.reserve(nsessions);
+      for (size_t c = 0; c < nsessions; ++c) {
+        client_threads.emplace_back([&, c] {
+          for (const auto& q : queries) {
+            auto rs = server.Execute(sids[c], q.sql);
+            if (!rs.ok()) std::abort();
+          }
+        });
+      }
+      for (auto& t : client_threads) t.join();
+      const auto end = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(end - start).count();
+      const size_t total = nsessions * queries.size();
+      const double qps =
+          seconds > 0 ? static_cast<double>(total) / seconds : 0;
+      std::printf("%-6zu %-10zu %10zu %10.1f\n", dop, nsessions, total, qps);
+      JsonLine("server_sweep")
+          .Int("workers", 4)
+          .Int("dop", dop)
+          .Int("sessions", nsessions)
+          .Int("patients", patients)
+          .Int("samples", samples)
+          .Int("queries", total)
+          .Num("seconds", seconds)
+          .Num("qps", qps)
+          .Int("epoch_enabled", server.epoch_mode() ? 1 : 0)
+          .Int("hw_concurrency", std::thread::hardware_concurrency())
+          .Emit();
+    }
   }
   MaybeDumpMetricsJson(s.monitor.get());
   MaybeDumpMetricsProm(s.monitor.get());

@@ -1,0 +1,85 @@
+#ifndef AAPAC_CORE_AUDIT_BUFFER_H_
+#define AAPAC_CORE_AUDIT_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace aapac::core {
+
+/// Sharded staging area for audit rows under epoch concurrency
+/// (docs/concurrency.md): workers append to a per-shard buffer (sharded by
+/// thread-id hash, so concurrent statements rarely contend on one mutex)
+/// instead of inserting into the audit table directly, and a fold —
+/// triggered by the server's background folder, by an audit-scan SELECT
+/// (fold-then-read) and at shutdown — drains every shard into the table in
+/// global sequence order.
+///
+/// Ordering guarantee: a record's sequence number is allocated from one
+/// global counter INSIDE its shard lock, and a fold locks ALL shards before
+/// draining any. So every append either completed before the fold (its
+/// record is drained) or allocates a strictly larger sequence number after
+/// it — each fold moves a dense, gap-free prefix of the sequence space into
+/// the table, and the folded table is totally ordered by `seq` exactly like
+/// the direct-insert path it replaces.
+class AuditBuffer {
+ public:
+  /// One buffered audit row; mirrors the audit_log schema minus `seq`
+  /// (allocated at append) — see EnforcementMonitor::EnableAuditLog.
+  struct Record {
+    uint64_t seq = 0;
+    std::string user;
+    std::string purpose;
+    std::string sql;
+    const char* outcome = "";
+    uint64_t checks = 0;
+    int64_t rows = 0;
+    int64_t trace_id = 0;
+    int64_t profile_id = 0;
+  };
+
+  /// `start_seq` continues the monitor's direct-path numbering: the first
+  /// appended record gets start_seq + 1.
+  AuditBuffer(size_t shards, uint64_t start_seq);
+
+  AuditBuffer(const AuditBuffer&) = delete;
+  AuditBuffer& operator=(const AuditBuffer&) = delete;
+
+  /// Thread-safe; allocates the record's sequence number.
+  void Append(Record record);
+
+  /// Records appended but not yet folded.
+  size_t pending() const;
+
+  /// Highest sequence number allocated so far (== start_seq when none).
+  uint64_t last_seq() const {
+    return next_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Drains every shard into `audit` in ascending `seq` order; returns the
+  /// number of rows inserted. The caller serializes folds with each other
+  /// and with other writers (the server's writer mutex), opens the table's
+  /// copy-on-write transaction (BeginWrite) beforehand and publishes
+  /// afterwards.
+  size_t FoldInto(engine::Table* audit);
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<Record> records;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_seq_;
+};
+
+}  // namespace aapac::core
+
+#endif  // AAPAC_CORE_AUDIT_BUFFER_H_

@@ -210,6 +210,23 @@ Status EnforcementMonitor::EnableAuditLog() {
   return Status::OK();
 }
 
+void EnforcementMonitor::EnableAuditBuffering(size_t shards) {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  if (audit_buffer_owned_ != nullptr) return;
+  // Seed from the direct path's counter so the first buffered record
+  // continues the existing numbering without a gap.
+  audit_buffer_owned_ = std::make_unique<AuditBuffer>(shards, audit_seq_);
+  audit_buffer_.store(audit_buffer_owned_.get(), std::memory_order_release);
+}
+
+void EnforcementMonitor::DisableAuditBuffering() {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  if (audit_buffer_owned_ == nullptr) return;
+  audit_seq_ = audit_buffer_owned_->last_seq();
+  audit_buffer_.store(nullptr, std::memory_order_release);
+  audit_buffer_owned_.reset();
+}
+
 void EnforcementMonitor::AppendAudit(const std::string& user,
                                      const std::string& purpose,
                                      const std::string& sql,
@@ -225,6 +242,22 @@ void EnforcementMonitor::AppendAudit(const std::string& user,
       static_cast<int64_t>(obs::TraceStore::CurrentId());
   const int64_t profile_id =
       static_cast<int64_t>(obs::ProfileStore::CurrentId());
+  // Epoch mode: stage the record in the sharded buffer — no table write, so
+  // pinned readers can append freely; the server folds under its writer
+  // mutex (fold ordering argument in core/audit_buffer.h).
+  if (AuditBuffer* buf = audit_buffer_.load(std::memory_order_acquire)) {
+    AuditBuffer::Record r;
+    r.user = user;
+    r.purpose = purpose;
+    r.sql = sql;
+    r.outcome = outcome;
+    r.checks = checks;
+    r.rows = rows;
+    r.trace_id = trace_id;
+    r.profile_id = profile_id;
+    buf->Append(std::move(r));
+    return;
+  }
   // Allocate the sequence number and append under one lock so concurrent
   // workers produce gap-free, duplicate-free, insertion-ordered sequences.
   std::lock_guard<std::mutex> lock(audit_mutex_);

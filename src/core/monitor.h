@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/audit_buffer.h"
 #include "core/catalog.h"
 #include "core/rewriter.h"
 #include "core/static_verdict.h"
@@ -259,6 +260,25 @@ class EnforcementMonitor {
   Status EnableAuditLog();
   bool audit_enabled() const { return audit_enabled_; }
 
+  /// Routes audit appends through a sharded staging buffer instead of
+  /// inserting into audit_log directly — the epoch-mode server enables this
+  /// so readers can append without any table write, and folds the buffer
+  /// into the table under its writer mutex (core/audit_buffer.h has the
+  /// ordering argument). Sequence numbering continues seamlessly from the
+  /// direct path. Idempotent; safe to call before EnableAuditLog (appends
+  /// stay gated on audit_enabled_ either way).
+  void EnableAuditBuffering(size_t shards);
+
+  /// Reverts to direct inserts, adopting the buffer's sequence counter so
+  /// numbering stays dense. Call only after a final fold has drained the
+  /// buffer (the server's Shutdown does); un-folded records would be lost.
+  void DisableAuditBuffering();
+
+  /// The active buffer, or nullptr when appends go straight to the table.
+  AuditBuffer* audit_buffer() {
+    return audit_buffer_.load(std::memory_order_acquire);
+  }
+
  private:
   bool IsAuthorized(const std::string& user,
                     const std::string& purpose_id) const;
@@ -296,6 +316,10 @@ class EnforcementMonitor {
   // concurrent workers never interleave seq allocation with row insertion.
   std::mutex audit_mutex_;
   uint64_t audit_seq_ = 0;
+  // Sharded staging for epoch mode; the atomic raw pointer is the hot-path
+  // routing check (AppendAudit), the unique_ptr the owner.
+  std::unique_ptr<AuditBuffer> audit_buffer_owned_;
+  std::atomic<AuditBuffer*> audit_buffer_{nullptr};
 };
 
 }  // namespace aapac::core

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include "util/epoch.h"
 #include "util/strings.h"
 
 namespace aapac::engine {
@@ -11,6 +12,7 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
   }
   auto table = std::make_unique<Table>(key, std::move(schema));
   Table* ptr = table.get();
+  if (versioned_) ptr->EnableVersioning();
   tables_[key] = std::move(table);
   return ptr;
 }
@@ -36,6 +38,37 @@ Result<Table*> Database::GetTable(const std::string& name) {
   Table* t = FindTable(name);
   if (t == nullptr) return Status::NotFound("table '" + name + "' does not exist");
   return t;
+}
+
+void Database::EnableVersioning() {
+  versioned_ = true;
+  for (auto& [name, t] : tables_) t->EnableVersioning();
+}
+
+void Database::DisableVersioning() {
+  versioned_ = false;
+  for (auto& [name, t] : tables_) t->DisableVersioning();
+}
+
+size_t Database::PublishWrites() {
+  std::vector<std::shared_ptr<void>> superseded;
+  for (auto& [name, t] : tables_) {
+    if (std::shared_ptr<void> old = t->PublishWorking()) {
+      superseded.push_back(std::move(old));
+    }
+  }
+  if (superseded.empty()) return 0;
+  util::EpochManager& epochs = util::EpochManager::Instance();
+  // ONE bump for the whole statement, after every table's new version is
+  // visible: readers pinned at or after the post-bump epoch provably see
+  // all of them (W1* before W2 in the seq_cst total order).
+  const uint64_t retire_epoch = epochs.BumpEpoch();
+  const size_t published = superseded.size();
+  for (std::shared_ptr<void>& old : superseded) {
+    epochs.Retire(retire_epoch, std::move(old));
+  }
+  epochs.TryReclaim();
+  return published;
 }
 
 std::vector<std::string> Database::TableNames() const {

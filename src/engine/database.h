@@ -40,9 +40,31 @@ class Database {
   FunctionRegistry& functions() { return functions_; }
   const FunctionRegistry& functions() const { return functions_; }
 
+  // --- Epoch-based copy-on-write concurrency (docs/concurrency.md). --------
+
+  /// Switches every table (and every table created later) into
+  /// copy-on-write versioned mode. Caller guarantees quiescence; the
+  /// enforcement server does this at startup. Idempotent.
+  void EnableVersioning();
+
+  /// Reverts to plain storage under external locking; open working copies
+  /// fold into the owned state. Caller guarantees quiescence (the server's
+  /// Shutdown joins its workers first). Idempotent.
+  void DisableVersioning();
+
+  bool versioned() const { return versioned_; }
+
+  /// Publishes every open working copy with ONE epoch bump, retires the
+  /// superseded versions to the process EpochManager and opportunistically
+  /// reclaims. Returns the number of table versions published (0 when no
+  /// write was open — cheap, so write paths call it unconditionally).
+  /// Caller is the single writer (externally serialized).
+  size_t PublishWrites();
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;  // Keyed lowercase.
   FunctionRegistry functions_;
+  bool versioned_ = false;
 };
 
 }  // namespace aapac::engine

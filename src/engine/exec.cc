@@ -2044,11 +2044,29 @@ Result<std::vector<Row>> Executor::EvalInsertSource(
   return out;
 }
 
+namespace {
+
+/// Scoped copy-on-write transaction for the three DML entry points under
+/// epoch versioning (no-ops when the database is unversioned): opens the
+/// target table's working clone up front and publishes every open working
+/// copy on ALL exit paths — success and error alike. Publishing a
+/// rolled-back or untouched working state is deliberate: it reproduces the
+/// unversioned path's observable state (intern-version bumps included) byte
+/// for byte, which the differential harness's epoch-on/off legs assert.
+struct ScopedDmlWrite {
+  Database* db;
+  ScopedDmlWrite(Database* db, Table* table) : db(db) { table->BeginWrite(); }
+  ~ScopedDmlWrite() { db->PublishWrites(); }
+};
+
+}  // namespace
+
 Result<size_t> Executor::ExecuteInsert(
     const sql::InsertStmt& stmt,
     const std::optional<std::pair<std::string, Value>>& forced_column) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  ScopedDmlWrite write(db_, table);
   const Schema& schema = table->schema();
 
   std::optional<size_t> forced_index;
@@ -2146,6 +2164,7 @@ Result<bool> RowMatches(const BoundExprPtr& predicate, const Row& row) {
 Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  ScopedDmlWrite write(db_, table);
   if (stmt.assignments.empty()) {
     return Status::InvalidArgument("UPDATE without assignments");
   }
@@ -2225,6 +2244,7 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
 Result<size_t> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   AAPAC_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  ScopedDmlWrite write(db_, table);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
                     verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
                     static_verdict_enabled_);

@@ -1,6 +1,106 @@
 #include "engine/table.h"
 
+#include "engine/database.h"
+
 namespace aapac::engine {
+
+namespace {
+
+/// The ambient per-thread snapshot installed by TableSnapshot::ScopedUse.
+thread_local const TableSnapshot* g_snapshot = nullptr;
+
+}  // namespace
+
+void TableSnapshot::Capture(const Database& db) {
+  entries_.clear();
+  for (const std::string& name : db.TableNames()) {
+    const Table* t = db.FindTable(name);
+    if (t == nullptr || !t->versioned()) continue;
+    entries_.emplace_back(t, t->published_head());
+  }
+}
+
+const TableVersion* TableSnapshot::Find(const Table* t) const {
+  for (const auto& [table, version] : entries_) {
+    if (table == t) return version;
+  }
+  return nullptr;
+}
+
+TableSnapshot::ScopedUse::ScopedUse(const TableSnapshot* snap)
+    : prev_(g_snapshot) {
+  g_snapshot = snap;
+}
+
+TableSnapshot::ScopedUse::~ScopedUse() { g_snapshot = prev_; }
+
+const TableSnapshot* TableSnapshot::Current() { return g_snapshot; }
+
+const TableVersion* Table::ResolveVersion() const {
+  // The writer sees its own uncommitted working copy (UPDATE's read pass,
+  // INSERT ... SELECT over the target table).
+  if (writer_tid_.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
+    return working_.get();
+  }
+  // A statement executing under the server's per-statement snapshot sticks
+  // to the versions captured at statement start.
+  if (const TableSnapshot* snap = g_snapshot) {
+    if (const TableVersion* v = snap->Find(this)) return v;
+  }
+  return published_.load(std::memory_order_seq_cst);
+}
+
+std::unique_ptr<TableVersion> Table::CloneVersion(const TableVersion& v) {
+  auto clone = std::make_unique<TableVersion>();
+  clone->rows = v.rows;
+  if (v.dict != nullptr) {
+    clone->dict = std::make_unique<PolicyDictionary>(*v.dict);
+  }
+  if (v.zone != nullptr) clone->zone = v.zone->Clone();
+  clone->intern_version.store(
+      v.intern_version.load(std::memory_order_acquire),
+      std::memory_order_relaxed);
+  return clone;
+}
+
+void Table::EnableVersioning() {
+  if (versioned_.load(std::memory_order_acquire)) return;
+  published_.store(owned_.get(), std::memory_order_seq_cst);
+  versioned_.store(true, std::memory_order_seq_cst);
+}
+
+void Table::DisableVersioning() {
+  if (!versioned_.load(std::memory_order_acquire)) return;
+  // Caller guarantees quiescence. An open working copy (abandoned write)
+  // becomes the owned state; the superseded version dies here, which is
+  // safe precisely because no reader can be live.
+  if (working_ != nullptr) {
+    owned_ = std::move(working_);
+    writer_tid_.store(std::thread::id(), std::memory_order_seq_cst);
+  }
+  versioned_.store(false, std::memory_order_seq_cst);
+  published_.store(nullptr, std::memory_order_seq_cst);
+}
+
+void Table::BeginWrite() {
+  if (!versioned_.load(std::memory_order_acquire)) return;
+  if (working_ != nullptr) return;  // Write already open (idempotent).
+  working_ = CloneVersion(*owned_);
+  writer_tid_.store(std::this_thread::get_id(), std::memory_order_seq_cst);
+}
+
+std::shared_ptr<void> Table::PublishWorking() {
+  if (working_ == nullptr) return nullptr;
+  std::shared_ptr<TableVersion> old(std::move(owned_));
+  owned_ = std::move(working_);
+  // W1 of the publish protocol (docs/concurrency.md): readers switching
+  // here mid-statement are fine — both versions are fully formed — and the
+  // superseded one survives via `old` until the epoch manager frees it.
+  published_.store(owned_.get(), std::memory_order_seq_cst);
+  writer_tid_.store(std::thread::id(), std::memory_order_seq_cst);
+  return old;
+}
 
 Status Table::Insert(Row row) {
   if (row.size() != schema_.num_columns()) {
@@ -22,57 +122,62 @@ Status Table::Insert(Row row) {
       row[i] = Value::Double(static_cast<double>(row[i].AsInt()));
     }
   }
+  TableVersion* v = Mut();
   if (intern_col_.has_value() && *intern_col_ < row.size()) {
-    dict_->InternInPlace(&row[*intern_col_]);
+    v->dict->InternInPlace(&row[*intern_col_]);
   }
-  if (zone_ != nullptr) zone_->NoteAppend(InternedIdOf(row));
-  BumpInternVersion();
-  rows_.push_back(std::move(row));
+  if (v->zone != nullptr) v->zone->NoteAppend(InternedIdOf(row));
+  BumpInternVersion(v);
+  v->rows.push_back(std::move(row));
   return Status::OK();
 }
 
 void Table::SetInternColumn(size_t col) {
   if (col >= schema_.num_columns()) return;
   intern_col_ = col;
-  if (dict_ == nullptr) dict_ = std::make_unique<PolicyDictionary>();
-  for (Row& row : rows_) {
-    if (col < row.size()) dict_->InternInPlace(&row[col]);
+  TableVersion* v = Mut();
+  if (v->dict == nullptr) v->dict = std::make_unique<PolicyDictionary>();
+  for (Row& row : v->rows) {
+    if (col < row.size()) v->dict->InternInPlace(&row[col]);
   }
   // (Re-)seed the zone map: every existing row just changed representation,
   // so start all blocks dirty and let the first scan rebuild them.
-  if (zone_ == nullptr) {
-    zone_ = std::make_unique<PolicyZoneMap>(PolicyZoneMap::DefaultBlockRows());
+  if (v->zone == nullptr) {
+    v->zone =
+        std::make_unique<PolicyZoneMap>(PolicyZoneMap::DefaultBlockRows());
   }
-  zone_->Reset(rows_.size());
-  BumpInternVersion();
+  v->zone->Reset(v->rows.size());
+  BumpInternVersion(v);
 }
 
 Status Table::AddColumn(Column column, Value fill) {
   AAPAC_RETURN_NOT_OK(schema_.AddColumn(std::move(column)));
-  for (Row& row : rows_) row.push_back(fill);
-  BumpInternVersion();
+  TableVersion* v = Mut();
+  for (Row& row : v->rows) row.push_back(fill);
+  BumpInternVersion(v);
   return Status::OK();
 }
 
 size_t Table::EraseRows(const std::vector<size_t>& sorted_indices) {
   if (sorted_indices.empty()) return 0;
+  TableVersion* v = Mut();
   std::vector<Row> kept;
-  kept.reserve(rows_.size() - sorted_indices.size());
+  kept.reserve(v->rows.size() - sorted_indices.size());
   size_t next = 0;
   size_t removed = 0;
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  for (size_t i = 0; i < v->rows.size(); ++i) {
     if (next < sorted_indices.size() && sorted_indices[next] == i) {
       ++next;
       ++removed;
       continue;
     }
-    kept.push_back(std::move(rows_[i]));
+    kept.push_back(std::move(v->rows[i]));
   }
-  rows_ = std::move(kept);
-  if (removed > 0 && zone_ != nullptr) {
-    zone_->NoteErase(sorted_indices[0], rows_.size());
+  v->rows = std::move(kept);
+  if (removed > 0 && v->zone != nullptr) {
+    v->zone->NoteErase(sorted_indices[0], v->rows.size());
   }
-  if (removed > 0) BumpInternVersion();
+  if (removed > 0) BumpInternVersion(v);
   return removed;
 }
 
@@ -80,20 +185,22 @@ size_t Table::UpdateColumnWhere(size_t col, const Value& value,
                                 const std::vector<size_t>& row_indices) {
   Value v = value;
   InternColumnValue(col, &v);
+  TableVersion* ver = Mut();
   size_t updated = 0;
   for (size_t idx : row_indices) {
-    if (idx < rows_.size() && col < rows_[idx].size()) {
-      rows_[idx][col] = v;
+    if (idx < ver->rows.size() && col < ver->rows[idx].size()) {
+      ver->rows[idx][col] = v;
       ++updated;
-      if (zone_ != nullptr && intern_col_.has_value() && col == *intern_col_) {
-        zone_->MarkRowDirty(idx);
+      if (ver->zone != nullptr && intern_col_.has_value() &&
+          col == *intern_col_) {
+        ver->zone->MarkRowDirty(idx);
       }
     }
   }
   // Bump even for zero-row updates: the caller attempted a write, and the
   // static-verdict cache's demotion property tests assert every write path
   // invalidates unconditionally.
-  BumpInternVersion();
+  BumpInternVersion(ver);
   return updated;
 }
 

@@ -6,6 +6,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/policy_dict.h"
@@ -16,6 +18,66 @@
 
 namespace aapac::engine {
 
+class Database;
+class Table;
+
+/// One immutable-once-published copy of a table's data state: the row
+/// vector plus the policy-interning dictionary, the zone map and the
+/// intern-version tag that describe it. Under epoch concurrency
+/// (docs/concurrency.md) readers resolve one TableVersion per table and the
+/// write paths mutate a private clone, so none of these four pieces can
+/// change under a pinned reader's feet — the version IS the consistency
+/// unit the static-verdict and rewrite caches key on.
+struct TableVersion {
+  std::vector<Row> rows;
+  std::unique_ptr<PolicyDictionary> dict;
+  std::unique_ptr<PolicyZoneMap> zone;
+  /// Monotonic data-mutation counter (see Table::intern_version()). Lives on
+  /// the version, not the table, so a reader's captured tag and the rows it
+  /// describes can never be torn apart by a concurrent publish.
+  std::atomic<uint64_t> intern_version{0};
+};
+
+/// Thread-local capture of published table versions: the server's read path
+/// fills one per statement (while pinned) and installs it with ScopedUse, so
+/// every table access the statement performs — version-tag capture for the
+/// rewrite cache, static-verdict classification, the scan itself — resolves
+/// the SAME version even if a writer publishes midway. Outside a ScopedUse
+/// scope, readers fall through to the live published head.
+class TableSnapshot {
+ public:
+  TableSnapshot() = default;
+  TableSnapshot(const TableSnapshot&) = delete;
+  TableSnapshot& operator=(const TableSnapshot&) = delete;
+
+  /// Records the published version of every versioned table in `db`. Call
+  /// while holding an epoch pin; the pin is what keeps the captured
+  /// versions alive.
+  void Capture(const Database& db);
+
+  /// The captured version for `t`; nullptr when `t` was not captured.
+  const TableVersion* Find(const Table* t) const;
+
+  /// Installs the snapshot as this thread's ambient version context.
+  /// Nestable (the previous context is restored on destruction).
+  class ScopedUse {
+   public:
+    explicit ScopedUse(const TableSnapshot* snap);
+    ~ScopedUse();
+    ScopedUse(const ScopedUse&) = delete;
+    ScopedUse& operator=(const ScopedUse&) = delete;
+
+   private:
+    const TableSnapshot* prev_;
+  };
+
+  /// The ambient snapshot of the calling thread, or nullptr.
+  static const TableSnapshot* Current();
+
+ private:
+  std::vector<std::pair<const Table*, const TableVersion*>> entries_;
+};
+
 /// In-memory row-store table. Rows are vectors of Values parallel to the
 /// schema. The access-control framework stores each tuple's policy mask in a
 /// regular BYTES column named "policy" (added by the admin module, §5.1), so
@@ -24,25 +86,38 @@ namespace aapac::engine {
 /// column are then routed through a per-table PolicyDictionary, which stamps
 /// each distinct blob with a dense id the executor's verdict memoization
 /// keys on.
+///
+/// Concurrency: by default ("unversioned") the table is plain storage under
+/// the caller's external locking — exactly the historical single-writer /
+/// multi-reader contract. EnableVersioning switches it to copy-on-write
+/// epoch mode (docs/concurrency.md): BeginWrite clones the current version
+/// into a private working copy for the (externally serialized) writer,
+/// PublishWorking atomically swaps it in for subsequent readers and hands
+/// the superseded version back for epoch-deferred reclamation, and readers
+/// resolve their version through the ambient TableSnapshot (or the live
+/// published head) without any lock.
 class Table {
  public:
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)), schema_(std::move(schema)) {
+    owned_ = std::make_unique<TableVersion>();
+  }
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
-  size_t num_rows() const { return rows_.size(); }
-  const std::vector<Row>& rows() const { return rows_; }
-  const Row& row(size_t i) const { return rows_[i]; }
+  size_t num_rows() const { return ReadVersion()->rows.size(); }
+  const std::vector<Row>& rows() const { return ReadVersion()->rows; }
+  const Row& row(size_t i) const { return ReadVersion()->rows[i]; }
   /// Hands out a writable row. The caller may rewrite any cell — including
   /// the interned policy column — so the row's zone-map block is
   /// conservatively marked dirty (rebuilt lazily; cheap for non-policy
   /// writes, required for correctness on policy writes).
   Row& mutable_row(size_t i) {
-    if (zone_ != nullptr) zone_->MarkRowDirty(i);
-    BumpInternVersion();
-    return rows_[i];
+    TableVersion* v = Mut();
+    if (v->zone != nullptr) v->zone->MarkRowDirty(i);
+    BumpInternVersion(v);
+    return v->rows[i];
   }
 
   /// Validates arity and (loosely) types: each value must be NULL or match
@@ -52,32 +127,37 @@ class Table {
   /// Bulk-append without per-value checks; used by workload generators that
   /// construct rows straight from the schema. Caller guarantees shape.
   void InsertUnchecked(Row row) {
+    TableVersion* v = Mut();
     if (intern_col_.has_value() && *intern_col_ < row.size()) {
-      dict_->InternInPlace(&row[*intern_col_]);
+      v->dict->InternInPlace(&row[*intern_col_]);
     }
-    if (zone_ != nullptr) zone_->NoteAppend(InternedIdOf(row));
-    BumpInternVersion();
-    rows_.push_back(std::move(row));
+    if (v->zone != nullptr) v->zone->NoteAppend(InternedIdOf(row));
+    BumpInternVersion(v);
+    v->rows.push_back(std::move(row));
   }
 
-  void Reserve(size_t n) { rows_.reserve(n); }
+  void Reserve(size_t n) { Mut()->rows.reserve(n); }
   void Clear() {
-    rows_.clear();
-    if (zone_ != nullptr) zone_->NoteTruncate(0);
-    BumpInternVersion();
+    TableVersion* v = Mut();
+    v->rows.clear();
+    if (v->zone != nullptr) v->zone->NoteTruncate(0);
+    BumpInternVersion(v);
   }
 
   /// Drops rows from the tail until `n` remain; no-op if fewer. Used to
   /// roll back partially applied multi-row inserts.
   void TruncateTo(size_t n) {
-    if (rows_.size() > n) {
-      rows_.resize(n);
-      if (zone_ != nullptr) zone_->NoteTruncate(n);
-      BumpInternVersion();
+    TableVersion* v = Mut();
+    if (v->rows.size() > n) {
+      v->rows.resize(n);
+      if (v->zone != nullptr) v->zone->NoteTruncate(n);
+      BumpInternVersion(v);
     }
   }
 
   /// Adds a column to the schema and back-fills existing rows with `fill`.
+  /// Mutates the (unversioned) schema in place: in epoch mode this may only
+  /// run inside a stop-the-world exclusive section.
   Status AddColumn(Column column, Value fill);
 
   /// Sets column `col` of every row for which `pred(row_index)` holds.
@@ -101,14 +181,16 @@ class Table {
   std::optional<size_t> intern_column() const { return intern_col_; }
 
   /// The dictionary; nullptr until SetInternColumn.
-  const PolicyDictionary* policy_dict() const { return dict_.get(); }
+  const PolicyDictionary* policy_dict() const {
+    return ReadVersion()->dict.get();
+  }
 
   /// Interns `*v` when `col` is the interned column; otherwise a no-op.
   /// Write paths that bypass Insert (policy attachment, UPDATE assignment)
   /// funnel their values through here.
   void InternColumnValue(size_t col, Value* v) {
     if (intern_col_.has_value() && *intern_col_ == col) {
-      dict_->InternInPlace(v);
+      Mut()->dict->InternInPlace(v);
     }
   }
 
@@ -120,7 +202,7 @@ class Table {
   /// themselves with this value and treat any difference as stale; bumping
   /// unconditionally keeps the invalidation contract trivially conservative.
   uint64_t intern_version() const {
-    return intern_version_.load(std::memory_order_acquire);
+    return ReadVersion()->intern_version.load(std::memory_order_acquire);
   }
 
   // --- Policy zone map. ----------------------------------------------------
@@ -128,13 +210,17 @@ class Table {
   /// Block summaries over the interned column; nullptr until
   /// SetInternColumn (or ResetZoneMap). Blocks may be dirty — call
   /// EnsureZoneCurrent before trusting summaries.
-  const PolicyZoneMap* zone_map() const { return zone_.get(); }
+  const PolicyZoneMap* zone_map() const { return ReadVersion()->zone.get(); }
 
-  /// Rebuilds any dirty zone-map blocks. Safe under the owner's shared
-  /// (read) lock: concurrent callers serialize inside the map.
+  /// Rebuilds any dirty zone-map blocks of the reader's resolved version.
+  /// Safe under the owner's read-side protection (shared lock or epoch
+  /// pin): concurrent callers serialize inside the map, and the rebuild is
+  /// interior mutability of the version — the rows it summarizes are
+  /// immutable.
   void EnsureZoneCurrent() {
-    if (zone_ != nullptr && intern_col_.has_value()) {
-      zone_->EnsureCurrent(rows_, *intern_col_);
+    const TableVersion* v = ReadVersion();
+    if (v->zone != nullptr && intern_col_.has_value()) {
+      v->zone->EnsureCurrent(v->rows, *intern_col_);
     }
   }
 
@@ -143,13 +229,51 @@ class Table {
   /// coverage). Requires an intern column; no-op otherwise.
   void ResetZoneMap(size_t block_rows) {
     if (!intern_col_.has_value()) return;
-    zone_ = std::make_unique<PolicyZoneMap>(block_rows);
-    zone_->Reset(rows_.size());
+    TableVersion* v = Mut();
+    v->zone = std::make_unique<PolicyZoneMap>(block_rows);
+    v->zone->Reset(v->rows.size());
+  }
+
+  // --- Copy-on-write versioning (epoch mode; docs/concurrency.md). ---------
+
+  /// Switches the table into copy-on-write mode: the current state becomes
+  /// the published version. Idempotent. Caller guarantees quiescence (no
+  /// concurrent access), as for DisableVersioning.
+  void EnableVersioning();
+
+  /// Leaves copy-on-write mode, folding any open working copy into the
+  /// owned state (which is, again, THE data). Superseded versions already
+  /// retired to the epoch manager stay there until reclaimed. Idempotent.
+  void DisableVersioning();
+
+  bool versioned() const {
+    return versioned_.load(std::memory_order_acquire);
+  }
+
+  /// Opens this thread's private working clone of the current version; all
+  /// reads and writes by this thread route to it until PublishWorking.
+  /// Idempotent while a write is open; no-op when versioning is off.
+  /// Writers are externally serialized (the server's writer mutex).
+  void BeginWrite();
+
+  /// Atomically swaps the working clone in as the published version and
+  /// returns the superseded version for epoch retirement — nullptr when no
+  /// write was open. (Database::PublishWrites drives this for all tables
+  /// and does the single epoch bump.)
+  std::shared_ptr<void> PublishWorking();
+
+  /// The live published head; only meaningful in versioned mode. Readers
+  /// normally go through the accessors — this exists for
+  /// TableSnapshot::Capture.
+  const TableVersion* published_head() const {
+    return published_.load(std::memory_order_seq_cst);
   }
 
  private:
-  void BumpInternVersion() {
-    intern_version_.fetch_add(1, std::memory_order_acq_rel);
+  friend class TableSnapshot;
+
+  void BumpInternVersion(TableVersion* v) {
+    v->intern_version.fetch_add(1, std::memory_order_acq_rel);
   }
 
   uint32_t InternedIdOf(const Row& row) const {
@@ -157,13 +281,45 @@ class Table {
     return row[*intern_col_].bytes_interned_id();
   }
 
+  /// The version the calling thread should read. Unversioned: the owned
+  /// state. Versioned: the thread's open working copy if it is the writer,
+  /// else the ambient TableSnapshot's capture, else the published head.
+  const TableVersion* ReadVersion() const {
+    if (!versioned_.load(std::memory_order_acquire)) return owned_.get();
+    return ResolveVersion();
+  }
+  const TableVersion* ResolveVersion() const;
+
+  /// The version the calling thread may mutate. Unversioned: the owned
+  /// state (external locking applies). Versioned: the open working copy for
+  /// the writer thread; otherwise the published head IN PLACE — legal only
+  /// when no reader can be concurrent (stop-the-world exclusive sections,
+  /// or serial direct use of the engine while the server is idle).
+  TableVersion* Mut() {
+    if (!versioned_.load(std::memory_order_acquire)) return owned_.get();
+    if (writer_tid_.load(std::memory_order_acquire) ==
+        std::this_thread::get_id()) {
+      return working_.get();
+    }
+    return owned_.get();
+  }
+
+  static std::unique_ptr<TableVersion> CloneVersion(const TableVersion& v);
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
   std::optional<size_t> intern_col_;
-  std::unique_ptr<PolicyDictionary> dict_;
-  std::unique_ptr<PolicyZoneMap> zone_;
-  std::atomic<uint64_t> intern_version_{0};
+  /// Authoritative storage. Unversioned: THE data. Versioned: owner of the
+  /// published head (published_ always equals owned_.get() between
+  /// publishes).
+  std::unique_ptr<TableVersion> owned_;
+  /// Lock-free read handle onto owned_ in versioned mode; nullptr otherwise.
+  std::atomic<TableVersion*> published_{nullptr};
+  /// The single writer's private clone between BeginWrite and
+  /// PublishWorking.
+  std::unique_ptr<TableVersion> working_;
+  std::atomic<std::thread::id> writer_tid_{};
+  std::atomic<bool> versioned_{false};
 };
 
 }  // namespace aapac::engine

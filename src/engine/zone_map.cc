@@ -108,6 +108,17 @@ void PolicyZoneMap::EnsureCurrent(const std::vector<Row>& rows, size_t col) {
   any_dirty_.store(false, std::memory_order_release);
 }
 
+std::unique_ptr<PolicyZoneMap> PolicyZoneMap::Clone() const {
+  auto clone = std::make_unique<PolicyZoneMap>(block_rows_);
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  clone->blocks_ = blocks_;
+  clone->dirty_ = dirty_;
+  clone->num_rows_ = num_rows_;
+  clone->any_dirty_.store(any_dirty_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  return clone;
+}
+
 PolicyZoneMap::Stats PolicyZoneMap::stats() const {
   std::lock_guard<std::mutex> lock(rebuild_mu_);
   Stats st;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -70,6 +71,12 @@ class PolicyZoneMap {
 
   PolicyZoneMap(const PolicyZoneMap&) = delete;
   PolicyZoneMap& operator=(const PolicyZoneMap&) = delete;
+
+  /// Deep copy for copy-on-write table versions (docs/concurrency.md):
+  /// serializes against concurrent reader-triggered EnsureCurrent rebuilds
+  /// of *this*, so the clone is an internally consistent snapshot. The clone
+  /// itself is fresh and unshared.
+  std::unique_ptr<PolicyZoneMap> Clone() const;
 
   size_t block_rows() const { return block_rows_; }
   size_t num_blocks() const { return blocks_.size(); }

@@ -120,6 +120,22 @@ inline constexpr char kVecStageFill[] = "vec.batch_fill";
 inline constexpr char kVecStageFilter[] = "vec.filter_eval";
 inline constexpr char kVecStageCompliance[] = "vec.compliance";
 
+// Epoch-concurrency surface (util/epoch.h, docs/concurrency.md), published
+// by the epoch-mode server. epoch_published counts version publications
+// (epoch bumps — one per DML statement / audit fold that changed a table),
+// epoch_reclaimed the retired versions freed after their last possible
+// reader unpinned; both are process-wide (servers share the epoch clock).
+// server.epoch is a gauge of the current epoch; server.epoch_pin records
+// per-statement pin-hold duration (ns) — the read path's whole lock-free
+// critical section. audit.folds / audit.fold_rows count audit-buffer folds
+// into audit_log and the rows they moved (core/audit_buffer.h).
+inline constexpr char kServerEpochPublished[] = "server.epoch_published";
+inline constexpr char kServerEpochReclaimed[] = "server.epoch_reclaimed";
+inline constexpr char kServerEpochGauge[] = "server.epoch";
+inline constexpr char kServerEpochPin[] = "server.epoch_pin";
+inline constexpr char kAuditFolds[] = "audit.folds";
+inline constexpr char kAuditFoldRows[] = "audit.fold_rows";
+
 /// Monotonic counter. All operations are single relaxed atomics; safe from
 /// any number of threads.
 class Counter {

@@ -1,8 +1,10 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "sql/printer.h"
+#include "util/env.h"
 
 namespace aapac::server {
 
@@ -14,26 +16,72 @@ EnforcementServer::EnforcementServer(core::EnforcementMonitor* monitor,
         if (o.threads == 0) o.threads = 1;
         if (o.query_threads == 0) o.query_threads = 1;
         if (o.morsel_rows == 0) o.morsel_rows = 2048;
+        // AAPAC_EPOCH_OFF is a kill switch (never fatal, thrown by any
+        // non-"0" non-empty value); the numeric knobs are validated at
+        // startup and abort on malformed values like every other knob.
+        o.epoch_mode = o.epoch_mode && !util::EnvFlagSet("AAPAC_EPOCH_OFF");
+        o.audit_shards =
+            util::EnvPositiveSizeOrDie("AAPAC_AUDIT_SHARDS", o.audit_shards);
+        o.audit_fold_ms =
+            util::EnvPositiveSizeOrDie("AAPAC_FOLD_MS", o.audit_fold_ms);
+        o.session_shards = util::EnvPositiveSizeOrDie("AAPAC_SESSION_SHARDS",
+                                                      o.session_shards);
         return o;
       }()),
+      epoch_mode_(options_.epoch_mode),
+      sessions_(options_.session_shards),
       cache_(options.cache_capacity),
       pool_(options_.threads),
       registry_(monitor->metrics().get()),
       queue_depth_gauge_(registry_->gauge("server.queue_depth")),
       lock_shared_(registry_->counter("server.lock_shared")),
       lock_exclusive_(registry_->counter("server.lock_exclusive")),
+      audit_folds_(registry_->counter(obs::kAuditFolds)),
+      audit_fold_rows_(registry_->counter(obs::kAuditFoldRows)),
+      epoch_gauge_(registry_->gauge(obs::kServerEpochGauge)),
       queue_wait_hist_(registry_->histogram(obs::kStageQueueWait)),
       lock_wait_hist_(registry_->histogram(obs::kStageLockWait)),
-      cache_lookup_hist_(registry_->histogram(obs::kStageCacheLookup)) {
+      cache_lookup_hist_(registry_->histogram(obs::kStageCacheLookup)),
+      epoch_pin_hist_(registry_->histogram(obs::kServerEpochPin)) {
   cache_.BindMetrics(registry_);
   registry_->RegisterExternalCounter("server.executed", &executed_);
   registry_->RegisterExternalCounter("server.rejected", &rejected_);
+  if (epoch_mode_) {
+    epochs_ = &util::EpochManager::Instance();
+    // Publish the process-wide epoch totals eagerly so metrics dumps (and
+    // the CI metrics_diff --require gate) carry the series even at 0.
+    registry_->RegisterExternalCounter(obs::kServerEpochPublished,
+                                       &epochs_->published_total());
+    registry_->RegisterExternalCounter(obs::kServerEpochReclaimed,
+                                       &epochs_->reclaimed_total());
+    epoch_gauge_->Set(static_cast<int64_t>(epochs_->current_epoch()));
+    // Wire the engine and monitor for snapshot concurrency: tables go
+    // copy-on-write, audit appends stage in the sharded buffer.
+    monitor_->catalog()->db()->EnableVersioning();
+    monitor_->EnableAuditBuffering(options_.audit_shards);
+    folder_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(folder_mu_);
+      while (!folder_stop_) {
+        folder_cv_.wait_for(lock,
+                            std::chrono::milliseconds(options_.audit_fold_ms),
+                            [this] { return folder_stop_; });
+        if (folder_stop_) break;
+        lock.unlock();
+        FoldAudit();
+        lock.lock();
+      }
+    });
+  }
 }
 
 EnforcementServer::~EnforcementServer() {
   Shutdown();
   registry_->UnregisterExternalCounter("server.executed");
   registry_->UnregisterExternalCounter("server.rejected");
+  // The epoch totals stay registered: their storage is the process-global
+  // EpochManager, which outlives every registry, so metrics dumps taken
+  // after the server is gone (bench exit paths) still carry the series.
+  // A later server on the same registry re-registers the same pointers.
 }
 
 void EnforcementServer::Shutdown() {
@@ -41,14 +89,48 @@ void EnforcementServer::Shutdown() {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
   }
+  // Stop the background folder before joining the pool: it only contends on
+  // writer_mu_, so either order is deadlock-free, but a folder outliving
+  // the epoch teardown below would fold into an unversioned table.
+  if (folder_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(folder_mu_);
+      folder_stop_ = true;
+    }
+    folder_cv_.notify_all();
+    folder_.join();
+  }
   // Drains the pool: every pending DrainOne closure still runs, so every
   // accepted Submit gets its promise fulfilled before the workers join.
   pool_.Shutdown();
+  if (epoch_mode_ && !epoch_torn_down_) {
+    epoch_torn_down_ = true;
+    // Final fold: direct reads of audit_log after Shutdown (tests assert
+    // dense sequences) must see every statement the server executed.
+    {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      FoldAuditLocked();
+    }
+    monitor_->DisableAuditBuffering();
+    // Hand the tables back to direct/unversioned use and free whatever the
+    // (now reader-free, as far as this server goes) epoch clock allows.
+    monitor_->catalog()->db()->DisableVersioning();
+    epochs_->TryReclaim();
+  }
 }
 
 Result<SessionId> EnforcementServer::OpenSession(const std::string& user,
                                                  const std::string& purpose,
                                                  const std::string& role) {
+  if (epoch_mode_) {
+    // The pin keeps WithExclusive's catalog mutations out of CheckAccess
+    // (stop-the-world waits for pins); no lock taken.
+    util::EpochManager::Pin pin(*epochs_);
+    lock_shared_->Add(1);
+    AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
+                           monitor_->CheckAccess(purpose, user));
+    return sessions_.Open(user, purpose_id, role);
+  }
   std::shared_lock<std::shared_mutex> lock(data_mu_);
   lock_shared_->Add(1);
   AAPAC_ASSIGN_OR_RETURN(std::string purpose_id,
@@ -229,7 +311,8 @@ bool ReadsTable(const sql::SelectStmt& stmt, const std::string& table) {
 Result<std::shared_ptr<const RewriteCache::Entry>>
 EnforcementServer::CheckAndPrepare(const SessionInfo& session,
                                    const std::string& sql) {
-  // Caller holds data_mu_ (either side).
+  // Caller provides read-side protection: an epoch pin with the statement's
+  // TableSnapshot installed (epoch mode) or data_mu_ (fallback mode).
 
   // Re-check authorization so revocations bite mid-session.
   AAPAC_RETURN_NOT_OK(
@@ -244,9 +327,11 @@ EnforcementServer::CheckAndPrepare(const SessionInfo& session,
   // cached AST may carry bind-time static-verdict marks that are only sound
   // for the data state they were classified against, so any DML on a
   // protected table must demote the entry. Captured before Prepare for the
-  // same never-serve-stale reason as the catalog version; the caller holds
-  // data_mu_, so no write can interleave between this capture, the prepare
-  // and the statement's execution.
+  // same never-serve-stale reason as the catalog version. No write can
+  // interleave between this capture, the prepare and the statement's
+  // execution: in fallback mode the caller holds data_mu_, and in epoch
+  // mode all three read through the statement's pinned TableSnapshot — the
+  // versions (and their tags) are frozen even if a writer publishes midway.
   std::vector<std::pair<std::string, uint64_t>> table_versions;
   for (const std::string& table : catalog->protected_tables()) {
     engine::Table* t = monitor_->catalog()->db()->FindTable(table);
@@ -292,6 +377,57 @@ Result<engine::ResultSet> EnforcementServer::Process(
   parallel.max_threads = options_.query_threads;
   parallel.morsel_rows = options_.morsel_rows;
   parallel.metrics = registry_;
+  if (epoch_mode_) return ProcessEpoch(session, sql, parallel);
+  return ProcessLocked(session, sql, parallel);
+}
+
+Result<engine::ResultSet> EnforcementServer::ProcessEpoch(
+    const SessionInfo& session, const std::string& sql,
+    const engine::ParallelSpec& parallel) {
+  for (int attempt = 0;; ++attempt) {
+    {
+      // The pin is the read path's admission point — the epoch-mode
+      // analogue of the shared-lock acquisition, so it is timed under the
+      // same stage (and counted as a shared acquisition) for continuity of
+      // the pipeline.lock_wait series.
+      std::optional<util::EpochManager::Pin> pin;
+      {
+        obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+        pin.emplace(*epochs_);
+      }
+      lock_shared_->Add(1);
+      obs::ScopedStageTimer pin_timer(epoch_pin_hist_, obs::kServerEpochPin);
+      // Freeze the statement's world: every table access from here to the
+      // last output row resolves these exact versions, even if a writer
+      // publishes midway (the pin keeps them from being reclaimed).
+      engine::TableSnapshot snap;
+      snap.Capture(*monitor_->catalog()->db());
+      engine::TableSnapshot::ScopedUse use(&snap);
+      AAPAC_ASSIGN_OR_RETURN(std::shared_ptr<const RewriteCache::Entry> entry,
+                             CheckAndPrepare(session, sql));
+      if (attempt > 0 ||
+          !ReadsTable(*entry->stmt, core::EnforcementMonitor::kAuditTable)) {
+        return monitor_->ExecutePrepared(*entry->stmt, sql, session.purpose_id,
+                                         session.user, parallel);
+      }
+      // Audit scan: fold-then-read. Fall through with the pin (and
+      // snapshot) released — the fold below waits on writer_mu_, and the
+      // deadlock rule forbids holding a pin while doing that (a concurrent
+      // WithExclusive holding writer_mu_ stops the world, i.e. waits for
+      // our pin).
+    }
+    FoldAudit();
+    // Retry with a fresh pin: the snapshot captured after the fold includes
+    // every audit record staged before this statement. Records appended
+    // concurrently after the fold are from statements that did not
+    // happen-before this one — the second attempt executes even if more
+    // have arrived (fold consistency; docs/concurrency.md).
+  }
+}
+
+Result<engine::ResultSet> EnforcementServer::ProcessLocked(
+    const SessionInfo& session, const std::string& sql,
+    const engine::ParallelSpec& parallel) {
   {
     // Read path: shared lock — any number of workers in parallel, no writer.
     std::shared_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
@@ -324,12 +460,50 @@ Result<engine::ResultSet> EnforcementServer::Process(
                                    session.user, parallel);
 }
 
+void EnforcementServer::FoldAudit() {
+  core::AuditBuffer* buf = monitor_->audit_buffer();
+  if (buf == nullptr || buf->pending() == 0) return;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  FoldAuditLocked();
+}
+
+void EnforcementServer::FoldAuditLocked() {
+  core::AuditBuffer* buf = monitor_->audit_buffer();
+  if (buf == nullptr || buf->pending() == 0) return;
+  engine::Table* t = monitor_->catalog()->db()->FindTable(
+      core::EnforcementMonitor::kAuditTable);
+  if (t == nullptr) return;  // Records can't stage before EnableAuditLog.
+  // The fold is an ordinary copy-on-write write transaction: pinned readers
+  // of audit_log keep their version; the folded rows appear atomically with
+  // the publish.
+  t->BeginWrite();
+  const size_t rows = buf->FoldInto(t);
+  monitor_->catalog()->db()->PublishWrites();
+  audit_folds_->Add(1);
+  audit_fold_rows_->Add(rows);
+  epoch_gauge_->Set(static_cast<int64_t>(epochs_->current_epoch()));
+}
+
 Result<size_t> EnforcementServer::ExecuteInsert(SessionId session,
                                                 const std::string& sql,
                                                 const core::Policy* policy) {
   AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
   obs::ScopedTrace trace(monitor_->traces().get(), sql, info.purpose_id,
                          info.user);
+  if (epoch_mode_) {
+    std::unique_lock<std::mutex> lock(writer_mu_, std::defer_lock);
+    {
+      obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+      lock.lock();
+    }
+    lock_exclusive_->Add(1);
+    // The executor's DML path opens the copy-on-write transaction and
+    // publishes on every exit; readers never block.
+    Result<size_t> r =
+        monitor_->ExecuteInsert(sql, info.purpose_id, policy, info.user);
+    epoch_gauge_->Set(static_cast<int64_t>(epochs_->current_epoch()));
+    return r;
+  }
   std::unique_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
   {
     obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
@@ -344,6 +518,17 @@ Result<size_t> EnforcementServer::ExecuteUpdate(SessionId session,
   AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
   obs::ScopedTrace trace(monitor_->traces().get(), sql, info.purpose_id,
                          info.user);
+  if (epoch_mode_) {
+    std::unique_lock<std::mutex> lock(writer_mu_, std::defer_lock);
+    {
+      obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+      lock.lock();
+    }
+    lock_exclusive_->Add(1);
+    Result<size_t> r = monitor_->ExecuteUpdate(sql, info.purpose_id, info.user);
+    epoch_gauge_->Set(static_cast<int64_t>(epochs_->current_epoch()));
+    return r;
+  }
   std::unique_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
   {
     obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
@@ -358,6 +543,17 @@ Result<size_t> EnforcementServer::ExecuteDelete(SessionId session,
   AAPAC_ASSIGN_OR_RETURN(SessionInfo info, sessions_.Get(session));
   obs::ScopedTrace trace(monitor_->traces().get(), sql, info.purpose_id,
                          info.user);
+  if (epoch_mode_) {
+    std::unique_lock<std::mutex> lock(writer_mu_, std::defer_lock);
+    {
+      obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
+      lock.lock();
+    }
+    lock_exclusive_->Add(1);
+    Result<size_t> r = monitor_->ExecuteDelete(sql, info.purpose_id, info.user);
+    epoch_gauge_->Set(static_cast<int64_t>(epochs_->current_epoch()));
+    return r;
+  }
   std::unique_lock<std::shared_mutex> lock(data_mu_, std::defer_lock);
   {
     obs::ScopedStageTimer timer(lock_wait_hist_, obs::kStageLockWait);
@@ -368,6 +564,24 @@ Result<size_t> EnforcementServer::ExecuteDelete(SessionId session,
 }
 
 Status EnforcementServer::WithExclusive(const std::function<Status()>& fn) {
+  if (epoch_mode_) {
+    // Admin mutations touch unversioned state (catalog maps, schemas,
+    // policy attachment through UpdateColumnWhere on the published head) in
+    // place, so genuinely exclude everything: writer mutex against other
+    // writers, stop-the-world against readers (waits for every pin to
+    // drain, blocks new pins until Resume).
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    lock_exclusive_->Add(1);
+    epochs_->StopTheWorld();
+    Status st = fn();
+    // Belt and braces: if fn ran DML through the monitor, the executor
+    // already published; this publishes any manually opened write
+    // transaction so no working copy leaks past the exclusive section.
+    monitor_->catalog()->db()->PublishWrites();
+    epochs_->Resume();
+    epoch_gauge_->Set(static_cast<int64_t>(epochs_->current_epoch()));
+    return st;
+  }
   std::unique_lock<std::shared_mutex> lock(data_mu_);
   lock_exclusive_->Add(1);
   return fn();
@@ -387,8 +601,22 @@ ServerSnapshot EnforcementServer::Snapshot() const {
   snap.lock_shared = lock_shared_->value();
   snap.lock_exclusive = lock_exclusive_->value();
   snap.sessions_active = sessions_.active();
+  snap.session_shards = sessions_.num_shards();
   snap.cache = cache_.stats();
   snap.ledger = monitor_->ledger().Snapshot();
+  snap.epoch_enabled = epoch_mode_;
+  if (epoch_mode_) {
+    const util::EpochManager::Stats es = epochs_->stats();
+    snap.epoch = es.epoch;
+    snap.epoch_published = epochs_->published_total().load();
+    snap.epoch_reclaimed = es.reclaimed_total;
+    snap.epoch_retired_pending = es.retired_pending;
+    snap.audit_folds = audit_folds_->value();
+    snap.audit_fold_rows = audit_fold_rows_->value();
+    if (core::AuditBuffer* buf = monitor_->audit_buffer()) {
+      snap.audit_pending = buf->pending();
+    }
+  }
   snap.vector_enabled = monitor_->vector_enabled();
   const size_t batch_override = monitor_->batch_rows();
   snap.vector_batch_rows =
@@ -403,10 +631,21 @@ ServerSnapshot EnforcementServer::Snapshot() const {
   snap.static_allow = reg->counter(obs::kStaticAllow)->value();
   snap.static_deny = reg->counter(obs::kStaticDeny)->value();
   snap.static_mixed = reg->counter(obs::kStaticMixed)->value();
-  // Dictionary sizes read table data, so take the read side of the data
-  // lock: snapshots stay safe against concurrent DML and policy attachment.
+  // Dictionary sizes read table data, so take read-side protection: an
+  // epoch pin + snapshot (epoch mode) or the shared data lock. Snapshots
+  // stay safe against concurrent DML and policy attachment either way.
   {
-    std::shared_lock lock(data_mu_);
+    std::optional<util::EpochManager::Pin> pin;
+    engine::TableSnapshot tsnap;
+    std::optional<engine::TableSnapshot::ScopedUse> use;
+    std::optional<std::shared_lock<std::shared_mutex>> lock;
+    if (epoch_mode_) {
+      pin.emplace(*epochs_);
+      tsnap.Capture(*monitor_->catalog()->db());
+      use.emplace(&tsnap);
+    } else {
+      lock.emplace(data_mu_);
+    }
     const engine::Database* db = monitor_->catalog()->db();
     for (const std::string& name : db->TableNames()) {
       const engine::Table* t = db->FindTable(name);
@@ -427,7 +666,8 @@ ServerSnapshot EnforcementServer::Snapshot() const {
                           : 0;
       snap.dictionaries.push_back(std::move(d));
       // Zone-map stats ride in the same pass. stats() serializes with
-      // reader-triggered rebuilds internally, so the shared lock suffices.
+      // reader-triggered rebuilds internally, so read-side protection
+      // suffices.
       if (const engine::PolicyZoneMap* zone = t->zone_map()) {
         const engine::PolicyZoneMap::Stats zs = zone->stats();
         ZoneMapStats z;

@@ -2,19 +2,29 @@
 
 namespace aapac::server {
 
+SessionManager::SessionManager(size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
 SessionId SessionManager::Open(const std::string& user,
                                const std::string& purpose_id,
                                const std::string& role) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const SessionId id = next_id_++;
-  sessions_.emplace(id, SessionInfo{id, user, purpose_id, role});
+  const SessionId id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sessions.emplace(id, SessionInfo{id, user, purpose_id, role});
   return id;
 }
 
 Result<SessionInfo> SessionManager::Get(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
     return Status::NotFound("session " + std::to_string(id) +
                             " is not open");
   }
@@ -22,8 +32,9 @@ Result<SessionInfo> SessionManager::Get(SessionId id) const {
 }
 
 Status SessionManager::Close(SessionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.erase(id) == 0) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.sessions.erase(id) == 0) {
     return Status::NotFound("session " + std::to_string(id) +
                             " is not open");
   }
@@ -31,13 +42,12 @@ Status SessionManager::Close(SessionId id) {
 }
 
 size_t SessionManager::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sessions_.size();
-}
-
-uint64_t SessionManager::opened_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_id_ - 1;
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->sessions.size();
+  }
+  return n;
 }
 
 }  // namespace aapac::server

@@ -1,10 +1,13 @@
 #ifndef AAPAC_SERVER_SESSION_H_
 #define AAPAC_SERVER_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "util/result.h"
 
@@ -26,10 +29,20 @@ struct SessionInfo {
 /// a registered session is by construction an authorized one (until a later
 /// revocation, which the per-query re-check in the worker path catches).
 ///
+/// Sharded by session id so a million simulated sessions don't serialize on
+/// one map mutex: ids come from a lock-free counter and route to shard
+/// `id % shards`, so Open/Get/Close of different sessions contend only when
+/// they land on the same shard. `active()` and `opened_total()` stay exact
+/// (a per-shard sum and an atomic counter respectively).
+///
 /// Thread safety: all methods may be called concurrently.
 class SessionManager {
  public:
-  SessionManager() = default;
+  /// Default shard count; the server overrides it from
+  /// ServerOptions::session_shards (AAPAC_SESSION_SHARDS).
+  static constexpr size_t kDefaultShards = 16;
+
+  explicit SessionManager(size_t shards = kDefaultShards);
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
@@ -44,12 +57,24 @@ class SessionManager {
   Status Close(SessionId id);
 
   size_t active() const;
-  uint64_t opened_total() const;
+  uint64_t opened_total() const {
+    return next_id_.load(std::memory_order_acquire) - 1;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
 
  private:
-  mutable std::mutex mu_;
-  SessionId next_id_ = 1;
-  std::map<SessionId, SessionInfo> sessions_;
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<SessionId, SessionInfo> sessions;
+  };
+
+  Shard& ShardFor(SessionId id) const {
+    return *shards_[id % shards_.size()];
+  }
+
+  std::atomic<SessionId> next_id_{1};
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace aapac::server

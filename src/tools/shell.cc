@@ -448,10 +448,23 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
         << ", depth " << snap.queue_depth << " (high water "
         << snap.queue_depth_hwm << ")\n"
         << "executed " << snap.executed << ", rejected " << snap.rejected
-        << ", sessions open " << snap.sessions_active << "\n"
-        << "data lock: " << snap.lock_shared << " shared / "
-        << snap.lock_exclusive << " exclusive acquisition(s)\n"
-        << "vectorized executor: "
+        << ", sessions open " << snap.sessions_active << " ("
+        << snap.session_shards << " shard(s))\n";
+    if (snap.epoch_enabled) {
+      out << "epoch concurrency: on, epoch " << snap.epoch << ", versions "
+          << snap.epoch_published << " published / " << snap.epoch_reclaimed
+          << " reclaimed / " << snap.epoch_retired_pending << " pending\n"
+          << "audit folds: " << snap.audit_folds << " fold(s), "
+          << snap.audit_fold_rows << " row(s) folded, " << snap.audit_pending
+          << " staged\n"
+          << "read pins " << snap.lock_shared << " / writer mutex "
+          << snap.lock_exclusive << " acquisition(s)\n";
+    } else {
+      out << "epoch concurrency: off (AAPAC_EPOCH_OFF)\n"
+          << "data lock: " << snap.lock_shared << " shared / "
+          << snap.lock_exclusive << " exclusive acquisition(s)\n";
+    }
+    out << "vectorized executor: "
         << (snap.vector_enabled ? "on" : "off (AAPAC_VECTOR_OFF)");
     if (snap.vector_enabled) {
       out << ", " << snap.vector_batch_rows << " rows/batch";

@@ -1,0 +1,195 @@
+#include "util/epoch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace aapac::util {
+
+EpochManager& EpochManager::Instance() {
+  static EpochManager* instance = new EpochManager();  // Never destroyed:
+  // thread-exit slot releases and late retire-list frees may run during
+  // static teardown, after a function-local static would have been gone.
+  return *instance;
+}
+
+namespace {
+
+/// Per-thread slot bookkeeping. One instance per thread (the manager is a
+/// process singleton); the destructor runs at thread exit and returns the
+/// slot to the free pool with any stale pin cleared.
+struct TlsSlot {
+  EpochManager* owner = nullptr;
+  void* slot = nullptr;  // EpochManager::Slot*, typed inside the manager.
+  size_t depth = 0;
+  ~TlsSlot();
+};
+
+thread_local TlsSlot g_tls;
+
+}  // namespace
+
+EpochManager::Slot* EpochManager::ClaimSlot() {
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    bool expected = false;
+    if (slots_[i].claimed.compare_exchange_strong(expected, true,
+                                                 std::memory_order_seq_cst)) {
+      return &slots_[i];
+    }
+  }
+  std::fprintf(stderr,
+               "aapac: EpochManager out of reader slots (%zu threads)\n",
+               kMaxSlots);
+  std::abort();
+}
+
+void EpochManager::PinThread() {
+  if (g_tls.depth++ > 0) return;  // Nested pin: keep the outer epoch.
+  if (g_tls.slot == nullptr) {
+    g_tls.owner = this;
+    g_tls.slot = ClaimSlot();
+  }
+  Slot* s = static_cast<Slot*>(g_tls.slot);
+  for (;;) {
+    if (stw_.load(std::memory_order_seq_cst)) WaitWhileStopped();
+    // Publish the pin, then re-check the stop flag. Seq_cst ordering makes
+    // this race-free against StopTheWorld's flag-then-scan: either our store
+    // is visible to its scan (it waits for us), or its flag is visible to
+    // our re-check (we retreat and wait). See docs/concurrency.md.
+    s->epoch.store(epoch_.load(std::memory_order_seq_cst),
+                   std::memory_order_seq_cst);
+    if (!stw_.load(std::memory_order_seq_cst)) return;
+    s->epoch.store(kUnpinned, std::memory_order_seq_cst);
+  }
+}
+
+void EpochManager::UnpinThread() {
+  if (--g_tls.depth > 0) return;
+  static_cast<Slot*>(g_tls.slot)->epoch.store(kUnpinned,
+                                              std::memory_order_seq_cst);
+}
+
+namespace {
+
+TlsSlot::~TlsSlot() {
+  if (slot == nullptr) return;
+  auto* s = static_cast<EpochManager::Slot*>(slot);
+  // The thread cannot exit while holding a pin (Pin is a scoped guard), but
+  // clear defensively before returning the slot to the pool.
+  s->epoch.store(EpochManager::kUnpinned, std::memory_order_seq_cst);
+  s->claimed.store(false, std::memory_order_seq_cst);
+}
+
+}  // namespace
+
+uint64_t EpochManager::BumpEpoch() {
+  published_total_.fetch_add(1, std::memory_order_relaxed);
+  return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+void EpochManager::Retire(uint64_t epoch, std::shared_ptr<void> obj) {
+  if (obj == nullptr) return;
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.push_back(RetiredEntry{epoch, std::move(obj)});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min = kUnpinned;
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    if (!slots_[i].claimed.load(std::memory_order_seq_cst)) continue;
+    const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e < min) min = e;
+  }
+  return min;
+}
+
+size_t EpochManager::TryReclaim() {
+  std::vector<std::shared_ptr<void>> free_list;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    if (retired_.empty()) return 0;
+    // Scan slots while holding retire_mu_: a pin that lands after this scan
+    // necessarily reads the *current* published pointers (its epoch >= every
+    // retired tag we free), so it cannot resurrect a reclaimed version.
+    const uint64_t min_pinned = MinPinnedEpoch();
+    size_t kept = 0;
+    for (RetiredEntry& e : retired_) {
+      if (e.epoch <= min_pinned) {
+        free_list.push_back(std::move(e.obj));
+      } else {
+        retired_[kept++] = std::move(e);
+      }
+    }
+    retired_.resize(kept);
+  }
+  // Destructors run outside the lock: a retired TableVersion may drag a
+  // sizeable row vector down with it.
+  const size_t freed = free_list.size();
+  free_list.clear();
+  reclaimed_total_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+size_t EpochManager::pending() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+void EpochManager::StopTheWorld() {
+  {
+    std::lock_guard<std::mutex> lock(resume_mu_);
+    stw_.store(true, std::memory_order_seq_cst);
+  }
+  // Wait for every in-flight pin to drain. New pins see the flag and park on
+  // resume_cv_ (or retreat after the double-check), so this terminates as
+  // long as readers are finite — the deadlock rule (never block on the
+  // writer mutex while pinned) is what guarantees that.
+  for (;;) {
+    bool any_pinned = false;
+    for (size_t i = 0; i < kMaxSlots; ++i) {
+      if (slots_[i].claimed.load(std::memory_order_seq_cst) &&
+          slots_[i].epoch.load(std::memory_order_seq_cst) != kUnpinned) {
+        any_pinned = true;
+        break;
+      }
+    }
+    if (!any_pinned) return;
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(resume_mu_);
+    stw_.store(false, std::memory_order_seq_cst);
+  }
+  resume_cv_.notify_all();
+}
+
+void EpochManager::WaitWhileStopped() {
+  std::unique_lock<std::mutex> lock(resume_mu_);
+  resume_cv_.wait(lock,
+                  [this] { return !stw_.load(std::memory_order_seq_cst); });
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  Stats st;
+  st.epoch = epoch_.load(std::memory_order_seq_cst);
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    if (slots_[i].claimed.load(std::memory_order_seq_cst) &&
+        slots_[i].epoch.load(std::memory_order_seq_cst) != kUnpinned) {
+      ++st.pinned_slots;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    st.retired_pending = retired_.size();
+  }
+  st.retired_total = retired_total_.load(std::memory_order_relaxed);
+  st.reclaimed_total = reclaimed_total_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace aapac::util

@@ -1,0 +1,152 @@
+#ifndef AAPAC_UTIL_EPOCH_H_
+#define AAPAC_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace aapac::util {
+
+/// Process-wide epoch-based reclamation (the RCU flavour): readers pin the
+/// current epoch in a per-thread slot, writers publish a new object version,
+/// bump the epoch and *retire* the old version tagged with the post-bump
+/// epoch; a retired object is freed only once every pinned slot has advanced
+/// to (or past) that tag, so no reader can still be dereferencing it. The
+/// full memory-model argument lives in docs/concurrency.md; the short form:
+///
+///   writer: store published=new (W1); epoch.fetch_add -> e (W2);
+///           retire(old, e)
+///   reader: load epoch (R1); store slot=R1 (R2); load published (R3)
+///
+/// All five operations are seq_cst, so they occur in one total order S that
+/// respects each thread's program order. If the reclaimer observes a slot
+/// holding an epoch < e, that reader's R1 preceded W2 in S — it may hold the
+/// *old* pointer, and the retired version survives. Conversely a reader whose
+/// slot holds >= e ran R1 after W2, hence R3 after W1: it reads the *new*
+/// pointer and the old version is invisible to it. Freeing a retired entry
+/// therefore requires min(pinned slots) >= entry.epoch; with no pins at all,
+/// everything pending is reclaimable.
+///
+/// The manager is a process singleton: slots are claimed per thread (lazily,
+/// released at thread exit), so any number of servers/databases share one
+/// epoch clock. Retired entries are type-erased shared_ptr<void>, keeping the
+/// manager ignorant of what it reclaims.
+///
+/// Deadlock rule for users: never block on a writer-side mutex while holding
+/// a Pin — StopTheWorld (taken by exclusive sections under that same mutex)
+/// waits for all pins to drain. The server's audit fold-then-read path drops
+/// its pin before folding for exactly this reason.
+class EpochManager {
+ public:
+  /// Slot value meaning "thread holds no pin".
+  static constexpr uint64_t kUnpinned = ~uint64_t{0};
+  /// Fixed slot capacity; claiming thread #kMaxSlots+1 aborts. Far above any
+  /// realistic worker count (slots are reused across thread lifetimes).
+  static constexpr size_t kMaxSlots = 1024;
+
+  static EpochManager& Instance();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII pin: the constructor publishes the current epoch into this
+  /// thread's slot (waiting out a StopTheWorld section if one is active);
+  /// the destructor clears it. Nesting is supported — inner pins reuse the
+  /// outer pin's epoch, so a pinned reader calling into a helper that also
+  /// pins keeps its original protection.
+  class Pin {
+   public:
+    explicit Pin(EpochManager& mgr) : mgr_(mgr) { mgr_.PinThread(); }
+    ~Pin() { mgr_.UnpinThread(); }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    EpochManager& mgr_;
+  };
+
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Advances the epoch (the writer's W2 above) and returns the new value —
+  /// the tag to retire superseded versions under.
+  uint64_t BumpEpoch();
+
+  /// Queues `obj` for deferred destruction once no pin predates `epoch`
+  /// (callers pass the BumpEpoch return value that superseded it).
+  void Retire(uint64_t epoch, std::shared_ptr<void> obj);
+
+  /// Frees every retired entry no pinned reader can still see; returns how
+  /// many were freed. Destructors run outside the manager's locks.
+  size_t TryReclaim();
+
+  /// Number of entries still awaiting reclamation.
+  size_t pending() const;
+
+  /// Blocks new pins and waits until every existing pin is released. Used
+  /// for exclusive sections that mutate unversioned state in place (schema
+  /// changes, catalog maps). Callers must serialize StopTheWorld..Resume
+  /// pairs externally (the server holds its writer mutex across them).
+  void StopTheWorld();
+  void Resume();
+
+  /// True while a StopTheWorld section is active (tests only).
+  bool stopped() const { return stw_.load(std::memory_order_seq_cst); }
+
+  struct Stats {
+    uint64_t epoch = 0;
+    size_t pinned_slots = 0;
+    size_t retired_pending = 0;
+    uint64_t retired_total = 0;
+    uint64_t reclaimed_total = 0;
+  };
+  Stats stats() const;
+
+  /// Raw monotonic counters, exposed as atomics so the server can publish
+  /// them via MetricsRegistry::RegisterExternalCounter without double
+  /// bookkeeping. Process-wide (all servers share the epoch clock).
+  std::atomic<uint64_t>& published_total() { return published_total_; }
+  std::atomic<uint64_t>& reclaimed_total() { return reclaimed_total_; }
+
+  /// One reader slot, cacheline-padded so concurrent pins never false-share.
+  /// Public only for the thread-exit hook in epoch.cc.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kUnpinned};
+    std::atomic<bool> claimed{false};
+  };
+
+ private:
+  EpochManager() = default;
+
+  struct RetiredEntry {
+    uint64_t epoch = 0;
+    std::shared_ptr<void> obj;
+  };
+
+  void PinThread();
+  void UnpinThread();
+  Slot* ClaimSlot();
+  /// Smallest epoch any claimed slot currently pins; kUnpinned when none.
+  uint64_t MinPinnedEpoch() const;
+  void WaitWhileStopped();
+
+  Slot slots_[kMaxSlots];
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<bool> stw_{false};
+  std::mutex resume_mu_;
+  std::condition_variable resume_cv_;
+
+  mutable std::mutex retire_mu_;
+  std::vector<RetiredEntry> retired_;
+  std::atomic<uint64_t> published_total_{0};
+  std::atomic<uint64_t> retired_total_{0};
+  std::atomic<uint64_t> reclaimed_total_{0};
+};
+
+}  // namespace aapac::util
+
+#endif  // AAPAC_UTIL_EPOCH_H_

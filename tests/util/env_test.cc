@@ -110,6 +110,40 @@ TEST(EnvPositiveSizeDeathTest, InvalidBatchRowsDiesEvenWithStaticOff) {
   unsetenv("AAPAC_BATCH_ROWS");
 }
 
+TEST(EnvFlagSetTest, EpochOffFollowsTheKillSwitchContract) {
+  // AAPAC_EPOCH_OFF selects the fallback readers-writer lock; like every
+  // kill switch it is never fatal and errs toward disabling the feature.
+  unsetenv("AAPAC_EPOCH_OFF");
+  EXPECT_FALSE(EnvFlagSet("AAPAC_EPOCH_OFF"));
+  setenv("AAPAC_EPOCH_OFF", "0", 1);
+  EXPECT_FALSE(EnvFlagSet("AAPAC_EPOCH_OFF"));
+  for (const char* v : {"1", "true", "banana"}) {
+    setenv("AAPAC_EPOCH_OFF", v, 1);
+    EXPECT_TRUE(EnvFlagSet("AAPAC_EPOCH_OFF")) << "value '" << v << "'";
+  }
+  unsetenv("AAPAC_EPOCH_OFF");
+}
+
+TEST(EnvPositiveSizeDeathTest, InvalidEpochKnobsDieNamingTheVariable) {
+  // The epoch-mode numeric knobs follow the strict startup-validation
+  // contract: malformed values abort (exit 2) naming the variable, even
+  // with the epoch kill switch thrown — the knobs parse independently.
+  setenv("AAPAC_EPOCH_OFF", "1", 1);
+  setenv("AAPAC_AUDIT_SHARDS", "lots", 1);
+  EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_AUDIT_SHARDS", 8),
+              ::testing::ExitedWithCode(2), "AAPAC_AUDIT_SHARDS");
+  unsetenv("AAPAC_AUDIT_SHARDS");
+  setenv("AAPAC_FOLD_MS", "0", 1);
+  EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_FOLD_MS", 2),
+              ::testing::ExitedWithCode(2), "AAPAC_FOLD_MS");
+  unsetenv("AAPAC_FOLD_MS");
+  setenv("AAPAC_SESSION_SHARDS", "-4", 1);
+  EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_SESSION_SHARDS", 16),
+              ::testing::ExitedWithCode(2), "AAPAC_SESSION_SHARDS");
+  unsetenv("AAPAC_SESSION_SHARDS");
+  unsetenv("AAPAC_EPOCH_OFF");
+}
+
 TEST(EnvPositiveSizeDeathTest, InvalidValueExitsWithNamedError) {
   setenv("AAPAC_TEST_KNOB", "banana", 1);
   EXPECT_EXIT(EnvPositiveSizeOrDie("AAPAC_TEST_KNOB", 1024),

@@ -1,0 +1,196 @@
+// EpochManager semantics: pins hold back reclamation, unpinning releases
+// it, nesting refreshes nothing, and stop-the-world drains and blocks pins.
+//
+// The manager is a process-global singleton shared by every test in this
+// binary, so assertions work on deltas of the monotone totals (never on
+// absolutes) and use per-test sentinel objects to observe reclamation.
+
+#include "util/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+namespace aapac::util {
+namespace {
+
+/// Sets a flag from its destructor — the observable for "was this retired
+/// object actually freed".
+struct Sentinel {
+  explicit Sentinel(std::atomic<bool>* freed) : freed(freed) {}
+  ~Sentinel() { freed->store(true, std::memory_order_release); }
+  std::atomic<bool>* freed;
+};
+
+TEST(EpochTest, BumpAdvancesTheClock) {
+  EpochManager& mgr = EpochManager::Instance();
+  const uint64_t before = mgr.current_epoch();
+  mgr.BumpEpoch();
+  EXPECT_EQ(mgr.current_epoch(), before + 1);
+}
+
+TEST(EpochTest, RetiredObjectFreesOnceNoPinCovers) {
+  EpochManager& mgr = EpochManager::Instance();
+  std::atomic<bool> freed{false};
+  mgr.BumpEpoch();
+  mgr.Retire(mgr.current_epoch(), std::make_shared<Sentinel>(&freed));
+  // No pins anywhere: the very next reclaim pass frees it.
+  mgr.TryReclaim();
+  EXPECT_TRUE(freed.load(std::memory_order_acquire));
+}
+
+TEST(EpochTest, PinHoldsBackReclamationUntilReleased) {
+  EpochManager& mgr = EpochManager::Instance();
+  std::atomic<bool> freed{false};
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+
+  // The reader pins the pre-retire epoch on its own thread (pins are
+  // per-thread state).
+  std::thread reader([&] {
+    EpochManager::Pin pin(mgr);
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!pinned.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // Writer: supersede an object at a newer epoch. The reader's pin is at an
+  // older-or-equal epoch, so the object must survive reclamation.
+  mgr.BumpEpoch();
+  mgr.Retire(mgr.current_epoch(), std::make_shared<Sentinel>(&freed));
+  mgr.TryReclaim();
+  EXPECT_FALSE(freed.load(std::memory_order_acquire))
+      << "retired object freed while a reader still pinned an older epoch";
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+  mgr.TryReclaim();
+  EXPECT_TRUE(freed.load(std::memory_order_acquire))
+      << "retired object not freed after the last pin released";
+}
+
+TEST(EpochTest, NestedPinsKeepTheOuterEpoch) {
+  EpochManager& mgr = EpochManager::Instance();
+  std::atomic<bool> freed{false};
+  std::atomic<bool> outer_pinned{false};
+  std::atomic<bool> inner_done{false};
+  std::atomic<bool> release{false};
+
+  std::thread reader([&] {
+    EpochManager::Pin outer(mgr);
+    outer_pinned.store(true, std::memory_order_release);
+    while (!inner_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    {
+      // Inner pin on the same thread; its release must NOT unpin the
+      // thread — the outer pin still protects the old epoch.
+      EpochManager::Pin inner(mgr);
+    }
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!outer_pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  mgr.BumpEpoch();
+  mgr.Retire(mgr.current_epoch(), std::make_shared<Sentinel>(&freed));
+  inner_done.store(true, std::memory_order_release);
+  // Give the reader time to enter and leave the inner pin.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mgr.TryReclaim();
+  EXPECT_FALSE(freed.load(std::memory_order_acquire))
+      << "inner pin release unpinned a thread that still holds an outer pin";
+  release.store(true, std::memory_order_release);
+  reader.join();
+  mgr.TryReclaim();
+  EXPECT_TRUE(freed.load(std::memory_order_acquire));
+}
+
+TEST(EpochTest, StopTheWorldDrainsAndBlocksPins) {
+  EpochManager& mgr = EpochManager::Instance();
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    EpochManager::Pin pin(mgr);
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!pinned.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // StopTheWorld must wait for the live pin, so run it on a helper and
+  // observe it NOT completing until the reader releases.
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    mgr.StopTheWorld();
+    stopped.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(stopped.load(std::memory_order_acquire))
+      << "StopTheWorld returned while a reader still held a pin";
+  release.store(true, std::memory_order_release);
+  reader.join();
+  stopper.join();
+  EXPECT_TRUE(stopped.load(std::memory_order_acquire));
+  EXPECT_TRUE(mgr.stopped());
+
+  // While stopped, a new pin attempt must block until Resume.
+  std::atomic<bool> late_pinned{false};
+  std::thread late([&] {
+    EpochManager::Pin pin(mgr);
+    late_pinned.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(late_pinned.load(std::memory_order_acquire))
+      << "a pin was granted during stop-the-world";
+  mgr.Resume();
+  late.join();
+  EXPECT_TRUE(late_pinned.load(std::memory_order_acquire));
+  EXPECT_FALSE(mgr.stopped());
+}
+
+TEST(EpochTest, ChurnReclaimsEverythingOnceReadersQuiesce) {
+  EpochManager& mgr = EpochManager::Instance();
+  constexpr size_t kReaders = 4;
+  constexpr size_t kRetires = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> freed{0};
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochManager::Pin pin(mgr);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  struct Counting {
+    explicit Counting(std::atomic<uint64_t>* n) : n(n) {}
+    ~Counting() { n->fetch_add(1, std::memory_order_relaxed); }
+    std::atomic<uint64_t>* n;
+  };
+  for (size_t i = 0; i < kRetires; ++i) {
+    mgr.BumpEpoch();
+    mgr.Retire(mgr.current_epoch(), std::make_shared<Counting>(&freed));
+    mgr.TryReclaim();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  mgr.TryReclaim();
+  EXPECT_EQ(freed.load(std::memory_order_relaxed), kRetires)
+      << "every retired object must be freed once all readers quiesced";
+  EXPECT_EQ(mgr.stats().retired_pending, 0u);
+}
+
+}  // namespace
+}  // namespace aapac::util

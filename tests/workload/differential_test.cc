@@ -1,7 +1,8 @@
 // Differential & property harness for the morsel-parallel executor, the
 // policy-dictionary verdict table, the policy zone map, the vectorized
-// executor and the bind-time StaticVerdict pass: 500 seeded random SELECTs
-// over the patients database, each executed eight ways —
+// executor, the bind-time StaticVerdict pass and the server's concurrency
+// scheme: 500 seeded random SELECTs over the patients database, each
+// executed nine ways —
 //   (1) serial, unenforced            (the paper's "original query" runs)
 //   (2) serial, purpose-enforced      (memoization + zone maps + the
 //       vectorized batch executor + static verdicts on — the default
@@ -16,8 +17,12 @@
 //   (7) serial, enforced, vectorized executor force-disabled (the
 //       row-at-a-time scan/probe/filter path — AAPAC_VECTOR_OFF)
 //   (8) morsel-parallel, enforced, vectorized executor force-disabled
-// — asserting that (3) through (8) are row-for-row identical to (2), that
-// (3) through (8) spend exactly the same number of logical compliance
+//   (9) through a live EnforcementServer (one session per purpose) — under
+//       epoch-based snapshot concurrency by default, or the fallback
+//       readers-writer lock when AAPAC_EPOCH_OFF is set, so CI exercises
+//       both schemes against the same transcript
+// — asserting that (3) through (9) are row-for-row identical to (2), that
+// (3) through (9) spend exactly the same number of logical compliance
 // checks as (2) (check exactness at DOP 1 and DOP N, batch and row), that
 // (2) never returns a tuple (1) would not (enforcement only filters), and,
 // for queries without sub-queries, that (2) equals a brute-force reference
@@ -50,6 +55,7 @@
 #include "engine/database.h"
 #include "engine/exec.h"
 #include "engine/table.h"
+#include "server/server.h"
 #include "sql/parser.h"
 #include "tests/util/query_gen.h"
 #include "util/bitstring.h"
@@ -189,6 +195,23 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
   const size_t threads = ThreadsFromEnv();
   SCOPED_TRACE("replay with AAPAC_DIFF_SEED=" + std::to_string(seed));
   Harness h;
+  // Leg (9): a long-lived server over the same monitor. Its construction
+  // re-wires the database for copy-on-write versioning (epoch mode); the
+  // harness's direct DML interleavings below still work because the server
+  // is idle whenever they run (the documented direct-use contract). One
+  // session per purpose, opened lazily.
+  server::ServerOptions server_options;
+  server_options.threads = 2;
+  server::EnforcementServer server(h.monitor.get(), server_options);
+  std::map<std::string, server::SessionId> sessions;
+  const auto session_for = [&](const std::string& purpose) {
+    auto it = sessions.find(purpose);
+    if (it != sessions.end()) return it->second;
+    auto sid = server.OpenSession("", purpose);
+    EXPECT_TRUE(sid.ok()) << sid.status();
+    sessions.emplace(purpose, *sid);
+    return *sid;
+  };
   testutil::QueryGenerator gen(seed);
   size_t brute_forced = 0;
   // Separate stream so DML interleaving never perturbs query generation
@@ -237,6 +260,14 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     ASSERT_TRUE(serial.ok()) << ctx << "\n  " << serial.status();
     const uint64_t memo_checks =
         h.monitor->compliance_checks() - checks_before_memo;
+
+    // Leg (9): the same statement through the server — pinned-epoch
+    // snapshot read (or the fallback shared lock under AAPAC_EPOCH_OFF).
+    const uint64_t checks_before_server = h.monitor->compliance_checks();
+    auto served = server.Execute(session_for(q.purpose), q.sql);
+    const uint64_t server_checks =
+        h.monitor->compliance_checks() - checks_before_server;
+    ASSERT_TRUE(served.ok()) << ctx << "\n  " << served.status();
 
     h.monitor->SetVerdictMemoEnabled(false);
     const uint64_t checks_before_direct = h.monitor->compliance_checks();
@@ -357,6 +388,19 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
         << ctx << "\n  parallel row path changed the compliance-check count";
     ASSERT_EQ(parallel_checks, memo_checks)
         << ctx << "\n  morsel parallelism changed the compliance-check count";
+
+    // (a'''') The serving layer is invisible: session context, rewrite
+    // cache, epoch pin + snapshot (or fallback lock) change neither the
+    // rows nor the logical check count.
+    ASSERT_EQ(served->column_names, serial->column_names) << ctx;
+    const std::vector<std::string> served_rows = RenderRows(*served);
+    ASSERT_EQ(served_rows.size(), serial_rows.size()) << ctx;
+    for (size_t r = 0; r < serial_rows.size(); ++r) {
+      ASSERT_EQ(served_rows[r], serial_rows[r])
+          << ctx << "\n  server-leg divergence at row " << r;
+    }
+    ASSERT_EQ(server_checks, memo_checks)
+        << ctx << "\n  the serving layer changed the compliance-check count";
 
     // (b) Enforcement only filters: every enforced tuple appears in the
     // unenforced result (as a multiset; aggregates recompute over the
