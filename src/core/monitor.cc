@@ -54,6 +54,14 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   metrics_->RegisterExternalCounter("engine.groups_built", &es.groups_built);
   metrics_->RegisterExternalCounter("engine.rows_output", &es.rows_output);
   metrics_->RegisterExternalCounter("engine.statements", &es.statements);
+  // Secondary-index access-path counters (engine/index.h): probes served,
+  // rows the index let the scan skip entirely, and candidates settled inside
+  // all-denied zone blocks without materialization.
+  metrics_->RegisterExternalCounter(obs::kIndexProbes, &es.index_probes);
+  metrics_->RegisterExternalCounter(obs::kIndexRowsPruned,
+                                    &es.index_rows_pruned);
+  metrics_->RegisterExternalCounter(obs::kIndexDeniedSkipped,
+                                    &es.index_denied_skipped);
   // The decision ledger's running totals join the same surface so
   // metrics_diff can gate on them; `sum(ledger checks) == ledger_checks ==
   // (checks of ledger-recorded statements)` is the reconciliation handle.
@@ -157,6 +165,11 @@ EnforcementMonitor::EnforcementMonitor(engine::Database* db,
   if (util::EnvFlagSet("AAPAC_VECTOR_OFF")) {
     executor_.set_vector_enabled(false);
   }
+  // Same for the secondary-index access path: force every sargable scan
+  // through the full scan machinery.
+  if (util::EnvFlagSet("AAPAC_INDEX_OFF")) {
+    executor_.set_index_scans_enabled(false);
+  }
   // And for the StaticVerdict pass: stop marking fresh conjuncts AND stop
   // honouring marks on cached ASTs (both sides, so the switch is airtight
   // across the server's rewrite cache).
@@ -179,6 +192,9 @@ EnforcementMonitor::~EnforcementMonitor() {
   metrics_->UnregisterExternalCounter("engine.groups_built");
   metrics_->UnregisterExternalCounter("engine.rows_output");
   metrics_->UnregisterExternalCounter("engine.statements");
+  metrics_->UnregisterExternalCounter(obs::kIndexProbes);
+  metrics_->UnregisterExternalCounter(obs::kIndexRowsPruned);
+  metrics_->UnregisterExternalCounter(obs::kIndexDeniedSkipped);
   metrics_->UnregisterExternalCounter("enforce.ledger_entries");
   metrics_->UnregisterExternalCounter("enforce.ledger_checks");
   metrics_->UnregisterExternalCounter("enforce.ledger_statements");

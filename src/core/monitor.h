@@ -215,6 +215,17 @@ class EnforcementMonitor {
   }
   bool vector_enabled() const { return executor_.vector_enabled(); }
 
+  /// Forwarded to the executor; see
+  /// engine::Executor::set_index_scans_enabled. Disabling forces every
+  /// sargable point/range scan through the full scan machinery (results and
+  /// check counts must not change — asserted by the differential harness's
+  /// index-off leg and bench_point_lookup's self-check). Also settable at
+  /// construction via the AAPAC_INDEX_OFF environment knob.
+  void SetIndexScansEnabled(bool enabled) {
+    executor_.set_index_scans_enabled(enabled);
+  }
+  bool index_scans_enabled() const { return executor_.index_scans_enabled(); }
+
   /// Forwarded to the executor; see engine::Executor::set_batch_rows.
   /// 0 (the default) selects the AAPAC_BATCH_ROWS value.
   void SetBatchRows(size_t rows) { executor_.set_batch_rows(rows); }

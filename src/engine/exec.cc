@@ -415,7 +415,8 @@ class ExecutorImpl {
   ExecutorImpl(Database* db, ExecStats* stats, bool pushdown = true,
                const ParallelSpec* parallel = nullptr,
                bool verdict_memo = true, bool zone_map = true,
-               const vec::VecSpec* vec = nullptr, bool static_verdict = true)
+               const vec::VecSpec* vec = nullptr, bool static_verdict = true,
+               bool index_scans = true)
       : db_(db),
         stats_(stats),
         pushdown_(pushdown),
@@ -423,7 +424,8 @@ class ExecutorImpl {
         verdict_memo_(verdict_memo),
         zone_map_(zone_map),
         vec_(vec),
-        static_verdict_(static_verdict) {}
+        static_verdict_(static_verdict),
+        index_scans_(index_scans) {}
 
   Result<ResultSet> Execute(const sql::SelectStmt& stmt);
 
@@ -496,6 +498,7 @@ class ExecutorImpl {
   bool zone_map_;
   const vec::VecSpec* vec_;
   bool static_verdict_;
+  bool index_scans_;
 };
 
 bool Binder::MemoizeVerdictsEnabled() const {
@@ -930,6 +933,232 @@ Status ExecutorImpl::RunMorsels(
   return Status::OK();
 }
 
+/// One sargable predicate recognized on a base-table scan's first claimed
+/// conjunct: an equality or range comparison between a stored column and
+/// literal bound(s). The restriction to the FIRST claimed conjunct is what
+/// makes the index path's check accounting line up with the scan path for
+/// free: non-candidate rows fail filters[0] under the scan too, so they
+/// spend zero compliance checks on either path.
+struct SargPredicate {
+  size_t column = 0;  // Stored-row index of the key column.
+  bool is_equality = false;
+  Value key;  // Equality probe key.
+  bool has_lo = false;  // Range: lower bound present.
+  bool lo_inclusive = false;
+  Value lo;
+  bool has_hi = false;  // Range: upper bound present.
+  bool hi_inclusive = false;
+  Value hi;
+};
+
+/// Converts a literal AST node into an index key. Only INT64 and STRING
+/// literals qualify — the only indexable column types — and the literal's
+/// type must equal the column's declared type, so Value::Equals /
+/// Value::Compare agree with SQL comparison semantics for every stored key
+/// (no numeric-coercion cases). NULL, double, bool and bit literals fall
+/// back to the scan path.
+static bool SargLiteral(const sql::Expr& expr, ValueType column_type,
+                        Value* out) {
+  // Negative numbers parse as unary minus over a literal; fold one level so
+  // `k = -5` stays sargable.
+  if (expr.kind() == sql::Expr::Kind::kUnary) {
+    const auto& un = static_cast<const sql::UnaryExpr&>(expr);
+    if (un.op != sql::UnaryOp::kNeg) return false;
+    if (!SargLiteral(*un.operand, column_type, out)) return false;
+    if (out->type() != ValueType::kInt64) return false;
+    *out = Value::Int(-out->AsInt());
+    return true;
+  }
+  if (expr.kind() != sql::Expr::Kind::kLiteral) return false;
+  const auto& lit = static_cast<const sql::LiteralExpr&>(expr);
+  if (const int64_t* i = std::get_if<int64_t>(&lit.value)) {
+    if (column_type != ValueType::kInt64) return false;
+    *out = Value::Int(*i);
+    return true;
+  }
+  if (const std::string* s = std::get_if<std::string>(&lit.value)) {
+    if (column_type != ValueType::kString) return false;
+    *out = Value::String(*s);
+    return true;
+  }
+  return false;
+}
+
+/// Resolves a column reference against the scan's full stored-row schema
+/// (unique match required — the same rules conjunct binding applies).
+static bool SargColumn(const BindingSchema& schema, const sql::Expr& expr,
+                       size_t* index) {
+  if (expr.kind() != sql::Expr::Kind::kColumnRef) return false;
+  const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+  size_t matches = 0;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (!EqualsIgnoreCase(schema[i].name, ref.name)) continue;
+    if (!ref.qualifier.empty() &&
+        !EqualsIgnoreCase(schema[i].binding, ref.qualifier)) {
+      continue;
+    }
+    *index = i;
+    ++matches;
+  }
+  return matches == 1;
+}
+
+/// Recognizes `col = lit`, `col < / <= / > / >= lit` (either operand order)
+/// and `col BETWEEN lo AND hi`. Shared by the executor's access-path choice
+/// (EvalBase) and the plan printer, so `\explain` shows exactly the path
+/// the executor would take.
+static bool DetectSargable(const sql::Expr& expr, const BindingSchema& schema,
+                           SargPredicate* out) {
+  if (expr.kind() == sql::Expr::Kind::kBetween) {
+    const auto& bt = static_cast<const sql::BetweenExpr&>(expr);
+    if (bt.negated) return false;
+    size_t col = 0;
+    if (!SargColumn(schema, *bt.operand, &col)) return false;
+    Value lo, hi;
+    if (!SargLiteral(*bt.lo, schema[col].type, &lo)) return false;
+    if (!SargLiteral(*bt.hi, schema[col].type, &hi)) return false;
+    out->column = col;
+    out->is_equality = false;
+    out->has_lo = out->lo_inclusive = true;
+    out->lo = std::move(lo);
+    out->has_hi = out->hi_inclusive = true;
+    out->hi = std::move(hi);
+    return true;
+  }
+  if (expr.kind() != sql::Expr::Kind::kBinary) return false;
+  const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+  BinaryOp op = bin.op;
+  const sql::Expr* col_side = bin.lhs.get();
+  const sql::Expr* lit_side = bin.rhs.get();
+  size_t col = 0;
+  if (!SargColumn(schema, *col_side, &col)) {
+    // `lit op col`: mirror the comparison around the column.
+    std::swap(col_side, lit_side);
+    if (!SargColumn(schema, *col_side, &col)) return false;
+    switch (op) {
+      case BinaryOp::kLt: op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: op = BinaryOp::kLe; break;
+      default: break;
+    }
+  }
+  Value key;
+  if (!SargLiteral(*lit_side, schema[col].type, &key)) return false;
+  out->column = col;
+  switch (op) {
+    case BinaryOp::kEq:
+      out->is_equality = true;
+      out->key = std::move(key);
+      return true;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      out->is_equality = false;
+      out->has_hi = true;
+      out->hi_inclusive = (op == BinaryOp::kLe);
+      out->hi = std::move(key);
+      return true;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      out->is_equality = false;
+      out->has_lo = true;
+      out->lo_inclusive = (op == BinaryOp::kGe);
+      out->lo = std::move(key);
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The policy-aware index probe: visits the candidate slots in ascending
+/// order, resolving each candidate's zone-block decision against the
+/// statement's verdict tables BEFORE materialization. All-denied blocks
+/// settle the exact per-id short-circuit cost the scan path would have
+/// spent (same arithmetic as RowScanExecutor::Run) without copying a row;
+/// all-allowed blocks settle the full tail cost per survivor; mixed blocks
+/// fall back to the self-accounting per-tuple evaluation. Every candidate
+/// re-runs the full claimed filter list prefix-first, so the output rows
+/// and the CheckTally delta are byte-identical to the scan path.
+static Status RunIndexProbe(const ScanPlan& plan,
+                            const std::vector<uint32_t>& slots,
+                            std::vector<Row>* sink,
+                            uint64_t* denied_skipped) {
+  const std::vector<Row>& rows = *plan.rows;
+  const std::vector<BoundExprPtr>& filters = *plan.filters;
+  const ZoneScanPlan& zplan = plan.zone;
+  if (!zplan.valid) {
+    // No zone plan: the memo machinery self-accounts per candidate, exactly
+    // as the per-tuple scan would for these rows.
+    for (uint32_t slot : slots) {
+      const Row& row = rows[slot];
+      AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+      if (pass) plan.Materialize(row, sink);
+    }
+    return Status::OK();
+  }
+  const ScalarFunction* zfn = plan.zone_fn;
+  const size_t brows = zplan.zone->block_rows();
+  const size_t m = zplan.user_filters;
+  const uint64_t tail_len = zplan.verdicts.size();
+  // Ascending slot order means each block is decided at most once, when the
+  // probe first lands in it.
+  size_t cur_block = static_cast<size_t>(-1);
+  BlockDecision d;
+  uint64_t settled = 0;
+  uint64_t bulk_passes = 0;
+  for (uint32_t slot : slots) {
+    const Row& row = rows[slot];
+    const size_t b = slot / brows;
+    if (b != cur_block) {
+      d = DecideBlock(zplan.zone->block(b), zplan.verdicts);
+      cur_block = b;
+    }
+    switch (d.kind) {
+      case BlockDecision::kSkip: {
+        AAPAC_ASSIGN_OR_RETURN(bool pass,
+                               PassesFilterPrefix(filters, m, row));
+        if (!pass) break;
+        const int64_t c =
+            d.CostOf(row[zplan.subject_col].bytes_interned_id());
+        if (c >= 0) {
+          settled += static_cast<uint64_t>(c);
+          ++*denied_skipped;
+          break;
+        }
+        // Unreachable for a clean summary; stay exact regardless.
+        AAPAC_ASSIGN_OR_RETURN(bool full, PassesFilters(filters, row));
+        if (full) plan.Materialize(row, sink);
+        break;
+      }
+      case BlockDecision::kBulkAccept: {
+        AAPAC_ASSIGN_OR_RETURN(bool pass,
+                               PassesFilterPrefix(filters, m, row));
+        if (!pass) break;
+        if (d.CostOf(row[zplan.subject_col].bytes_interned_id()) >= 0) {
+          ++bulk_passes;
+          plan.Materialize(row, sink);
+          break;
+        }
+        AAPAC_ASSIGN_OR_RETURN(bool full, PassesFilters(filters, row));
+        if (full) plan.Materialize(row, sink);
+        break;
+      }
+      case BlockDecision::kMixed: {
+        AAPAC_ASSIGN_OR_RETURN(bool pass, PassesFilters(filters, row));
+        if (pass) plan.Materialize(row, sink);
+        break;
+      }
+    }
+  }
+  // Settlement totals match the scan path's per-block settlements summed:
+  // CheckTally and the profile tally only ever read aggregate deltas.
+  if (settled != 0 && zfn->on_zone_checks) zfn->on_zone_checks(settled);
+  if (bulk_passes != 0 && zfn->on_zone_checks) {
+    zfn->on_zone_checks(bulk_passes * tail_len);
+  }
+  return Status::OK();
+}
+
 Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
                                         const NeededColumns& needed,
                                         std::vector<PendingConjunct>* pending) {
@@ -939,8 +1168,21 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
   // reference any stored column) and run against the stored rows in place;
   // only the columns the query needs are materialized into the relation.
   AAPAC_ASSIGN_OR_RETURN(BindingSchema full_schema, SchemaOfRef(ref));
+  // Remember which pending conjunct ClaimConjuncts consumes first: claimed
+  // filters keep the user's WHERE order, so that conjunct is filters[0] —
+  // the only candidate for an index-sargable predicate.
+  std::vector<bool> was_consumed;
+  was_consumed.reserve(pending->size());
+  for (const auto& pc : *pending) was_consumed.push_back(pc.consumed);
   AAPAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> filters,
                          ClaimConjuncts(full_schema, pending));
+  const sql::Expr* first_claimed = nullptr;
+  for (size_t i = 0; i < was_consumed.size(); ++i) {
+    if (!was_consumed[i] && (*pending)[i].consumed) {
+      first_claimed = (*pending)[i].expr;
+      break;
+    }
+  }
   // Claiming must precede the keep computation: columns read only by the
   // conjuncts just claimed drop out of the materialized relation.
   const NeededColumns scan_needed = ScanNeeded(needed, *pending);
@@ -952,7 +1194,6 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
       rel.schema.push_back(full_schema[i]);
     }
   }
-  stats_->rows_scanned += table->num_rows();
   const std::vector<Row>& rows = table->rows();
 
   // Zone-map eligibility: the claimed filters must end in a consecutive
@@ -991,6 +1232,23 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
     }
   }
 
+  // Access-path selection: a sargable first conjunct over an indexed column
+  // turns the scan into an index probe. The index returns exactly the slots
+  // where filters[0] is TRUE (NULL keys are absent from the index and fail
+  // the conjunct under the scan too), every candidate still runs the full
+  // claimed filter list, and the probe settles compliance checks with the
+  // scan path's exact arithmetic — results, audit `checks` and ledger
+  // totals are byte-identical either way. The probe runs serially even
+  // under a ParallelSpec: candidate lists are small by construction and
+  // serial settlement keeps check accounting DOP-invariant trivially.
+  SargPredicate sarg;
+  const SecondaryIndex* index = nullptr;
+  if (index_scans_ && first_claimed != nullptr && !filters.empty() &&
+      DetectSargable(*first_claimed, full_schema, &sarg)) {
+    index =
+        table->FindIndexOn(sarg.column, /*need_range=*/!sarg.is_equality);
+  }
+
   // One plan, two executors (see engine/scan_plan.h): the vectorized batch
   // path by default, the row-at-a-time path when the vector kill switch is
   // on or there is nothing to filter. Either executor runs the whole scan
@@ -1011,11 +1269,51 @@ Result<Relation> ExecutorImpl::EvalBase(const sql::BaseTableRef& ref,
     if (!ref.alias.empty() && ref.alias != ref.table_name) {
       detail += " as " + ref.alias;
     }
-    detail += UseVec(filters) ? " [vec" : " [row";
+    if (index != nullptr) {
+      detail += std::string(" [idx:") + index->name();
+    } else {
+      detail += UseVec(filters) ? " [vec" : " [row";
+    }
     if (splan.zone.valid) detail += "+zone";
     detail += "]";
     scan_op.SetDetail(detail);
   }
+
+  if (index != nullptr) {
+    using Clock = std::chrono::steady_clock;
+    const bool timed = VecTimed();
+    const Clock::time_point t0 = timed ? Clock::now() : Clock::time_point();
+    std::vector<uint32_t> slots;
+    if (sarg.is_equality) {
+      if (const std::vector<uint32_t>* list = index->Lookup(sarg.key)) {
+        slots = *list;
+      }
+    } else {
+      index->LookupRange(sarg.has_lo ? &sarg.lo : nullptr, sarg.lo_inclusive,
+                         sarg.has_hi ? &sarg.hi : nullptr, sarg.hi_inclusive,
+                         &slots);
+    }
+    uint64_t denied_skipped = 0;
+    AAPAC_RETURN_NOT_OK(
+        RunIndexProbe(splan, slots, &rel.rows, &denied_skipped));
+    if (timed) {
+      const uint64_t probe_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count();
+      vec_->metrics->histogram(obs::kIndexProbeHist)->Record(probe_ns);
+    }
+    // Only the probed candidates were visited; everything else was pruned
+    // by the index.
+    stats_->rows_scanned += slots.size();
+    stats_->index_probes += 1;
+    stats_->index_rows_pruned += rows.size() - slots.size();
+    stats_->index_denied_skipped += denied_skipped;
+    scan_op.SetRows(slots.size(), rel.rows.size());
+    stats_->rows_materialized += rel.rows.size();
+    return rel;
+  }
+  stats_->rows_scanned += table->num_rows();
 
   if (UseVec(filters)) {
     vec::VecScanExecutor scan(&splan, vec_);
@@ -1788,8 +2086,8 @@ bool ExprResolvesIn(const sql::Expr& expr, const BindingSchema& schema) {
 
 class PlanPrinter {
  public:
-  PlanPrinter(ExecutorImpl* impl, bool pushdown)
-      : impl_(impl), pushdown_(pushdown) {}
+  PlanPrinter(ExecutorImpl* impl, bool pushdown, bool index_scans = true)
+      : impl_(impl), pushdown_(pushdown), index_scans_(index_scans) {}
 
   Result<std::string> Print(const sql::SelectStmt& stmt, int depth) {
     std::string out;
@@ -1859,6 +2157,22 @@ class PlanPrinter {
         if (!base.alias.empty()) out += " as " + base.alias;
         const Table* table = impl_->db_->FindTable(base.table_name);
         out += " rows=" + std::to_string(table ? table->num_rows() : 0);
+        // Mirror EvalBase's access-path choice: the first conjunct this
+        // scan would claim, tested for index sargability. Peek only — the
+        // plan must not trigger an index rebuild.
+        const SecondaryIndex* index = nullptr;
+        SargPredicate sarg;
+        if (index_scans_ && pushdown_ && table != nullptr) {
+          for (const auto& pc : *pending) {
+            if (pc.consumed) continue;
+            if (!ExprResolvesIn(*pc.expr, schema)) continue;
+            if (DetectSargable(*pc.expr, schema, &sarg)) {
+              index = table->PeekIndexOn(sarg.column,
+                                         /*need_range=*/!sarg.is_equality);
+            }
+            break;  // Only the first claimable conjunct can be sargable.
+          }
+        }
         // Claim before counting kept columns, mirroring EvalBase: conjuncts
         // this scan absorbs do not force their columns into the relation.
         const std::string claim = ClaimLine(schema, pending, depth);
@@ -1869,6 +2183,11 @@ class PlanPrinter {
         }
         out += " cols=" + std::to_string(kept) + "/" +
                std::to_string(schema.size()) + "\n";
+        if (index != nullptr) {
+          out += indent + "  IndexScan " + index->name() + " (" +
+                 IndexKindName(index->kind()) + ") on " + index->column() +
+                 (sarg.is_equality ? " [point]" : " [range]") + "\n";
+        }
         out += claim;
         return out;
       }
@@ -1972,13 +2291,14 @@ class PlanPrinter {
 
   ExecutorImpl* impl_;
   bool pushdown_;
+  bool index_scans_;
 };
 
 }  // namespace
 
 Result<std::string> Executor::ExplainPlan(const sql::SelectStmt& stmt) {
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_);
-  PlanPrinter printer(&impl, pushdown_enabled_);
+  PlanPrinter printer(&impl, pushdown_enabled_, index_scans_enabled_);
   return printer.Print(stmt, 0);
 }
 
@@ -1992,7 +2312,7 @@ Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt) {
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
                     verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
-                    static_verdict_enabled_);
+                    static_verdict_enabled_, index_scans_enabled_);
   return impl.Execute(stmt);
 }
 
@@ -2002,7 +2322,7 @@ Result<ResultSet> Executor::Execute(const sql::SelectStmt& stmt,
   stats_.statements.fetch_add(1, std::memory_order_relaxed);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, &spec,
                     verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
-                    static_verdict_enabled_);
+                    static_verdict_enabled_, index_scans_enabled_);
   return impl.Execute(stmt);
 }
 
@@ -2016,7 +2336,7 @@ Result<std::vector<Row>> Executor::EvalInsertSource(
     const sql::InsertStmt& stmt) {
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
                     verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
-                    static_verdict_enabled_);
+                    static_verdict_enabled_, index_scans_enabled_);
   if (stmt.select != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(ResultSet rs, impl.Execute(*stmt.select));
     return std::move(rs.rows);
@@ -2170,7 +2490,7 @@ Result<size_t> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt) {
   }
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
                     verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
-                    static_verdict_enabled_);
+                    static_verdict_enabled_, index_scans_enabled_);
 
   // Resolve targets and bind right-hand sides.
   std::vector<size_t> targets;
@@ -2247,7 +2567,7 @@ Result<size_t> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
   ScopedDmlWrite write(db_, table);
   ExecutorImpl impl(db_, &stats_, pushdown_enabled_, nullptr,
                     verdict_memo_enabled_, zone_map_enabled_, &vec_spec_,
-                    static_verdict_enabled_);
+                    static_verdict_enabled_, index_scans_enabled_);
   BoundExprPtr predicate;
   if (stmt.where != nullptr) {
     AAPAC_ASSIGN_OR_RETURN(predicate,

@@ -69,6 +69,14 @@ struct ExecStats {
   std::atomic<uint64_t> groups_built{0};       // Aggregation groups formed.
   std::atomic<uint64_t> rows_output{0};        // Rows in final result sets.
   std::atomic<uint64_t> statements{0};         // Statements executed.
+  std::atomic<uint64_t> index_probes{0};       // Scans served by an index.
+  /// Rows the index access path never had to visit (table rows minus probe
+  /// candidates) — the paper's "enforced lookup" saving, Fig. 6 scaled down
+  /// to O(log n).
+  std::atomic<uint64_t> index_rows_pruned{0};
+  /// Index candidates landing in all-denied zone blocks: settled by
+  /// aggregate check accounting without ever materializing the row.
+  std::atomic<uint64_t> index_denied_skipped{0};
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
@@ -79,6 +87,11 @@ struct ExecStats {
     groups_built = other.groups_built.load(std::memory_order_relaxed);
     rows_output = other.rows_output.load(std::memory_order_relaxed);
     statements = other.statements.load(std::memory_order_relaxed);
+    index_probes = other.index_probes.load(std::memory_order_relaxed);
+    index_rows_pruned =
+        other.index_rows_pruned.load(std::memory_order_relaxed);
+    index_denied_skipped =
+        other.index_denied_skipped.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -220,6 +233,17 @@ class Executor {
   void set_vector_enabled(bool enabled) { vec_spec_.enabled = enabled; }
   bool vector_enabled() const { return vec_spec_.enabled; }
 
+  /// Disables the secondary-index access path (engine/index.h): every
+  /// sargable point/range scan then runs the full scan machinery. Results
+  /// and check counts are identical either way — the policy-aware probe
+  /// settles exactly the checks the scan path would have spent (the
+  /// AAPAC_INDEX_OFF kill switch and the differential harness's index-off
+  /// leg prove it).
+  void set_index_scans_enabled(bool enabled) {
+    index_scans_enabled_ = enabled;
+  }
+  bool index_scans_enabled() const { return index_scans_enabled_; }
+
   /// Rows per batch for the vectorized executor; 0 selects the
   /// AAPAC_BATCH_ROWS default.
   void set_batch_rows(size_t rows) { vec_spec_.batch_rows = rows; }
@@ -238,6 +262,7 @@ class Executor {
   bool verdict_memo_enabled_ = true;
   bool zone_map_enabled_ = true;
   bool static_verdict_enabled_ = true;
+  bool index_scans_enabled_ = true;
   vec::VecSpec vec_spec_;
 };
 

@@ -1,0 +1,107 @@
+#include "engine/index.h"
+
+#include <algorithm>
+
+namespace aapac::engine {
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHash:
+      return "hash";
+    case IndexKind::kOrdered:
+      return "ordered";
+  }
+  return "unknown";
+}
+
+void SecondaryIndex::NoteAppend(const Row& row, uint32_t slot) {
+  if (stale_.load(std::memory_order_relaxed)) return;  // Rebuild covers it.
+  if (column_index_ >= row.size()) {
+    MarkStale();
+    return;
+  }
+  const Value& key = row[column_index_];
+  if (key.is_null()) return;
+  if (kind_ == IndexKind::kHash) {
+    hash_[key].push_back(slot);
+  } else {
+    ordered_[key].push_back(slot);
+  }
+}
+
+void SecondaryIndex::EnsureCurrent(const std::vector<Row>& rows) const {
+  if (!stale_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  if (!stale_.load(std::memory_order_relaxed)) return;  // Lost the race.
+  RebuildLocked(rows);
+  stale_.store(false, std::memory_order_release);
+}
+
+void SecondaryIndex::RebuildLocked(const std::vector<Row>& rows) const {
+  hash_.clear();
+  ordered_.clear();
+  for (uint32_t slot = 0; slot < rows.size(); ++slot) {
+    const Row& row = rows[slot];
+    if (column_index_ >= row.size()) continue;
+    const Value& key = row[column_index_];
+    if (key.is_null()) continue;
+    // Slots ascend with the build loop, so every per-key list is born
+    // sorted — probes stream candidates in row order without a sort.
+    if (kind_ == IndexKind::kHash) {
+      hash_[key].push_back(slot);
+    } else {
+      ordered_[key].push_back(slot);
+    }
+  }
+}
+
+const std::vector<uint32_t>* SecondaryIndex::Lookup(const Value& key) const {
+  if (key.is_null()) return nullptr;
+  if (kind_ == IndexKind::kHash) {
+    auto it = hash_.find(key);
+    return it != hash_.end() ? &it->second : nullptr;
+  }
+  auto it = ordered_.find(key);
+  return it != ordered_.end() ? &it->second : nullptr;
+}
+
+void SecondaryIndex::LookupRange(const Value* lo, bool lo_inclusive,
+                                 const Value* hi, bool hi_inclusive,
+                                 std::vector<uint32_t>* out) const {
+  auto it = lo == nullptr ? ordered_.begin()
+            : lo_inclusive ? ordered_.lower_bound(*lo)
+                           : ordered_.upper_bound(*lo);
+  const size_t first = out->size();
+  // The upper bound is re-checked per key (not a precomputed iterator): an
+  // empty range (lo > hi) would otherwise start past its own end.
+  for (; it != ordered_.end(); ++it) {
+    if (hi != nullptr) {
+      const int c = it->first.Compare(*hi);
+      if (c > 0 || (c == 0 && !hi_inclusive)) break;
+    }
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  // Per-key lists are ascending but interleave across keys; the executor
+  // needs one globally ascending candidate stream for byte-identical
+  // output order vs. the scan path.
+  std::sort(out->begin() + static_cast<ptrdiff_t>(first), out->end());
+}
+
+IndexStats SecondaryIndex::Stats() const {
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  IndexStats s;
+  s.name = name_;
+  s.column = column_;
+  s.kind = kind_;
+  s.current = !stale_.load(std::memory_order_relaxed);
+  if (kind_ == IndexKind::kHash) {
+    s.distinct_keys = hash_.size();
+    for (const auto& [key, slots] : hash_) s.entries += slots.size();
+  } else {
+    s.distinct_keys = ordered_.size();
+    for (const auto& [key, slots] : ordered_) s.entries += slots.size();
+  }
+  return s;
+}
+
+}  // namespace aapac::engine

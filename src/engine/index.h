@@ -1,0 +1,138 @@
+#ifndef AAPAC_ENGINE_INDEX_H_
+#define AAPAC_ENGINE_INDEX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/value.h"
+
+namespace aapac::engine {
+
+/// Access structure of a secondary index. A hash index answers equality
+/// probes in O(1); an ordered index answers both equality and range probes
+/// in O(log n).
+enum class IndexKind : uint8_t { kHash = 0, kOrdered = 1 };
+
+const char* IndexKindName(IndexKind kind);
+
+/// Read-only statistics snapshot for `SHOW INDEXES` / `\indexes` /
+/// ServerSnapshot.
+struct IndexStats {
+  std::string name;
+  std::string column;
+  IndexKind kind = IndexKind::kHash;
+  size_t distinct_keys = 0;  ///< Distinct non-NULL key values.
+  size_t entries = 0;        ///< Row slots indexed (NULL keys excluded).
+  bool current = false;      ///< False while a lazy rebuild is pending.
+};
+
+/// Strict-weak ordering over Value consistent with Value::Compare (NULLs
+/// first, then by type, numerics cross-type).
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) < 0;
+  }
+};
+
+/// Secondary index over one column of a table version: key -> ascending row
+/// slots. NULL keys are never indexed (no SQL comparison predicate matches
+/// NULL), and probes return candidate slots only — the executor re-evaluates
+/// every user filter per candidate, so a probe can safely over-approximate.
+///
+/// Maintenance mirrors PolicyZoneMap:
+///  - the write hooks (NoteAppend / MarkStale) run on the externally
+///    serialized write path of the owning table version;
+///  - EnsureCurrent() rebuilds lazily with interior mutability and is safe
+///    to call from concurrent readers of an immutable published version
+///    (mutex + acquire/release staleness fast path, the same discipline as
+///    PolicyZoneMap::EnsureCurrent);
+///  - copy-on-write versioning clones the *definition* only
+///    (CloneDefinition): the clone starts stale and rebuilds on its first
+///    indexed read, keeping BeginWrite cheap for write-heavy phases.
+class SecondaryIndex {
+ public:
+  SecondaryIndex(std::string name, std::string column, size_t column_index,
+                 IndexKind kind)
+      : name_(std::move(name)),
+        column_(std::move(column)),
+        column_index_(column_index),
+        kind_(kind) {}
+
+  SecondaryIndex(const SecondaryIndex&) = delete;
+  SecondaryIndex& operator=(const SecondaryIndex&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& column() const { return column_; }
+  size_t column_index() const { return column_index_; }
+  IndexKind kind() const { return kind_; }
+
+  // --- Write-path hooks (externally serialized, like PolicyZoneMap's). -----
+
+  /// Incrementally indexes the row just appended at `slot` — a no-op while
+  /// stale (the pending rebuild will cover it).
+  void NoteAppend(const Row& row, uint32_t slot);
+
+  /// Invalidates the index after any in-place mutation (update, erase,
+  /// truncate, clear). The next EnsureCurrent() rebuilds from the rows.
+  void MarkStale() { stale_.store(true, std::memory_order_release); }
+
+  /// True when no rebuild is pending.
+  bool current() const { return !stale_.load(std::memory_order_acquire); }
+
+  /// Rebuilds from `rows` if stale. Thread-safe: concurrent readers of an
+  /// immutable version may race here; the winner rebuilds under the mutex,
+  /// the rest take the acquire fast path.
+  void EnsureCurrent(const std::vector<Row>& rows) const;
+
+  /// Clones name/column/kind only; the clone starts stale.
+  std::unique_ptr<SecondaryIndex> CloneDefinition() const {
+    return std::make_unique<SecondaryIndex>(name_, column_, column_index_,
+                                            kind_);
+  }
+
+  // --- Probe API (call EnsureCurrent first). -------------------------------
+
+  /// Slots whose key equals `key`, ascending; nullptr when absent. Valid for
+  /// both kinds (an ordered index serves equality too).
+  const std::vector<uint32_t>* Lookup(const Value& key) const;
+
+  /// Appends every slot with lo <?= key <?= hi to `out` (bounds optional,
+  /// nullptr = unbounded; inclusivity per flag), then sorts `out` ascending
+  /// so candidates stream in row order. Only valid for kOrdered.
+  void LookupRange(const Value* lo, bool lo_inclusive, const Value* hi,
+                   bool hi_inclusive, std::vector<uint32_t>* out) const;
+
+  /// Statistics snapshot; serializes against concurrent rebuilds.
+  IndexStats Stats() const;
+
+ private:
+  void RebuildLocked(const std::vector<Row>& rows) const;
+
+  const std::string name_;
+  const std::string column_;
+  const size_t column_index_;
+  const IndexKind kind_;
+
+  /// Guards rebuilds (and Stats) — the maps themselves are only written
+  /// under this mutex or on the serialized write path.
+  mutable std::mutex rebuild_mu_;
+  /// Release on rebuild completion / acquire on the read fast path, exactly
+  /// the PolicyZoneMap::any_dirty_ protocol. Starts stale: an index built
+  /// lazily on first use costs nothing at CREATE INDEX time.
+  mutable std::atomic<bool> stale_{true};
+
+  mutable std::unordered_map<Value, std::vector<uint32_t>, ValueHash, ValueEq>
+      hash_;
+  mutable std::map<Value, std::vector<uint32_t>, ValueLess> ordered_;
+};
+
+}  // namespace aapac::engine
+
+#endif  // AAPAC_ENGINE_INDEX_H_

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/index.h"
 #include "engine/policy_dict.h"
 #include "engine/schema.h"
 #include "engine/value.h"
@@ -32,6 +33,11 @@ struct TableVersion {
   std::vector<Row> rows;
   std::unique_ptr<PolicyDictionary> dict;
   std::unique_ptr<PolicyZoneMap> zone;
+  /// Secondary indexes over these rows. Copy-on-write clones carry the
+  /// *definitions* only (each clone starts stale and rebuilds lazily on its
+  /// first indexed read), so publishing a write never pays an eager rebuild
+  /// while pinned readers keep probing the built indexes of their snapshot.
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes;
   /// Monotonic data-mutation counter (see Table::intern_version()). Lives on
   /// the version, not the table, so a reader's captured tag and the rows it
   /// describes can never be torn apart by a concurrent publish.
@@ -116,6 +122,8 @@ class Table {
   Row& mutable_row(size_t i) {
     TableVersion* v = Mut();
     if (v->zone != nullptr) v->zone->MarkRowDirty(i);
+    // The caller may rewrite any cell, including an indexed key.
+    for (auto& idx : v->indexes) idx->MarkStale();
     BumpInternVersion(v);
     return v->rows[i];
   }
@@ -132,6 +140,9 @@ class Table {
       v->dict->InternInPlace(&row[*intern_col_]);
     }
     if (v->zone != nullptr) v->zone->NoteAppend(InternedIdOf(row));
+    for (auto& idx : v->indexes) {
+      idx->NoteAppend(row, static_cast<uint32_t>(v->rows.size()));
+    }
     BumpInternVersion(v);
     v->rows.push_back(std::move(row));
   }
@@ -141,6 +152,7 @@ class Table {
     TableVersion* v = Mut();
     v->rows.clear();
     if (v->zone != nullptr) v->zone->NoteTruncate(0);
+    for (auto& idx : v->indexes) idx->MarkStale();
     BumpInternVersion(v);
   }
 
@@ -151,6 +163,7 @@ class Table {
     if (v->rows.size() > n) {
       v->rows.resize(n);
       if (v->zone != nullptr) v->zone->NoteTruncate(n);
+      for (auto& idx : v->indexes) idx->MarkStale();
       BumpInternVersion(v);
     }
   }
@@ -233,6 +246,44 @@ class Table {
     v->zone = std::make_unique<PolicyZoneMap>(block_rows);
     v->zone->Reset(v->rows.size());
   }
+
+  // --- Secondary indexes (docs/indexes.md). --------------------------------
+
+  /// Creates a secondary index named `index_name` over `column`. Fails when
+  /// the name is taken, the column is absent, or the column type is not
+  /// indexable (INT64 and STRING only — the key domain where Value equality
+  /// and ordering agree exactly with SQL comparison semantics). Built
+  /// lazily: the index starts stale and rebuilds on its first indexed read.
+  /// Routes through Mut(): callers follow the write-path serialization
+  /// contract (the server wraps DDL in a stop-the-world exclusive section).
+  Status CreateIndex(const std::string& index_name, const std::string& column,
+                     IndexKind kind);
+
+  /// Drops the index named `index_name` (case-insensitive); fails if absent.
+  /// Pinned readers keep probing their snapshot's copy until reclamation.
+  Status DropIndex(const std::string& index_name);
+
+  /// True when an index with that name exists on the reader's version.
+  bool HasIndex(const std::string& index_name) const;
+
+  /// The first index over `column_index` usable for the requested probe
+  /// shape (range probes need an ordered index; equality accepts either),
+  /// rebuilt if stale against the same version's rows — or nullptr. The
+  /// returned pointer stays valid for as long as the caller's read-side
+  /// protection (snapshot pin / external lock) keeps the version alive.
+  const SecondaryIndex* FindIndexOn(size_t column_index,
+                                    bool need_range) const;
+
+  /// Like FindIndexOn, but never triggers a rebuild — for plan printing and
+  /// other read-only introspection that must not pay (or cause) index
+  /// maintenance.
+  const SecondaryIndex* PeekIndexOn(size_t column_index,
+                                    bool need_range) const;
+
+  /// Statistics for every index on the reader's version.
+  std::vector<IndexStats> IndexStatsAll() const;
+
+  size_t num_indexes() const { return ReadVersion()->indexes.size(); }
 
   // --- Copy-on-write versioning (epoch mode; docs/concurrency.md). ---------
 

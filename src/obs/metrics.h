@@ -99,6 +99,18 @@ inline constexpr char kStaticDeny[] = "enforce.static_deny";
 inline constexpr char kStaticMixed[] = "enforce.static_mixed";
 inline constexpr char kStaticChecks[] = "enforce.static_checks";
 
+// Secondary-index surface (engine/index.h, docs/indexes.md). index_probes
+// counts scans served by the index access path; index_rows_pruned the rows
+// those scans never had to visit (table rows minus probe candidates);
+// index_denied_skipped the candidates that landed in all-denied zone
+// blocks and were settled by aggregate check accounting without ever being
+// materialized. engine.index_probe records per-probe duration (ns): key
+// lookup plus the policy-aware candidate walk.
+inline constexpr char kIndexProbes[] = "enforce.index_probes";
+inline constexpr char kIndexRowsPruned[] = "enforce.index_rows_pruned";
+inline constexpr char kIndexDeniedSkipped[] = "enforce.index_denied_skipped";
+inline constexpr char kIndexProbeHist[] = "engine.index_probe";
+
 // Vectorized-executor surface (engine/vec): batches are fixed-size
 // selection-vector runs of a morsel. `formed` counts every batch whose
 // filters ran; `evaluated` are batches that ran at least one batch

@@ -617,6 +617,7 @@ ServerSnapshot EnforcementServer::Snapshot() const {
       snap.audit_pending = buf->pending();
     }
   }
+  snap.index_scans_enabled = monitor_->index_scans_enabled();
   snap.vector_enabled = monitor_->vector_enabled();
   const size_t batch_override = monitor_->batch_rows();
   snap.vector_batch_rows =
@@ -631,6 +632,14 @@ ServerSnapshot EnforcementServer::Snapshot() const {
   snap.static_allow = reg->counter(obs::kStaticAllow)->value();
   snap.static_deny = reg->counter(obs::kStaticDeny)->value();
   snap.static_mixed = reg->counter(obs::kStaticMixed)->value();
+  // The index counters live in the executor's ExecStats (published to the
+  // registry as external counters, which only surface in render paths) —
+  // read the owning atomics directly.
+  const engine::ExecStats& xs = monitor_->exec_stats();
+  snap.index_probes = xs.index_probes.load(std::memory_order_relaxed);
+  snap.index_rows_pruned = xs.index_rows_pruned.load(std::memory_order_relaxed);
+  snap.index_denied_skipped =
+      xs.index_denied_skipped.load(std::memory_order_relaxed);
   // Dictionary sizes read table data, so take read-side protection: an
   // epoch pin + snapshot (epoch mode) or the shared data lock. Snapshots
   // stay safe against concurrent DML and policy attachment either way.
@@ -678,6 +687,18 @@ ServerSnapshot EnforcementServer::Snapshot() const {
         z.overflow_blocks = zs.overflow_blocks;
         z.untracked_blocks = zs.untracked_blocks;
         snap.zone_maps.push_back(std::move(z));
+      }
+    }
+    // Secondary indexes of every table (not just protected ones) in the
+    // same protected pass — Stats() locks per index, so the reader-side
+    // protection above suffices against concurrent rebuilds.
+    for (const std::string& name : db->TableNames()) {
+      const engine::Table* t = db->FindTable(name);
+      for (engine::IndexStats& is : t->IndexStatsAll()) {
+        TableIndexStats tis;
+        tis.table = name;
+        tis.index = std::move(is);
+        snap.indexes.push_back(std::move(tis));
       }
     }
   }

@@ -92,6 +92,14 @@ struct ZoneMapStats {
   size_t untracked_blocks = 0;
 };
 
+/// One secondary index on one table (engine/index.h): its definition plus
+/// build state — `current` is false while the index is stale (lazily
+/// rebuilt on the next indexed read of its version).
+struct TableIndexStats {
+  std::string table;
+  engine::IndexStats index;
+};
+
 struct ServerSnapshot {
   size_t queue_depth = 0;
   /// Highest queue depth observed since start (server.queue_depth gauge
@@ -130,6 +138,14 @@ struct ServerSnapshot {
   /// Per protected table, the policy zone map's block statistics (same
   /// lifetime as the dictionaries: owned by the engine tables).
   std::vector<ZoneMapStats> zone_maps;
+  /// Every secondary index of every table, with the index access path's
+  /// enablement flag (AAPAC_INDEX_OFF clears it at startup) and its probe
+  /// counters mirrored from enforce.index_*.
+  bool index_scans_enabled = true;
+  std::vector<TableIndexStats> indexes;
+  uint64_t index_probes = 0;
+  uint64_t index_rows_pruned = 0;
+  uint64_t index_denied_skipped = 0;
   /// Vectorized-executor configuration in effect (engine/vec): whether the
   /// batch path is on (AAPAC_VECTOR_OFF clears it at startup) and the
   /// rows-per-batch it forms (the AAPAC_BATCH_ROWS default unless the

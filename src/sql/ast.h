@@ -410,6 +410,45 @@ struct InsertStmt {
   std::unique_ptr<InsertStmt> Clone() const;
 };
 
+/// Parsed CREATE INDEX:
+///   `create index name on t (col) [using hash|ordered]` (default hash).
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string column;
+  bool ordered = false;  // false = hash.
+
+  std::unique_ptr<CreateIndexStmt> Clone() const {
+    return std::make_unique<CreateIndexStmt>(*this);
+  }
+  CreateIndexStmt() = default;
+  CreateIndexStmt(const CreateIndexStmt&) = default;
+};
+
+/// Parsed DROP INDEX: `drop index name [on t]`. Without ON the index name
+/// resolves across every table (and must be unambiguous).
+struct DropIndexStmt {
+  std::string index;
+  std::string table;  // Empty = resolve by name across all tables.
+
+  std::unique_ptr<DropIndexStmt> Clone() const {
+    return std::make_unique<DropIndexStmt>(*this);
+  }
+  DropIndexStmt() = default;
+  DropIndexStmt(const DropIndexStmt&) = default;
+};
+
+/// Parsed SHOW INDEXES: `show indexes [from t]`.
+struct ShowIndexesStmt {
+  std::string table;  // Empty = all tables.
+
+  std::unique_ptr<ShowIndexesStmt> Clone() const {
+    return std::make_unique<ShowIndexesStmt>(*this);
+  }
+  ShowIndexesStmt() = default;
+  ShowIndexesStmt(const ShowIndexesStmt&) = default;
+};
+
 }  // namespace aapac::sql
 
 #endif  // AAPAC_SQL_AST_H_

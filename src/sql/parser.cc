@@ -119,6 +119,61 @@ class Parser {
     return stmt;
   }
 
+  Result<std::unique_ptr<CreateIndexStmt>> ParseCreateIndexStatement() {
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("create"));
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("index"));
+    auto stmt = std::make_unique<CreateIndexStmt>();
+    AAPAC_ASSIGN_OR_RETURN(stmt->index, ExpectIdentifier());
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("on"));
+    AAPAC_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    AAPAC_RETURN_NOT_OK(ExpectSymbol("("));
+    AAPAC_ASSIGN_OR_RETURN(stmt->column, ExpectIdentifier());
+    AAPAC_RETURN_NOT_OK(ExpectSymbol(")"));
+    if (AcceptKeyword("using")) {
+      if (AcceptKeyword("ordered")) {
+        stmt->ordered = true;
+      } else if (AcceptKeyword("hash")) {
+        stmt->ordered = false;
+      } else {
+        return Err("expected HASH or ORDERED after USING");
+      }
+    }
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEndOfInput) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DropIndexStmt>> ParseDropIndexStatement() {
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("drop"));
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("index"));
+    auto stmt = std::make_unique<DropIndexStmt>();
+    AAPAC_ASSIGN_OR_RETURN(stmt->index, ExpectIdentifier());
+    if (AcceptKeyword("on")) {
+      AAPAC_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    }
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEndOfInput) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<ShowIndexesStmt>> ParseShowIndexesStatement() {
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("show"));
+    AAPAC_RETURN_NOT_OK(ExpectKeyword("indexes"));
+    auto stmt = std::make_unique<ShowIndexesStmt>();
+    if (AcceptKeyword("from")) {
+      AAPAC_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    }
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEndOfInput) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
   bool StartsWith(const char* kw) const { return Cur().IsKeyword(kw); }
 
  private:
@@ -598,6 +653,27 @@ Result<std::unique_ptr<DeleteStmt>> ParseDelete(const std::string& source) {
   return parser.ParseDeleteStatement();
 }
 
+Result<std::unique_ptr<CreateIndexStmt>> ParseCreateIndex(
+    const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseCreateIndexStatement();
+}
+
+Result<std::unique_ptr<DropIndexStmt>> ParseDropIndex(
+    const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseDropIndexStatement();
+}
+
+Result<std::unique_ptr<ShowIndexesStmt>> ParseShowIndexes(
+    const std::string& source) {
+  AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseShowIndexesStatement();
+}
+
 Result<Statement> ParseStatement(const std::string& source) {
   AAPAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   Statement out;
@@ -608,6 +684,14 @@ Result<Statement> ParseStatement(const std::string& source) {
     AAPAC_ASSIGN_OR_RETURN(out.update, parser.ParseUpdateStatement());
   } else if (parser.StartsWith("delete")) {
     AAPAC_ASSIGN_OR_RETURN(out.del, parser.ParseDeleteStatement());
+  } else if (parser.StartsWith("create")) {
+    AAPAC_ASSIGN_OR_RETURN(out.create_index,
+                           parser.ParseCreateIndexStatement());
+  } else if (parser.StartsWith("drop")) {
+    AAPAC_ASSIGN_OR_RETURN(out.drop_index, parser.ParseDropIndexStatement());
+  } else if (parser.StartsWith("show")) {
+    AAPAC_ASSIGN_OR_RETURN(out.show_indexes,
+                           parser.ParseShowIndexesStatement());
   } else {
     AAPAC_ASSIGN_OR_RETURN(out.select, parser.ParseStatement());
   }

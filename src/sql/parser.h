@@ -35,15 +35,32 @@ Result<std::unique_ptr<UpdateStmt>> ParseUpdate(const std::string& source);
 /// Parses a DELETE statement: DELETE FROM t [WHERE e].
 Result<std::unique_ptr<DeleteStmt>> ParseDelete(const std::string& source);
 
+/// Parses a CREATE INDEX statement:
+///   CREATE INDEX name ON t (col) [USING HASH | USING ORDERED]
+Result<std::unique_ptr<CreateIndexStmt>> ParseCreateIndex(
+    const std::string& source);
+
+/// Parses a DROP INDEX statement: DROP INDEX name [ON t].
+Result<std::unique_ptr<DropIndexStmt>> ParseDropIndex(
+    const std::string& source);
+
+/// Parses a SHOW INDEXES statement: SHOW INDEXES [FROM t].
+Result<std::unique_ptr<ShowIndexesStmt>> ParseShowIndexes(
+    const std::string& source);
+
 /// A parsed statement: exactly one member is non-null.
 struct Statement {
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<DropIndexStmt> drop_index;
+  std::unique_ptr<ShowIndexesStmt> show_indexes;
 };
 
-/// Dispatches on the leading keyword (SELECT / INSERT / UPDATE / DELETE).
+/// Dispatches on the leading keyword (SELECT / INSERT / UPDATE / DELETE /
+/// CREATE INDEX / DROP INDEX / SHOW INDEXES).
 Result<Statement> ParseStatement(const std::string& source);
 
 }  // namespace aapac::sql

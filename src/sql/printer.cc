@@ -305,4 +305,29 @@ std::string ToSql(const SelectStmt& stmt) {
   return out;
 }
 
+std::string ToSql(const CreateIndexStmt& stmt) {
+  std::string out = "create index ";
+  out += stmt.index;
+  out += " on ";
+  out += stmt.table;
+  out += " (";
+  out += stmt.column;
+  out += ")";
+  out += stmt.ordered ? " using ordered" : " using hash";
+  return out;
+}
+
+std::string ToSql(const DropIndexStmt& stmt) {
+  std::string out = "drop index ";
+  out += stmt.index;
+  if (!stmt.table.empty()) out += " on " + stmt.table;
+  return out;
+}
+
+std::string ToSql(const ShowIndexesStmt& stmt) {
+  std::string out = "show indexes";
+  if (!stmt.table.empty()) out += " from " + stmt.table;
+  return out;
+}
+
 }  // namespace aapac::sql

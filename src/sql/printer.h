@@ -26,6 +26,15 @@ std::string ToSql(const UpdateStmt& stmt);
 /// Renders a DELETE statement.
 std::string ToSql(const DeleteStmt& stmt);
 
+/// Renders a CREATE INDEX statement.
+std::string ToSql(const CreateIndexStmt& stmt);
+
+/// Renders a DROP INDEX statement.
+std::string ToSql(const DropIndexStmt& stmt);
+
+/// Renders a SHOW INDEXES statement.
+std::string ToSql(const ShowIndexesStmt& stmt);
+
 /// Renders a literal (quoted/escaped as needed).
 std::string ToSql(const LiteralValue& value);
 

@@ -59,7 +59,33 @@ constexpr char kHelp[] =
     "  \\profile <id|last>         re-render a recent query profile\n"
     "  \\ledger                    per-(table, purpose, action) enforcement\n"
     "                             decision ledger\n"
-    "anything else is SQL, executed under the session purpose/user.";
+    "  \\indexes [table]           secondary indexes (definition, size,\n"
+    "                             build state) and probe counters\n"
+    "anything else is SQL, executed under the session purpose/user\n"
+    "(including CREATE INDEX / DROP INDEX / SHOW INDEXES).";
+
+/// One line per secondary index of `table` (or of every table when empty):
+/// definition, size and build state. Shared by \indexes and SHOW INDEXES.
+std::string FormatIndexes(engine::Database* db,
+                          const std::string& table_filter) {
+  std::ostringstream out;
+  for (const auto& name : db->TableNames()) {
+    if (!table_filter.empty() && !EqualsIgnoreCase(name, table_filter)) {
+      continue;
+    }
+    const engine::Table* t = db->FindTable(name);
+    for (const engine::IndexStats& is : t->IndexStatsAll()) {
+      if (out.tellp() > 0) out << "\n";
+      out << name << "." << is.name << " on " << is.column << " ("
+          << engine::IndexKindName(is.kind) << "), " << is.distinct_keys
+          << " key(s), " << is.entries << " entr"
+          << (is.entries == 1 ? "y" : "ies") << ", "
+          << (is.current ? "current" : "stale (rebuilds on next probe)");
+    }
+  }
+  const std::string s = out.str();
+  return s.empty() ? "(no indexes)" : s;
+}
 
 /// Splits "\cmd rest of line" into (cmd, rest).
 std::pair<std::string, std::string> SplitCommand(const std::string& line) {
@@ -478,6 +504,11 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
           << snap.static_cache_misses << " miss / "
           << snap.static_cache_invalidations << " invalidated";
     }
+    out << "\nindex scans: "
+        << (snap.index_scans_enabled ? "on" : "off (AAPAC_INDEX_OFF)") << ", "
+        << snap.indexes.size() << " index(es), probes " << snap.index_probes
+        << ", rows pruned " << snap.index_rows_pruned << ", denied skipped "
+        << snap.index_denied_skipped;
     return out.str();
   }
   if (cmd == "cache") {
@@ -494,6 +525,25 @@ std::string ShellSession::RunMetaCommand(const std::string& line) {
         << cs.evictions << ", hit rate "
         << static_cast<int>(cs.hit_rate() * 100.0 + 0.5) << "%";
     return out.str();
+  }
+  if (cmd == "indexes") {
+    std::string out = FormatIndexes(db_, arg);
+    if (monitor_ != nullptr) {
+      // ExecStats owns these atomics; the registry only mirrors them as
+      // external counters in render paths, so read the source directly.
+      const engine::ExecStats& xs = monitor_->exec_stats();
+      out += "\nindex scans: ";
+      out += monitor_->index_scans_enabled() ? "on" : "off (AAPAC_INDEX_OFF)";
+      out += ", probes " +
+             std::to_string(xs.index_probes.load(std::memory_order_relaxed)) +
+             ", rows pruned " +
+             std::to_string(
+                 xs.index_rows_pruned.load(std::memory_order_relaxed)) +
+             ", denied skipped " +
+             std::to_string(
+                 xs.index_denied_skipped.load(std::memory_order_relaxed));
+    }
+    return out;
   }
   if (cmd == "selectivity") {
     if (arg.empty()) return "usage: \\selectivity <table>";
@@ -512,6 +562,54 @@ std::string ShellSession::RunSql(const std::string& sql) {
   }
   auto stmt = sql::ParseStatement(sql);
   if (!stmt.ok()) return "error: " + stmt.status().ToString();
+
+  // Index DDL is an engine-level operation: no enforcement rewrite applies
+  // (indexes change access paths, never results or check counts). In
+  // concurrent mode it serializes against in-flight statements — and
+  // invalidates cached plans' table versions — via the server's exclusive
+  // section, like policy attachment.
+  if (stmt->create_index != nullptr || stmt->drop_index != nullptr) {
+    std::string message;
+    auto run = [&]() -> Status {
+      if (stmt->create_index != nullptr) {
+        const auto& ci = *stmt->create_index;
+        AAPAC_ASSIGN_OR_RETURN(engine::Table * t, db_->GetTable(ci.table));
+        AAPAC_RETURN_NOT_OK(t->CreateIndex(
+            ci.index, ci.column,
+            ci.ordered ? engine::IndexKind::kOrdered
+                       : engine::IndexKind::kHash));
+        message = "index " + ci.index + " created on " + ci.table + " (" +
+                  ci.column + ")";
+        return Status::OK();
+      }
+      const auto& di = *stmt->drop_index;
+      std::string table = di.table;
+      if (table.empty()) {
+        // DROP INDEX without ON: resolve the name across all tables.
+        for (const auto& name : db_->TableNames()) {
+          if (db_->FindTable(name)->HasIndex(di.index)) {
+            table = name;
+            break;
+          }
+        }
+        if (table.empty()) {
+          return Status::NotFound("index '" + di.index +
+                                  "' not found on any table");
+        }
+      }
+      AAPAC_ASSIGN_OR_RETURN(engine::Table * t, db_->GetTable(table));
+      AAPAC_RETURN_NOT_OK(t->DropIndex(di.index));
+      message = "index " + di.index + " dropped from " + table;
+      return Status::OK();
+    };
+    const Status st =
+        server_ != nullptr ? server_->WithExclusive(run) : run();
+    if (!st.ok()) return "error: " + st.ToString();
+    return message;
+  }
+  if (stmt->show_indexes != nullptr) {
+    return FormatIndexes(db_, stmt->show_indexes->table);
+  }
 
   // Concurrent mode: route through the enforcement server so the shell
   // shares its session model, worker pool and rewrite cache.

@@ -1,0 +1,345 @@
+// Secondary-index access paths (engine/index.h + the executor's sargable
+// conjunct detection): property tests asserting that an index probe is
+// INVISIBLE next to the full scan — identical result rows (and, under
+// enforcement, identical logical compliance-check counts) across randomized
+// key distributions, NULL keys, duplicate keys, empty ranges, and both
+// index kinds. The enforced comparison drives the whole patients workload
+// through the monitor with index scans toggled per leg, exactly like the
+// AAPAC_INDEX_OFF differential leg in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/monitor.h"
+#include "engine/database.h"
+#include "engine/exec.h"
+#include "engine/index.h"
+#include "engine/table.h"
+#include "engine/value.h"
+#include "tests/engine/test_db.h"
+#include "workload/patients.h"
+#include "workload/policies.h"
+
+namespace aapac {
+namespace {
+
+using engine::IndexKind;
+using engine::Table;
+using engine::Value;
+
+// ---------------------------------------------------------------------------
+// Unenforced row agreement over randomized key distributions.
+
+/// Builds t(k BIGINT, tag TEXT) with `n` rows whose keys follow one of
+/// three distributions, plus a sprinkle of NULL keys. Returns the db.
+std::unique_ptr<engine::Database> BuildKeyed(uint64_t seed, size_t n,
+                                             int distribution) {
+  auto db = std::make_unique<engine::Database>();
+  engine::Schema s;
+  EXPECT_TRUE(s.AddColumn({"k", engine::ValueType::kInt64}).ok());
+  EXPECT_TRUE(s.AddColumn({"tag", engine::ValueType::kString}).ok());
+  Table* t = *db->CreateTable("t", s);
+  std::mt19937_64 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    Value key;
+    if (rng() % 16 == 0) {
+      key = Value::Null();  // NULL keys never match any point or range.
+    } else {
+      switch (distribution) {
+        case 0:  // Uniform over a narrow domain → heavy duplication.
+          key = Value::Int(static_cast<int64_t>(rng() % 17));
+          break;
+        case 1:  // Wide domain → mostly distinct keys.
+          key = Value::Int(static_cast<int64_t>(rng() % 10000));
+          break;
+        default: {  // Skewed: quadratic pile-up on small keys.
+          const uint64_t u = rng() % 100;
+          key = Value::Int(static_cast<int64_t>((u * u) / 100));
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(
+        t->Insert({std::move(key),
+                   Value::String("r" + std::to_string(i % 7))})
+            .ok());
+  }
+  return db;
+}
+
+std::vector<std::string> RunRows(engine::Executor* exec,
+                                 const std::string& sql) {
+  auto rs = exec->ExecuteSql(sql);
+  EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+  std::vector<std::string> out;
+  if (!rs.ok()) return out;
+  for (const auto& row : rs->rows) {
+    std::string line;
+    for (const auto& v : row) {
+      line += v.is_null() ? "NULL" : v.ToString();
+      line += '|';
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+TEST(IndexScanTest, RandomizedDistributionsAgreeWithScan) {
+  std::mt19937_64 qrng(20260808);
+  for (int dist = 0; dist < 3; ++dist) {
+    for (IndexKind kind : {IndexKind::kHash, IndexKind::kOrdered}) {
+      auto db = BuildKeyed(/*seed=*/97 + dist, /*n=*/500, dist);
+      Table* t = db->FindTable("t");
+      ASSERT_TRUE(t->CreateIndex("ik", "k", kind).ok());
+      engine::Executor exec(db.get());
+      for (int q = 0; q < 40; ++q) {
+        const int64_t a = static_cast<int64_t>(qrng() % 10000) - 50;
+        const int64_t b = a + static_cast<int64_t>(qrng() % 40) - 10;
+        std::string pred;
+        switch (qrng() % 5) {
+          case 0: pred = "k = " + std::to_string(a); break;
+          case 1:
+            // Deliberately allows b < a: the empty range must return
+            // nothing on both paths.
+            pred = "k between " + std::to_string(a) + " and " +
+                   std::to_string(b);
+            break;
+          case 2: pred = "k < " + std::to_string(a); break;
+          case 3: pred = "k >= " + std::to_string(a); break;
+          default:
+            // Literal-on-the-left spelling; the detector mirrors the
+            // operator.
+            pred = std::to_string(a) + " > k";
+            break;
+        }
+        const std::string sql = "SELECT k, tag FROM t WHERE " + pred;
+        exec.set_index_scans_enabled(true);
+        const auto indexed = RunRows(&exec, sql);
+        exec.set_index_scans_enabled(false);
+        const auto scanned = RunRows(&exec, sql);
+        exec.set_index_scans_enabled(true);
+        ASSERT_EQ(indexed, scanned)
+            << "dist=" << dist << " kind=" << engine::IndexKindName(kind)
+            << " sql=" << sql;
+      }
+      // Ranges are only servable by the ordered kind; points by either. In
+      // both cases at least some of the 40 statements must have probed.
+      EXPECT_GT(exec.stats().index_probes.load(), 0u)
+          << "dist=" << dist << " kind=" << engine::IndexKindName(kind)
+          << ": no statement took the index path";
+    }
+  }
+}
+
+TEST(IndexScanTest, NullKeysNeverMatchAndDuplicatesAllSurface) {
+  auto db = std::make_unique<engine::Database>();
+  engine::Schema s;
+  ASSERT_TRUE(s.AddColumn({"k", engine::ValueType::kInt64}).ok());
+  ASSERT_TRUE(s.AddColumn({"seq", engine::ValueType::kInt64}).ok());
+  Table* t = *db->CreateTable("t", s);
+  // Ten duplicates of key 7 interleaved with NULLs and singletons.
+  for (int64_t i = 0; i < 30; ++i) {
+    Value key = (i % 3 == 0) ? Value::Null()
+                             : (i % 3 == 1 ? Value::Int(7) : Value::Int(i));
+    ASSERT_TRUE(t->Insert({std::move(key), Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(t->CreateIndex("ik", "k", IndexKind::kOrdered).ok());
+  engine::Executor exec(db.get());
+
+  for (const std::string pred :
+       {std::string("k = 7"), std::string("k between 6 and 8"),
+        std::string("k < 3"), std::string("k >= 28")}) {
+    const std::string sql = "SELECT seq FROM t WHERE " + pred;
+    exec.set_index_scans_enabled(true);
+    const auto indexed = RunRows(&exec, sql);
+    exec.set_index_scans_enabled(false);
+    const auto scanned = RunRows(&exec, sql);
+    exec.set_index_scans_enabled(true);
+    ASSERT_EQ(indexed, scanned) << sql;
+  }
+  // The duplicate key surfaces every copy, in slot (insertion) order.
+  const auto dups = RunRows(&exec, "SELECT seq FROM t WHERE k = 7");
+  EXPECT_EQ(dups.size(), 10u);
+  // NULL keys are absent from the index and fail every comparison: a probe
+  // for any key must never return a NULL-keyed row.
+  const auto nulls =
+      RunRows(&exec, "SELECT seq FROM t WHERE k between -100 and 100");
+  for (const auto& line : nulls) {
+    EXPECT_EQ(line.find("NULL"), std::string::npos) << line;
+  }
+}
+
+TEST(IndexScanTest, EmptyRangesAndMissingKeysReturnNothing) {
+  auto db = BuildKeyed(/*seed=*/5, /*n=*/200, /*distribution=*/1);
+  Table* t = db->FindTable("t");
+  ASSERT_TRUE(t->CreateIndex("ik", "k", IndexKind::kOrdered).ok());
+  engine::Executor exec(db.get());
+  const uint64_t probes_before = exec.stats().index_probes.load();
+  for (const std::string sql :
+       {std::string("SELECT k FROM t WHERE k = -123456"),
+        std::string("SELECT k FROM t WHERE k between 50 and 40"),
+        std::string("SELECT k FROM t WHERE k < -999999"),
+        std::string("SELECT k FROM t WHERE k >= 999999")}) {
+    EXPECT_TRUE(RunRows(&exec, sql).empty()) << sql;
+  }
+  // All four statements were sargable: they probed and found nothing.
+  EXPECT_EQ(exec.stats().index_probes.load(), probes_before + 4);
+}
+
+TEST(IndexScanTest, TypeMismatchedLiteralFallsBackToScan) {
+  auto db = BuildKeyed(/*seed=*/6, /*n=*/50, /*distribution=*/1);
+  Table* t = db->FindTable("t");
+  ASSERT_TRUE(t->CreateIndex("ik", "k", IndexKind::kOrdered).ok());
+  engine::Executor exec(db.get());
+  const uint64_t probes_before = exec.stats().index_probes.load();
+  // A double literal against the INT64 key is not sargable: 2.0 = 2
+  // matches under SQL numeric comparison but would miss under exact
+  // Value-keyed hashing, so the detector requires the literal type to
+  // equal the column's declared type and this stays on the scan path.
+  const auto a = RunRows(&exec, "SELECT k FROM t WHERE k = 2.0");
+  // An indexless column likewise never probes.
+  const auto b = RunRows(&exec, "SELECT k FROM t WHERE tag = 'r1'");
+  EXPECT_EQ(exec.stats().index_probes.load(), probes_before);
+  (void)a;
+  (void)b;
+}
+
+// ---------------------------------------------------------------------------
+// Enforced agreement: rows AND logical check counts, through the monitor.
+
+struct Instance {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<core::AccessControlCatalog> catalog;
+  std::unique_ptr<core::EnforcementMonitor> monitor;
+
+  explicit Instance(uint64_t policy_seed, double selectivity) {
+    db = std::make_unique<engine::Database>();
+    workload::PatientsConfig config;
+    config.num_patients = 20;
+    config.samples_per_patient = 30;  // 600 sensed_data rows.
+    EXPECT_TRUE(workload::BuildPatientsDatabase(db.get(), config).ok());
+    catalog = std::make_unique<core::AccessControlCatalog>(db.get());
+    EXPECT_TRUE(catalog->Initialize().ok());
+    EXPECT_TRUE(workload::ConfigurePatientsAccessControl(catalog.get()).ok());
+    workload::ScatteredPolicyConfig sp;
+    sp.seed = policy_seed;
+    sp.selectivity = selectivity;
+    EXPECT_TRUE(workload::ApplyScatteredPolicies(catalog.get(), sp).ok());
+    monitor =
+        std::make_unique<core::EnforcementMonitor>(db.get(), catalog.get());
+    for (const auto& name : db->TableNames()) {
+      db->FindTable(name)->ResetZoneMap(64);
+    }
+    Table* sensed = db->FindTable("sensed_data");
+    EXPECT_TRUE(
+        sensed->CreateIndex("ix_beats", "beats", IndexKind::kOrdered).ok());
+    EXPECT_TRUE(
+        sensed->CreateIndex("ix_watch", "watch_id", IndexKind::kHash).ok());
+  }
+};
+
+std::pair<std::string, uint64_t> RunEnforced(core::EnforcementMonitor* m,
+                                             const std::string& sql,
+                                             const std::string& purpose) {
+  const uint64_t before = m->compliance_checks();
+  auto rs = m->ExecuteQuery(sql, purpose);
+  EXPECT_TRUE(rs.ok()) << sql << "\n  " << rs.status();
+  if (!rs.ok()) return {"<error>", 0};
+  std::string rendered;
+  for (const auto& row : rs->rows) {
+    for (const auto& v : row) {
+      rendered += v.is_null() ? "NULL" : v.ToString();
+      rendered += '|';
+    }
+    rendered += '\n';
+  }
+  return {std::move(rendered), m->compliance_checks() - before};
+}
+
+TEST(IndexScanTest, EnforcedProbeMatchesScanRowsAndCheckCounts) {
+  Instance inst(/*policy_seed=*/13, /*selectivity=*/0.35);
+  std::mt19937_64 rng(20260808);
+  size_t compared = 0;
+  for (int q = 0; q < 60; ++q) {
+    std::string pred;
+    switch (rng() % 4) {
+      case 0:
+        pred = "beats = " + std::to_string(60 + rng() % 90);
+        break;
+      case 1: {
+        const uint64_t lo = 60 + rng() % 90;
+        pred = "beats between " + std::to_string(lo) + " and " +
+               std::to_string(lo + rng() % 25);
+        break;
+      }
+      case 2:
+        pred = "watch_id = 'watch" + std::to_string(rng() % 25) + "'";
+        break;
+      default:
+        pred = "beats >= " + std::to_string(120 + rng() % 40);
+        break;
+    }
+    const std::string sql =
+        "SELECT watch_id, beats, temperature FROM sensed_data WHERE " + pred;
+    inst.monitor->SetIndexScansEnabled(true);
+    const auto indexed = RunEnforced(inst.monitor.get(), sql, "p3");
+    inst.monitor->SetIndexScansEnabled(false);
+    const auto scanned = RunEnforced(inst.monitor.get(), sql, "p3");
+    inst.monitor->SetIndexScansEnabled(true);
+    ASSERT_EQ(indexed.first, scanned.first) << sql;
+    ASSERT_EQ(indexed.second, scanned.second)
+        << sql << "\n  the index probe changed the compliance-check count";
+    ++compared;
+  }
+  EXPECT_EQ(compared, 60u);
+  // The probes really ran — this suite must not silently degenerate into
+  // scan-vs-scan.
+  EXPECT_GT(inst.monitor->exec_stats().index_probes.load(), 0u);
+}
+
+TEST(IndexScanTest, EnforcedProbeSurvivesDmlAndReenablesAfterDrop) {
+  Instance inst(/*policy_seed=*/7, /*selectivity=*/0.35);
+  const std::string sql =
+      "SELECT watch_id, beats FROM sensed_data WHERE beats between 80 and 110";
+  auto both_legs_agree = [&](const std::string& stage) {
+    inst.monitor->SetIndexScansEnabled(true);
+    const auto indexed = RunEnforced(inst.monitor.get(), sql, "p3");
+    inst.monitor->SetIndexScansEnabled(false);
+    const auto scanned = RunEnforced(inst.monitor.get(), sql, "p3");
+    inst.monitor->SetIndexScansEnabled(true);
+    ASSERT_EQ(indexed.first, scanned.first) << stage;
+    ASSERT_EQ(indexed.second, scanned.second) << stage;
+  };
+  both_legs_agree("initial");
+
+  // In-place policy rewrites and erasures: the policy columns change under
+  // the index (which does not key them) and row slots compact (which it
+  // must track); agreement has to survive both.
+  Table* sensed = inst.db->FindTable("sensed_data");
+  const size_t pcol = *sensed->intern_column();
+  const Value moved = sensed->row(0)[pcol];
+  std::vector<size_t> touched;
+  for (size_t i = 10; i < sensed->num_rows(); i += 53) touched.push_back(i);
+  sensed->UpdateColumnWhere(pcol, moved, touched);
+  both_legs_agree("after-policy-rewrite");
+  ASSERT_GT(sensed->EraseRows({2, 41, 42, 199}), 0u);
+  both_legs_agree("after-erase");
+
+  // Drop + recreate: queries in between must run (scan path), and the
+  // recreated index starts stale and rebuilds on its next probe.
+  ASSERT_TRUE(sensed->DropIndex("ix_beats").ok());
+  both_legs_agree("after-drop");
+  ASSERT_TRUE(
+      sensed->CreateIndex("ix_beats", "beats", IndexKind::kOrdered).ok());
+  both_legs_agree("after-recreate");
+}
+
+}  // namespace
+}  // namespace aapac

@@ -2,11 +2,11 @@
 // policy-dictionary verdict table, the policy zone map, the vectorized
 // executor, the bind-time StaticVerdict pass and the server's concurrency
 // scheme: 500 seeded random SELECTs over the patients database, each
-// executed nine ways —
+// executed ten ways —
 //   (1) serial, unenforced            (the paper's "original query" runs)
 //   (2) serial, purpose-enforced      (memoization + zone maps + the
-//       vectorized batch executor + static verdicts on — the default
-//       configuration)
+//       vectorized batch executor + static verdicts + secondary indexes on
+//       — the default configuration)
 //   (3) morsel-parallel, enforced     (the morsel executor, vector on)
 //   (4) serial, enforced, verdict table force-disabled (every tuple through
 //       the full CompliesWithPacked sweep — the pre-dictionary path)
@@ -14,15 +14,19 @@
 //       with no block skipping / bulk-accept)
 //   (6) serial, enforced, StaticVerdict pass force-disabled (no bind-time
 //       whole-table classification — AAPAC_STATIC_OFF)
-//   (7) serial, enforced, vectorized executor force-disabled (the
+//   (7) serial, enforced, index scans force-disabled (sargable conjuncts
+//       fall back to the full scan — AAPAC_INDEX_OFF; the harness creates
+//       hash and ordered indexes over every column the generator filters
+//       on, so the default legs take the index access path)
+//   (8) serial, enforced, vectorized executor force-disabled (the
 //       row-at-a-time scan/probe/filter path — AAPAC_VECTOR_OFF)
-//   (8) morsel-parallel, enforced, vectorized executor force-disabled
-//   (9) through a live EnforcementServer (one session per purpose) — under
+//   (9) morsel-parallel, enforced, vectorized executor force-disabled
+//   (10) through a live EnforcementServer (one session per purpose) — under
 //       epoch-based snapshot concurrency by default, or the fallback
 //       readers-writer lock when AAPAC_EPOCH_OFF is set, so CI exercises
 //       both schemes against the same transcript
-// — asserting that (3) through (9) are row-for-row identical to (2), that
-// (3) through (9) spend exactly the same number of logical compliance
+// — asserting that (3) through (10) are row-for-row identical to (2), that
+// (3) through (10) spend exactly the same number of logical compliance
 // checks as (2) (check exactness at DOP 1 and DOP N, batch and row), that
 // (2) never returns a tuple (1) would not (enforcement only filters), and,
 // for queries without sub-queries, that (2) equals a brute-force reference
@@ -54,6 +58,7 @@
 #include "core/signature_builder.h"
 #include "engine/database.h"
 #include "engine/exec.h"
+#include "engine/index.h"
 #include "engine/table.h"
 #include "server/server.h"
 #include "sql/parser.h"
@@ -126,6 +131,25 @@ struct Harness {
     for (const auto& name : db->TableNames()) {
       db->FindTable(name)->ResetZoneMap(64);
     }
+    // Secondary indexes over the columns the query generator filters on, so
+    // the default legs take the index access path whenever the first claimed
+    // conjunct is sargable and the index-off leg exercises the scan fallback
+    // against the same statements. The DML interleaves below also keep the
+    // maintenance hooks (append / erase / in-place rewrite) busy.
+    engine::Table* sensed = db->FindTable("sensed_data");
+    EXPECT_TRUE(
+        sensed->CreateIndex("sensed_ts", "timestamp", engine::IndexKind::kOrdered)
+            .ok());
+    EXPECT_TRUE(
+        sensed->CreateIndex("sensed_beats", "beats", engine::IndexKind::kOrdered)
+            .ok());
+    EXPECT_TRUE(
+        sensed->CreateIndex("sensed_watch", "watch_id", engine::IndexKind::kHash)
+            .ok());
+    EXPECT_TRUE(db->FindTable("nutritional_profiles")
+                    ->CreateIndex("profiles_diet", "diet_type",
+                                  engine::IndexKind::kHash)
+                    .ok());
   }
 };
 
@@ -195,7 +219,7 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
   const size_t threads = ThreadsFromEnv();
   SCOPED_TRACE("replay with AAPAC_DIFF_SEED=" + std::to_string(seed));
   Harness h;
-  // Leg (9): a long-lived server over the same monitor. Its construction
+  // Leg (10): a long-lived server over the same monitor. Its construction
   // re-wires the database for copy-on-write versioning (epoch mode); the
   // harness's direct DML interleavings below still work because the server
   // is idle whenever they run (the documented direct-use contract). One
@@ -261,7 +285,7 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     const uint64_t memo_checks =
         h.monitor->compliance_checks() - checks_before_memo;
 
-    // Leg (9): the same statement through the server — pinned-epoch
+    // Leg (10): the same statement through the server — pinned-epoch
     // snapshot read (or the fallback shared lock under AAPAC_EPOCH_OFF).
     const uint64_t checks_before_server = h.monitor->compliance_checks();
     auto served = server.Execute(session_for(q.purpose), q.sql);
@@ -292,6 +316,14 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
         h.monitor->compliance_checks() - checks_before_nostatic;
     h.monitor->SetStaticVerdictEnabled(true);
     ASSERT_TRUE(nostatic.ok()) << ctx << "\n  " << nostatic.status();
+
+    h.monitor->SetIndexScansEnabled(false);
+    const uint64_t checks_before_noindex = h.monitor->compliance_checks();
+    auto noindex = h.monitor->ExecuteQuery(q.sql, q.purpose);
+    const uint64_t noindex_checks =
+        h.monitor->compliance_checks() - checks_before_noindex;
+    h.monitor->SetIndexScansEnabled(true);
+    ASSERT_TRUE(noindex.ok()) << ctx << "\n  " << noindex.status();
 
     h.monitor->SetVectorEnabled(false);
     const uint64_t checks_before_rowpath = h.monitor->compliance_checks();
@@ -367,6 +399,19 @@ TEST(DifferentialTest, FiveHundredRandomQueriesAgreeThreeWays) {
     ASSERT_EQ(nostatic_checks, memo_checks)
         << ctx << "\n  the static-verdict pass changed the compliance-check "
         << "count";
+
+    // (a''++) Secondary indexes are invisible: with index scans
+    // force-disabled (every statement through the full scan) the rows and
+    // the logical check count are identical — an index changes how
+    // candidates are found, never which tuples are checked or returned.
+    const std::vector<std::string> noindex_rows = RenderRows(*noindex);
+    ASSERT_EQ(noindex_rows.size(), serial_rows.size()) << ctx;
+    for (size_t r = 0; r < serial_rows.size(); ++r) {
+      ASSERT_EQ(noindex_rows[r], serial_rows[r])
+          << ctx << "\n  index-scan divergence at row " << r;
+    }
+    ASSERT_EQ(noindex_checks, memo_checks)
+        << ctx << "\n  index scans changed the compliance-check count";
 
     // (a''') The vectorized executor is invisible: batch vs row-at-a-time,
     // serial vs morsel-parallel, rows and logical check counts all agree.

@@ -20,14 +20,17 @@
 // erasures, row duplication) flips tables BETWEEN static classes mid-run —
 // a cached all-allow decision must die the moment one denying row lands.
 //
-// Every (catalog, query) pair executes the same eight legs as the fixed
+// Every (catalog, query) pair executes the same nine legs as the fixed
 // harness — (1) unenforced, (2) serial enforced default, (3)
 // morsel-parallel, (4) verdict-memo off, (5) zone maps off, (6)
-// StaticVerdict off, (7) vectorized executor off, (8) row path at DOP N —
-// asserting legs (3)..(8) row-for-row identical to (2) with exactly equal
-// logical check counts, that (2) only filters (1), and, for
-// sub-query-free shapes, that (2) equals the brute-force reference monitor
-// over a tuple-by-tuple pre-filtered clone.
+// StaticVerdict off, (7) index scans off, (8) vectorized executor off, (9)
+// row path at DOP N — asserting legs (3)..(9) row-for-row identical to (2)
+// with exactly equal logical check counts, that (2) only filters (1), and,
+// for sub-query-free shapes, that (2) equals the brute-force reference
+// monitor over a tuple-by-tuple pre-filtered clone. The harness keeps
+// secondary indexes over the generator's filter columns and the DML
+// interleaves include index DDL (drop / recreate with a random kind), so
+// index maintenance and the stale-rebuild path run against every profile.
 //
 // On divergence the fuzzer MINIMIZES: the failing pair is re-run alone on a
 // fresh database with the same catalog profile (the accumulated DML history
@@ -60,6 +63,7 @@
 #include "core/signature_builder.h"
 #include "engine/database.h"
 #include "engine/exec.h"
+#include "engine/index.h"
 #include "engine/table.h"
 #include "sql/parser.h"
 #include "tests/util/query_gen.h"
@@ -272,9 +276,11 @@ CatalogRound DrawRound(std::mt19937_64* rng) {
 /// Mutates one protected table between pairs so its static class flips
 /// while decisions for it may be cached: uniform re-policy (mixed →
 /// all-allow / all-deny), a single denying poke (all-allow → mixed), row
-/// erasure (can turn a mixed table uniform again), or row duplication.
-/// Every path bumps intern_version; a stale cached decision surviving any
-/// of them diverges leg (2) from leg (6) on the next pair.
+/// erasure (can turn a mixed table uniform again), row duplication, or
+/// index DDL (drop the fuzzer's index when present, else create one with a
+/// random kind — subsequent probes hit the stale-rebuild path). Every
+/// mutation path bumps intern_version; a stale cached decision surviving
+/// any of them diverges leg (2) from leg (6) on the next pair.
 void InterleaveDml(core::AccessControlCatalog* catalog,
                    std::mt19937_64* rng) {
   const std::string table = kProtectedTables[(*rng)() % 3];
@@ -288,7 +294,7 @@ void InterleaveDml(core::AccessControlCatalog* catalog,
       core::AccessControlCatalog::kPolicyColumn);
   ASSERT_TRUE(pcol.has_value());
 
-  switch ((*rng)() % 4) {
+  switch ((*rng)() % 5) {
     case 0: {  // Flip the whole table to a uniform class.
       const Profile uniform = ((*rng)() & 1) != 0 ? Profile::kSingleAllow
                                                   : Profile::kSingleDeny;
@@ -322,11 +328,38 @@ void InterleaveDml(core::AccessControlCatalog* catalog,
       ASSERT_TRUE(tbl->Insert(std::move(row)).ok());
       break;
     }
+    case 4: {  // Index DDL: drop the fuzzer's index when present, else
+               // create one with a random kind — the next sargable query
+               // over the column exercises the stale lazy-rebuild path.
+      const char* column = nullptr;
+      if (table == "sensed_data") {
+        static const char* const kCols[] = {"timestamp", "beats", "watch_id",
+                                            "position"};
+        column = kCols[(*rng)() % 4];
+      } else if (table == "users") {
+        static const char* const kCols[] = {"user_id", "watch_id"};
+        column = kCols[(*rng)() % 2];
+      } else {
+        static const char* const kCols[] = {"profile_id", "diet_type"};
+        column = kCols[(*rng)() % 2];
+      }
+      const std::string name = "fuzz_" + table;
+      if (tbl->HasIndex(name)) {
+        ASSERT_TRUE(tbl->DropIndex(name).ok());
+      } else {
+        ASSERT_TRUE(tbl->CreateIndex(name, column,
+                                     ((*rng)() & 1) != 0
+                                         ? engine::IndexKind::kOrdered
+                                         : engine::IndexKind::kHash)
+                        .ok());
+      }
+      break;
+    }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Harness + the eight-leg check, factored so minimization can re-run one
+// Harness + the nine-leg check, factored so minimization can re-run one
 // pair on a fresh database.
 
 std::string RenderRow(const engine::Row& row) {
@@ -368,6 +401,21 @@ struct Harness {
     for (const auto& name : db->TableNames()) {
       db->FindTable(name)->ResetZoneMap(64);
     }
+    // Indexes over the generator's filter columns: the default legs probe
+    // them whenever the first claimed conjunct is sargable, and the DML
+    // interleaves (plus the index DDL case) keep maintenance and the
+    // stale-rebuild path exercised against every catalog profile.
+    engine::Table* sensed = db->FindTable("sensed_data");
+    EXPECT_TRUE(
+        sensed->CreateIndex("sensed_ts", "timestamp", engine::IndexKind::kOrdered)
+            .ok());
+    EXPECT_TRUE(
+        sensed->CreateIndex("sensed_watch", "watch_id", engine::IndexKind::kHash)
+            .ok());
+    EXPECT_TRUE(db->FindTable("nutritional_profiles")
+                    ->CreateIndex("profiles_diet", "diet_type",
+                                  engine::IndexKind::kHash)
+                    .ok());
   }
 };
 
@@ -423,7 +471,7 @@ std::unique_ptr<engine::Database> BuildCompliantClone(
   return clone;
 }
 
-/// Runs all eight legs for one (catalog, query) pair and cross-checks them.
+/// Runs all nine legs for one (catalog, query) pair and cross-checks them.
 /// Returns "" on agreement, else a description of the first divergence.
 std::string DivergenceFor(Harness& h, const testutil::GenQuery& q,
                           size_t threads) {
@@ -472,11 +520,17 @@ std::string DivergenceFor(Harness& h, const testutil::GenQuery& q,
          m->SetStaticVerdictEnabled(on);
        },
        false},
-      // Leg (7): vectorized executor off, serial.
+      // Leg (7): index scans off — sargable conjuncts take the full scan.
+      {"index-off",
+       [](core::EnforcementMonitor* m, bool on) {
+         m->SetIndexScansEnabled(on);
+       },
+       false},
+      // Leg (8): vectorized executor off, serial.
       {"vector-off",
        [](core::EnforcementMonitor* m, bool on) { m->SetVectorEnabled(on); },
        false},
-      // Leg (8): vectorized executor off, morsel-parallel.
+      // Leg (9): vectorized executor off, morsel-parallel.
       {"vector-off-parallel",
        [](core::EnforcementMonitor* m, bool on) { m->SetVectorEnabled(on); },
        true},
